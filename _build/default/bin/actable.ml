@@ -1,0 +1,429 @@
+(* actable — the reproduction CLI.
+
+   Subcommands mirror the per-experiment index of DESIGN.md: [run] drives
+   one protocol through one scenario; [table1..table4], [robustness],
+   [fig1] and [witness] regenerate the paper's tables and figures; [list]
+   prints the protocol inventory. *)
+
+open Cmdliner
+
+let u = Sim_time.default_u
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing                                             *)
+
+let protocol_arg =
+  let doc =
+    Printf.sprintf "Protocol to run. One of: %s."
+      (String.concat ", " Registry.names)
+  in
+  Arg.(
+    required
+    & opt (some (enum (List.map (fun n -> (n, n)) Registry.names))) None
+    & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let f_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "f" ] ~docv:"F" ~doc:"Maximum number of tolerated crashes.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let vote0_arg =
+  let doc = "Rank of a process voting 0 (repeatable), e.g. --vote0 3." in
+  Arg.(value & opt_all int [] & info [ "vote0" ] ~docv:"RANK" ~doc)
+
+let crash_conv =
+  let parse s =
+    (* "<rank>@<delay-units>" or "<rank>@<delay-units>:sends=<k>" *)
+    let err =
+      `Msg
+        (Printf.sprintf
+           "cannot parse crash %S (expected RANK@DELAYS or RANK@DELAYS:sends=K)"
+           s)
+    in
+    match String.split_on_char '@' s with
+    | [ rank; rest ] -> (
+        match int_of_string_opt rank with
+        | None -> Error err
+        | Some rank -> (
+            let pid = Pid.of_rank rank in
+            match String.split_on_char ':' rest with
+            | [ d ] -> (
+                match float_of_string_opt d with
+                | Some d ->
+                    Ok (pid, Scenario.Before (int_of_float (d *. float_of_int u)))
+                | None -> Error err)
+            | [ d; sends ] -> (
+                match
+                  ( float_of_string_opt d,
+                    String.split_on_char '=' sends )
+                with
+                | Some d, [ "sends"; k ] -> (
+                    match int_of_string_opt k with
+                    | Some k ->
+                        Ok
+                          ( pid,
+                            Scenario.During_sends
+                              (int_of_float (d *. float_of_int u), k) )
+                    | None -> Error err)
+                | _, _ -> Error err)
+            | _ -> Error err))
+    | _ -> Error err
+  in
+  let print ppf (pid, crash) =
+    match crash with
+    | Scenario.Before t ->
+        Format.fprintf ppf "%d@%g" (Pid.rank pid) (float_of_int t /. float_of_int u)
+    | Scenario.During_sends (t, k) ->
+        Format.fprintf ppf "%d@%g:sends=%d" (Pid.rank pid)
+          (float_of_int t /. float_of_int u)
+          k
+  in
+  Arg.conv (parse, print)
+
+let crash_arg =
+  let doc =
+    "Crash schedule entry (repeatable): RANK@DELAYS kills the process at \
+     that instant (in units of U); RANK@DELAYS:sends=K lets it transmit K \
+     messages at that instant first ('crashes while sending')."
+  in
+  Arg.(value & opt_all crash_conv [] & info [ "crash" ] ~docv:"SPEC" ~doc)
+
+let network_arg =
+  let doc =
+    "Network model: 'exact' (every delay exactly U — nice executions), \
+     'jittered' (random delays up to U — still synchronous), or 'gst' \
+     (eventually synchronous: delays up to 4U before GST = 10U)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("exact", `Exact); ("jittered", `Jittered); ("gst", `Gst) ]) `Exact
+    & info [ "network" ] ~docv:"MODEL" ~doc)
+
+let consensus_arg =
+  let doc = "Consensus substrate for protocols that use one." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("paxos", Registry.Paxos);
+             ("floodset", Registry.Floodset);
+             ("trivial", Registry.Trivial);
+           ])
+        Registry.Paxos
+    & info [ "consensus" ] ~docv:"IMPL" ~doc)
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full execution trace.")
+
+let msc_arg =
+  Arg.(
+    value & flag
+    & info [ "msc" ] ~doc:"Print the execution as an ASCII sequence chart.")
+
+let dot_arg =
+  Arg.(
+    value & flag
+    & info [ "dot" ]
+        ~doc:"Print the execution as a Graphviz space-time digraph.")
+
+let pairs_arg =
+  let pair_conv =
+    let parse s =
+      match String.split_on_char 'x' s with
+      | [ n; f ] -> (
+          match (int_of_string_opt n, int_of_string_opt f) with
+          | Some n, Some f -> Ok (n, f)
+          | _ -> Error (`Msg (Printf.sprintf "cannot parse pair %S (NxF)" s)))
+      | _ -> Error (`Msg (Printf.sprintf "cannot parse pair %S (NxF)" s))
+    in
+    Arg.conv (parse, fun ppf (n, f) -> Format.fprintf ppf "%dx%d" n f)
+  in
+  let doc = "(n, f) pair for the sweep, as NxF (repeatable)." in
+  Arg.(value & opt_all pair_conv [] & info [ "pair" ] ~docv:"NxF" ~doc)
+
+let default_pairs = [ (3, 1); (5, 1); (5, 2); (8, 3); (13, 6) ]
+let pairs_or_default pairs = if pairs = [] then default_pairs else pairs
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+
+let run_cmd =
+  let action protocol n f seed vote0 crashes network consensus trace msc dot =
+    let network =
+      match network with
+      | `Exact -> Network.exact ~u
+      | `Jittered -> Network.jittered ~u
+      | `Gst ->
+          Network.eventually_synchronous ~u ~gst:(10 * u)
+            ~max_early_delay:(4 * u)
+    in
+    let scenario =
+      Scenario.make ~n ~f ~seed ~network ~crashes ()
+      |> fun s -> Scenario.with_no_votes s (List.map Pid.of_rank vote0)
+    in
+    let runner = Registry.find_exn protocol in
+    let report = runner.Registry.run ~consensus scenario in
+    if trace then Format.printf "%a@.@." Trace.pp report.Report.trace;
+    if msc then print_string (Trace_export.msc report);
+    if dot then print_string (Trace_export.dot report);
+    Format.printf "%a@.@." Report.pp_summary report;
+    let verdict = Check.run report in
+    Format.printf "execution class: %a@.%a@." Classify.pp
+      (Classify.of_report report) Check.pp verdict;
+    List.iter (Format.printf "  - %s@.") verdict.Check.violations;
+    if Classify.is_nice report then
+      Format.printf "nice-execution metrics: %a@." Metrics.pp
+        (Metrics.of_nice report)
+  in
+  let term =
+    Term.(
+      const action $ protocol_arg $ n_arg $ f_arg $ seed_arg $ vote0_arg
+      $ crash_arg $ network_arg $ consensus_arg $ trace_arg $ msc_arg $ dot_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one protocol through one scenario and check it.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* tables and figures                                                  *)
+
+let table_cmd name doc render =
+  let action pairs = print_string (render ~pairs:(pairs_or_default pairs)) in
+  Cmd.v (Cmd.info name ~doc) Term.(const action $ pairs_arg)
+
+let table1_cmd =
+  table_cmd "table1"
+    "Reproduce Table 1: the 27-cell lower-bound map, with verification."
+    Table_one.render
+
+let table2_cmd =
+  table_cmd "table2" "Reproduce Table 2: delay-optimal protocols."
+    Table_optimal.render_delay_optimal
+
+let table3_cmd =
+  table_cmd "table3" "Reproduce Table 3: message-optimal protocols."
+    Table_optimal.render_message_optimal
+
+let table4_cmd =
+  let action pairs =
+    print_string (Table_compare.render ~pairs:(pairs_or_default pairs));
+    print_newline ();
+    print_string (Table_compare.render_claims ())
+  in
+  Cmd.v
+    (Cmd.info "table4"
+       ~doc:
+         "Reproduce the Section 6 comparison (the paper's Tables 4/5): INBAC \
+          vs 2PC, 3PC, Paxos Commit, Faster Paxos Commit, (n-1+f)NBAC, 1NBAC.")
+    Term.(const action $ pairs_arg)
+
+let robustness_cmd =
+  let action n f = print_string (Robustness.render ~n ~f ()) in
+  Cmd.v
+    (Cmd.info "robustness"
+       ~doc:
+         "Fault-injection battery: check each protocol's claimed cell against \
+          observed properties per execution class.")
+    Term.(const action $ n_arg $ f_arg)
+
+let fig1_cmd =
+  let action n f = print_string (Figure_one.render ~n ~f ()) in
+  Cmd.v
+    (Cmd.info "fig1"
+       ~doc:"Reproduce Figure 1: INBAC state transitions (DOT + traced runs).")
+    Term.(const action $ n_arg $ f_arg)
+
+let lemmas_cmd =
+  let action n f = print_string (Lemma_report.render ~n ~f ()) in
+  Cmd.v
+    (Cmd.info "lemmas"
+       ~doc:
+         "Observe the lower-bound lemmas on real traces: reachability \
+          (Definitions 2/4), Lemma 1's backups, Lemma 5's acknowledgement \
+          round trips, and the Section 6.1 send/receive phase profile.")
+    Term.(const action $ n_arg $ f_arg)
+
+let db_cmd =
+  let action n f =
+    Format.printf
+      "Transactional KV store over the commit protocols (n=%d, f=%d)@.@." n f;
+    Format.printf "Contention sweep (INBAC; abort rate is validation-driven):@.";
+    List.iter
+      (fun (hf, s) ->
+        Format.printf "  hot-fraction %.2f: %a@." hf Workload.pp_stats s)
+      (Workload.contention_sweep ~protocol:"inbac" ~n ~f
+         ~hot_fractions:[ 0.0; 0.25; 0.5; 0.75; 1.0 ]);
+    Format.printf
+      "@.Same workload across protocols (aborts coincide; message and \
+       latency cost is the protocol's):@.";
+    List.iter
+      (fun (p, s) -> Format.printf "  %-22s %a@." p Workload.pp_stats s)
+      (Workload.protocol_comparison
+         ~protocols:[ "inbac"; "2pc"; "paxos-commit"; "(2n-2+f)nbac" ]
+         ~n ~f Workload.default)
+  in
+  Cmd.v
+    (Cmd.info "db"
+       ~doc:
+         "Run the transactional key-value workload experiments: contention \
+          sweep and per-protocol cost of the same workload.")
+    Term.(const action $ n_arg $ f_arg)
+
+let stress_cmd =
+  let runs_arg =
+    Arg.(value & opt int 50 & info [ "runs" ] ~docv:"K" ~doc:"Scenarios per battery.")
+  in
+  let action n f runs =
+    print_string
+      (Stress.render ~runs
+         ~protocols:[ "inbac"; "(2n-2+f)nbac"; "2pc"; "3pc"; "paxos-commit" ]
+         ~n ~f ())
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Statistical stress: many seeded crash/network scenarios per \
+          protocol, with violation counts and decision-latency statistics.")
+    Term.(const action $ n_arg $ f_arg $ runs_arg)
+
+let weak_cmd =
+  let action n = print_string (Table_weak.render ~n ()) in
+  Cmd.v
+    (Cmd.info "weak"
+       ~doc:
+         "Reproduce the Section 6.3 discussion: low-latency commit baselines \
+          with weak semantics (Calvin-style, majority commit), the NBAC \
+          property each gives up, and the weaker contract each keeps.")
+    Term.(const action $ n_arg)
+
+let ablation_cmd =
+  let action n f = print_string (Ablation.render ~n ~f ()) in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:
+         "Run the design-decision ablations: event priority (appendix remark \
+          (b)), consensus substrate modularity (Theorem 6), the fast-abort \
+          optimization and the Section-6 normalization.")
+    Term.(const action $ n_arg $ f_arg)
+
+let sweep_cmd =
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+  in
+  let fixed_f_arg =
+    Arg.(value & opt int 2 & info [ "at-f" ] ~docv:"F" ~doc:"Fixed f for the n-sweep.")
+  in
+  let action csv f =
+    let protocols =
+      [ "inbac"; "2pc"; "paxos-commit"; "faster-paxos-commit"; "(2n-2+f)nbac" ]
+    in
+    let ns = [ 3; 5; 8; 13; 21; 34 ] in
+    if csv then begin
+      print_string (Series.to_csv ~x_label:"n" (Series.over_n ~protocols ~f ~ns));
+      print_newline ();
+      print_string
+        (Series.to_csv ~x_label:"f"
+           (Series.over_f ~protocols ~n:13 ~fs:[ 1; 2; 3; 6; 9; 12 ]))
+    end
+    else begin
+      print_string (Series.render_over_n ~protocols ~f ~ns);
+      print_newline ();
+      print_string
+        (Series.render_over_f ~protocols ~n:13 ~fs:[ 1; 2; 3; 6; 9; 12 ]);
+      print_newline ();
+      print_endline "f = 1 crossover (INBAC pays exactly 2 extra messages over 2PC):";
+      List.iter
+        (fun (n, inbac, two_pc) ->
+          Printf.printf "  n=%-3d inbac=%-4d 2pc=%-4d delta=%d\n" n inbac two_pc
+            (inbac - two_pc))
+        (Series.crossover_f1 ~ns)
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Complexity series over n and f for the Section-6 protocols (the \
+          reproduction's figures); --csv for plot-ready output.")
+    Term.(const action $ csv_arg $ fixed_f_arg)
+
+(* ------------------------------------------------------------------ *)
+(* witness                                                             *)
+
+let witness_cmd =
+  let action () =
+    let show name scenario ~expect =
+      let r = (Registry.find_exn name).Registry.run scenario in
+      let v = Check.run r in
+      Format.printf "%-22s %-18s agreement=%-5b termination=%-5b  %s@." name
+        (Classify.to_string (Classify.of_report r))
+        v.Check.agreement v.Check.termination expect
+    in
+    show "2pc" (Witness.two_pc_blocks ~n:5)
+      ~expect:"expect: blocks (termination=false)";
+    show "1nbac" (Witness.one_nbac_disagreement ~n:5)
+      ~expect:"expect: agreement=false (the (AVT,VT) gap)";
+    show "(n-1+f)nbac" (Witness.chain_nbac_disagreement ~n:5)
+      ~expect:"expect: agreement=false (noop-based implicit yes)";
+    show "(2n-2)nbac" (Witness.star_nbac_partial_broadcast ~n:5 ~keep:2)
+      ~expect:"expect: agreement=true (relay saves the crash case)";
+    show "(2n-2)nbac" (Witness.star_nbac_disagreement ~n:5)
+      ~expect:"expect: agreement=false (network failure)";
+    show "inbac" (Witness.inbac_slow_backup ~n:5 ~f:2)
+      ~expect:"expect: agreement=true, termination=true (indulgent)";
+    show "inbac" (Witness.eventual_synchrony ~n:5 ~f:2 ~seed:1)
+      ~expect:"expect: agreement=true, termination=true (indulgent)"
+  in
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:
+         "Run the lower-bound witness executions (the E_0/E_async \
+          constructions of Lemmas 1, 3, 5) and show where each protocol's \
+          guarantees stop.")
+    Term.(const action $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+
+let list_cmd =
+  let action () =
+    let table =
+      Ascii.create
+        ~header:[ "protocol"; "cell (CF,NF)"; "nice msgs"; "nice delays"; "note" ]
+    in
+    List.iter
+      (fun (e : Complexity.entry) ->
+        Ascii.add_row table
+          [
+            e.Complexity.protocol;
+            Format.asprintf "%a" Props.pp_cell e.Complexity.cell;
+            string_of_int (e.Complexity.messages ~n:5 ~f:2) ^ " (n=5,f=2)";
+            string_of_int (e.Complexity.delays ~n:5 ~f:2);
+            e.Complexity.note;
+          ])
+      Complexity.entries;
+    Ascii.print table
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every protocol with its complexity and cell.")
+    Term.(const action $ const ())
+
+let main_cmd =
+  let doc =
+    "Reproduction harness for 'How Fast can a Distributed Transaction \
+     Commit?' (Guerraoui & Wang, PODS 2017)."
+  in
+  Cmd.group (Cmd.info "actable" ~version:"1.0.0" ~doc)
+    [
+      run_cmd; table1_cmd; table2_cmd; table3_cmd; table4_cmd; robustness_cmd;
+      fig1_cmd; witness_cmd; ablation_cmd; sweep_cmd; weak_cmd; stress_cmd;
+      db_cmd; lemmas_cmd; list_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

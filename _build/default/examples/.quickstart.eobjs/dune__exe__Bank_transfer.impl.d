@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Array Check Format List Pid Printf Registry Report Scenario Sim_time Vote

@@ -1,0 +1,1 @@
+examples/datacenter_conflict.ml: Array Check Format List Pid Printf Registry Report Scenario Sim_time String Vote

@@ -1,0 +1,1 @@
+examples/distributed_kv.ml: Format List Pid Scenario Sim_time Txn Txn_system

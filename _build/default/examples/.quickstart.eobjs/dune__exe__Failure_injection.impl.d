@@ -1,0 +1,1 @@
+examples/failure_injection.ml: Ascii Check Format List Pid Printf Registry Scenario Sim_time String Witness

@@ -1,0 +1,1 @@
+examples/protocol_anatomy.ml: Check Format Lemma_report Pid Registry Report Scenario Sim_time Trace_export

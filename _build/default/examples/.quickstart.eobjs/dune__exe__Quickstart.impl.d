@@ -1,0 +1,1 @@
+examples/quickstart.ml: Check Format List Metrics Pid Registry Report Scenario Sim_time Vote

@@ -1,0 +1,88 @@
+(* Failure injection: sweep crash instants and network conditions across
+   protocols and tabulate what survives.
+
+   This is the library's fault-injection API in one page: build scenarios
+   with [Scenario.with_crashes] / adversarial [Network]s, run any
+   registered protocol, and let [Check] grade the outcome against NBAC.
+
+     dune exec examples/failure_injection.exe *)
+
+let u = Sim_time.default_u
+
+let protocols = [ "2pc"; "3pc"; "paxos-commit"; "inbac"; "(n-1+f)nbac" ]
+
+let grade report =
+  let v = Check.run report in
+  if Check.solves_nbac v then "NBAC"
+  else
+    String.concat ""
+      [
+        (if v.Check.agreement then "A" else "-");
+        (if Check.validity v then "V" else "-");
+        (if v.Check.termination then "T" else "-");
+      ]
+
+let () =
+  let n = 5 and f = 2 in
+  let nice = Scenario.nice ~n ~f () in
+
+  Format.printf
+    "Outcome per protocol when P1 crashes at a given instant (n=%d, f=%d).@."
+    n f;
+  Format.printf
+    "NBAC = all three properties held; letters = which ones survived.@.@.";
+  let table =
+    Ascii.create
+      ~header:
+        ("crash of P1 at" :: protocols)
+  in
+  List.iter
+    (fun delays ->
+      let scenario =
+        Scenario.with_crashes nice
+          [ (Pid.of_rank 1, Scenario.Before (delays * u)) ]
+      in
+      Ascii.add_row table
+        (Printf.sprintf "%d delays" delays
+        :: List.map
+             (fun p -> grade ((Registry.find_exn p).Registry.run scenario))
+             protocols))
+    [ 0; 1; 2; 3; 4 ];
+  Ascii.print table;
+
+  Format.printf
+    "@.Same sweep, but P1 dies mid-broadcast (one message escapes):@.@.";
+  let table =
+    Ascii.create ~header:("partial crash at" :: protocols)
+  in
+  List.iter
+    (fun delays ->
+      let scenario =
+        Scenario.with_crashes nice
+          [ (Pid.of_rank 1, Scenario.During_sends (delays * u, 1)) ]
+      in
+      Ascii.add_row table
+        (Printf.sprintf "%d delays" delays
+        :: List.map
+             (fun p -> grade ((Registry.find_exn p).Registry.run scenario))
+             protocols))
+    [ 0; 1; 2; 3; 4 ];
+  Ascii.print table;
+
+  Format.printf
+    "@.Eventually-synchronous network (GST = 10U), three seeds, no crash:@.@.";
+  let table = Ascii.create ~header:("seed" :: protocols) in
+  List.iter
+    (fun seed ->
+      let scenario = Witness.eventual_synchrony ~n ~f ~seed in
+      Ascii.add_row table
+        (string_of_int seed
+        :: List.map
+             (fun p -> grade ((Registry.find_exn p).Registry.run scenario))
+             protocols))
+    [ 1; 2; 3 ];
+  Ascii.print table;
+  Format.printf
+    "@.(2PC keeps agreement but blocks; the chain protocol noops into \
+     disagreement risk only under targeted schedules — see `actable \
+     witness`; INBAC keeps full NBAC.)@."

@@ -1,0 +1,1 @@
+lib/consensus/consensus_floodset.ml: Format List Pid Printf Proto String Vote

@@ -1,0 +1,1 @@
+lib/consensus/consensus_floodset.mli: Format Pid Proto Vote

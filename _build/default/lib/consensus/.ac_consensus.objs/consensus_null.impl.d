@@ -1,0 +1,1 @@
+lib/consensus/consensus_null.ml:

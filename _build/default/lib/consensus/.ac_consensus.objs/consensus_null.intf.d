@@ -1,0 +1,1 @@
+lib/consensus/consensus_null.mli: Format Pid Proto Vote

@@ -1,0 +1,1 @@
+lib/consensus/consensus_paxos.ml: Format List Pid Printf Proto String Vote

@@ -1,0 +1,1 @@
+lib/consensus/consensus_paxos.mli: Format Pid Proto Sim_time Vote

@@ -1,0 +1,1 @@
+lib/consensus/consensus_trivial.ml: Proto Vote

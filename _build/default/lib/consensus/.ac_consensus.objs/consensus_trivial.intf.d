@@ -1,0 +1,1 @@
+lib/consensus/consensus_trivial.mli: Format Pid Proto Vote

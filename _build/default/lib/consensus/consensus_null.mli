@@ -1,0 +1,16 @@
+(** The absent consensus service: protocols with [uses_consensus = false]
+    are composed with this module, and proposing to it is a protocol bug
+    that fails loudly. *)
+
+type state = unit
+type msg = |
+
+val name : string
+val pp_msg : Format.formatter -> msg -> unit
+val init : Proto.env -> state
+val on_propose : Proto.env -> state -> Vote.t -> state * msg Proto.action list
+
+val on_deliver :
+  Proto.env -> state -> src:Pid.t -> msg -> state * msg Proto.action list
+
+val on_timeout : Proto.env -> state -> id:string -> state * msg Proto.action list

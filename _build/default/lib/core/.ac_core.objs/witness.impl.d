@@ -1,0 +1,1 @@
+lib/core/witness.ml: List Network Pid Rng Scenario Sim_time Trace

@@ -1,0 +1,227 @@
+type entry = {
+  protocol : string;
+  cell : Props.cell;
+  messages : n:int -> f:int -> int;
+  delays : n:int -> f:int -> int;
+  optimal_messages : bool;
+  optimal_delays : bool;
+  weak_semantics : string option;
+  note : string;
+}
+
+let entries =
+  [
+    {
+      protocol = "inbac";
+      cell = Props.cell ~cf:Props.avt ~nf:Props.avt;
+      messages = (fun ~n ~f -> 2 * f * n);
+      delays = (fun ~n:_ ~f:_ -> 2);
+      optimal_messages = false (* optimal among 2-delay protocols *);
+      optimal_delays = true;
+      weak_semantics = None;
+      note = "message-optimal given the optimal two delays (Theorem 6)";
+    };
+    {
+      protocol = "inbac-fast-abort";
+      cell = Props.cell ~cf:Props.avt ~nf:Props.avt;
+      messages = (fun ~n ~f -> 2 * f * n);
+      delays = (fun ~n:_ ~f:_ -> 2);
+      optimal_messages = false;
+      optimal_delays = true;
+      weak_semantics = None;
+      note = "as INBAC; failure-free aborts finish within one delay";
+    };
+    {
+      protocol = "inbac-undershoot";
+      cell = Props.cell ~cf:Props.avt ~nf:Props.vt;
+      messages = (fun ~n ~f -> 2 * f * n);
+      delays = (fun ~n:_ ~f:_ -> 2);
+      optimal_messages = false;
+      optimal_delays = true;
+      weak_semantics = None;
+      note = "INBAC minus one acknowledgement: loses exactly agreement \
+              under network failures, mechanizing Lemma 5's tightness";
+    };
+    {
+      protocol = "1nbac";
+      cell = Props.cell ~cf:Props.avt ~nf:Props.vt;
+      messages = (fun ~n ~f:_ -> 2 * n * (n - 1));
+      delays = (fun ~n:_ ~f:_ -> 1);
+      optimal_messages = false;
+      optimal_delays = true;
+      weak_semantics = None;
+      note = "one delay is optimal for synchronous NBAC (Theorem 1)";
+    };
+    {
+      protocol = "avnbac-delay";
+      cell = Props.cell ~cf:Props.av ~nf:Props.av;
+      messages = (fun ~n ~f:_ -> n * (n - 1));
+      delays = (fun ~n:_ ~f:_ -> 1);
+      optimal_messages = false (* optimal among 1-delay protocols *);
+      optimal_delays = true;
+      weak_semantics = None;
+      note = "n(n-1) messages are necessary for any 1-delay protocol";
+    };
+    {
+      protocol = "0nbac";
+      cell = Props.cell ~cf:Props.at ~nf:Props.at;
+      messages = (fun ~n:_ ~f:_ -> 0);
+      delays = (fun ~n:_ ~f:_ -> 1);
+      optimal_messages = true;
+      optimal_delays = true;
+      weak_semantics = None;
+      note = "both optima at once: no tradeoff for the 9 validity-free cells";
+    };
+    {
+      protocol = "avnbac-msg";
+      cell = Props.cell ~cf:Props.av ~nf:Props.av;
+      messages = (fun ~n ~f:_ -> (2 * n) - 2);
+      delays = (fun ~n:_ ~f:_ -> 2);
+      optimal_messages = true;
+      optimal_delays = false;
+      weak_semantics = None;
+      note = "2n-2 messages are optimal when validity survives network \
+              failures (Theorem 2)";
+    };
+    {
+      protocol = "anbac";
+      cell = Props.cell ~cf:Props.av ~nf:Props.a;
+      messages = (fun ~n ~f -> n - 1 + f);
+      delays = (fun ~n ~f -> n + (2 * f));
+      optimal_messages = true;
+      optimal_delays = false;
+      weak_semantics = None;
+      note = "message-optimal for (AV, A)";
+    };
+    {
+      protocol = "(n-1+f)nbac";
+      cell = Props.cell ~cf:Props.avt ~nf:Props.t_;
+      messages = (fun ~n ~f -> n - 1 + f);
+      delays = (fun ~n ~f -> n + (2 * f));
+      optimal_messages = true;
+      optimal_delays = false;
+      weak_semantics = None;
+      note = "message-optimal synchronous NBAC, generalizing Dwork-Skeen's \
+              2n-2 (f = n-1) to any f";
+    };
+    {
+      protocol = "(2n-2)nbac";
+      cell = Props.cell ~cf:Props.avt ~nf:Props.vt;
+      messages = (fun ~n ~f:_ -> (2 * n) - 2);
+      delays = (fun ~n:_ ~f -> 2 + f);
+      optimal_messages = true;
+      optimal_delays = false;
+      weak_semantics = None;
+      note = "message-optimal for (AVT, VT)";
+    };
+    {
+      protocol = "(2n-2+f)nbac";
+      cell = Props.cell ~cf:Props.avt ~nf:Props.avt;
+      messages = (fun ~n ~f -> (2 * n) - 2 + f);
+      delays = (fun ~n ~f -> if f >= 2 then (2 * n) + f - 2 else (2 * n) - 1);
+      optimal_messages = true;
+      optimal_delays = false;
+      weak_semantics = None;
+      note = "message-optimal indulgent atomic commit; the other side of \
+              the Theorem 5 tradeoff against INBAC";
+    };
+    {
+      protocol = "2pc";
+      cell = Props.cell ~cf:Props.av ~nf:Props.a;
+      messages = (fun ~n ~f:_ -> (2 * n) - 2);
+      delays = (fun ~n:_ ~f:_ -> 2);
+      optimal_messages = false;
+      optimal_delays = false;
+      weak_semantics = None;
+      note = "spontaneous-start normalization of Section 6; blocks on \
+              coordinator crash";
+    };
+    {
+      protocol = "2pc-classic";
+      cell = Props.cell ~cf:Props.av ~nf:Props.a;
+      messages = (fun ~n ~f:_ -> (3 * n) - 3);
+      delays = (fun ~n:_ ~f:_ -> 3);
+      optimal_messages = false;
+      optimal_delays = false;
+      weak_semantics = None;
+      note = "coordinator-initiated 2PC: quantifies the Section-6 \
+              normalization (one delay and n-1 messages more than the \
+              spontaneous variant)";
+    };
+    {
+      protocol = "3pc";
+      cell = Props.cell ~cf:Props.avt ~nf:Props.v;
+      messages = (fun ~n ~f:_ -> (4 * n) - 4);
+      delays = (fun ~n:_ ~f:_ -> 4);
+      optimal_messages = false;
+      optimal_delays = false;
+      weak_semantics = None;
+      note = "2n-2 messages and delays over 2PC; agreement breakable under \
+              network failures";
+    };
+    {
+      protocol = "paxos-commit";
+      cell = Props.cell ~cf:Props.avt ~nf:Props.v;
+      messages = (fun ~n ~f -> ((n - 1) * (f + 2)) + f);
+      delays = (fun ~n:_ ~f:_ -> 3);
+      optimal_messages = false;
+      optimal_delays = false;
+      weak_semantics = None;
+      note = "fewer messages than INBAC for f >= 2, one more delay; the \
+              original is fully indulgent — our port simplifies recovery \
+              (see EXPERIMENTS.md)";
+    };
+    {
+      protocol = "faster-paxos-commit";
+      cell = Props.cell ~cf:Props.avt ~nf:Props.v;
+      messages = (fun ~n ~f -> 2 * (n - 1) * (f + 1));
+      delays = (fun ~n:_ ~f:_ -> 2);
+      optimal_messages = false;
+      optimal_delays = true;
+      weak_semantics = None;
+      note = "two delays like INBAC but never fewer messages than 2fn \
+              (Theorem 5 tightness in practice)";
+    };
+    {
+      protocol = "calvin-commit";
+      cell = Props.cell ~cf:Props.t_ ~nf:Props.t_;
+      messages = (fun ~n:_ ~f:_ -> 0);
+      delays = (fun ~n:_ ~f:_ -> 1);
+      optimal_messages = true;
+      optimal_delays = true;
+      weak_semantics = None;
+      note = "Section 6.3's Calvin: deterministic locking, no explicit \
+              commit protocol; NBAC only in failure-free executions \
+              (cell (T, T))";
+    };
+    {
+      protocol = "majority-commit";
+      cell = Props.cell ~cf:Props.t_ ~nf:Props.t_;
+      messages = (fun ~n ~f:_ -> n * (n - 1));
+      delays = (fun ~n:_ ~f:_ -> 1);
+      optimal_messages = false;
+      optimal_delays = false;
+      weak_semantics =
+        Some
+          "commits on a majority of yes votes: violates NBAC's \
+           commit-validity even failure-free (Section 6.3's Replicated \
+           Commit assumption); its own contract is majority-validity";
+      note = "deliberately solves a weaker problem than atomic commit";
+    };
+  ]
+
+let find protocol =
+  List.find_opt (fun e -> String.equal e.protocol protocol) entries
+
+let find_exn protocol =
+  match find protocol with Some e -> e | None -> raise Not_found
+
+let is_weak protocol =
+  match find protocol with
+  | Some e -> e.weak_semantics <> None
+  | None -> false
+
+let strict_names =
+  List.filter_map
+    (fun e -> if e.weak_semantics = None then Some e.protocol else None)
+    entries

@@ -1,0 +1,29 @@
+(** Closed-form nice-execution complexity of every implemented protocol,
+    together with the Table-1 cell each protocol realizes. These are the
+    paper's analytical claims; the benches check the simulator's measured
+    counts against them for sweeps of [n] and [f]. *)
+
+type entry = {
+  protocol : string;  (** registry name *)
+  cell : Props.cell;  (** robustness the protocol guarantees *)
+  messages : n:int -> f:int -> int;
+  delays : n:int -> f:int -> int;
+  optimal_messages : bool;  (** matches Table 1's message lower bound *)
+  optimal_delays : bool;  (** matches Table 1's delay lower bound *)
+  weak_semantics : string option;
+      (** [Some why] when the protocol deliberately solves a weaker
+          problem than NBAC (the Section 6.3 baselines) and is therefore
+          exempt from the failure-free-solves-NBAC contract *)
+  note : string;
+}
+
+val entries : entry list
+val find : string -> entry option
+val find_exn : string -> entry
+
+val is_weak : string -> bool
+(** Whether the protocol has documented weak semantics. *)
+
+val strict_names : string list
+(** Every registered protocol that does claim full NBAC in failure-free
+    executions (the complement of the weak set). *)

@@ -1,0 +1,51 @@
+type consensus_impl = Paxos | Floodset | Trivial
+
+type t = {
+  name : string;
+  uses_consensus : bool;
+  run : ?consensus:consensus_impl -> Scenario.t -> Report.t;
+}
+
+let make (module P : Proto.PROTOCOL) =
+  let module With_paxos = Engine.Make (P) (Consensus_paxos) in
+  let module With_floodset = Engine.Make (P) (Consensus_floodset) in
+  let module With_trivial = Engine.Make (P) (Consensus_trivial) in
+  let module Without = Engine.Make (P) (Consensus_null) in
+  let run ?(consensus = Paxos) scenario =
+    if not P.uses_consensus then Without.run scenario
+    else
+      match consensus with
+      | Paxos -> With_paxos.run scenario
+      | Floodset -> With_floodset.run scenario
+      | Trivial -> With_trivial.run scenario
+  in
+  { name = P.name; uses_consensus = P.uses_consensus; run }
+
+let all =
+  [
+    make (module Inbac);
+    make (module Inbac_fast_abort);
+    make (module Inbac_undershoot);
+    make (module One_nbac);
+    make (module Av_nbac_delay);
+    make (module Zero_nbac);
+    make (module Av_nbac_msg);
+    make (module A_nbac);
+    make (module Chain_nbac);
+    make (module Star_nbac);
+    make (module Cycle_nbac);
+    make (module Two_pc);
+    make (module Two_pc_classic);
+    make (module Three_pc);
+    make (module Paxos_commit);
+    make (module Faster_paxos_commit);
+    make (module Calvin_commit);
+    make (module Majority_commit);
+  ]
+
+let find name = List.find_opt (fun t -> String.equal t.name name) all
+
+let find_exn name =
+  match find name with Some t -> t | None -> raise Not_found
+
+let names = List.map (fun t -> t.name) all

@@ -1,0 +1,32 @@
+(** The protocol registry: every implemented commit protocol behind one
+    uniform "run a scenario" interface, with the consensus substrate
+    chosen at run time. *)
+
+type consensus_impl =
+  | Paxos  (** indulgent; terminates with a correct majority (default) *)
+  | Floodset  (** synchronous; tolerates any [f] crashes, aligned starts *)
+  | Trivial  (** decide own proposal instantly; test plumbing only *)
+
+type t = {
+  name : string;
+  uses_consensus : bool;
+  run : ?consensus:consensus_impl -> Scenario.t -> Report.t;
+}
+
+val make : (module Proto.PROTOCOL) -> t
+(** Wrap a protocol module; protocols that never use consensus are
+    composed with the null consensus regardless of [?consensus]. *)
+
+val all : t list
+(** Every protocol of the paper plus the baselines, in presentation
+    order: INBAC (and fast-abort variant), 1NBAC, avNBAC (delay), 0NBAC,
+    avNBAC (msg), aNBAC, (n-1+f)NBAC, (2n-2)NBAC, (2n-2+f)NBAC, 2PC
+    (spontaneous and classic), 3PC, Paxos Commit, Faster Paxos Commit,
+    and the Section 6.3 weak-semantics baselines (Calvin-style commit,
+    majority commit). *)
+
+val find : string -> t option
+val find_exn : string -> t
+(** @raise Not_found on unknown protocol names. *)
+
+val names : string list

@@ -1,0 +1,119 @@
+let u = Sim_time.default_u
+let far = 1000 * u (* "later than max(t1, t3)": effectively never in time *)
+
+let two_pc_blocks ~n =
+  (* votes arrive at U; the crash event at U precedes their delivery, so
+     P1 dies holding no announcement and every participant blocks *)
+  Scenario.make ~n ~f:1 ~crashes:[ (Pid.of_rank 1, Scenario.Before u) ] ()
+
+let one_nbac_disagreement ~n =
+  if n < 3 then invalid_arg "one_nbac_disagreement: n must be >= 3";
+  let p1 = Pid.of_rank 1 in
+  let network =
+    Network.adversary ~name:"cut-P1-after-decision" (fun info ->
+        match info.Network.layer with
+        | Trace.Commit_layer ->
+            if Pid.equal info.Network.src p1 && not (Pid.equal info.Network.dst p1)
+            then far
+            else u
+        | Trace.Consensus_layer -> u)
+  in
+  Scenario.make ~n ~f:1 ~network ()
+
+let chain_nbac_disagreement ~n =
+  if n < 4 then invalid_arg "chain_nbac_disagreement: n must be >= 4";
+  let p2 = Pid.of_rank 2 in
+  let pn = Pid.of_rank n in
+  let p_pred = Pid.of_rank (n - 1) in
+  let network =
+    Network.adversary ~name:"stall-chain-isolate-P2" (fun info ->
+        (* the chain message P_{n-1} -> P_n is late, so P_n broadcasts 0;
+           every 0 (anything sent after the chain prefix completed)
+           addressed to P2 is late, so P2 noop-decides 1 *)
+        if Pid.equal info.Network.src p_pred && Pid.equal info.Network.dst pn
+        then far
+        else if
+          Pid.equal info.Network.dst p2 && info.Network.sent_at >= (n - 2) * u
+        then far
+        else u)
+  in
+  Scenario.make ~n ~f:1 ~network ()
+
+let star_nbac_partial_broadcast ~n ~keep =
+  (* P_n broadcasts [B,1] at absolute U (pseudo-code time 2) and crashes
+     after [keep] copies *)
+  Scenario.make ~n ~f:1
+    ~crashes:[ (Pid.of_rank n, Scenario.During_sends (u, keep)) ]
+    ()
+
+let star_nbac_disagreement ~n =
+  if n < 3 then invalid_arg "star_nbac_disagreement: n must be >= 3";
+  let p1 = Pid.of_rank 1 in
+  let pn = Pid.of_rank n in
+  let network =
+    Network.adversary ~name:"isolate-P1-from-B" (fun info ->
+        (* P1's vote at time 0 is on time; Pn's [B,1] to P1 and P1's
+           defensive [B,0] relay (sent at 2U) are late *)
+        if Pid.equal info.Network.src pn && Pid.equal info.Network.dst p1 then
+          far
+        else if Pid.equal info.Network.src p1 && info.Network.sent_at >= u
+        then far
+        else u)
+  in
+  Scenario.make ~n ~f:1 ~network ()
+
+let inbac_undershoot_disagreement () =
+  let n = 5 and f = 2 in
+  let p1 = Pid.of_rank 1 and p2 = Pid.of_rank 2 and p5 = Pid.of_rank 5 in
+  let network =
+    Network.adversary ~name:"lemma5-tightness" (fun info ->
+        let src = info.Network.src and dst = info.Network.dst in
+        match info.Network.layer with
+        | Trace.Commit_layer ->
+            (* P1 reaches only P5 in time; P2 hears nothing in time, so
+               its consolidated ack stays incomplete and it proposes 0 *)
+            if Pid.equal src p1 && not (Pid.equal dst p5) then far
+            else if Pid.equal dst p2 then far
+            else u
+        | Trace.Consensus_layer ->
+            (* P1's (commit-leaning) ballots are late: the isolated
+               majority P2..P4 settles consensus on 0 first *)
+            if Pid.equal src p1 || Pid.equal dst p1 then far else u)
+  in
+  Scenario.make ~n ~f ~network ()
+
+let inbac_slow_backup ~n ~f =
+  let p1 = Pid.of_rank 1 in
+  let network =
+    Network.adversary ~name:"slow-P1-acks" (fun info ->
+        match info.Network.layer with
+        | Trace.Commit_layer ->
+            (* P1's consolidated [C] acknowledgements (sent at U) are late *)
+            if Pid.equal info.Network.src p1 && info.Network.sent_at >= u then
+              20 * u
+            else u
+        | Trace.Consensus_layer -> u)
+  in
+  Scenario.make ~n ~f ~network ()
+
+let crash_storm ~n ~f ~seed =
+  let rng = Rng.create seed in
+  let victims = ref [] in
+  while List.length !victims < f do
+    let p = Pid.of_index (Rng.int rng ~bound:n) in
+    if not (List.exists (Pid.equal p) !victims) then victims := p :: !victims
+  done;
+  let crashes =
+    List.map
+      (fun p ->
+        let at = Rng.int rng ~bound:(6 * u) in
+        if Rng.bool rng then (p, Scenario.Before at)
+        else (p, Scenario.During_sends (at, Rng.int rng ~bound:n)))
+      !victims
+  in
+  Scenario.make ~n ~f ~crashes ~seed ~network:(Network.jittered ~u) ()
+
+let eventual_synchrony ~n ~f ~seed =
+  Scenario.make ~n ~f ~seed
+    ~network:(Network.eventually_synchronous ~u ~gst:(10 * u) ~max_early_delay:(4 * u))
+    ()

@@ -1,0 +1,55 @@
+(** Witness executions: concrete adversarial scenarios in the style of the
+    paper's lower-bound constructions ([E_0] / [E_async] in Lemmas 1, 3
+    and 5), demonstrating where each protocol's guarantees stop.
+
+    Each function builds a scenario; the caller runs it against the
+    matching protocol and checks the expected (non-)property. They are
+    exercised by the test suite and by [actable witness]. *)
+
+val two_pc_blocks : n:int -> Scenario.t
+(** Coordinator crashes after collecting votes, before announcing: the
+    classic 2PC blocking window. Expect: termination violated, agreement
+    and validity intact (crash-failure execution). *)
+
+val one_nbac_disagreement : n:int -> Scenario.t
+(** Network-failure execution where [P1] fast-decides 1 at one delay while
+    the others, cut off from [P1], abort through consensus: the (AVT, VT)
+    cell's agreement gap. Requires [n >= 3] (consensus needs a correct
+    majority among the others). *)
+
+val chain_nbac_disagreement : n:int -> Scenario.t
+(** Network-failure execution of (n-1+f)NBAC with [f = 1]: the chain stalls
+    at [Pn], whose 0-broadcast reaches everyone but [P2] in time; [P2]
+    noop-decides 1. Requires [n >= 4]. *)
+
+val star_nbac_partial_broadcast : n:int -> keep:int -> Scenario.t
+(** Crash-failure execution of (2n-2)NBAC: [Pn] crashes while broadcasting
+    [B,1], transmitting only [keep] copies. The relay mechanism must
+    preserve agreement (a positive witness). *)
+
+val star_nbac_disagreement : n:int -> Scenario.t
+(** Network-failure execution of (2n-2)NBAC: [Pn]'s [B,1] to [P1] is late,
+    and [P1]'s defensive [B,0] relay is late everywhere, so [P1] aborts
+    while the rest commit. *)
+
+val inbac_undershoot_disagreement : unit -> Scenario.t
+(** The Lemma 5 tightness construction (n = 5, f = 2): [P5]'s first
+    backup acknowledges on time while everything else around [P1] and
+    [P2] is late. A variant that decides on [f-1] acknowledgements
+    ([inbac-undershoot]) fast-commits at [P5] while the isolated majority
+    aborts through consensus; real INBAC, requiring the [f]-th
+    acknowledgement, stays undecided and follows consensus — agreement
+    intact. Run both protocols on this scenario to see the bound bite. *)
+
+val inbac_slow_backup : n:int -> f:int -> Scenario.t
+(** Network-failure execution for INBAC: all of [P1]'s acknowledgement
+    messages are late, forcing the helping/consensus path. INBAC must
+    still solve NBAC (requires a correct majority, i.e. [f < n/2]). *)
+
+val crash_storm : n:int -> f:int -> seed:int -> Scenario.t
+(** [f] random processes crash at random instants (random synchronous
+    delays too): generic crash-failure stress. *)
+
+val eventual_synchrony : n:int -> f:int -> seed:int -> Scenario.t
+(** Seeded eventually-synchronous network (GST at 10·U, early delays up to
+    4·U) with no crash: generic network-failure stress. *)

@@ -1,0 +1,1 @@
+lib/kernel/pid.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/kernel/sim_time.mli: Format

@@ -1,0 +1,1 @@
+lib/kernel/trace.ml: Format List Pid Sim_time String Vote

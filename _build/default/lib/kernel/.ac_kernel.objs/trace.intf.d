@@ -1,0 +1,1 @@
+lib/kernel/trace.mli: Format Pid Sim_time Vote

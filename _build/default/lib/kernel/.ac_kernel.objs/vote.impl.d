@@ -1,0 +1,1 @@
+lib/kernel/vote.ml: Format List Printf

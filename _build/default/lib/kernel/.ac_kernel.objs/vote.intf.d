@@ -1,0 +1,1 @@
+lib/kernel/vote.mli: Format

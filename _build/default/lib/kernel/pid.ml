@@ -1,0 +1,25 @@
+type t = int
+
+let of_index i =
+  if i < 0 then invalid_arg "Pid.of_index: negative index";
+  i
+
+let of_rank i =
+  if i < 1 then invalid_arg "Pid.of_rank: rank must be >= 1";
+  i - 1
+
+let index p = p
+let rank p = p + 1
+let equal = Int.equal
+let compare = Int.compare
+let hash p = p
+let pp ppf p = Format.fprintf ppf "P%d" (rank p)
+let to_string p = Format.asprintf "%a" pp p
+
+let all ~n =
+  if n < 1 then invalid_arg "Pid.all: n must be >= 1";
+  List.init n of_index
+
+let others ~n p = List.filter (fun q -> not (equal p q)) (all ~n)
+let successor ~n p = (p + 1) mod n
+let predecessor ~n p = (p + n - 1) mod n

@@ -1,0 +1,48 @@
+(** Process identifiers.
+
+    The paper considers a set [Omega] of [n] processes named [P1 ... Pn].
+    Internally a pid is a 0-based index; [rank] exposes the paper's 1-based
+    naming so that protocol code can be written to match the pseudo-code
+    (e.g. "if 1 <= i <= f then ..."). *)
+
+type t
+(** An opaque process identifier, valid for a given system size [n]. *)
+
+val of_index : int -> t
+(** [of_index i] is the process with 0-based index [i].
+    @raise Invalid_argument if [i < 0]. *)
+
+val of_rank : int -> t
+(** [of_rank i] is the paper's process [P_i] (1-based).
+    @raise Invalid_argument if [i < 1]. *)
+
+val index : t -> int
+(** 0-based index. *)
+
+val rank : t -> int
+(** 1-based rank: [rank (of_rank i) = i]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["P3"]. *)
+
+val to_string : t -> string
+
+val all : n:int -> t list
+(** [all ~n] is [[P1; ...; Pn]] in rank order.
+    @raise Invalid_argument if [n < 1]. *)
+
+val others : n:int -> t -> t list
+(** [others ~n p] is every process of the [n]-process system except [p],
+    in rank order. *)
+
+val successor : n:int -> t -> t
+(** Ring successor: [successor ~n Pn = P1]. Used by the chain/cycle
+    protocols whose pseudo-code writes [P_{(i+1) % n}] with the paper's
+    "% maps 0 to n" convention. *)
+
+val predecessor : n:int -> t -> t
+(** Ring predecessor: [predecessor ~n P1 = Pn]. *)

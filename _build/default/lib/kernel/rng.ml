@@ -1,0 +1,48 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = mix64 (next64 t) }
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (next64 t) mask) in
+  v mod bound
+
+let int_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t ~bound:(hi - lo + 1)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t =
+  let v = Int64.shift_right_logical (next64 t) 11 in
+  Int64.to_float v /. 9007199254740992.0 (* 2^53 *)
+
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t ~bound:(List.length xs))

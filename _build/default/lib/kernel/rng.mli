@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of randomness in the simulator goes through an explicit
+    [Rng.t] so that an execution is a pure function of its seed: same seed,
+    same trace, byte for byte. The global [Random] module is never used. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Two generators created with the
+    same seed produce the same stream. *)
+
+val copy : t -> t
+(** Independent copy with the same current state. *)
+
+val split : t -> t
+(** A new generator whose stream is statistically independent from the
+    parent's subsequent stream. Advances the parent. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [\[lo, hi\]].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list.
+    @raise Invalid_argument on the empty list. *)

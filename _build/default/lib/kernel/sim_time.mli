@@ -1,0 +1,33 @@
+(** Simulated time.
+
+    Time is a non-negative integer number of abstract ticks. The
+    synchronous message-delay bound [U] of the paper is a run parameter
+    (see {!val:default_u}); in a nice execution every message takes exactly
+    [U] ticks, local computation is instantaneous, and therefore the
+    paper's "number of message delays" of an execution equals
+    [makespan / U] (Section 2.4 of the paper). *)
+
+type t = int
+
+val zero : t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val max : t -> t -> t
+val min : t -> t -> t
+
+val default_u : t
+(** Default synchronous delay bound [U] (1000 ticks). Kept coarse so that
+    adversarial schedules can express delays strictly between 0 and [U],
+    or slightly above [U], with integer arithmetic. *)
+
+val of_delays : u:t -> int -> t
+(** [of_delays ~u k] is the instant [k * u]: the end of the [k]-th message
+    delay. Mirrors the pseudo-code's "set timer to time k". *)
+
+val delays : u:t -> t -> float
+(** [delays ~u t] is [t / u] as a float: how many message delays have
+    elapsed at instant [t]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+type t = Yes | No
+
+let yes = Yes
+let no = No
+let of_bool b = if b then Yes else No
+
+let to_bool = function
+  | Yes -> true
+  | No -> false
+
+let of_int = function
+  | 1 -> Yes
+  | 0 -> No
+  | n -> invalid_arg (Printf.sprintf "Vote.of_int: %d is not a vote" n)
+
+let to_int = function
+  | Yes -> 1
+  | No -> 0
+
+let logand a b =
+  match (a, b) with
+  | Yes, Yes -> Yes
+  | Yes, No | No, Yes | No, No -> No
+
+let all_yes votes = List.for_all (fun v -> v = Yes) votes
+let equal (a : t) b = a = b
+
+let pp ppf = function
+  | Yes -> Format.pp_print_string ppf "yes"
+  | No -> Format.pp_print_string ppf "no"
+
+type decision = Commit | Abort
+
+let commit = Commit
+let abort = Abort
+
+let decision_of_vote = function
+  | Yes -> Commit
+  | No -> Abort
+
+let vote_of_decision = function
+  | Commit -> Yes
+  | Abort -> No
+
+let decision_of_int i = decision_of_vote (of_int i)
+let decision_to_int d = to_int (vote_of_decision d)
+let decision_equal (a : decision) b = a = b
+
+let pp_decision ppf = function
+  | Commit -> Format.pp_print_string ppf "commit"
+  | Abort -> Format.pp_print_string ppf "abort"

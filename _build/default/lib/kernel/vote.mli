@@ -1,0 +1,43 @@
+(** Votes and decisions of the atomic commit problem.
+
+    A process votes [Yes] (the paper's 1: willing to commit) or [No] (0).
+    The outcome of the protocol is a {!decision}: [Commit] (1) or [Abort]
+    (0). The two types are kept distinct so that the type checker separates
+    inputs from outputs, but both convert to the paper's 0/1 encoding. *)
+
+type t = Yes | No
+
+val yes : t
+val no : t
+
+val of_bool : bool -> t
+(** [of_bool true = Yes]. *)
+
+val to_bool : t -> bool
+val of_int : int -> t
+(** [of_int 1 = Yes], [of_int 0 = No].
+    @raise Invalid_argument on any other value. *)
+
+val to_int : t -> int
+val logand : t -> t -> t
+(** The paper's logical AND of votes. *)
+
+val all_yes : t list -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+type decision = Commit | Abort
+
+val commit : decision
+val abort : decision
+
+val decision_of_vote : t -> decision
+(** [Yes -> Commit], [No -> Abort]: the paper's protocols decide the
+    logical AND of votes, represented as a vote, and we convert at the
+    decision boundary. *)
+
+val vote_of_decision : decision -> t
+val decision_of_int : int -> decision
+val decision_to_int : decision -> int
+val decision_equal : decision -> decision -> bool
+val pp_decision : Format.formatter -> decision -> unit

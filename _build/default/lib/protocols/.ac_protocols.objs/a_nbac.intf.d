@@ -1,0 +1,1 @@
+lib/protocols/a_nbac.mli: Proto

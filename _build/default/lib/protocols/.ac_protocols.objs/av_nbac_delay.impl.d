@@ -1,0 +1,1 @@
+lib/protocols/av_nbac_delay.ml: Format List Pid Proto Proto_util Vote

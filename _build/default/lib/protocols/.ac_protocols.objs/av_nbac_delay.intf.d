@@ -1,0 +1,1 @@
+lib/protocols/av_nbac_delay.mli: Proto

@@ -1,0 +1,1 @@
+lib/protocols/av_nbac_msg.ml: Format List Pid Proto Proto_util Vote

@@ -1,0 +1,1 @@
+lib/protocols/calvin_commit.ml: Format Proto_util Vote

@@ -1,0 +1,1 @@
+lib/protocols/calvin_commit.mli: Proto

@@ -1,0 +1,1 @@
+lib/protocols/chain_nbac.ml: Format Pid Proto Proto_util Vote

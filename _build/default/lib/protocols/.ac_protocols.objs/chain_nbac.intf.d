@@ -1,0 +1,1 @@
+lib/protocols/chain_nbac.mli: Proto

@@ -1,0 +1,1 @@
+lib/protocols/cycle_nbac.mli: Proto

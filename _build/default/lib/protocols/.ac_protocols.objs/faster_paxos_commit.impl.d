@@ -1,0 +1,1 @@
+lib/protocols/faster_paxos_commit.ml: Format List Pid Proto Proto_util Vote Vset

@@ -1,0 +1,1 @@
+lib/protocols/faster_paxos_commit.mli: Proto

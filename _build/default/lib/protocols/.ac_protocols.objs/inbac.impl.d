@@ -1,0 +1,1 @@
+lib/protocols/inbac.ml: Format List Pid Proto Proto_util Vote Vset

@@ -1,0 +1,1 @@
+lib/protocols/inbac.mli: Pid Proto

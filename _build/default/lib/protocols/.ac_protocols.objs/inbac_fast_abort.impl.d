@@ -1,0 +1,1 @@
+lib/protocols/inbac_fast_abort.ml: Inbac

@@ -1,0 +1,1 @@
+lib/protocols/inbac_undershoot.mli: Proto

@@ -1,0 +1,1 @@
+lib/protocols/majority_commit.ml: Format Proto Proto_util Vote

@@ -1,0 +1,1 @@
+lib/protocols/majority_commit.mli: Proto

@@ -1,0 +1,1 @@
+lib/protocols/one_nbac.mli: Proto

@@ -1,0 +1,1 @@
+lib/protocols/paxos_commit.ml: Format List Pid Proto Proto_util Vote Vset

@@ -1,0 +1,1 @@
+lib/protocols/paxos_commit.mli: Proto

@@ -1,0 +1,1 @@
+lib/protocols/proto_util.ml: List Pid Proto Vote

@@ -1,0 +1,1 @@
+lib/protocols/proto_util.mli: Pid Proto Vote

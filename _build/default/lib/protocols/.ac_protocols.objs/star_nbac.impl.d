@@ -1,0 +1,1 @@
+lib/protocols/star_nbac.ml: Format List Pid Proto Proto_util Vote

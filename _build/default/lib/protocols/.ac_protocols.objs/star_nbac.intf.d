@@ -1,0 +1,1 @@
+lib/protocols/star_nbac.mli: Proto

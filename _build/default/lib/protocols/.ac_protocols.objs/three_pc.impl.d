@@ -1,0 +1,1 @@
+lib/protocols/three_pc.ml: Format List Pid Printf Proto Proto_util String Vote

@@ -1,0 +1,1 @@
+lib/protocols/three_pc.mli: Proto

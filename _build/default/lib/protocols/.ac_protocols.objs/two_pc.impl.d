@@ -1,0 +1,1 @@
+lib/protocols/two_pc.ml: Format List Pid Proto Proto_util Vote

@@ -1,0 +1,1 @@
+lib/protocols/two_pc.mli: Proto

@@ -1,0 +1,1 @@
+lib/protocols/vset.ml: Format List Pid Printf String Vote

@@ -1,0 +1,1 @@
+lib/protocols/vset.mli: Format Pid Vote

@@ -1,0 +1,1 @@
+lib/protocols/zero_nbac.mli: Proto

@@ -1,0 +1,13 @@
+(** aNBAC — Appendix E.3, cell (AV, A) of Table 1: [n-1+f] messages in
+    every nice execution, with agreement preserved even under network
+    failures.
+
+    It is the (n-1+f)NBAC chain with a 0NBAC-style overlay: a 0-voter
+    broadcasts [V,0] and decides 0 only once {e everyone} acknowledged; a
+    1-voter that saw a [V,0] relays [B,0] and decides 0 only once everyone
+    acknowledged that. A process that cannot collect all acknowledgements
+    sets a [noop] flag and never decides (termination is not in the
+    contract once a failure occurs); a process decides 1 at the chain's
+    deadline only if it saw no zero and no [noop] cause. *)
+
+include Proto.PROTOCOL

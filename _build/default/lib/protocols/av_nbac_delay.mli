@@ -1,0 +1,10 @@
+(** avNBAC (delay-optimal flavour) — Section 4.1, cell (AV, AV) of
+    Table 1; the paper reuses the name "avNBAC" for two protocols and this
+    is the Table-2 one.
+
+    Every process broadcasts its vote; at the end of the first message
+    delay it decides the conjunction if and only if it collected all [n]
+    votes — otherwise it never decides (termination is not required once a
+    failure occurred). One message delay, [n(n-1)] messages. *)
+
+include Proto.PROTOCOL

@@ -1,0 +1,10 @@
+(** avNBAC (message-optimal flavour) — Appendix E.5, cell (AV, AV) of
+    Table 1 with [2n-2] messages (tight).
+
+    A star through [Pn]: every other process sends its vote to [Pn]
+    ([n-1] messages); [Pn], having all votes, broadcasts their conjunction
+    [B] ([n-1] messages) and decides; everyone else decides on receipt.
+    Agreement and validity hold in {e every} execution (all decisions
+    equal [Pn]'s conjunction); termination only in failure-free ones. *)
+
+include Proto.PROTOCOL

@@ -1,0 +1,16 @@
+(** Calvin-style deterministic commit (Section 6.3 of the paper).
+
+    Calvin's deterministic locking removes the explicit commit protocol:
+    every node reaches the same outcome independently, and only a local
+    failure check must be disseminated — a node votes 0 by broadcasting
+    it, everyone else decides after one message delay on the absence of
+    zeros. Nice executions cost {e zero} messages and one delay.
+
+    As the paper notes, "NBAC is only solved in failure-free executions":
+    a 0-voter that crashes before (or while) broadcasting leaves the
+    survivors committing against a 0 proposal — both agreement and
+    validity can break in crash-failure executions; only termination is
+    kept everywhere (cell (T, T) of Table 1, whose 1-delay/0-message
+    bound this protocol matches). *)
+
+include Proto.PROTOCOL

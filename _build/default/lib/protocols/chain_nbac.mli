@@ -1,0 +1,16 @@
+(** (n-1+f)NBAC — Appendix E.2, the message-optimal synchronous NBAC
+    protocol, cell (AVT, T) of Table 1: [n-1+f] messages in every nice
+    execution (tight, generalizing Dwork and Skeen's [2n-2] for
+    [f = n-1]).
+
+    Nice execution: the vote conjunction travels along the chain
+    [P1 -> P2 -> ... -> Pn] ([n-1] messages, one per delay slot) and then
+    along the suffix [Pn -> P1 -> ... -> Pf] ([f] more messages); everyone
+    then noops until time [n+2f] and decides 1 — silence is an implicit
+    yes. A process that votes 0, or misses its predecessor's message,
+    stays silent in the chain; in the suffix it broadcasts 0, and any
+    process receiving a 0 relays it once to everyone. Termination is by
+    the fixed decision instant; agreement can break under network failures
+    (the noop-based implicit yes), which the test suite witnesses. *)
+
+include Proto.PROTOCOL

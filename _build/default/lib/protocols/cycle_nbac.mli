@@ -1,0 +1,21 @@
+(** (2n-2+f)NBAC — Appendix E.6, the message-optimal protocol for
+    indulgent atomic commit, cell (AVT, AVT) of Table 1: [2n-2+f]
+    messages in every nice execution (tight), at the price of more
+    message delays than INBAC (the other side of Theorem 5's tradeoff).
+
+    Nice execution (each hop one delay slot): the votes' conjunction
+    travels the chain [P1 -> ... -> Pn] ([V], [n-1] messages); [Pn] sends
+    it around the full ring as a [B] token ([n] messages: [Pn -> P1 -> ...
+    -> Pn]); processes of rank [>= f] decide when the [B] token passes,
+    [Pn] when it returns, and [P1..P_{f-1}] only when a final [Z]
+    confirmation chain from [Pn] reaches them ([f-1] messages) — they are
+    the backups that keep agreement safe if the token stalls. On any
+    missing message a process falls back to uniform consensus, or asks
+    [{P1..Pf, Pn}] for [HELPED] values first when it is mid-ring.
+
+    The E.6 pseudo-code is heavily garbled in our source text; this
+    reconstruction follows the message-count arithmetic
+    [(n-1) + n + (f-1) = 2n-2+f] and the appendix's correctness
+    arguments (see DESIGN.md). *)
+
+include Proto.PROTOCOL

@@ -1,0 +1,15 @@
+(** Faster Paxos Commit (Gray & Lamport's optimization), spontaneous-start:
+    the acceptors broadcast their bundled ballot-0 state directly to every
+    process, eliminating the leader aggregation round.
+
+    Nice execution: {e two} message delays — matching INBAC and the
+    Theorem 1 lower bound — at the cost of [2(n-1)(f+1)] messages, never
+    fewer than INBAC's optimal [2fn] (Theorem 5's tightness in practice).
+
+    A process decides commit when all [f+1] active-acceptor bundles
+    arrived, complete and unanimously yes; decides abort directly only on
+    an explicit no; anything else falls back to a re-query of the
+    acceptors plus uniform consensus, with the same evidence rule as our
+    {!Paxos_commit} port (and the same documented simplification). *)
+
+include Proto.PROTOCOL

@@ -1,0 +1,353 @@
+module type CONFIG = sig
+  val variant_name : string
+  val fast_abort : bool
+
+  val ack_undershoot : bool
+  (** Decide directly with one acknowledgement fewer than Lemma 5's [f]
+      (the highest-ranked expected backup is not awaited). Exists to
+      demonstrate that the lemma's bound is tight: the variant loses
+      agreement under network failures — see [Witness] and the tests. *)
+
+  val naive_backups : bool
+  (** Drop the reconstructed [P_{f+1}] role (DESIGN.md note 1): every
+      process, including [P_i] with [i <= f], backs its vote up at
+      [P1..Pf] only — so the low ranks end up with [f-1] backups besides
+      themselves, short of Lemma 1. The tests show this naive reading
+      cannot be the paper's: its nice executions use [2fn - 2f] messages
+      (missing the 2fn bound) and the low ranks' reached-set falls below
+      [f]. *)
+end
+
+let backups env =
+  let f = env.Proto.f in
+  let i = Proto_util.rank env in
+  if i <= f then
+    List.filter
+      (fun q -> not (Pid.equal q env.Proto.self))
+      (Proto_util.first_ranked (f + 1))
+  else Proto_util.first_ranked f
+
+module Make (Cfg : CONFIG) = struct
+  type phase = Phase0 | Phase1 | Phase2
+
+  type msg =
+    | V of Vote.t  (** a vote shipped to a backup process *)
+    | C of Vset.t  (** consolidated acknowledgement of backed-up votes *)
+    | Help
+    | Helped of Vset.t
+
+  type state = {
+    phase : phase;
+    vote : Vote.t;
+    proposed : bool;
+    decided : bool;
+    collection0 : Vset.t;  (** votes this process holds as a backup *)
+    collection1 : (Pid.t * Vset.t) list;  (** [C] acks, per sender *)
+    collection_help : Vset.t;
+    wait : bool;
+    cnt : int;  (** number of [C] messages received *)
+    cnt_help : int;  (** number of [HELPED] messages received *)
+    sent_ack : Vset.t option;
+        (** the snapshot of [collection0] this backup consolidated into
+            its [C] broadcast at time U. A low-rank process may decide
+            directly only if {e this snapshot} was complete: its own later
+            knowledge is irrelevant to the processes that acted on the
+            broadcast (a lesson from the chaos fuzzer — see the test
+            suite's regression). *)
+    pending_help : Pid.t list;
+        (** [HELP] requests that arrived before [phase = 2]; remark (c) of
+            the appendix queues them until the condition holds *)
+  }
+
+  let name = Cfg.variant_name
+  let uses_consensus = true
+
+  let pp_msg ppf = function
+    | V v -> Format.fprintf ppf "[V,%d]" (Vote.to_int v)
+    | C coll -> Format.fprintf ppf "[C,%a]" Vset.pp coll
+    | Help -> Format.pp_print_string ppf "[HELP]"
+    | Helped coll -> Format.fprintf ppf "[HELPED,%a]" Vset.pp coll
+
+  let init _env =
+    {
+      phase = Phase0;
+      vote = Vote.yes;
+      proposed = false;
+      decided = false;
+      collection0 = Vset.empty;
+      collection1 = [];
+      collection_help = Vset.empty;
+      wait = false;
+      cnt = 0;
+      cnt_help = 0;
+      sent_ack = None;
+      pending_help = [];
+    }
+
+  let phase_note p =
+    Proto.Note
+      ( "phase",
+        match p with Phase0 -> "0" | Phase1 -> "1" | Phase2 -> "2" )
+
+  let on_propose env state v =
+    let i = Proto_util.rank env in
+    let f = env.Proto.f in
+    let state = { state with vote = v; collection0 = Vset.singleton env.Proto.self v } in
+    let vote_sends =
+      (* every process backs its vote up at P1..Pf; P_i with i <= f also
+         at P_{f+1} (so that it reaches f backups other than itself) *)
+      Proto_util.send_each (Proto_util.first_ranked f) (V v)
+      @
+      if i <= f && not Cfg.naive_backups then
+        [ Proto_util.send (Pid.of_rank (f + 1)) (V v) ]
+      else []
+    in
+    let timers =
+      if i <= f + 1 then [ Proto_util.timer_at "phase0" 1 ]
+      else [ Proto_util.timer_at "phase1" 2 ]
+    in
+    let state =
+      if i <= f + 1 then state else { state with phase = Phase1 }
+    in
+    let fast =
+      if Cfg.fast_abort && Vote.equal v Vote.no then
+        Proto_util.broadcast_others env (V Vote.no)
+        @ [ Proto.Note ("decide-path", "fast-abort"); Proto_util.decide Vote.abort ]
+      else []
+    in
+    let state =
+      if Cfg.fast_abort && Vote.equal v Vote.no then
+        { state with decided = true }
+      else state
+    in
+    (state, vote_sends @ timers @ fast @ [ phase_note state.phase ])
+
+  (* The [C] acknowledgements this process must have received, with the
+     vote coverage each must exhibit, for a direct decision at 2U:
+     - from every P_j, j <= f (other than itself): all n votes;
+     - and, when this process has rank <= f, from P_{f+1}: the votes of
+       P1..Pf (P_{f+1} backs up exactly those). *)
+  let expected_acks env =
+    let f = env.Proto.f in
+    let i = Proto_util.rank env in
+    let full = Pid.all ~n:env.Proto.n in
+    let first_f = Proto_util.first_ranked f in
+    let of_peer j = (Pid.of_rank j, full) in
+    let acks =
+      if i <= f then
+        List.filter_map
+          (fun j -> if j = i then None else Some (of_peer j))
+          (List.init f (fun k -> k + 1))
+        @
+        if Cfg.naive_backups then [] (* P_{f+1} holds nothing to ack *)
+        else [ (Pid.of_rank (f + 1), first_f) ]
+      else List.map of_peer (List.init f (fun k -> k + 1))
+    in
+    if Cfg.ack_undershoot then
+      (* drop the last (highest-ranked) requirement: f-1 acks suffice *)
+      match List.rev acks with [] -> [] | _ :: rest -> List.rev rest
+    else acks
+
+  let ack_ok state (sender, coverage) =
+    match List.assoc_opt sender state.collection1 with
+    | None -> false
+    | Some coll -> Vset.covers coll coverage
+
+  let can_decide_directly env state =
+    let i = Proto_util.rank env in
+    List.for_all (ack_ok state) (expected_acks env)
+    && (i > env.Proto.f
+       ||
+       (* a low rank is itself a backup: its own consolidated [C] must
+          have been complete when it was broadcast, because that is what
+          everybody else saw *)
+       match state.sent_ack with
+       | Some snapshot -> Vset.complete ~n:env.Proto.n snapshot
+       | None -> false)
+
+  let merged_collections state =
+    List.fold_left (fun acc (_, c) -> Vset.union acc c) Vset.empty
+      state.collection1
+
+  (* Merge everything this process has learnt into collection0, as the
+     pseudo-code does when entering phase 2. *)
+  let enter_phase2 env state =
+    let merged = merged_collections state in
+    {
+      state with
+      phase = Phase2;
+      collection0 =
+        Vset.add env.Proto.self state.vote
+          (Vset.union state.collection0 merged);
+    }
+
+  let propose_actions state proposal =
+    ( { state with proposed = true },
+      [
+        Proto.Note ("decide-path", "consensus");
+        Proto.Propose_consensus proposal;
+      ] )
+
+  let direct_decision _env state =
+    (* the acknowledgements checked by [can_decide_directly] carry the
+       complete vote set; fold them in rather than trusting the local
+       collection, which can lag behind (e.g. when the decision fires
+       from the help-quorum guard on a late [C]) *)
+    let d =
+      Vset.conjunction (Vset.union state.collection0 (merged_collections state))
+    in
+    ( { state with decided = true },
+      [
+        Proto.Note ("decide-path", "direct");
+        Proto_util.decide_vote d;
+      ] )
+
+  (* The decision logic shared by the phase-1 timeout and the help-quorum
+     guard. Precondition: [state.phase = Phase2], collections merged. *)
+  let attempt_decision env state =
+    let i = Proto_util.rank env in
+    let f = env.Proto.f in
+    let n = env.Proto.n in
+    if can_decide_directly env state then direct_decision env state
+    else if i <= f then begin
+      (* P1..Pf never ask for help: they propose to consensus at once *)
+      let proposal =
+        if Vset.complete ~n state.collection0 then
+          Vset.conjunction state.collection0
+        else Vote.no
+      in
+      propose_actions state proposal
+    end
+    else if state.cnt >= 1 then begin
+      let merged = merged_collections state in
+      let proposal =
+        if Vset.complete ~n merged then Vset.conjunction merged else Vote.no
+      in
+      propose_actions state proposal
+    end
+    else begin
+      (* no acknowledgement at all: ask {P_{f+1}..Pn} (self included —
+         the self-addressed HELP is answered immediately and free) *)
+      let state = { state with wait = true } in
+      (state, Proto_util.send_each (Proto_util.ranked_from env (f + 1)) Help)
+    end
+
+  let on_timeout env state ~id =
+    match id with
+    | "phase0" when state.phase = Phase0 ->
+        let i = Proto_util.rank env in
+        let f = env.Proto.f in
+        let targets =
+          if i <= f then Pid.others ~n:env.Proto.n env.Proto.self
+          else if Cfg.naive_backups then [] (* not a backup of anyone *)
+          else Proto_util.first_ranked f
+        in
+        let sends =
+          if state.decided then []
+            (* fast-abort already settled this process; skip the acks *)
+          else Proto_util.send_each targets (C state.collection0)
+        in
+        let state =
+          { state with phase = Phase1; sent_ack = Some state.collection0 }
+        in
+        (state, sends @ [ Proto_util.timer_at "phase1" 2; phase_note Phase1 ])
+    | "phase1" when state.phase = Phase1 ->
+        let state = enter_phase2 env state in
+        if state.decided || state.proposed then
+          (state, [ phase_note Phase2 ])
+        else begin
+          let state, actions = attempt_decision env state in
+          (state, phase_note Phase2 :: actions)
+        end
+    | "phase0" | "phase1" -> (state, [])
+    | other -> failwith ("Inbac: unknown timer " ^ other)
+
+  let answer_help state p = Proto_util.send p (Helped state.collection0)
+
+  let on_deliver env state ~src msg =
+    let i = Proto_util.rank env in
+    let f = env.Proto.f in
+    match msg with
+    | V v ->
+        let state =
+          if i <= f + 1 then
+            { state with collection0 = Vset.add src v state.collection0 }
+          else state
+        in
+        if
+          Cfg.fast_abort && Vote.equal v Vote.no && not state.decided
+        then
+          ( { state with decided = true },
+            [ Proto.Note ("decide-path", "fast-abort"); Proto_util.decide Vote.abort ]
+          )
+        else (state, [])
+    | C coll ->
+        if List.mem_assoc src state.collection1 then (state, [])
+        else
+          ( {
+              state with
+              collection1 = (src, coll) :: state.collection1;
+              cnt = state.cnt + 1;
+            },
+            [] )
+    | Help ->
+        if i <= f then (state, []) (* HELP is only addressed to P_{f+1}..Pn *)
+        else if state.phase = Phase2 then (state, [ answer_help state src ])
+        else ({ state with pending_help = src :: state.pending_help }, [])
+    | Helped coll ->
+        ( {
+            state with
+            collection_help = Vset.union state.collection_help coll;
+            cnt_help = state.cnt_help + 1;
+          },
+          [] )
+
+  let guards =
+    [
+      ( "answer-pending-help",
+        fun _env state -> state.phase = Phase2 && state.pending_help <> [] );
+      ( "help-quorum",
+        fun env state ->
+          Proto_util.rank env >= env.Proto.f + 1
+          && state.wait && (not state.proposed) && (not state.decided)
+          && state.cnt + state.cnt_help >= env.Proto.n - env.Proto.f );
+    ]
+
+  let on_guard env state ~id =
+    match id with
+    | "answer-pending-help" ->
+        let replies = List.rev_map (answer_help state) state.pending_help in
+        ({ state with pending_help = [] }, replies)
+    | "help-quorum" ->
+        let state = { state with wait = false } in
+        if can_decide_directly env state then direct_decision env state
+        else if state.cnt >= 1 then begin
+          let merged = merged_collections state in
+          let proposal =
+            if Vset.complete ~n:env.Proto.n merged then
+              Vset.conjunction merged
+            else Vote.no
+          in
+          propose_actions state proposal
+        end
+        else begin
+          let proposal =
+            if Vset.complete ~n:env.Proto.n state.collection_help then
+              Vset.conjunction state.collection_help
+            else Vote.no
+          in
+          propose_actions state proposal
+        end
+    | other -> failwith ("Inbac: unknown guard " ^ other)
+
+  let on_consensus_decide _env state d =
+    if state.decided then (state, [])
+    else ({ state with decided = true }, [ Proto_util.decide_vote d ])
+end
+
+include Make (struct
+  let variant_name = "inbac"
+  let fast_abort = false
+  let ack_undershoot = false
+  let naive_backups = false
+end)

@@ -1,0 +1,6 @@
+include Inbac.Make (struct
+  let variant_name = "inbac-fast-abort"
+  let fast_abort = true
+  let ack_undershoot = false
+  let naive_backups = false
+end)

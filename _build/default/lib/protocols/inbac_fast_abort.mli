@@ -1,0 +1,5 @@
+(** INBAC with the Section 5.2 fast-abort optimization: a failure-free
+    execution in which some process votes 0 terminates within one message
+    delay (nice executions are unchanged). *)
+
+include Proto.PROTOCOL

@@ -1,0 +1,6 @@
+include Inbac.Make (struct
+  let variant_name = "inbac-undershoot"
+  let fast_abort = false
+  let ack_undershoot = true
+  let naive_backups = false
+end)

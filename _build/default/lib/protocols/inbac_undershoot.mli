@@ -1,0 +1,9 @@
+(** INBAC with one acknowledgement fewer than Lemma 5 requires — a
+    deliberately unsound variant that mechanizes the tightness of the
+    paper's lower bound on quick acknowledgements: with only [f-1]
+    acknowledgements per backup, a crafted network-failure execution
+    ([Witness.inbac_undershoot_disagreement]) makes a fast decider commit
+    while the isolated rest abort through consensus. Identical to INBAC
+    in every nice execution. *)
+
+include Proto.PROTOCOL

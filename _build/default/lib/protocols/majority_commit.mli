@@ -1,0 +1,15 @@
+(** Majority commit, after Replicated Commit as discussed in Section 6.3:
+    "the votes from a majority of processes are already sufficient to
+    commit".
+
+    Every process broadcasts its vote; after one message delay it commits
+    iff it counted a strict majority of yes votes (its own included).
+    One delay, [n(n-1)] messages.
+
+    This deliberately solves a {e weaker problem} than atomic commit: a
+    transaction can commit over a minority of 0 votes, violating NBAC's
+    commit-validity even in failure-free executions. Its own contract —
+    majority-validity: decide 1 iff a majority voted 1, and agreement /
+    termination in failure-free executions — is what the tests check. *)
+
+include Proto.PROTOCOL

@@ -1,0 +1,16 @@
+(** 1NBAC — the delay-optimal synchronous NBAC protocol (Section 4.1 and
+    Appendix D), for cell (AVT, VT) of Table 1.
+
+    Nice execution: every process broadcasts its vote at time 0, collects
+    all [n] votes at time [U], broadcasts the conjunction [D] and decides —
+    after exactly {e one} message delay, which the paper proves optimal for
+    synchronous NBAC. Costs [2n(n-1)] messages (the paper proves any
+    1-delay protocol needs at least [n(n-1)]).
+
+    If votes are missing at the first timeout, the process waits one more
+    delay for somebody's [D] message and then falls through to uniform
+    consensus. Under network failures agreement can be violated (a fast
+    decider's [D] conflicting with a consensus decision) — the execution
+    witnessing this is in the test suite. *)
+
+include Proto.PROTOCOL

@@ -1,0 +1,133 @@
+type msg =
+  | Prepared of Vote.t  (** RM ballot-0 vote, to the active acceptors *)
+  | Report of Vset.t  (** acceptor bundle, to the leader *)
+  | Outcome of Vote.decision
+  | Query
+  | Report2 of Vset.t  (** acceptor bundle, to a re-querying process *)
+
+type state = {
+  vote : Vote.t;
+  decided : bool;
+  proposed : bool;
+  acceptor_coll : Vset.t;  (** ballot-0 accepts held as an acceptor *)
+  reports : (Pid.t * Vset.t) list;  (** leader: acceptor bundles *)
+  replies : (Pid.t * Vset.t) list;  (** re-querier: acceptor bundles *)
+}
+
+let name = "paxos-commit"
+let uses_consensus = true
+
+let pp_msg ppf = function
+  | Prepared v -> Format.fprintf ppf "[PREPARED,%d]" (Vote.to_int v)
+  | Report coll -> Format.fprintf ppf "[REPORT,%a]" Vset.pp coll
+  | Outcome d -> Format.fprintf ppf "[OUTCOME,%d]" (Vote.decision_to_int d)
+  | Query -> Format.pp_print_string ppf "[QUERY]"
+  | Report2 coll -> Format.fprintf ppf "[REPORT2,%a]" Vset.pp coll
+
+let init _env =
+  {
+    vote = Vote.yes;
+    decided = false;
+    proposed = false;
+    acceptor_coll = Vset.empty;
+    reports = [];
+    replies = [];
+  }
+
+let leader = Pid.of_rank 1
+let acceptors env = Proto_util.first_ranked (env.Proto.f + 1)
+let is_leader env = Pid.equal env.Proto.self leader
+
+let is_acceptor env =
+  Proto_util.rank env <= env.Proto.f + 1
+
+let settle state d =
+  if state.decided then (state, [])
+  else ({ state with decided = true }, [ Proto_util.decide d ])
+
+(* A bundle proves commit only if it is complete and unanimously yes. *)
+let bundle_commits ~n coll =
+  Vset.complete ~n coll && Vote.equal (Vset.conjunction coll) Vote.yes
+
+let bundle_has_no coll =
+  List.exists (fun (_, v) -> Vote.equal v Vote.no) (Vset.bindings coll)
+
+let on_propose env state v =
+  let state = { state with vote = v } in
+  let sends = Proto_util.send_each (acceptors env) (Prepared v) in
+  let timers =
+    (if is_acceptor env then [ Proto_util.timer_at "report" 1 ] else [])
+    @ (if is_leader env then [ Proto_util.timer_at "decide" 2 ] else [])
+    @ [ Proto_util.timer_at "fallback" 4 ]
+  in
+  (state, sends @ timers)
+
+let propose_once state v =
+  if state.proposed then (state, [])
+  else ({ state with proposed = true }, [ Proto.Propose_consensus v ])
+
+let on_deliver env state ~src msg =
+  match msg with
+  | Prepared v ->
+      ({ state with acceptor_coll = Vset.add src v state.acceptor_coll }, [])
+  | Report coll ->
+      if is_leader env && not (List.mem_assoc src state.reports) then
+        ({ state with reports = (src, coll) :: state.reports }, [])
+      else (state, [])
+  | Outcome d -> settle state d
+  | Query -> (state, [ Proto_util.send src (Report2 state.acceptor_coll) ])
+  | Report2 coll ->
+      if List.mem_assoc src state.replies then (state, [])
+      else ({ state with replies = (src, coll) :: state.replies }, [])
+
+let on_timeout env state ~id =
+  let n = env.Proto.n in
+  match id with
+  | "report" -> (state, [ Proto_util.send leader (Report state.acceptor_coll) ])
+  | "decide" ->
+      if state.decided then (state, [])
+      else begin
+        let bundles = List.map snd state.reports in
+        if
+          List.length state.reports = env.Proto.f + 1
+          && List.for_all (bundle_commits ~n) bundles
+        then begin
+          let state, decisions = settle state Vote.commit in
+          ( state,
+            Proto_util.broadcast_others env (Outcome Vote.commit) @ decisions )
+        end
+        else if List.exists bundle_has_no bundles then begin
+          let state, decisions = settle state Vote.abort in
+          ( state,
+            Proto_util.broadcast_others env (Outcome Vote.abort) @ decisions )
+        end
+        else
+          (* a bundle is missing or incomplete without an explicit no:
+             a failure; resolve through consensus *)
+          propose_once state Vote.no
+      end
+  | "fallback" ->
+      if state.decided || state.proposed then (state, [])
+      else
+        ( state,
+          Proto_util.send_each (acceptors env) Query
+          @ [ Proto_util.timer_at "candidate" 6 ] )
+  | "candidate" ->
+      if state.decided || state.proposed then (state, [])
+      else begin
+        let bundles = List.map snd state.replies in
+        let candidate =
+          if bundles <> [] && List.for_all (bundle_commits ~n) bundles then
+            Vote.yes
+          else Vote.no
+        in
+        propose_once state candidate
+      end
+  | other -> failwith ("Paxos_commit: unknown timer " ^ other)
+
+let guards = []
+let on_guard _env _state ~id = failwith ("Paxos_commit: unknown guard " ^ id)
+
+let on_consensus_decide _env state d =
+  if state.decided then (state, [])
+  else ({ state with decided = true }, [ Proto_util.decide_vote d ])

@@ -1,0 +1,22 @@
+(** Paxos Commit (Gray & Lamport), spontaneous-start, with the paper's
+    Section-6 normalization and the co-location / [f+1]-active-acceptor
+    optimization.
+
+    Nice execution: every resource manager sends its ballot-0 "prepared"
+    vote to the [f+1] active acceptors [P1..P_{f+1}] (delay 1); each
+    acceptor reports its bundled state to the leader [P1] (delay 2); the
+    leader broadcasts the outcome (delay 3). Three message delays and
+    [(n-1)(f+2) + f] messages — fewer messages than INBAC for [f >= 2]
+    but one more delay, the tradeoff the paper highlights.
+
+    Fault handling is a synchronous-schedule port: an undecided process
+    re-queries the active acceptors and proposes the outcome it can
+    justify to uniform consensus (commit only when every reply is a
+    complete all-yes bundle — exactly the evidence a committed leader
+    implies at every surviving acceptor). This solves NBAC in crash-failure
+    executions; under network failures agreement relies on the same
+    evidence rule and is exercised, not proven, here (the original
+    protocol is fully indulgent; EXPERIMENTS.md records the
+    simplification). *)
+
+include Proto.PROTOCOL

@@ -1,0 +1,21 @@
+(** Small helpers shared by all protocol modules. *)
+
+let send q m = Proto.Send (q, m)
+
+let send_each pids m = List.map (fun q -> Proto.Send (q, m)) pids
+
+let broadcast_others env m =
+  send_each (Pid.others ~n:env.Proto.n env.Proto.self) m
+
+let timer_at id k = Proto.Set_timer { id; fire = Proto.At_delay k }
+let decide d = Proto.Decide d
+let decide_vote v = Proto.Decide (Vote.decision_of_vote v)
+let rank env = Pid.rank env.Proto.self
+
+(** [P1; ...; Pk] — the paper's frequent "forall q in {P1..Pf}" sets. *)
+let first_ranked k = List.init k (fun i -> Pid.of_rank (i + 1))
+
+(** [P_{j}; ...; P_{n}]. *)
+let ranked_from env j =
+  let n = env.Proto.n in
+  if j > n then [] else List.init (n - j + 1) (fun i -> Pid.of_rank (j + i))

@@ -1,0 +1,21 @@
+(** Small helpers shared by all protocol modules: action constructors and
+    the paper's recurring process sets. *)
+
+val send : Pid.t -> 'msg -> 'msg Proto.action
+val send_each : Pid.t list -> 'msg -> 'msg Proto.action list
+val broadcast_others : Proto.env -> 'msg -> 'msg Proto.action list
+
+val timer_at : string -> int -> 'msg Proto.action
+(** [timer_at id k] fires at the absolute instant [k * U] (the
+    pseudo-code's "set timer to time k"). *)
+
+val decide : Vote.decision -> 'msg Proto.action
+val decide_vote : Vote.t -> 'msg Proto.action
+val rank : Proto.env -> int
+(** 1-based rank of the calling process. *)
+
+val first_ranked : int -> Pid.t list
+(** [[P1; ...; Pk]] — the paper's "forall q in {P1..Pf}" sets. *)
+
+val ranked_from : Proto.env -> int -> Pid.t list
+(** [[P_j; ...; P_n]]. *)

@@ -1,0 +1,12 @@
+(** (2n-2)NBAC — Appendix E.4, cell (AVT, VT) of Table 1: [2n-2]
+    messages in every nice execution (tight).
+
+    Every process sends its vote to [Pn]; [Pn] broadcasts the conjunction
+    [B]; everyone then noops for [f+1] delays and decides — a process
+    relays a [B,0] (or turns silence from [Pn] into one) exactly once, so
+    that in any crash-failure execution at least one relayer reaches every
+    correct process before the common decision instant. Solves NBAC in
+    crash-failure executions; keeps validity and termination (but not
+    agreement) under network failures. *)
+
+include Proto.PROTOCOL

@@ -1,0 +1,19 @@
+(** Three-phase commit (Skeen), spontaneous-start, with a rotating-backup
+    termination protocol.
+
+    Adds a pre-commit/acknowledgement round to 2PC so that no process
+    commits while another is still "uncertain": this removes the blocking
+    window under crash failures — (AVT, ?) behaviour: solves NBAC in every
+    crash-failure execution. The termination protocol elects backups
+    [P2, P3, ...] on a fixed synchronous schedule; a backup collects
+    everyone's state and applies the classic rule (any committed ->
+    commit; any aborted -> abort; any pre-committed -> re-run
+    pre-commit/ack then commit; all uncertain -> abort). Under network
+    failures two backups can act on inconsistent views and agreement can
+    break — the flaw the paper (and [19, 21]) attributes to 3PC and its
+    variants.
+
+    Nice execution: 4 message delays (vote, pre-commit, ack, commit) and
+    [4n-4] messages — one delay and [2n-2] messages over spontaneous 2PC. *)
+
+include Proto.PROTOCOL

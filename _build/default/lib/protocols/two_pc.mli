@@ -1,0 +1,15 @@
+(** Two-phase commit, in the paper's spontaneous-start normalization
+    (Section 6): every process sends its vote to the coordinator [P1] at
+    time 0; [P1] broadcasts the decision as soon as it holds all [n]
+    votes.
+
+    Cell (AV, A) behaviour: agreement always (only the coordinator's
+    conjunction is ever decided), validity in synchronous executions
+    ([P1] aborts at its timeout only when a vote is missing, i.e. after a
+    failure), and {e no} termination guarantee — a participant blocks
+    forever when the coordinator crashes, the classic 2PC blocking window
+    the paper contrasts INBAC against.
+
+    Nice execution: 2 message delays, [2n-2] messages. *)
+
+include Proto.PROTOCOL

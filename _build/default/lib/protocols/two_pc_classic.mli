@@ -1,0 +1,11 @@
+(** Classic coordinator-initiated two-phase commit, {e without} the
+    paper's spontaneous-start normalization: the coordinator solicits
+    votes with a prepare round first.
+
+    Three message delays and [3n-3] messages — exactly one delay and
+    [n-1] messages more than the normalized {!Two_pc}, which is the
+    adjustment footnote of Section 6 ("1 delay from 2PC ... and n-1
+    messages ... are removed"). Behaviour under faults is the same as
+    {!Two_pc}: cell (AV, A), blocking on coordinator crash. *)
+
+include Proto.PROTOCOL

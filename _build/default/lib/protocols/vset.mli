@@ -1,0 +1,33 @@
+(** Finite maps from processes to votes — the "collections" that the
+    paper's pseudo-code accumulates ([collection0], [collection_help],
+    the payload of [C] and [HELPED] messages, ...).
+
+    Kept canonical (sorted by pid, no duplicate) so that structural
+    equality of two collections is meaningful. Adding a second vote for
+    the same pid keeps the first: perfect links never deliver conflicting
+    votes from a correct process, and keeping the first makes replays
+    idempotent. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : Pid.t -> Vote.t -> t
+val add : Pid.t -> Vote.t -> t -> t
+val union : t -> t -> t
+val mem : Pid.t -> t -> bool
+val find : Pid.t -> t -> Vote.t option
+val cardinal : t -> int
+val bindings : t -> (Pid.t * Vote.t) list
+
+val covers : t -> Pid.t list -> bool
+(** Does the collection contain a vote for every listed process? *)
+
+val complete : n:int -> t -> bool
+(** [covers] the whole system [P1..Pn]. *)
+
+val conjunction : t -> Vote.t
+(** Logical AND of all votes present ([Yes] on the empty collection). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

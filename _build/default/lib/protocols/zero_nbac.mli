@@ -1,0 +1,14 @@
+(** 0NBAC — Appendix E.1, cell (AT, AT) of Table 1: {e zero} messages and
+    one message delay in every nice execution, both optimal, with no
+    tradeoff.
+
+    Votes to commit are implicit: a process voting 1 sends nothing and, if
+    it hears nothing for one delay, decides 1. A process voting 0
+    broadcasts [V,0]; recipients acknowledge and the 0-voter (category 1)
+    and the 1-voters that saw a zero (category 2, which also broadcast
+    [B,0]) later propose to uniform consensus: 0 if all [n-1]
+    acknowledgements arrived (nobody can have fast-decided 1), 1 otherwise.
+    Validity is only guaranteed in failure-free executions — exactly the
+    (AT, AT) contract. *)
+
+include Proto.PROTOCOL

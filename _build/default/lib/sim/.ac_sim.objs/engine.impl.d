@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Event_queue Format List Network Pid Printf Proto Report Rng Scenario Sim_time Trace Vote

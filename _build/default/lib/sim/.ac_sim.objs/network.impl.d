@@ -1,0 +1,1 @@
+lib/sim/network.ml: Format Pid Printf Rng Sim_time Trace

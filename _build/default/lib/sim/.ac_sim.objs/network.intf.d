@@ -1,0 +1,1 @@
+lib/sim/network.mli: Format Pid Rng Sim_time Trace

@@ -1,0 +1,1 @@
+lib/sim/proto.ml: Format Pid Sim_time Vote

@@ -1,0 +1,1 @@
+lib/sim/report.ml: Array Format List Option Pid Printf Scenario Sim_time String Trace Vote

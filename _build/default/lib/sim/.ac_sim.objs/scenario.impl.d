@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Array Format List Network Option Pid Printf Sim_time String Vote

@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Format Network Pid Sim_time Vote

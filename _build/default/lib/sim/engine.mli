@@ -1,0 +1,22 @@
+(** The simulation engine.
+
+    [Make (P) (C)] interprets the pure automata of protocol [P], composed
+    with one co-hosted instance of consensus [C] per process, over a
+    {!Scenario}. The engine owns all effects: message transmission through
+    the network model, timers, crash injection, decision recording and
+    trace building.
+
+    Event ordering at equal simulated time (appendix remark (b) of the
+    paper, extended to crashes): crashes, then proposals, then message
+    deliveries, then timeouts; ties broken by scheduling order. *)
+
+module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) : sig
+  val run : Scenario.t -> Report.t
+  (** Execute the scenario to quiescence (or [Scenario.max_time]).
+      Deterministic: equal scenarios produce equal reports. *)
+end
+
+val guard_fuel : int
+(** Maximum guard firings per handler invocation before the engine raises
+    [Failure] — a protocol whose guard does not falsify its own predicate
+    is broken. *)

@@ -1,0 +1,78 @@
+type 'a cell = { time : Sim_time.t; klass : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a cell array;
+  (* [heap.(0..len-1)] is a binary min-heap on (time, klass, seq). *)
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+
+let cell_lt a b =
+  match Sim_time.compare a.time b.time with
+  | 0 -> (
+      match Int.compare a.klass b.klass with
+      | 0 -> a.seq < b.seq
+      | c -> c < 0)
+  | c -> c < 0
+
+let grow t =
+  let cap = Array.length t.heap in
+  if t.len = cap then begin
+    let new_cap = if cap = 0 then 16 else cap * 2 in
+    let dummy = t.heap.(0) in
+    let heap = Array.make new_cap dummy in
+    Array.blit t.heap 0 heap 0 t.len;
+    t.heap <- heap
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if cell_lt t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && cell_lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.len && cell_lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~time ~klass payload =
+  if time < 0 then invalid_arg "Event_queue.add: negative time";
+  if klass < 0 then invalid_arg "Event_queue.add: negative class";
+  let cell = { time; klass; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 cell;
+  grow t;
+  t.heap.(t.len) <- cell;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t 0
+    end;
+    Some (top.time, top.klass, top.payload)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+let is_empty t = t.len = 0
+let size t = t.len

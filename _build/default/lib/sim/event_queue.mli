@@ -1,0 +1,25 @@
+(** A deterministic priority queue of simulation events.
+
+    Events are ordered by [(time, class, sequence)]:
+    - primary key: simulated time,
+    - secondary key: event class — the paper's appendix requires that "a
+      message delivery event has a higher priority than a timeout event"
+      when both occur at the same instant; the engine encodes crashes <
+      proposals < deliveries < timeouts as classes 0..3,
+    - tertiary key: insertion sequence, which makes the pop order a pure
+      function of the push order (no reliance on heap internals). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:Sim_time.t -> klass:int -> 'a -> unit
+(** @raise Invalid_argument if [time < 0] or [klass < 0]. *)
+
+val pop : 'a t -> (Sim_time.t * int * 'a) option
+(** Remove and return the minimum event as [(time, klass, payload)], or
+    [None] when empty. *)
+
+val peek_time : 'a t -> Sim_time.t option
+val is_empty : 'a t -> bool
+val size : 'a t -> int

@@ -1,0 +1,42 @@
+type info = {
+  src : Pid.t;
+  dst : Pid.t;
+  layer : Trace.layer;
+  sent_at : Sim_time.t;
+  seq : int;
+}
+
+type t = {
+  name : string;
+  bound : Sim_time.t option;
+  delay : Rng.t -> info -> Sim_time.t;
+}
+
+let name t = t.name
+let bound t = t.bound
+let delay t rng info = max 1 (t.delay rng info)
+
+let exact ~u =
+  { name = Printf.sprintf "exact(U=%d)" u; bound = Some u; delay = (fun _ _ -> u) }
+
+let jittered ~u =
+  {
+    name = Printf.sprintf "jittered(U=%d)" u;
+    bound = Some u;
+    delay = (fun rng _ -> Rng.int_in rng ~lo:1 ~hi:u);
+  }
+
+let eventually_synchronous ~u ~gst ~max_early_delay =
+  if max_early_delay < 1 then
+    invalid_arg "Network.eventually_synchronous: max_early_delay must be >= 1";
+  {
+    name = Printf.sprintf "eventually-synchronous(U=%d,GST=%d)" u gst;
+    bound = Some (max u max_early_delay);
+    delay =
+      (fun rng info ->
+        if info.sent_at >= gst then Rng.int_in rng ~lo:1 ~hi:u
+        else Rng.int_in rng ~lo:1 ~hi:max_early_delay);
+  }
+
+let adversary ~name fn = { name; bound = None; delay = (fun _ info -> fn info) }
+let pp ppf t = Format.pp_print_string ppf t.name

@@ -1,0 +1,94 @@
+(** Protocol and consensus automaton signatures.
+
+    Every protocol of the paper is implemented as a pure state machine: the
+    handlers receive the current state and an event and return the new
+    state together with a list of {!type:action}s. All effects (message
+    transmission, timers, decisions, invoking the consensus service) are
+    interpreted by the engine, which keeps protocol code directly
+    comparable to the paper's pseudo-code and unit-testable in isolation.
+
+    Conventions shared with the pseudo-code:
+    - [Env.u] is the known upper bound [U] on synchronous message delay;
+      one "unit" of a timer equals [U] (appendix remark (d));
+    - timers are named, may be set several times, and deliver one timeout
+      per set;
+    - a message delivery event has priority over a timeout event at the
+      same instant (appendix remark (b));
+    - guards model the pseudo-code's "upon <state predicate>" events
+      (e.g. INBAC's [cnt + cnt_help >= n - f and wait ...]). *)
+
+type env = {
+  n : int;  (** number of processes *)
+  f : int;  (** maximum number of crashes tolerated, 1 <= f <= n - 1 *)
+  u : Sim_time.t;  (** synchronous delay bound U, in ticks *)
+  self : Pid.t;
+}
+
+(** When a timer fires, relative to now ([After]) or at an absolute
+    multiple of [U] ([At_delay k] = instant [k * U]), matching the
+    pseudo-code's "set timer to time k". *)
+type fire = At_delay of int | After of Sim_time.t
+
+type 'msg action =
+  | Send of Pid.t * 'msg
+      (** [pl.Send]: transmit over the perfect point-to-point link. A
+          self-addressed send is delivered immediately and not counted as
+          a network message (paper footnote 10). *)
+  | Set_timer of { id : string; fire : fire }
+  | Decide of Vote.decision
+      (** Decide at this layer: the commit protocol's decision, or the
+          consensus service's decision when emitted by a consensus
+          automaton. Only the first decision of each process is recorded;
+          protocols guard with their own [decided] flags as in the paper. *)
+  | Propose_consensus of Vote.t
+      (** Commit layer only: propose to the underlying uniform consensus
+          instance [uc]/[iuc]. *)
+  | Note of string * string
+      (** Trace annotation, e.g. INBAC phase transitions (Figure 1). *)
+
+module type PROTOCOL = sig
+  type state
+  type msg
+
+  val name : string
+
+  val uses_consensus : bool
+  (** Whether any execution may invoke the consensus service. Protocols
+      with [uses_consensus = false] never emit [Propose_consensus]. *)
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val init : env -> state
+
+  val on_propose : env -> state -> Vote.t -> state * msg action list
+  (** The process proposes its vote (the [Propose] event). *)
+
+  val on_deliver : env -> state -> src:Pid.t -> msg -> state * msg action list
+  val on_timeout : env -> state -> id:string -> state * msg action list
+
+  val on_consensus_decide :
+    env -> state -> Vote.t -> state * msg action list
+  (** The underlying consensus instance decided. Never invoked for
+      protocols with [uses_consensus = false]. *)
+
+  val guards : (string * (env -> state -> bool)) list
+  (** State-predicate events. After every handler, the engine fires
+      [on_guard] for each guard whose predicate holds, re-evaluating until
+      none holds (each firing must change the state so that its predicate
+      becomes false, as in the pseudo-code). *)
+
+  val on_guard : env -> state -> id:string -> state * msg action list
+end
+
+module type CONSENSUS = sig
+  type state
+  type msg
+
+  val name : string
+
+  val pp_msg : Format.formatter -> msg -> unit
+  val init : env -> state
+  val on_propose : env -> state -> Vote.t -> state * msg action list
+  val on_deliver : env -> state -> src:Pid.t -> msg -> state * msg action list
+  val on_timeout : env -> state -> id:string -> state * msg action list
+end

@@ -1,0 +1,75 @@
+type outcome = Quiescent of Sim_time.t | Max_time_reached
+
+type t = {
+  scenario : Scenario.t;
+  protocol : string;
+  consensus : string option;
+  trace : Trace.t;
+  decisions : (Sim_time.t * Vote.decision) option array;
+  crashed_at : Sim_time.t option array;
+  outcome : outcome;
+}
+
+let decision_of t p = t.decisions.(Pid.index p)
+
+let decided_values t =
+  Array.to_list t.decisions |> List.filter_map (Option.map snd)
+
+let correct_pids t =
+  Pid.all ~n:t.scenario.Scenario.n
+  |> List.filter (fun p -> t.crashed_at.(Pid.index p) = None)
+
+let all_correct_decided t =
+  List.for_all (fun p -> decision_of t p <> None) (correct_pids t)
+
+let count_layer t layer =
+  List.length (Trace.network_sends ~layer t.trace)
+
+let commit_messages t = count_layer t Trace.Commit_layer
+let consensus_messages t = count_layer t Trace.Consensus_layer
+let total_messages t = commit_messages t + consensus_messages t
+
+let last_decision_time t =
+  Array.fold_left
+    (fun acc d ->
+      match d with
+      | None -> acc
+      | Some (at, _) -> (
+          match acc with None -> Some at | Some m -> Some (max m at)))
+    None t.decisions
+
+let delays_to_last_decision t =
+  Option.map
+    (fun at -> Sim_time.delays ~u:t.scenario.Scenario.u at)
+    (last_decision_time t)
+
+let consensus_invoked t =
+  List.exists
+    (function
+      | Trace.Note { label; _ } -> String.equal label "consensus-propose"
+      | Trace.Propose _ | Trace.Send _ | Trace.Deliver _ | Trace.Discard _
+      | Trace.Timeout _ | Trace.Guard _ | Trace.Decide _ | Trace.Crash _ ->
+          false)
+    (Trace.entries t.trace)
+
+let pp_summary ppf t =
+  let pp_decision ppf = function
+    | None -> Format.pp_print_string ppf "-"
+    | Some (at, d) -> Format.fprintf ppf "%a@%d" Vote.pp_decision d at
+  in
+  Format.fprintf ppf "@[<v>protocol %s (%s)@,%a@,outcome: %s@,"
+    t.protocol
+    (Option.value t.consensus ~default:"no consensus")
+    Scenario.pp t.scenario
+    (match t.outcome with
+    | Quiescent at -> Printf.sprintf "quiescent at %d" at
+    | Max_time_reached -> "max-time reached");
+  Array.iteri
+    (fun i d ->
+      Format.fprintf ppf "%a: %a%s@," Pid.pp (Pid.of_index i) pp_decision d
+        (match t.crashed_at.(i) with
+        | None -> ""
+        | Some at -> Printf.sprintf " (crashed@%d)" at))
+    t.decisions;
+  Format.fprintf ppf "messages: %d commit + %d consensus@]" (commit_messages t)
+    (consensus_messages t)

@@ -1,0 +1,49 @@
+(** Result of one simulated execution. *)
+
+type outcome =
+  | Quiescent of Sim_time.t
+      (** No event left in the queue; argument is the time of the last
+          processed event. *)
+  | Max_time_reached
+      (** The engine stopped at [Scenario.max_time] with events pending —
+          a diverging execution (e.g. consensus that cannot terminate). *)
+
+type t = {
+  scenario : Scenario.t;
+  protocol : string;
+  consensus : string option;
+  trace : Trace.t;
+  decisions : (Sim_time.t * Vote.decision) option array;
+      (** First decision of each process, indexed by pid. *)
+  crashed_at : Sim_time.t option array;
+  outcome : outcome;
+}
+
+val decision_of : t -> Pid.t -> (Sim_time.t * Vote.decision) option
+val decided_values : t -> Vote.decision list
+(** Decisions taken, one per deciding process, in pid order. *)
+
+val correct_pids : t -> Pid.t list
+(** Processes that never crashed. *)
+
+val all_correct_decided : t -> bool
+
+val commit_messages : t -> int
+(** Network messages (src <> dst) of the commit layer. *)
+
+val consensus_messages : t -> int
+val total_messages : t -> int
+
+val last_decision_time : t -> Sim_time.t option
+(** Time at which the last deciding process decided. *)
+
+val delays_to_last_decision : t -> float option
+(** The paper's best-case time metric: with all transmission delays equal
+    to [U] and instantaneous local steps, the number of message delays of
+    the execution is [last decision time / U]. Meaningful for nice
+    executions (elsewhere it is just the normalized makespan). *)
+
+val consensus_invoked : t -> bool
+(** Whether any process proposed to the consensus service. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+type crash = Before of Sim_time.t | During_sends of Sim_time.t * int
+
+type t = {
+  n : int;
+  f : int;
+  u : Sim_time.t;
+  votes : Vote.t array;
+  crashes : (Pid.t * crash) list;
+  network : Network.t;
+  seed : int;
+  max_time : Sim_time.t;
+  deliveries_first : bool;
+}
+
+let crash_time = function Before t -> t | During_sends (t, _) -> t
+
+let validate t =
+  if t.n < 2 then invalid_arg "Scenario: n must be >= 2";
+  if t.f < 1 then invalid_arg "Scenario: f must be >= 1";
+  if t.f > t.n - 1 then invalid_arg "Scenario: f must be <= n - 1";
+  if Array.length t.votes <> t.n then
+    invalid_arg "Scenario: votes must have length n";
+  if t.u < 1 then invalid_arg "Scenario: u must be >= 1";
+  List.iter
+    (fun (p, c) ->
+      if Pid.index p >= t.n then invalid_arg "Scenario: crash of unknown pid";
+      if crash_time c < 0 then invalid_arg "Scenario: negative crash time";
+      match c with
+      | During_sends (_, k) when k < 0 ->
+          invalid_arg "Scenario: negative send budget"
+      | During_sends _ | Before _ -> ())
+    t.crashes;
+  let pids = List.map fst t.crashes in
+  if List.length (List.sort_uniq Pid.compare pids) <> List.length pids then
+    invalid_arg "Scenario: a process crashes twice";
+  t
+
+let make ?u ?votes ?crashes ?network ?seed ?max_time ?(deliveries_first = true)
+    ~n ~f () =
+  let u = Option.value u ~default:Sim_time.default_u in
+  let votes =
+    match votes with Some v -> v | None -> Array.make n Vote.yes
+  in
+  let network = Option.value network ~default:(Network.exact ~u) in
+  validate
+    {
+      n;
+      f;
+      u;
+      votes;
+      crashes = Option.value crashes ~default:[];
+      network;
+      seed = Option.value seed ~default:42;
+      max_time = Option.value max_time ~default:(1000 * u);
+      deliveries_first;
+    }
+
+let nice ?u ~n ~f () = make ?u ~n ~f ()
+
+let with_no_votes t zeros =
+  let votes = Array.copy t.votes in
+  List.iter (fun p -> votes.(Pid.index p) <- Vote.no) zeros;
+  validate { t with votes }
+
+let with_crashes t crashes = validate { t with crashes }
+let with_network t network = validate { t with network }
+let with_seed t seed = { t with seed }
+
+let classify t =
+  let synchronous =
+    match Network.bound t.network with
+    | Some b -> b <= t.u
+    | None -> false
+  in
+  if not synchronous then `Network_failure
+  else if t.crashes <> [] then `Crash_failure
+  else `Failure_free
+
+let is_nice t =
+  classify t = `Failure_free && Array.for_all (Vote.equal Vote.yes) t.votes
+
+let pp ppf t =
+  let zeros =
+    Array.to_list t.votes
+    |> List.mapi (fun i v -> (i, v))
+    |> List.filter (fun (_, v) -> v = Vote.no)
+    |> List.map (fun (i, _) -> Pid.to_string (Pid.of_index i))
+  in
+  Format.fprintf ppf
+    "@[<h>n=%d f=%d u=%d seed=%d net=%a no-votes=[%s] crashes=[%s]@]" t.n t.f
+    t.u t.seed Network.pp t.network
+    (String.concat "," zeros)
+    (String.concat ","
+       (List.map
+          (fun (p, c) ->
+            match c with
+            | Before at -> Printf.sprintf "%s@%d" (Pid.to_string p) at
+            | During_sends (at, k) ->
+                Printf.sprintf "%s@%d(sends=%d)" (Pid.to_string p) at k)
+          t.crashes))

@@ -1,0 +1,77 @@
+(** Execution scenarios: everything that determines a run.
+
+    A scenario fixes the system size [n], the resilience parameter [f],
+    the delay bound [u], every process's vote, the crash schedule, the
+    network model and the RNG seed. Together with a protocol (and a
+    consensus implementation, if the protocol uses one), a scenario
+    determines an execution {e uniquely}. *)
+
+(** How a process crashes. The paper's proofs need both flavours:
+    - [Before t]: the process is dead from instant [t] on — it executes no
+      handler at or after [t] ("crashes before sending any message that it
+      is expected to send upon the message received at [t]");
+    - [During_sends (t, k)]: the process executes its handlers at instant
+      [t] but only its first [k] sends of that instant are transmitted; it
+      is dead from the moment the budget is exhausted (and in any case
+      after instant [t]) — "crashes while sending". *)
+type crash = Before of Sim_time.t | During_sends of Sim_time.t * int
+
+type t = {
+  n : int;
+  f : int;
+  u : Sim_time.t;
+  votes : Vote.t array;  (** [votes.(i)] is the vote of [Pid.of_index i]. *)
+  crashes : (Pid.t * crash) list;  (** each process crashes at most once *)
+  network : Network.t;
+  seed : int;
+  max_time : Sim_time.t;  (** safety stop for the engine *)
+  deliveries_first : bool;
+      (** Event priority at equal instants. [true] (the default) is the
+          paper's appendix remark (b): "a message delivery event has a
+          higher priority than a timeout event". [false] flips it — an
+          ablation knob showing that remark (b) is load-bearing (the
+          exact-delay protocols spuriously time out without it). *)
+}
+
+val crash_time : crash -> Sim_time.t
+
+val make :
+  ?u:Sim_time.t ->
+  ?votes:Vote.t array ->
+  ?crashes:(Pid.t * crash) list ->
+  ?network:Network.t ->
+  ?seed:int ->
+  ?max_time:Sim_time.t ->
+  ?deliveries_first:bool ->
+  n:int ->
+  f:int ->
+  unit ->
+  t
+(** Defaults: all votes [Yes], no crash, {!Network.exact} with
+    [u = Sim_time.default_u], seed 42, [max_time = 1000 * u].
+    @raise Invalid_argument if [n < 2], [f < 1], [f > n - 1], or
+    [Array.length votes <> n]. *)
+
+val nice : ?u:Sim_time.t -> n:int -> f:int -> unit -> t
+(** The paper's nice execution: failure-free, every process votes 1,
+    every delay exactly [U]. *)
+
+val with_no_votes : t -> Pid.t list -> t
+(** Same scenario but the given processes vote 0. *)
+
+val with_crashes : t -> (Pid.t * crash) list -> t
+val with_network : t -> Network.t -> t
+val with_seed : t -> int -> t
+
+val classify : t -> [ `Failure_free | `Crash_failure | `Network_failure ]
+(** The paper's execution classes. A scenario is [`Network_failure] when
+    its network model can exceed [u] (anything except {!Network.exact} and
+    {!Network.jittered} at bound [u]); otherwise [`Crash_failure] when
+    some crash is scheduled; otherwise [`Failure_free]. Adversarial
+    networks are conservatively classified as network-failure; use
+    {!Spec.Classify} (in [ac_spec]) to classify a {e trace} exactly. *)
+
+val is_nice : t -> bool
+(** Failure-free, all votes 1. *)
+
+val pp : Format.formatter -> t -> unit

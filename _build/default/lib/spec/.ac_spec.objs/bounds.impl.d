@@ -1,0 +1,1 @@
+lib/spec/bounds.ml: Props

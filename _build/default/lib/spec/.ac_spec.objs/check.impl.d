@@ -1,0 +1,1 @@
+lib/spec/check.ml: Bool Classify Format List Pid Props Report String Trace Vote

@@ -1,0 +1,1 @@
+lib/spec/classify.ml: Array Format List Option Pid Report Scenario Trace Vote

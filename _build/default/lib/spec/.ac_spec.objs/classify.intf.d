@@ -1,0 +1,1 @@
+lib/spec/classify.mli: Format Report

@@ -1,0 +1,1 @@
+lib/spec/metrics.ml: Array Classify Format List Option Report Scenario Sim_time

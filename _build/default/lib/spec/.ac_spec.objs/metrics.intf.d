@@ -1,0 +1,1 @@
+lib/spec/metrics.mli: Format Report

@@ -1,0 +1,1 @@
+lib/spec/phases.ml: Format List Pid Report Trace

@@ -1,0 +1,1 @@
+lib/spec/phases.mli: Format Pid Report

@@ -1,0 +1,1 @@
+lib/spec/props.ml: Bool Format List String

@@ -1,0 +1,1 @@
+lib/spec/reach.ml: Array List Pid Report Scenario Sim_time Trace

@@ -1,0 +1,1 @@
+lib/spec/reach.mli: Pid Report Sim_time Trace

@@ -1,0 +1,19 @@
+let two_delay_cell (c : Props.cell) = Props.equal c.cf Props.avt && c.nf.Props.a
+let delays c = if two_delay_cell c then 2 else 1
+
+let messages ~n ~f (c : Props.cell) =
+  if two_delay_cell c then (2 * n) - 2 + f
+  else if c.nf.Props.v then (2 * n) - 2
+  else if c.cf.Props.v then n - 1 + f
+  else 0
+
+let messages_given_optimal_delays ~n ~f (c : Props.cell) =
+  if two_delay_cell c then 2 * f * n
+  else if c.cf.Props.v then n * (n - 1)
+  else 0
+
+let has_tradeoff c =
+  (* validity anywhere forces either n(n-1) messages at 1 delay or the
+     smaller counts at more delays; the four most robust cells trade
+     2fn messages at 2 delays against 2n-2+f at more *)
+  two_delay_cell c || c.cf.Props.v

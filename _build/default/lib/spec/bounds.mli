@@ -1,0 +1,24 @@
+(** The paper's tight lower bounds (Table 1, Theorems 1, 2 and 5), as
+    closed-form functions of the cell and of [n], [f]. *)
+
+val delays : Props.cell -> int
+(** Optimal number of message delays in nice executions: 2 when the
+    crash-failure requirement is full NBAC and agreement is required under
+    network failures (Theorem 1), else 1. *)
+
+val messages : n:int -> f:int -> Props.cell -> int
+(** Optimal number of messages in nice executions (Theorem 2 and
+    Section 3.2): [2n-2+f] for the four most robust cells, [2n-2] when
+    validity is required under network failures, [n-1+f] when validity is
+    required under crash failures only, and [0] otherwise. *)
+
+val messages_given_optimal_delays : n:int -> f:int -> Props.cell -> int
+(** Optimal number of messages among protocols that also achieve the
+    optimal number of delays: [n(n-1)] for the 1-delay cells that require
+    validity somewhere (every process must reach every other within one
+    delay, Section 3.2), [2fn] for the 2-delay cells (Theorem 5), and the
+    plain optimum elsewhere. *)
+
+val has_tradeoff : Props.cell -> bool
+(** Whether delay- and message-optimality cannot be achieved by one
+    protocol (18 of the 27 cells; Section 3.2 and Theorem 5). *)

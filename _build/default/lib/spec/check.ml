@@ -1,0 +1,90 @@
+type verdict = {
+  agreement : bool;
+  commit_validity : bool;
+  abort_validity : bool;
+  termination : bool;
+  violations : string list;
+}
+
+let validity v = v.commit_validity && v.abort_validity
+let solves_nbac v = v.agreement && validity v && v.termination
+
+let holds v (p : Props.t) =
+  (Bool.not p.Props.a || v.agreement)
+  && (Bool.not p.Props.v || validity v)
+  && (Bool.not p.Props.t || v.termination)
+
+let run (r : Report.t) =
+  let violations = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  let decisions = Report.decided_values r in
+  (* validity is about what was actually proposed: a process that crashed
+     before proposing never proposed its vote *)
+  let someone_no =
+    List.exists (fun (_, v) -> Vote.equal v Vote.no) (Trace.proposals r.trace)
+  in
+  let failure = Classify.failure_occurred r in
+  let agreement =
+    match decisions with
+    | [] -> true
+    | d :: rest ->
+        if List.for_all (Vote.decision_equal d) rest then true
+        else begin
+          fail "agreement: processes decided both commit and abort";
+          false
+        end
+  in
+  let commit_validity =
+    if List.exists (Vote.decision_equal Vote.Commit) decisions && someone_no
+    then begin
+      fail "commit-validity: commit decided although some process voted 0";
+      false
+    end
+    else true
+  in
+  let abort_validity =
+    if
+      List.exists (Vote.decision_equal Vote.Abort) decisions
+      && (not someone_no) && not failure
+    then begin
+      fail
+        "abort-validity: abort decided in a failure-free execution where \
+         every process voted 1";
+      false
+    end
+    else true
+  in
+  let termination =
+    (* "every correct process eventually decides": once everyone correct
+       has decided, late in-flight traffic does not negate termination.
+       When someone is still undecided we require quiescence as the
+       evidence that it never will decide — a run cut off at max-time is
+       reported as a violation (conservatively). *)
+    let all_correct_decided = Report.all_correct_decided r in
+    if not all_correct_decided then begin
+      let blocked =
+        Report.correct_pids r
+        |> List.filter (fun p -> Report.decision_of r p = None)
+        |> List.map Pid.to_string
+      in
+      match r.outcome with
+      | Report.Quiescent _ ->
+          fail "termination: correct process(es) %s never decide"
+            (String.concat "," blocked)
+      | Report.Max_time_reached ->
+          fail
+            "termination: correct process(es) %s undecided when the run was \
+             cut off at max-time"
+            (String.concat "," blocked)
+    end;
+    all_correct_decided
+  in
+  { agreement; commit_validity; abort_validity; termination;
+    violations = List.rev !violations }
+
+let pp ppf v =
+  let b ppf ok = Format.pp_print_string ppf (if ok then "ok" else "VIOLATED") in
+  Format.fprintf ppf
+    "@[<v>agreement: %a@,commit-validity: %a@,abort-validity: %a@,\
+     termination: %a@]"
+    b v.agreement b v.commit_validity b v.abort_validity b v.termination

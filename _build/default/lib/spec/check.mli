@@ -1,0 +1,21 @@
+(** Checkers for the NBAC properties (Definition 1 of the paper) over an
+    executed report. *)
+
+type verdict = {
+  agreement : bool;
+  commit_validity : bool;  (** decide 1 ⟹ nobody proposed 0 *)
+  abort_validity : bool;
+      (** decide 0 ⟹ some process proposed 0 or a failure occurred *)
+  termination : bool;
+      (** every correct process decided, and the run reached quiescence *)
+  violations : string list;  (** human-readable description of each breach *)
+}
+
+val validity : verdict -> bool
+val solves_nbac : verdict -> bool
+val holds : verdict -> Props.t -> bool
+(** Does the verdict satisfy (at least) this property set? *)
+
+val run : Report.t -> verdict
+
+val pp : Format.formatter -> verdict -> unit

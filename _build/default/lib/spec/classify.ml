@@ -1,0 +1,32 @@
+type class_ = Failure_free | Crash_failure | Network_failure
+
+let some_late_message (r : Report.t) =
+  let u = r.scenario.Scenario.u in
+  List.exists
+    (function
+      | Trace.Send { at; src; dst; deliver_at; _ } ->
+          (not (Pid.equal src dst)) && deliver_at - at > u
+      | Trace.Propose _ | Trace.Deliver _ | Trace.Discard _ | Trace.Timeout _
+      | Trace.Guard _ | Trace.Decide _ | Trace.Crash _ | Trace.Note _ ->
+          false)
+    (Trace.entries r.trace)
+
+let some_crash (r : Report.t) = Array.exists Option.is_some r.crashed_at
+
+let of_report r =
+  if some_late_message r then Network_failure
+  else if some_crash r then Crash_failure
+  else Failure_free
+
+let failure_occurred r = of_report r <> Failure_free
+
+let is_nice r =
+  of_report r = Failure_free
+  && Array.for_all (Vote.equal Vote.yes) r.scenario.Scenario.votes
+
+let to_string = function
+  | Failure_free -> "failure-free"
+  | Crash_failure -> "crash-failure"
+  | Network_failure -> "network-failure"
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

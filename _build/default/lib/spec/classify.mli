@@ -1,0 +1,20 @@
+(** Classify an executed trace into the paper's execution classes, from
+    what actually happened (as opposed to {!Scenario.classify}, which is a
+    conservative static classification of what could happen). *)
+
+type class_ = Failure_free | Crash_failure | Network_failure
+
+val of_report : Report.t -> class_
+(** [Network_failure] when some delivered or in-flight message took more
+    than [U]; else [Crash_failure] when some process crashed; else
+    [Failure_free]. *)
+
+val failure_occurred : Report.t -> bool
+(** A crash or a late message — the "or a failure occurs" escape hatch of
+    abort-validity. *)
+
+val is_nice : Report.t -> bool
+(** Failure-free and every process proposed 1. *)
+
+val to_string : class_ -> string
+val pp : Format.formatter -> class_ -> unit

@@ -1,0 +1,39 @@
+type t = {
+  messages : int;
+  commit_messages : int;
+  consensus_messages : int;
+  delays : float;
+  first_decision_delays : float;
+  all_decided : bool;
+  consensus_invoked : bool;
+}
+
+let of_report (r : Report.t) =
+  let u = r.scenario.Scenario.u in
+  let times =
+    Array.to_list r.decisions |> List.filter_map (Option.map fst)
+  in
+  match times with
+  | [] -> invalid_arg "Metrics.of_report: no process decided"
+  | t0 :: _ ->
+      let last = List.fold_left max t0 times in
+      let first = List.fold_left min t0 times in
+      {
+        messages = Report.total_messages r;
+        commit_messages = Report.commit_messages r;
+        consensus_messages = Report.consensus_messages r;
+        delays = Sim_time.delays ~u last;
+        first_decision_delays = Sim_time.delays ~u first;
+        all_decided = Report.all_correct_decided r;
+        consensus_invoked = Report.consensus_invoked r;
+      }
+
+let of_nice r =
+  if not (Classify.is_nice r) then
+    invalid_arg "Metrics.of_nice: execution is not nice";
+  of_report r
+
+let pp ppf m =
+  Format.fprintf ppf "%d msgs (%d commit + %d cons), %.1f delays%s" m.messages
+    m.commit_messages m.consensus_messages m.delays
+    (if m.consensus_invoked then ", consensus invoked" else "")

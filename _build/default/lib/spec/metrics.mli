@@ -1,0 +1,24 @@
+(** The paper's best-case complexity measures, extracted from a report. *)
+
+type t = {
+  messages : int;  (** network messages, commit + consensus layers *)
+  commit_messages : int;
+  consensus_messages : int;
+  delays : float;
+      (** time of the last decision divided by [U] — the number of message
+          delays when every delay is exactly [U] (Section 2.4) *)
+  first_decision_delays : float;
+  all_decided : bool;
+  consensus_invoked : bool;
+}
+
+val of_report : Report.t -> t
+(** @raise Invalid_argument when no process decided (no complexity to
+    measure). *)
+
+val of_nice : Report.t -> t
+(** Like {!of_report} but insists the execution was nice
+    ({!Classify.is_nice}); raises otherwise — guards benches against
+    accidentally measuring a non-nice run. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type phase = Send_phase | Receive_phase
+
+(* Chronological send/receive events of one process up to its decision.
+   The trace interleaves events of all processes; at one instant a
+   process's deliveries precede its sends-in-reaction (engine ordering),
+   and the trace preserves that order. *)
+let events_until_decision (r : Report.t) pid =
+  match Report.decision_of r pid with
+  | None -> None
+  | Some (decided_at, _) ->
+      let events =
+        List.filter_map
+          (function
+            | Trace.Send { at; src; dst; _ }
+              when Pid.equal src pid && (not (Pid.equal src dst))
+                   && at <= decided_at ->
+                Some Send_phase
+            | Trace.Deliver { at; dst; src; _ }
+              when Pid.equal dst pid && (not (Pid.equal src dst))
+                   && at <= decided_at ->
+                Some Receive_phase
+            | Trace.Propose _ | Trace.Send _ | Trace.Deliver _
+            | Trace.Discard _ | Trace.Timeout _ | Trace.Guard _
+            | Trace.Decide _ | Trace.Crash _ | Trace.Note _ ->
+                None)
+          (Trace.entries r.Report.trace)
+      in
+      Some events
+
+let collapse events =
+  List.fold_left
+    (fun acc e ->
+      match acc with
+      | last :: _ when last = e -> acc
+      | _ -> e :: acc)
+    [] events
+  |> List.rev
+
+let of_report r pid =
+  match events_until_decision r pid with
+  | None -> []
+  | Some events -> collapse events
+
+let count phases =
+  List.fold_left
+    (fun (s, rcv) -> function
+      | Send_phase -> (s + 1, rcv)
+      | Receive_phase -> (s, rcv + 1))
+    (0, 0) phases
+
+let pp_phase ppf = function
+  | Send_phase -> Format.pp_print_string ppf "send"
+  | Receive_phase -> Format.pp_print_string ppf "receive"
+
+let pp ppf phases =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+    pp_phase ppf phases

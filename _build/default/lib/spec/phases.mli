@@ -1,0 +1,30 @@
+(** Send/receive phase counting, after the round-model discussion of
+    Section 6.1.
+
+    Charron-Bost and Schiper's round lower bound says two {e rounds} are
+    necessary for synchronous NBAC, where a round is one send phase plus
+    one receive phase; combined with the paper's one-message-delay bound
+    the picture becomes: "a process can decide at the earliest by the end
+    of the first message delay, and if so, it has to send messages before
+    its decision — two send phases and one receive phase are necessary".
+
+    This module extracts, per process, the alternating send/receive
+    phases that precede its decision in a trace, so the claim can be
+    checked on the implemented protocols (see the tests): 1NBAC's
+    deciders exhibit exactly send, receive, send before deciding. *)
+
+type phase = Send_phase | Receive_phase
+
+val of_report : Report.t -> Pid.t -> phase list
+(** The maximal alternation of phases at this process, up to and
+    including its decision instant: consecutive sends (resp. deliveries)
+    collapse into one phase; a block containing both at one instant is
+    split receive-then-send when the sends react to the deliveries
+    (deliveries are processed first at equal time). Empty when the
+    process never decided. *)
+
+val count : phase list -> int * int
+(** [(send phases, receive phases)]. *)
+
+val pp_phase : Format.formatter -> phase -> unit
+val pp : Format.formatter -> phase list -> unit

@@ -1,0 +1,51 @@
+type t = { a : bool; v : bool; t : bool }
+
+let empty = { a = false; v = false; t = false }
+let a = { empty with a = true }
+let v = { empty with v = true }
+let t_ = { empty with t = true }
+let av = { a = true; v = true; t = false }
+let at = { a = true; v = false; t = true }
+let vt = { a = false; v = true; t = true }
+let avt = { a = true; v = true; t = true }
+let make ~a ~v ~t = { a; v; t }
+
+let subset x y =
+  (Bool.not x.a || y.a) && (Bool.not x.v || y.v) && (Bool.not x.t || y.t)
+
+let union x y = { a = x.a || y.a; v = x.v || y.v; t = x.t || y.t }
+let equal (x : t) y = x = y
+let all_subsets = [ empty; a; v; t_; av; at; vt; avt ]
+
+let to_string x =
+  if x = empty then "\xe2\x88\x85" (* ∅ *)
+  else
+    String.concat ""
+      [
+        (if x.a then "A" else "");
+        (if x.v then "V" else "");
+        (if x.t then "T" else "");
+      ]
+
+let pp ppf x = Format.pp_print_string ppf (to_string x)
+
+type cell = { cf : t; nf : t }
+
+let cell ~cf ~nf =
+  if not (subset nf cf) then
+    invalid_arg "Props.cell: network-failure properties must be a subset of \
+                 crash-failure properties";
+  { cf; nf }
+
+let cells =
+  List.concat_map
+    (fun cf ->
+      List.filter_map
+        (fun nf -> if subset nf cf then Some { cf; nf } else None)
+        all_subsets)
+    all_subsets
+
+let cell_le x y = subset x.cf y.cf && subset x.nf y.nf
+
+let pp_cell ppf { cf; nf } =
+  Format.fprintf ppf "(%s, %s)" (to_string cf) (to_string nf)

@@ -1,0 +1,46 @@
+(** Subsets of the NBAC properties {agreement, validity, termination} and
+    the 27 cells of the paper's Table 1.
+
+    A cell is a pair [(cf, nf)]: the properties required in every
+    crash-failure execution and in every network-failure execution. Since
+    a property that holds in every network-failure execution also holds in
+    every crash-failure one, a cell is meaningful only when [nf] is a
+    subset of [cf] — there are exactly 27 such pairs. *)
+
+type t = { a : bool; v : bool; t : bool }
+
+val empty : t
+val a : t
+val v : t
+val t_ : t
+val av : t
+val at : t
+val vt : t
+val avt : t
+
+val make : a:bool -> v:bool -> t:bool -> t
+val subset : t -> t -> bool
+val union : t -> t -> t
+val equal : t -> t -> bool
+val all_subsets : t list
+(** The 8 subsets, in the paper's column order: ∅, A, V, T, AV, AT, VT,
+    AVT. *)
+
+val to_string : t -> string
+(** "∅", "A", "AV", "AVT", ... *)
+
+val pp : Format.formatter -> t -> unit
+
+type cell = { cf : t; nf : t }
+
+val cell : cf:t -> nf:t -> cell
+(** @raise Invalid_argument when [nf] is not a subset of [cf]. *)
+
+val cells : cell list
+(** All 27 valid cells, row-major in the paper's table order. *)
+
+val cell_le : cell -> cell -> bool
+(** The paper's robustness order: [(x, y) <= (u, w)] iff [x ⊆ u] and
+    [y ⊆ w]. *)
+
+val pp_cell : Format.formatter -> cell -> unit

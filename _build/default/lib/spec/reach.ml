@@ -1,0 +1,75 @@
+type message = {
+  src : Pid.t;
+  dst : Pid.t;
+  leave : Sim_time.t;
+  arrive : Sim_time.t;
+}
+
+type t = { n : int; messages : message list (* sorted by arrival *) }
+
+let of_report ?layer (r : Report.t) =
+  let messages =
+    Trace.network_sends ?layer r.Report.trace
+    |> List.filter_map (function
+         | Trace.Send { at; src; dst; deliver_at; _ } ->
+             Some { src; dst; leave = at; arrive = deliver_at }
+         | Trace.Propose _ | Trace.Deliver _ | Trace.Discard _
+         | Trace.Timeout _ | Trace.Guard _ | Trace.Decide _ | Trace.Crash _
+         | Trace.Note _ ->
+             None)
+    |> List.sort (fun a b -> Sim_time.compare a.arrive b.arrive)
+  in
+  { n = r.Report.scenario.Scenario.n; messages }
+
+(* Temporal reachability from [origin], using only chains whose first
+   message leaves [origin] at or after [not_before]. One linear pass over
+   the arrival-sorted messages computes every earliest arrival: a chain's
+   enabling prefix always arrives no later than the extending message
+   leaves, hence no later than it arrives, so it has been processed. *)
+let reach_from t ~origin ~not_before =
+  let earliest = Array.make t.n None in
+  List.iter
+    (fun m ->
+      let enabled =
+        (Pid.equal m.src origin && m.leave >= not_before)
+        ||
+        match earliest.(Pid.index m.src) with
+        | Some reached -> m.leave >= reached
+        | None -> false
+      in
+      if enabled && not (Pid.equal m.dst origin) then
+        match earliest.(Pid.index m.dst) with
+        | Some existing when existing <= m.arrive -> ()
+        | Some _ | None -> earliest.(Pid.index m.dst) <- Some m.arrive)
+    t.messages;
+  earliest
+
+let reached_at t ~src ~dst =
+  (reach_from t ~origin:src ~not_before:Sim_time.zero).(Pid.index dst)
+
+let reaches_by t ~src ~dst ~at =
+  match reached_at t ~src ~dst with Some r -> r <= at | None -> false
+
+let reached_set t ~src ~at =
+  let earliest = reach_from t ~origin:src ~not_before:Sim_time.zero in
+  Pid.all ~n:t.n
+  |> List.filter (fun q ->
+         (not (Pid.equal q src))
+         &&
+         match earliest.(Pid.index q) with
+         | Some r -> r <= at
+         | None -> false)
+
+let round_trip_by t ~src ~via ~at =
+  match reached_at t ~src ~dst:via with
+  | None -> false
+  | Some forward ->
+      forward <= at
+      &&
+      let back = reach_from t ~origin:via ~not_before:forward in
+      (match back.(Pid.index src) with Some r -> r <= at | None -> false)
+
+let acknowledgers t ~src ~at =
+  Pid.all ~n:t.n
+  |> List.filter (fun q ->
+         (not (Pid.equal q src)) && round_trip_by t ~src ~via:q ~at)

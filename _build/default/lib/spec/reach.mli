@@ -1,0 +1,42 @@
+(** Process reachability (Definitions 2 and 4 of the paper), computed on
+    executed traces.
+
+    [P] {e reaches} [Q] at time [t] when a chain of messages
+    [m1, ..., ml] exists with source of [m1] = [P], destination of [ml] =
+    [Q], each [m_{i+1}] leaving its source no earlier than [m_i] arrived
+    there, and [ml] arriving at [t] — the earliest such [t] is what we
+    compute. Reachability is what the lower-bound proofs count: Lemma 1
+    ("at least [f] backups"), Lemma 3 ("every process reaches the
+    decider"), Lemma 5 ("[f] quick acknowledgements": [P] reaches [Q] and
+    subsequently [Q] reaches [P]).
+
+    The test suite uses this module to check the lemmas' structural
+    preconditions on the nice executions of the optimal protocols —
+    e.g. in INBAC's nice run every process has reached [f] others by the
+    time the last pre-decision message leaves, and [f] round trips
+    complete by decision time. *)
+
+type t
+
+val of_report : ?layer:Trace.layer -> Report.t -> t
+(** Build the reachability relation from the trace's network messages
+    (restricted to [layer] when given). Self-addressed messages are
+    ignored, as in the paper. *)
+
+val reached_at : t -> src:Pid.t -> dst:Pid.t -> Sim_time.t option
+(** Earliest time at which [src] reaches [dst], if ever. *)
+
+val reaches_by : t -> src:Pid.t -> dst:Pid.t -> at:Sim_time.t -> bool
+
+val reached_set : t -> src:Pid.t -> at:Sim_time.t -> Pid.t list
+(** Everyone [src] has reached by [at] (inclusive), excluding itself. *)
+
+val round_trip_by : t -> src:Pid.t -> via:Pid.t -> at:Sim_time.t -> bool
+(** Definition 4's acknowledgement pattern: [src] reaches [via], and
+    subsequently [via] reaches [src], completing by [at]. Computed
+    exactly: the return chain may only start after the forward chain has
+    arrived at [via]. *)
+
+val acknowledgers : t -> src:Pid.t -> at:Sim_time.t -> Pid.t list
+(** The set [Θ] of Lemma 5: processes [Q] such that [src] reaches [Q] and
+    subsequently [Q] reaches [src] by [at]. *)

@@ -1,0 +1,1 @@
+lib/stats/ablation.ml: Ascii Buffer Check List Metrics Pid Printf Registry Report Scenario Sim_time Vote

@@ -1,0 +1,1 @@
+lib/stats/ascii.ml: Array Buffer Char List String

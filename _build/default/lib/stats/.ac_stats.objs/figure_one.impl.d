@@ -1,0 +1,1 @@
+lib/stats/figure_one.ml: Buffer Hashtbl List Option Pid Printf Registry Report Scenario Sim_time String Trace Witness

@@ -1,0 +1,1 @@
+lib/stats/figure_one.mli: Pid Report Sim_time

@@ -1,0 +1,1 @@
+lib/stats/lemma_report.ml: Ascii Buffer Format List Phases Pid Printf Reach Registry Scenario Sim_time String

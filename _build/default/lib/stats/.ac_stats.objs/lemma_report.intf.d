@@ -1,0 +1,1 @@
+lib/stats/lemma_report.mli:

@@ -1,0 +1,1 @@
+lib/stats/measure.ml: Complexity Float List Metrics Registry Scenario

@@ -1,0 +1,1 @@
+lib/stats/measure.mli: Metrics Registry

@@ -1,0 +1,1 @@
+lib/stats/robustness.ml: Ascii Buffer Check Classify Complexity Format List Network Pid Props Registry Scenario Sim_time Witness

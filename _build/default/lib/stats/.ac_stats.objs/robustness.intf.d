@@ -1,0 +1,1 @@
+lib/stats/robustness.mli: Classify Props Scenario

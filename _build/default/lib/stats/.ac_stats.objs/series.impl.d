@@ -1,0 +1,1 @@
+lib/stats/series.ml: Ascii Buffer List Measure Metrics Printf

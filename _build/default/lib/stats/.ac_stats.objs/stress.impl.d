@@ -1,0 +1,1 @@
+lib/stats/stress.ml: Ascii Buffer Check Float List Pid Printf Registry Report Rng Scenario Sim_time Witness

@@ -1,0 +1,1 @@
+lib/stats/table_compare.ml: Ascii Buffer Complexity Format List Measure Metrics Printf Props

@@ -1,0 +1,1 @@
+lib/stats/table_compare.mli:

@@ -1,0 +1,1 @@
+lib/stats/table_one.ml: Ascii Bounds Buffer Float Format List Measure Metrics Printf Props

@@ -1,0 +1,1 @@
+lib/stats/table_one.mli: Measure Props

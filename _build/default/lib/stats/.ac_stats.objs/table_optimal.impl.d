@@ -1,0 +1,1 @@
+lib/stats/table_optimal.ml: Ascii Bounds Buffer Format List Measure Metrics Props

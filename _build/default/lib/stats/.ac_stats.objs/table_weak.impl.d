@@ -1,0 +1,1 @@
+lib/stats/table_weak.ml: Ascii Buffer Check List Metrics Pid Printf Registry Report Scenario Vote

@@ -1,0 +1,1 @@
+lib/stats/trace_export.ml: Array Buffer Bytes Format Hashtbl List Option Pid Printf Report Scenario String Trace Vote

@@ -1,0 +1,1 @@
+lib/stats/trace_export.mli: Report

@@ -1,0 +1,159 @@
+type flip_row = {
+  protocol : string;
+  nbac_with_priority : bool;
+  nbac_flipped : bool;
+}
+
+let flip_protocols =
+  [ "inbac"; "1nbac"; "(n-1+f)nbac"; "(2n-2)nbac"; "0nbac"; "2pc" ]
+
+let priority_flip ?(n = 5) ?(f = 2) () =
+  List.map
+    (fun protocol ->
+      let runner = Registry.find_exn protocol in
+      let nbac_of deliveries_first =
+        let scenario = Scenario.make ~n ~f ~deliveries_first () in
+        Check.solves_nbac (Check.run (runner.Registry.run scenario))
+      in
+      {
+        protocol;
+        nbac_with_priority = nbac_of true;
+        nbac_flipped = nbac_of false;
+      })
+    flip_protocols
+
+type consensus_row = {
+  scenario_label : string;
+  paxos_decisions : Vote.decision list;
+  floodset_decisions : Vote.decision list;
+  same_outcome : bool;
+  paxos_cons_messages : int;
+  floodset_cons_messages : int;
+}
+
+let consensus_choice ?(n = 5) ?(f = 2) () =
+  let u = Sim_time.default_u in
+  let runner = Registry.find_exn "inbac" in
+  let scenarios =
+    [
+      ( "P1 crashes at U",
+        Scenario.with_crashes (Scenario.nice ~n ~f ())
+          [ (Pid.of_rank 1, Scenario.Before u) ] );
+      ( "P1, P2 crash at U (all low-rank backups)",
+        Scenario.with_crashes (Scenario.nice ~n ~f ())
+          [
+            (Pid.of_rank 1, Scenario.Before u);
+            (Pid.of_rank 2, Scenario.Before u);
+          ] );
+      ( "P3 votes 0, P1 crashes at 0",
+        Scenario.with_crashes
+          (Scenario.with_no_votes (Scenario.nice ~n ~f ()) [ Pid.of_rank 3 ])
+          [ (Pid.of_rank 1, Scenario.Before 0) ] );
+    ]
+  in
+  List.map
+    (fun (scenario_label, scenario) ->
+      let paxos = runner.Registry.run ~consensus:Registry.Paxos scenario in
+      let floodset = runner.Registry.run ~consensus:Registry.Floodset scenario in
+      let paxos_decisions = Report.decided_values paxos in
+      let floodset_decisions = Report.decided_values floodset in
+      {
+        scenario_label;
+        paxos_decisions;
+        floodset_decisions;
+        same_outcome =
+          (match (paxos_decisions, floodset_decisions) with
+          | a :: _, b :: _ -> Vote.decision_equal a b
+          | [], [] -> true
+          | _, _ -> false);
+        paxos_cons_messages = Report.consensus_messages paxos;
+        floodset_cons_messages = Report.consensus_messages floodset;
+      })
+    scenarios
+
+type latency_row = {
+  variant : string;
+  nice_messages : int;
+  nice_delays : float;
+  abort_delays : float;
+}
+
+let latency_of protocol ~n ~f =
+  let runner = Registry.find_exn protocol in
+  let nice = Metrics.of_nice (runner.Registry.run (Scenario.nice ~n ~f ())) in
+  let abort_scenario =
+    Scenario.with_no_votes (Scenario.nice ~n ~f ()) [ Pid.of_rank ((n / 2) + 1) ]
+  in
+  let abort = Metrics.of_report (runner.Registry.run abort_scenario) in
+  {
+    variant = protocol;
+    nice_messages = nice.Metrics.messages;
+    nice_delays = nice.Metrics.delays;
+    abort_delays = abort.Metrics.delays;
+  }
+
+let fast_abort ?(n = 5) ?(f = 2) () =
+  [ latency_of "inbac" ~n ~f; latency_of "inbac-fast-abort" ~n ~f ]
+
+let normalization ?(n = 5) () =
+  [ latency_of "2pc" ~n ~f:1; latency_of "2pc-classic" ~n ~f:1 ]
+
+let render ?(n = 5) ?(f = 2) () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Ablation 1 - appendix remark (b): deliveries must preempt timeouts\n\
+     (nice executions; 'flipped' processes timeouts first)\n\n";
+  let t = Ascii.create ~header:[ "protocol"; "NBAC (paper rule)"; "NBAC (flipped)" ] in
+  List.iter
+    (fun r ->
+      Ascii.add_row t
+        [
+          r.protocol;
+          (if r.nbac_with_priority then "yes" else "NO");
+          (if r.nbac_flipped then "yes" else "no — remark (b) is load-bearing");
+        ])
+    (priority_flip ~n ~f ());
+  Buffer.add_string buf (Ascii.render t);
+  Buffer.add_string buf
+    "\nAblation 2 - Theorem 6 modularity: INBAC under Paxos vs FloodSet\n\n";
+  let t =
+    Ascii.create
+      ~header:
+        [ "crash scenario"; "same outcome"; "paxos cons msgs"; "floodset cons msgs" ]
+  in
+  List.iter
+    (fun r ->
+      Ascii.add_row t
+        [
+          r.scenario_label;
+          (if r.same_outcome then "yes" else "NO");
+          string_of_int r.paxos_cons_messages;
+          string_of_int r.floodset_cons_messages;
+        ])
+    (consensus_choice ~n ~f ());
+  Buffer.add_string buf (Ascii.render t);
+  let latency_table title rows =
+    Buffer.add_string buf title;
+    let t =
+      Ascii.create
+        ~header:[ "variant"; "nice msgs"; "nice delays"; "failure-free abort delays" ]
+    in
+    List.iter
+      (fun r ->
+        Ascii.add_row t
+          [
+            r.variant;
+            string_of_int r.nice_messages;
+            Printf.sprintf "%.0f" r.nice_delays;
+            Printf.sprintf "%.0f" r.abort_delays;
+          ])
+      rows;
+    Buffer.add_string buf (Ascii.render t)
+  in
+  latency_table
+    "\nAblation 3 - the Section 5.2 fast-abort optimization\n\n"
+    (fast_abort ~n ~f ());
+  latency_table
+    "\nAblation 4 - the Section 6 normalization (spontaneous vs classic 2PC)\n\n"
+    (normalization ~n ());
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** Ablations of the design decisions DESIGN.md calls out: each function
+    runs the experiment and reports what changes, so the benches can show
+    the decision is load-bearing (or harmless where it should be). *)
+
+type flip_row = {
+  protocol : string;
+  nbac_with_priority : bool;
+      (** nice run solves NBAC under the paper's delivery-before-timeout
+          rule (must be true) *)
+  nbac_flipped : bool;  (** ... with timeouts processed first *)
+}
+
+val priority_flip : ?n:int -> ?f:int -> unit -> flip_row list
+(** Appendix remark (b) ablation: the exact-delay protocols whose
+    messages land exactly on timer boundaries (INBAC, the chain protocols,
+    1NBAC...) spuriously time out and lose validity or termination when
+    timeouts preempt deliveries; event-driven protocols (2PC) survive. *)
+
+type consensus_row = {
+  scenario_label : string;
+  paxos_decisions : Vote.decision list;
+  floodset_decisions : Vote.decision list;
+  same_outcome : bool;
+  paxos_cons_messages : int;
+  floodset_cons_messages : int;
+}
+
+val consensus_choice : ?n:int -> ?f:int -> unit -> consensus_row list
+(** Theorem 6's modularity: INBAC's decisions are identical under Paxos
+    and FloodSet consensus on the same crash scenarios; only the cost of
+    the fallback differs. *)
+
+type latency_row = {
+  variant : string;
+  nice_messages : int;
+  nice_delays : float;
+  abort_delays : float;  (** failure-free execution with one 0 vote *)
+}
+
+val fast_abort : ?n:int -> ?f:int -> unit -> latency_row list
+(** The Section 5.2 optimization: identical nice executions, aborts one
+    delay faster. *)
+
+val normalization : ?n:int -> unit -> latency_row list
+(** The Section 6 normalization quantified: spontaneous 2PC vs classic
+    coordinator-initiated 2PC (one delay and [n-1] messages apart). *)
+
+val render : ?n:int -> ?f:int -> unit -> string

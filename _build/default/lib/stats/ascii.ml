@@ -1,0 +1,62 @@
+type row = Cells of string list | Separator
+
+type t = { header : string list; width : int; mutable rev_rows : row list }
+
+let create ~header = { header; width = List.length header; rev_rows = [] }
+
+let add_row t cells =
+  if List.length cells <> t.width then
+    invalid_arg "Ascii.add_row: row width differs from header";
+  t.rev_rows <- Cells cells :: t.rev_rows
+
+let add_separator t = t.rev_rows <- Separator :: t.rev_rows
+
+(* Display width in characters: count UTF-8 code points, not bytes, so
+   that "∅" does not distort the layout. *)
+let display_width s =
+  let n = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n) s;
+  !n
+
+let render t =
+  let rows = List.rev t.rev_rows in
+  let widths = Array.of_list (List.map display_width t.header) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cells ->
+          List.iteri
+            (fun i c -> widths.(i) <- max widths.(i) (display_width c))
+            cells)
+    rows;
+  let pad i s =
+    let missing = widths.(i) - display_width s in
+    s ^ String.make (max 0 missing) ' '
+  in
+  let buf = Buffer.create 1024 in
+  let emit_cells cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_string buf " |\n"
+  in
+  let emit_separator () =
+    Buffer.add_char buf '|';
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_char buf '+';
+        Buffer.add_string buf (String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "|\n"
+  in
+  emit_cells t.header;
+  emit_separator ();
+  List.iter
+    (function Separator -> emit_separator () | Cells cells -> emit_cells cells)
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,18 @@
+(** Minimal ASCII table rendering for the reproduction harness. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the row width differs from the header. *)
+
+val add_separator : t -> unit
+val render : t -> string
+(** Fixed-width layout with column separators, e.g.:
+    {v
+    | protocol | messages | delays |
+    |----------+----------+--------|
+    | inbac    |       20 |      2 |
+    v} *)
+
+val print : t -> unit

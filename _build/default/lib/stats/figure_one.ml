@@ -1,0 +1,78 @@
+let dot =
+  {|digraph inbac_process {
+  rankdir=LR;
+  node [shape=box, fontname="Helvetica"];
+  start    [label="propose v\n(send [V,v] to backups)"];
+  phase0   [label="phase 0\ncollect [V] as backup"];
+  phase1   [label="phase 1\nsend [C] acks, collect [C]"];
+  phase2   [label="phase 2\nmerge collections"];
+  direct   [label="decide AND(votes)\n(direct, 2 delays)", style=bold];
+  propose  [label="propose to iuc\n(AND if complete, else 0)"];
+  wait     [label="wait: send [HELP]\nto P_{f+1}..P_n"];
+  cons     [label="decide iuc outcome", style=bold];
+  start  -> phase0 [label="rank <= f+1"];
+  start  -> phase1 [label="rank > f+1"];
+  phase0 -> phase1 [label="timeout U"];
+  phase1 -> phase2 [label="timeout 2U"];
+  phase2 -> direct  [label="f complete acks"];
+  phase2 -> propose [label="some acks (cnt >= 1)\nor rank <= f"];
+  phase2 -> wait    [label="no ack, rank > f"];
+  wait   -> direct  [label="late acks complete"];
+  wait   -> propose [label="cnt + cnt_help >= n - f"];
+  propose -> cons   [label="iuc decides"];
+}
+|}
+
+let transitions (r : Report.t) =
+  let per_pid = Hashtbl.create 8 in
+  List.iter
+    (fun (at, pid, label, value) ->
+      let entry =
+        match label with
+        | "phase" -> Some ("phase " ^ value)
+        | "decide-path" -> Some ("decide via " ^ value)
+        | _ -> None
+      in
+      match entry with
+      | None -> ()
+      | Some e ->
+          let prev = Option.value (Hashtbl.find_opt per_pid pid) ~default:[] in
+          Hashtbl.replace per_pid pid ((at, e) :: prev))
+    (Trace.notes r.trace);
+  Pid.all ~n:r.scenario.Scenario.n
+  |> List.filter_map (fun pid ->
+         Hashtbl.find_opt per_pid pid
+         |> Option.map (fun log -> (pid, List.rev log)))
+
+let render_log title report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (pid, log) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %s\n" (Pid.to_string pid)
+           (String.concat " -> "
+              (List.map
+                 (fun (at, e) -> Printf.sprintf "%s@%d" e at)
+                 log))))
+    (transitions report);
+  Buffer.contents buf
+
+let render ?(n = 5) ?(f = 2) () =
+  let run = (Registry.find_exn "inbac").Registry.run in
+  let nice = run (Scenario.nice ~n ~f ()) in
+  let crash =
+    run
+      (Scenario.with_crashes (Scenario.nice ~n ~f ())
+         [ (Pid.of_rank 1, Scenario.Before Sim_time.default_u) ])
+  in
+  let slow = run (Witness.inbac_slow_backup ~n ~f) in
+  String.concat "\n"
+    [
+      "Figure 1 - INBAC state transitions\n";
+      dot;
+      render_log "Observed transitions, nice execution:" nice;
+      render_log "Observed transitions, P1 crashes at U:" crash;
+      render_log "Observed transitions, P1's acknowledgements late:" slow;
+    ]

@@ -1,0 +1,15 @@
+(** Reproduction of the paper's Figure 1: the state transitions of a
+    process in INBAC, both as a static diagram (Graphviz DOT) and as
+    observed transition logs extracted from traced executions (a nice
+    run, a crash run, and a slow-network run). *)
+
+val dot : string
+(** The state machine: phase 0 → 1 → 2, then direct decision, consensus
+    proposal, or the wait/help path, and the consensus decision. *)
+
+val transitions : Report.t -> (Pid.t * (Sim_time.t * string) list) list
+(** Per process, the sequence of phase transitions and decision-path
+    notes, in order. *)
+
+val render : ?n:int -> ?f:int -> unit -> string
+(** DOT plus the three observed transition logs (defaults n = 5, f = 2). *)

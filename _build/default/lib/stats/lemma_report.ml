@@ -1,0 +1,69 @@
+let u = Sim_time.default_u
+
+let render_inbac ?(n = 5) ?(f = 2) () =
+  let report = (Registry.find_exn "inbac").Registry.run (Scenario.nice ~n ~f ()) in
+  let reach = Reach.of_report report in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Lemmas 1 and 5 on INBAC's nice execution (n=%d, f=%d):\n\
+        every process must reach >= f processes by t2 = U (backups) and\n\
+        complete >= f acknowledgement round trips by its decision at 2U.\n\n"
+       n f);
+  let table =
+    Ascii.create
+      ~header:
+        [ "process"; "reached by U (Lemma 1)"; "round trips by 2U (Lemma 5)" ]
+  in
+  List.iter
+    (fun p ->
+      let backups = Reach.reached_set reach ~src:p ~at:u in
+      let theta = Reach.acknowledgers reach ~src:p ~at:(2 * u) in
+      let names pids = String.concat "," (List.map Pid.to_string pids) in
+      Ascii.add_row table
+        [
+          Pid.to_string p;
+          Printf.sprintf "%d [%s]" (List.length backups) (names backups);
+          Printf.sprintf "%d [%s]" (List.length theta) (names theta);
+        ])
+    (Pid.all ~n);
+  Buffer.add_string buf (Ascii.render table);
+  Buffer.contents buf
+
+let render_phases ?(n = 5) ?(f = 2) ~protocols () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Section 6.1 phase profile: alternating send/receive phases before the\n\
+     decision (synchronous NBAC needs two send phases and one receive phase\n\
+     before any process decides; protocols that give up termination get away\n\
+     with less).\n\n";
+  let table =
+    Ascii.create ~header:[ "protocol"; "process"; "phases before deciding" ]
+  in
+  List.iter
+    (fun protocol ->
+      let report =
+        (Registry.find_exn protocol).Registry.run (Scenario.nice ~n ~f ())
+      in
+      List.iter
+        (fun p ->
+          let phases = Phases.of_report report p in
+          if phases <> [] then
+            Ascii.add_row table
+              [
+                protocol;
+                Pid.to_string p;
+                Format.asprintf "%a" Phases.pp phases;
+              ])
+        [ Pid.of_rank 1; Pid.of_rank n ];
+      Ascii.add_separator table)
+    protocols;
+  Buffer.add_string buf (Ascii.render table);
+  Buffer.contents buf
+
+let render ?n ?f () =
+  render_inbac ?n ?f ()
+  ^ "\n"
+  ^ render_phases ?n ?f
+      ~protocols:[ "1nbac"; "avnbac-delay"; "inbac"; "2pc"; "(n-1+f)nbac" ]
+      ()

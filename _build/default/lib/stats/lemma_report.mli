@@ -1,0 +1,14 @@
+(** The lower-bound lemmas, observed: renders, for nice executions of the
+    implemented protocols, the reachability structure the proofs of
+    Lemmas 1, 3, 5 count (backups reached by [t2], acknowledgement round
+    trips by decision time, who-reaches-the-deciders) and the Section 6.1
+    send/receive phase profile. *)
+
+val render_inbac : ?n:int -> ?f:int -> unit -> string
+(** Lemma 1 and Lemma 5 structure of INBAC's nice execution, per
+    process. *)
+
+val render_phases : ?n:int -> ?f:int -> protocols:string list -> unit -> string
+(** Phase profile per protocol (first and last deciding process). *)
+
+val render : ?n:int -> ?f:int -> unit -> string

@@ -1,0 +1,51 @@
+type nice = {
+  protocol : string;
+  n : int;
+  f : int;
+  metrics : Metrics.t;
+  expected_messages : int;
+  expected_delays : int;
+}
+
+let messages_match r = r.metrics.Metrics.messages = r.expected_messages
+
+let delays_match r =
+  Float.equal r.metrics.Metrics.delays (float_of_int r.expected_delays)
+
+let ok r =
+  messages_match r && delays_match r && r.metrics.Metrics.all_decided
+  && not r.metrics.Metrics.consensus_invoked
+
+let nice_run ?consensus ~protocol ~n ~f () =
+  let runner = Registry.find_exn protocol in
+  let entry = Complexity.find_exn protocol in
+  let report = runner.Registry.run ?consensus (Scenario.nice ~n ~f ()) in
+  {
+    protocol;
+    n;
+    f;
+    metrics = Metrics.of_nice report;
+    expected_messages = entry.Complexity.messages ~n ~f;
+    expected_delays = entry.Complexity.delays ~n ~f;
+  }
+
+let sweep ~protocols ~pairs =
+  List.concat_map
+    (fun protocol ->
+      List.filter_map
+        (fun (n, f) ->
+          if f >= 1 && f <= n - 1 then
+            Some (nice_run ~protocol ~n ~f ())
+          else None)
+        pairs)
+    protocols
+
+let default_pairs =
+  let ns = [ 2; 3; 5; 8; 13; 21; 34 ] in
+  List.concat_map
+    (fun n ->
+      let fs = List.sort_uniq compare [ 1; 2; n / 2; n - 1 ] in
+      List.filter_map
+        (fun f -> if f >= 1 && f <= n - 1 then Some (n, f) else None)
+        fs)
+    ns

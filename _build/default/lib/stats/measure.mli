@@ -1,0 +1,28 @@
+(** Nice-execution measurements checked against the paper's closed forms. *)
+
+type nice = {
+  protocol : string;
+  n : int;
+  f : int;
+  metrics : Metrics.t;
+  expected_messages : int;
+  expected_delays : int;
+}
+
+val messages_match : nice -> bool
+val delays_match : nice -> bool
+val ok : nice -> bool
+(** Both match, every process decided commit, and consensus stayed idle. *)
+
+val nice_run : ?consensus:Registry.consensus_impl -> protocol:string -> n:int -> f:int -> unit -> nice
+(** Run the protocol's nice execution and pair the measured metrics with
+    the {!Complexity} formulas.
+    @raise Not_found for unknown protocols. *)
+
+val sweep :
+  protocols:string list -> pairs:(int * int) list -> nice list
+(** [nice_run] over every (protocol, (n, f)) combination with [f <= n-1]. *)
+
+val default_pairs : (int * int) list
+(** The (n, f) grid used by the benches: n ∈ {2, 3, 5, 8, 13, 21, 34},
+    f ∈ {1, 2, n/2, n-1} (deduplicated, clamped). *)

@@ -1,0 +1,139 @@
+type row = {
+  protocol : string;
+  claimed : Props.cell;
+  observed_ff : Props.t;
+  observed_cf : Props.t;
+  observed_nf : Props.t;
+  runs : int;
+  ok : bool;
+}
+
+let u = Sim_time.default_u
+
+let batteries ~n ~f ~seeds =
+  let nice = Scenario.nice ~n ~f () in
+  let failure_free =
+    [
+      nice;
+      Scenario.with_no_votes nice [ Pid.of_rank 1 ];
+      Scenario.with_no_votes nice [ Pid.of_rank n ];
+      Scenario.with_no_votes nice [ Pid.of_rank 2; Pid.of_rank n ];
+      Scenario.with_no_votes nice (Pid.all ~n);
+    ]
+    @ List.map
+        (fun seed ->
+          Scenario.with_seed
+            (Scenario.with_network nice (Network.jittered ~u))
+            seed)
+        seeds
+  in
+  let crash_targets = [ Pid.of_rank 1; Pid.of_rank 2; Pid.of_rank n ] in
+  let crash_times = [ 0; u; 2 * u; (3 * u) + (u / 2) ] in
+  let crashes =
+    List.concat_map
+      (fun p ->
+        List.concat_map
+          (fun t ->
+            [
+              Scenario.with_crashes nice [ (p, Scenario.Before t) ];
+              Scenario.with_crashes nice [ (p, Scenario.During_sends (t, 1)) ];
+            ])
+          crash_times)
+      crash_targets
+    @ List.map (fun seed -> Witness.crash_storm ~n ~f ~seed) seeds
+    @ List.map
+        (fun seed ->
+          Scenario.with_no_votes (Witness.crash_storm ~n ~f ~seed:(seed + 100))
+            [ Pid.of_rank 2 ])
+        seeds
+  in
+  let network =
+    List.map (fun seed -> Witness.eventual_synchrony ~n ~f ~seed) seeds
+    @ List.map
+        (fun seed ->
+          Scenario.with_no_votes
+            (Witness.eventual_synchrony ~n ~f ~seed:(seed + 100))
+            [ Pid.of_rank 1 ])
+        seeds
+  in
+  List.map (fun s -> (Classify.Failure_free, s)) failure_free
+  @ List.map (fun s -> (Classify.Crash_failure, s)) crashes
+  @ List.map (fun s -> (Classify.Network_failure, s)) network
+
+let observe runner scenarios =
+  List.fold_left
+    (fun acc scenario ->
+      let report = runner scenario in
+      let v = Check.run report in
+      Props.make
+        ~a:(acc.Props.a && v.Check.agreement)
+        ~v:(acc.Props.v && Check.validity v)
+        ~t:(acc.Props.t && v.Check.termination))
+    Props.avt scenarios
+
+let matrix ?(n = 5) ?(f = 2) ?(seeds = [ 1; 2; 3 ]) () =
+  let tagged = batteries ~n ~f ~seeds in
+  let of_class c =
+    List.filter_map (fun (c', s) -> if c = c' then Some s else None) tagged
+  in
+  let ff = of_class Classify.Failure_free in
+  let cf = of_class Classify.Crash_failure in
+  let nf = of_class Classify.Network_failure in
+  List.map
+    (fun (r : Registry.t) ->
+      let entry = Complexity.find_exn r.Registry.name in
+      let claimed = entry.Complexity.cell in
+      let run s = r.Registry.run s in
+      let observed_ff = observe run ff in
+      let observed_cf = observe run cf in
+      let observed_nf = observe run nf in
+      {
+        protocol = r.Registry.name;
+        claimed;
+        observed_ff;
+        observed_cf;
+        observed_nf;
+        runs = List.length tagged;
+        ok =
+          (* weak-semantics baselines are exempt from the failure-free
+             NBAC contract; everyone must still honour the claimed cell *)
+          (entry.Complexity.weak_semantics <> None
+          || Props.equal observed_ff Props.avt)
+          && Props.subset claimed.Props.cf observed_cf
+          && Props.subset claimed.Props.nf observed_nf;
+      })
+    Registry.all
+
+let render ?n ?f ?seeds () =
+  let rows = matrix ?n ?f ?seeds () in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Robustness matrix - properties that survived every run of each class\n\
+     (claimed cell must be contained in the observed properties)\n\n";
+  let table =
+    Ascii.create
+      ~header:
+        [
+          "protocol"; "claimed (CF,NF)"; "failure-free"; "crash-failure";
+          "network-failure"; "runs"; "ok";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Ascii.add_row table
+        [
+          (if Complexity.is_weak r.protocol then r.protocol ^ " (weak)"
+           else r.protocol);
+          Format.asprintf "%a" Props.pp_cell r.claimed;
+          Props.to_string r.observed_ff;
+          Props.to_string r.observed_cf;
+          Props.to_string r.observed_nf;
+          string_of_int r.runs;
+          (if r.ok then "yes" else "NO");
+        ])
+    rows;
+  Buffer.add_string buf (Ascii.render table);
+  Buffer.contents buf
+
+let all_ok ?n ?f ?seeds () =
+  List.for_all (fun r -> r.ok) (matrix ?n ?f ?seeds ())

@@ -1,0 +1,32 @@
+(** The robustness matrix: which NBAC properties each protocol actually
+    kept, per execution class, over a battery of generated scenarios —
+    checked against the cell the protocol claims (Table 1 captions /
+    Section 6).
+
+    Observed properties are the conjunction over all runs of a class: a
+    property is "observed" only if no run of the battery violated it.
+    Passing means claimed ⊆ observed (an adversary battery can only
+    refute, never prove). *)
+
+type row = {
+  protocol : string;
+  claimed : Props.cell;
+  observed_ff : Props.t;  (** failure-free battery; must be AVT *)
+  observed_cf : Props.t;
+  observed_nf : Props.t;
+  runs : int;
+  ok : bool;
+}
+
+val batteries :
+  n:int -> f:int -> seeds:int list ->
+  (Classify.class_ * Scenario.t) list
+(** The generated scenarios, tagged with their intended class. *)
+
+val matrix : ?n:int -> ?f:int -> ?seeds:int list -> unit -> row list
+(** Defaults: n = 5, f = 2 (a correct majority survives, as the
+    consensus-based protocols' termination claims require), seeds
+    [1; 2; 3]. *)
+
+val render : ?n:int -> ?f:int -> ?seeds:int list -> unit -> string
+val all_ok : ?n:int -> ?f:int -> ?seeds:int list -> unit -> bool

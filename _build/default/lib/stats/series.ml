@@ -1,0 +1,101 @@
+type point = { x : int; messages : int; delays : float }
+type series = { protocol : string; points : point list }
+
+let point_of ~protocol ~n ~f ~x =
+  let m = Measure.nice_run ~protocol ~n ~f () in
+  {
+    x;
+    messages = m.Measure.metrics.Metrics.messages;
+    delays = m.Measure.metrics.Metrics.delays;
+  }
+
+let over_n ~protocols ~f ~ns =
+  List.map
+    (fun protocol ->
+      {
+        protocol;
+        points =
+          List.filter_map
+            (fun n ->
+              if f <= n - 1 then Some (point_of ~protocol ~n ~f ~x:n) else None)
+            ns;
+      })
+    protocols
+
+let over_f ~protocols ~n ~fs =
+  List.map
+    (fun protocol ->
+      {
+        protocol;
+        points =
+          List.filter_map
+            (fun f ->
+              if f >= 1 && f <= n - 1 then Some (point_of ~protocol ~n ~f ~x:f)
+              else None)
+            fs;
+      })
+    protocols
+
+let crossover_f1 ~ns =
+  List.filter_map
+    (fun n ->
+      if n >= 2 then begin
+        let inbac = point_of ~protocol:"inbac" ~n ~f:1 ~x:n in
+        let two_pc = point_of ~protocol:"2pc" ~n ~f:1 ~x:n in
+        Some (n, inbac.messages, two_pc.messages)
+      end
+      else None)
+    ns
+
+let to_csv ~x_label series =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "protocol,%s,messages,delays\n" x_label);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun p ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%d,%d,%.1f\n" s.protocol p.x p.messages p.delays))
+        s.points)
+    series;
+  Buffer.contents buf
+
+let render ~title ~x_label series =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf title;
+  Buffer.add_string buf "\n\n";
+  let table =
+    Ascii.create ~header:[ "protocol"; x_label; "messages"; "delays" ]
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun p ->
+          Ascii.add_row table
+            [
+              s.protocol;
+              string_of_int p.x;
+              string_of_int p.messages;
+              Printf.sprintf "%.0f" p.delays;
+            ])
+        s.points;
+      Ascii.add_separator table)
+    series;
+  Buffer.add_string buf (Ascii.render table);
+  Buffer.contents buf
+
+let render_over_n ~protocols ~f ~ns =
+  render
+    ~title:
+      (Printf.sprintf
+         "Nice-execution complexity vs n (f = %d) - the comparison series" f)
+    ~x_label:"n"
+    (over_n ~protocols ~f ~ns)
+
+let render_over_f ~protocols ~n ~fs =
+  render
+    ~title:
+      (Printf.sprintf
+         "Nice-execution complexity vs f (n = %d) - the resilience price" n)
+    ~x_label:"f"
+    (over_f ~protocols ~n ~fs)

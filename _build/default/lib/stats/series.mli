@@ -1,0 +1,22 @@
+(** Complexity series — the "figures" of the reproduction: messages and
+    delays as functions of [n] (at fixed [f]) or of [f] (at fixed [n]),
+    per protocol, measured on nice executions. Rendered as aligned tables
+    and as CSV for external plotting. *)
+
+type point = { x : int; messages : int; delays : float }
+type series = { protocol : string; points : point list }
+
+val over_n : protocols:string list -> f:int -> ns:int list -> series list
+(** Skips (n, f) combinations with [f > n-1]. *)
+
+val over_f : protocols:string list -> n:int -> fs:int list -> series list
+
+val crossover_f1 : ns:int list -> (int * int * int) list
+(** The paper's f = 1 comparison: [(n, inbac messages, 2pc messages)] —
+    INBAC pays exactly 2 extra messages over 2PC at every n. *)
+
+val to_csv : x_label:string -> series list -> string
+(** One line per (protocol, x): [protocol,x,messages,delays]. *)
+
+val render_over_n : protocols:string list -> f:int -> ns:int list -> string
+val render_over_f : protocols:string list -> n:int -> fs:int list -> string

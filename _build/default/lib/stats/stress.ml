@@ -1,0 +1,119 @@
+type result = {
+  protocol : string;
+  label : string;
+  runs : int;
+  nbac_ok : int;
+  agreement_violations : int;
+  validity_violations : int;
+  termination_violations : int;
+  mean_decision_delays : float;
+  max_decision_delays : float;
+}
+
+let aggregate ~protocol ~label reports =
+  let runs = List.length reports in
+  let nbac_ok = ref 0 in
+  let agreement_violations = ref 0 in
+  let validity_violations = ref 0 in
+  let termination_violations = ref 0 in
+  let delays = ref [] in
+  List.iter
+    (fun report ->
+      let v = Check.run report in
+      if Check.solves_nbac v then incr nbac_ok;
+      if not v.Check.agreement then incr agreement_violations;
+      if not (Check.validity v) then incr validity_violations;
+      if not v.Check.termination then incr termination_violations;
+      if Report.all_correct_decided report then
+        match Report.delays_to_last_decision report with
+        | Some d -> delays := d :: !delays
+        | None -> ())
+    reports;
+  let mean_decision_delays =
+    match !delays with
+    | [] -> Float.nan
+    | ds -> List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds)
+  in
+  let max_decision_delays =
+    List.fold_left Float.max 0.0 !delays
+  in
+  {
+    protocol;
+    label;
+    runs;
+    nbac_ok = !nbac_ok;
+    agreement_violations = !agreement_violations;
+    validity_violations = !validity_violations;
+    termination_violations = !termination_violations;
+    mean_decision_delays;
+    max_decision_delays;
+  }
+
+let battery ~label ~protocol scenario_of ~runs =
+  let runner = Registry.find_exn protocol in
+  let reports =
+    List.init runs (fun i -> runner.Registry.run (scenario_of (i + 1)))
+  in
+  aggregate ~protocol ~label reports
+
+let crash_failure ?(runs = 50) ~protocol ~n ~f () =
+  battery ~label:"crash storms" ~protocol
+    (fun seed -> Witness.crash_storm ~n ~f ~seed)
+    ~runs
+
+let network_failure ?(runs = 50) ~protocol ~n ~f () =
+  battery ~label:"eventual synchrony" ~protocol
+    (fun seed -> Witness.eventual_synchrony ~n ~f ~seed)
+    ~runs
+
+let mixed ?(runs = 50) ~protocol ~n ~f () =
+  let u = Sim_time.default_u in
+  battery ~label:"crash + slow network" ~protocol
+    (fun seed ->
+      let rng = Rng.create (seed * 7919) in
+      let victim = Pid.of_rank (1 + Rng.int rng ~bound:n) in
+      Scenario.with_crashes
+        (Witness.eventual_synchrony ~n ~f ~seed)
+        [ (victim, Scenario.Before (Rng.int rng ~bound:(6 * u))) ])
+    ~runs
+
+let render ?(runs = 50) ~protocols ~n ~f () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Stress batteries: %d seeded scenarios per cell (n=%d, f=%d)\n\
+        violations counted over NBAC's three properties\n\n"
+       runs n f);
+  let table =
+    Ascii.create
+      ~header:
+        [
+          "protocol"; "battery"; "NBAC ok"; "A viol."; "V viol."; "T viol.";
+          "mean delays"; "max delays";
+        ]
+  in
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun result ->
+          Ascii.add_row table
+            [
+              result.protocol;
+              result.label;
+              Printf.sprintf "%d/%d" result.nbac_ok result.runs;
+              string_of_int result.agreement_violations;
+              string_of_int result.validity_violations;
+              string_of_int result.termination_violations;
+              (if Float.is_nan result.mean_decision_delays then "-"
+               else Printf.sprintf "%.1f" result.mean_decision_delays);
+              Printf.sprintf "%.0f" result.max_decision_delays;
+            ])
+        [
+          crash_failure ~runs ~protocol ~n ~f ();
+          network_failure ~runs ~protocol ~n ~f ();
+          mixed ~runs ~protocol ~n ~f ();
+        ];
+      Ascii.add_separator table)
+    protocols;
+  Buffer.add_string buf (Ascii.render table);
+  Buffer.contents buf

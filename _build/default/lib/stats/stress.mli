@@ -1,0 +1,35 @@
+(** Statistical stress runs: many seeded fault scenarios per protocol,
+    aggregated into violation counts and decision-latency statistics.
+    Complements the deterministic witnesses: the witnesses show {e that}
+    a guarantee can break, the stress runs estimate {e how rarely} the
+    generic adversaries stumble on it (and confirm that the indulgent
+    protocols never break at all). *)
+
+type result = {
+  protocol : string;
+  label : string;
+  runs : int;
+  nbac_ok : int;
+  agreement_violations : int;
+  validity_violations : int;
+  termination_violations : int;
+  mean_decision_delays : float;
+      (** mean, over runs where every correct process decided, of the
+          last decision time in units of U *)
+  max_decision_delays : float;
+}
+
+val crash_failure :
+  ?runs:int -> protocol:string -> n:int -> f:int -> unit -> result
+(** Random crash storms (seeded 1..runs). *)
+
+val network_failure :
+  ?runs:int -> protocol:string -> n:int -> f:int -> unit -> result
+(** Eventually-synchronous networks (seeded 1..runs). *)
+
+val mixed :
+  ?runs:int -> protocol:string -> n:int -> f:int -> unit -> result
+(** One random crash inside an eventually-synchronous network. *)
+
+val render : ?runs:int -> protocols:string list -> n:int -> f:int -> unit -> string
+(** All three batteries for each protocol, as one table. *)

@@ -1,0 +1,23 @@
+(** Reproduction of the paper's Section 6 comparison (its Tables 4/5):
+    INBAC against (n-1+f)NBAC, 1NBAC, 2PC, 3PC, Paxos Commit and Faster
+    Paxos Commit under the spontaneous-start normalization, plus the
+    qualitative claims the section makes. *)
+
+val protocols : string list
+
+val render : pairs:(int * int) list -> string
+(** Per-protocol rows: symbolic messages/delays, measured values, cell. *)
+
+type claim = { description : string; holds : bool }
+
+val claims : unit -> claim list
+(** The section's headline comparisons, checked mechanically:
+    - INBAC matches 2PC's best-case delays (both 2, spontaneous start);
+    - for f = 1, INBAC uses [2n] vs 2PC's [2n-2] messages;
+    - for f >= 2, n >= 3, Paxos Commit beats INBAC on messages while
+      INBAC beats it on delays;
+    - Faster Paxos Commit needs two delays but never fewer messages than
+      INBAC's [2fn];
+    - (n-1+f)NBAC is the best in messages, 1NBAC the best in delays. *)
+
+val render_claims : unit -> string

@@ -1,0 +1,122 @@
+type verification = {
+  cell : Props.cell;
+  protocol : string;
+  measurements : Measure.nice list;
+  all_ok : bool;
+}
+
+let symbolic_messages c =
+  let two_delay =
+    Props.equal c.Props.cf Props.avt && c.Props.nf.Props.a
+  in
+  if two_delay then "2n-2+f"
+  else if c.Props.nf.Props.v then "2n-2"
+  else if c.Props.cf.Props.v then "n-1+f"
+  else "0"
+
+let grid () =
+  let table =
+    Ascii.create
+      ~header:("CF \\ NF" :: List.map Props.to_string Props.all_subsets)
+  in
+  List.iter
+    (fun cf ->
+      let cells =
+        List.map
+          (fun nf ->
+            if Props.subset nf cf then begin
+              let c = Props.cell ~cf ~nf in
+              Printf.sprintf "%d / %s" (Bounds.delays c) (symbolic_messages c)
+            end
+            else "")
+          Props.all_subsets
+      in
+      Ascii.add_row table (Props.to_string cf :: cells))
+    Props.all_subsets;
+  Ascii.render table
+
+(* The locally-maximal cells and the matching optimal protocol for each,
+   as established in Sections 4 and 5 (Tables 2 and 3 of the paper). *)
+let maxima =
+  [
+    (Props.cell ~cf:Props.at ~nf:Props.at, "0nbac", `Both);
+    (Props.cell ~cf:Props.av ~nf:Props.a, "anbac", `Messages);
+    (Props.cell ~cf:Props.avt ~nf:Props.t_, "(n-1+f)nbac", `Messages);
+    (Props.cell ~cf:Props.av ~nf:Props.av, "avnbac-msg", `Messages);
+    (Props.cell ~cf:Props.av ~nf:Props.av, "avnbac-delay", `Delays_and_message_cap);
+    (Props.cell ~cf:Props.avt ~nf:Props.vt, "(2n-2)nbac", `Messages);
+    (Props.cell ~cf:Props.avt ~nf:Props.vt, "1nbac", `Delays);
+    (Props.cell ~cf:Props.avt ~nf:Props.avt, "(2n-2+f)nbac", `Messages);
+    (Props.cell ~cf:Props.avt ~nf:Props.avt, "inbac", `Delays_and_message_cap);
+  ]
+
+let check_one cell which (m : Measure.nice) =
+  let n = m.Measure.n and f = m.Measure.f in
+  let metric = m.Measure.metrics in
+  let msg_bound = Bounds.messages ~n ~f cell in
+  let delay_bound = Bounds.delays cell in
+  match which with
+  | `Both ->
+      metric.Metrics.messages = msg_bound
+      && Float.equal metric.Metrics.delays (float_of_int delay_bound)
+  | `Messages -> metric.Metrics.messages = msg_bound
+  | `Delays -> Float.equal metric.Metrics.delays (float_of_int delay_bound)
+  | `Delays_and_message_cap ->
+      (* delay-optimal protocols that additionally match the message
+         optimum among delay-optimal protocols (Theorem 5 for INBAC) *)
+      Float.equal metric.Metrics.delays (float_of_int delay_bound)
+      && metric.Metrics.messages
+         = Bounds.messages_given_optimal_delays ~n ~f cell
+
+let verifications ~pairs =
+  List.map
+    (fun (cell, protocol, which) ->
+      let measurements =
+        Measure.sweep ~protocols:[ protocol ] ~pairs
+      in
+      let all_ok =
+        measurements <> []
+        && List.for_all
+             (fun m ->
+               check_one cell which m && m.Measure.metrics.Metrics.all_decided)
+             measurements
+      in
+      { cell; protocol; measurements; all_ok })
+    maxima
+
+let render ~pairs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Table 1 - tight lower bounds (message delays / messages) per cell\n";
+  Buffer.add_string buf
+    "(CF = properties kept in every crash-failure execution, NF = in every\n\
+     network-failure execution; a cell exists only when NF is a subset of CF)\n\n";
+  Buffer.add_string buf (grid ());
+  Buffer.add_string buf
+    "\nVerification: each locally-maximal cell's optimal protocol, measured\n\
+     over the (n, f) sweep, achieves its bound in every nice execution:\n\n";
+  let table =
+    Ascii.create
+      ~header:[ "cell"; "protocol"; "optimal in"; "runs"; "achieves bound" ]
+  in
+  List.iter
+    (fun v ->
+      let which =
+        match List.find_opt (fun (c, p, _) -> c = v.cell && p = v.protocol) maxima with
+        | Some (_, _, `Both) -> "delays+messages"
+        | Some (_, _, `Messages) -> "messages"
+        | Some (_, _, `Delays) -> "delays"
+        | Some (_, _, `Delays_and_message_cap) -> "delays (msg-opt given delays)"
+        | None -> "?"
+      in
+      Ascii.add_row table
+        [
+          Format.asprintf "%a" Props.pp_cell v.cell;
+          v.protocol;
+          which;
+          string_of_int (List.length v.measurements);
+          (if v.all_ok then "yes" else "NO");
+        ])
+    (verifications ~pairs);
+  Buffer.add_string buf (Ascii.render table);
+  Buffer.contents buf

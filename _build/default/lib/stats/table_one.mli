@@ -1,0 +1,27 @@
+(** Reproduction of the paper's Table 1: the 27-cell map from robustness
+    requirements to tight (delays, messages) lower bounds, plus the
+    verification that our matching protocols achieve those bounds. *)
+
+type verification = {
+  cell : Props.cell;
+  protocol : string;  (** the protocol realizing this local maximum *)
+  measurements : Measure.nice list;
+  all_ok : bool;
+}
+
+val symbolic_messages : Props.cell -> string
+(** "0", "n-1+f", "2n-2" or "2n-2+f". *)
+
+val grid : unit -> string
+(** The 8x8 grid with "d / m" entries (symbolic), empty cells left blank,
+    exactly the shape of the paper's Table 1. *)
+
+val verifications : pairs:(int * int) list -> verification list
+(** For each locally-maximal cell, run its matching optimal protocol over
+    the sweep and check the measured optima against the bounds. Message-
+    optimal protocols are checked against [Bounds.messages], delay-optimal
+    ones against [Bounds.delays] (and [Bounds.messages_given_optimal_delays]
+    where applicable). *)
+
+val render : pairs:(int * int) list -> string
+(** Grid plus verification summary. *)

@@ -1,0 +1,90 @@
+let delay_optimal_protocols =
+  [
+    ("avnbac-delay", Props.cell ~cf:Props.av ~nf:Props.av);
+    ("0nbac", Props.cell ~cf:Props.at ~nf:Props.at);
+    ("1nbac", Props.cell ~cf:Props.avt ~nf:Props.vt);
+    ("inbac", Props.cell ~cf:Props.avt ~nf:Props.avt);
+  ]
+
+let message_optimal_protocols =
+  [
+    ("0nbac", Props.cell ~cf:Props.at ~nf:Props.at);
+    ("anbac", Props.cell ~cf:Props.av ~nf:Props.a);
+    ("avnbac-msg", Props.cell ~cf:Props.av ~nf:Props.av);
+    ("(n-1+f)nbac", Props.cell ~cf:Props.avt ~nf:Props.t_);
+    ("(2n-2)nbac", Props.cell ~cf:Props.avt ~nf:Props.vt);
+    ("(2n-2+f)nbac", Props.cell ~cf:Props.avt ~nf:Props.avt);
+  ]
+
+let render_one ~title ~protocols ~bound_of ~measured_of ~pairs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf title;
+  Buffer.add_string buf "\n\n";
+  let table =
+    Ascii.create
+      ~header:[ "protocol"; "cell"; "n"; "f"; "bound"; "measured"; "tight" ]
+  in
+  List.iter
+    (fun (protocol, cell) ->
+      let runs = Measure.sweep ~protocols:[ protocol ] ~pairs in
+      List.iter
+        (fun (m : Measure.nice) ->
+          let bound = bound_of cell ~n:m.Measure.n ~f:m.Measure.f in
+          let measured = measured_of m in
+          Ascii.add_row table
+            [
+              protocol;
+              Format.asprintf "%a" Props.pp_cell cell;
+              string_of_int m.Measure.n;
+              string_of_int m.Measure.f;
+              string_of_int bound;
+              string_of_int measured;
+              (if measured = bound then "yes" else "NO");
+            ])
+        runs;
+      Ascii.add_separator table)
+    protocols;
+  Buffer.add_string buf (Ascii.render table);
+  Buffer.contents buf
+
+let measured_delays (m : Measure.nice) =
+  int_of_float m.Measure.metrics.Metrics.delays
+
+let measured_messages (m : Measure.nice) = m.Measure.metrics.Metrics.messages
+
+let render_delay_optimal ~pairs =
+  render_one
+    ~title:
+      "Table 2 - delay-optimal protocols: measured message delays in nice \
+       executions\nmatch the tight lower bound of their cell"
+    ~protocols:delay_optimal_protocols
+    ~bound_of:(fun cell ~n:_ ~f:_ -> Bounds.delays cell)
+    ~measured_of:measured_delays ~pairs
+
+let render_message_optimal ~pairs =
+  render_one
+    ~title:
+      "Table 3 - message-optimal protocols: measured messages in nice \
+       executions\nmatch the tight lower bound of their cell"
+    ~protocols:message_optimal_protocols
+    ~bound_of:(fun cell ~n ~f -> Bounds.messages ~n ~f cell)
+    ~measured_of:measured_messages ~pairs
+
+let all_ok ~pairs =
+  List.for_all
+    (fun (protocol, cell) ->
+      List.for_all
+        (fun (m : Measure.nice) ->
+          measured_delays m = Bounds.delays cell
+          && m.Measure.metrics.Metrics.all_decided)
+        (Measure.sweep ~protocols:[ protocol ] ~pairs))
+    delay_optimal_protocols
+  && List.for_all
+       (fun (protocol, cell) ->
+         List.for_all
+           (fun (m : Measure.nice) ->
+             measured_messages m
+             = Bounds.messages ~n:m.Measure.n ~f:m.Measure.f cell
+             && m.Measure.metrics.Metrics.all_decided)
+           (Measure.sweep ~protocols:[ protocol ] ~pairs))
+       message_optimal_protocols

@@ -1,0 +1,13 @@
+(** Reproduction of the paper's Table 2 (delay-optimal protocols) and
+    Table 3 (message-optimal protocols): one row per protocol and (n, f)
+    pair, measured against the closed form. *)
+
+val delay_optimal_protocols : (string * Props.cell) list
+val message_optimal_protocols : (string * Props.cell) list
+
+val render_delay_optimal : pairs:(int * int) list -> string
+val render_message_optimal : pairs:(int * int) list -> string
+
+val all_ok : pairs:(int * int) list -> bool
+(** Every protocol of both tables achieves its closed form over the
+    sweep. *)

@@ -1,0 +1,117 @@
+type row = {
+  protocol : string;
+  nice_messages : int;
+  nice_delays : float;
+  nbac_gap : string;
+  gap_demonstrated : bool;
+  own_contract_holds : bool;
+}
+
+
+(* calvin: a 0-voter crashing before its broadcast leaves the others
+   committing against a 0 proposal — validity (and uniform agreement with
+   the crashed process's abort) break in a crash-failure execution. *)
+let calvin_row ~n =
+  let runner = Registry.find_exn "calvin-commit" in
+  let nice = Metrics.of_nice (runner.Registry.run (Scenario.nice ~n ~f:1 ())) in
+  let gap_scenario =
+    Scenario.with_crashes
+      (Scenario.with_no_votes (Scenario.nice ~n ~f:1 ()) [ Pid.of_rank 2 ])
+      [ (Pid.of_rank 2, Scenario.During_sends (0, 0)) ]
+  in
+  let gap_report = runner.Registry.run gap_scenario in
+  let v = Check.run gap_report in
+  let survivors_commit =
+    List.exists
+      (Vote.decision_equal Vote.commit)
+      (Report.decided_values gap_report)
+  in
+  (* its own contract: NBAC in failure-free executions, termination
+     everywhere *)
+  let ff =
+    Check.run
+      (runner.Registry.run
+         (Scenario.with_no_votes (Scenario.nice ~n ~f:1 ()) [ Pid.of_rank 3 ]))
+  in
+  {
+    protocol = "calvin-commit";
+    nice_messages = nice.Metrics.messages;
+    nice_delays = nice.Metrics.delays;
+    nbac_gap = "commit-validity under a crashed 0-voter";
+    gap_demonstrated = survivors_commit && not (Check.validity v);
+    own_contract_holds = Check.solves_nbac ff && v.Check.termination;
+  }
+
+(* majority-commit: commits over a minority of 0 votes in a failure-free
+   execution — NBAC's commit-validity is out by design. Its own contract:
+   decide 1 iff a majority voted 1, agreement and termination in
+   failure-free executions. *)
+let majority_row ~n =
+  let runner = Registry.find_exn "majority-commit" in
+  let nice = Metrics.of_nice (runner.Registry.run (Scenario.nice ~n ~f:1 ())) in
+  let one_no =
+    Scenario.with_no_votes (Scenario.nice ~n ~f:1 ()) [ Pid.of_rank 2 ]
+  in
+  let gap_report = runner.Registry.run one_no in
+  let v = Check.run gap_report in
+  let committed_over_a_no =
+    List.for_all
+      (Vote.decision_equal Vote.commit)
+      (Report.decided_values gap_report)
+  in
+  let majority_no =
+    Scenario.with_no_votes (Scenario.nice ~n ~f:1 ())
+      (List.filteri (fun i _ -> i <= n / 2) (Pid.all ~n))
+  in
+  let no_report = runner.Registry.run majority_no in
+  let own_contract_holds =
+    committed_over_a_no && v.Check.agreement && v.Check.termination
+    && List.for_all
+         (Vote.decision_equal Vote.abort)
+         (Report.decided_values no_report)
+  in
+  {
+    protocol = "majority-commit";
+    nice_messages = nice.Metrics.messages;
+    nice_delays = nice.Metrics.delays;
+    nbac_gap = "commit-validity even failure-free (majority overrides a 0)";
+    gap_demonstrated = committed_over_a_no && not (Check.validity v);
+    own_contract_holds;
+  }
+
+let rows ?(n = 5) () = [ calvin_row ~n; majority_row ~n ]
+
+let render ?(n = 5) () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Section 6.3 - low-latency commit with weak semantics\n\
+     (each solves a weaker problem than NBAC; the gap is demonstrated by a\n\
+     concrete execution and the protocol's own weaker contract is checked)\n\n";
+  let t =
+    Ascii.create
+      ~header:
+        [
+          "protocol"; "nice msgs"; "nice delays"; "NBAC property given up";
+          "gap shown"; "own contract";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Ascii.add_row t
+        [
+          r.protocol;
+          string_of_int r.nice_messages;
+          Printf.sprintf "%.0f" r.nice_delays;
+          r.nbac_gap;
+          (if r.gap_demonstrated then "yes" else "NO");
+          (if r.own_contract_holds then "holds" else "BROKEN");
+        ])
+    (rows ~n ());
+  Buffer.add_string buf (Ascii.render t);
+
+  Buffer.contents buf
+
+let all_ok ?n () =
+  List.for_all
+    (fun r -> r.gap_demonstrated && r.own_contract_holds)
+    (rows ?n ())

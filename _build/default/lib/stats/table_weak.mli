@@ -1,0 +1,20 @@
+(** Reproduction of the paper's Section 6.3 discussion: low-latency commit
+    protocols with weak semantics "solve different (and weaker) problems
+    than classical atomic commit". For each such baseline we measure its
+    nice-execution complexity, demonstrate the NBAC property it gives up
+    with a concrete execution, and check the weaker contract it does
+    offer. *)
+
+type row = {
+  protocol : string;
+  nice_messages : int;
+  nice_delays : float;
+  nbac_gap : string;  (** which property breaks, and when *)
+  gap_demonstrated : bool;  (** the violating execution was observed *)
+  own_contract_holds : bool;
+}
+
+val rows : ?n:int -> unit -> row list
+val render : ?n:int -> unit -> string
+val all_ok : ?n:int -> unit -> bool
+(** Every gap demonstrated, every weaker contract intact. *)

@@ -1,0 +1,170 @@
+let column_width = 6
+
+let col i = (i * column_width) + (column_width / 2)
+
+(* A canvas line with every process's lifeline drawn, to be overwritten. *)
+let lifeline n crashed =
+  let b = Bytes.make (n * column_width) ' ' in
+  for i = 0 to n - 1 do
+    Bytes.set b (col i) (if crashed.(i) then ' ' else '|')
+  done;
+  b
+
+let draw_arrow b ~from_col ~to_col =
+  let lo = min from_col to_col and hi = max from_col to_col in
+  for x = lo to hi do
+    Bytes.set b x '-'
+  done;
+  Bytes.set b from_col 'o';
+  Bytes.set b to_col (if to_col > from_col then '>' else '<')
+
+let mark b ~at c = Bytes.set b at c
+
+let msc (report : Report.t) =
+  let n = report.Report.scenario.Scenario.n in
+  let crashed = Array.make n false in
+  let buf = Buffer.create 4096 in
+  (* header *)
+  let header = Bytes.make (n * column_width) ' ' in
+  List.iter
+    (fun pid ->
+      let name = Pid.to_string pid in
+      let start = col (Pid.index pid) - (String.length name / 2) in
+      String.iteri
+        (fun k c ->
+          let x = start + k in
+          if x >= 0 && x < Bytes.length header then Bytes.set header x c)
+        name)
+    (Pid.all ~n);
+  Buffer.add_string buf (Bytes.to_string header);
+  Buffer.add_char buf '\n';
+  let emit line annotation =
+    Buffer.add_string buf (Bytes.to_string line);
+    Buffer.add_string buf "   ";
+    Buffer.add_string buf annotation;
+    Buffer.add_char buf '\n'
+  in
+  let last_time = ref (-1) in
+  let time_prefix at =
+    if at <> !last_time then begin
+      last_time := at;
+      Printf.sprintf "t=%-7d " at
+    end
+    else "          "
+  in
+  List.iter
+    (fun entry ->
+      let line = lifeline n crashed in
+      match (entry : Trace.entry) with
+      | Trace.Deliver { at; src; dst; tag; sent_at; layer } ->
+          if not (Pid.equal src dst) then begin
+            draw_arrow line ~from_col:(col (Pid.index src))
+              ~to_col:(col (Pid.index dst));
+            emit line
+              (Printf.sprintf "%s%s  %s -> %s (sent %d%s)" (time_prefix at) tag
+                 (Pid.to_string src) (Pid.to_string dst) sent_at
+                 (match layer with
+                 | Trace.Commit_layer -> ""
+                 | Trace.Consensus_layer -> ", consensus"))
+          end
+      | Trace.Decide { at; pid; decision } ->
+          mark line ~at:(col (Pid.index pid)) 'D';
+          emit line
+            (Printf.sprintf "%s%s decides %s" (time_prefix at)
+               (Pid.to_string pid)
+               (Format.asprintf "%a" Vote.pp_decision decision))
+      | Trace.Crash { at; pid } ->
+          mark line ~at:(col (Pid.index pid)) 'X';
+          crashed.(Pid.index pid) <- true;
+          emit line (Printf.sprintf "%s%s crashes" (time_prefix at) (Pid.to_string pid))
+      | Trace.Propose { at; pid; vote } ->
+          mark line ~at:(col (Pid.index pid)) '*';
+          emit line
+            (Printf.sprintf "%s%s proposes %d" (time_prefix at)
+               (Pid.to_string pid) (Vote.to_int vote))
+      | Trace.Discard { at; dst; tag } ->
+          mark line ~at:(col (Pid.index dst)) '#';
+          emit line
+            (Printf.sprintf "%s%s discarded at crashed %s" (time_prefix at) tag
+               (Pid.to_string dst))
+      | Trace.Timeout _ | Trace.Guard _ | Trace.Send _ | Trace.Note _ -> ())
+    (Trace.entries report.Report.trace);
+  Buffer.contents buf
+
+let dot (report : Report.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph execution {\n  rankdir=TB;\n  node [shape=point];\n";
+  let node pid at = Printf.sprintf "\"%s@%d\"" (Pid.to_string pid) at in
+  let seen = Hashtbl.create 64 in
+  let declare pid at ?label ?(shape = "point") () =
+    let key = (pid, at) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=%s%s];\n" (node pid at) shape
+           (match label with
+           | Some l -> Printf.sprintf ", label=\"%s\", fontsize=9" l
+           | None -> ""))
+    end
+  in
+  (* timeline edges per process *)
+  let times = Hashtbl.create 16 in
+  let touch pid at =
+    let prev = Option.value (Hashtbl.find_opt times pid) ~default:[] in
+    Hashtbl.replace times pid (at :: prev)
+  in
+  (* styled nodes (decisions, crashes) are declared first so that a
+     message endpoint at the same instant cannot downgrade them *)
+  List.iter
+    (fun entry ->
+      match (entry : Trace.entry) with
+      | Trace.Decide { at; pid; decision } ->
+          declare pid at
+            ~label:
+              (Printf.sprintf "%s %s" (Pid.to_string pid)
+                 (Format.asprintf "%a" Vote.pp_decision decision))
+            ~shape:"box" ();
+          touch pid at
+      | Trace.Crash { at; pid } ->
+          declare pid at ~label:(Pid.to_string pid ^ " crash") ~shape:"octagon" ();
+          touch pid at
+      | Trace.Propose _ | Trace.Send _ | Trace.Deliver _ | Trace.Discard _
+      | Trace.Timeout _ | Trace.Guard _ | Trace.Note _ ->
+          ())
+    (Trace.entries report.Report.trace);
+  List.iter
+    (fun entry ->
+      match (entry : Trace.entry) with
+      | Trace.Send { at; src; dst; tag; deliver_at; layer } ->
+          if not (Pid.equal src dst) then begin
+            declare src at ();
+            declare dst deliver_at ();
+            touch src at;
+            touch dst deliver_at;
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "  %s -> %s [label=\"%s\", fontsize=8%s];\n"
+                 (node src at) (node dst deliver_at) (String.escaped tag)
+                 (match layer with
+                 | Trace.Commit_layer -> ""
+                 | Trace.Consensus_layer -> ", style=dashed"))
+          end
+      | Trace.Propose _ | Trace.Deliver _ | Trace.Discard _ | Trace.Timeout _
+      | Trace.Guard _ | Trace.Decide _ | Trace.Crash _ | Trace.Note _ ->
+          ())
+    (Trace.entries report.Report.trace);
+  Hashtbl.iter
+    (fun pid ats ->
+      let sorted = List.sort_uniq compare ats in
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %s -> %s [style=dotted, arrowhead=none];\n"
+                 (node pid a) (node pid b));
+            chain rest
+        | [ _ ] | [] -> ()
+      in
+      chain sorted)
+    times;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

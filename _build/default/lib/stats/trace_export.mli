@@ -1,0 +1,19 @@
+(** Trace exporters: render an execution as an ASCII message-sequence
+    chart (one column per process, time flowing down) or as a Graphviz
+    space-time diagram. Wired into [actable run --msc / --dot]. *)
+
+val msc : Report.t -> string
+(** One row per event:
+    {v
+      P1    P2    P3
+      o----------->    [V,1]   P1 -> P3  (sent 0, recv 1000)
+      |     C      |           P2 decides commit @2000
+      |     |      X           P3 crashes
+    v}
+    Deliveries draw the arrow (send instants appear in the annotation);
+    decisions, crashes, timeouts and consensus notes are annotated rows. *)
+
+val dot : Report.t -> string
+(** A Graphviz digraph: per-process timelines of event nodes, message
+    edges across them (consensus-layer edges dashed). Render with
+    [dot -Tsvg]. *)

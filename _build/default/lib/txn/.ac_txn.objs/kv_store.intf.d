@@ -1,0 +1,1 @@
+lib/txn/kv_store.mli: Format

@@ -1,0 +1,1 @@
+lib/txn/txn_system.ml: Array Char Format Kv_store List Pid Printf Registry Report Scenario String Txn Vote

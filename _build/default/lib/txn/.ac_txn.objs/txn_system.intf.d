@@ -1,0 +1,1 @@
+lib/txn/txn_system.mli: Format Kv_store Network Pid Registry Report Scenario Txn Vote

@@ -1,0 +1,1 @@
+lib/txn/workload.ml: Float Format List Pid Printf Report Rng Scenario Sim_time Txn Txn_system

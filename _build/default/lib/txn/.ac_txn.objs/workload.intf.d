@@ -1,0 +1,1 @@
+lib/txn/workload.mli: Format Txn_system

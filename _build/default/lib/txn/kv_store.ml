@@ -1,0 +1,43 @@
+type value = string
+
+type t = {
+  data : (string, value * int) Hashtbl.t;
+  staging : (string, (string * value) list) Hashtbl.t;
+}
+
+let create () = { data = Hashtbl.create 16; staging = Hashtbl.create 4 }
+let get t ~key = Hashtbl.find_opt t.data key
+
+let version t ~key =
+  match Hashtbl.find_opt t.data key with Some (_, v) -> v | None -> 0
+
+let stage t ~txn_id ~writes = Hashtbl.replace t.staging txn_id writes
+let staged t ~txn_id = Hashtbl.find_opt t.staging txn_id
+
+let apply t ~txn_id =
+  match Hashtbl.find_opt t.staging txn_id with
+  | None -> false
+  | Some writes ->
+      List.iter
+        (fun (key, value) ->
+          let v = version t ~key in
+          Hashtbl.replace t.data key (value, v + 1))
+        writes;
+      Hashtbl.remove t.staging txn_id;
+      true
+
+let discard t ~txn_id = Hashtbl.remove t.staging txn_id
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.data [] |> List.sort compare
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun key ->
+      match get t ~key with
+      | Some (value, version) ->
+          Format.fprintf ppf "%s = %S (v%d)@," key value version
+      | None -> ())
+    (keys t);
+  Format.pp_close_box ppf ()

@@ -1,0 +1,37 @@
+(** A single database node's versioned key-value store with write-ahead
+    staging.
+
+    Writes of an in-flight transaction are {e staged} first; committing a
+    transaction {!apply}s its staged writes atomically (bumping each
+    key's version), aborting {!discard}s them. The staging area survives
+    a simulated crash — it plays the role of the write-ahead log that
+    lets a recovering node finish a transaction whose outcome was decided
+    while it was down. *)
+
+type t
+
+type value = string
+
+val create : unit -> t
+val get : t -> key:string -> (value * int) option
+(** Current value and version (versions start at 1 on first write). *)
+
+val version : t -> key:string -> int
+(** 0 when the key was never written. *)
+
+val stage : t -> txn_id:string -> writes:(string * value) list -> unit
+(** Stage a transaction's writes. Staging twice for the same id replaces
+    the previous staging. *)
+
+val staged : t -> txn_id:string -> (string * value) list option
+
+val apply : t -> txn_id:string -> bool
+(** Atomically install the staged writes; returns false when nothing was
+    staged under that id (nothing happens then). *)
+
+val discard : t -> txn_id:string -> unit
+
+val keys : t -> string list
+(** All keys ever written, sorted. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type t = {
+  id : string;
+  reads : (string * int) list;
+  writes : (string * Kv_store.value) list;
+}
+
+let no_duplicates what keys =
+  if List.length (List.sort_uniq compare keys) <> List.length keys then
+    invalid_arg (Printf.sprintf "Txn.make: duplicate %s key" what)
+
+let make ~id ?(reads = []) ~writes () =
+  if id = "" then invalid_arg "Txn.make: empty id";
+  no_duplicates "read" (List.map fst reads);
+  no_duplicates "write" (List.map fst writes);
+  { id; reads; writes }
+
+let keys t =
+  List.sort_uniq compare (List.map fst t.reads @ List.map fst t.writes)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%s: reads [%s] writes [%s]@]" t.id
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s@v%d" k v) t.reads))
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s:=%S" k v) t.writes))

@@ -1,0 +1,24 @@
+(** Distributed transactions: a read set with expected versions (for
+    optimistic validation) and a write set, spanning keys placed on
+    several database nodes. *)
+
+type t = {
+  id : string;
+  reads : (string * int) list;
+      (** key, version observed when the transaction executed *)
+  writes : (string * Kv_store.value) list;
+}
+
+val make :
+  id:string ->
+  ?reads:(string * int) list ->
+  writes:(string * Kv_store.value) list ->
+  unit ->
+  t
+(** @raise Invalid_argument on an empty id, duplicate read keys or
+    duplicate write keys. *)
+
+val keys : t -> string list
+(** Every key the transaction touches, deduplicated, sorted. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,181 @@
+type decision = Committed | Aborted | Blocked
+
+type outcome = {
+  txn : Txn.t;
+  decision : decision;
+  votes : (Pid.t * Vote.t) list;
+  report : Report.t;
+  recovered : Pid.t list;
+  atomic : bool;
+}
+
+type t = {
+  n : int;
+  f : int;
+  runner : Registry.t;
+  consensus : Registry.consensus_impl;
+  seed : int;
+  nodes : Kv_store.t array;
+  mutable round : int;
+  mutable rev_history : outcome list;
+}
+
+(* FNV-1a over the key: deterministic, placement-stable across runs. *)
+let hash_key key =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFFFFFF)
+    key;
+  !h
+
+let create ?(consensus = Registry.Paxos) ?(seed = 42) ~n ~f ~protocol () =
+  {
+    n;
+    f;
+    runner = Registry.find_exn protocol;
+    consensus;
+    seed;
+    nodes = Array.init n (fun _ -> Kv_store.create ());
+    round = 0;
+    rev_history = [];
+  }
+
+let placement t key = Pid.of_index (hash_key key mod t.n)
+let size t = t.n
+let node_store t pid = t.nodes.(Pid.index pid)
+
+let read t ~key =
+  Kv_store.get (node_store t (placement t key)) ~key
+
+let snapshot_reads t keys =
+  List.map
+    (fun key ->
+      (key, Kv_store.version (node_store t (placement t key)) ~key))
+    keys
+
+(* The local legs of a transaction at one node. *)
+let local_reads t pid (txn : Txn.t) =
+  List.filter (fun (key, _) -> Pid.equal (placement t key) pid) txn.Txn.reads
+
+let local_writes t pid (txn : Txn.t) =
+  List.filter (fun (key, _) -> Pid.equal (placement t key) pid) txn.Txn.writes
+
+(* Optimistic validation: every read leg must still be at the version the
+   transaction observed. *)
+let local_vote t pid txn =
+  let store = node_store t pid in
+  Vote.of_bool
+    (List.for_all
+       (fun (key, expected) -> Kv_store.version store ~key = expected)
+       (local_reads t pid txn))
+
+let check_atomicity t (txn : Txn.t) decision =
+  let owners =
+    List.sort_uniq Pid.compare
+      (List.map (fun (key, _) -> placement t key) txn.Txn.writes)
+  in
+  let applied pid =
+    List.for_all
+      (fun (key, value) ->
+        match Kv_store.get (node_store t pid) ~key with
+        | Some (v, _) -> String.equal v value
+        | None -> false)
+      (local_writes t pid txn)
+  in
+  let still_staged pid =
+    Kv_store.staged (node_store t pid) ~txn_id:txn.Txn.id <> None
+  in
+  match decision with
+  | Committed -> List.for_all applied owners
+  | Aborted -> List.for_all (fun pid -> not (still_staged pid)) owners
+  | Blocked ->
+      (* nothing installed; the staged writes must still be recoverable *)
+      List.for_all still_staged owners
+
+let submit ?(crashes = []) ?network t txn =
+  t.round <- t.round + 1;
+  (* write-ahead: stage before voting *)
+  List.iter
+    (fun pid ->
+      let writes = local_writes t pid txn in
+      if writes <> [] then
+        Kv_store.stage (node_store t pid) ~txn_id:txn.Txn.id ~writes)
+    (Pid.all ~n:t.n);
+  let votes_list =
+    List.map (fun pid -> (pid, local_vote t pid txn)) (Pid.all ~n:t.n)
+  in
+  let votes = Array.of_list (List.map snd votes_list) in
+  let scenario =
+    Scenario.make ~n:t.n ~f:t.f ~votes ~crashes ?network
+      ~seed:(t.seed + t.round) ()
+  in
+  let report = t.runner.Registry.run ~consensus:t.consensus scenario in
+  let decision =
+    match Report.decided_values report with
+    | [] -> Blocked
+    | Vote.Commit :: _ -> Committed
+    | Vote.Abort :: _ -> Aborted
+  in
+  (* each node honours its own decision; a node that crashed undecided
+     recovers by adopting the outcome somebody reached *)
+  let recovered = ref [] in
+  List.iter
+    (fun pid ->
+      let store = node_store t pid in
+      let finish = function
+        | Vote.Commit -> ignore (Kv_store.apply store ~txn_id:txn.Txn.id)
+        | Vote.Abort -> Kv_store.discard store ~txn_id:txn.Txn.id
+      in
+      match (Report.decision_of report pid, decision) with
+      | Some (_, d), _ -> finish d
+      | None, Committed ->
+          recovered := pid :: !recovered;
+          finish Vote.Commit
+      | None, Aborted ->
+          recovered := pid :: !recovered;
+          finish Vote.Abort
+      | None, Blocked -> () (* stays staged; nobody knows the outcome *))
+    (Pid.all ~n:t.n);
+  let outcome =
+    {
+      txn;
+      decision;
+      votes = votes_list;
+      report;
+      recovered = List.rev !recovered;
+      atomic = check_atomicity t txn decision;
+    }
+  in
+  t.rev_history <- outcome :: t.rev_history;
+  outcome
+
+let submit_batch ?crashes t txns =
+  (* all transactions validated against one snapshot: refresh their read
+     versions to "now", then run the rounds in order — stale reads of the
+     later conflicting ones produce abort votes *)
+  let snapshots =
+    List.map
+      (fun (txn : Txn.t) ->
+        { txn with Txn.reads = snapshot_reads t (List.map fst txn.Txn.reads) })
+      txns
+  in
+  List.map (fun txn -> submit ?crashes t txn) snapshots
+
+let history t = List.rev t.rev_history
+
+let pp_decision ppf = function
+  | Committed -> Format.pp_print_string ppf "committed"
+  | Aborted -> Format.pp_print_string ppf "aborted"
+  | Blocked -> Format.pp_print_string ppf "BLOCKED"
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<v2>%a -> %a%s@,votes: %s@]" Txn.pp o.txn pp_decision
+    o.decision
+    (if o.atomic then "" else "  ATOMICITY VIOLATED")
+    (String.concat ", "
+       (List.map
+          (fun (pid, v) ->
+            Printf.sprintf "%s:%d" (Pid.to_string pid) (Vote.to_int v))
+          o.votes))

@@ -1,0 +1,143 @@
+type spec = {
+  batches : int;
+  batch_size : int;
+  keys : int;
+  hot_keys : int;
+  hot_fraction : float;
+  reads_per_txn : int;
+  writes_per_txn : int;
+  crash_probability : float;
+  seed : int;
+}
+
+let default =
+  {
+    batches = 20;
+    batch_size = 4;
+    keys = 64;
+    hot_keys = 4;
+    hot_fraction = 0.5;
+    reads_per_txn = 2;
+    writes_per_txn = 2;
+    crash_probability = 0.0;
+    seed = 7;
+  }
+
+type stats = {
+  transactions : int;
+  committed : int;
+  aborted : int;
+  blocked : int;
+  abort_rate : float;
+  total_messages : int;
+  messages_per_commit : float;
+  mean_commit_delays : float;
+  atomicity_ok : bool;
+}
+
+let pick_key spec rng =
+  if spec.hot_keys > 0 && Rng.float rng < spec.hot_fraction then
+    Printf.sprintf "k%d" (Rng.int rng ~bound:spec.hot_keys)
+  else
+    Printf.sprintf "k%d"
+      (spec.hot_keys + Rng.int rng ~bound:(max 1 (spec.keys - spec.hot_keys)))
+
+let rec distinct_keys spec rng count acc =
+  if count = 0 then acc
+  else begin
+    let key = pick_key spec rng in
+    if List.mem key acc then distinct_keys spec rng count acc
+    else distinct_keys spec rng (count - 1) (key :: acc)
+  end
+
+let generate_txn spec rng ~id =
+  let touched = distinct_keys spec rng (spec.reads_per_txn + spec.writes_per_txn) [] in
+  let rec split k = function
+    | rest when k = 0 -> ([], rest)
+    | [] -> ([], [])
+    | x :: rest ->
+        let reads, writes = split (k - 1) rest in
+        (x :: reads, writes)
+  in
+  let read_keys, write_keys = split spec.reads_per_txn touched in
+  Txn.make ~id
+    ~reads:(List.map (fun k -> (k, 0)) read_keys)
+    ~writes:
+      (List.map
+         (fun k -> (k, Printf.sprintf "%s@%s" id k))
+         write_keys)
+    ()
+
+let run db spec =
+  let rng = Rng.create spec.seed in
+  let committed = ref 0 and aborted = ref 0 and blocked = ref 0 in
+  let total_messages = ref 0 in
+  let commit_delays = ref [] in
+  let atomicity_ok = ref true in
+  for b = 0 to spec.batches - 1 do
+    let txns =
+      List.init spec.batch_size (fun i ->
+          generate_txn spec rng ~id:(Printf.sprintf "b%d-t%d" b i))
+    in
+    let crashes =
+      if Rng.float rng < spec.crash_probability then
+        [
+          ( Pid.of_index (Rng.int rng ~bound:(Txn_system.size db)),
+            Scenario.Before (Rng.int rng ~bound:(3 * Sim_time.default_u)) );
+        ]
+      else []
+    in
+    let outcomes = Txn_system.submit_batch ~crashes db txns in
+    List.iter
+      (fun (o : Txn_system.outcome) ->
+        if not o.Txn_system.atomic then atomicity_ok := false;
+        total_messages := !total_messages + Report.total_messages o.Txn_system.report;
+        match o.Txn_system.decision with
+        | Txn_system.Committed ->
+            incr committed;
+            (match Report.delays_to_last_decision o.Txn_system.report with
+            | Some d -> commit_delays := d :: !commit_delays
+            | None -> ())
+        | Txn_system.Aborted -> incr aborted
+        | Txn_system.Blocked -> incr blocked)
+      outcomes
+  done;
+  let transactions = spec.batches * spec.batch_size in
+  {
+    transactions;
+    committed = !committed;
+    aborted = !aborted;
+    blocked = !blocked;
+    abort_rate = float_of_int !aborted /. float_of_int transactions;
+    total_messages = !total_messages;
+    messages_per_commit =
+      (if !committed = 0 then Float.nan
+       else float_of_int !total_messages /. float_of_int !committed);
+    mean_commit_delays =
+      (match !commit_delays with
+      | [] -> Float.nan
+      | ds -> List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds));
+    atomicity_ok = !atomicity_ok;
+  }
+
+let contention_sweep ~protocol ~n ~f ~hot_fractions =
+  List.map
+    (fun hot_fraction ->
+      let db = Txn_system.create ~n ~f ~protocol () in
+      (hot_fraction, run db { default with hot_fraction }))
+    hot_fractions
+
+let protocol_comparison ~protocols ~n ~f spec =
+  List.map
+    (fun protocol ->
+      let db = Txn_system.create ~n ~f ~protocol () in
+      (protocol, run db spec))
+    protocols
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d txns: %d committed, %d aborted (%.0f%%), %d blocked; %d msgs \
+     (%.1f/commit), %.1f delays/commit%s"
+    s.transactions s.committed s.aborted (100.0 *. s.abort_rate) s.blocked
+    s.total_messages s.messages_per_commit s.mean_commit_delays
+    (if s.atomicity_ok then "" else "; ATOMICITY VIOLATED")

@@ -1,0 +1,50 @@
+(** Synthetic transaction workloads over {!Txn_system}: batches of
+    read-validate-write transactions with tunable contention (a hot key
+    set), optional crash injection, and aggregate statistics — the
+    database-facing view of the commit protocols' complexity (messages
+    and delays per transaction). *)
+
+type spec = {
+  batches : int;
+  batch_size : int;  (** transactions validated against one snapshot *)
+  keys : int;  (** keyspace size, keys "k0" .. "k<keys-1>" *)
+  hot_keys : int;  (** size of the contended subset *)
+  hot_fraction : float;  (** probability that an access hits the hot set *)
+  reads_per_txn : int;
+  writes_per_txn : int;
+  crash_probability : float;
+      (** per-batch probability that one random node crashes during the
+          batch's commit rounds *)
+  seed : int;
+}
+
+val default : spec
+(** 20 batches x 4, 64 keys, 4 hot keys at 0.5, 2 reads + 2 writes, no
+    crashes, seed 7. *)
+
+type stats = {
+  transactions : int;
+  committed : int;
+  aborted : int;
+  blocked : int;
+  abort_rate : float;
+  total_messages : int;
+  messages_per_commit : float;
+  mean_commit_delays : float;  (** mean protocol latency, units of U *)
+  atomicity_ok : bool;  (** every round passed the atomicity check *)
+}
+
+val run : Txn_system.t -> spec -> stats
+
+val contention_sweep :
+  protocol:string -> n:int -> f:int -> hot_fractions:float list -> (float * stats) list
+(** Same workload at increasing contention; the abort rate climbs, the
+    per-commit message cost stays the protocol's closed form. *)
+
+val protocol_comparison :
+  protocols:string list -> n:int -> f:int -> spec -> (string * stats) list
+(** The same workload (same seed, same conflicts) across protocols: abort
+    rates coincide, messages/latency differ — the paper's complexity
+    table in database clothing. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Ablation Alcotest Check Complexity List Printf Registry Scenario Series String Witness

@@ -1,0 +1,1 @@
+test/test_adversarial.ml: Alcotest Check List Network Pid Printf Props QCheck QCheck_alcotest Registry Rng Scenario Sim_time

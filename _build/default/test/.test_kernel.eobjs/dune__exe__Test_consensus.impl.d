@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Consensus_floodset Consensus_null Consensus_paxos Consensus_trivial Engine List Network Pid Proto QCheck QCheck_alcotest Report Rng Scenario Sim_time Trace Vote

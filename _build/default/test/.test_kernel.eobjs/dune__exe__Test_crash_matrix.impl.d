@@ -1,0 +1,1 @@
+test/test_crash_matrix.ml: Alcotest Check Complexity List Measure Pid Printf Props Registry Rng Scenario Sim_time

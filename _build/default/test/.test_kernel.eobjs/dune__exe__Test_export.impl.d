@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Pid Registry Scenario Sim_time String Trace_export

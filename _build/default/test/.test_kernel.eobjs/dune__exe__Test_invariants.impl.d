@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Format Hashtbl List Network Pid QCheck QCheck_alcotest Registry Report Rng Scenario Sim_time Trace Vote

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Gen Int64 List Pid QCheck QCheck_alcotest Rng Sim_time Trace Vote

@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Array List Phases Pid Printf Reach Registry Report Scenario Sim_time Trace Witness

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Check Complexity List Measure Metrics Network Pid Printf Props QCheck QCheck_alcotest Registry Report Rng Scenario Sim_time String Trace Vote Witness

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Consensus_null Engine Event_queue Format List Network Pid Proto QCheck QCheck_alcotest Report Rng Scenario Sim_time String Trace Vote

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Bounds Check Classify List Metrics Pid Props QCheck QCheck_alcotest Registry Scenario Sim_time String Vote Vset Witness

@@ -1,0 +1,1 @@
+test/test_tables.ml: Alcotest Ascii Complexity Figure_one Format List Measure Printf Props Registry Robustness String Table_compare Table_one Table_optimal Table_weak

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Complexity Kv_store List Pid Printf QCheck QCheck_alcotest Rng Scenario Sim_time Txn Txn_system Workload

@@ -1,0 +1,1 @@
+test/test_votes_exhaustive.ml: Alcotest Array Check Complexity List Network Pid Printf Registry Report Scenario Sim_time Vote

@@ -1,0 +1,1 @@
+test/test_witness.ml: Alcotest Check Classify List Pid Registry Report Scenario Sim_time Vote Witness

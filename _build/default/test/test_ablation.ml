@@ -1,0 +1,180 @@
+(* The design-decision ablations and the complexity series: each knob
+   must matter exactly where DESIGN.md claims it does. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Ablation 1: delivery-before-timeout priority (appendix remark (b)) *)
+
+let flip_expectations =
+  (* which protocols must survive the flip: those whose nice path is
+     event-driven rather than aligned on exact timer boundaries *)
+  [
+    ("inbac", false);
+    ("1nbac", false);
+    ("(n-1+f)nbac", false);
+    ("(2n-2)nbac", false);
+    ("0nbac", true);
+    ("2pc", true);
+  ]
+
+let test_priority_flip () =
+  let rows = Ablation.priority_flip ~n:5 ~f:2 () in
+  List.iter
+    (fun (r : Ablation.flip_row) ->
+      check tbool (r.Ablation.protocol ^ " fine under the paper rule") true
+        r.Ablation.nbac_with_priority;
+      match List.assoc_opt r.Ablation.protocol flip_expectations with
+      | Some expected ->
+          check tbool
+            (r.Ablation.protocol ^ " flipped-priority expectation")
+            expected r.Ablation.nbac_flipped
+      | None -> ())
+    rows;
+  check tbool "the ablation demonstrates a failure" true
+    (List.exists (fun r -> not r.Ablation.nbac_flipped) rows)
+
+let test_flip_is_scenario_local () =
+  (* the knob must not leak: a default scenario still uses the paper rule *)
+  let nice = Scenario.nice ~n:4 ~f:1 () in
+  check tbool "default is deliveries-first" true nice.Scenario.deliveries_first
+
+(* ------------------------------------------------------------------ *)
+(* Ablation 2: consensus modularity (Theorem 6) *)
+
+let test_consensus_choice () =
+  List.iter
+    (fun (r : Ablation.consensus_row) ->
+      check tbool (r.Ablation.scenario_label ^ ": same outcome") true
+        r.Ablation.same_outcome;
+      check tbool
+        (r.Ablation.scenario_label ^ ": both fallbacks actually ran")
+        true
+        (r.Ablation.paxos_cons_messages > 0
+        && r.Ablation.floodset_cons_messages > 0))
+    (Ablation.consensus_choice ~n:5 ~f:2 ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablation 3: fast abort *)
+
+let test_fast_abort () =
+  match Ablation.fast_abort ~n:5 ~f:2 () with
+  | [ std; fast ] ->
+      check tint "identical nice messages" std.Ablation.nice_messages
+        fast.Ablation.nice_messages;
+      check (Alcotest.float 1e-9) "identical nice delays"
+        std.Ablation.nice_delays fast.Ablation.nice_delays;
+      check (Alcotest.float 1e-9) "standard abort takes 2 delays" 2.0
+        std.Ablation.abort_delays;
+      check (Alcotest.float 1e-9) "fast abort takes 1 delay" 1.0
+        fast.Ablation.abort_delays
+  | _ -> Alcotest.fail "expected two variants"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation 4: the Section 6 normalization *)
+
+let test_normalization () =
+  match Ablation.normalization ~n:5 () with
+  | [ spontaneous; classic ] ->
+      check tint "n-1 extra messages"
+        (spontaneous.Ablation.nice_messages + 4)
+        classic.Ablation.nice_messages;
+      check (Alcotest.float 1e-9) "one extra delay"
+        (spontaneous.Ablation.nice_delays +. 1.0)
+        classic.Ablation.nice_delays
+  | _ -> Alcotest.fail "expected two variants"
+
+let test_classic_2pc_blocks_too () =
+  let report =
+    (Registry.find_exn "2pc-classic").Registry.run (Witness.two_pc_blocks ~n:5)
+  in
+  let v = Check.run report in
+  check tbool "classic 2PC also blocks" false v.Check.termination;
+  check tbool "agreement intact" true v.Check.agreement
+
+(* ------------------------------------------------------------------ *)
+(* Series *)
+
+let test_series_match_formulas () =
+  let ns = [ 3; 5; 8; 13 ] in
+  List.iter
+    (fun (s : Series.series) ->
+      let entry = Complexity.find_exn s.Series.protocol in
+      List.iter
+        (fun (p : Series.point) ->
+          check tint
+            (Printf.sprintf "%s messages at n=%d" s.Series.protocol p.Series.x)
+            (entry.Complexity.messages ~n:p.Series.x ~f:2)
+            p.Series.messages;
+          check (Alcotest.float 1e-9)
+            (Printf.sprintf "%s delays at n=%d" s.Series.protocol p.Series.x)
+            (float_of_int (entry.Complexity.delays ~n:p.Series.x ~f:2))
+            p.Series.delays)
+        s.Series.points)
+    (Series.over_n
+       ~protocols:[ "inbac"; "2pc"; "paxos-commit"; "(2n-2+f)nbac" ]
+       ~f:2 ~ns)
+
+let test_series_over_f () =
+  List.iter
+    (fun (s : Series.series) ->
+      let entry = Complexity.find_exn s.Series.protocol in
+      List.iter
+        (fun (p : Series.point) ->
+          check tint
+            (Printf.sprintf "%s messages at f=%d" s.Series.protocol p.Series.x)
+            (entry.Complexity.messages ~n:9 ~f:p.Series.x)
+            p.Series.messages)
+        s.Series.points)
+    (Series.over_f ~protocols:[ "inbac"; "faster-paxos-commit" ] ~n:9
+       ~fs:[ 1; 2; 4; 8 ])
+
+let test_crossover_delta_two () =
+  List.iter
+    (fun (n, inbac, two_pc) ->
+      check tint (Printf.sprintf "delta at n=%d" n) 2 (inbac - two_pc);
+      check tint "inbac = 2n" (2 * n) inbac)
+    (Series.crossover_f1 ~ns:[ 2; 3; 5; 8; 13; 21 ])
+
+let test_series_skips_illegal_pairs () =
+  match Series.over_n ~protocols:[ "inbac" ] ~f:4 ~ns:[ 3; 5; 8 ] with
+  | [ s ] ->
+      check tint "n=3 skipped when f=4" 2 (List.length s.Series.points)
+  | _ -> Alcotest.fail "expected one series"
+
+let test_csv_shape () =
+  let csv =
+    Series.to_csv ~x_label:"n"
+      (Series.over_n ~protocols:[ "inbac" ] ~f:1 ~ns:[ 3; 5 ])
+  in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check tint "header + 2 points" 3 (List.length lines);
+  check tbool "header row" true (List.hd lines = "protocol,n,messages,delays")
+
+let () =
+  let quick name fn = Alcotest.test_case name `Quick fn in
+  Alcotest.run "ablation"
+    [
+      ( "priority flip",
+        [
+          quick "expectations" test_priority_flip;
+          quick "scenario-local" test_flip_is_scenario_local;
+        ] );
+      ("consensus choice", [ quick "modularity" test_consensus_choice ]);
+      ("fast abort", [ quick "latency" test_fast_abort ]);
+      ( "normalization",
+        [
+          quick "deltas" test_normalization;
+          quick "classic 2pc blocks" test_classic_2pc_blocks_too;
+        ] );
+      ( "series",
+        [
+          quick "formulas over n" test_series_match_formulas;
+          quick "formulas over f" test_series_over_f;
+          quick "f=1 crossover" test_crossover_delta_two;
+          quick "illegal pairs skipped" test_series_skips_illegal_pairs;
+          quick "csv shape" test_csv_shape;
+        ] );
+    ]

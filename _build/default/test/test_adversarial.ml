@@ -1,0 +1,148 @@
+(* Unconditional safety under a fully adversarial network: random
+   per-message delays with no stabilization time at all. Termination is
+   not owed in such executions (runs may be cut off at max-time), but
+   every property a protocol claims for network-failure executions —
+   agreement and validity for the indulgent protocols — must hold in
+   every single run. This is the strongest safety hammer in the suite. *)
+
+let u = Sim_time.default_u
+
+(* Deterministic per-message delay derived from (seed, message seq):
+   anything from 1 tick to [spread] * U, uncorrelated across messages,
+   reproducible across runs. *)
+let chaos_network ~seed ~spread =
+  Network.adversary ~name:(Printf.sprintf "chaos(seed=%d)" seed) (fun info ->
+      let rng = Rng.create ((seed * 1_000_003) + info.Network.seq) in
+      1 + Rng.int rng ~bound:(spread * u))
+
+let chaos_scenario ~seed ~n ~f ~spread ~zeros ~crash =
+  let scenario =
+    Scenario.make ~n ~f ~seed
+      ~network:(chaos_network ~seed ~spread)
+      ~max_time:(200 * u) ()
+  in
+  let scenario = Scenario.with_no_votes scenario zeros in
+  match crash with
+  | None -> scenario
+  | Some (pid, at) -> Scenario.with_crashes scenario [ (pid, Scenario.Before at) ]
+
+let gen = QCheck.(triple small_int (int_range 3 7) (int_range 1 12))
+
+let safety_prop ~name ~protocol ~required =
+  QCheck.Test.make ~count:150 ~name gen (fun (seed, n, spread) ->
+      let f = max 1 ((n - 1) / 2) in
+      let rng = Rng.create (seed + 31337) in
+      let zeros =
+        if Rng.int rng ~bound:3 = 0 then [ Pid.of_rank (1 + Rng.int rng ~bound:n) ]
+        else []
+      in
+      let crash =
+        if Rng.bool rng then
+          Some (Pid.of_rank (1 + Rng.int rng ~bound:n), Rng.int rng ~bound:(8 * u))
+        else None
+      in
+      let scenario = chaos_scenario ~seed ~n ~f ~spread ~zeros ~crash in
+      let report = (Registry.find_exn protocol).Registry.run scenario in
+      Check.holds (Check.run report) required)
+
+let inbac_safety =
+  safety_prop ~name:"INBAC: agreement + validity under chaos"
+    ~protocol:"inbac" ~required:Props.av
+
+let cycle_safety =
+  safety_prop ~name:"(2n-2+f)NBAC: agreement + validity under chaos"
+    ~protocol:"(2n-2+f)nbac" ~required:Props.av
+
+let two_pc_agreement =
+  safety_prop ~name:"2PC: agreement under chaos" ~protocol:"2pc"
+    ~required:Props.a
+
+let av_nbac_msg_safety =
+  safety_prop ~name:"avNBAC(msg): agreement + validity under chaos"
+    ~protocol:"avnbac-msg" ~required:Props.av
+
+let anbac_agreement =
+  safety_prop ~name:"aNBAC: agreement under chaos" ~protocol:"anbac"
+    ~required:Props.a
+
+let zero_nbac_at =
+  safety_prop ~name:"0NBAC: agreement + termination under chaos"
+    ~protocol:"0nbac" ~required:Props.at
+
+let calvin_termination =
+  safety_prop ~name:"calvin: termination under chaos"
+    ~protocol:"calvin-commit" ~required:Props.t_
+
+(* Paxos itself, under the same chaos: uniform agreement and validity
+   always, via the consensus probe of the protocols that delegate fully. *)
+let one_nbac_validity =
+  safety_prop ~name:"1NBAC: validity under chaos" ~protocol:"1nbac"
+    ~required:Props.v
+
+let fast_abort_safety =
+  safety_prop ~name:"INBAC-fast-abort: agreement + validity under chaos"
+    ~protocol:"inbac-fast-abort" ~required:Props.av
+
+let two_pc_classic_agreement =
+  safety_prop ~name:"classic 2PC: agreement under chaos"
+    ~protocol:"2pc-classic" ~required:Props.a
+
+let three_pc_validity =
+  safety_prop ~name:"3PC: validity under chaos" ~protocol:"3pc"
+    ~required:Props.v
+
+let paxos_commit_validity =
+  safety_prop ~name:"Paxos Commit: validity under chaos"
+    ~protocol:"paxos-commit" ~required:Props.v
+
+let faster_paxos_commit_validity =
+  safety_prop ~name:"Faster Paxos Commit: validity under chaos"
+    ~protocol:"faster-paxos-commit" ~required:Props.v
+
+let star_validity_termination =
+  safety_prop ~name:"(2n-2)NBAC: validity + termination under chaos"
+    ~protocol:"(2n-2)nbac" ~required:Props.vt
+
+(* And the liveness counterpart: once the chaos is bounded by a GST, the
+   indulgent protocols also terminate (already covered elsewhere for
+   specific seeds; here across the generator's whole range). *)
+let inbac_liveness_after_gst =
+  QCheck.Test.make ~count:60
+    ~name:"INBAC terminates once delays stabilize (GST chaos)"
+    QCheck.(pair small_int (int_range 4 7))
+    (fun (seed, n) ->
+      let f = (n - 1) / 2 in
+      let scenario =
+        Scenario.make ~n ~f ~seed
+          ~network:
+            (Network.eventually_synchronous ~u ~gst:(12 * u)
+               ~max_early_delay:(6 * u))
+          ()
+      in
+      let report = (Registry.find_exn "inbac").Registry.run scenario in
+      Check.solves_nbac (Check.run report))
+
+let () =
+  Alcotest.run "adversarial"
+    [
+      ( "chaos safety",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            inbac_safety;
+            cycle_safety;
+            two_pc_agreement;
+            av_nbac_msg_safety;
+            anbac_agreement;
+            zero_nbac_at;
+            calvin_termination;
+            one_nbac_validity;
+            fast_abort_safety;
+            two_pc_classic_agreement;
+            three_pc_validity;
+            paxos_commit_validity;
+            faster_paxos_commit_validity;
+            star_validity_termination;
+          ] );
+      ( "liveness after stabilization",
+        [ QCheck_alcotest.to_alcotest inbac_liveness_after_gst ] );
+    ]

@@ -1,0 +1,79 @@
+(* Tests for the trace exporters (ASCII sequence chart, Graphviz). *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let u = Sim_time.default_u
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let nice_report () =
+  (Registry.find_exn "inbac").Registry.run (Scenario.nice ~n:4 ~f:1 ())
+
+let crash_report () =
+  (Registry.find_exn "2pc").Registry.run
+    (Scenario.with_crashes (Scenario.nice ~n:3 ~f:1 ())
+       [ (Pid.of_rank 1, Scenario.Before u) ])
+
+let test_msc_structure () =
+  let msc = Trace_export.msc (nice_report ()) in
+  check tbool "header names" true
+    (contains msc "P1" && contains msc "P4");
+  check tbool "arrows drawn" true (contains msc "o--" || contains msc "--o");
+  check tbool "proposals marked" true (contains msc "P1 proposes 1");
+  check tbool "decisions annotated" true (contains msc "decides commit");
+  check tbool "message tags shown" true (contains msc "[V,1]");
+  check tbool "times shown once per instant" true (contains msc "t=1000")
+
+let test_msc_crash_and_discard () =
+  let msc = Trace_export.msc (crash_report ()) in
+  check tbool "crash marked" true (contains msc "P1 crashes");
+  check tbool "discards shown" true (contains msc "discarded at crashed")
+
+let test_msc_lifelines_stop_after_crash () =
+  let msc = Trace_export.msc (crash_report ()) in
+  (* after the crash annotation, P1's column (index 0, position 3) shows
+     no lifeline; just assert the X marker made it in *)
+  check tbool "X marker" true (contains msc "X")
+
+let test_dot_structure () =
+  let dot = Trace_export.dot (nice_report ()) in
+  check tbool "digraph wrapper" true
+    (contains dot "digraph execution" && contains dot "}");
+  check tbool "message edges" true (contains dot "->");
+  check tbool "labels escaped" true (contains dot "label=\"[V,1]\"");
+  check tbool "decision boxes" true (contains dot "shape=box");
+  check tbool "timeline edges dotted" true (contains dot "style=dotted")
+
+let test_dot_consensus_dashed () =
+  let report =
+    (Registry.find_exn "1nbac").Registry.run
+      (Scenario.with_crashes (Scenario.nice ~n:4 ~f:1 ())
+         [ (Pid.of_rank 2, Scenario.Before 0) ])
+  in
+  let dot = Trace_export.dot report in
+  check tbool "consensus edges dashed" true (contains dot "style=dashed")
+
+let test_dot_crash_octagon () =
+  let dot = Trace_export.dot (crash_report ()) in
+  check tbool "crash node" true (contains dot "shape=octagon")
+
+let () =
+  let quick name fn = Alcotest.test_case name `Quick fn in
+  Alcotest.run "export"
+    [
+      ( "msc",
+        [
+          quick "structure" test_msc_structure;
+          quick "crash and discard" test_msc_crash_and_discard;
+          quick "crash marker" test_msc_lifelines_stop_after_crash;
+        ] );
+      ( "dot",
+        [
+          quick "structure" test_dot_structure;
+          quick "consensus dashed" test_dot_consensus_dashed;
+          quick "crash octagon" test_dot_crash_octagon;
+        ] );
+    ]

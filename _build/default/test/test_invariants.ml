@@ -1,0 +1,189 @@
+(* Cross-protocol trace invariants: structural laws every execution of
+   every protocol must satisfy, checked property-based over random
+   scenarios. These pin down the engine/model semantics themselves. *)
+
+let u = Sim_time.default_u
+
+let protocols = Registry.names
+let pick_protocol ix = List.nth protocols (ix mod List.length protocols)
+
+(* A random scenario spanning all three execution classes. *)
+let random_scenario seed n =
+  let rng = Rng.create seed in
+  let f = 1 + Rng.int rng ~bound:(max 1 ((n - 1) / 2)) in
+  let votes = Array.init n (fun _ -> Vote.of_bool (Rng.int rng ~bound:4 > 0)) in
+  let crashes =
+    if Rng.bool rng then
+      [
+        ( Pid.of_rank (1 + Rng.int rng ~bound:n),
+          if Rng.bool rng then Scenario.Before (Rng.int rng ~bound:(5 * u))
+          else Scenario.During_sends (Rng.int rng ~bound:(5 * u), Rng.int rng ~bound:n)
+        );
+      ]
+    else []
+  in
+  let network =
+    match Rng.int rng ~bound:3 with
+    | 0 -> Network.exact ~u
+    | 1 -> Network.jittered ~u
+    | _ -> Network.eventually_synchronous ~u ~gst:(8 * u) ~max_early_delay:(3 * u)
+  in
+  Scenario.make ~n ~f ~votes ~crashes ~network ~seed ()
+
+let run_random (proto_ix, seed, n) =
+  let scenario = random_scenario seed n in
+  ((Registry.find_exn (pick_protocol proto_ix)).Registry.run scenario, scenario)
+
+let gen = QCheck.(triple (int_range 0 20) small_int (int_range 3 8))
+
+let for_all_entries report pred =
+  List.for_all pred (Trace.entries report.Report.trace)
+
+let prop_delivery_matches_send =
+  QCheck.Test.make ~count:150 ~name:"every delivery matches an earlier send"
+    gen
+    (fun args ->
+      let report, _ = run_random args in
+      let sends = Hashtbl.create 64 in
+      for_all_entries report (function
+        | Trace.Send { src; dst; tag; deliver_at; _ } ->
+            Hashtbl.replace sends (src, dst, tag, deliver_at) ();
+            true
+        | Trace.Deliver { src; dst; tag; at; _ } ->
+            Hashtbl.mem sends (src, dst, tag, at)
+        | _ -> true))
+
+let prop_network_delay_bounded =
+  QCheck.Test.make ~count:150
+    ~name:"transmission delays respect the network bound" gen
+    (fun args ->
+      let report, scenario = run_random args in
+      match Network.bound scenario.Scenario.network with
+      | None -> true
+      | Some bound ->
+          for_all_entries report (function
+            | Trace.Send { at; deliver_at; src; dst; _ } ->
+                Pid.equal src dst || deliver_at - at <= bound
+            | _ -> true))
+
+let prop_trace_times_monotone =
+  QCheck.Test.make ~count:150 ~name:"trace times are non-decreasing" gen
+    (fun args ->
+      let report, _ = run_random args in
+      let rec ordered = function
+        | a :: (b :: _ as rest) ->
+            Trace.time_of a <= Trace.time_of b && ordered rest
+        | [ _ ] | [] -> true
+      in
+      ordered (Trace.entries report.Report.trace))
+
+let prop_dead_processes_stay_silent =
+  QCheck.Test.make ~count:150
+    ~name:"no send or decision after a Before-crash instant" gen
+    (fun args ->
+      let report, scenario = run_random args in
+      let death =
+        List.filter_map
+          (fun (p, c) ->
+            match c with
+            | Scenario.Before t -> Some (p, t)
+            | Scenario.During_sends _ -> None)
+          scenario.Scenario.crashes
+      in
+      let dead_at pid t =
+        List.exists (fun (p, dt) -> Pid.equal p pid && t >= dt) death
+      in
+      for_all_entries report (function
+        | Trace.Send { src; at; _ } -> not (dead_at src at)
+        | Trace.Decide { pid; at; _ } -> not (dead_at pid at)
+        | Trace.Timeout { pid; at; _ } -> not (dead_at pid at)
+        | _ -> true))
+
+let prop_decision_stability =
+  QCheck.Test.make ~count:150
+    ~name:"a process never decides two different values" gen
+    (fun args ->
+      let report, _ = run_random args in
+      let first = Hashtbl.create 8 in
+      for_all_entries report (function
+        | Trace.Decide { pid; decision; _ } -> (
+            match Hashtbl.find_opt first pid with
+            | None ->
+                Hashtbl.add first pid decision;
+                true
+            | Some d -> Vote.decision_equal d decision)
+        | _ -> true))
+
+let prop_proposals_once_per_live_process =
+  QCheck.Test.make ~count:150
+    ~name:"each process proposes at most once, none after crashing at 0" gen
+    (fun args ->
+      let report, scenario = run_random args in
+      let proposals = Trace.proposals report.Report.trace in
+      let pids = List.map fst proposals in
+      List.length (List.sort_uniq Pid.compare pids) = List.length pids
+      && List.length proposals
+         = scenario.Scenario.n
+           - List.length
+               (List.filter
+                  (fun (_, c) ->
+                    match c with
+                    | Scenario.Before 0 -> true
+                    | Scenario.Before _ | Scenario.During_sends _ -> false)
+                  scenario.Scenario.crashes))
+
+let prop_consensus_layer_only_when_used =
+  QCheck.Test.make ~count:150
+    ~name:"protocols that never use consensus never send consensus messages"
+    gen
+    (fun args ->
+      let report, _ = run_random args in
+      let runner = Registry.find_exn report.Report.protocol in
+      runner.Registry.uses_consensus || Report.consensus_messages report = 0)
+
+let prop_report_consistent_with_trace =
+  QCheck.Test.make ~count:150
+    ~name:"report decisions/crashes agree with the trace" gen
+    (fun args ->
+      let report, _ = run_random args in
+      let trace_first_decisions = Hashtbl.create 8 in
+      List.iter
+        (fun (pid, at, d) ->
+          if not (Hashtbl.mem trace_first_decisions pid) then
+            Hashtbl.add trace_first_decisions pid (at, d))
+        (Trace.decisions report.Report.trace);
+      Pid.all ~n:report.Report.scenario.Scenario.n
+      |> List.for_all (fun pid ->
+             Report.decision_of report pid
+             = Hashtbl.find_opt trace_first_decisions pid)
+      && List.for_all
+           (fun (pid, at) ->
+             report.Report.crashed_at.(Pid.index pid) = Some at)
+           (Trace.crashes report.Report.trace))
+
+let prop_determinism_across_protocols =
+  QCheck.Test.make ~count:60 ~name:"re-running a scenario is byte-identical"
+    gen
+    (fun args ->
+      let a, scenario = run_random args in
+      let b = (Registry.find_exn a.Report.protocol).Registry.run scenario in
+      Format.asprintf "%a" Trace.pp a.Report.trace
+      = Format.asprintf "%a" Trace.pp b.Report.trace)
+
+let () =
+  Alcotest.run "invariants"
+    [
+      ( "trace",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_delivery_matches_send;
+            prop_network_delay_bounded;
+            prop_trace_times_monotone;
+            prop_dead_processes_stay_silent;
+            prop_decision_stability;
+            prop_proposals_once_per_live_process;
+            prop_consensus_layer_only_when_used;
+            prop_report_consistent_with_trace;
+            prop_determinism_across_protocols;
+          ] );
+    ]

@@ -1,0 +1,258 @@
+(* Unit and property tests for ac_kernel: pids, votes, time, RNG, traces. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Pid *)
+
+let test_pid_roundtrip () =
+  for i = 1 to 20 do
+    check tint "rank roundtrip" i (Pid.rank (Pid.of_rank i));
+    check tint "index roundtrip" (i - 1) (Pid.index (Pid.of_rank i))
+  done
+
+let test_pid_invalid () =
+  Alcotest.check_raises "of_rank 0" (Invalid_argument "Pid.of_rank: rank must be >= 1")
+    (fun () -> ignore (Pid.of_rank 0));
+  Alcotest.check_raises "of_index -1"
+    (Invalid_argument "Pid.of_index: negative index") (fun () ->
+      ignore (Pid.of_index (-1)))
+
+let test_pid_all () =
+  let pids = Pid.all ~n:4 in
+  check tint "four pids" 4 (List.length pids);
+  check (Alcotest.list tint) "ranks in order" [ 1; 2; 3; 4 ]
+    (List.map Pid.rank pids)
+
+let test_pid_others () =
+  let p2 = Pid.of_rank 2 in
+  check (Alcotest.list tint) "others excludes self" [ 1; 3; 4 ]
+    (List.map Pid.rank (Pid.others ~n:4 p2))
+
+let test_pid_ring () =
+  let n = 5 in
+  check tint "successor wraps" 1 (Pid.rank (Pid.successor ~n (Pid.of_rank 5)));
+  check tint "predecessor wraps" 5
+    (Pid.rank (Pid.predecessor ~n (Pid.of_rank 1)));
+  List.iter
+    (fun p ->
+      check tbool "pred . succ = id" true
+        (Pid.equal p (Pid.predecessor ~n (Pid.successor ~n p))))
+    (Pid.all ~n)
+
+let test_pid_pp () =
+  check Alcotest.string "pretty prints rank" "P3" (Pid.to_string (Pid.of_rank 3))
+
+(* ------------------------------------------------------------------ *)
+(* Vote *)
+
+let test_vote_logand () =
+  let open Vote in
+  check tbool "1&1" true (equal (logand yes yes) yes);
+  check tbool "1&0" true (equal (logand yes no) no);
+  check tbool "0&1" true (equal (logand no yes) no);
+  check tbool "0&0" true (equal (logand no no) no)
+
+let test_vote_conversions () =
+  check tint "yes = 1" 1 (Vote.to_int Vote.yes);
+  check tint "no = 0" 0 (Vote.to_int Vote.no);
+  check tbool "of_int 1" true (Vote.equal (Vote.of_int 1) Vote.yes);
+  check tbool "of_bool false" true (Vote.equal (Vote.of_bool false) Vote.no);
+  Alcotest.check_raises "of_int 2"
+    (Invalid_argument "Vote.of_int: 2 is not a vote") (fun () ->
+      ignore (Vote.of_int 2))
+
+let test_vote_decision () =
+  check tbool "yes -> commit" true
+    (Vote.decision_equal (Vote.decision_of_vote Vote.yes) Vote.commit);
+  check tbool "no -> abort" true
+    (Vote.decision_equal (Vote.decision_of_vote Vote.no) Vote.abort);
+  check tint "commit = 1" 1 (Vote.decision_to_int Vote.commit);
+  check tbool "roundtrip" true
+    (Vote.equal (Vote.vote_of_decision (Vote.decision_of_vote Vote.no)) Vote.no)
+
+let test_vote_all_yes () =
+  check tbool "empty" true (Vote.all_yes []);
+  check tbool "all yes" true (Vote.all_yes [ Vote.yes; Vote.yes ]);
+  check tbool "one no" false (Vote.all_yes [ Vote.yes; Vote.no ])
+
+(* ------------------------------------------------------------------ *)
+(* Sim_time *)
+
+let test_time_delays () =
+  let u = 1000 in
+  check tint "of_delays" 3000 (Sim_time.of_delays ~u 3);
+  check (Alcotest.float 1e-9) "delays" 2.5 (Sim_time.delays ~u 2500)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check tbool "same stream" true (Int64.equal (Rng.next64 a) (Rng.next64 b))
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 7 and b = Rng.create 8 in
+  let va = List.init 10 (fun _ -> Rng.next64 a) in
+  let vb = List.init 10 (fun _ -> Rng.next64 b) in
+  check tbool "different seeds differ" false (va = vb)
+
+let test_rng_copy () =
+  let a = Rng.create 13 in
+  ignore (Rng.next64 a);
+  let b = Rng.copy a in
+  check tbool "copy continues identically" true
+    (Int64.equal (Rng.next64 a) (Rng.next64 b))
+
+let test_rng_invalid () =
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int (Rng.create 1) ~bound:0))
+
+let prop_rng_int_in_bound =
+  QCheck.Test.make ~count:500 ~name:"Rng.int is within bound"
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng ~bound in
+      v >= 0 && v < bound)
+
+let prop_rng_int_in_range =
+  QCheck.Test.make ~count:500 ~name:"Rng.int_in is within range"
+    QCheck.(triple small_int (int_range (-1000) 1000) (int_range 0 1000))
+    (fun (seed, lo, width) ->
+      let rng = Rng.create seed in
+      let v = Rng.int_in rng ~lo ~hi:(lo + width) in
+      v >= lo && v <= lo + width)
+
+let prop_rng_shuffle_permutation =
+  QCheck.Test.make ~count:200 ~name:"Rng.shuffle is a permutation"
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, xs) ->
+      let rng = Rng.create seed in
+      List.sort compare (Rng.shuffle rng xs) = List.sort compare xs)
+
+let prop_rng_pick_member =
+  QCheck.Test.make ~count:200 ~name:"Rng.pick returns a member"
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 20) int))
+    (fun (seed, xs) ->
+      let rng = Rng.create seed in
+      List.mem (Rng.pick rng xs) xs)
+
+let prop_rng_float_unit =
+  QCheck.Test.make ~count:500 ~name:"Rng.float in [0,1)" QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng in
+      v >= 0.0 && v < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let sample_trace () =
+  let t = Trace.create () in
+  let p1 = Pid.of_rank 1 and p2 = Pid.of_rank 2 in
+  Trace.add t (Trace.Propose { at = 0; pid = p1; vote = Vote.yes });
+  Trace.add t
+    (Trace.Send
+       {
+         at = 0;
+         src = p1;
+         dst = p2;
+         layer = Trace.Commit_layer;
+         tag = "[V,1]";
+         deliver_at = 10;
+       });
+  Trace.add t
+    (Trace.Send
+       {
+         at = 0;
+         src = p1;
+         dst = p1;
+         layer = Trace.Commit_layer;
+         tag = "[V,1]";
+         deliver_at = 0;
+       });
+  Trace.add t
+    (Trace.Send
+       {
+         at = 5;
+         src = p2;
+         dst = p1;
+         layer = Trace.Consensus_layer;
+         tag = "prepare(1)";
+         deliver_at = 15;
+       });
+  Trace.add t (Trace.Decide { at = 20; pid = p2; decision = Vote.commit });
+  Trace.add t (Trace.Crash { at = 30; pid = p1 });
+  Trace.add t (Trace.Note { at = 31; pid = p2; label = "phase"; value = "2" });
+  t
+
+let test_trace_order () =
+  let t = sample_trace () in
+  check tint "length" 7 (Trace.length t);
+  match Trace.entries t with
+  | Trace.Propose _ :: _ -> ()
+  | _ -> Alcotest.fail "entries not in append order"
+
+let test_trace_network_sends () =
+  let t = sample_trace () in
+  check tint "self-sends excluded" 2 (List.length (Trace.network_sends t));
+  check tint "commit layer only" 1
+    (List.length (Trace.network_sends ~layer:Trace.Commit_layer t));
+  check tint "consensus layer only" 1
+    (List.length (Trace.network_sends ~layer:Trace.Consensus_layer t))
+
+let test_trace_accessors () =
+  let t = sample_trace () in
+  check tint "one decision" 1 (List.length (Trace.decisions t));
+  check tint "one crash" 1 (List.length (Trace.crashes t));
+  check tint "one proposal" 1 (List.length (Trace.proposals t));
+  check tint "note filter hit" 1 (List.length (Trace.notes ~label:"phase" t));
+  check tint "note filter miss" 0 (List.length (Trace.notes ~label:"other" t))
+
+let () =
+  let quick name fn = Alcotest.test_case name `Quick fn in
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "kernel"
+    [
+      ( "pid",
+        [
+          quick "roundtrip" test_pid_roundtrip;
+          quick "invalid" test_pid_invalid;
+          quick "all" test_pid_all;
+          quick "others" test_pid_others;
+          quick "ring" test_pid_ring;
+          quick "pp" test_pid_pp;
+        ] );
+      ( "vote",
+        [
+          quick "logand" test_vote_logand;
+          quick "conversions" test_vote_conversions;
+          quick "decision" test_vote_decision;
+          quick "all_yes" test_vote_all_yes;
+        ] );
+      ("time", [ quick "delays" test_time_delays ]);
+      ( "rng",
+        [
+          quick "determinism" test_rng_determinism;
+          quick "seed sensitivity" test_rng_seed_sensitivity;
+          quick "copy" test_rng_copy;
+          quick "invalid" test_rng_invalid;
+          prop prop_rng_int_in_bound;
+          prop prop_rng_int_in_range;
+          prop prop_rng_shuffle_permutation;
+          prop prop_rng_pick_member;
+          prop prop_rng_float_unit;
+        ] );
+      ( "trace",
+        [
+          quick "order" test_trace_order;
+          quick "network sends" test_trace_network_sends;
+          quick "accessors" test_trace_accessors;
+        ] );
+    ]

@@ -1,0 +1,257 @@
+(* Mechanized checks of the structural facts the paper's lower-bound
+   proofs assert about nice executions — computed on the real traces of
+   our protocols with the reachability relation of Definitions 2/4 and
+   the send/receive-phase analysis of Section 6.1. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let u = Sim_time.default_u
+let run name scenario = (Registry.find_exn name).Registry.run scenario
+
+(* ------------------------------------------------------------------ *)
+(* Reachability on a hand-built trace *)
+
+let hand_report () =
+  (* P1 -(0..U)-> P2 -(U..2U)-> P3; P3 -(2U..3U)-> P1 *)
+  let trace = Trace.create () in
+  let send src dst at deliver_at =
+    Trace.add trace
+      (Trace.Send
+         {
+           at;
+           src = Pid.of_rank src;
+           dst = Pid.of_rank dst;
+           layer = Trace.Commit_layer;
+           tag = "m";
+           deliver_at;
+         })
+  in
+  send 1 2 0 u;
+  send 2 3 u (2 * u);
+  send 3 1 (2 * u) (3 * u);
+  {
+    Report.scenario = Scenario.nice ~n:3 ~f:1 ();
+    protocol = "hand";
+    consensus = None;
+    trace;
+    decisions = Array.make 3 None;
+    crashed_at = Array.make 3 None;
+    outcome = Report.Quiescent (3 * u);
+  }
+
+let test_reach_chains () =
+  let reach = Reach.of_report (hand_report ()) in
+  let p = Pid.of_rank in
+  check tbool "P1 reaches P2 at U" true
+    (Reach.reached_at reach ~src:(p 1) ~dst:(p 2) = Some u);
+  check tbool "P1 reaches P3 via the chain at 2U" true
+    (Reach.reached_at reach ~src:(p 1) ~dst:(p 3) = Some (2 * u));
+  check tbool "P2 reaches P1 via P3 at 3U" true
+    (Reach.reached_at reach ~src:(p 2) ~dst:(p 1) = Some (3 * u));
+  check tbool "P2 never reaches... itself excluded" true
+    (Reach.reached_at reach ~src:(p 2) ~dst:(p 2) = None);
+  check tbool "no reverse chain P2 -> P1 before 3U" false
+    (Reach.reaches_by reach ~src:(p 2) ~dst:(p 1) ~at:(2 * u));
+  check tbool "round trip P1 -> P2/P3 -> P1 completes at 3U" true
+    (Reach.round_trip_by reach ~src:(p 1) ~via:(p 2) ~at:(3 * u));
+  check tbool "round trip not earlier" false
+    (Reach.round_trip_by reach ~src:(p 1) ~via:(p 2) ~at:((3 * u) - 1))
+
+let test_reach_respects_chain_timing () =
+  (* a message that leaves before the enabling one arrives must not
+     extend a chain *)
+  let trace = Trace.create () in
+  let send src dst at deliver_at =
+    Trace.add trace
+      (Trace.Send
+         {
+           at;
+           src = Pid.of_rank src;
+           dst = Pid.of_rank dst;
+           layer = Trace.Commit_layer;
+           tag = "m";
+           deliver_at;
+         })
+  in
+  (* P2 -> P3 leaves at 0, long before P1 -> P2 arrives at U *)
+  send 1 2 0 u;
+  send 2 3 0 u;
+  let report =
+    {
+      Report.scenario = Scenario.nice ~n:3 ~f:1 ();
+      protocol = "hand";
+      consensus = None;
+      trace;
+      decisions = Array.make 3 None;
+      crashed_at = Array.make 3 None;
+      outcome = Report.Quiescent u;
+    }
+  in
+  let reach = Reach.of_report report in
+  check tbool "P1 does not reach P3 through a too-early hop" true
+    (Reach.reached_at reach ~src:(Pid.of_rank 1) ~dst:(Pid.of_rank 3) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 1: f backups by t2, on INBAC's nice executions *)
+
+let test_lemma1_backups () =
+  List.iter
+    (fun (n, f) ->
+      let report = run "inbac" (Scenario.nice ~n ~f ()) in
+      let reach = Reach.of_report report in
+      (* every process decides at 2U; the last pre-decision message
+         leaves at t2 = U *)
+      List.iter
+        (fun p ->
+          let reached = Reach.reached_set reach ~src:p ~at:u in
+          check tbool
+            (Printf.sprintf "n=%d f=%d: %s reached >= f processes by t2" n f
+               (Pid.to_string p))
+            true
+            (List.length reached >= f))
+        (Pid.all ~n))
+    [ (3, 1); (5, 2); (8, 3); (8, 7) ]
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 5: f quick acknowledgements by decision time, on INBAC *)
+
+let test_lemma5_acknowledgers () =
+  List.iter
+    (fun (n, f) ->
+      let report = run "inbac" (Scenario.nice ~n ~f ()) in
+      let reach = Reach.of_report report in
+      List.iter
+        (fun p ->
+          let theta = Reach.acknowledgers reach ~src:p ~at:(2 * u) in
+          check tbool
+            (Printf.sprintf "n=%d f=%d: |Theta(%s)| >= f" n f (Pid.to_string p))
+            true
+            (List.length theta >= f))
+        (Pid.all ~n))
+    [ (3, 1); (5, 2); (8, 3) ]
+
+let test_lemma5_bites_2pc () =
+  (* a 2PC participant's only round trip by decision time goes through
+     the coordinator: one acknowledger, short of Lemma 5's f = 2 —
+     consistent with 2PC not solving the (CF-NBAC, NF-A) problem the
+     lemma is about *)
+  let report = run "2pc" (Scenario.nice ~n:5 ~f:2 ()) in
+  let reach = Reach.of_report report in
+  let p3 = Pid.of_rank 3 in
+  let theta = Reach.acknowledgers reach ~src:p3 ~at:(2 * u) in
+  check tint "exactly the coordinator acknowledges" 1 (List.length theta);
+  check tbool "fewer than f" true (List.length theta < 2)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3: with validity under network failures, every process reaches
+   every decider by its decision time *)
+
+let lemma3_protocols =
+  [ "1nbac"; "avnbac-delay"; "avnbac-msg"; "(2n-2)nbac"; "(2n-2+f)nbac"; "inbac" ]
+
+let test_lemma3_everyone_reaches_deciders () =
+  List.iter
+    (fun protocol ->
+      let n = 5 and f = 2 in
+      let report = run protocol (Scenario.nice ~n ~f ()) in
+      let reach = Reach.of_report report in
+      List.iter
+        (fun p ->
+          match Report.decision_of report p with
+          | None -> Alcotest.fail (protocol ^ ": nice run did not decide")
+          | Some (decided_at, _) ->
+              List.iter
+                (fun q ->
+                  if not (Pid.equal p q) then
+                    check tbool
+                      (Printf.sprintf "%s: %s reaches decider %s by %d"
+                         protocol (Pid.to_string q) (Pid.to_string p)
+                         decided_at)
+                      true
+                      (Reach.reaches_by reach ~src:q ~dst:p ~at:decided_at))
+                (Pid.all ~n))
+        (Pid.all ~n))
+    lemma3_protocols
+
+let test_lemma3_spares_0nbac () =
+  (* 0NBAC keeps validity only in failure-free executions; accordingly no
+     message flows at all in its nice runs — the lemma's conclusion does
+     not apply and indeed fails *)
+  let report = run "0nbac" (Scenario.nice ~n:4 ~f:1 ()) in
+  let reach = Reach.of_report report in
+  check tbool "nobody reaches anybody in a silent execution" true
+    (Reach.reached_at reach ~src:(Pid.of_rank 1) ~dst:(Pid.of_rank 2) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.1: phase structure of synchronous NBAC *)
+
+let test_phases_one_nbac () =
+  (* the paper's refined picture: a 1-delay synchronous NBAC decider
+     shows two send phases and one receive phase before deciding *)
+  let report = run "1nbac" (Scenario.nice ~n:5 ~f:2 ()) in
+  List.iter
+    (fun p ->
+      let phases = Phases.of_report report p in
+      check tbool
+        (Printf.sprintf "%s: send -> receive -> send" (Pid.to_string p))
+        true
+        (phases = [ Phases.Send_phase; Phases.Receive_phase; Phases.Send_phase ]);
+      check tbool "counts" true (Phases.count phases = (2, 1)))
+    (Pid.all ~n:5)
+
+let test_phases_avnbac_delay () =
+  (* dropping termination lets a 1-delay protocol decide after a single
+     send phase — the contrast that makes the 6.1 claim meaningful *)
+  let report = run "avnbac-delay" (Scenario.nice ~n:5 ~f:2 ()) in
+  List.iter
+    (fun p ->
+      let phases = Phases.of_report report p in
+      check tbool
+        (Printf.sprintf "%s: send -> receive only" (Pid.to_string p))
+        true
+        (phases = [ Phases.Send_phase; Phases.Receive_phase ]))
+    (Pid.all ~n:5)
+
+let test_phases_inbac () =
+  (* INBAC's low-rank processes: send votes, receive votes, send acks,
+     receive acks, decide — (2, 2); high ranks skip the backup role *)
+  let report = run "inbac" (Scenario.nice ~n:5 ~f:2 ()) in
+  let phases_of rank = Phases.of_report report (Pid.of_rank rank) in
+  check tbool "P1 alternates twice" true (Phases.count (phases_of 1) = (2, 2));
+  check tbool "P5 sends once, receives acks" true
+    (Phases.count (phases_of 5) = (1, 1))
+
+let test_phases_undeciding_process_is_empty () =
+  let report = run "2pc" (Witness.two_pc_blocks ~n:4) in
+  check tbool "blocked participant has no phase list" true
+    (Phases.of_report report (Pid.of_rank 2) = [])
+
+let () =
+  let quick name fn = Alcotest.test_case name `Quick fn in
+  Alcotest.run "lemmas"
+    [
+      ( "reachability",
+        [
+          quick "chains" test_reach_chains;
+          quick "chain timing" test_reach_respects_chain_timing;
+        ] );
+      ("lemma 1", [ quick "f backups" test_lemma1_backups ]);
+      ( "lemma 5",
+        [
+          quick "f acknowledgers" test_lemma5_acknowledgers;
+          quick "2pc has none" test_lemma5_bites_2pc;
+        ] );
+      ( "lemma 3",
+        [
+          quick "everyone reaches deciders" test_lemma3_everyone_reaches_deciders;
+          quick "0nbac exempt" test_lemma3_spares_0nbac;
+        ] );
+      ( "section 6.1 phases",
+        [
+          quick "1nbac: 2 sends + 1 receive" test_phases_one_nbac;
+          quick "avnbac-delay: 1 send" test_phases_avnbac_delay;
+          quick "inbac structure" test_phases_inbac;
+          quick "blocked process empty" test_phases_undeciding_process_is_empty;
+        ] );
+    ]

@@ -1,0 +1,439 @@
+(* Behavioural tests for every commit protocol: nice-execution complexity
+   against the paper's closed forms, abort paths, protocol-specific fault
+   behaviour, and generic property-based checks of each protocol's
+   claimed cell. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let u = Sim_time.default_u
+let run name scenario = (Registry.find_exn name).Registry.run scenario
+
+let decisions_of report =
+  List.map (fun (_, _, d) -> d) (Trace.decisions report.Report.trace)
+
+let all_abort report =
+  let ds = decisions_of report in
+  ds <> [] && List.for_all (Vote.decision_equal Vote.abort) ds
+
+let all_commit report =
+  let ds = decisions_of report in
+  ds <> [] && List.for_all (Vote.decision_equal Vote.commit) ds
+
+(* ------------------------------------------------------------------ *)
+(* Nice executions: measured = closed form, for every protocol *)
+
+let test_nice_complexity () =
+  List.iter
+    (fun (m : Measure.nice) ->
+      let label what =
+        Printf.sprintf "%s n=%d f=%d %s" m.Measure.protocol m.Measure.n
+          m.Measure.f what
+      in
+      check tint (label "messages") m.Measure.expected_messages
+        m.Measure.metrics.Metrics.messages;
+      check (Alcotest.float 1e-9) (label "delays")
+        (float_of_int m.Measure.expected_delays)
+        m.Measure.metrics.Metrics.delays;
+      check tbool (label "all decided") true m.Measure.metrics.Metrics.all_decided;
+      check tbool (label "consensus idle") false
+        m.Measure.metrics.Metrics.consensus_invoked)
+    (Measure.sweep ~protocols:Registry.names ~pairs:Measure.default_pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Failure-free executions solve NBAC for every protocol, any votes *)
+
+let test_failure_free_abort_paths () =
+  (* weak-semantics baselines (Section 6.3) are exempt: they do not claim
+     NBAC even in failure-free executions *)
+  List.iter
+    (fun name ->
+      List.iter
+        (fun zeros ->
+          let scenario =
+            Scenario.with_no_votes (Scenario.nice ~n:5 ~f:2 ())
+              (List.map Pid.of_rank zeros)
+          in
+          let report = run name scenario in
+          let v = Check.run report in
+          check tbool
+            (Printf.sprintf "%s zeros=%s solves NBAC" name
+               (String.concat "," (List.map string_of_int zeros)))
+            true (Check.solves_nbac v);
+          check tbool (name ^ " aborts") true (all_abort report))
+        [ [ 1 ]; [ 3 ]; [ 5 ]; [ 1; 5 ]; [ 1; 2; 3; 4; 5 ] ])
+    Complexity.strict_names
+
+let prop_failure_free_nbac =
+  QCheck.Test.make ~count:120
+    ~name:"failure-free executions solve NBAC (all protocols, any votes)"
+    QCheck.(triple (int_range 0 20) small_int (int_range 2 7))
+    (fun (proto_ix, seed, n) ->
+      let strict = Complexity.strict_names in
+      let name = List.nth strict (proto_ix mod List.length strict) in
+      let rng = Rng.create seed in
+      let votes = Array.init n (fun _ -> Vote.of_bool (Rng.bool rng)) in
+      let scenario =
+        Scenario.make ~n ~f:1 ~votes ~seed ~network:(Network.jittered ~u) ()
+      in
+      let report = run name scenario in
+      Check.solves_nbac (Check.run report))
+
+(* ------------------------------------------------------------------ *)
+(* 2PC *)
+
+let test_two_pc_blocks_on_coordinator_crash () =
+  let report = run "2pc" (Witness.two_pc_blocks ~n:5) in
+  let v = Check.run report in
+  check tbool "termination violated" false v.Check.termination;
+  check tbool "agreement intact" true v.Check.agreement;
+  check tbool "no participant decided" true (decisions_of report = [])
+
+let test_two_pc_participant_crash_aborts () =
+  let scenario =
+    Scenario.with_crashes (Scenario.nice ~n:5 ~f:1 ())
+      [ (Pid.of_rank 3, Scenario.Before 0) ]
+  in
+  let report = run "2pc" scenario in
+  check tbool "abort" true (all_abort report);
+  check tbool "survivors all decide" true (Report.all_correct_decided report)
+
+let test_two_pc_unilateral_abort () =
+  let scenario =
+    Scenario.with_no_votes (Scenario.nice ~n:4 ~f:1 ()) [ Pid.of_rank 2 ]
+  in
+  let report = run "2pc" scenario in
+  match Report.decision_of report (Pid.of_rank 2) with
+  | Some (at, d) ->
+      check tbool "no-voter aborts instantly" true
+        (at = 0 && Vote.decision_equal d Vote.abort)
+  | None -> Alcotest.fail "no-voter did not decide"
+
+(* ------------------------------------------------------------------ *)
+(* 3PC *)
+
+let test_three_pc_survives_coordinator_crash () =
+  List.iter
+    (fun at ->
+      let scenario =
+        Scenario.with_crashes (Scenario.nice ~n:5 ~f:2 ())
+          [ (Pid.of_rank 1, Scenario.Before (at * u)) ]
+      in
+      let report = run "3pc" scenario in
+      check tbool
+        (Printf.sprintf "NBAC despite coordinator crash at %d delays" at)
+        true
+        (Check.solves_nbac (Check.run report)))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_three_pc_partial_precommit () =
+  (* coordinator precommits to a strict subset then dies: the backup must
+     drive everyone to one outcome *)
+  List.iter
+    (fun keep ->
+      let scenario =
+        Scenario.with_crashes (Scenario.nice ~n:5 ~f:2 ())
+          [ (Pid.of_rank 1, Scenario.During_sends (u, keep)) ]
+      in
+      let report = run "3pc" scenario in
+      check tbool
+        (Printf.sprintf "NBAC with %d precommits escaping" keep)
+        true
+        (Check.solves_nbac (Check.run report)))
+    [ 0; 1; 2; 3 ]
+
+let test_three_pc_cascading_backups () =
+  let scenario =
+    Scenario.with_crashes (Scenario.nice ~n:5 ~f:2 ())
+      [
+        (Pid.of_rank 1, Scenario.During_sends (3 * u, 2));
+        (Pid.of_rank 2, Scenario.During_sends (8 * u, 1));
+      ]
+  in
+  let report = run "3pc" scenario in
+  check tbool "NBAC after the first backup also dies" true
+    (Check.solves_nbac (Check.run report))
+
+(* ------------------------------------------------------------------ *)
+(* Chain / star / cycle *)
+
+let test_chain_crash_aborts () =
+  List.iter
+    (fun rank ->
+      let scenario =
+        Scenario.with_crashes (Scenario.nice ~n:5 ~f:2 ())
+          [ (Pid.of_rank rank, Scenario.Before 0) ]
+      in
+      let report = run "(n-1+f)nbac" scenario in
+      let v = Check.run report in
+      check tbool (Printf.sprintf "NBAC with P%d crashed" rank) true
+        (Check.solves_nbac v);
+      check tbool "chain silence aborts" true (all_abort report))
+    [ 1; 3; 5 ]
+
+let test_chain_late_crash_still_commits () =
+  (* a crash after the chain and suffix completed cannot flip anyone *)
+  let scenario =
+    Scenario.with_crashes (Scenario.nice ~n:5 ~f:1 ())
+      [ (Pid.of_rank 2, Scenario.Before (6 * u)) ]
+  in
+  let report = run "(n-1+f)nbac" scenario in
+  check tbool "commit" true (all_commit report);
+  check tbool "NBAC" true (Check.solves_nbac (Check.run report))
+
+let test_star_relay_preserves_agreement () =
+  List.iter
+    (fun keep ->
+      let report = run "(2n-2)nbac" (Witness.star_nbac_partial_broadcast ~n:5 ~keep) in
+      let v = Check.run report in
+      check tbool (Printf.sprintf "agreement with %d B-copies escaping" keep)
+        true v.Check.agreement;
+      check tbool "termination" true v.Check.termination)
+    [ 0; 1; 2; 3 ]
+
+let test_star_hub_crash_aborts () =
+  let scenario =
+    Scenario.with_crashes (Scenario.nice ~n:5 ~f:2 ())
+      [ (Pid.of_rank 5, Scenario.Before 0) ]
+  in
+  let report = run "(2n-2)nbac" scenario in
+  check tbool "hub crash aborts" true (all_abort report);
+  check tbool "NBAC" true (Check.solves_nbac (Check.run report))
+
+let test_cycle_crash_tolerance () =
+  List.iter
+    (fun (rank, at) ->
+      let scenario =
+        Scenario.with_crashes (Scenario.nice ~n:5 ~f:2 ())
+          [ (Pid.of_rank rank, Scenario.Before (at * u)) ]
+      in
+      let report = run "(2n-2+f)nbac" scenario in
+      check tbool
+        (Printf.sprintf "NBAC with P%d crashed at %d" rank at)
+        true
+        (Check.solves_nbac (Check.run report)))
+    [ (1, 0); (3, 2); (5, 4); (2, 6); (1, 20) ]
+
+let test_cycle_token_crash_mid_ring () =
+  (* the B token holder dies while forwarding *)
+  let scenario =
+    Scenario.with_crashes (Scenario.nice ~n:5 ~f:2 ())
+      [ (Pid.of_rank 2, Scenario.During_sends (6 * u, 0)) ]
+  in
+  let report = run "(2n-2+f)nbac" scenario in
+  check tbool "NBAC via helpers/consensus" true
+    (Check.solves_nbac (Check.run report))
+
+(* ------------------------------------------------------------------ *)
+(* 0NBAC / avNBAC / aNBAC *)
+
+let test_zero_nbac_silent_commit () =
+  let report = run "0nbac" (Scenario.nice ~n:6 ~f:2 ()) in
+  check tint "zero messages" 0 (Report.total_messages report);
+  check tbool "commit" true (all_commit report)
+
+let test_zero_nbac_abort_costs_messages () =
+  let scenario =
+    Scenario.with_no_votes (Scenario.nice ~n:5 ~f:2 ()) [ Pid.of_rank 2 ]
+  in
+  let report = run "0nbac" scenario in
+  check tbool "abort" true (all_abort report);
+  check tbool "messages were needed" true (Report.total_messages report > 0)
+
+let test_zero_nbac_crash_keeps_at () =
+  (* (AT, AT): agreement and termination under crashes; validity may go *)
+  List.iter
+    (fun at ->
+      let scenario =
+        Scenario.with_crashes
+          (Scenario.with_no_votes (Scenario.nice ~n:5 ~f:2 ()) [ Pid.of_rank 2 ])
+          [ (Pid.of_rank 2, Scenario.During_sends (at, 2)) ]
+      in
+      let report = run "0nbac" scenario in
+      let v = Check.run report in
+      check tbool "agreement" true v.Check.agreement;
+      check tbool "termination" true v.Check.termination)
+    [ 0; u; 2 * u ]
+
+let test_avnbac_delay_blocks_but_safe () =
+  let scenario =
+    Scenario.with_crashes (Scenario.nice ~n:4 ~f:1 ())
+      [ (Pid.of_rank 2, Scenario.Before 0) ]
+  in
+  let report = run "avnbac-delay" scenario in
+  let v = Check.run report in
+  check tbool "agreement" true v.Check.agreement;
+  check tbool "validity" true (Check.validity v);
+  check tbool "nobody decides (termination waived)" true
+    (decisions_of report = [])
+
+let test_avnbac_msg_hub_crash () =
+  let scenario =
+    Scenario.with_crashes (Scenario.nice ~n:4 ~f:1 ())
+      [ (Pid.of_rank 4, Scenario.Before 0) ]
+  in
+  let report = run "avnbac-msg" scenario in
+  let v = Check.run report in
+  check tbool "agreement" true v.Check.agreement;
+  check tbool "validity" true (Check.validity v);
+  check tbool "participants block" true (decisions_of report = [])
+
+let test_anbac_zero_voter_needs_all_acks () =
+  (* a crash hides one acknowledgement: the 0-voter must noop, not decide *)
+  let scenario =
+    Scenario.with_crashes
+      (Scenario.with_no_votes (Scenario.nice ~n:5 ~f:1 ()) [ Pid.of_rank 2 ])
+      [ (Pid.of_rank 4, Scenario.Before 0) ]
+  in
+  let report = run "anbac" scenario in
+  let v = Check.run report in
+  check tbool "agreement" true v.Check.agreement;
+  check tbool "the 0-voter never decides" true
+    (Report.decision_of report (Pid.of_rank 2) = None)
+
+let test_anbac_zero_voter_decides_failure_free () =
+  let scenario =
+    Scenario.with_no_votes (Scenario.nice ~n:5 ~f:1 ()) [ Pid.of_rank 2 ]
+  in
+  let report = run "anbac" scenario in
+  check tbool "all abort" true (all_abort report);
+  check tbool "NBAC" true (Check.solves_nbac (Check.run report))
+
+(* ------------------------------------------------------------------ *)
+(* Paxos Commit variants *)
+
+let test_paxos_commit_leader_crash () =
+  List.iter
+    (fun at ->
+      let scenario =
+        Scenario.with_crashes (Scenario.nice ~n:5 ~f:2 ())
+          [ (Pid.of_rank 1, Scenario.Before (at * u)) ]
+      in
+      let report = run "paxos-commit" scenario in
+      check tbool (Printf.sprintf "NBAC, leader dead at %d" at) true
+        (Check.solves_nbac (Check.run report)))
+    [ 0; 1; 2 ]
+
+let test_paxos_commit_partial_outcome () =
+  (* the leader's Outcome broadcast is cut short *)
+  List.iter
+    (fun keep ->
+      let scenario =
+        Scenario.with_crashes (Scenario.nice ~n:5 ~f:2 ())
+          [ (Pid.of_rank 1, Scenario.During_sends (2 * u, keep)) ]
+      in
+      let report = run "paxos-commit" scenario in
+      check tbool (Printf.sprintf "NBAC, %d outcomes escaped" keep) true
+        (Check.solves_nbac (Check.run report)))
+    [ 0; 1; 2; 3 ]
+
+let test_paxos_commit_acceptor_crash () =
+  let scenario =
+    Scenario.with_crashes (Scenario.nice ~n:5 ~f:2 ())
+      [ (Pid.of_rank 2, Scenario.Before u) ]
+  in
+  let report = run "paxos-commit" scenario in
+  check tbool "NBAC despite acceptor crash" true
+    (Check.solves_nbac (Check.run report))
+
+let test_faster_paxos_commit_partial_report () =
+  List.iter
+    (fun keep ->
+      let scenario =
+        Scenario.with_crashes (Scenario.nice ~n:5 ~f:2 ())
+          [ (Pid.of_rank 2, Scenario.During_sends (u, keep)) ]
+      in
+      let report = run "faster-paxos-commit" scenario in
+      check tbool (Printf.sprintf "NBAC, %d reports escaped" keep) true
+        (Check.solves_nbac (Check.run report)))
+    [ 0; 1; 2; 3 ]
+
+let test_faster_paxos_commit_rm_crash_mid_vote () =
+  let scenario =
+    Scenario.with_crashes (Scenario.nice ~n:5 ~f:2 ())
+      [ (Pid.of_rank 4, Scenario.During_sends (0, 1)) ]
+  in
+  let report = run "faster-paxos-commit" scenario in
+  check tbool "NBAC with a half-sent vote" true
+    (Check.solves_nbac (Check.run report))
+
+(* ------------------------------------------------------------------ *)
+(* Generic property: claimed crash-failure cell holds under random faults *)
+
+let prop_crash_failure_claims =
+  QCheck.Test.make ~count:120
+    ~name:"crash-failure executions keep each protocol's claimed CF cell"
+    QCheck.(pair (int_range 0 13) small_int)
+    (fun (proto_ix, seed) ->
+      let name = List.nth Registry.names (proto_ix mod List.length Registry.names) in
+      let claimed = (Complexity.find_exn name).Complexity.cell in
+      let scenario = Witness.crash_storm ~n:5 ~f:2 ~seed in
+      let report = run name scenario in
+      Check.holds (Check.run report) claimed.Props.cf)
+
+let prop_network_failure_claims =
+  QCheck.Test.make ~count:60
+    ~name:"network-failure executions keep each protocol's claimed NF cell"
+    QCheck.(pair (int_range 0 13) small_int)
+    (fun (proto_ix, seed) ->
+      let name = List.nth Registry.names (proto_ix mod List.length Registry.names) in
+      let claimed = (Complexity.find_exn name).Complexity.cell in
+      let scenario = Witness.eventual_synchrony ~n:5 ~f:2 ~seed in
+      let report = run name scenario in
+      Check.holds (Check.run report) claimed.Props.nf)
+
+let () =
+  let quick name fn = Alcotest.test_case name `Quick fn in
+  let slow name fn = Alcotest.test_case name `Slow fn in
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "protocols"
+    [
+      ( "nice executions",
+        [ slow "measured = closed form (full sweep)" test_nice_complexity ] );
+      ( "failure-free",
+        [
+          quick "abort paths" test_failure_free_abort_paths;
+          prop prop_failure_free_nbac;
+        ] );
+      ( "2pc",
+        [
+          quick "blocks on coordinator crash" test_two_pc_blocks_on_coordinator_crash;
+          quick "participant crash aborts" test_two_pc_participant_crash_aborts;
+          quick "unilateral abort" test_two_pc_unilateral_abort;
+        ] );
+      ( "3pc",
+        [
+          quick "survives coordinator crash" test_three_pc_survives_coordinator_crash;
+          quick "partial precommit" test_three_pc_partial_precommit;
+          quick "cascading backups" test_three_pc_cascading_backups;
+        ] );
+      ( "chain/star/cycle",
+        [
+          quick "chain crash aborts" test_chain_crash_aborts;
+          quick "chain late crash commits" test_chain_late_crash_still_commits;
+          quick "star relay agreement" test_star_relay_preserves_agreement;
+          quick "star hub crash" test_star_hub_crash_aborts;
+          quick "cycle crash tolerance" test_cycle_crash_tolerance;
+          quick "cycle token crash" test_cycle_token_crash_mid_ring;
+        ] );
+      ( "0nbac/avnbac/anbac",
+        [
+          quick "silent commit" test_zero_nbac_silent_commit;
+          quick "abort costs messages" test_zero_nbac_abort_costs_messages;
+          quick "crash keeps (AT)" test_zero_nbac_crash_keeps_at;
+          quick "avnbac-delay blocks but safe" test_avnbac_delay_blocks_but_safe;
+          quick "avnbac-msg hub crash" test_avnbac_msg_hub_crash;
+          quick "anbac missing ack blocks" test_anbac_zero_voter_needs_all_acks;
+          quick "anbac aborts failure-free" test_anbac_zero_voter_decides_failure_free;
+        ] );
+      ( "paxos commit",
+        [
+          quick "leader crash" test_paxos_commit_leader_crash;
+          quick "partial outcome" test_paxos_commit_partial_outcome;
+          quick "acceptor crash" test_paxos_commit_acceptor_crash;
+          quick "faster: partial report" test_faster_paxos_commit_partial_report;
+          quick "faster: rm crash mid vote" test_faster_paxos_commit_rm_crash_mid_vote;
+        ] );
+      ( "claimed cells",
+        [ prop prop_crash_failure_claims; prop prop_network_failure_claims ] );
+    ]

@@ -1,0 +1,420 @@
+(* Tests for ac_sim: the event queue's ordering laws, the network models,
+   scenario validation and the engine's execution semantics (probed with
+   small fixture protocols). *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let u = Sim_time.default_u
+
+(* ------------------------------------------------------------------ *)
+(* Event queue *)
+
+let test_queue_time_order () =
+  let q = Event_queue.create () in
+  List.iter
+    (fun t -> Event_queue.add q ~time:t ~klass:0 t)
+    [ 5; 1; 4; 2; 3; 0 ];
+  let popped = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (_, _, v) ->
+        popped := v :: !popped;
+        drain ()
+  in
+  drain ();
+  check (Alcotest.list tint) "sorted by time" [ 0; 1; 2; 3; 4; 5 ]
+    (List.rev !popped)
+
+let test_queue_class_order () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:10 ~klass:3 "timeout";
+  Event_queue.add q ~time:10 ~klass:2 "deliver";
+  Event_queue.add q ~time:10 ~klass:0 "crash";
+  let order = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (_, _, v) ->
+        order := v :: !order;
+        drain ()
+  in
+  drain ();
+  check
+    (Alcotest.list Alcotest.string)
+    "crash < deliver < timeout at equal time"
+    [ "crash"; "deliver"; "timeout" ]
+    (List.rev !order)
+
+let test_queue_fifo_within_class () =
+  let q = Event_queue.create () in
+  List.iter (fun i -> Event_queue.add q ~time:1 ~klass:1 i) [ 10; 20; 30 ];
+  let first = Event_queue.pop q and second = Event_queue.pop q in
+  check tbool "insertion order preserved" true
+    (match (first, second) with
+    | Some (_, _, 10), Some (_, _, 20) -> true
+    | _ -> false)
+
+let test_queue_misc () =
+  let q = Event_queue.create () in
+  check tbool "fresh queue empty" true (Event_queue.is_empty q);
+  check tbool "no peek" true (Event_queue.peek_time q = None);
+  Event_queue.add q ~time:3 ~klass:0 ();
+  check tint "size" 1 (Event_queue.size q);
+  check tbool "peek" true (Event_queue.peek_time q = Some 3);
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Event_queue.add: negative time") (fun () ->
+      Event_queue.add q ~time:(-1) ~klass:0 ())
+
+let prop_queue_pop_sorted =
+  QCheck.Test.make ~count:300 ~name:"pop order is (time, class, seq) sorted"
+    QCheck.(small_list (pair (int_range 0 50) (int_range 0 3)))
+    (fun entries ->
+      let q = Event_queue.create () in
+      List.iteri
+        (fun i (time, klass) -> Event_queue.add q ~time ~klass (time, klass, i))
+        entries;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (_, _, v) -> drain (v :: acc)
+      in
+      let popped = drain [] in
+      let keys = List.map (fun (t, k, i) -> (t, k, i)) popped in
+      keys = List.sort compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Network *)
+
+let info ~src ~dst ~sent_at =
+  {
+    Network.src = Pid.of_rank src;
+    dst = Pid.of_rank dst;
+    layer = Trace.Commit_layer;
+    sent_at;
+    seq = 0;
+  }
+
+let test_network_exact () =
+  let net = Network.exact ~u in
+  let rng = Rng.create 1 in
+  check tint "always u" u (Network.delay net rng (info ~src:1 ~dst:2 ~sent_at:0));
+  check tbool "bound" true (Network.bound net = Some u)
+
+let test_network_jittered () =
+  let net = Network.jittered ~u in
+  let rng = Rng.create 1 in
+  for _ = 1 to 200 do
+    let d = Network.delay net rng (info ~src:1 ~dst:2 ~sent_at:0) in
+    check tbool "within (0, u]" true (d >= 1 && d <= u)
+  done
+
+let test_network_gst () =
+  let net = Network.eventually_synchronous ~u ~gst:(10 * u) ~max_early_delay:(4 * u) in
+  let rng = Rng.create 1 in
+  let late = ref false in
+  for _ = 1 to 300 do
+    let d = Network.delay net rng (info ~src:1 ~dst:2 ~sent_at:0) in
+    if d > u then late := true;
+    check tbool "early message below 4u" true (d <= 4 * u)
+  done;
+  check tbool "some early message exceeds u" true !late;
+  for _ = 1 to 100 do
+    let d = Network.delay net rng (info ~src:1 ~dst:2 ~sent_at:(10 * u)) in
+    check tbool "after gst at most u" true (d <= u)
+  done
+
+let test_network_adversary_clamped () =
+  let net = Network.adversary ~name:"zero" (fun _ -> 0) in
+  let rng = Rng.create 1 in
+  check tint "clamped to 1 tick" 1
+    (Network.delay net rng (info ~src:1 ~dst:2 ~sent_at:0))
+
+(* ------------------------------------------------------------------ *)
+(* Scenario *)
+
+let test_scenario_validation () =
+  let bad f = Alcotest.match_raises "invalid" (function Invalid_argument _ -> true | _ -> false) f in
+  bad (fun () -> ignore (Scenario.make ~n:1 ~f:1 ()));
+  bad (fun () -> ignore (Scenario.make ~n:3 ~f:0 ()));
+  bad (fun () -> ignore (Scenario.make ~n:3 ~f:3 ()));
+  bad (fun () -> ignore (Scenario.make ~n:3 ~f:1 ~votes:(Array.make 2 Vote.yes) ()));
+  bad (fun () ->
+      ignore
+        (Scenario.make ~n:3 ~f:1
+           ~crashes:
+             [ (Pid.of_rank 1, Scenario.Before 0); (Pid.of_rank 1, Scenario.Before u) ]
+           ()))
+
+let test_scenario_classify () =
+  let nice = Scenario.nice ~n:3 ~f:1 () in
+  check tbool "nice is failure-free" true (Scenario.classify nice = `Failure_free);
+  check tbool "nice is nice" true (Scenario.is_nice nice);
+  let crash = Scenario.with_crashes nice [ (Pid.of_rank 1, Scenario.Before u) ] in
+  check tbool "crash class" true (Scenario.classify crash = `Crash_failure);
+  let slow =
+    Scenario.with_network nice
+      (Network.eventually_synchronous ~u ~gst:u ~max_early_delay:(2 * u))
+  in
+  check tbool "network class" true (Scenario.classify slow = `Network_failure);
+  check tbool "zero vote is not nice" false
+    (Scenario.is_nice (Scenario.with_no_votes nice [ Pid.of_rank 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Engine semantics, probed with fixture protocols *)
+
+(* Fixture: every process sends Ping to everyone (self included) at
+   propose, counts arrivals, and decides commit at the timer iff it heard
+   from everyone — arrivals at exactly the timer instant must count
+   (delivery before timeout). *)
+module Probe = struct
+  type msg = Ping
+
+  type state = { heard : int; decided : bool }
+
+  let name = "probe"
+  let uses_consensus = false
+  let pp_msg ppf Ping = Format.pp_print_string ppf "ping"
+  let init _env = { heard = 0; decided = false }
+
+  let on_propose env state _v =
+    ( state,
+      List.map (fun q -> Proto.Send (q, Ping)) (Pid.all ~n:env.Proto.n)
+      @ [ Proto.Set_timer { id = "t"; fire = Proto.At_delay 1 } ] )
+
+  let on_deliver _env state ~src:_ Ping = ({ state with heard = state.heard + 1 }, [])
+
+  let on_timeout env state ~id:_ =
+    if state.decided then (state, [])
+    else
+      ( { state with decided = true },
+        [
+          Proto.Decide
+            (if state.heard = env.Proto.n then Vote.commit else Vote.abort);
+        ] )
+
+  let guards = []
+  let on_guard _env _state ~id = failwith ("probe: unknown guard " ^ id)
+  let on_consensus_decide _env state _d = (state, [])
+end
+
+module Probe_engine = Engine.Make (Probe) (Consensus_null)
+
+let test_engine_delivery_before_timeout () =
+  let report = Probe_engine.run (Scenario.nice ~n:4 ~f:1 ()) in
+  List.iter
+    (fun p ->
+      match Report.decision_of report p with
+      | Some (_, d) ->
+          check tbool "deliveries at the timer instant counted" true
+            (Vote.decision_equal d Vote.commit)
+      | None -> Alcotest.fail "probe did not decide")
+    (Pid.all ~n:4)
+
+let test_engine_self_send_immediate () =
+  let report = Probe_engine.run (Scenario.nice ~n:3 ~f:1 ()) in
+  (* 3 processes x 2 network messages: self-sends excluded from count *)
+  check tint "network messages" 6 (Report.commit_messages report);
+  let self_delivery_at_zero =
+    List.exists
+      (function
+        | Trace.Deliver { at = 0; src; dst; _ } -> Pid.equal src dst
+        | _ -> false)
+      (Trace.entries report.Report.trace)
+  in
+  check tbool "self message delivered at send instant" true self_delivery_at_zero
+
+let test_engine_crash_before () =
+  let scenario =
+    Scenario.with_crashes (Scenario.nice ~n:3 ~f:1 ())
+      [ (Pid.of_rank 3, Scenario.Before 0) ]
+  in
+  let report = Probe_engine.run scenario in
+  (* P3 dead from time 0: sends nothing, receives nothing, decides nothing *)
+  check tbool "crashed never decides" true
+    (Report.decision_of report (Pid.of_rank 3) = None);
+  let p3_sent =
+    List.exists
+      (function
+        | Trace.Send { src; _ } -> Pid.rank src = 3
+        | _ -> false)
+      (Trace.entries report.Report.trace)
+  in
+  check tbool "crashed never sends" false p3_sent;
+  (* the survivors hear only 2 of 3 pings and abort *)
+  check tbool "survivor aborts" true
+    (match Report.decision_of report (Pid.of_rank 1) with
+    | Some (_, d) -> Vote.decision_equal d Vote.abort
+    | None -> false)
+
+let test_engine_crash_during_sends () =
+  let scenario =
+    Scenario.with_crashes (Scenario.nice ~n:5 ~f:1 ())
+      [ (Pid.of_rank 1, Scenario.During_sends (0, 2)) ]
+  in
+  let report = Probe_engine.run scenario in
+  let p1_network_sends =
+    List.length
+      (List.filter
+         (function
+           | Trace.Send { src; dst; _ } ->
+               Pid.rank src = 1 && not (Pid.equal src dst)
+           | _ -> false)
+         (Trace.entries report.Report.trace))
+  in
+  check tint "budget limits network sends" 2 p1_network_sends;
+  check tbool "then the process is dead" true
+    (report.Report.crashed_at.(0) <> None);
+  check tbool "no decision from the half-crashed process" true
+    (Report.decision_of report (Pid.of_rank 1) = None)
+
+let test_engine_discard_at_crashed () =
+  let scenario =
+    Scenario.with_crashes (Scenario.nice ~n:3 ~f:1 ())
+      [ (Pid.of_rank 2, Scenario.Before u) ]
+  in
+  let report = Probe_engine.run scenario in
+  let discards =
+    List.exists
+      (function Trace.Discard _ -> true | _ -> false)
+      (Trace.entries report.Report.trace)
+  in
+  check tbool "arrivals at a dead process are discarded" true discards
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~count:50 ~name:"same seed, same trace"
+    QCheck.(pair small_int (int_range 2 8))
+    (fun (seed, n) ->
+      let scenario =
+        Scenario.make ~n ~f:1 ~seed ~network:(Network.jittered ~u) ()
+      in
+      let a = Probe_engine.run scenario and b = Probe_engine.run scenario in
+      Format.asprintf "%a" Trace.pp a.Report.trace
+      = Format.asprintf "%a" Trace.pp b.Report.trace)
+
+(* Fixture probing timer semantics: [At_delay k] is the absolute instant
+   k*U; [After d] is relative to now; a timer aimed at the past fires
+   immediately (clamped to now). *)
+module Timer_probe = struct
+  type msg = |
+  type state = { fired : (string * Sim_time.t) list }
+
+  let name = "timer-probe"
+  let uses_consensus = false
+  let pp_msg _ppf (m : msg) = (match m with _ -> .)
+  let init _env = { fired = [] }
+
+  let on_propose _env state _v =
+    ( state,
+      [
+        Proto.Set_timer { id = "abs"; fire = Proto.At_delay 2 };
+        Proto.Set_timer { id = "rel"; fire = Proto.After 1500 };
+        Proto.Set_timer { id = "past"; fire = Proto.At_delay 0 };
+      ] )
+
+  let on_deliver _env _state ~src:_ (m : msg) = (match m with _ -> .)
+
+  let on_timeout _env state ~id =
+    let state = { fired = (id, -1) :: state.fired } in
+    if id = "abs" then
+      (* a relative timer set from a later instant *)
+      (state, [ Proto.Set_timer { id = "chained"; fire = Proto.After 250 } ])
+    else (state, [])
+
+  let guards = []
+  let on_guard _env _state ~id = failwith ("timer-probe: unknown guard " ^ id)
+  let on_consensus_decide _env state _d = (state, [])
+end
+
+module Timer_engine = Engine.Make (Timer_probe) (Consensus_null)
+
+let test_engine_timer_semantics () =
+  let report = Timer_engine.run (Scenario.make ~n:2 ~f:1 ()) in
+  let timeouts =
+    List.filter_map
+      (function
+        | Trace.Timeout { at; pid; timer } when Pid.rank pid = 1 ->
+            Some (timer, at)
+        | _ -> None)
+      (Trace.entries report.Report.trace)
+  in
+  check tbool "past timer fires at once" true
+    (List.mem ("past", 0) timeouts);
+  check tbool "relative timer at 1500" true (List.mem ("rel", 1500) timeouts);
+  check tbool "absolute timer at 2U" true (List.mem ("abs", 2 * u) timeouts);
+  check tbool "chained relative timer at 2U + 250" true
+    (List.mem ("chained", (2 * u) + 250) timeouts)
+
+(* Fixture for the guard loop: a guard that stays true forever must make
+   the engine fail loudly instead of spinning. *)
+module Bad_guard = struct
+  type msg = |
+  type state = unit
+
+  let name = "bad-guard"
+  let uses_consensus = false
+  let pp_msg _ppf (m : msg) = (match m with _ -> .)
+  let init _env = ()
+  let on_propose _env () _v = ((), [])
+  let on_deliver _env () ~src:_ (m : msg) = (match m with _ -> .)
+  let on_timeout _env () ~id:_ = ((), [])
+  let guards = [ ("always", fun _env () -> true) ]
+  let on_guard _env () ~id:_ = ((), [])
+  let on_consensus_decide _env () _d = ((), [])
+end
+
+module Bad_guard_engine = Engine.Make (Bad_guard) (Consensus_null)
+
+let test_engine_guard_fuel () =
+  Alcotest.match_raises "guard loop detected"
+    (function Failure msg -> String.length msg > 0 | _ -> false)
+    (fun () -> ignore (Bad_guard_engine.run (Scenario.nice ~n:2 ~f:1 ())))
+
+let test_report_accessors () =
+  let report = Probe_engine.run (Scenario.nice ~n:3 ~f:1 ()) in
+  check tint "everyone decided" 3 (List.length (Report.decided_values report));
+  check tbool "all correct decided" true (Report.all_correct_decided report);
+  check tint "three correct pids" 3 (List.length (Report.correct_pids report));
+  check tbool "no consensus traffic" true (Report.consensus_messages report = 0);
+  check tbool "delays measured" true
+    (Report.delays_to_last_decision report = Some 1.0)
+
+let () =
+  let quick name fn = Alcotest.test_case name `Quick fn in
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "sim"
+    [
+      ( "event-queue",
+        [
+          quick "time order" test_queue_time_order;
+          quick "class order" test_queue_class_order;
+          quick "fifo within class" test_queue_fifo_within_class;
+          quick "misc" test_queue_misc;
+          prop prop_queue_pop_sorted;
+        ] );
+      ( "network",
+        [
+          quick "exact" test_network_exact;
+          quick "jittered" test_network_jittered;
+          quick "eventually synchronous" test_network_gst;
+          quick "adversary clamped" test_network_adversary_clamped;
+        ] );
+      ( "scenario",
+        [
+          quick "validation" test_scenario_validation;
+          quick "classify" test_scenario_classify;
+        ] );
+      ( "engine",
+        [
+          quick "delivery before timeout" test_engine_delivery_before_timeout;
+          quick "self-send immediate" test_engine_self_send_immediate;
+          quick "crash before" test_engine_crash_before;
+          quick "crash during sends" test_engine_crash_during_sends;
+          quick "discard at crashed" test_engine_discard_at_crashed;
+          quick "guard fuel" test_engine_guard_fuel;
+          quick "timer semantics" test_engine_timer_semantics;
+          quick "report accessors" test_report_accessors;
+          prop prop_engine_deterministic;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* End-to-end checks of the reproduction harness itself: every table the
+   bench regenerates must verify, and the rendered artifacts must contain
+   what the paper's tables contain. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let pairs = [ (3, 1); (5, 2); (8, 3) ]
+
+let test_table1_verifies () =
+  List.iter
+    (fun (v : Table_one.verification) ->
+      check tbool
+        (Printf.sprintf "cell %s via %s"
+           (Format.asprintf "%a" Props.pp_cell v.Table_one.cell)
+           v.Table_one.protocol)
+        true v.Table_one.all_ok)
+    (Table_one.verifications ~pairs)
+
+let test_table1_grid_shape () =
+  let grid = Table_one.grid () in
+  (* the four 2-delay cells and the four message-bound classes all appear *)
+  check tbool "2n-2+f cells" true (contains grid "2 / 2n-2+f");
+  check tbool "n-1+f cells" true (contains grid "1 / n-1+f");
+  check tbool "2n-2 cells" true (contains grid "1 / 2n-2");
+  check tbool "free cells" true (contains grid "1 / 0");
+  (* 27 non-empty cells *)
+  let count_occurrences s sub =
+    let rec go i acc =
+      if i + String.length sub > String.length s then acc
+      else if String.sub s i (String.length sub) = sub then
+        go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  check Alcotest.int "27 non-empty cells" 27
+    (count_occurrences grid " / ")
+
+let test_table2_and_3_verify () =
+  check tbool "delay- and message-optimal tables verify" true
+    (Table_optimal.all_ok ~pairs)
+
+let test_table2_render () =
+  let s = Table_optimal.render_delay_optimal ~pairs in
+  List.iter
+    (fun p -> check tbool (p ^ " present") true (contains s p))
+    [ "avnbac-delay"; "0nbac"; "1nbac"; "inbac" ];
+  check tbool "no failure marker" false (contains s "| NO ")
+
+let test_table3_render () =
+  let s = Table_optimal.render_message_optimal ~pairs in
+  List.iter
+    (fun p -> check tbool (p ^ " present") true (contains s p))
+    [ "0nbac"; "anbac"; "avnbac-msg"; "(n-1+f)nbac"; "(2n-2)nbac"; "(2n-2+f)nbac" ];
+  check tbool "no failure marker" false (contains s "| NO ")
+
+let test_table4_claims () =
+  List.iter
+    (fun (c : Table_compare.claim) ->
+      check tbool c.Table_compare.description true c.Table_compare.holds)
+    (Table_compare.claims ())
+
+let test_table4_render () =
+  let s = Table_compare.render ~pairs in
+  check tbool "inbac row" true (contains s "inbac");
+  check tbool "2fn formula" true (contains s "2fn");
+  check tbool "no failure marker" false (contains s "| NO ")
+
+let test_robustness_matrix () =
+  check tbool "every protocol's claimed cell observed" true
+    (Robustness.all_ok ())
+
+let test_weak_semantics () =
+  check tbool "gaps demonstrated, contracts intact" true (Table_weak.all_ok ());
+  let s = Table_weak.render () in
+  check tbool "calvin row" true (contains s "calvin-commit");
+  check tbool "majority row" true (contains s "majority-commit");
+  check tbool "no failure marker" false (contains s "BROKEN")
+
+let test_weak_flags () =
+  check tbool "majority flagged weak" true (Complexity.is_weak "majority-commit");
+  check tbool "calvin is strict (NBAC failure-free)" false
+    (Complexity.is_weak "calvin-commit");
+  check tbool "inbac is strict" false (Complexity.is_weak "inbac");
+  check tbool "strict list excludes weak" false
+    (List.mem "majority-commit" Complexity.strict_names)
+
+let test_figure_one () =
+  let s = Figure_one.render ~n:5 ~f:2 () in
+  check tbool "dot graph present" true (contains s "digraph inbac_process");
+  check tbool "nice log present" true (contains s "nice execution");
+  check tbool "phases logged" true (contains s "phase 2");
+  check tbool "direct path logged" true (contains s "decide via direct");
+  check tbool "consensus path logged in failure runs" true
+    (contains s "decide via consensus")
+
+let test_complexity_covers_registry () =
+  List.iter
+    (fun name ->
+      check tbool (name ^ " has a complexity entry") true
+        (Complexity.find name <> None))
+    Registry.names
+
+let test_measure_default_pairs_legal () =
+  List.iter
+    (fun (n, f) ->
+      check tbool "pair legal" true (n >= 2 && f >= 1 && f <= n - 1))
+    Measure.default_pairs
+
+let test_ascii_table () =
+  let t = Ascii.create ~header:[ "a"; "bb" ] in
+  Ascii.add_row t [ "x"; "y" ];
+  Ascii.add_separator t;
+  Ascii.add_row t [ "long-cell"; "z" ];
+  let s = Ascii.render t in
+  check tbool "header" true (contains s "| a ");
+  check tbool "separator" true (contains s "+");
+  Alcotest.match_raises "row width checked"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> Ascii.add_row t [ "only-one" ])
+
+let () =
+  let quick name fn = Alcotest.test_case name `Quick fn in
+  let slow name fn = Alcotest.test_case name `Slow fn in
+  Alcotest.run "tables"
+    [
+      ( "table 1",
+        [
+          slow "verifications" test_table1_verifies;
+          quick "grid shape" test_table1_grid_shape;
+        ] );
+      ( "tables 2-3",
+        [
+          slow "verify" test_table2_and_3_verify;
+          quick "table 2 render" test_table2_render;
+          quick "table 3 render" test_table3_render;
+        ] );
+      ( "table 4",
+        [ slow "claims" test_table4_claims; quick "render" test_table4_render ] );
+      ("robustness", [ slow "matrix" test_robustness_matrix ]);
+      ( "weak semantics (section 6.3)",
+        [ quick "table" test_weak_semantics; quick "flags" test_weak_flags ] );
+      ("figure 1", [ quick "render" test_figure_one ]);
+      ( "harness",
+        [
+          quick "complexity covers registry" test_complexity_covers_registry;
+          quick "default pairs legal" test_measure_default_pairs_legal;
+          quick "ascii table" test_ascii_table;
+        ] );
+    ]

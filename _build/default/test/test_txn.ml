@@ -1,0 +1,282 @@
+(* Tests for the transactional KV substrate: the store's staging
+   semantics, transaction validation, and the end-to-end system built on
+   the commit protocols — including atomicity under random faults. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let u = Sim_time.default_u
+
+(* ------------------------------------------------------------------ *)
+(* Kv_store *)
+
+let test_store_versions () =
+  let s = Kv_store.create () in
+  check tbool "missing key" true (Kv_store.get s ~key:"a" = None);
+  check tint "version 0 before any write" 0 (Kv_store.version s ~key:"a");
+  Kv_store.stage s ~txn_id:"t" ~writes:[ ("a", "1") ];
+  check tbool "staged not visible" true (Kv_store.get s ~key:"a" = None);
+  check tbool "apply installs" true (Kv_store.apply s ~txn_id:"t");
+  check tbool "value visible" true (Kv_store.get s ~key:"a" = Some ("1", 1));
+  Kv_store.stage s ~txn_id:"t2" ~writes:[ ("a", "2") ];
+  ignore (Kv_store.apply s ~txn_id:"t2");
+  check tbool "version bumped" true (Kv_store.get s ~key:"a" = Some ("2", 2))
+
+let test_store_discard () =
+  let s = Kv_store.create () in
+  Kv_store.stage s ~txn_id:"t" ~writes:[ ("a", "1") ];
+  Kv_store.discard s ~txn_id:"t";
+  check tbool "apply after discard is a no-op" false (Kv_store.apply s ~txn_id:"t");
+  check tbool "nothing installed" true (Kv_store.get s ~key:"a" = None)
+
+let test_store_restage_replaces () =
+  let s = Kv_store.create () in
+  Kv_store.stage s ~txn_id:"t" ~writes:[ ("a", "old") ];
+  Kv_store.stage s ~txn_id:"t" ~writes:[ ("a", "new") ];
+  ignore (Kv_store.apply s ~txn_id:"t");
+  check tbool "second staging wins" true (Kv_store.get s ~key:"a" = Some ("new", 1))
+
+let test_store_apply_atomic () =
+  let s = Kv_store.create () in
+  Kv_store.stage s ~txn_id:"t" ~writes:[ ("a", "1"); ("b", "2"); ("c", "3") ];
+  ignore (Kv_store.apply s ~txn_id:"t");
+  check (Alcotest.list Alcotest.string) "all keys installed" [ "a"; "b"; "c" ]
+    (Kv_store.keys s)
+
+(* ------------------------------------------------------------------ *)
+(* Txn *)
+
+let test_txn_validation () =
+  Alcotest.match_raises "empty id"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Txn.make ~id:"" ~writes:[] ()));
+  Alcotest.match_raises "duplicate write"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Txn.make ~id:"t" ~writes:[ ("a", "1"); ("a", "2") ] ()));
+  let t =
+    Txn.make ~id:"t" ~reads:[ ("a", 1) ] ~writes:[ ("b", "2"); ("a", "3") ] ()
+  in
+  check (Alcotest.list Alcotest.string) "keys" [ "a"; "b" ] (Txn.keys t)
+
+(* ------------------------------------------------------------------ *)
+(* Txn_system *)
+
+let test_system_commit_and_read () =
+  let db = Txn_system.create ~n:4 ~f:1 ~protocol:"inbac" () in
+  let o =
+    Txn_system.submit db (Txn.make ~id:"t1" ~writes:[ ("x", "7"); ("y", "8") ] ())
+  in
+  check tbool "committed" true (o.Txn_system.decision = Txn_system.Committed);
+  check tbool "atomic" true o.Txn_system.atomic;
+  check tbool "read through placement" true
+    (Txn_system.read db ~key:"x" = Some ("7", 1));
+  check tbool "read y" true (Txn_system.read db ~key:"y" = Some ("8", 1))
+
+let test_system_stale_read_aborts () =
+  let db = Txn_system.create ~n:4 ~f:1 ~protocol:"inbac" () in
+  ignore (Txn_system.submit db (Txn.make ~id:"seed" ~writes:[ ("x", "1") ] ()));
+  let stale = [ ("x", 0) ] in
+  let o =
+    Txn_system.submit db (Txn.make ~id:"t" ~reads:stale ~writes:[ ("x", "2") ] ())
+  in
+  check tbool "aborted on stale read" true
+    (o.Txn_system.decision = Txn_system.Aborted);
+  check tbool "atomic" true o.Txn_system.atomic;
+  check tbool "value unchanged" true (Txn_system.read db ~key:"x" = Some ("1", 1))
+
+let test_system_batch_conflict () =
+  let db = Txn_system.create ~n:5 ~f:2 ~protocol:"inbac" () in
+  ignore (Txn_system.submit db (Txn.make ~id:"seed" ~writes:[ ("k", "0") ] ()));
+  let reads = Txn_system.snapshot_reads db [ "k" ] in
+  let a = Txn.make ~id:"a" ~reads ~writes:[ ("k", "A") ] () in
+  let b = Txn.make ~id:"b" ~reads ~writes:[ ("k", "B") ] () in
+  match Txn_system.submit_batch db [ a; b ] with
+  | [ oa; ob ] ->
+      check tbool "first commits" true
+        (oa.Txn_system.decision = Txn_system.Committed);
+      check tbool "second aborts on the conflict" true
+        (ob.Txn_system.decision = Txn_system.Aborted);
+      check tbool "final value from the winner" true
+        (Txn_system.read db ~key:"k" = Some ("A", 2))
+  | _ -> Alcotest.fail "expected two outcomes"
+
+let test_system_crash_recovery () =
+  let db = Txn_system.create ~n:5 ~f:2 ~protocol:"inbac" () in
+  let o =
+    Txn_system.submit
+      ~crashes:[ (Pid.of_rank 1, Scenario.Before u) ]
+      db
+      (Txn.make ~id:"t" ~writes:[ ("a", "1"); ("b", "2"); ("c", "3"); ("d", "4") ] ())
+  in
+  check tbool "committed despite the crash" true
+    (o.Txn_system.decision = Txn_system.Committed);
+  check tbool "atomic after recovery" true o.Txn_system.atomic;
+  check tbool "crashed node recovered" true (o.Txn_system.recovered <> [])
+
+let test_system_two_pc_blocks () =
+  let db = Txn_system.create ~n:4 ~f:1 ~protocol:"2pc" () in
+  let o =
+    Txn_system.submit
+      ~crashes:[ (Pid.of_rank 1, Scenario.Before u) ]
+      db
+      (Txn.make ~id:"t" ~writes:[ ("a", "1") ] ())
+  in
+  check tbool "blocked" true (o.Txn_system.decision = Txn_system.Blocked);
+  check tbool "writes stay staged (recoverable)" true o.Txn_system.atomic;
+  check tbool "nothing installed" true (Txn_system.read db ~key:"a" = None)
+
+let test_system_placement_deterministic () =
+  let db = Txn_system.create ~n:7 ~f:2 ~protocol:"inbac" () in
+  List.iter
+    (fun key ->
+      check tbool "placement stable" true
+        (Pid.equal (Txn_system.placement db key) (Txn_system.placement db key)))
+    [ "a"; "zzz"; "user:42"; "" ]
+
+let test_system_history () =
+  let db = Txn_system.create ~n:4 ~f:1 ~protocol:"inbac" () in
+  ignore (Txn_system.submit db (Txn.make ~id:"t1" ~writes:[ ("a", "1") ] ()));
+  ignore (Txn_system.submit db (Txn.make ~id:"t2" ~writes:[ ("a", "2") ] ()));
+  let h = Txn_system.history db in
+  check tint "two outcomes" 2 (List.length h);
+  check tbool "oldest first" true
+    ((List.hd h).Txn_system.txn.Txn.id = "t1")
+
+let prop_atomicity_under_faults =
+  QCheck.Test.make ~count:100
+    ~name:"atomicity holds for every protocol under random crashes"
+    QCheck.(triple (int_range 0 3) small_int (int_range 4 7))
+    (fun (proto_ix, seed, n) ->
+      let protocol =
+        List.nth [ "inbac"; "3pc"; "paxos-commit"; "(2n-2+f)nbac" ] proto_ix
+      in
+      let db = Txn_system.create ~seed ~n ~f:2 ~protocol () in
+      let rng = Rng.create seed in
+      ignore
+        (Txn_system.submit db
+           (Txn.make ~id:"seed"
+              ~writes:[ ("a", "0"); ("b", "0"); ("c", "0"); ("d", "0") ]
+              ()));
+      let outcomes =
+        List.init 4 (fun i ->
+            let crashes =
+              if Rng.bool rng then
+                [
+                  ( Pid.of_rank (1 + Rng.int rng ~bound:n),
+                    Scenario.Before (Rng.int rng ~bound:(4 * u)) );
+                ]
+              else []
+            in
+            let reads = Txn_system.snapshot_reads db [ "a"; "b" ] in
+            Txn_system.submit ~crashes db
+              (Txn.make
+                 ~id:(Printf.sprintf "t%d" i)
+                 ~reads
+                 ~writes:[ ("a", string_of_int i); ("c", string_of_int i) ]
+                 ()))
+      in
+      List.for_all (fun o -> o.Txn_system.atomic) outcomes)
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+let test_workload_protocol_independent_aborts () =
+  let spec = { Workload.default with Workload.batches = 8 } in
+  let results =
+    Workload.protocol_comparison ~protocols:[ "inbac"; "2pc"; "3pc" ] ~n:5
+      ~f:2 spec
+  in
+  match results with
+  | (_, first) :: rest ->
+      List.iter
+        (fun (p, s) ->
+          check tint (p ^ " same aborts as inbac") first.Workload.aborted
+            s.Workload.aborted;
+          check tbool (p ^ " atomic") true s.Workload.atomicity_ok)
+        rest
+  | [] -> Alcotest.fail "no results"
+
+let test_workload_messages_match_formula () =
+  (* every commit round of the workload is a failure-free run: messages
+     per transaction equal the protocol's closed form *)
+  let n = 5 and f = 2 in
+  let spec = { Workload.default with Workload.batches = 6 } in
+  List.iter
+    (fun protocol ->
+      let db = Txn_system.create ~n ~f ~protocol () in
+      let s = Workload.run db spec in
+      let expected =
+        (Complexity.find_exn protocol).Complexity.messages ~n ~f
+        * s.Workload.transactions
+      in
+      check tint (protocol ^ " total messages") expected s.Workload.total_messages)
+    [ "inbac"; "2pc"; "paxos-commit" ]
+
+let test_workload_contention_monotone_at_extremes () =
+  let sweep =
+    Workload.contention_sweep ~protocol:"inbac" ~n:5 ~f:2
+      ~hot_fractions:[ 0.0; 1.0 ]
+  in
+  match sweep with
+  | [ (_, cold); (_, hot) ] ->
+      check tbool "full contention aborts more" true
+        (hot.Workload.abort_rate > cold.Workload.abort_rate);
+      check tbool "all accounted" true
+        (hot.Workload.committed + hot.Workload.aborted + hot.Workload.blocked
+        = hot.Workload.transactions)
+  | _ -> Alcotest.fail "expected two sweep points"
+
+let test_workload_crash_injection_stays_atomic () =
+  let spec =
+    {
+      Workload.default with
+      Workload.batches = 10;
+      Workload.crash_probability = 0.5;
+    }
+  in
+  let db = Txn_system.create ~n:5 ~f:2 ~protocol:"inbac" () in
+  let s = Workload.run db spec in
+  check tbool "atomicity under crash injection" true s.Workload.atomicity_ok;
+  check tint "nothing blocked (INBAC terminates)" 0 s.Workload.blocked
+
+let test_workload_determinism () =
+  let stats () =
+    let db = Txn_system.create ~n:5 ~f:2 ~protocol:"inbac" () in
+    Workload.run db { Workload.default with Workload.batches = 5 }
+  in
+  check tbool "same seed, same stats" true (stats () = stats ())
+
+let () =
+  let quick name fn = Alcotest.test_case name `Quick fn in
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "txn"
+    [
+      ( "kv-store",
+        [
+          quick "versions" test_store_versions;
+          quick "discard" test_store_discard;
+          quick "restage replaces" test_store_restage_replaces;
+          quick "apply atomic" test_store_apply_atomic;
+        ] );
+      ("txn", [ quick "validation" test_txn_validation ]);
+      ( "system",
+        [
+          quick "commit and read" test_system_commit_and_read;
+          quick "stale read aborts" test_system_stale_read_aborts;
+          quick "batch conflict" test_system_batch_conflict;
+          quick "crash recovery" test_system_crash_recovery;
+          quick "2pc blocks" test_system_two_pc_blocks;
+          quick "placement deterministic" test_system_placement_deterministic;
+          quick "history" test_system_history;
+          prop prop_atomicity_under_faults;
+        ] );
+      ( "workload",
+        [
+          quick "protocol-independent aborts"
+            test_workload_protocol_independent_aborts;
+          quick "messages match formula" test_workload_messages_match_formula;
+          quick "contention extremes" test_workload_contention_monotone_at_extremes;
+          quick "crash injection atomic" test_workload_crash_injection_stays_atomic;
+          quick "determinism" test_workload_determinism;
+        ] );
+    ]

@@ -1,0 +1,69 @@
+(* Exhaustive failure-free coverage: every one of the 2^n vote patterns,
+   for every strict protocol, must decide exactly the conjunction of the
+   votes at every process — the full failure-free truth table of atomic
+   commit. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let n = 4
+
+let pattern_of_bits bits =
+  Array.init n (fun i -> Vote.of_bool ((bits lsr i) land 1 = 1))
+
+let test_protocol protocol =
+  Alcotest.test_case protocol `Slow (fun () ->
+      let runner = Registry.find_exn protocol in
+      for bits = 0 to (1 lsl n) - 1 do
+        let votes = pattern_of_bits bits in
+        let expected =
+          Vote.decision_of_vote
+            (Array.fold_left Vote.logand Vote.yes votes)
+        in
+        let scenario = Scenario.make ~n ~f:1 ~votes () in
+        let report = runner.Registry.run scenario in
+        let verdict = Check.run report in
+        check tbool
+          (Printf.sprintf "%s votes=%d solves NBAC" protocol bits)
+          true
+          (Check.solves_nbac verdict);
+        List.iter
+          (fun pid ->
+            match Report.decision_of report pid with
+            | Some (_, d) ->
+                check tbool
+                  (Printf.sprintf "%s votes=%d %s decides AND" protocol bits
+                     (Pid.to_string pid))
+                  true
+                  (Vote.decision_equal d expected)
+            | None ->
+                Alcotest.fail
+                  (Printf.sprintf "%s votes=%d: %s undecided" protocol bits
+                     (Pid.to_string pid)))
+          (Pid.all ~n)
+      done)
+
+(* The same truth table under jittered (still synchronous) delays: the
+   exact-U alignment must not be load-bearing in failure-free runs. *)
+let test_protocol_jittered protocol =
+  Alcotest.test_case (protocol ^ " (jittered)") `Slow (fun () ->
+      let runner = Registry.find_exn protocol in
+      let u = Sim_time.default_u in
+      for bits = 0 to (1 lsl n) - 1 do
+        let votes = pattern_of_bits bits in
+        let scenario =
+          Scenario.make ~n ~f:1 ~votes ~seed:bits
+            ~network:(Network.jittered ~u) ()
+        in
+        let verdict = Check.run (runner.Registry.run scenario) in
+        check tbool
+          (Printf.sprintf "%s votes=%d jittered solves NBAC" protocol bits)
+          true
+          (Check.solves_nbac verdict)
+      done)
+
+let () =
+  Alcotest.run "votes-exhaustive"
+    [
+      ("exact delays", List.map test_protocol Complexity.strict_names);
+      ("jittered delays", List.map test_protocol_jittered Complexity.strict_names);
+    ]

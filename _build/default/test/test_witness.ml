@@ -1,0 +1,118 @@
+(* The lower-bound witness executions: each scenario reconstructs one of
+   the paper's proof constructions (the [E_0]/[E_async] adversaries of
+   Lemmas 1, 3, 5) and must produce exactly the predicted violation — or,
+   for the positive witnesses, exactly none. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let run name scenario = (Registry.find_exn name).Registry.run scenario
+
+let test_two_pc_blocking_window () =
+  List.iter
+    (fun n ->
+      let report = run "2pc" (Witness.two_pc_blocks ~n) in
+      let v = Check.run report in
+      check tbool "blocks" false v.Check.termination;
+      check tbool "agreement intact" true v.Check.agreement;
+      check tbool "validity intact" true (Check.validity v))
+    [ 3; 5; 8 ]
+
+let test_one_nbac_gap () =
+  (* the (AVT, VT) cell: a 1-delay decider against consensus-based aborts *)
+  List.iter
+    (fun n ->
+      let report = run "1nbac" (Witness.one_nbac_disagreement ~n) in
+      let v = Check.run report in
+      check tbool "network failure" true
+        (Classify.of_report report = Classify.Network_failure);
+      check tbool "agreement broken" false v.Check.agreement;
+      check tbool "P1 fast-decided commit" true
+        (match Report.decision_of report (Pid.of_rank 1) with
+        | Some (at, d) ->
+            at = Sim_time.default_u && Vote.decision_equal d Vote.commit
+        | None -> false);
+      check tbool "validity survives" true (Check.validity v))
+    [ 3; 5; 7 ]
+
+let test_one_nbac_same_schedule_is_safe_in_sync () =
+  (* the same vote pattern without the delay adversary solves NBAC: the
+     violation is caused by the network failure, nothing else *)
+  let report = run "1nbac" (Scenario.nice ~n:5 ~f:1 ()) in
+  check tbool "synchronous twin solves NBAC" true
+    (Check.solves_nbac (Check.run report))
+
+let test_chain_noop_gap () =
+  List.iter
+    (fun n ->
+      let report = run "(n-1+f)nbac" (Witness.chain_nbac_disagreement ~n) in
+      let v = Check.run report in
+      check tbool "network failure" true
+        (Classify.of_report report = Classify.Network_failure);
+      check tbool "agreement broken" false v.Check.agreement;
+      check tbool "P2 noop-decided commit" true
+        (match Report.decision_of report (Pid.of_rank 2) with
+        | Some (_, d) -> Vote.decision_equal d Vote.commit
+        | None -> false))
+    [ 4; 5; 6 ]
+
+let test_star_positive_crash_witness () =
+  (* Pn dies mid-broadcast of [B,1]: the relay machinery must keep the
+     crash-failure guarantee (this is the agreement proof of E.4 at work) *)
+  List.iter
+    (fun keep ->
+      let report = run "(2n-2)nbac" (Witness.star_nbac_partial_broadcast ~n:6 ~keep) in
+      let v = Check.run report in
+      check tbool "crash-failure execution" true
+        (Classify.of_report report = Classify.Crash_failure);
+      check tbool "agreement preserved" true v.Check.agreement;
+      check tbool "termination preserved" true v.Check.termination)
+    [ 0; 1; 2; 3; 4 ]
+
+let test_star_negative_network_witness () =
+  let report = run "(2n-2)nbac" (Witness.star_nbac_disagreement ~n:5) in
+  let v = Check.run report in
+  check tbool "agreement broken under network failure" false v.Check.agreement;
+  check tbool "validity survives (VT cell)" true (Check.validity v);
+  check tbool "termination survives (VT cell)" true v.Check.termination
+
+let test_inbac_immune_to_all_witnesses () =
+  (* indulgence: INBAC solves NBAC on every adversary we reconstructed *)
+  List.iter
+    (fun scenario ->
+      let report = run "inbac" scenario in
+      check tbool "INBAC solves NBAC" true (Check.solves_nbac (Check.run report)))
+    [
+      Witness.two_pc_blocks ~n:5;
+      Witness.inbac_slow_backup ~n:5 ~f:2;
+      Witness.crash_storm ~n:5 ~f:2 ~seed:11;
+      Witness.eventual_synchrony ~n:5 ~f:2 ~seed:5;
+    ]
+
+let test_cycle_also_indulgent () =
+  (* the message-optimal indulgent protocol shares INBAC's cell *)
+  List.iter
+    (fun scenario ->
+      let report = run "(2n-2+f)nbac" scenario in
+      check tbool "(2n-2+f)NBAC solves NBAC" true
+        (Check.solves_nbac (Check.run report)))
+    [
+      Witness.crash_storm ~n:5 ~f:2 ~seed:3;
+      Witness.eventual_synchrony ~n:5 ~f:2 ~seed:9;
+    ]
+
+let () =
+  let quick name fn = Alcotest.test_case name `Quick fn in
+  Alcotest.run "witness"
+    [
+      ( "constructions",
+        [
+          quick "2pc blocking window" test_two_pc_blocking_window;
+          quick "1nbac agreement gap" test_one_nbac_gap;
+          quick "1nbac synchronous twin" test_one_nbac_same_schedule_is_safe_in_sync;
+          quick "chain noop gap" test_chain_noop_gap;
+          quick "star positive (crash)" test_star_positive_crash_witness;
+          quick "star negative (network)" test_star_negative_network_witness;
+          quick "inbac immune" test_inbac_immune_to_all_witnesses;
+          quick "cycle indulgent" test_cycle_also_indulgent;
+        ] );
+    ]
