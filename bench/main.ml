@@ -14,6 +14,18 @@ open Toolkit
 
 let pairs = [ (3, 1); (5, 1); (5, 2); (8, 3); (13, 6) ]
 
+(* --jobs N limits the batch runner's domains when regenerating the Part 1
+   artifacts; artifacts are identical whatever the value. The Bechamel
+   micro-benches below always pin jobs=1 so they time the simulation
+   itself, not the domain fan-out. *)
+let jobs =
+  let rec scan = function
+    | "--jobs" :: v :: _ | "-j" :: v :: _ -> int_of_string_opt v
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let banner title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title
     (String.make 78 '=')
@@ -23,21 +35,21 @@ let banner title =
 
 let print_artifacts () =
   banner "Table 1 - complexity of atomic commit (27 cells)";
-  print_string (Table_one.render ~pairs);
+  print_string (Table_one.render ?jobs ~pairs ());
   banner "Table 2 - delay-optimal protocols";
   print_string (Table_optimal.render_delay_optimal ~pairs);
   banner "Table 3 - message-optimal protocols";
   print_string (Table_optimal.render_message_optimal ~pairs);
   banner "Table 4 - Section 6 comparison (2PC / 3PC / Paxos Commit / INBAC)";
-  print_string (Table_compare.render ~pairs);
+  print_string (Table_compare.render ?jobs ~pairs ());
   print_newline ();
-  print_string (Table_compare.render_claims ());
+  print_string (Table_compare.render_claims ?jobs ());
   banner "Lower-bound lemmas, observed on real traces";
   print_string (Lemma_report.render ());
   banner "Section 6.3 - weak-semantics baselines";
   print_string (Table_weak.render ());
   banner "Robustness matrix (fault-injection battery)";
-  print_string (Robustness.render ());
+  print_string (Robustness.render ?jobs ());
   banner "Figure 1 - INBAC state transitions";
   print_string (Figure_one.render ());
   banner "Complexity series (the reproduction's figures)";
@@ -45,12 +57,12 @@ let print_artifacts () =
     [ "inbac"; "2pc"; "paxos-commit"; "faster-paxos-commit"; "(2n-2+f)nbac" ]
   in
   print_string
-    (Series.render_over_n ~protocols:series_protocols ~f:2
-       ~ns:[ 3; 5; 8; 13; 21 ]);
+    (Series.render_over_n ?jobs ~protocols:series_protocols ~f:2
+       ~ns:[ 3; 5; 8; 13; 21 ] ());
   print_newline ();
   print_string
-    (Series.render_over_f ~protocols:series_protocols ~n:13
-       ~fs:[ 1; 2; 3; 6; 9; 12 ]);
+    (Series.render_over_f ?jobs ~protocols:series_protocols ~n:13
+       ~fs:[ 1; 2; 3; 6; 9; 12 ] ());
   print_newline ();
   print_endline "f = 1 crossover (INBAC pays exactly 2 messages over 2PC):";
   List.iter
@@ -67,12 +79,13 @@ let print_artifacts () =
      latency costs are the protocol's:@.@.";
   List.iter
     (fun (p, s) -> Format.printf "  %-22s %a@." p Workload.pp_stats s)
-    (Workload.protocol_comparison
+    (Workload.protocol_comparison ?jobs
        ~protocols:[ "inbac"; "2pc"; "paxos-commit"; "(2n-2+f)nbac" ]
        ~n:5 ~f:2 Workload.default);
   banner "Stress batteries";
   print_string
-    (Stress.render ~runs:30 ~protocols:[ "inbac"; "2pc"; "3pc" ] ~n:5 ~f:2 ());
+    (Stress.render ~runs:30 ?jobs ~protocols:[ "inbac"; "2pc"; "3pc" ] ~n:5
+       ~f:2 ());
   banner "Lower-bound witnesses";
   List.iter
     (fun (name, scenario, expect) ->
@@ -107,7 +120,7 @@ let table_tests =
     [
       Test.make ~name:"table1"
         (Staged.stage (fun () ->
-             ignore (Table_one.verifications ~pairs:[ (5, 2) ])));
+             ignore (Table_one.verifications ~jobs:1 ~pairs:[ (5, 2) ] ())));
       Test.make ~name:"table2"
         (Staged.stage (fun () ->
              ignore (Table_optimal.render_delay_optimal ~pairs:[ (5, 2) ])));
@@ -116,17 +129,17 @@ let table_tests =
              ignore (Table_optimal.render_message_optimal ~pairs:[ (5, 2) ])));
       Test.make ~name:"table4"
         (Staged.stage (fun () ->
-             ignore (Table_compare.render ~pairs:[ (5, 2) ])));
+             ignore (Table_compare.render ~jobs:1 ~pairs:[ (5, 2) ] ())));
       Test.make ~name:"robustness(n=4,f=1)"
         (Staged.stage (fun () ->
-             ignore (Robustness.matrix ~n:4 ~f:1 ~seeds:[ 1 ] ())));
+             ignore (Robustness.matrix ~n:4 ~f:1 ~seeds:[ 1 ] ~jobs:1 ())));
       Test.make ~name:"fig1"
         (Staged.stage (fun () -> ignore (Figure_one.render ())));
       Test.make ~name:"series"
         (Staged.stage (fun () ->
              ignore
-               (Series.over_n ~protocols:[ "inbac"; "2pc" ] ~f:2
-                  ~ns:[ 5; 8 ])));
+               (Series.over_n ~jobs:1 ~protocols:[ "inbac"; "2pc" ] ~f:2
+                  ~ns:[ 5; 8 ] ())));
       Test.make ~name:"ablations"
         (Staged.stage (fun () -> ignore (Ablation.priority_flip ~n:4 ~f:1 ())));
       Test.make ~name:"weak-semantics"

@@ -151,6 +151,14 @@ let pairs_arg =
 let default_pairs = [ (3, 1); (5, 1); (5, 2); (8, 3); (13, 6) ]
 let pairs_or_default pairs = if pairs = [] then default_pairs else pairs
 
+let jobs_arg =
+  let doc =
+    "Number of domains for the parallel batch runner (default: the \
+     recommended domain count). Results are identical whatever the value; \
+     use 1 to force sequential execution."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 
@@ -199,9 +207,14 @@ let table_cmd name doc render =
   Cmd.v (Cmd.info name ~doc) Term.(const action $ pairs_arg)
 
 let table1_cmd =
-  table_cmd "table1"
-    "Reproduce Table 1: the 27-cell lower-bound map, with verification."
-    Table_one.render
+  let action pairs jobs =
+    print_string (Table_one.render ?jobs ~pairs:(pairs_or_default pairs) ())
+  in
+  Cmd.v
+    (Cmd.info "table1"
+       ~doc:
+         "Reproduce Table 1: the 27-cell lower-bound map, with verification.")
+    Term.(const action $ pairs_arg $ jobs_arg)
 
 let table2_cmd =
   table_cmd "table2" "Reproduce Table 2: delay-optimal protocols."
@@ -212,26 +225,26 @@ let table3_cmd =
     Table_optimal.render_message_optimal
 
 let table4_cmd =
-  let action pairs =
-    print_string (Table_compare.render ~pairs:(pairs_or_default pairs));
+  let action pairs jobs =
+    print_string (Table_compare.render ?jobs ~pairs:(pairs_or_default pairs) ());
     print_newline ();
-    print_string (Table_compare.render_claims ())
+    print_string (Table_compare.render_claims ?jobs ())
   in
   Cmd.v
     (Cmd.info "table4"
        ~doc:
          "Reproduce the Section 6 comparison (the paper's Tables 4/5): INBAC \
           vs 2PC, 3PC, Paxos Commit, Faster Paxos Commit, (n-1+f)NBAC, 1NBAC.")
-    Term.(const action $ pairs_arg)
+    Term.(const action $ pairs_arg $ jobs_arg)
 
 let robustness_cmd =
-  let action n f = print_string (Robustness.render ~n ~f ()) in
+  let action n f jobs = print_string (Robustness.render ~n ~f ?jobs ()) in
   Cmd.v
     (Cmd.info "robustness"
        ~doc:
          "Fault-injection battery: check each protocol's claimed cell against \
           observed properties per execution class.")
-    Term.(const action $ n_arg $ f_arg)
+    Term.(const action $ n_arg $ f_arg $ jobs_arg)
 
 let fig1_cmd =
   let action n f = print_string (Figure_one.render ~n ~f ()) in
@@ -251,7 +264,7 @@ let lemmas_cmd =
     Term.(const action $ n_arg $ f_arg)
 
 let db_cmd =
-  let action n f =
+  let action n f jobs =
     Format.printf
       "Transactional KV store over the commit protocols (n=%d, f=%d)@.@." n f;
     Format.printf "Contention sweep (INBAC; abort rate is validation-driven):@.";
@@ -265,7 +278,7 @@ let db_cmd =
        latency cost is the protocol's):@.";
     List.iter
       (fun (p, s) -> Format.printf "  %-22s %a@." p Workload.pp_stats s)
-      (Workload.protocol_comparison
+      (Workload.protocol_comparison ?jobs
          ~protocols:[ "inbac"; "2pc"; "paxos-commit"; "(2n-2+f)nbac" ]
          ~n ~f Workload.default)
   in
@@ -274,15 +287,15 @@ let db_cmd =
        ~doc:
          "Run the transactional key-value workload experiments: contention \
           sweep and per-protocol cost of the same workload.")
-    Term.(const action $ n_arg $ f_arg)
+    Term.(const action $ n_arg $ f_arg $ jobs_arg)
 
 let stress_cmd =
   let runs_arg =
     Arg.(value & opt int 50 & info [ "runs" ] ~docv:"K" ~doc:"Scenarios per battery.")
   in
-  let action n f runs =
+  let action n f runs jobs =
     print_string
-      (Stress.render ~runs
+      (Stress.render ~runs ?jobs
          ~protocols:[ "inbac"; "(2n-2+f)nbac"; "2pc"; "3pc"; "paxos-commit" ]
          ~n ~f ())
   in
@@ -291,7 +304,7 @@ let stress_cmd =
        ~doc:
          "Statistical stress: many seeded crash/network scenarios per \
           protocol, with violation counts and decision-latency statistics.")
-    Term.(const action $ n_arg $ f_arg $ runs_arg)
+    Term.(const action $ n_arg $ f_arg $ runs_arg $ jobs_arg)
 
 let weak_cmd =
   let action n = print_string (Table_weak.render ~n ()) in
@@ -320,23 +333,24 @@ let sweep_cmd =
   let fixed_f_arg =
     Arg.(value & opt int 2 & info [ "at-f" ] ~docv:"F" ~doc:"Fixed f for the n-sweep.")
   in
-  let action csv f =
+  let action csv f jobs =
     let protocols =
       [ "inbac"; "2pc"; "paxos-commit"; "faster-paxos-commit"; "(2n-2+f)nbac" ]
     in
     let ns = [ 3; 5; 8; 13; 21; 34 ] in
     if csv then begin
-      print_string (Series.to_csv ~x_label:"n" (Series.over_n ~protocols ~f ~ns));
+      print_string
+        (Series.to_csv ~x_label:"n" (Series.over_n ?jobs ~protocols ~f ~ns ()));
       print_newline ();
       print_string
         (Series.to_csv ~x_label:"f"
-           (Series.over_f ~protocols ~n:13 ~fs:[ 1; 2; 3; 6; 9; 12 ]))
+           (Series.over_f ?jobs ~protocols ~n:13 ~fs:[ 1; 2; 3; 6; 9; 12 ] ()))
     end
     else begin
-      print_string (Series.render_over_n ~protocols ~f ~ns);
+      print_string (Series.render_over_n ?jobs ~protocols ~f ~ns ());
       print_newline ();
       print_string
-        (Series.render_over_f ~protocols ~n:13 ~fs:[ 1; 2; 3; 6; 9; 12 ]);
+        (Series.render_over_f ?jobs ~protocols ~n:13 ~fs:[ 1; 2; 3; 6; 9; 12 ] ());
       print_newline ();
       print_endline "f = 1 crossover (INBAC pays exactly 2 extra messages over 2PC):";
       List.iter
@@ -351,7 +365,7 @@ let sweep_cmd =
        ~doc:
          "Complexity series over n and f for the Section-6 protocols (the \
           reproduction's figures); --csv for plot-ready output.")
-    Term.(const action $ csv_arg $ fixed_f_arg)
+    Term.(const action $ csv_arg $ fixed_f_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* witness                                                             *)

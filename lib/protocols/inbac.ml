@@ -89,6 +89,12 @@ module Make (Cfg : CONFIG) = struct
       ( "phase",
         match p with Phase0 -> "0" | Phase1 -> "1" | Phase2 -> "2" )
 
+  (* A decided process has no use for its remaining phase alarms; without
+     this, a fast-abort decision at time 0 still fires (no-op) timeouts at
+     U and 2U and stretches the run's quiescence. *)
+  let cancel_phase_timers =
+    [ Proto.Cancel_timer "phase0"; Proto.Cancel_timer "phase1" ]
+
   let on_propose env state v =
     let i = Proto_util.rank env in
     let f = env.Proto.f in
@@ -113,6 +119,7 @@ module Make (Cfg : CONFIG) = struct
       if Cfg.fast_abort && Vote.equal v Vote.no then
         Proto_util.broadcast_others env (V Vote.no)
         @ [ Proto.Note ("decide-path", "fast-abort"); Proto_util.decide Vote.abort ]
+        @ cancel_phase_timers
       else []
     in
     let state =
@@ -197,10 +204,8 @@ module Make (Cfg : CONFIG) = struct
       Vset.conjunction (Vset.union state.collection0 (merged_collections state))
     in
     ( { state with decided = true },
-      [
-        Proto.Note ("decide-path", "direct");
-        Proto_util.decide_vote d;
-      ] )
+      [ Proto.Note ("decide-path", "direct"); Proto_util.decide_vote d ]
+      @ cancel_phase_timers )
 
   (* The decision logic shared by the phase-1 timeout and the help-quorum
      guard. Precondition: [state.phase = Phase2], collections merged. *)
@@ -279,7 +284,7 @@ module Make (Cfg : CONFIG) = struct
         then
           ( { state with decided = true },
             [ Proto.Note ("decide-path", "fast-abort"); Proto_util.decide Vote.abort ]
-          )
+            @ cancel_phase_timers )
         else (state, [])
     | C coll ->
         if List.mem_assoc src state.collection1 then (state, [])
@@ -292,7 +297,10 @@ module Make (Cfg : CONFIG) = struct
             [] )
     | Help ->
         if i <= f then (state, []) (* HELP is only addressed to P_{f+1}..Pn *)
-        else if state.phase = Phase2 then (state, [ answer_help state src ])
+        else if state.phase = Phase2 || state.decided then
+          (* a decided process has retired its phase timers and will never
+             reach phase 2; it answers with what it holds right away *)
+          (state, [ answer_help state src ])
         else ({ state with pending_help = src :: state.pending_help }, [])
     | Helped coll ->
         ( {
@@ -305,7 +313,8 @@ module Make (Cfg : CONFIG) = struct
   let guards =
     [
       ( "answer-pending-help",
-        fun _env state -> state.phase = Phase2 && state.pending_help <> [] );
+        fun _env state ->
+          (state.phase = Phase2 || state.decided) && state.pending_help <> [] );
       ( "help-quorum",
         fun env state ->
           Proto_util.rank env >= env.Proto.f + 1
@@ -342,7 +351,9 @@ module Make (Cfg : CONFIG) = struct
 
   let on_consensus_decide _env state d =
     if state.decided then (state, [])
-    else ({ state with decided = true }, [ Proto_util.decide_vote d ])
+    else
+      ( { state with decided = true },
+        Proto_util.decide_vote d :: cancel_phase_timers )
 end
 
 include Make (struct

@@ -72,11 +72,27 @@ let status_of_decision = function
   | Vote.Commit -> Committed
   | Vote.Abort -> Aborted
 
-let settle state d =
+(* Once decided, every pending timer is stale: the blocked pings, the
+   state-collection rounds and the coordinator phases would only fire
+   no-op handlers and stretch quiescence. A decided backup answers
+   [Blocked] directly (see [on_deliver]), so even its own round timer can
+   go. *)
+let cancel_stale_timers env =
+  List.map
+    (fun id -> Proto.Cancel_timer id)
+    ([ "precommit"; "commit"; "final" ]
+    @ List.concat_map
+        (fun k ->
+          List.map
+            (fun prefix -> Printf.sprintf "%s:%d" prefix k)
+            [ "blocked"; "round"; "resolve"; "commit2" ])
+        (List.init env.Proto.f (fun i -> i + 2)))
+
+let settle env state d =
   if state.decided then (state, [])
   else
     ( { state with decided = true; status = status_of_decision d },
-      [ Proto_util.decide d ] )
+      cancel_stale_timers env @ [ Proto_util.decide d ] )
 
 let on_propose env state v =
   let state =
@@ -105,9 +121,7 @@ let on_propose env state v =
   in
   let state, unilateral =
     match v with
-    | Vote.No when not (is_coordinator env) ->
-        ({ state with decided = true; status = Aborted },
-         [ Proto_util.decide Vote.abort ])
+    | Vote.No when not (is_coordinator env) -> settle env state Vote.abort
     | Vote.No | Vote.Yes -> (state, [])
   in
   let sends =
@@ -122,11 +136,11 @@ let backup_resolution env state k =
   let statuses = (env.Proto.self, state.status) :: state.states in
   let has s = List.exists (fun (_, s') -> s' = s) statuses in
   if has Committed then begin
-    let state, decisions = settle state Vote.commit in
+    let state, decisions = settle env state Vote.commit in
     (state, Proto_util.broadcast_others env (Resolved Vote.commit) @ decisions)
   end
   else if has Aborted then begin
-    let state, decisions = settle state Vote.abort in
+    let state, decisions = settle env state Vote.abort in
     (state, Proto_util.broadcast_others env (Resolved Vote.abort) @ decisions)
   end
   else if has Precommitted then
@@ -139,7 +153,7 @@ let backup_resolution env state k =
         ] )
   else begin
     (* everyone reachable is uncertain: no process can have committed *)
-    let state, decisions = settle state Vote.abort in
+    let state, decisions = settle env state Vote.abort in
     (state, Proto_util.broadcast_others env (Resolved Vote.abort) @ decisions)
   end
 
@@ -160,8 +174,18 @@ let on_deliver env state ~src msg =
         ( { state with status = Precommitted },
           [ Proto_util.send coordinator Ack ] )
   | Ack -> ({ state with acks = add_once src state.acks }, [])
-  | Outcome d | Resolved d -> settle state d
-  | Blocked _ -> ({ state with blocked_seen = true }, [])
+  | Outcome d | Resolved d -> settle env state d
+  | Blocked _ ->
+      if state.decided then
+        (* this backup already retired its round timer: answer the blocked
+           process directly instead of waiting for the round to fire *)
+        ( state,
+          [
+            Proto_util.send src
+              (Resolved
+                 (if state.status = Committed then Vote.commit else Vote.abort));
+          ] )
+      else ({ state with blocked_seen = true }, [])
   | State_req k -> (state, [ Proto_util.send src (State_rep (k, state.status)) ])
   | State_rep (_, s) -> ({ state with states = (src, s) :: state.states }, [])
   | Precommit2 k ->
@@ -181,13 +205,13 @@ let on_timeout env state ~id =
         ( { state with status = Precommitted },
           Proto_util.broadcast_others env Precommit )
       else begin
-        let state, decisions = settle state Vote.abort in
+        let state, decisions = settle env state Vote.abort in
         (state, Proto_util.broadcast_others env (Outcome Vote.abort) @ decisions)
       end
   | [ "commit" ] ->
       if state.status = Precommitted && not state.decided then begin
         (* missing acks can only come from crashed processes *)
-        let state, decisions = settle state Vote.commit in
+        let state, decisions = settle env state Vote.commit in
         (state, Proto_util.broadcast_others env (Outcome Vote.commit) @ decisions)
       end
       else (state, [])
@@ -214,7 +238,7 @@ let on_timeout env state ~id =
   | [ "commit2"; _k ] ->
       if state.decided then (state, [])
       else begin
-        let state, decisions = settle state Vote.commit in
+        let state, decisions = settle env state Vote.commit in
         ( state,
           Proto_util.broadcast_others env (Resolved Vote.commit) @ decisions )
       end

@@ -1,0 +1,39 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Work stealing is overkill here: items (simulated runs) are coarse and
+   numerous, so a shared atomic cursor over an array balances well. Each
+   slot is written by exactly one worker before the joins, and read only
+   after them, so [Domain.join] provides the needed happens-before. *)
+let run ?jobs f items =
+  let work = Array.of_list items in
+  let n = Array.length work in
+  let jobs =
+    min (match jobs with Some j -> max 1 j | None -> default_jobs ()) n
+  in
+  if jobs <= 1 || n <= 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          let r =
+            try Ok (f work.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false (* every index claimed before the joins *))
+  end

@@ -1,0 +1,29 @@
+(** Parallel batch execution of independent simulated runs.
+
+    Every reproduction artifact (the tables, the robustness matrix, the
+    stress batteries, the complexity series, the workload comparison) is
+    the aggregation of many {e independent} executions: each
+    {!Engine.Make} run owns all of its mutable state — event queue,
+    trace, RNG — so a batch of runs is embarrassingly parallel. [run]
+    fans the work out over OCaml 5 [Domain] workers and returns the
+    results {b in input order}, so batched artifacts are byte-identical
+    to what the sequential path produces.
+
+    The worker count is capped at [Domain.recommended_domain_count ()]
+    (and at the batch size); pass [~jobs:1] to force the sequential path
+    — the escape hatch micro-benchmarks use so that they measure
+    single-run cost, not scheduling. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the parallelism used when
+    [?jobs] is omitted. *)
+
+val run : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [run ?jobs f items] applies [f] to every item, fanning the
+    applications out over [min jobs (length items)] domains, and returns
+    the results in input order. [f] must not share mutable state across
+    items (engine runs never do). If any application raises, the batch
+    still completes and the exception of the {e earliest} item that
+    failed is re-raised — the same exception the sequential path would
+    surface first. Equivalent to [List.map f items] when [jobs <= 1] or
+    the list has fewer than two items. *)

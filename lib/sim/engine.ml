@@ -28,7 +28,14 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         payload : wire;
         sent_at : Sim_time.t;
       }
-    | Timeout of { pid : Pid.t; layer : Trace.layer; id : string }
+    | Timeout of {
+        pid : Pid.t;
+        layer : Trace.layer;
+        id : string;
+        epoch : int;
+            (* the timer's cancellation epoch at set time: a fire whose
+               epoch lags the current one was cancelled in the meantime *)
+      }
 
   type st = {
     scenario : Scenario.t;
@@ -44,6 +51,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         (* consensus decision already handed to the commit layer *)
     send_budget : (Sim_time.t * int ref) option array;
         (* [During_sends] crash: remaining network sends at that instant *)
+    timer_epochs : (Trace.layer * string, int) Hashtbl.t array;
+        (* per process: current cancellation epoch of each named timer *)
     mutable send_seq : int;
     mutable last_event_time : Sim_time.t;
   }
@@ -107,16 +116,35 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     | Proto.At_delay k -> k * u
     | Proto.After d -> Sim_time.( + ) now d
 
+  let timer_epoch st pid layer id =
+    Option.value
+      (Hashtbl.find_opt st.timer_epochs.(Pid.index pid) (layer, id))
+      ~default:0
+
   let set_timer st ~now ~pid ~layer ~id fire =
     let at = fire_time ~now ~u:st.scenario.Scenario.u fire in
     let at = Sim_time.max at now in
     Event_queue.add st.queue ~time:at ~klass:(timeout_class st.scenario)
-      (Timeout { pid; layer; id })
+      (Timeout { pid; layer; id; epoch = timer_epoch st pid layer id })
+
+  (* Bumping the epoch strands every outstanding fire of this timer; sets
+     made after the cancellation carry the new epoch and fire normally. *)
+  let cancel_timer st ~pid ~layer ~id =
+    Hashtbl.replace st.timer_epochs.(Pid.index pid) (layer, id)
+      (timer_epoch st pid layer id + 1)
 
   let record_decision st ~now ~pid decision =
-    Trace.add st.trace (Trace.Decide { at = now; pid; decision });
-    if st.decisions.(Pid.index pid) = None then
-      st.decisions.(Pid.index pid) <- Some (now, decision)
+    match st.decisions.(Pid.index pid) with
+    | None ->
+        st.decisions.(Pid.index pid) <- Some (now, decision);
+        Trace.add st.trace (Trace.Decide { at = now; pid; decision })
+    | Some (_, first) ->
+        (* A re-decision with the same value is not an event: tracing it
+           would duplicate the entry every decision consumer reads. A
+           conflicting one is traced so the spec checkers can flag the
+           stability breach instead of never seeing it. *)
+        if not (Vote.decision_equal first decision) then
+          Trace.add st.trace (Trace.Decide { at = now; pid; decision })
 
   (* Interpreting actions. Commit-layer actions may invoke the consensus
      service ([Propose_consensus]) and consensus decisions re-enter the
@@ -134,6 +162,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         | Proto.Send (dst, m) -> transmit st ~now ~src:pid ~dst (Commit_msg m)
         | Proto.Set_timer { id; fire } ->
             set_timer st ~now ~pid ~layer:Trace.Commit_layer ~id fire
+        | Proto.Cancel_timer id ->
+            cancel_timer st ~pid ~layer:Trace.Commit_layer ~id
         | Proto.Decide d -> record_decision st ~now ~pid d
         | Proto.Propose_consensus v ->
             Trace.add st.trace
@@ -164,6 +194,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         | Proto.Send (dst, m) -> transmit st ~now ~src:pid ~dst (Cons_msg m)
         | Proto.Set_timer { id; fire } ->
             set_timer st ~now ~pid ~layer:Trace.Consensus_layer ~id fire
+        | Proto.Cancel_timer id ->
+            cancel_timer st ~pid ~layer:Trace.Consensus_layer ~id
         | Proto.Decide d ->
             (* The consensus instance at [pid] decided; hand the value to
                the commit layer exactly once. *)
@@ -215,9 +247,12 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     loop guard_fuel
     end
 
+  (* Returns whether the event actually happened: a cancelled timeout is
+     suppressed as if it had been removed from the queue, in particular it
+     must not count as activity for the quiescence timestamp. *)
   let handle_event st ~now ev =
     match ev with
-    | Crash pid -> mark_crashed st ~now pid
+    | Crash pid -> mark_crashed st ~now pid; true
     | Propose pid ->
         if not (is_crashed st pid) then begin
           let vote = st.scenario.Scenario.votes.(Pid.index pid) in
@@ -226,47 +261,53 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
           let state, actions = P.on_propose env st.pstates.(Pid.index pid) vote in
           st.pstates.(Pid.index pid) <- state;
           interpret_commit st ~now ~pid:pid actions
-        end
+        end;
+        true
     | Deliver { src; dst; payload; sent_at } ->
         let layer = layer_of_wire payload in
         let tag = tag_of_wire payload in
-        if is_crashed st dst then
-          Trace.add st.trace (Trace.Discard { at = now; dst; tag })
+        (if is_crashed st dst then
+           Trace.add st.trace (Trace.Discard { at = now; dst; tag })
+         else begin
+           Trace.add st.trace
+             (Trace.Deliver { at = now; src; dst; layer; tag; sent_at });
+           let env = st.env_of dst in
+           match payload with
+           | Commit_msg m ->
+               let state, actions =
+                 P.on_deliver env st.pstates.(Pid.index dst) ~src m
+               in
+               st.pstates.(Pid.index dst) <- state;
+               interpret_commit st ~now ~pid:dst actions
+           | Cons_msg m ->
+               let state, actions =
+                 C.on_deliver env st.cstates.(Pid.index dst) ~src m
+               in
+               st.cstates.(Pid.index dst) <- state;
+               interpret_cons st ~now ~pid:dst actions
+         end);
+        true
+    | Timeout { pid; layer; id; epoch } ->
+        if epoch <> timer_epoch st pid layer id then false
         else begin
-          Trace.add st.trace
-            (Trace.Deliver { at = now; src; dst; layer; tag; sent_at });
-          let env = st.env_of dst in
-          match payload with
-          | Commit_msg m ->
-              let state, actions =
-                P.on_deliver env st.pstates.(Pid.index dst) ~src m
-              in
-              st.pstates.(Pid.index dst) <- state;
-              interpret_commit st ~now ~pid:dst actions
-          | Cons_msg m ->
-              let state, actions =
-                C.on_deliver env st.cstates.(Pid.index dst) ~src m
-              in
-              st.cstates.(Pid.index dst) <- state;
-              interpret_cons st ~now ~pid:dst actions
-        end
-    | Timeout { pid; layer; id } ->
-        if not (is_crashed st pid) then begin
-          Trace.add st.trace (Trace.Timeout { at = now; pid; timer = id });
-          let env = st.env_of pid in
-          match layer with
-          | Trace.Commit_layer ->
-              let state, actions =
-                P.on_timeout env st.pstates.(Pid.index pid) ~id
-              in
-              st.pstates.(Pid.index pid) <- state;
-              interpret_commit st ~now ~pid actions
-          | Trace.Consensus_layer ->
-              let state, actions =
-                C.on_timeout env st.cstates.(Pid.index pid) ~id
-              in
-              st.cstates.(Pid.index pid) <- state;
-              interpret_cons st ~now ~pid actions
+          (if not (is_crashed st pid) then begin
+             Trace.add st.trace (Trace.Timeout { at = now; pid; timer = id });
+             let env = st.env_of pid in
+             match layer with
+             | Trace.Commit_layer ->
+                 let state, actions =
+                   P.on_timeout env st.pstates.(Pid.index pid) ~id
+                 in
+                 st.pstates.(Pid.index pid) <- state;
+                 interpret_commit st ~now ~pid actions
+             | Trace.Consensus_layer ->
+                 let state, actions =
+                   C.on_timeout env st.cstates.(Pid.index pid) ~id
+                 in
+                 st.cstates.(Pid.index pid) <- state;
+                 interpret_cons st ~now ~pid actions
+           end);
+          true
         end
 
   let run (scenario : Scenario.t) =
@@ -292,6 +333,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         decisions = Array.make n None;
         cons_decided = Array.make n false;
         send_budget = Array.make n None;
+        timer_epochs = Array.init n (fun _ -> Hashtbl.create 8);
         send_seq = 0;
         last_event_time = Sim_time.zero;
       }
@@ -317,8 +359,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       | Some (time, _klass, ev) ->
           if time > scenario.Scenario.max_time then Report.Max_time_reached
           else begin
-            st.last_event_time <- time;
-            handle_event st ~now:time ev;
+            if handle_event st ~now:time ev then st.last_event_time <- time;
             loop ()
           end
     in

@@ -11,7 +11,7 @@
     - [Env.u] is the known upper bound [U] on synchronous message delay;
       one "unit" of a timer equals [U] (appendix remark (d));
     - timers are named, may be set several times, and deliver one timeout
-      per set;
+      per set (unless cancelled in the meantime — see {!Cancel_timer});
     - a message delivery event has priority over a timeout event at the
       same instant (appendix remark (b));
     - guards model the pseudo-code's "upon <state predicate>" events
@@ -35,11 +35,22 @@ type 'msg action =
           self-addressed send is delivered immediately and not counted as
           a network message (paper footnote 10). *)
   | Set_timer of { id : string; fire : fire }
+  | Cancel_timer of string
+      (** Invalidate every timeout of this name (at this layer) that is
+          currently outstanding: a cancelled set is suppressed at fire
+          time and does not invoke the protocol handler. A later
+          [Set_timer] with the same name arms the timer afresh.
+          Cancelling a timer that was never set is a no-op. Protocols use
+          this to retire their timeout machinery once they have decided,
+          so stale timeouts neither run handlers nor stretch the run's
+          quiescence time. *)
   | Decide of Vote.decision
       (** Decide at this layer: the commit protocol's decision, or the
           consensus service's decision when emitted by a consensus
-          automaton. Only the first decision of each process is recorded;
-          protocols guard with their own [decided] flags as in the paper. *)
+          automaton. Only the first decision of each process is recorded
+          (and traced — a conflicting re-decision is additionally traced
+          so the checkers can flag the stability breach); protocols guard
+          with their own [decided] flags as in the paper. *)
   | Propose_consensus of Vote.t
       (** Commit layer only: propose to the underlying uniform consensus
           instance [uc]/[iuc]. *)

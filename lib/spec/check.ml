@@ -34,6 +34,34 @@ let run (r : Report.t) =
           false
         end
   in
+  (* Decision stability (AC2): a process never changes a decision it has
+     made. The engine records only the first decision per process, but it
+     traces a conflicting re-decision precisely so we can flag it here
+     instead of silently dropping it. *)
+  let stable =
+    let conflicting =
+      Pid.all ~n:r.scenario.Scenario.n
+      |> List.filter (fun p ->
+             match
+               List.filter_map
+                 (fun (q, _, d) -> if Pid.equal p q then Some d else None)
+                 (Trace.decisions r.trace)
+             with
+             | [] -> false
+             | first :: rest ->
+                 List.exists
+                   (fun d -> not (Vote.decision_equal first d))
+                   rest)
+    in
+    match conflicting with
+    | [] -> true
+    | ps ->
+        fail "decision stability (AC2): process(es) %s re-decided with a \
+              different value"
+          (String.concat "," (List.map Pid.to_string ps));
+        false
+  in
+  let agreement = agreement && stable in
   let commit_validity =
     if List.exists (Vote.decision_equal Vote.Commit) decisions && someone_no
     then begin

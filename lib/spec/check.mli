@@ -3,6 +3,9 @@
 
 type verdict = {
   agreement : bool;
+      (** no two decisions differ — across processes, and across time for
+          a single process (decision stability, AC2: a conflicting
+          re-decision traced by the engine breaks agreement) *)
   commit_validity : bool;  (** decide 1 ⟹ nobody proposed 0 *)
   abort_validity : bool;
       (** decide 0 ⟹ some process proposed 0 or a failure occurred *)

@@ -29,16 +29,17 @@ let nice_run ?consensus ~protocol ~n ~f () =
     expected_delays = entry.Complexity.delays ~n ~f;
   }
 
-let sweep ~protocols ~pairs =
+let sweep ?jobs ~protocols ~pairs () =
+  (* flat (protocol, (n, f)) cross-product: each nice run is independent
+     and Batch.run keeps the concat_map order *)
   List.concat_map
     (fun protocol ->
       List.filter_map
         (fun (n, f) ->
-          if f >= 1 && f <= n - 1 then
-            Some (nice_run ~protocol ~n ~f ())
-          else None)
+          if f >= 1 && f <= n - 1 then Some (protocol, n, f) else None)
         pairs)
     protocols
+  |> Batch.run ?jobs (fun (protocol, n, f) -> nice_run ~protocol ~n ~f ())
 
 let default_pairs =
   let ns = [ 2; 3; 5; 8; 13; 21; 34 ] in

@@ -20,8 +20,11 @@ val nice_run : ?consensus:Registry.consensus_impl -> protocol:string -> n:int ->
     @raise Not_found for unknown protocols. *)
 
 val sweep :
-  protocols:string list -> pairs:(int * int) list -> nice list
-(** [nice_run] over every (protocol, (n, f)) combination with [f <= n-1]. *)
+  ?jobs:int -> protocols:string list -> pairs:(int * int) list -> unit ->
+  nice list
+(** [nice_run] over every (protocol, (n, f)) combination with [f <= n-1].
+    The runs are independent and fanned out through {!Batch.run};
+    [?jobs] sets the domain count without affecting the result order. *)
 
 val default_pairs : (int * int) list
 (** The (n, f) grid used by the benches: n ∈ {2, 3, 5, 8, 13, 21, 34},

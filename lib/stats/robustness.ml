@@ -4,7 +4,9 @@ type row = {
   observed_ff : Props.t;
   observed_cf : Props.t;
   observed_nf : Props.t;
-  runs : int;
+  runs_ff : int;
+  runs_cf : int;
+  runs_nf : int;
   ok : bool;
 }
 
@@ -60,18 +62,16 @@ let batteries ~n ~f ~seeds =
   @ List.map (fun s -> (Classify.Crash_failure, s)) crashes
   @ List.map (fun s -> (Classify.Network_failure, s)) network
 
-let observe runner scenarios =
+let observe verdicts =
   List.fold_left
-    (fun acc scenario ->
-      let report = runner scenario in
-      let v = Check.run report in
+    (fun acc (v : Check.verdict) ->
       Props.make
         ~a:(acc.Props.a && v.Check.agreement)
         ~v:(acc.Props.v && Check.validity v)
         ~t:(acc.Props.t && v.Check.termination))
-    Props.avt scenarios
+    Props.avt verdicts
 
-let matrix ?(n = 5) ?(f = 2) ?(seeds = [ 1; 2; 3 ]) () =
+let matrix ?(n = 5) ?(f = 2) ?(seeds = [ 1; 2; 3 ]) ?jobs () =
   let tagged = batteries ~n ~f ~seeds in
   let of_class c =
     List.filter_map (fun (c', s) -> if c = c' then Some s else None) tagged
@@ -79,21 +79,43 @@ let matrix ?(n = 5) ?(f = 2) ?(seeds = [ 1; 2; 3 ]) () =
   let ff = of_class Classify.Failure_free in
   let cf = of_class Classify.Crash_failure in
   let nf = of_class Classify.Network_failure in
-  List.map
-    (fun (r : Registry.t) ->
+  let runs_ff = List.length ff in
+  let runs_cf = List.length cf in
+  let runs_nf = List.length nf in
+  let scenarios = ff @ cf @ nf in
+  (* one flat (protocol x scenario) batch: every run is independent, so
+     the whole matrix parallelizes, and [Batch.run]'s order guarantee
+     keeps the rows identical to the sequential fold *)
+  let work =
+    List.concat_map
+      (fun (r : Registry.t) -> List.map (fun s -> (r, s)) scenarios)
+      Registry.all
+  in
+  let verdicts =
+    Array.of_list
+      (Batch.run ?jobs (fun ((r : Registry.t), s) -> Check.run (r.Registry.run s)) work)
+  in
+  let per_protocol = runs_ff + runs_cf + runs_nf in
+  let slice base lo len =
+    List.init len (fun k -> verdicts.(base + lo + k))
+  in
+  List.mapi
+    (fun i (r : Registry.t) ->
       let entry = Complexity.find_exn r.Registry.name in
       let claimed = entry.Complexity.cell in
-      let run s = r.Registry.run s in
-      let observed_ff = observe run ff in
-      let observed_cf = observe run cf in
-      let observed_nf = observe run nf in
+      let base = i * per_protocol in
+      let observed_ff = observe (slice base 0 runs_ff) in
+      let observed_cf = observe (slice base runs_ff runs_cf) in
+      let observed_nf = observe (slice base (runs_ff + runs_cf) runs_nf) in
       {
         protocol = r.Registry.name;
         claimed;
         observed_ff;
         observed_cf;
         observed_nf;
-        runs = List.length tagged;
+        runs_ff;
+        runs_cf;
+        runs_nf;
         ok =
           (* weak-semantics baselines are exempt from the failure-free
              NBAC contract; everyone must still honour the claimed cell *)
@@ -104,8 +126,8 @@ let matrix ?(n = 5) ?(f = 2) ?(seeds = [ 1; 2; 3 ]) () =
       })
     Registry.all
 
-let render ?n ?f ?seeds () =
-  let rows = matrix ?n ?f ?seeds () in
+let render ?n ?f ?seeds ?jobs () =
+  let rows = matrix ?n ?f ?seeds ?jobs () in
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
     "Robustness matrix - properties that survived every run of each class\n\
@@ -115,7 +137,7 @@ let render ?n ?f ?seeds () =
       ~header:
         [
           "protocol"; "claimed (CF,NF)"; "failure-free"; "crash-failure";
-          "network-failure"; "runs"; "ok";
+          "network-failure"; "runs (ff/cf/nf)"; "ok";
         ]
   in
   List.iter
@@ -128,12 +150,12 @@ let render ?n ?f ?seeds () =
           Props.to_string r.observed_ff;
           Props.to_string r.observed_cf;
           Props.to_string r.observed_nf;
-          string_of_int r.runs;
+          Printf.sprintf "%d/%d/%d" r.runs_ff r.runs_cf r.runs_nf;
           (if r.ok then "yes" else "NO");
         ])
     rows;
   Buffer.add_string buf (Ascii.render table);
   Buffer.contents buf
 
-let all_ok ?n ?f ?seeds () =
-  List.for_all (fun r -> r.ok) (matrix ?n ?f ?seeds ())
+let all_ok ?n ?f ?seeds ?jobs () =
+  List.for_all (fun r -> r.ok) (matrix ?n ?f ?seeds ?jobs ())

@@ -14,7 +14,9 @@ type row = {
   observed_ff : Props.t;  (** failure-free battery; must be AVT *)
   observed_cf : Props.t;
   observed_nf : Props.t;
-  runs : int;
+  runs_ff : int;  (** number of failure-free scenarios actually run *)
+  runs_cf : int;  (** number of crash-failure scenarios actually run *)
+  runs_nf : int;  (** number of network-failure scenarios actually run *)
   ok : bool;
 }
 
@@ -23,10 +25,17 @@ val batteries :
   (Classify.class_ * Scenario.t) list
 (** The generated scenarios, tagged with their intended class. *)
 
-val matrix : ?n:int -> ?f:int -> ?seeds:int list -> unit -> row list
+val matrix :
+  ?n:int -> ?f:int -> ?seeds:int list -> ?jobs:int -> unit -> row list
 (** Defaults: n = 5, f = 2 (a correct majority survives, as the
     consensus-based protocols' termination claims require), seeds
-    [1; 2; 3]. *)
+    [1; 2; 3]. Every (protocol, scenario) run is independent, so the
+    whole matrix is evaluated through {!Batch.run} — [?jobs] controls
+    the number of domains; the rows are identical to a sequential
+    evaluation regardless of [jobs]. *)
 
-val render : ?n:int -> ?f:int -> ?seeds:int list -> unit -> string
-val all_ok : ?n:int -> ?f:int -> ?seeds:int list -> unit -> bool
+val render :
+  ?n:int -> ?f:int -> ?seeds:int list -> ?jobs:int -> unit -> string
+
+val all_ok :
+  ?n:int -> ?f:int -> ?seeds:int list -> ?jobs:int -> unit -> bool

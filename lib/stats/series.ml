@@ -9,32 +9,43 @@ let point_of ~protocol ~n ~f ~x =
     delays = m.Measure.metrics.Metrics.delays;
   }
 
-let over_n ~protocols ~f ~ns =
+(* Each (protocol, x) point is one independent nice run: flatten the
+   cross-product into a single [Batch.run] so the whole figure fans out
+   over domains while the series keep their sequential order. *)
+let series_batch ?jobs ~protocols ~xs ~keep ~point () =
+  let work =
+    List.concat_map
+      (fun protocol ->
+        List.filter_map
+          (fun x -> if keep x then Some (protocol, x) else None)
+          xs)
+      protocols
+  in
+  let points =
+    Batch.run ?jobs (fun (protocol, x) -> (protocol, point ~protocol ~x)) work
+  in
   List.map
     (fun protocol ->
       {
         protocol;
         points =
           List.filter_map
-            (fun n ->
-              if f <= n - 1 then Some (point_of ~protocol ~n ~f ~x:n) else None)
-            ns;
+            (fun (p, pt) -> if String.equal p protocol then Some pt else None)
+            points;
       })
     protocols
 
-let over_f ~protocols ~n ~fs =
-  List.map
-    (fun protocol ->
-      {
-        protocol;
-        points =
-          List.filter_map
-            (fun f ->
-              if f >= 1 && f <= n - 1 then Some (point_of ~protocol ~n ~f ~x:f)
-              else None)
-            fs;
-      })
-    protocols
+let over_n ?jobs ~protocols ~f ~ns () =
+  series_batch ?jobs ~protocols ~xs:ns
+    ~keep:(fun n -> f <= n - 1)
+    ~point:(fun ~protocol ~x -> point_of ~protocol ~n:x ~f ~x)
+    ()
+
+let over_f ?jobs ~protocols ~n ~fs () =
+  series_batch ?jobs ~protocols ~xs:fs
+    ~keep:(fun f -> f >= 1 && f <= n - 1)
+    ~point:(fun ~protocol ~x -> point_of ~protocol ~n ~f:x ~x)
+    ()
 
 let crossover_f1 ~ns =
   List.filter_map
@@ -84,18 +95,18 @@ let render ~title ~x_label series =
   Buffer.add_string buf (Ascii.render table);
   Buffer.contents buf
 
-let render_over_n ~protocols ~f ~ns =
+let render_over_n ?jobs ~protocols ~f ~ns () =
   render
     ~title:
       (Printf.sprintf
          "Nice-execution complexity vs n (f = %d) - the comparison series" f)
     ~x_label:"n"
-    (over_n ~protocols ~f ~ns)
+    (over_n ?jobs ~protocols ~f ~ns ())
 
-let render_over_f ~protocols ~n ~fs =
+let render_over_f ?jobs ~protocols ~n ~fs () =
   render
     ~title:
       (Printf.sprintf
          "Nice-execution complexity vs f (n = %d) - the resilience price" n)
     ~x_label:"f"
-    (over_f ~protocols ~n ~fs)
+    (over_f ?jobs ~protocols ~n ~fs ())

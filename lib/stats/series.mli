@@ -6,10 +6,16 @@
 type point = { x : int; messages : int; delays : float }
 type series = { protocol : string; points : point list }
 
-val over_n : protocols:string list -> f:int -> ns:int list -> series list
-(** Skips (n, f) combinations with [f > n-1]. *)
+val over_n :
+  ?jobs:int -> protocols:string list -> f:int -> ns:int list -> unit ->
+  series list
+(** Skips (n, f) combinations with [f > n-1]. Each (protocol, n) point
+    is an independent nice run, evaluated through {!Batch.run}: [?jobs]
+    sets the domain count and the result is independent of it. *)
 
-val over_f : protocols:string list -> n:int -> fs:int list -> series list
+val over_f :
+  ?jobs:int -> protocols:string list -> n:int -> fs:int list -> unit ->
+  series list
 
 val crossover_f1 : ns:int list -> (int * int * int) list
 (** The paper's f = 1 comparison: [(n, inbac messages, 2pc messages)] —
@@ -18,5 +24,8 @@ val crossover_f1 : ns:int list -> (int * int * int) list
 val to_csv : x_label:string -> series list -> string
 (** One line per (protocol, x): [protocol,x,messages,delays]. *)
 
-val render_over_n : protocols:string list -> f:int -> ns:int list -> string
-val render_over_f : protocols:string list -> n:int -> fs:int list -> string
+val render_over_n :
+  ?jobs:int -> protocols:string list -> f:int -> ns:int list -> unit -> string
+
+val render_over_f :
+  ?jobs:int -> protocols:string list -> n:int -> fs:int list -> unit -> string

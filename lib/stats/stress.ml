@@ -49,26 +49,30 @@ let aggregate ~protocol ~label reports =
     max_decision_delays;
   }
 
-let battery ~label ~protocol scenario_of ~runs =
+let battery ?jobs ~label ~protocol scenario_of ~runs =
   let runner = Registry.find_exn protocol in
+  (* seeded runs are independent; Batch.run preserves seed order so the
+     aggregate folds over the same report sequence as List.init did *)
   let reports =
-    List.init runs (fun i -> runner.Registry.run (scenario_of (i + 1)))
+    Batch.run ?jobs
+      (fun seed -> runner.Registry.run (scenario_of seed))
+      (List.init runs (fun i -> i + 1))
   in
   aggregate ~protocol ~label reports
 
-let crash_failure ?(runs = 50) ~protocol ~n ~f () =
-  battery ~label:"crash storms" ~protocol
+let crash_failure ?(runs = 50) ?jobs ~protocol ~n ~f () =
+  battery ?jobs ~label:"crash storms" ~protocol
     (fun seed -> Witness.crash_storm ~n ~f ~seed)
     ~runs
 
-let network_failure ?(runs = 50) ~protocol ~n ~f () =
-  battery ~label:"eventual synchrony" ~protocol
+let network_failure ?(runs = 50) ?jobs ~protocol ~n ~f () =
+  battery ?jobs ~label:"eventual synchrony" ~protocol
     (fun seed -> Witness.eventual_synchrony ~n ~f ~seed)
     ~runs
 
-let mixed ?(runs = 50) ~protocol ~n ~f () =
+let mixed ?(runs = 50) ?jobs ~protocol ~n ~f () =
   let u = Sim_time.default_u in
-  battery ~label:"crash + slow network" ~protocol
+  battery ?jobs ~label:"crash + slow network" ~protocol
     (fun seed ->
       let rng = Rng.create (seed * 7919) in
       let victim = Pid.of_rank (1 + Rng.int rng ~bound:n) in
@@ -77,7 +81,7 @@ let mixed ?(runs = 50) ~protocol ~n ~f () =
         [ (victim, Scenario.Before (Rng.int rng ~bound:(6 * u))) ])
     ~runs
 
-let render ?(runs = 50) ~protocols ~n ~f () =
+let render ?(runs = 50) ?jobs ~protocols ~n ~f () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf
@@ -109,9 +113,9 @@ let render ?(runs = 50) ~protocols ~n ~f () =
               Printf.sprintf "%.0f" result.max_decision_delays;
             ])
         [
-          crash_failure ~runs ~protocol ~n ~f ();
-          network_failure ~runs ~protocol ~n ~f ();
-          mixed ~runs ~protocol ~n ~f ();
+          crash_failure ~runs ?jobs ~protocol ~n ~f ();
+          network_failure ~runs ?jobs ~protocol ~n ~f ();
+          mixed ~runs ?jobs ~protocol ~n ~f ();
         ];
       Ascii.add_separator table)
     protocols;

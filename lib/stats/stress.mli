@@ -20,16 +20,20 @@ type result = {
 }
 
 val crash_failure :
-  ?runs:int -> protocol:string -> n:int -> f:int -> unit -> result
-(** Random crash storms (seeded 1..runs). *)
+  ?runs:int -> ?jobs:int -> protocol:string -> n:int -> f:int -> unit -> result
+(** Random crash storms (seeded 1..runs). Seeded runs are independent
+    and evaluated through {!Batch.run}; [?jobs] sets the domain count
+    and does not affect the aggregate. *)
 
 val network_failure :
-  ?runs:int -> protocol:string -> n:int -> f:int -> unit -> result
+  ?runs:int -> ?jobs:int -> protocol:string -> n:int -> f:int -> unit -> result
 (** Eventually-synchronous networks (seeded 1..runs). *)
 
 val mixed :
-  ?runs:int -> protocol:string -> n:int -> f:int -> unit -> result
+  ?runs:int -> ?jobs:int -> protocol:string -> n:int -> f:int -> unit -> result
 (** One random crash inside an eventually-synchronous network. *)
 
-val render : ?runs:int -> protocols:string list -> n:int -> f:int -> unit -> string
+val render :
+  ?runs:int -> ?jobs:int -> protocols:string list -> n:int -> f:int -> unit ->
+  string
 (** All three batteries for each protocol, as one table. *)

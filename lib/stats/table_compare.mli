@@ -5,12 +5,14 @@
 
 val protocols : string list
 
-val render : pairs:(int * int) list -> string
-(** Per-protocol rows: symbolic messages/delays, measured values, cell. *)
+val render : ?jobs:int -> pairs:(int * int) list -> unit -> string
+(** Per-protocol rows: symbolic messages/delays, measured values, cell.
+    The protocol x (n, f) grid runs through {!Batch.run}; [?jobs] sets
+    the domain count without changing the output. *)
 
 type claim = { description : string; holds : bool }
 
-val claims : unit -> claim list
+val claims : ?jobs:int -> unit -> claim list
 (** The section's headline comparisons, checked mechanically:
     - INBAC matches 2PC's best-case delays (both 2, spontaneous start);
     - for f = 1, INBAC uses [2n] vs 2PC's [2n-2] messages;
@@ -20,4 +22,4 @@ val claims : unit -> claim list
       INBAC's [2fn];
     - (n-1+f)NBAC is the best in messages, 1NBAC the best in delays. *)
 
-val render_claims : unit -> string
+val render_claims : ?jobs:int -> unit -> string

@@ -16,12 +16,14 @@ val grid : unit -> string
 (** The 8x8 grid with "d / m" entries (symbolic), empty cells left blank,
     exactly the shape of the paper's Table 1. *)
 
-val verifications : pairs:(int * int) list -> verification list
+val verifications :
+  ?jobs:int -> pairs:(int * int) list -> unit -> verification list
 (** For each locally-maximal cell, run its matching optimal protocol over
     the sweep and check the measured optima against the bounds. Message-
     optimal protocols are checked against [Bounds.messages], delay-optimal
     ones against [Bounds.delays] (and [Bounds.messages_given_optimal_delays]
-    where applicable). *)
+    where applicable). The whole (cell, (n, f)) cross-product runs through
+    {!Batch.run}; [?jobs] never changes the result. *)
 
-val render : pairs:(int * int) list -> string
+val render : ?jobs:int -> pairs:(int * int) list -> unit -> string
 (** Grid plus verification summary. *)

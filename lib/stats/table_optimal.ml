@@ -26,7 +26,7 @@ let render_one ~title ~protocols ~bound_of ~measured_of ~pairs =
   in
   List.iter
     (fun (protocol, cell) ->
-      let runs = Measure.sweep ~protocols:[ protocol ] ~pairs in
+      let runs = Measure.sweep ~protocols:[ protocol ] ~pairs () in
       List.iter
         (fun (m : Measure.nice) ->
           let bound = bound_of cell ~n:m.Measure.n ~f:m.Measure.f in
@@ -77,7 +77,7 @@ let all_ok ~pairs =
         (fun (m : Measure.nice) ->
           measured_delays m = Bounds.delays cell
           && m.Measure.metrics.Metrics.all_decided)
-        (Measure.sweep ~protocols:[ protocol ] ~pairs))
+        (Measure.sweep ~protocols:[ protocol ] ~pairs ()))
     delay_optimal_protocols
   && List.for_all
        (fun (protocol, cell) ->
@@ -86,5 +86,5 @@ let all_ok ~pairs =
              measured_messages m
              = Bounds.messages ~n:m.Measure.n ~f:m.Measure.f cell
              && m.Measure.metrics.Metrics.all_decided)
-           (Measure.sweep ~protocols:[ protocol ] ~pairs))
+           (Measure.sweep ~protocols:[ protocol ] ~pairs ()))
        message_optimal_protocols

@@ -127,8 +127,10 @@ let contention_sweep ~protocol ~n ~f ~hot_fractions =
       (hot_fraction, run db { default with hot_fraction }))
     hot_fractions
 
-let protocol_comparison ~protocols ~n ~f spec =
-  List.map
+let protocol_comparison ?jobs ~protocols ~n ~f spec =
+  (* each protocol gets its own Txn_system, so the comparison columns are
+     independent workload replays — fan them out one domain per protocol *)
+  Batch.run ?jobs
     (fun protocol ->
       let db = Txn_system.create ~n ~f ~protocol () in
       (protocol, run db spec))

@@ -42,9 +42,12 @@ val contention_sweep :
     per-commit message cost stays the protocol's closed form. *)
 
 val protocol_comparison :
-  protocols:string list -> n:int -> f:int -> spec -> (string * stats) list
+  ?jobs:int -> protocols:string list -> n:int -> f:int -> spec ->
+  (string * stats) list
 (** The same workload (same seed, same conflicts) across protocols: abort
     rates coincide, messages/latency differ — the paper's complexity
-    table in database clothing. *)
+    table in database clothing. Each protocol replays the workload in its
+    own {!Txn_system.t}, so the columns are computed through {!Batch.run}
+    ([?jobs] domains, order and values unchanged). *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -115,7 +115,7 @@ let test_series_match_formulas () =
         s.Series.points)
     (Series.over_n
        ~protocols:[ "inbac"; "2pc"; "paxos-commit"; "(2n-2+f)nbac" ]
-       ~f:2 ~ns)
+       ~f:2 ~ns ())
 
 let test_series_over_f () =
   List.iter
@@ -129,7 +129,7 @@ let test_series_over_f () =
             p.Series.messages)
         s.Series.points)
     (Series.over_f ~protocols:[ "inbac"; "faster-paxos-commit" ] ~n:9
-       ~fs:[ 1; 2; 4; 8 ])
+       ~fs:[ 1; 2; 4; 8 ] ())
 
 let test_crossover_delta_two () =
   List.iter
@@ -139,7 +139,7 @@ let test_crossover_delta_two () =
     (Series.crossover_f1 ~ns:[ 2; 3; 5; 8; 13; 21 ])
 
 let test_series_skips_illegal_pairs () =
-  match Series.over_n ~protocols:[ "inbac" ] ~f:4 ~ns:[ 3; 5; 8 ] with
+  match Series.over_n ~protocols:[ "inbac" ] ~f:4 ~ns:[ 3; 5; 8 ] () with
   | [ s ] ->
       check tint "n=3 skipped when f=4" 2 (List.length s.Series.points)
   | _ -> Alcotest.fail "expected one series"
@@ -147,7 +147,7 @@ let test_series_skips_illegal_pairs () =
 let test_csv_shape () =
   let csv =
     Series.to_csv ~x_label:"n"
-      (Series.over_n ~protocols:[ "inbac" ] ~f:1 ~ns:[ 3; 5 ])
+      (Series.over_n ~protocols:[ "inbac" ] ~f:1 ~ns:[ 3; 5 ] ())
   in
   let lines = String.split_on_char '\n' (String.trim csv) in
   check tint "header + 2 points" 3 (List.length lines);

@@ -1,0 +1,83 @@
+(* Tests for the parallel batch runner: order preservation, the jobs=1
+   escape hatch, exception propagation, and — the property everything
+   else rides on — that parallel artifact regeneration is byte-identical
+   to sequential. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let test_order_preserved () =
+  let items = List.init 50 (fun i -> i) in
+  check (Alcotest.list tint) "results in input order"
+    (List.map (fun x -> x * x) items)
+    (Batch.run ~jobs:3 (fun x -> x * x) items)
+
+let test_jobs_one_is_sequential () =
+  let items = [ 5; 4; 3; 2; 1 ] in
+  check (Alcotest.list tint) "jobs:1 equals List.map"
+    (List.map succ items)
+    (Batch.run ~jobs:1 succ items)
+
+let test_edge_cases () =
+  check (Alcotest.list tint) "empty input" [] (Batch.run ~jobs:4 succ []);
+  check (Alcotest.list tint) "singleton" [ 8 ] (Batch.run ~jobs:4 succ [ 7 ]);
+  check tbool "default_jobs positive" true (Batch.default_jobs () >= 1);
+  check (Alcotest.list tint) "jobs above item count" [ 2; 3 ]
+    (Batch.run ~jobs:64 succ [ 1; 2 ])
+
+let test_exception_propagation () =
+  Alcotest.check_raises "earliest item's exception re-raised"
+    (Failure "boom:2") (fun () ->
+      ignore
+        (Batch.run ~jobs:4
+           (fun x ->
+             if x >= 2 then failwith (Printf.sprintf "boom:%d" x) else x)
+           [ 0; 1; 2; 3; 4 ]))
+
+(* Determinism of the reworked consumers: the robustness battery run
+   through 4 domains must agree element-for-element with the sequential
+   evaluation, traces included. *)
+
+let test_robustness_matrix_deterministic () =
+  let sequential = Robustness.matrix ~n:4 ~f:1 ~seeds:[ 1 ] ~jobs:1 () in
+  let parallel = Robustness.matrix ~n:4 ~f:1 ~seeds:[ 1 ] ~jobs:4 () in
+  check tint "same row count" (List.length sequential) (List.length parallel);
+  List.iter2
+    (fun (a : Robustness.row) (b : Robustness.row) ->
+      check tbool (Printf.sprintf "row %s identical" a.Robustness.protocol)
+        true (a = b))
+    sequential parallel
+
+let test_parallel_traces_identical () =
+  let scenarios =
+    List.map snd (Robustness.batteries ~n:4 ~f:1 ~seeds:[ 1 ])
+  in
+  let runner = Registry.find_exn "inbac" in
+  let trace_of s =
+    Format.asprintf "%a" Trace.pp (runner.Registry.run s).Report.trace
+  in
+  let sequential = List.map trace_of scenarios in
+  let parallel = Batch.run ~jobs:4 trace_of scenarios in
+  List.iteri
+    (fun i (a, b) ->
+      check tbool (Printf.sprintf "scenario %d trace identical" i) true (a = b))
+    (List.combine sequential parallel)
+
+let () =
+  let quick name fn = Alcotest.test_case name `Quick fn in
+  Alcotest.run "batch"
+    [
+      ( "runner",
+        [
+          quick "order preserved" test_order_preserved;
+          quick "jobs:1 sequential" test_jobs_one_is_sequential;
+          quick "edge cases" test_edge_cases;
+          quick "exception propagation" test_exception_propagation;
+        ] );
+      ( "determinism",
+        [
+          quick "robustness matrix" test_robustness_matrix_deterministic;
+          quick "traces across domains" test_parallel_traces_identical;
+        ] );
+    ]

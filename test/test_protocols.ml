@@ -38,7 +38,7 @@ let test_nice_complexity () =
       check tbool (label "all decided") true m.Measure.metrics.Metrics.all_decided;
       check tbool (label "consensus idle") false
         m.Measure.metrics.Metrics.consensus_invoked)
-    (Measure.sweep ~protocols:Registry.names ~pairs:Measure.default_pairs)
+    (Measure.sweep ~protocols:Registry.names ~pairs:Measure.default_pairs ())
 
 (* ------------------------------------------------------------------ *)
 (* Failure-free executions solve NBAC for every protocol, any votes *)

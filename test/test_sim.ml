@@ -371,6 +371,170 @@ let test_engine_guard_fuel () =
     (function Failure msg -> String.length msg > 0 | _ -> false)
     (fun () -> ignore (Bad_guard_engine.run (Scenario.nice ~n:2 ~f:1 ())))
 
+(* Fixture probing decision accounting: decides commit at propose, then
+   decides again at a timer — with the same value when its vote is yes,
+   with the opposite value when it voted no. The engine must trace the
+   first decision once, swallow the harmless repeat, and trace (but not
+   record) the conflicting one so Check can flag it. *)
+module Re_decider = struct
+  type msg = |
+  type state = { vote : Vote.t }
+
+  let name = "re-decider"
+  let uses_consensus = false
+  let pp_msg _ppf (m : msg) = (match m with _ -> .)
+  let init _env = { vote = Vote.yes }
+
+  let on_propose _env _state v =
+    ( { vote = v },
+      [
+        Proto.Decide Vote.commit;
+        Proto.Set_timer { id = "again"; fire = Proto.At_delay 1 };
+      ] )
+
+  let on_deliver _env _state ~src:_ (m : msg) = (match m with _ -> .)
+
+  let on_timeout _env state ~id:_ =
+    ( state,
+      [
+        Proto.Decide
+          (if Vote.equal state.vote Vote.yes then Vote.commit else Vote.abort);
+      ] )
+
+  let guards = []
+  let on_guard _env _state ~id = failwith ("re-decider: unknown guard " ^ id)
+  let on_consensus_decide _env state _d = (state, [])
+end
+
+module Re_decider_engine = Engine.Make (Re_decider) (Consensus_null)
+
+let decide_entries report pid =
+  List.filter
+    (function
+      | Trace.Decide { pid = p; _ } -> Pid.equal p pid
+      | _ -> false)
+    (Trace.entries report.Report.trace)
+
+let test_engine_no_duplicate_decide () =
+  let report = Re_decider_engine.run (Scenario.nice ~n:3 ~f:1 ()) in
+  List.iter
+    (fun p ->
+      check tint "same-value re-decision traced once" 1
+        (List.length (decide_entries report p)))
+    (Pid.all ~n:3);
+  check tbool "agreement holds" true (Check.run report).Check.agreement
+
+let test_engine_conflicting_redecide_flagged () =
+  let scenario =
+    Scenario.with_no_votes (Scenario.nice ~n:3 ~f:1 ()) [ Pid.of_rank 2 ]
+  in
+  let report = Re_decider_engine.run scenario in
+  check tint "conflicting re-decision traced" 2
+    (List.length (decide_entries report (Pid.of_rank 2)));
+  check tbool "first decision stands in the report" true
+    (match Report.decision_of report (Pid.of_rank 2) with
+    | Some (_, d) -> Vote.decision_equal d Vote.commit
+    | None -> false);
+  let v = Check.run report in
+  check tbool "AC2 violation breaks agreement" false v.Check.agreement;
+  check tbool "stability violation reported" true
+    (List.exists
+       (fun s ->
+         String.length s >= 18 && String.sub s 0 18 = "decision stability")
+       v.Check.violations)
+
+(* Fixture probing timer cancellation: a cancel suppresses every pending
+   fire of that id, a fresh set after the cancel fires normally, and a
+   suppressed late timeout must not stretch the quiescence time. *)
+module Canceller = struct
+  type msg = |
+  type state = unit
+
+  let name = "canceller"
+  let uses_consensus = false
+  let pp_msg _ppf (m : msg) = (match m with _ -> .)
+  let init _env = ()
+
+  let on_propose _env () _v =
+    ( (),
+      [
+        Proto.Set_timer { id = "dead"; fire = Proto.At_delay 1 };
+        Proto.Cancel_timer "dead";
+        Proto.Set_timer { id = "twice"; fire = Proto.At_delay 1 };
+        Proto.Set_timer { id = "twice"; fire = Proto.At_delay 2 };
+        Proto.Set_timer { id = "reborn"; fire = Proto.At_delay 3 };
+        Proto.Cancel_timer "reborn";
+        Proto.Set_timer { id = "reborn"; fire = Proto.At_delay 4 };
+        Proto.Set_timer { id = "late"; fire = Proto.At_delay 10 };
+        Proto.Cancel_timer "late";
+        Proto.Cancel_timer "never-set";
+      ] )
+
+  let on_deliver _env _state ~src:_ (m : msg) = (match m with _ -> .)
+  let on_timeout _env () ~id:_ = ((), [])
+  let guards = []
+  let on_guard _env _state ~id = failwith ("canceller: unknown guard " ^ id)
+  let on_consensus_decide _env state _d = (state, [])
+end
+
+module Canceller_engine = Engine.Make (Canceller) (Consensus_null)
+
+let test_engine_cancel_timer () =
+  let report = Canceller_engine.run (Scenario.nice ~n:2 ~f:1 ()) in
+  let timeouts =
+    List.filter_map
+      (function
+        | Trace.Timeout { at; pid; timer; _ } when Pid.rank pid = 1 ->
+            Some (timer, at)
+        | _ -> None)
+      (Trace.entries report.Report.trace)
+  in
+  check tbool "cancelled timer never fires" false
+    (List.mem_assoc "dead" timeouts);
+  check tint "both sets of the same id fire" 2
+    (List.length (List.filter (fun (t, _) -> t = "twice") timeouts));
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string tint))
+    "cancel-then-reset fires once, from the new set"
+    [ ("reborn", 4 * u) ]
+    (List.filter (fun (t, _) -> t = "reborn") timeouts);
+  check tbool "suppressed late timeout does not stretch quiescence" true
+    (match report.Report.outcome with
+    | Report.Quiescent t -> t = 4 * u
+    | Report.Max_time_reached -> false)
+
+(* The protocol-level payoff of Cancel_timer: once every process has
+   decided, no stale recovery machinery keeps firing. *)
+let test_3pc_decided_quiescence () =
+  let report =
+    (Registry.find_exn "3pc").Registry.run (Scenario.nice ~n:5 ~f:2 ())
+  in
+  check tbool "everyone decides" true (Report.all_correct_decided report);
+  let stale =
+    List.exists
+      (function
+        | Trace.Timeout { timer; _ } ->
+            String.length timer >= 8 && String.sub timer 0 8 = "blocked:"
+        | _ -> false)
+      (Trace.entries report.Report.trace)
+  in
+  check tbool "no blocked: pings fire after the decisions" false stale
+
+let test_inbac_fast_abort_cancels_phase_timers () =
+  let scenario =
+    Scenario.with_no_votes (Scenario.nice ~n:5 ~f:2 ()) [ Pid.of_rank 1 ]
+  in
+  let report = (Registry.find_exn "inbac-fast-abort").Registry.run scenario in
+  check tbool "everyone decides" true (Report.all_correct_decided report);
+  let phase_timeout =
+    List.exists
+      (function
+        | Trace.Timeout { timer = "phase0" | "phase1"; _ } -> true
+        | _ -> false)
+      (Trace.entries report.Report.trace)
+  in
+  check tbool "phase timers cancelled after the fast abort" false phase_timeout
+
 let test_report_accessors () =
   let report = Probe_engine.run (Scenario.nice ~n:3 ~f:1 ()) in
   check tint "everyone decided" 3 (List.length (Report.decided_values report));
@@ -416,5 +580,18 @@ let () =
           quick "timer semantics" test_engine_timer_semantics;
           quick "report accessors" test_report_accessors;
           prop prop_engine_deterministic;
+        ] );
+      ( "decision-accounting",
+        [
+          quick "no duplicate decide entries" test_engine_no_duplicate_decide;
+          quick "conflicting re-decision flagged"
+            test_engine_conflicting_redecide_flagged;
+        ] );
+      ( "timer-cancellation",
+        [
+          quick "cancel semantics" test_engine_cancel_timer;
+          quick "3pc quiescent once decided" test_3pc_decided_quiescence;
+          quick "inbac fast-abort cancels phase timers"
+            test_inbac_fast_abort_cancels_phase_timers;
         ] );
     ]

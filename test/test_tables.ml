@@ -19,7 +19,7 @@ let test_table1_verifies () =
            (Format.asprintf "%a" Props.pp_cell v.Table_one.cell)
            v.Table_one.protocol)
         true v.Table_one.all_ok)
-    (Table_one.verifications ~pairs)
+    (Table_one.verifications ~pairs ())
 
 let test_table1_grid_shape () =
   let grid = Table_one.grid () in
@@ -66,7 +66,7 @@ let test_table4_claims () =
     (Table_compare.claims ())
 
 let test_table4_render () =
-  let s = Table_compare.render ~pairs in
+  let s = Table_compare.render ~pairs () in
   check tbool "inbac row" true (contains s "inbac");
   check tbool "2fn formula" true (contains s "2fn");
   check tbool "no failure marker" false (contains s "| NO ")
