@@ -206,9 +206,18 @@ let table_cmd name doc render =
   let action pairs = print_string (render ~pairs:(pairs_or_default pairs)) in
   Cmd.v (Cmd.info name ~doc) Term.(const action $ pairs_arg)
 
+(* Verification failures must reach CI: report, then exit nonzero. *)
+let gate what ok =
+  if not ok then begin
+    Format.eprintf "actable: %s verification failed@." what;
+    exit 1
+  end
+
 let table1_cmd =
   let action pairs jobs =
-    print_string (Table_one.render ?jobs ~pairs:(pairs_or_default pairs) ())
+    let text, ok = Table_one.render_checked ?jobs ~pairs:(pairs_or_default pairs) () in
+    print_string text;
+    gate "table1" ok
   in
   Cmd.v
     (Cmd.info "table1"
@@ -228,7 +237,9 @@ let table4_cmd =
   let action pairs jobs =
     print_string (Table_compare.render ?jobs ~pairs:(pairs_or_default pairs) ());
     print_newline ();
-    print_string (Table_compare.render_claims ?jobs ())
+    let text, ok = Table_compare.render_claims_checked ?jobs () in
+    print_string text;
+    gate "table4 claims" ok
   in
   Cmd.v
     (Cmd.info "table4"
@@ -238,7 +249,11 @@ let table4_cmd =
     Term.(const action $ pairs_arg $ jobs_arg)
 
 let robustness_cmd =
-  let action n f jobs = print_string (Robustness.render ~n ~f ?jobs ()) in
+  let action n f jobs =
+    let text, ok = Robustness.render_checked ~n ~f ?jobs () in
+    print_string text;
+    gate "robustness" ok
+  in
   Cmd.v
     (Cmd.info "robustness"
        ~doc:
@@ -368,31 +383,218 @@ let sweep_cmd =
     Term.(const action $ csv_arg $ fixed_f_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* model checking                                                      *)
+
+(* The model checker runs at small bounds by design (the space is
+   exhaustive, not sampled), so [mc]/[mctable] default to n=3, f=1
+   rather than the simulation commands' n=5, f=2. *)
+let mc_n_arg =
+  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let mc_f_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "f" ] ~docv:"F" ~doc:"Maximum number of tolerated crashes.")
+
+let class_arg =
+  let doc =
+    "Execution class to explore: 'nice' (synchronous, failure-free), \
+     'crash' (up to f crash injections), 'network' (commit-layer messages \
+     may miss their synchronous slot), or 'all' (both failure kinds)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("nice", Mc_run.Nice); ("crash", Mc_run.Crash);
+             ("network", Mc_run.Network); ("all", Mc_run.All);
+           ])
+        Mc_run.Crash
+    & info [ "class" ] ~docv:"CLASS" ~doc)
+
+let expect_arg =
+  let doc =
+    "What the exploration must establish for exit status 0: 'none' (the \
+     bounded space must hold no violation), 'agreement', 'validity' or \
+     'termination' (a replay-verified violation of that property must \
+     exist), or 'any' (some replay-verified violation must exist)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("none", `None); ("any", `Any);
+             ("agreement", `Prop Mc_replay.Agreement);
+             ("validity", `Prop Mc_replay.Validity);
+             ("termination", `Prop Mc_replay.Termination);
+           ])
+        `None
+    & info [ "expect" ] ~docv:"WHAT" ~doc)
+
+let budgets_term ~default_states =
+  let depth =
+    Arg.(
+      value & opt (some int) None
+      & info [ "depth" ] ~docv:"D" ~doc:"Schedule-step depth bound per path.")
+  in
+  let states =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-states" ] ~docv:"K"
+          ~doc:
+            (Printf.sprintf
+               "State-fingerprint budget per frontier item (default %d)."
+               default_states))
+  in
+  let horizon =
+    Arg.(
+      value & opt (some int) None
+      & info [ "horizon" ] ~docv:"T"
+          ~doc:"Timer horizon in units of U (default 12).")
+  in
+  let late =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-late" ] ~docv:"K"
+          ~doc:
+            "Network classes: at most K commit-layer messages may miss \
+             their synchronous slot (default 4).")
+  in
+  let combine depth states horizon late =
+    let b = Mc_limits.default_budgets ~u in
+    {
+      Mc_limits.max_depth = Option.value depth ~default:b.Mc_limits.max_depth;
+      max_states = Option.value states ~default:default_states;
+      horizon =
+        (match horizon with Some h -> h * u | None -> b.Mc_limits.horizon);
+      max_late = Option.value late ~default:b.Mc_limits.max_late;
+    }
+  in
+  Term.(const combine $ depth $ states $ horizon $ late)
+
+let mc_cmd =
+  let no_naive_arg =
+    Arg.(
+      value & flag
+      & info [ "no-naive" ]
+          ~doc:
+            "Skip the naive-enumeration pass that measures the DPOR + \
+             dedup pruning ratio (the pass is skipped anyway when a \
+             violation is found).")
+  in
+  let action protocol n f klass expect budgets consensus vote0 no_naive msc
+      jobs =
+    let vote_sets =
+      match vote0 with
+      | [] -> None
+      | ranks ->
+          let votes = Array.make n Vote.yes in
+          List.iter
+            (fun r -> votes.(Pid.index (Pid.of_rank r)) <- Vote.no)
+            ranks;
+          Some [ votes ]
+    in
+    let outcome =
+      Mc_run.run ~consensus ?vote_sets ~budgets ?jobs ~naive:(not no_naive)
+        ~protocol ~n ~f ~klass ()
+    in
+    Format.printf "%a@." Mc_run.pp_outcome outcome;
+    (match outcome.Mc_run.violation with
+    | Some v when msc ->
+        let report, _ = Mc_replay.replay ~consensus v.Mc_replay.witness in
+        print_newline ();
+        print_string (Trace_export.msc report)
+    | _ -> ());
+    let replay_ok = outcome.Mc_run.replay_verified <> Some false in
+    let ok =
+      match (expect, outcome.Mc_run.violation) with
+      | `None, None -> true
+      | `None, Some _ -> false
+      | (`Any | `Prop _), None -> false
+      | `Any, Some _ -> replay_ok
+      | `Prop p, Some v -> v.Mc_replay.property = p && replay_ok
+    in
+    gate "mc" ok
+  in
+  let term =
+    Term.(
+      const action $ protocol_arg $ mc_n_arg $ mc_f_arg $ class_arg
+      $ expect_arg
+      $ budgets_term ~default_states:400_000
+      $ consensus_arg $ vote0_arg $ no_naive_arg $ msc_arg $ jobs_arg)
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Model-check one protocol: explore every schedule of the bounded \
+          configuration (DPOR + state dedup), and either certify the space \
+          clean or emit a shrunk, engine-replayable counterexample.")
+    term
+
+let mctable_cmd =
+  let action n f budgets jobs =
+    let text, ok = Table_mc.render_checked ~budgets ?jobs ~n ~f () in
+    print_string text;
+    gate "mctable" ok
+  in
+  let term =
+    Term.(
+      const action $ mc_n_arg $ mc_f_arg
+      $ budgets_term ~default_states:120_000
+      $ jobs_arg)
+  in
+  Cmd.v
+    (Cmd.info "mctable"
+       ~doc:
+         "Model-check the Section-6 protocols across execution classes and \
+          check each verdict against the protocol's claimed cell; the L1 \
+          witnesses (2PC blocks under crash, 1NBAC and the INBAC \
+          ack-undershoot disagree under network failure) fall out \
+          mechanically.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* witness                                                             *)
 
 let witness_cmd =
   let action () =
-    let show name scenario ~expect =
+    let all_ok = ref true in
+    let show name scenario ~expect ~holds =
       let r = (Registry.find_exn name).Registry.run scenario in
       let v = Check.run r in
-      Format.printf "%-22s %-18s agreement=%-5b termination=%-5b  %s@." name
+      let ok = holds v in
+      if not ok then all_ok := false;
+      Format.printf "%-22s %-18s agreement=%-5b termination=%-5b  [%s] %s@."
+        name
         (Classify.to_string (Classify.of_report r))
-        v.Check.agreement v.Check.termination expect
+        v.Check.agreement v.Check.termination
+        (if ok then "ok" else "FAIL")
+        expect
     in
     show "2pc" (Witness.two_pc_blocks ~n:5)
-      ~expect:"expect: blocks (termination=false)";
+      ~expect:"expect: blocks (termination=false)"
+      ~holds:(fun v -> not v.Check.termination);
     show "1nbac" (Witness.one_nbac_disagreement ~n:5)
-      ~expect:"expect: agreement=false (the (AVT,VT) gap)";
+      ~expect:"expect: agreement=false (the (AVT,VT) gap)"
+      ~holds:(fun v -> not v.Check.agreement);
     show "(n-1+f)nbac" (Witness.chain_nbac_disagreement ~n:5)
-      ~expect:"expect: agreement=false (noop-based implicit yes)";
+      ~expect:"expect: agreement=false (noop-based implicit yes)"
+      ~holds:(fun v -> not v.Check.agreement);
     show "(2n-2)nbac" (Witness.star_nbac_partial_broadcast ~n:5 ~keep:2)
-      ~expect:"expect: agreement=true (relay saves the crash case)";
+      ~expect:"expect: agreement=true (relay saves the crash case)"
+      ~holds:(fun v -> v.Check.agreement);
     show "(2n-2)nbac" (Witness.star_nbac_disagreement ~n:5)
-      ~expect:"expect: agreement=false (network failure)";
+      ~expect:"expect: agreement=false (network failure)"
+      ~holds:(fun v -> not v.Check.agreement);
     show "inbac" (Witness.inbac_slow_backup ~n:5 ~f:2)
-      ~expect:"expect: agreement=true, termination=true (indulgent)";
+      ~expect:"expect: agreement=true, termination=true (indulgent)"
+      ~holds:(fun v -> v.Check.agreement && v.Check.termination);
     show "inbac" (Witness.eventual_synchrony ~n:5 ~f:2 ~seed:1)
       ~expect:"expect: agreement=true, termination=true (indulgent)"
+      ~holds:(fun v -> v.Check.agreement && v.Check.termination);
+    gate "witness" !all_ok
   in
   Cmd.v
     (Cmd.info "witness"
@@ -436,8 +638,8 @@ let main_cmd =
   Cmd.group (Cmd.info "actable" ~version:"1.0.0" ~doc)
     [
       run_cmd; table1_cmd; table2_cmd; table3_cmd; table4_cmd; robustness_cmd;
-      fig1_cmd; witness_cmd; ablation_cmd; sweep_cmd; weak_cmd; stress_cmd;
-      db_cmd; lemmas_cmd; list_cmd;
+      fig1_cmd; witness_cmd; mc_cmd; mctable_cmd; ablation_cmd; sweep_cmd;
+      weak_cmd; stress_cmd; db_cmd; lemmas_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

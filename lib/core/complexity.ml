@@ -33,14 +33,16 @@ let entries =
     };
     {
       protocol = "inbac-undershoot";
-      cell = Props.cell ~cf:Props.avt ~nf:Props.vt;
+      cell = Props.cell ~cf:Props.t_ ~nf:Props.t_;
       messages = (fun ~n ~f -> 2 * f * n);
       delays = (fun ~n:_ ~f:_ -> 2);
       optimal_messages = false;
       optimal_delays = true;
       weak_semantics = None;
-      note = "INBAC minus one acknowledgement: loses exactly agreement \
-              under network failures, mechanizing Lemma 5's tightness";
+      note = "INBAC minus one acknowledgement, mechanizing Lemma 5's \
+              tightness: loses agreement under network failures at every \
+              f, and at f=1 the dropped ack was the only one, so a single \
+              crash also splits decisions and hides a 0 vote (validity)";
     };
     {
       protocol = "1nbac";

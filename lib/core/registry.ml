@@ -4,7 +4,16 @@ type t = {
   name : string;
   uses_consensus : bool;
   run : ?consensus:consensus_impl -> Scenario.t -> Report.t;
+  proto : (module Proto.PROTOCOL);
 }
+
+let consensus_module ~uses_consensus impl : (module Proto.CONSENSUS) =
+  if not uses_consensus then (module Consensus_null)
+  else
+    match impl with
+    | Paxos -> (module Consensus_paxos)
+    | Floodset -> (module Consensus_floodset)
+    | Trivial -> (module Consensus_trivial)
 
 let make (module P : Proto.PROTOCOL) =
   let module With_paxos = Engine.Make (P) (Consensus_paxos) in
@@ -19,7 +28,7 @@ let make (module P : Proto.PROTOCOL) =
       | Floodset -> With_floodset.run scenario
       | Trivial -> With_trivial.run scenario
   in
-  { name = P.name; uses_consensus = P.uses_consensus; run }
+  { name = P.name; uses_consensus = P.uses_consensus; run; proto = (module P) }
 
 let all =
   [

@@ -11,7 +11,15 @@ type t = {
   name : string;
   uses_consensus : bool;
   run : ?consensus:consensus_impl -> Scenario.t -> Report.t;
+  proto : (module Proto.PROTOCOL);
+      (** The bare automaton, for drivers other than the engine (e.g. the
+          [ac_mc] model checker instantiates its own composition). *)
 }
+
+val consensus_module :
+  uses_consensus:bool -> consensus_impl -> (module Proto.CONSENSUS)
+(** The consensus automaton the engine would co-host: the selected
+    implementation, or the null automaton for consensus-free protocols. *)
 
 val make : (module Proto.PROTOCOL) -> t
 (** Wrap a protocol module; protocols that never use consensus are

@@ -36,6 +36,22 @@ let add t e =
 let entries t = List.rev t.rev_entries
 let length t = t.count
 
+type snapshot = entry list * int
+
+let snapshot t = (t.rev_entries, t.count)
+
+let restore t (rev_entries, count) =
+  t.rev_entries <- rev_entries;
+  t.count <- count
+
+let entries_since t (_, count) =
+  let rec take k acc = function
+    | rest when k = 0 -> ignore rest; acc
+    | [] -> acc
+    | e :: rest -> take (k - 1) (e :: acc) rest
+  in
+  take (t.count - count) [] t.rev_entries
+
 let time_of = function
   | Propose { at; _ }
   | Send { at; _ }

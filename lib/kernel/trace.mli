@@ -62,3 +62,14 @@ val network_sends : ?layer:layer -> t -> entry list
     (the engine never records sends by crashed processes). *)
 
 val notes : ?label:string -> t -> (Sim_time.t * Pid.t * string * string) list
+
+type snapshot
+(** An O(1) capture of a trace prefix (the entry list is persistent). *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** Rewind the trace to the captured prefix, dropping entries added since.
+    Used by the model checker to backtrack a shared execution context. *)
+
+val entries_since : t -> snapshot -> entry list
+(** The entries appended after the snapshot was taken, in append order. *)

@@ -1,0 +1,1102 @@
+(* The systematic schedule explorer.
+
+   The checker drives the same [Machine] interpreter as the engine, but
+   instead of a timed event queue it keeps the pending deliveries and
+   timer fires as an explicit frontier and branches on every enabled
+   ordering. Time is abstracted to the pair (instant, event class) of the
+   last executed event — the engine's own queue ordering — with:
+
+   - synchronous deliveries pinned at exactly [send + U] (the repo's
+     canonical [Network.exact] semantics; within-window variation is
+     explored through the order of same-instant deliveries, not through
+     sub-instant timing);
+   - in network-failure mode, any delivery may additionally be procrastinated
+     past its synchronous slot and delivered at any later point of the
+     schedule;
+   - crash injection (up to [f]) at any point where it is realizable by a
+     [Scenario.Before] crash — in particular never between two timer
+     fires of the same instant, which no delay assignment can separate;
+   - timers armed beyond the exploration horizon never fire (this bounds
+     the consensus retry cascade).
+
+   An executed event may never strand a deadline: a synchronous delivery
+   cannot be scheduled after its slot has passed, and a timer below the
+   horizon must fire at its instant. This keeps every explored schedule
+   realizable by the engine under some delay assignment, which is what
+   makes counterexample replay ({!Mc_replay}) possible. *)
+
+module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
+  module M = Machine.Make (P) (C)
+
+  type exec_class = { allow_crashes : bool; allow_late : bool }
+
+  type config = {
+    n : int;
+    f : int;
+    u : Sim_time.t;
+    votes : Vote.t array;
+    klass : exec_class;
+    budgets : Mc_limits.budgets;
+  }
+
+  (* ---- pending events -------------------------------------------- *)
+
+  type pmsg = {
+    uid : int * int;
+        (* (sender index, k-th network send of that sender): stable across
+           commuted schedules, because one process's sends are totally
+           ordered in every schedule the checker equates *)
+    seq : int;  (* creation order along the current path (queue tie-break) *)
+    src : Pid.t;
+    dst : Pid.t;
+    payload : M.wire;
+    sent_mc : Sim_time.t;
+    nominal : Sim_time.t;  (* sent_mc + u: the synchronous slot *)
+  }
+
+  type ptimer = {
+    t_seq : int;
+    t_pid : Pid.t;
+    t_layer : Trace.layer;
+    t_id : string;
+    t_fire : Proto.fire;
+    t_set_mc : Sim_time.t;
+    t_at : Sim_time.t;
+    t_epoch : int;
+  }
+
+  type step =
+    | S_proposals  (* the whole instant-0 propose block, in rank order *)
+    | S_crash of Pid.t
+    | S_deliver of { msg : pmsg; at : Sim_time.t; klass : int; late : bool }
+    | S_timeout of ptimer
+
+  (* Identity of a transition for sleep sets and visited-set bookkeeping.
+     Delivery keys embed destination and execution slot so independence
+     can be judged from the key alone; both are stable for as long as the
+     event can stay in a sleep set (an event that would change a pending
+     delivery's slot has a later slot itself, hence is dependent and
+     flushes it from the sleep set first). *)
+  type key =
+    | K_prop
+    | K_crash of int
+    | K_del of (int * int) * int * Sim_time.t * int  (* uid, dst, at, class *)
+    | K_to of int * Trace.layer * string * Sim_time.t
+
+  let key_of = function
+    | S_proposals -> K_prop
+    | S_crash p -> K_crash (Pid.index p)
+    | S_deliver { msg; at; klass; _ } ->
+        K_del (msg.uid, Pid.index msg.dst, at, klass)
+    | S_timeout t -> K_to (Pid.index t.t_pid, t.t_layer, t.t_id, t.t_at)
+
+  let independent k1 k2 =
+    match (k1, k2) with
+    | K_crash p, K_crash q -> p <> q
+    | K_del (_, d1, a1, c1), K_del (_, d2, a2, c2) ->
+        d1 <> d2 && a1 = a2 && c1 = c2
+    | K_to (p1, _, _, a1), K_to (p2, _, _, a2) -> p1 <> p2 && a1 = a2
+    | _ -> false
+
+  (* sleep sets are tiny; plain sorted-insert lists suffice *)
+  let k_mem k l = List.mem k l
+  let k_subset a b = List.for_all (fun k -> k_mem k b) a
+  let k_inter a b = List.filter (fun k -> k_mem k b) a
+
+  (* ---- the execution context ------------------------------------- *)
+
+  type ctx = {
+    cfg : config;
+    m : M.t;
+    box_msgs : pmsg list ref;  (* reversed; filled by the sink *)
+    box_self : (Pid.t * M.wire) list ref;
+    box_timers : ptimer list ref;
+    sends_by : int array;
+    creation : int ref;
+    mutable clock_t : Sim_time.t;
+    mutable clock_k : int;
+    mutable pending_msgs : pmsg list;  (* creation order *)
+    mutable pending_timers : ptimer list;
+    mutable crashes_left : int;
+    mutable proposed : bool;
+    mutable overtaken : (int * int) list;
+        (* uids of commit-layer messages whose synchronous slot has been
+           passed; they may now be delivered at any later point *)
+    mutable late_count : int;
+    mutable someone_no : bool;
+  }
+
+  let max_late_of cfg =
+    if cfg.klass.allow_late then cfg.budgets.Mc_limits.max_late else 0
+
+  let late_used ctx = ctx.late_count > 0
+
+  let create_ctx cfg =
+    let box_msgs = ref [] and box_self = ref [] and box_timers = ref [] in
+    let sends_by = Array.make cfg.n 0 in
+    let creation = ref 0 in
+    let sink =
+      {
+        M.send =
+          (fun ~now ~src ~dst payload ->
+            if Pid.equal src dst then begin
+              box_self := (src, payload) :: !box_self;
+              now
+            end
+            else begin
+              let si = Pid.index src in
+              let uid = (si, sends_by.(si)) in
+              sends_by.(si) <- sends_by.(si) + 1;
+              let seq = !creation in
+              incr creation;
+              let nominal = Sim_time.( + ) now cfg.u in
+              box_msgs :=
+                { uid; seq; src; dst; payload; sent_mc = now; nominal }
+                :: !box_msgs;
+              nominal
+            end);
+        M.set_timer =
+          (fun ~now ~pid ~layer ~id ~fire ~at ~epoch ->
+            let t_seq = !creation in
+            incr creation;
+            box_timers :=
+              {
+                t_seq;
+                t_pid = pid;
+                t_layer = layer;
+                t_id = id;
+                t_fire = fire;
+                t_set_mc = now;
+                t_at = at;
+                t_epoch = epoch;
+              }
+              :: !box_timers);
+      }
+    in
+    let env_of pid =
+      { Proto.n = cfg.n; f = cfg.f; u = cfg.u; self = pid }
+    in
+    {
+      cfg;
+      m = M.create ~env_of ~n:cfg.n ~u:cfg.u ~sink;
+      box_msgs;
+      box_self;
+      box_timers;
+      sends_by;
+      creation;
+      clock_t = Sim_time.zero;
+      clock_k = 0;
+      pending_msgs = [];
+      pending_timers = [];
+      crashes_left = cfg.f;
+      proposed = false;
+      overtaken = [];
+      late_count = 0;
+      someone_no = false;
+    }
+
+  type ctx_snap = {
+    cs_m : M.snapshot;
+    cs_sends_by : int array;
+    cs_creation : int;
+    cs_clock_t : Sim_time.t;
+    cs_clock_k : int;
+    cs_pending_msgs : pmsg list;
+    cs_pending_timers : ptimer list;
+    cs_crashes_left : int;
+    cs_proposed : bool;
+    cs_overtaken : (int * int) list;
+    cs_late_count : int;
+    cs_someone_no : bool;
+  }
+
+  let save ctx =
+    {
+      cs_m = M.snapshot ctx.m;
+      cs_sends_by = Array.copy ctx.sends_by;
+      cs_creation = !(ctx.creation);
+      cs_clock_t = ctx.clock_t;
+      cs_clock_k = ctx.clock_k;
+      cs_pending_msgs = ctx.pending_msgs;
+      cs_pending_timers = ctx.pending_timers;
+      cs_crashes_left = ctx.crashes_left;
+      cs_proposed = ctx.proposed;
+      cs_overtaken = ctx.overtaken;
+      cs_late_count = ctx.late_count;
+      cs_someone_no = ctx.someone_no;
+    }
+
+  let restore ctx s =
+    M.restore ctx.m s.cs_m;
+    Array.blit s.cs_sends_by 0 ctx.sends_by 0 (Array.length ctx.sends_by);
+    ctx.creation := s.cs_creation;
+    ctx.clock_t <- s.cs_clock_t;
+    ctx.clock_k <- s.cs_clock_k;
+    ctx.pending_msgs <- s.cs_pending_msgs;
+    ctx.pending_timers <- s.cs_pending_timers;
+    ctx.crashes_left <- s.cs_crashes_left;
+    ctx.proposed <- s.cs_proposed;
+    ctx.overtaken <- s.cs_overtaken;
+    ctx.late_count <- s.cs_late_count;
+    ctx.someone_no <- s.cs_someone_no;
+    ctx.box_msgs := [];
+    ctx.box_self := [];
+    ctx.box_timers := []
+
+  (* ---- executing one step ----------------------------------------- *)
+
+  let drain_self ctx ~now =
+    let rec go () =
+      match List.rev !(ctx.box_self) with
+      | [] -> ()
+      | items ->
+          ctx.box_self := [];
+          List.iter
+            (fun (p, payload) ->
+              M.deliver ctx.m ~now ~sent_at:now ~src:p ~dst:p payload)
+            items;
+          go ()
+    in
+    go ()
+
+  let fresh_timer ctx t =
+    (not (M.is_crashed ctx.m t.t_pid))
+    && t.t_epoch = M.timer_epoch ctx.m t.t_pid t.t_layer t.t_id
+
+  let merge_boxes ctx =
+    let new_msgs =
+      List.filter
+        (fun mg -> not (M.is_crashed ctx.m mg.dst))
+        (List.rev !(ctx.box_msgs))
+    in
+    ctx.box_msgs := [];
+    let new_timers = List.rev !(ctx.box_timers) in
+    ctx.box_timers := [];
+    ctx.pending_msgs <-
+      List.filter
+        (fun mg -> not (M.is_crashed ctx.m mg.dst))
+        ctx.pending_msgs
+      @ new_msgs;
+    ctx.pending_timers <-
+      List.filter (fresh_timer ctx) (ctx.pending_timers @ new_timers)
+
+  let pair_geq (t1, k1) (t2, k2) = t1 > t2 || (t1 = t2 && k1 >= k2)
+  let is_commit_wire mg = M.layer_of_wire mg.payload = Trace.Commit_layer
+
+  (* Executing at [pair] passes the synchronous slot of every pending
+     commit-layer message behind it; each such message consumes one unit
+     of the lateness budget, once, and may be delivered at any later
+     point. Enabledness ([enumerate]) admits only steps whose cost fits,
+     so no message is ever stranded undeliverable. *)
+  let overtake ctx pair =
+    List.iter
+      (fun mg ->
+        if
+          is_commit_wire mg
+          && (not (List.mem mg.uid ctx.overtaken))
+          && not (pair_geq (mg.nominal, 2) pair)
+        then begin
+          ctx.overtaken <- mg.uid :: ctx.overtaken;
+          ctx.late_count <- ctx.late_count + 1
+        end)
+      ctx.pending_msgs
+
+  let bump_clock ctx t k =
+    if t > ctx.clock_t || (t = ctx.clock_t && k > ctx.clock_k) then begin
+      ctx.clock_t <- t;
+      ctx.clock_k <- k
+    end
+
+  (* Scan what the step traced for a safety breach. *)
+  let check_safety ctx tsnap =
+    let decs = M.decisions ctx.m in
+    let restated =
+      List.find_map
+        (function
+          | Trace.Decide { pid; decision; _ } -> (
+              match decs.(Pid.index pid) with
+              | Some (_, first)
+                when not (Vote.decision_equal first decision) ->
+                  Some (pid, first, decision)
+              | _ -> None)
+          | _ -> None)
+        (Trace.entries_since (M.trace ctx.m) tsnap)
+    in
+    match restated with
+    | Some (pid, first, second) ->
+        Some
+          ( Mc_replay.Agreement,
+            Format.asprintf
+              "decision stability (AC2): %a decided %a then %a" Pid.pp pid
+              Vote.pp_decision first Vote.pp_decision second )
+    | None -> (
+        let decided =
+          List.filter_map
+            (fun i ->
+              Option.map
+                (fun (_, d) -> (Pid.of_index i, d))
+                decs.(i))
+            (List.init ctx.cfg.n Fun.id)
+        in
+        let conflicting =
+          match decided with
+          | [] -> None
+          | (p0, d0) :: rest ->
+              List.find_map
+                (fun (p, d) ->
+                  if Vote.decision_equal d0 d then None else Some (p0, d0, p, d))
+                rest
+        in
+        match conflicting with
+        | Some (p0, d0, p, d) ->
+            Some
+              ( Mc_replay.Agreement,
+                Format.asprintf "agreement: %a decided %a but %a decided %a"
+                  Pid.pp p0 Vote.pp_decision d0 Pid.pp p Vote.pp_decision d )
+        | None ->
+            if
+              ctx.someone_no
+              && List.exists
+                   (fun (_, d) -> Vote.decision_equal d Vote.Commit)
+                   decided
+            then
+              Some
+                ( Mc_replay.Validity,
+                  "commit-validity: commit decided although some process \
+                   voted 0" )
+            else None)
+
+  let exec_step ctx step =
+    let tsnap = Trace.snapshot (M.trace ctx.m) in
+    (match step with
+    | S_proposals ->
+        for i = 0 to ctx.cfg.n - 1 do
+          let p = Pid.of_index i in
+          M.propose ctx.m ~now:Sim_time.zero p ctx.cfg.votes.(i);
+          drain_self ctx ~now:Sim_time.zero
+        done;
+        ctx.proposed <- true;
+        ctx.someone_no <-
+          List.exists
+            (fun (_, v) -> Vote.equal v Vote.no)
+            (Trace.proposals (M.trace ctx.m));
+        bump_clock ctx Sim_time.zero 1
+    | S_crash p ->
+        M.crash ctx.m ~now:ctx.clock_t p;
+        ctx.crashes_left <- ctx.crashes_left - 1
+    | S_deliver { msg; at; klass; late = _ } ->
+        ctx.pending_msgs <-
+          List.filter (fun mg -> mg.uid <> msg.uid) ctx.pending_msgs;
+        overtake ctx (at, klass);
+        M.deliver ctx.m ~now:at ~sent_at:msg.sent_mc ~src:msg.src
+          ~dst:msg.dst msg.payload;
+        drain_self ctx ~now:at;
+        bump_clock ctx at klass
+    | S_timeout t ->
+        ctx.pending_timers <-
+          List.filter (fun t' -> t'.t_seq <> t.t_seq) ctx.pending_timers;
+        overtake ctx (t.t_at, 3);
+        ignore
+          (M.timeout ctx.m ~now:t.t_at ~pid:t.t_pid ~layer:t.t_layer
+             ~id:t.t_id ~epoch:t.t_epoch);
+        drain_self ctx ~now:t.t_at;
+        bump_clock ctx t.t_at 3);
+    merge_boxes ctx;
+    check_safety ctx tsnap
+
+  (* ---- enabled transitions ---------------------------------------- *)
+
+  let alive_pids ctx =
+    List.filter
+      (fun p -> not (M.is_crashed ctx.m p))
+      (Pid.all ~n:ctx.cfg.n)
+
+  (* Candidates in canonical exploration order: crash injections first,
+     then timeouts, then deliveries — adversarial choices lead so that a
+     depth-first search reaches failure schedules before it has exhausted
+     the benign ones. *)
+  let enumerate ctx =
+    if not ctx.proposed then
+      (if ctx.cfg.klass.allow_crashes && ctx.crashes_left > 0 then
+         List.map (fun p -> S_crash p) (alive_pids ctx)
+       else [])
+      @ [ S_proposals ]
+    else begin
+      let h = ctx.cfg.budgets.Mc_limits.horizon in
+      let max_late = max_late_of ctx.cfg in
+      let clock = (ctx.clock_t, ctx.clock_k) in
+      let is_overtaken mg = List.mem mg.uid ctx.overtaken in
+      let soft mg = max_late > 0 && is_commit_wire mg in
+      (* an executable step must not strand a hard deadline (a timer below
+         the horizon, or a message that may not miss its slot), and the
+         soft slots it passes must fit in the remaining lateness budget *)
+      let hard_deadlines =
+        List.filter_map
+          (fun t -> if t.t_at <= h then Some (t.t_at, 3) else None)
+          ctx.pending_timers
+        @ List.filter_map
+            (fun mg -> if soft mg then None else Some (mg.nominal, 2))
+            ctx.pending_msgs
+      in
+      let ok pair =
+        List.for_all (fun d -> pair_geq d pair) hard_deadlines
+        && ctx.late_count
+           + List.length
+               (List.filter
+                  (fun mg ->
+                    soft mg
+                    && (not (is_overtaken mg))
+                    && not (pair_geq (mg.nominal, 2) pair))
+                  ctx.pending_msgs)
+           <= max_late
+      in
+      let timer_at_clock =
+        List.exists (fun t -> t.t_at = ctx.clock_t) ctx.pending_timers
+      in
+      let timeouts =
+        ctx.pending_timers
+        |> List.filter (fun t ->
+               t.t_at <= h && pair_geq (t.t_at, 3) clock && ok (t.t_at, 3))
+        |> List.sort (fun a b ->
+               compare
+                 (a.t_at, Pid.index a.t_pid, a.t_layer, a.t_id)
+                 (b.t_at, Pid.index b.t_pid, b.t_layer, b.t_id))
+        |> List.map (fun t -> S_timeout t)
+      in
+      let deliveries =
+        ctx.pending_msgs
+        |> List.filter_map (fun mg ->
+               if is_overtaken mg then
+                 (* slot already missed (budget paid): deliverable at the
+                    current point of the schedule *)
+                 if ctx.clock_k <= 2 then
+                   if ok (ctx.clock_t, 2) then
+                     Some
+                       (S_deliver
+                          { msg = mg; at = ctx.clock_t; klass = 2; late = true })
+                   else None
+                 else if timer_at_clock then None
+                   (* a delivery between two timer fires of one instant is
+                      not realizable by any delay assignment *)
+                 else if ok (ctx.clock_t, 3) then
+                   Some
+                     (S_deliver
+                        { msg = mg; at = ctx.clock_t; klass = 3; late = true })
+                 else None
+               else if pair_geq (mg.nominal, 2) clock && ok (mg.nominal, 2)
+               then
+                 Some
+                   (S_deliver
+                      { msg = mg; at = mg.nominal; klass = 2; late = false })
+               else None)
+        |> List.sort (fun a b ->
+               match (a, b) with
+               | S_deliver a, S_deliver b ->
+                   compare (a.at, a.klass, a.msg.uid) (b.at, b.klass, b.msg.uid)
+               | _ -> 0)
+      in
+      let has_work = timeouts <> [] || deliveries <> [] in
+      let crashes =
+        if
+          ctx.cfg.klass.allow_crashes
+          && ctx.crashes_left > 0
+          && has_work
+          && ((not (ctx.clock_k >= 3)) || not timer_at_clock)
+          (* same unrealizability as above: a crash cannot be separated
+             from timer fires of an instant once one of them has run *)
+        then List.map (fun p -> S_crash p) (alive_pids ctx)
+        else []
+      in
+      crashes @ timeouts @ deliveries
+    end
+
+  (* Leaves: nothing enabled. Either a true terminal (no pending event at
+     all: check the terminal-only properties) or a horizon cut. *)
+  let terminal_violation ctx =
+    let decs = M.decisions ctx.m in
+    let undecided =
+      List.filter
+        (fun p ->
+          (not (M.is_crashed ctx.m p)) && decs.(Pid.index p) = None)
+        (Pid.all ~n:ctx.cfg.n)
+    in
+    if undecided <> [] then
+      Some
+        ( Mc_replay.Termination,
+          Format.asprintf
+            "termination: correct process(es) %s never decide and no \
+             event is pending (the run blocks)"
+            (String.concat "," (List.map Pid.to_string undecided)) )
+    else begin
+      let crashed =
+        List.exists (fun c -> c <> None) (Array.to_list (M.crashed_at ctx.m))
+      in
+      let failure = crashed || late_used ctx in
+      let aborted =
+        Array.exists
+          (function Some (_, d) -> Vote.decision_equal d Vote.Abort | None -> false)
+          decs
+      in
+      if aborted && (not ctx.someone_no) && not failure then
+        Some
+          ( Mc_replay.Validity,
+            "abort-validity: abort decided in a failure-free execution \
+             where every process voted 1" )
+      else None
+    end
+
+  (* ---- state fingerprints ------------------------------------------ *)
+
+  let fingerprint ctx =
+    let n = ctx.cfg.n in
+    let procs =
+      List.init n (fun i ->
+          let p = Pid.of_index i in
+          ( Marshal.to_string (M.pstate ctx.m p) [],
+            Marshal.to_string (M.cstate ctx.m p) [],
+            M.is_crashed ctx.m p,
+            Option.map snd (M.decisions ctx.m).(i),
+            M.cons_handed ctx.m p ))
+    in
+    let msgs =
+      List.sort compare
+        (List.map
+           (fun mg ->
+             ( mg.nominal,
+               Pid.index mg.src,
+               Pid.index mg.dst,
+               List.mem mg.uid ctx.overtaken,
+               Marshal.to_string mg.payload [] ))
+           ctx.pending_msgs)
+    in
+    let timers =
+      List.sort compare
+        (List.map
+           (fun t -> (t.t_at, Pid.index t.t_pid, t.t_layer, t.t_id))
+           ctx.pending_timers)
+    in
+    Digest.string
+      (Marshal.to_string
+         ( ctx.clock_t,
+           ctx.clock_k,
+           ctx.proposed,
+           ctx.late_count,
+           ctx.someone_no,
+           ctx.crashes_left,
+           procs,
+           msgs,
+           timers )
+         [])
+
+  (* ---- search ------------------------------------------------------ *)
+
+  exception Found of Mc_replay.property * string * step list
+  exception Out_of_states
+
+  let dfs_dpor ctx (counters : Mc_limits.counters) visited =
+    let budgets = ctx.cfg.budgets in
+    let rec go ~sleep ~depth path_rev =
+      let fp = fingerprint ctx in
+      let prior = Hashtbl.find_opt visited fp in
+      match prior with
+      | Some stored when k_subset stored sleep ->
+          counters.dedup_hits <- counters.dedup_hits + 1;
+          counters.schedules <- counters.schedules + 1
+      | _ -> (
+          match enumerate ctx with
+          | [] ->
+              counters.schedules <- counters.schedules + 1;
+              if ctx.pending_timers <> [] || ctx.pending_msgs <> [] then
+                counters.horizon_cuts <- counters.horizon_cuts + 1
+              else begin
+                counters.terminals <- counters.terminals + 1;
+                match terminal_violation ctx with
+                | Some (prop, detail) ->
+                    raise (Found (prop, detail, List.rev path_rev))
+                | None -> ()
+              end
+          | cands ->
+              if depth >= budgets.Mc_limits.max_depth then begin
+                counters.depth_cuts <- counters.depth_cuts + 1;
+                counters.schedules <- counters.schedules + 1
+              end
+              else begin
+                (match prior with
+                | None ->
+                    if Hashtbl.length visited >= budgets.Mc_limits.max_states
+                    then raise Out_of_states;
+                    counters.states <- counters.states + 1;
+                    Hashtbl.replace visited fp sleep
+                | Some stored ->
+                    Hashtbl.replace visited fp (k_inter stored sleep));
+                let snap = save ctx in
+                let sleep_now = ref sleep in
+                List.iter
+                  (fun cand ->
+                    let k = key_of cand in
+                    if k_mem k !sleep_now then
+                      counters.sleep_skips <- counters.sleep_skips + 1
+                    else begin
+                      restore ctx snap;
+                      counters.transitions <- counters.transitions + 1;
+                      (match exec_step ctx cand with
+                      | Some (prop, detail) ->
+                          raise
+                            (Found (prop, detail, List.rev (cand :: path_rev)))
+                      | None -> ());
+                      let child_sleep =
+                        List.filter (fun k' -> independent k k') !sleep_now
+                      in
+                      go ~sleep:child_sleep ~depth:(depth + 1)
+                        (cand :: path_rev);
+                      sleep_now := k :: !sleep_now
+                    end)
+                  cands
+              end)
+    in
+    go ~sleep:[] ~depth:0 []
+
+  (* The naive schedule count: number of maximal paths an enumerator with
+     neither sleep sets nor deduplication would walk, computed exactly by
+     memoized path-counting over the deduplicated state graph (identical
+     states have identical subtree path counts). *)
+  let dfs_count ctx (counters : Mc_limits.counters) visited =
+    let budgets = ctx.cfg.budgets in
+    let rec go () =
+      let fp = fingerprint ctx in
+      match Hashtbl.find_opt visited fp with
+      | Some x ->
+          counters.dedup_hits <- counters.dedup_hits + 1;
+          x
+      | None -> (
+          match enumerate ctx with
+          | [] -> 1.0
+          | cands ->
+              if Hashtbl.length visited >= budgets.Mc_limits.max_states then
+                raise Out_of_states;
+              counters.states <- counters.states + 1;
+              let snap = save ctx in
+              let total =
+                List.fold_left
+                  (fun acc cand ->
+                    restore ctx snap;
+                    counters.transitions <- counters.transitions + 1;
+                    match exec_step ctx cand with
+                    | Some _ -> acc +. 1.0
+                    | None -> acc +. go ())
+                  0.0 cands
+              in
+              Hashtbl.replace visited fp total;
+              total)
+    in
+    go ()
+
+  (* ---- frontier ---------------------------------------------------- *)
+
+  (* A fixed, jobs-independent work split: expand breadth-first until the
+     level is wide enough, then let [Batch] spread the items over domains.
+     Items are schedule prefixes; each worker replays its prefix on a
+     fresh context, so nothing mutable crosses domain boundaries. Every
+     item is explored with its own visited table, which keeps all counters
+     bit-identical whatever [--jobs] is. *)
+  let frontier_target = 24
+
+  let replay_prefix ctx prefix =
+    List.fold_left
+      (fun viol step ->
+        match viol with
+        | Some _ -> viol
+        | None -> exec_step ctx step)
+      None prefix
+
+  let frontier cfg =
+    let expand prefix =
+      let ctx = create_ctx cfg in
+      match replay_prefix ctx prefix with
+      | Some _ -> [ prefix ]
+      | None -> (
+          match enumerate ctx with
+          | [] -> [ prefix ]
+          | cands -> List.map (fun c -> prefix @ [ c ]) cands)
+    in
+    let rec grow level depth =
+      if depth >= 3 || List.length level >= frontier_target then level
+      else
+        let next = List.concat_map expand level in
+        if List.length next = List.length level then next
+        else grow next (depth + 1)
+    in
+    grow [ [] ] 0
+
+  (* ---- shrinking and concretization -------------------------------- *)
+
+  (* Transition identity for shrink-replay: dropping events shifts the
+     point (and hence the key) at which a surviving event executes, so
+     candidates are matched on what the event IS — the message, the timer,
+     the crashed process — not on where it lands. *)
+  let same_ident k1 k2 =
+    match (k1, k2) with
+    | K_prop, K_prop -> true
+    | K_crash p, K_crash q -> p = q
+    | K_del (u1, _, _, _), K_del (u2, _, _, _) -> u1 = u2
+    | K_to (p1, l1, i1, _), K_to (p2, l2, i2, _) ->
+        p1 = p2 && l1 = l2 && i1 = i2
+    | _ -> false
+
+  let find_cand ctx key =
+    List.find_opt (fun c -> same_ident (key_of c) key) (enumerate ctx)
+
+  (* Replay a candidate schedule by transition identity, skipping steps
+     that dropped out of existence, and record what actually ran. *)
+  let run_keys ctx trail keys =
+    List.fold_left
+      (fun viol key ->
+        match viol with
+        | Some _ -> viol
+        | None -> (
+            match find_cand ctx key with
+            | None -> None
+            | Some cand ->
+                trail := cand :: !trail;
+                exec_step ctx cand))
+      None keys
+
+  (* Deterministic completion in engine order (used for termination
+     violations: blocking is a property of the completed run). *)
+  let complete ctx trail =
+    let rank = function
+      | S_proposals -> (Sim_time.zero, 1, 0)
+      | S_crash _ -> (Sim_time.zero, -1, 0)
+      | S_deliver { msg; at; klass; _ } -> (at, klass, msg.seq)
+      | S_timeout t -> (t.t_at, 3, t.t_seq)
+    in
+    let rec go viol =
+      match viol with
+      | Some _ -> viol
+      | None -> (
+          match
+            enumerate ctx
+            |> List.filter (function S_crash _ -> false | _ -> true)
+            |> List.sort (fun a b -> compare (rank a) (rank b))
+          with
+          | [] -> None
+          | cand :: _ ->
+              trail := cand :: !trail;
+              go (exec_step ctx cand))
+    in
+    go None
+
+  let violation_holds cfg property keys ~completion =
+    let ctx = create_ctx cfg in
+    let trail = ref [] in
+    let viol = run_keys ctx trail keys in
+    let viol =
+      match (viol, completion) with
+      | None, true -> (
+          match complete ctx trail with
+          | Some v -> Some v
+          | None ->
+              if
+                enumerate ctx = []
+                && ctx.pending_timers = []
+                && ctx.pending_msgs = []
+              then terminal_violation ctx
+              else None)
+      | v, _ -> v
+    in
+    (* a candidate that blows the class's lateness budget (e.g. a dropped
+       delivery stranding a synchronous message) left the execution class:
+       the shrunk witness must stay a legal schedule of the exploration *)
+    match viol with
+    | Some (p, _) when p = property && ctx.late_count <= max_late_of cfg ->
+        Some (List.rev !trail)
+    | _ -> None
+
+  (* Greedy event-drop: try to remove each crash and delivery, keeping the
+     drop whenever the violation still reproduces. *)
+  let shrink cfg property steps =
+    let completion = property = Mc_replay.Termination in
+    let droppable = function
+      | S_crash _ | S_deliver _ -> true
+      | S_proposals | S_timeout _ -> false
+    in
+    let rec pass best i =
+      if i < 0 then best
+      else if not (droppable (List.nth best i)) then pass best (i - 1)
+      else begin
+        let cand = List.filteri (fun j _ -> j <> i) best in
+        match
+          violation_holds cfg property (List.map key_of cand) ~completion
+        with
+        | Some trail -> pass trail (min (i - 1) (List.length trail - 1))
+        | None -> pass best (i - 1)
+      end
+    in
+    let best = pass steps (List.length steps - 1) in
+    match
+      violation_holds cfg property (List.map key_of best) ~completion
+    with
+    | Some trail -> trail
+    | None -> best (* should not happen; keep the unshrunk schedule *)
+
+  let describe_step = function
+    | S_proposals -> "t=0: every process proposes its vote"
+    | S_crash p -> Format.asprintf "%a crashes" Pid.pp p
+    | S_deliver { msg; at; late; _ } ->
+        Format.asprintf "t=%d: deliver %s %a->%a%s" at
+          (M.tag_of_wire msg.payload) Pid.pp msg.src Pid.pp msg.dst
+          (if late then " (late)" else "")
+    | S_timeout t ->
+        Format.asprintf "t=%d: %a %s timer '%s' fires" t.t_at Pid.pp t.t_pid
+          (match t.t_layer with
+          | Trace.Commit_layer -> "commit"
+          | Trace.Consensus_layer -> "consensus")
+          t.t_id
+
+  (* Turn the shrunk schedule into engine terms: a strictly increasing
+     tick per step (timer fires pinned at their re-anchored instants), a
+     per-message delay assignment, and [Before]-crash instants. *)
+  let concretize cfg property detail steps =
+    let ctx = create_ctx cfg in
+    (* -1 until the proposals step: a crash scheduled before it must map
+       to [Before 0] (the engine pops crashes ahead of the t=0 proposals),
+       not to tick 1, where the victim would get its sends out first *)
+    let prev = ref (-1) in
+    let faithful = ref true in
+    let delays = ref [] in
+    let crashes = ref [] in
+    let send_tick = Hashtbl.create 64 in
+    let set_tick = Hashtbl.create 64 in
+    let seen_msgs = Hashtbl.create 64 in
+    let seen_timers = Hashtbl.create 64 in
+    let note_new tick =
+      List.iter
+        (fun mg ->
+          if not (Hashtbl.mem seen_msgs mg.uid) then begin
+            Hashtbl.replace seen_msgs mg.uid ();
+            Hashtbl.replace send_tick mg.uid tick
+          end)
+        ctx.pending_msgs;
+      List.iter
+        (fun t ->
+          if not (Hashtbl.mem seen_timers t.t_seq) then begin
+            Hashtbl.replace seen_timers t.t_seq ();
+            Hashtbl.replace set_tick t.t_seq tick
+          end)
+        ctx.pending_timers
+    in
+    let fire_tick t =
+      match t.t_fire with
+      | Proto.At_delay k -> k * cfg.u
+      | Proto.After d ->
+          let base =
+            Option.value (Hashtbl.find_opt set_tick t.t_seq) ~default:t.t_set_mc
+          in
+          Sim_time.( + ) base d
+    in
+    let exec step =
+      (match step with
+      | S_proposals ->
+          ignore (exec_step ctx step);
+          prev := 0;
+          note_new 0
+      | S_crash p ->
+          ignore (exec_step ctx step);
+          crashes := (p, !prev + 1) :: !crashes
+      | S_deliver { msg; _ } ->
+          let tick = !prev + 1 in
+          ignore (exec_step ctx step);
+          prev := tick;
+          let sent =
+            Option.value (Hashtbl.find_opt send_tick msg.uid) ~default:0
+          in
+          delays := (msg.uid, tick - sent) :: !delays;
+          note_new tick
+      | S_timeout t ->
+          let ft = fire_tick t in
+          (* equal is fine: the engine pops same-instant timers in one
+             batch, and same-instant fires at distinct processes are
+             independent (one representative order explored) *)
+          if ft < !prev then faithful := false;
+          ignore (exec_step ctx step);
+          prev := max !prev ft;
+          note_new !prev)
+    in
+    List.iter exec steps;
+    (* leftover in-flight messages arrive after the schedule has played
+       out, so the engine run quiesces instead of truncating at max_time *)
+    let rec flush () =
+      match ctx.pending_msgs with
+      | [] -> ()
+      | mg :: _ ->
+          let tick = !prev + 1 in
+          prev := tick;
+          let sent =
+            Option.value (Hashtbl.find_opt send_tick mg.uid) ~default:0
+          in
+          delays := (mg.uid, tick - sent) :: !delays;
+          ignore
+            (exec_step ctx
+               (S_deliver { msg = mg; at = tick; klass = 2; late = true }));
+          note_new tick;
+          flush ()
+    in
+    flush ();
+    if not ctx.cfg.klass.allow_late then
+      if List.exists (fun (_, d) -> d > cfg.u) !delays then faithful := false;
+    {
+      Mc_replay.property;
+      detail;
+      witness =
+        {
+          Mc_replay.protocol = P.name;
+          n = cfg.n;
+          f = cfg.f;
+          u = cfg.u;
+          votes = Array.copy cfg.votes;
+          crashes = List.rev !crashes;
+          delays = List.rev !delays;
+          max_time = !prev + (20 * cfg.u);
+          schedule = List.map describe_step steps;
+          faithful = !faithful;
+        };
+    }
+
+  (* ---- the public entry points ------------------------------------- *)
+
+  type params = {
+    n : int;
+    f : int;
+    u : Sim_time.t;
+    vote_sets : Vote.t array list;
+    klass : exec_class;
+    budgets : Mc_limits.budgets;
+    jobs : int option;
+    naive : bool;  (** also compute the naive schedule count (2nd pass) *)
+  }
+
+  type result = {
+    counters : Mc_limits.counters;
+    naive : float option;
+    naive_partial : bool;
+    violation : Mc_replay.violation option;
+  }
+
+  type item_result = {
+    ir_counters : Mc_limits.counters;
+    ir_violation : (Mc_replay.property * string * step list) option;
+    ir_naive : float;
+    ir_naive_partial : bool;
+  }
+
+  let explore_item (cfg, prefix) =
+    let counters = Mc_limits.fresh_counters () in
+    let violation = ref None in
+    (try
+       let ctx = create_ctx cfg in
+       match replay_prefix ctx prefix with
+       | Some (prop, detail) ->
+           counters.Mc_limits.schedules <- 1;
+           violation := Some (prop, detail, prefix)
+       | None -> dfs_dpor ctx counters (Hashtbl.create 4096)
+     with
+    | Found (prop, detail, sub) ->
+        violation := Some (prop, detail, prefix @ sub)
+    | Out_of_states -> counters.Mc_limits.budget_hit <- true);
+    { ir_counters = counters; ir_violation = !violation; ir_naive = 0.0;
+      ir_naive_partial = false }
+
+  let count_item (cfg, prefix) =
+    try
+      let ctx = create_ctx cfg in
+      match replay_prefix ctx prefix with
+      | Some _ -> (1.0, false)
+      | None ->
+          ( dfs_count ctx (Mc_limits.fresh_counters ()) (Hashtbl.create 4096),
+            false )
+    with Out_of_states -> (0.0, true)
+
+  let run (p : params) =
+    let items =
+      List.concat_map
+        (fun votes ->
+          let cfg =
+            {
+              n = p.n;
+              f = p.f;
+              u = p.u;
+              votes;
+              klass = p.klass;
+              budgets = p.budgets;
+            }
+          in
+          List.map (fun prefix -> (cfg, prefix)) (frontier cfg))
+        p.vote_sets
+    in
+    let results = Batch.run ?jobs:p.jobs explore_item items in
+    let counters = Mc_limits.fresh_counters () in
+    List.iter (fun r -> Mc_limits.add_counters counters r.ir_counters) results;
+    let violation =
+      List.find_map
+        (fun ((cfg, _), r) ->
+          Option.map
+            (fun (prop, detail, steps) ->
+              let shrunk = shrink cfg prop steps in
+              concretize cfg prop detail shrunk)
+            r.ir_violation)
+        (List.combine items results)
+    in
+    (* the naive count only rates the pruning of a completed exploration;
+       a witness search that stops at a violation skips the second pass *)
+    let naive, naive_partial =
+      if p.naive && violation = None then begin
+        let counts = Batch.run ?jobs:p.jobs count_item items in
+        ( Some (List.fold_left (fun acc (c, _) -> acc +. c) 0.0 counts),
+          List.exists snd counts )
+      end
+      else (None, false)
+    in
+    { counters; naive; naive_partial; violation }
+
+  (* ---- the canonical synchronous schedule --------------------------- *)
+
+  type canonical = {
+    can_decisions : (Pid.t * Vote.decision) list;
+    can_commit_msgs : int;
+    can_cons_msgs : int;
+  }
+
+  (* One deterministic schedule: always execute the engine-first enabled
+     event ((time, class, creation seq) order, like the event queue). On a
+     nice configuration this must coincide with [Engine.run] on
+     [Scenario.nice] — the cross-validation tests pin that. *)
+  let canonical_run ~n ~f ~u () =
+    let cfg =
+      {
+        n;
+        f;
+        u;
+        votes = Array.make n Vote.yes;
+        klass = { allow_crashes = false; allow_late = false };
+        budgets = Mc_limits.default_budgets ~u;
+      }
+    in
+    let ctx = create_ctx cfg in
+    let trail = ref [] in
+    ignore (exec_step ctx S_proposals);
+    ignore (complete ctx trail);
+    let decs = M.decisions ctx.m in
+    {
+      can_decisions =
+        List.filter_map
+          (fun i ->
+            Option.map (fun (_, d) -> (Pid.of_index i, d)) decs.(i))
+          (List.init n Fun.id);
+      can_commit_msgs =
+        List.length
+          (Trace.network_sends ~layer:Trace.Commit_layer (M.trace ctx.m));
+      can_cons_msgs =
+        List.length
+          (Trace.network_sends ~layer:Trace.Consensus_layer (M.trace ctx.m));
+    }
+end

@@ -1,0 +1,62 @@
+type budgets = {
+  max_depth : int;
+  max_states : int;
+  horizon : Sim_time.t;
+  max_late : int;
+}
+
+let default_budgets ~u =
+  { max_depth = 10_000; max_states = 400_000; horizon = 12 * u; max_late = 4 }
+
+type counters = {
+  mutable states : int;
+  mutable transitions : int;
+  mutable schedules : int;
+  mutable terminals : int;
+  mutable dedup_hits : int;
+  mutable sleep_skips : int;
+  mutable horizon_cuts : int;
+  mutable depth_cuts : int;
+  mutable budget_hit : bool;
+}
+
+let fresh_counters () =
+  {
+    states = 0;
+    transitions = 0;
+    schedules = 0;
+    terminals = 0;
+    dedup_hits = 0;
+    sleep_skips = 0;
+    horizon_cuts = 0;
+    depth_cuts = 0;
+    budget_hit = false;
+  }
+
+(* Counters from independent frontier subtrees add up: schedules partition
+   exactly by prefix; states/transitions are per-subtree sums (a state
+   reached from two frontier items is counted in both, since each item
+   explores with its own visited table for determinism across [--jobs]). *)
+let add_counters acc c =
+  acc.states <- acc.states + c.states;
+  acc.transitions <- acc.transitions + c.transitions;
+  acc.schedules <- acc.schedules + c.schedules;
+  acc.terminals <- acc.terminals + c.terminals;
+  acc.dedup_hits <- acc.dedup_hits + c.dedup_hits;
+  acc.sleep_skips <- acc.sleep_skips + c.sleep_skips;
+  acc.horizon_cuts <- acc.horizon_cuts + c.horizon_cuts;
+  acc.depth_cuts <- acc.depth_cuts + c.depth_cuts;
+  acc.budget_hit <- acc.budget_hit || c.budget_hit
+
+let exhausted c = not (c.budget_hit || c.depth_cuts > 0)
+(* Horizon cuts do not forfeit exhaustiveness: the horizon is part of the
+   bound ("every schedule in which no timer fires after H"), whereas a
+   state/depth budget truncates schedules inside the bound. *)
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "states %d, transitions %d, schedules %d (terminals %d, horizon-cut \
+     %d), dedup hits %d, sleep skips %d%s"
+    c.states c.transitions c.schedules c.terminals c.horizon_cuts
+    c.dedup_hits c.sleep_skips
+    (if c.budget_hit then ", STATE BUDGET EXHAUSTED" else "")

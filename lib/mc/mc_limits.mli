@@ -1,0 +1,38 @@
+(** Exploration budgets and counters of the [ac_mc] model checker. *)
+
+type budgets = {
+  max_depth : int;  (** schedule steps per path before a depth cut *)
+  max_states : int;  (** distinct fingerprints stored per frontier item *)
+  horizon : Sim_time.t;
+      (** timers armed beyond this instant never fire: bounds the
+          otherwise-unbounded consensus retry cascade *)
+  max_late : int;
+      (** network-failure classes: at most this many commit-layer
+          messages may miss their synchronous slot (the paper's witness
+          adversaries procrastinate commit-layer messages only;
+          consensus-layer delays stay within [U]) *)
+}
+
+val default_budgets : u:Sim_time.t -> budgets
+
+type counters = {
+  mutable states : int;  (** distinct state fingerprints stored *)
+  mutable transitions : int;  (** events executed *)
+  mutable schedules : int;  (** maximal explored paths (leaves of the DFS) *)
+  mutable terminals : int;  (** leaves with no pending event at all *)
+  mutable dedup_hits : int;  (** paths cut at an already-visited state *)
+  mutable sleep_skips : int;  (** sibling transitions pruned by sleep sets *)
+  mutable horizon_cuts : int;
+      (** leaves whose only pending events lie beyond the horizon *)
+  mutable depth_cuts : int;
+  mutable budget_hit : bool;  (** some subtree ran out of state budget *)
+}
+
+val fresh_counters : unit -> counters
+val add_counters : counters -> counters -> unit
+
+val exhausted : counters -> bool
+(** Whether the bounded space was fully explored (no depth or state-budget
+    truncation; horizon cuts are part of the bound, not a truncation). *)
+
+val pp_counters : Format.formatter -> counters -> unit

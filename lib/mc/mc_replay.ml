@@ -1,0 +1,76 @@
+type t = {
+  protocol : string;
+  n : int;
+  f : int;
+  u : Sim_time.t;
+  votes : Vote.t array;
+  crashes : (Pid.t * Sim_time.t) list;
+  delays : ((int * int) * Sim_time.t) list;
+  max_time : Sim_time.t;
+  schedule : string list;
+  faithful : bool;
+}
+
+type property = Agreement | Validity | Termination
+
+let property_name = function
+  | Agreement -> "agreement"
+  | Validity -> "validity"
+  | Termination -> "termination"
+
+type violation = {
+  property : property;
+  detail : string;
+  witness : t;
+}
+
+(* The witness network: per-message delays keyed by (sender, k-th network
+   send of that sender), an ordering that is identical in the checker and
+   in the engine because each process's own sends are totally ordered in
+   both (the checker never permutes events of one process against
+   themselves). The closure keys messages by counting the engine's calls,
+   so it resets its counters when a fresh run starts (global seq 0) and
+   must not be shared across concurrently-running engines. *)
+let network_of t =
+  if List.for_all (fun (_, d) -> Sim_time.equal d t.u) t.delays then
+    Network.exact ~u:t.u
+  else begin
+    let counts = Array.make t.n 0 in
+    Network.adversary ~name:"mc-witness" (fun info ->
+        if info.Network.seq = 0 then Array.fill counts 0 t.n 0;
+        let src = Pid.index info.Network.src in
+        let k = counts.(src) in
+        counts.(src) <- k + 1;
+        match List.assoc_opt (src, k) t.delays with
+        | Some d -> d
+        | None -> t.u)
+  end
+
+let scenario t =
+  Scenario.make ~u:t.u ~votes:(Array.copy t.votes)
+    ~crashes:(List.map (fun (p, at) -> (p, Scenario.Before at)) t.crashes)
+    ~network:(network_of t) ~max_time:t.max_time ~n:t.n ~f:t.f ()
+
+let replay ?(consensus = Registry.Paxos) t =
+  let reg = Registry.find_exn t.protocol in
+  let report = reg.Registry.run ~consensus (scenario t) in
+  (report, Check.run report)
+
+(* Whether the engine reproduces the violated property on replay. *)
+let verify ?consensus t ~property =
+  let _, verdict = replay ?consensus t in
+  match property with
+  | Agreement -> not verdict.Check.agreement
+  | Validity -> not (Check.validity verdict)
+  | Termination -> not verdict.Check.termination
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>protocol %s, n=%d f=%d, votes [%s]%s@,schedule:@,%a@]" t.protocol
+    t.n t.f
+    (String.concat ";"
+       (Array.to_list (Array.map (Format.asprintf "%a" Vote.pp) t.votes)))
+    (if t.faithful then "" else " (replay ticks approximate)")
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+       (fun ppf s -> Format.fprintf ppf "  %s" s))
+    t.schedule

@@ -1,0 +1,43 @@
+(** Concrete, engine-replayable counterexamples.
+
+    The explorer reduces a violating schedule to this protocol-agnostic
+    record: a crash list, a per-message delay assignment and the vote
+    vector. {!scenario} turns it into an ordinary {!Scenario.t} whose
+    adversarial network realizes exactly the explored interleaving, so the
+    engine — not the checker — reproduces the violation, and the usual
+    tooling ([Trace_export], [Check], [Classify]) applies to it. *)
+
+type t = {
+  protocol : string;
+  n : int;
+  f : int;
+  u : Sim_time.t;
+  votes : Vote.t array;
+  crashes : (Pid.t * Sim_time.t) list;  (** [Scenario.Before] instants *)
+  delays : ((int * int) * Sim_time.t) list;
+      (** delay of the [k]-th network send of process index [i], keyed
+          [(i, k)]; unlisted messages default to [u] *)
+  max_time : Sim_time.t;
+  schedule : string list;  (** the shrunk schedule, human-readable *)
+  faithful : bool;
+      (** whether tick assignment satisfied every ordering constraint; a
+          rare unfaithful replay is reported, not silently accepted *)
+}
+
+type property = Agreement | Validity | Termination
+
+val property_name : property -> string
+
+type violation = { property : property; detail : string; witness : t }
+
+val scenario : t -> Scenario.t
+
+val replay :
+  ?consensus:Registry.consensus_impl -> t -> Report.t * Check.verdict
+
+val verify :
+  ?consensus:Registry.consensus_impl -> t -> property:property -> bool
+(** Replay on the engine and check that the claimed property is indeed
+    violated there. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(** Front end of the [ac_mc] model checker: registry dispatch, execution
+    classes, and engine-verified outcomes. *)
+
+type exec_class =
+  | Nice  (** synchronous, failure-free, all votes 1 *)
+  | Crash  (** up to [f] crash injections, synchronous network *)
+  | Network  (** arbitrarily late deliveries, no crashes *)
+  | All  (** both failure kinds *)
+
+val class_name : exec_class -> string
+val class_of_string : string -> exec_class option
+
+val default_vote_sets : n:int -> exec_class -> Vote.t array list
+(** All-1, plus (outside the nice class) a vector with one 0 vote. *)
+
+type outcome = {
+  protocol : string;
+  klass : exec_class;
+  n : int;
+  f : int;
+  counters : Mc_limits.counters;
+  naive : float option;
+      (** schedules a naive enumerator (no sleep sets, no dedup) walks *)
+  naive_partial : bool;
+  violation : Mc_replay.violation option;  (** shrunk and concretized *)
+  replay_verified : bool option;
+      (** [Some true] iff the engine reproduces the violation from the
+          concrete witness scenario; [None] when the space is clean *)
+}
+
+val clean : outcome -> bool
+
+val run :
+  ?consensus:Registry.consensus_impl ->
+  ?u:Sim_time.t ->
+  ?vote_sets:Vote.t array list ->
+  ?budgets:Mc_limits.budgets ->
+  ?jobs:int ->
+  ?naive:bool ->
+  protocol:string ->
+  n:int ->
+  f:int ->
+  klass:exec_class ->
+  unit ->
+  outcome
+(** Explore every schedule of the bounded configuration (one exploration
+    per vote vector, frontier-parallel over domains; counters are
+    deterministic and independent of [jobs]).
+    @raise Not_found on unknown protocol names. *)
+
+type canonical = {
+  decisions : (Pid.t * Vote.decision) list;
+  commit_msgs : int;  (** commit-layer network sends *)
+  cons_msgs : int;  (** consensus-layer network sends *)
+}
+
+val canonical :
+  ?consensus:Registry.consensus_impl ->
+  protocol:string ->
+  n:int ->
+  f:int ->
+  ?u:Sim_time.t ->
+  unit ->
+  canonical
+(** The single engine-ordered synchronous schedule, for cross-validation
+    against [Engine.run] on [Scenario.nice]. *)
+
+val verdict_string : outcome -> string
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,4 +1,4 @@
-let guard_fuel = 10_000
+let guard_fuel = Machine.guard_fuel
 
 (* Event classes: crash < propose < deliver < timeout at equal time. A
    [During_sends] crash is marked by a class-4 event so that the process
@@ -16,8 +16,12 @@ let timeout_class (scenario : Scenario.t) =
 
 let late_crash_class = 4
 
+(* The timed driver: a discrete-event queue and a network model plugged
+   into the {!Machine} interpreter through its sink. The machine owns the
+   automata-composition semantics; this module only decides when each
+   scheduled event fires. *)
 module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
-  type wire = Commit_msg of P.msg | Cons_msg of C.msg
+  module M = Machine.Make (P) (C)
 
   type ev =
     | Crash of Pid.t
@@ -25,7 +29,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     | Deliver of {
         src : Pid.t;
         dst : Pid.t;
-        payload : wire;
+        payload : M.wire;
         sent_at : Sim_time.t;
       }
     | Timeout of {
@@ -37,279 +41,6 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
                epoch lags the current one was cancelled in the meantime *)
       }
 
-  type st = {
-    scenario : Scenario.t;
-    env_of : Pid.t -> Proto.env;
-    queue : ev Event_queue.t;
-    rng : Rng.t;
-    trace : Trace.t;
-    pstates : P.state array;
-    cstates : C.state array;
-    crashed : Sim_time.t option array;
-    decisions : (Sim_time.t * Vote.decision) option array;
-    cons_decided : bool array;
-        (* consensus decision already handed to the commit layer *)
-    send_budget : (Sim_time.t * int ref) option array;
-        (* [During_sends] crash: remaining network sends at that instant *)
-    timer_epochs : (Trace.layer * string, int) Hashtbl.t array;
-        (* per process: current cancellation epoch of each named timer *)
-    mutable send_seq : int;
-    mutable last_event_time : Sim_time.t;
-  }
-
-  let layer_of_wire = function
-    | Commit_msg _ -> Trace.Commit_layer
-    | Cons_msg _ -> Trace.Consensus_layer
-
-  let tag_of_wire = function
-    | Commit_msg m -> Format.asprintf "%a" P.pp_msg m
-    | Cons_msg m -> Format.asprintf "%a" C.pp_msg m
-
-  let is_crashed st p = st.crashed.(Pid.index p) <> None
-
-  let mark_crashed st ~now pid =
-    if not (is_crashed st pid) then begin
-      st.crashed.(Pid.index pid) <- Some now;
-      Trace.add st.trace (Trace.Crash { at = now; pid })
-    end
-
-  (* Whether [src] may transmit one more network message now, honouring a
-     [During_sends] crash budget: exhausting the budget kills the process
-     on the spot ("crashes while sending"). *)
-  let may_send st ~now src =
-    match st.send_budget.(Pid.index src) with
-    | Some (at, remaining) when Sim_time.equal at now ->
-        if !remaining > 0 then begin
-          decr remaining;
-          true
-        end
-        else begin
-          mark_crashed st ~now src;
-          false
-        end
-    | Some _ | None -> not (is_crashed st src)
-
-  let transmit st ~now ~src ~dst payload =
-    let layer = layer_of_wire payload in
-    let tag = tag_of_wire payload in
-    if Pid.equal src dst then begin
-      (* a self-addressed message "arrives immediately" (footnote 10) and
-         is not a network message: no budget consumed *)
-      Trace.add st.trace
-        (Trace.Send { at = now; src; dst; layer; tag; deliver_at = now });
-      Event_queue.add st.queue ~time:now ~klass:(deliver_class st.scenario)
-        (Deliver { src; dst; payload; sent_at = now })
-    end
-    else if may_send st ~now src then begin
-      let info = { Network.src; dst; layer; sent_at = now; seq = st.send_seq } in
-      st.send_seq <- st.send_seq + 1;
-      let deliver_at =
-        Sim_time.( + ) now (Network.delay st.scenario.Scenario.network st.rng info)
-      in
-      Trace.add st.trace
-        (Trace.Send { at = now; src; dst; layer; tag; deliver_at });
-      Event_queue.add st.queue ~time:deliver_at ~klass:(deliver_class st.scenario)
-        (Deliver { src; dst; payload; sent_at = now })
-    end
-
-  let fire_time ~now ~u = function
-    | Proto.At_delay k -> k * u
-    | Proto.After d -> Sim_time.( + ) now d
-
-  let timer_epoch st pid layer id =
-    Option.value
-      (Hashtbl.find_opt st.timer_epochs.(Pid.index pid) (layer, id))
-      ~default:0
-
-  let set_timer st ~now ~pid ~layer ~id fire =
-    let at = fire_time ~now ~u:st.scenario.Scenario.u fire in
-    let at = Sim_time.max at now in
-    Event_queue.add st.queue ~time:at ~klass:(timeout_class st.scenario)
-      (Timeout { pid; layer; id; epoch = timer_epoch st pid layer id })
-
-  (* Bumping the epoch strands every outstanding fire of this timer; sets
-     made after the cancellation carry the new epoch and fire normally. *)
-  let cancel_timer st ~pid ~layer ~id =
-    Hashtbl.replace st.timer_epochs.(Pid.index pid) (layer, id)
-      (timer_epoch st pid layer id + 1)
-
-  let record_decision st ~now ~pid decision =
-    match st.decisions.(Pid.index pid) with
-    | None ->
-        st.decisions.(Pid.index pid) <- Some (now, decision);
-        Trace.add st.trace (Trace.Decide { at = now; pid; decision })
-    | Some (_, first) ->
-        (* A re-decision with the same value is not an event: tracing it
-           would duplicate the entry every decision consumer reads. A
-           conflicting one is traced so the spec checkers can flag the
-           stability breach instead of never seeing it. *)
-        if not (Vote.decision_equal first decision) then
-          Trace.add st.trace (Trace.Decide { at = now; pid; decision })
-
-  (* Interpreting actions. Commit-layer actions may invoke the consensus
-     service ([Propose_consensus]) and consensus decisions re-enter the
-     commit layer, hence the mutual recursion. [interpret_commit] runs the
-     guard loop after the actions; [commit_actions] interprets actions
-     only (used from inside the guard loop itself). *)
-  let rec commit_actions st ~now ~pid actions =
-    let env = st.env_of pid in
-    List.iter
-      (fun action ->
-        if is_crashed st pid then ()
-          (* the process died mid-action-list (send budget exhausted) *)
-        else
-        match (action : P.msg Proto.action) with
-        | Proto.Send (dst, m) -> transmit st ~now ~src:pid ~dst (Commit_msg m)
-        | Proto.Set_timer { id; fire } ->
-            set_timer st ~now ~pid ~layer:Trace.Commit_layer ~id fire
-        | Proto.Cancel_timer id ->
-            cancel_timer st ~pid ~layer:Trace.Commit_layer ~id
-        | Proto.Decide d -> record_decision st ~now ~pid d
-        | Proto.Propose_consensus v ->
-            Trace.add st.trace
-              (Trace.Note
-                 {
-                   at = now;
-                   pid;
-                   label = "consensus-propose";
-                   value = Format.asprintf "%a" Vote.pp v;
-                 });
-            let cstate, cactions = C.on_propose env st.cstates.(Pid.index pid) v in
-            st.cstates.(Pid.index pid) <- cstate;
-            interpret_cons st ~now ~pid cactions
-        | Proto.Note (label, value) ->
-            Trace.add st.trace (Trace.Note { at = now; pid; label; value }))
-      actions
-
-  and interpret_commit st ~now ~pid actions =
-    commit_actions st ~now ~pid actions;
-    run_guards st ~now ~pid
-
-  and interpret_cons st ~now ~pid actions =
-    List.iter
-      (fun action ->
-        if is_crashed st pid then ()
-        else
-        match (action : C.msg Proto.action) with
-        | Proto.Send (dst, m) -> transmit st ~now ~src:pid ~dst (Cons_msg m)
-        | Proto.Set_timer { id; fire } ->
-            set_timer st ~now ~pid ~layer:Trace.Consensus_layer ~id fire
-        | Proto.Cancel_timer id ->
-            cancel_timer st ~pid ~layer:Trace.Consensus_layer ~id
-        | Proto.Decide d ->
-            (* The consensus instance at [pid] decided; hand the value to
-               the commit layer exactly once. *)
-            if not st.cons_decided.(Pid.index pid) then begin
-              st.cons_decided.(Pid.index pid) <- true;
-              Trace.add st.trace
-                (Trace.Note
-                   {
-                     at = now;
-                     pid;
-                     label = "consensus-decide";
-                     value = Format.asprintf "%a" Vote.pp_decision d;
-                   });
-              let env = st.env_of pid in
-              let pstate, pactions =
-                P.on_consensus_decide env st.pstates.(Pid.index pid)
-                  (Vote.vote_of_decision d)
-              in
-              st.pstates.(Pid.index pid) <- pstate;
-              interpret_commit st ~now ~pid pactions
-            end
-        | Proto.Propose_consensus _ ->
-            failwith "Engine: consensus automaton proposed to consensus"
-        | Proto.Note (label, value) ->
-            Trace.add st.trace (Trace.Note { at = now; pid; label; value }))
-      actions
-
-  and run_guards st ~now ~pid =
-    if is_crashed st pid then ()
-    else begin
-    let env = st.env_of pid in
-    let rec loop fuel =
-      if fuel = 0 then
-        failwith
-          (Printf.sprintf "Engine: guard loop of %s did not quiesce at %s"
-             P.name (Pid.to_string pid));
-      let state = st.pstates.(Pid.index pid) in
-      match
-        List.find_opt (fun (_, pred) -> pred env state) P.guards
-      with
-      | None -> ()
-      | Some (id, _) ->
-          Trace.add st.trace (Trace.Guard { at = now; pid; guard = id });
-          let state, actions = P.on_guard env state ~id in
-          st.pstates.(Pid.index pid) <- state;
-          commit_actions st ~now ~pid actions;
-          loop (fuel - 1)
-    in
-    loop guard_fuel
-    end
-
-  (* Returns whether the event actually happened: a cancelled timeout is
-     suppressed as if it had been removed from the queue, in particular it
-     must not count as activity for the quiescence timestamp. *)
-  let handle_event st ~now ev =
-    match ev with
-    | Crash pid -> mark_crashed st ~now pid; true
-    | Propose pid ->
-        if not (is_crashed st pid) then begin
-          let vote = st.scenario.Scenario.votes.(Pid.index pid) in
-          Trace.add st.trace (Trace.Propose { at = now; pid; vote });
-          let env = st.env_of pid in
-          let state, actions = P.on_propose env st.pstates.(Pid.index pid) vote in
-          st.pstates.(Pid.index pid) <- state;
-          interpret_commit st ~now ~pid:pid actions
-        end;
-        true
-    | Deliver { src; dst; payload; sent_at } ->
-        let layer = layer_of_wire payload in
-        let tag = tag_of_wire payload in
-        (if is_crashed st dst then
-           Trace.add st.trace (Trace.Discard { at = now; dst; tag })
-         else begin
-           Trace.add st.trace
-             (Trace.Deliver { at = now; src; dst; layer; tag; sent_at });
-           let env = st.env_of dst in
-           match payload with
-           | Commit_msg m ->
-               let state, actions =
-                 P.on_deliver env st.pstates.(Pid.index dst) ~src m
-               in
-               st.pstates.(Pid.index dst) <- state;
-               interpret_commit st ~now ~pid:dst actions
-           | Cons_msg m ->
-               let state, actions =
-                 C.on_deliver env st.cstates.(Pid.index dst) ~src m
-               in
-               st.cstates.(Pid.index dst) <- state;
-               interpret_cons st ~now ~pid:dst actions
-         end);
-        true
-    | Timeout { pid; layer; id; epoch } ->
-        if epoch <> timer_epoch st pid layer id then false
-        else begin
-          (if not (is_crashed st pid) then begin
-             Trace.add st.trace (Trace.Timeout { at = now; pid; timer = id });
-             let env = st.env_of pid in
-             match layer with
-             | Trace.Commit_layer ->
-                 let state, actions =
-                   P.on_timeout env st.pstates.(Pid.index pid) ~id
-                 in
-                 st.pstates.(Pid.index pid) <- state;
-                 interpret_commit st ~now ~pid actions
-             | Trace.Consensus_layer ->
-                 let state, actions =
-                   C.on_timeout env st.cstates.(Pid.index pid) ~id
-                 in
-                 st.cstates.(Pid.index pid) <- state;
-                 interpret_cons st ~now ~pid actions
-           end);
-          true
-        end
-
   let run (scenario : Scenario.t) =
     let n = scenario.Scenario.n in
     let env_of pid =
@@ -320,46 +51,82 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         self = pid;
       }
     in
-    let st =
+    let queue = Event_queue.create () in
+    let rng = Rng.create scenario.Scenario.seed in
+    let send_seq = ref 0 in
+    let sink =
       {
-        scenario;
-        env_of;
-        queue = Event_queue.create ();
-        rng = Rng.create scenario.Scenario.seed;
-        trace = Trace.create ();
-        pstates = Array.init n (fun i -> P.init (env_of (Pid.of_index i)));
-        cstates = Array.init n (fun i -> C.init (env_of (Pid.of_index i)));
-        crashed = Array.make n None;
-        decisions = Array.make n None;
-        cons_decided = Array.make n false;
-        send_budget = Array.make n None;
-        timer_epochs = Array.init n (fun _ -> Hashtbl.create 8);
-        send_seq = 0;
-        last_event_time = Sim_time.zero;
+        M.send =
+          (fun ~now ~src ~dst payload ->
+            if Pid.equal src dst then begin
+              Event_queue.add queue ~time:now
+                ~klass:(deliver_class scenario)
+                (Deliver { src; dst; payload; sent_at = now });
+              now
+            end
+            else begin
+              let info =
+                {
+                  Network.src;
+                  dst;
+                  layer = M.layer_of_wire payload;
+                  sent_at = now;
+                  seq = !send_seq;
+                }
+              in
+              incr send_seq;
+              let deliver_at =
+                Sim_time.( + ) now
+                  (Network.delay scenario.Scenario.network rng info)
+              in
+              Event_queue.add queue ~time:deliver_at
+                ~klass:(deliver_class scenario)
+                (Deliver { src; dst; payload; sent_at = now });
+              deliver_at
+            end);
+        M.set_timer =
+          (fun ~now:_ ~pid ~layer ~id ~fire:_ ~at ~epoch ->
+            Event_queue.add queue ~time:at ~klass:(timeout_class scenario)
+              (Timeout { pid; layer; id; epoch }));
       }
     in
+    let m = M.create ~env_of ~n ~u:scenario.Scenario.u ~sink in
     List.iter
       (fun (pid, crash) ->
         match (crash : Scenario.crash) with
         | Scenario.Before at ->
-            Event_queue.add st.queue ~time:at ~klass:crash_class (Crash pid)
+            Event_queue.add queue ~time:at ~klass:crash_class (Crash pid)
         | Scenario.During_sends (at, k) ->
-            st.send_budget.(Pid.index pid) <- Some (at, ref k);
-            Event_queue.add st.queue ~time:at ~klass:late_crash_class
-              (Crash pid))
+            M.set_send_budget m pid ~at k;
+            Event_queue.add queue ~time:at ~klass:late_crash_class (Crash pid))
       scenario.Scenario.crashes;
     List.iter
       (fun pid ->
-        Event_queue.add st.queue ~time:Sim_time.zero ~klass:propose_class
+        Event_queue.add queue ~time:Sim_time.zero ~klass:propose_class
           (Propose pid))
       (Pid.all ~n);
+    (* Returns whether the event actually happened: a cancelled timeout is
+       suppressed as if it had been removed from the queue, in particular
+       it must not count as activity for the quiescence timestamp. *)
+    let handle_event ~now = function
+      | Crash pid -> M.crash m ~now pid; true
+      | Propose pid ->
+          M.propose m ~now pid scenario.Scenario.votes.(Pid.index pid);
+          true
+      | Deliver { src; dst; payload; sent_at } ->
+          M.deliver m ~now ~sent_at ~src ~dst payload;
+          true
+      | Timeout { pid; layer; id; epoch } ->
+          M.timeout m ~now ~pid ~layer ~id ~epoch
+    in
+    let last_event_time = ref Sim_time.zero in
     let rec loop () =
-      match Event_queue.pop st.queue with
-      | None -> Report.Quiescent st.last_event_time
+      match Event_queue.pop queue with
+      | None -> Report.Quiescent !last_event_time
       | Some (time, _klass, ev) ->
           if time > scenario.Scenario.max_time then Report.Max_time_reached
           else begin
-            if handle_event st ~now:time ev then st.last_event_time <- time;
+            if handle_event ~now:time ev then last_event_time := time;
             loop ()
           end
     in
@@ -368,9 +135,9 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       Report.scenario;
       protocol = P.name;
       consensus = (if P.uses_consensus then Some C.name else None);
-      trace = st.trace;
-      decisions = st.decisions;
-      crashed_at = st.crashed;
+      trace = M.trace m;
+      decisions = M.decisions m;
+      crashed_at = M.crashed_at m;
       outcome;
     }
 end

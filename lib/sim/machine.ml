@@ -1,0 +1,331 @@
+let guard_fuel = 10_000
+
+module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
+  type wire = Commit_msg of P.msg | Cons_msg of C.msg
+
+  let layer_of_wire = function
+    | Commit_msg _ -> Trace.Commit_layer
+    | Cons_msg _ -> Trace.Consensus_layer
+
+  let tag_of_wire = function
+    | Commit_msg m -> Format.asprintf "%a" P.pp_msg m
+    | Cons_msg m -> Format.asprintf "%a" C.pp_msg m
+
+  type sink = {
+    send : now:Sim_time.t -> src:Pid.t -> dst:Pid.t -> wire -> Sim_time.t;
+    set_timer :
+      now:Sim_time.t -> pid:Pid.t -> layer:Trace.layer -> id:string ->
+      fire:Proto.fire -> at:Sim_time.t -> epoch:int -> unit;
+  }
+
+  type t = {
+    env_of : Pid.t -> Proto.env;
+    u : Sim_time.t;
+    sink : sink;
+    trace : Trace.t;
+    pstates : P.state array;
+    cstates : C.state array;
+    crashed : Sim_time.t option array;
+    decisions : (Sim_time.t * Vote.decision) option array;
+    cons_decided : bool array;
+        (* consensus decision already handed to the commit layer *)
+    send_budget : (Sim_time.t * int ref) option array;
+        (* [During_sends] crash: remaining network sends at that instant *)
+    timer_epochs : (Trace.layer * string, int) Hashtbl.t array;
+        (* per process: current cancellation epoch of each named timer *)
+  }
+
+  let create ~env_of ~n ~u ~sink =
+    {
+      env_of;
+      u;
+      sink;
+      trace = Trace.create ();
+      pstates = Array.init n (fun i -> P.init (env_of (Pid.of_index i)));
+      cstates = Array.init n (fun i -> C.init (env_of (Pid.of_index i)));
+      crashed = Array.make n None;
+      decisions = Array.make n None;
+      cons_decided = Array.make n false;
+      send_budget = Array.make n None;
+      timer_epochs = Array.init n (fun _ -> Hashtbl.create 8);
+    }
+
+  let trace t = t.trace
+  let pstate t p = t.pstates.(Pid.index p)
+  let cstate t p = t.cstates.(Pid.index p)
+  let decisions t = t.decisions
+  let crashed_at t = t.crashed
+  let is_crashed t p = t.crashed.(Pid.index p) <> None
+  let cons_handed t p = t.cons_decided.(Pid.index p)
+
+  let timer_epoch t pid layer id =
+    Option.value
+      (Hashtbl.find_opt t.timer_epochs.(Pid.index pid) (layer, id))
+      ~default:0
+
+  let mark_crashed t ~now pid =
+    if not (is_crashed t pid) then begin
+      t.crashed.(Pid.index pid) <- Some now;
+      Trace.add t.trace (Trace.Crash { at = now; pid })
+    end
+
+  (* Whether [src] may transmit one more network message now, honouring a
+     [During_sends] crash budget: exhausting the budget kills the process
+     on the spot ("crashes while sending"). *)
+  let may_send t ~now src =
+    match t.send_budget.(Pid.index src) with
+    | Some (at, remaining) when Sim_time.equal at now ->
+        if !remaining > 0 then begin
+          decr remaining;
+          true
+        end
+        else begin
+          mark_crashed t ~now src;
+          false
+        end
+    | Some _ | None -> not (is_crashed t src)
+
+  let transmit t ~now ~src ~dst payload =
+    let layer = layer_of_wire payload in
+    let tag = tag_of_wire payload in
+    if Pid.equal src dst then begin
+      (* a self-addressed message "arrives immediately" (footnote 10) and
+         is not a network message: no budget consumed *)
+      let deliver_at = t.sink.send ~now ~src ~dst payload in
+      Trace.add t.trace
+        (Trace.Send { at = now; src; dst; layer; tag; deliver_at })
+    end
+    else if may_send t ~now src then begin
+      let deliver_at = t.sink.send ~now ~src ~dst payload in
+      Trace.add t.trace
+        (Trace.Send { at = now; src; dst; layer; tag; deliver_at })
+    end
+
+  let fire_time ~now ~u = function
+    | Proto.At_delay k -> k * u
+    | Proto.After d -> Sim_time.( + ) now d
+
+  let set_timer t ~now ~pid ~layer ~id fire =
+    let at = fire_time ~now ~u:t.u fire in
+    let at = Sim_time.max at now in
+    t.sink.set_timer ~now ~pid ~layer ~id ~fire ~at
+      ~epoch:(timer_epoch t pid layer id)
+
+  (* Bumping the epoch strands every outstanding fire of this timer; sets
+     made after the cancellation carry the new epoch and fire normally. *)
+  let cancel_timer t ~pid ~layer ~id =
+    Hashtbl.replace t.timer_epochs.(Pid.index pid) (layer, id)
+      (timer_epoch t pid layer id + 1)
+
+  let record_decision t ~now ~pid decision =
+    match t.decisions.(Pid.index pid) with
+    | None ->
+        t.decisions.(Pid.index pid) <- Some (now, decision);
+        Trace.add t.trace (Trace.Decide { at = now; pid; decision })
+    | Some (_, first) ->
+        (* A re-decision with the same value is not an event: tracing it
+           would duplicate the entry every decision consumer reads. A
+           conflicting one is traced so the spec checkers can flag the
+           stability breach instead of never seeing it. *)
+        if not (Vote.decision_equal first decision) then
+          Trace.add t.trace (Trace.Decide { at = now; pid; decision })
+
+  (* Interpreting actions. Commit-layer actions may invoke the consensus
+     service ([Propose_consensus]) and consensus decisions re-enter the
+     commit layer, hence the mutual recursion. [interpret_commit] runs the
+     guard loop after the actions; [commit_actions] interprets actions
+     only (used from inside the guard loop itself). *)
+  let rec commit_actions t ~now ~pid actions =
+    let env = t.env_of pid in
+    List.iter
+      (fun action ->
+        if is_crashed t pid then ()
+          (* the process died mid-action-list (send budget exhausted) *)
+        else
+        match (action : P.msg Proto.action) with
+        | Proto.Send (dst, m) -> transmit t ~now ~src:pid ~dst (Commit_msg m)
+        | Proto.Set_timer { id; fire } ->
+            set_timer t ~now ~pid ~layer:Trace.Commit_layer ~id fire
+        | Proto.Cancel_timer id ->
+            cancel_timer t ~pid ~layer:Trace.Commit_layer ~id
+        | Proto.Decide d -> record_decision t ~now ~pid d
+        | Proto.Propose_consensus v ->
+            Trace.add t.trace
+              (Trace.Note
+                 {
+                   at = now;
+                   pid;
+                   label = "consensus-propose";
+                   value = Format.asprintf "%a" Vote.pp v;
+                 });
+            let cstate, cactions = C.on_propose env t.cstates.(Pid.index pid) v in
+            t.cstates.(Pid.index pid) <- cstate;
+            interpret_cons t ~now ~pid cactions
+        | Proto.Note (label, value) ->
+            Trace.add t.trace (Trace.Note { at = now; pid; label; value }))
+      actions
+
+  and interpret_commit t ~now ~pid actions =
+    commit_actions t ~now ~pid actions;
+    run_guards t ~now ~pid
+
+  and interpret_cons t ~now ~pid actions =
+    List.iter
+      (fun action ->
+        if is_crashed t pid then ()
+        else
+        match (action : C.msg Proto.action) with
+        | Proto.Send (dst, m) -> transmit t ~now ~src:pid ~dst (Cons_msg m)
+        | Proto.Set_timer { id; fire } ->
+            set_timer t ~now ~pid ~layer:Trace.Consensus_layer ~id fire
+        | Proto.Cancel_timer id ->
+            cancel_timer t ~pid ~layer:Trace.Consensus_layer ~id
+        | Proto.Decide d ->
+            (* The consensus instance at [pid] decided; hand the value to
+               the commit layer exactly once. *)
+            if not t.cons_decided.(Pid.index pid) then begin
+              t.cons_decided.(Pid.index pid) <- true;
+              Trace.add t.trace
+                (Trace.Note
+                   {
+                     at = now;
+                     pid;
+                     label = "consensus-decide";
+                     value = Format.asprintf "%a" Vote.pp_decision d;
+                   });
+              let env = t.env_of pid in
+              let pstate, pactions =
+                P.on_consensus_decide env t.pstates.(Pid.index pid)
+                  (Vote.vote_of_decision d)
+              in
+              t.pstates.(Pid.index pid) <- pstate;
+              interpret_commit t ~now ~pid pactions
+            end
+        | Proto.Propose_consensus _ ->
+            failwith "Machine: consensus automaton proposed to consensus"
+        | Proto.Note (label, value) ->
+            Trace.add t.trace (Trace.Note { at = now; pid; label; value }))
+      actions
+
+  and run_guards t ~now ~pid =
+    if is_crashed t pid then ()
+    else begin
+      let env = t.env_of pid in
+      let rec loop fuel =
+        if fuel = 0 then
+          failwith
+            (Printf.sprintf "Engine: guard loop of %s did not quiesce at %s"
+               P.name (Pid.to_string pid));
+        let state = t.pstates.(Pid.index pid) in
+        match List.find_opt (fun (_, pred) -> pred env state) P.guards with
+        | None -> ()
+        | Some (id, _) ->
+            Trace.add t.trace (Trace.Guard { at = now; pid; guard = id });
+            let state, actions = P.on_guard env state ~id in
+            t.pstates.(Pid.index pid) <- state;
+            commit_actions t ~now ~pid actions;
+            loop (fuel - 1)
+      in
+      loop guard_fuel
+    end
+
+  (* ---- steps ----------------------------------------------------- *)
+
+  let set_send_budget t pid ~at k =
+    t.send_budget.(Pid.index pid) <- Some (at, ref k)
+
+  let crash t ~now pid = mark_crashed t ~now pid
+
+  let propose t ~now pid vote =
+    if not (is_crashed t pid) then begin
+      Trace.add t.trace (Trace.Propose { at = now; pid; vote });
+      let env = t.env_of pid in
+      let state, actions = P.on_propose env t.pstates.(Pid.index pid) vote in
+      t.pstates.(Pid.index pid) <- state;
+      interpret_commit t ~now ~pid actions
+    end
+
+  let deliver t ~now ~sent_at ~src ~dst payload =
+    let layer = layer_of_wire payload in
+    let tag = tag_of_wire payload in
+    if is_crashed t dst then
+      Trace.add t.trace (Trace.Discard { at = now; dst; tag })
+    else begin
+      Trace.add t.trace
+        (Trace.Deliver { at = now; src; dst; layer; tag; sent_at });
+      let env = t.env_of dst in
+      match payload with
+      | Commit_msg m ->
+          let state, actions = P.on_deliver env t.pstates.(Pid.index dst) ~src m in
+          t.pstates.(Pid.index dst) <- state;
+          interpret_commit t ~now ~pid:dst actions
+      | Cons_msg m ->
+          let state, actions = C.on_deliver env t.cstates.(Pid.index dst) ~src m in
+          t.cstates.(Pid.index dst) <- state;
+          interpret_cons t ~now ~pid:dst actions
+    end
+
+  let timeout t ~now ~pid ~layer ~id ~epoch =
+    if epoch <> timer_epoch t pid layer id then false
+    else begin
+      (if not (is_crashed t pid) then begin
+         Trace.add t.trace (Trace.Timeout { at = now; pid; timer = id });
+         let env = t.env_of pid in
+         match layer with
+         | Trace.Commit_layer ->
+             let state, actions = P.on_timeout env t.pstates.(Pid.index pid) ~id in
+             t.pstates.(Pid.index pid) <- state;
+             interpret_commit t ~now ~pid actions
+         | Trace.Consensus_layer ->
+             let state, actions = C.on_timeout env t.cstates.(Pid.index pid) ~id in
+             t.cstates.(Pid.index pid) <- state;
+             interpret_cons t ~now ~pid actions
+       end);
+      true
+    end
+
+  (* ---- snapshots -------------------------------------------------- *)
+
+  type snapshot = {
+    s_trace : Trace.snapshot;
+    s_pstates : P.state array;
+    s_cstates : C.state array;
+    s_crashed : Sim_time.t option array;
+    s_decisions : (Sim_time.t * Vote.decision) option array;
+    s_cons_decided : bool array;
+    s_send_budget : (Sim_time.t * int) option array;
+    s_timer_epochs : (Trace.layer * string, int) Hashtbl.t array;
+  }
+
+  let snapshot t =
+    {
+      s_trace = Trace.snapshot t.trace;
+      s_pstates = Array.copy t.pstates;
+      s_cstates = Array.copy t.cstates;
+      s_crashed = Array.copy t.crashed;
+      s_decisions = Array.copy t.decisions;
+      s_cons_decided = Array.copy t.cons_decided;
+      s_send_budget =
+        Array.map
+          (Option.map (fun (at, remaining) -> (at, !remaining)))
+          t.send_budget;
+      s_timer_epochs = Array.map Hashtbl.copy t.timer_epochs;
+    }
+
+  let restore t s =
+    Trace.restore t.trace s.s_trace;
+    Array.blit s.s_pstates 0 t.pstates 0 (Array.length t.pstates);
+    Array.blit s.s_cstates 0 t.cstates 0 (Array.length t.cstates);
+    Array.blit s.s_crashed 0 t.crashed 0 (Array.length t.crashed);
+    Array.blit s.s_decisions 0 t.decisions 0 (Array.length t.decisions);
+    Array.blit s.s_cons_decided 0 t.cons_decided 0
+      (Array.length t.cons_decided);
+    Array.iteri
+      (fun i b ->
+        t.send_budget.(i) <-
+          Option.map (fun (at, remaining) -> (at, ref remaining)) b)
+      s.s_send_budget;
+    Array.iteri
+      (fun i h -> t.timer_epochs.(i) <- Hashtbl.copy h)
+      s.s_timer_epochs
+end

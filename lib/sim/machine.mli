@@ -1,0 +1,100 @@
+(** The pluggable automata-composition core.
+
+    [Make (P) (C)] interprets the pure protocol automaton [P], co-hosted
+    with one consensus instance of [C] per process, exactly as the paper's
+    engine does — action interpretation, the guard loop, the
+    commit/consensus mutual recursion, decision recording, crash marking,
+    send budgets and timer-cancellation epochs — but leaves {e scheduling}
+    to the caller through a {!sink}: every message transmission and timer
+    arming is reported to the sink, and the caller decides when (and
+    whether, and in which order) the resulting delivery and timeout events
+    re-enter through {!propose} / {!deliver} / {!timeout} / {!crash}.
+
+    Two drivers share this core: {!Engine} plugs a timed event queue and a
+    network model into the sink (the simulation), and [ac_mc] plugs a
+    pending-event frontier into it (the model checker), so both execute
+    bit-identical protocol semantics. *)
+
+val guard_fuel : int
+(** Guard-loop re-evaluation bound before the run is declared divergent. *)
+
+module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) : sig
+  type wire = Commit_msg of P.msg | Cons_msg of C.msg
+
+  val layer_of_wire : wire -> Trace.layer
+  val tag_of_wire : wire -> string
+
+  type sink = {
+    send :
+      now:Sim_time.t -> src:Pid.t -> dst:Pid.t -> wire -> Sim_time.t;
+        (** Schedule a delivery (self-addressed sends included: the engine
+            delivers those at [now], footnote 10). Returns the delivery
+            instant for the trace. Only called for transmissions that
+            actually happen: sends of crashed processes and sends beyond a
+            [During_sends] budget are suppressed before the sink. *)
+    set_timer :
+      now:Sim_time.t -> pid:Pid.t -> layer:Trace.layer -> id:string ->
+      fire:Proto.fire -> at:Sim_time.t -> epoch:int -> unit;
+        (** Schedule a timeout at absolute instant [at] (the protocol's
+            [fire] spec resolved against [now] and clamped to [now]; the
+            raw spec is also passed so a replaying driver can re-anchor
+            [After] timers to shifted instants). [epoch] is the timer's
+            cancellation epoch at set time; pass it back to {!timeout},
+            which suppresses stale fires. *)
+  }
+
+  type t
+
+  val create :
+    env_of:(Pid.t -> Proto.env) -> n:int -> u:Sim_time.t -> sink:sink -> t
+
+  (* ---- inspection ------------------------------------------------ *)
+
+  val trace : t -> Trace.t
+  val pstate : t -> Pid.t -> P.state
+  val cstate : t -> Pid.t -> C.state
+  val decisions : t -> (Sim_time.t * Vote.decision) option array
+  val crashed_at : t -> Sim_time.t option array
+  val is_crashed : t -> Pid.t -> bool
+  val cons_handed : t -> Pid.t -> bool
+  (** Whether the consensus decision was already handed to the commit layer
+      at this process. *)
+
+  val timer_epoch : t -> Pid.t -> Trace.layer -> string -> int
+
+  (* ---- steps ----------------------------------------------------- *)
+
+  val set_send_budget : t -> Pid.t -> at:Sim_time.t -> int -> unit
+  (** Arm a [During_sends] crash: at instant [at] the process may transmit
+      that many more network messages, then dies mid-action-list. *)
+
+  val crash : t -> now:Sim_time.t -> Pid.t -> unit
+
+  val propose : t -> now:Sim_time.t -> Pid.t -> Vote.t -> unit
+  (** No-op (beyond nothing) when the process already crashed. *)
+
+  val deliver :
+    t -> now:Sim_time.t -> sent_at:Sim_time.t -> src:Pid.t -> dst:Pid.t ->
+    wire -> unit
+  (** Runs the destination handler, or traces a [Discard] when the
+      destination has crashed. *)
+
+  val timeout :
+    t -> now:Sim_time.t -> pid:Pid.t -> layer:Trace.layer -> id:string ->
+    epoch:int -> bool
+  (** [false] when the fire was cancelled in the meantime (its epoch lags
+      the current one): the event must count as suppressed, not as
+      activity. A valid-epoch fire at a crashed process returns [true]
+      without running the handler, like the engine always did. *)
+
+  (* ---- snapshots (for the model checker) ------------------------- *)
+
+  type snapshot
+
+  val snapshot : t -> snapshot
+  val restore : t -> snapshot -> unit
+  (** [restore t s] rewinds [t] to the exact state captured by
+      [snapshot t]: process states, decisions, crashes, budgets, timer
+      epochs and the trace. Sink callbacks are not rewound — the caller
+      owns whatever the sink accumulated. *)
+end

@@ -126,7 +126,7 @@ let matrix ?(n = 5) ?(f = 2) ?(seeds = [ 1; 2; 3 ]) ?jobs () =
       })
     Registry.all
 
-let render ?n ?f ?seeds ?jobs () =
+let render_checked ?n ?f ?seeds ?jobs () =
   let rows = matrix ?n ?f ?seeds ?jobs () in
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
@@ -155,7 +155,9 @@ let render ?n ?f ?seeds ?jobs () =
         ])
     rows;
   Buffer.add_string buf (Ascii.render table);
-  Buffer.contents buf
+  (Buffer.contents buf, List.for_all (fun r -> r.ok) rows)
+
+let render ?n ?f ?seeds ?jobs () = fst (render_checked ?n ?f ?seeds ?jobs ())
 
 let all_ok ?n ?f ?seeds ?jobs () =
   List.for_all (fun r -> r.ok) (matrix ?n ?f ?seeds ?jobs ())

@@ -37,5 +37,9 @@ val matrix :
 val render :
   ?n:int -> ?f:int -> ?seeds:int list -> ?jobs:int -> unit -> string
 
+val render_checked :
+  ?n:int -> ?f:int -> ?seeds:int list -> ?jobs:int -> unit -> string * bool
+(** {!render}, plus whether every row passed (one matrix evaluation). *)
+
 val all_ok :
   ?n:int -> ?f:int -> ?seeds:int list -> ?jobs:int -> unit -> bool

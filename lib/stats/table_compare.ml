@@ -158,7 +158,8 @@ let claims ?jobs () =
     };
   ]
 
-let render_claims ?jobs () =
+let render_claims_checked ?jobs () =
+  let cs = claims ?jobs () in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "Section 6 qualitative claims, checked mechanically:\n\n";
   List.iter
@@ -166,5 +167,7 @@ let render_claims ?jobs () =
       Buffer.add_string buf
         (Printf.sprintf "  [%s] %s\n" (if c.holds then "ok" else "FAIL")
            c.description))
-    (claims ?jobs ());
-  Buffer.contents buf
+    cs;
+  (Buffer.contents buf, List.for_all (fun c -> c.holds) cs)
+
+let render_claims ?jobs () = fst (render_claims_checked ?jobs ())

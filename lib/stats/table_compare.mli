@@ -23,3 +23,6 @@ val claims : ?jobs:int -> unit -> claim list
     - (n-1+f)NBAC is the best in messages, 1NBAC the best in delays. *)
 
 val render_claims : ?jobs:int -> unit -> string
+
+val render_claims_checked : ?jobs:int -> unit -> string * bool
+(** {!render_claims}, plus whether every claim holds. *)

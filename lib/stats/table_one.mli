@@ -27,3 +27,8 @@ val verifications :
 
 val render : ?jobs:int -> pairs:(int * int) list -> unit -> string
 (** Grid plus verification summary. *)
+
+val render_checked :
+  ?jobs:int -> pairs:(int * int) list -> unit -> string * bool
+(** {!render}, plus whether every verification row achieved its bound —
+    the CLI turns a [false] into a nonzero exit status. *)

@@ -57,9 +57,11 @@ let matrix_for protocol =
    single crash and n = 5 the correct majority is comfortable. *)
 let strict_protocols =
   List.filter (fun p -> p <> "inbac-undershoot") Complexity.strict_names
-(* inbac-undershoot claims (AVT, VT) and its CF set is AVT too, but it is
-   exercised separately; keeping it here would be fine — excluded only to
-   keep this suite about the paper's own protocols. *)
+(* inbac-undershoot claims (T, T): at f = 1 its ack list is empty, so a
+   single crash already splits the decision and can hide a 0 vote (the
+   ac_mc model checker found the witness; [actable mc --protocol
+   inbac-undershoot --class crash] reproduces it) — it has no
+   crash-failure agreement or validity claim to check here. *)
 
 let tests =
   List.map

@@ -1,0 +1,142 @@
+(* Tests for ac_mc: cross-validation of the checker's canonical schedule
+   against the engine, the L1 witnesses it must rediscover, counter
+   determinism across domain counts, and the pruning ratio. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let find_decision ds p =
+  List.find_map (fun (q, d) -> if Pid.equal p q then Some d else None) ds
+
+(* ------------------------------------------------------------------ *)
+(* Canonical-schedule cross-validation: the checker's engine-ordered
+   synchronous schedule must agree with [Engine.run] on [Scenario.nice]
+   in every decision and in both per-layer message counts, for every
+   registered protocol. A divergence means the interpreter the explorer
+   branches from is not the semantics the engine executes. *)
+
+let cross_validate protocol () =
+  let n = 3 and f = 1 in
+  let c = Mc_run.canonical ~protocol ~n ~f () in
+  let report =
+    (Registry.find_exn protocol).Registry.run (Scenario.nice ~n ~f ())
+  in
+  List.iter
+    (fun p ->
+      let mc_d = find_decision c.Mc_run.decisions p in
+      let engine_d = Option.map snd (Report.decision_of report p) in
+      check tbool
+        (Printf.sprintf "%s: %s decides the same" protocol (Pid.to_string p))
+        true
+        (match (mc_d, engine_d) with
+        | Some a, Some b -> Vote.decision_equal a b
+        | None, None -> true
+        | _ -> false))
+    (Pid.all ~n);
+  check tint
+    (Printf.sprintf "%s: commit-layer messages" protocol)
+    (Report.commit_messages report)
+    c.Mc_run.commit_msgs;
+  check tint
+    (Printf.sprintf "%s: consensus-layer messages" protocol)
+    (Report.consensus_messages report)
+    c.Mc_run.cons_msgs
+
+let cross_validation_tests =
+  List.map
+    (fun p -> Alcotest.test_case p `Quick (cross_validate p))
+    Registry.names
+
+(* ------------------------------------------------------------------ *)
+(* The L1 witnesses, rediscovered by exhaustive search *)
+
+let run ?budgets ?naive ~protocol ~klass () =
+  Mc_run.run ?budgets ?naive ~protocol ~n:3 ~f:1 ~klass ()
+
+let test_2pc_blocks_on_crash () =
+  let o = run ~protocol:"2pc" ~klass:Mc_run.Crash () in
+  check tbool "termination violation found" true
+    (match o.Mc_run.violation with
+    | Some v -> v.Mc_replay.property = Mc_replay.Termination
+    | None -> false);
+  check tbool "engine replays it" true (o.Mc_run.replay_verified = Some true);
+  check tbool "the witness crashes someone" true
+    (match o.Mc_run.violation with
+    | Some v -> v.Mc_replay.witness.Mc_replay.crashes <> []
+    | None -> false)
+
+let test_undershoot_crash_disagreement () =
+  (* found by the checker: at f=1 the undershoot's ack list is empty, so
+     one crash splits the decision — no network failure needed *)
+  let o = run ~protocol:"inbac-undershoot" ~klass:Mc_run.Crash () in
+  check tbool "agreement violation found" true
+    (match o.Mc_run.violation with
+    | Some v -> v.Mc_replay.property = Mc_replay.Agreement
+    | None -> false);
+  check tbool "engine replays it" true (o.Mc_run.replay_verified = Some true)
+
+let test_inbac_crash_clean () =
+  let o = run ~protocol:"inbac" ~klass:Mc_run.Crash () in
+  check tbool "no violation" true (Mc_run.clean o);
+  check tbool "space exhausted" true (Mc_limits.exhausted o.Mc_run.counters)
+
+let test_3pc_crash_clean () =
+  let o = run ~protocol:"3pc" ~klass:Mc_run.Crash () in
+  check tbool "no violation" true (Mc_run.clean o);
+  check tbool "space exhausted" true (Mc_limits.exhausted o.Mc_run.counters)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and pruning *)
+
+let test_counters_jobs_independent () =
+  let at jobs =
+    Mc_run.run ~jobs ~protocol:"inbac" ~n:3 ~f:1 ~klass:Mc_run.Crash ()
+  in
+  let a = (at 1).Mc_run.counters and b = (at 4).Mc_run.counters in
+  check tint "states" a.Mc_limits.states b.Mc_limits.states;
+  check tint "schedules" a.Mc_limits.schedules b.Mc_limits.schedules;
+  check tint "sleep skips" a.Mc_limits.sleep_skips b.Mc_limits.sleep_skips;
+  check tint "dedup hits" a.Mc_limits.dedup_hits b.Mc_limits.dedup_hits
+
+let test_witness_deterministic () =
+  let witness () =
+    match
+      (run ~protocol:"2pc" ~klass:Mc_run.Crash ()).Mc_run.violation
+    with
+    | Some v -> v.Mc_replay.witness.Mc_replay.schedule
+    | None -> []
+  in
+  check (Alcotest.list Alcotest.string) "same shrunk schedule" (witness ())
+    (witness ())
+
+let test_dpor_prunes () =
+  let o = run ~naive:true ~protocol:"inbac" ~klass:Mc_run.Crash () in
+  check tbool "naive count computed" true (o.Mc_run.naive <> None);
+  match o.Mc_run.naive with
+  | Some naive ->
+      check tbool "at least 10x fewer schedules than naive" true
+        (naive /. float_of_int (max 1 o.Mc_run.counters.Mc_limits.schedules)
+        >= 10.)
+  | None -> ()
+
+let () =
+  let quick name fn = Alcotest.test_case name `Quick fn in
+  Alcotest.run "mc"
+    [
+      ("canonical-vs-engine", cross_validation_tests);
+      ( "witnesses",
+        [
+          quick "2pc blocks on coordinator crash" test_2pc_blocks_on_crash;
+          quick "undershoot splits on one crash"
+            test_undershoot_crash_disagreement;
+          quick "inbac crash space clean" test_inbac_crash_clean;
+          quick "3pc crash space clean" test_3pc_crash_clean;
+        ] );
+      ( "determinism",
+        [
+          quick "counters independent of --jobs" test_counters_jobs_independent;
+          quick "shrunk witness deterministic" test_witness_deterministic;
+          quick "dpor + dedup prune >= 10x" test_dpor_prunes;
+        ] );
+    ]

@@ -293,6 +293,102 @@ let prop_engine_deterministic =
       Format.asprintf "%a" Trace.pp a.Report.trace
       = Format.asprintf "%a" Trace.pp b.Report.trace)
 
+(* ------------------------------------------------------------------ *)
+(* Same-instant event priority, pair by pair. The appendix's remark fixes
+   the order crashes < proposals < deliveries < timeouts at equal
+   instants; each adjacent pair gets its own regression below, asserted
+   on the trace order the engine actually produced. *)
+
+let positions pred entries =
+  List.mapi (fun i e -> (i, e)) entries
+  |> List.filter_map (fun (i, e) -> if pred e then Some i else None)
+
+let all_before name earlier later entries =
+  match (positions earlier entries, positions later entries) with
+  | [], _ | _, [] -> Alcotest.fail (name ^ ": expected both entry kinds")
+  | es, ls ->
+      check tbool name true
+        (List.fold_left max 0 es < List.fold_left min max_int ls)
+
+(* crash -> proposal: a [Before 0] crash is processed ahead of the t=0
+   proposals, so the victim never proposes (and never sends). *)
+let test_priority_crash_before_proposal () =
+  let scenario =
+    Scenario.with_crashes (Scenario.nice ~n:3 ~f:1 ())
+      [ (Pid.of_rank 2, Scenario.Before 0) ]
+  in
+  let report = Probe_engine.run scenario in
+  let entries = Trace.entries report.Report.trace in
+  check tbool "victim never proposes" false
+    (List.exists
+       (function
+         | Trace.Propose { pid; _ } -> Pid.rank pid = 2
+         | _ -> false)
+       entries);
+  all_before "crash precedes the same-instant proposals"
+    (function Trace.Crash { at = 0; _ } -> true | _ -> false)
+    (function Trace.Propose { at = 0; _ } -> true | _ -> false)
+    entries
+
+(* proposal -> delivery: the only same-instant delivery the network
+   allows is a self-send at t=0; its handler must observe the
+   post-propose state on every process. *)
+module Self_probe = struct
+  type msg = Ping
+
+  type state = { proposed : bool }
+
+  let name = "self-probe"
+  let uses_consensus = false
+  let pp_msg ppf Ping = Format.pp_print_string ppf "ping"
+  let init _env = { proposed = false }
+
+  let on_propose env _state _v =
+    ({ proposed = true }, [ Proto.Send (env.Proto.self, Ping) ])
+
+  let on_deliver _env state ~src:_ Ping =
+    ( state,
+      [ Proto.Decide (if state.proposed then Vote.commit else Vote.abort) ] )
+
+  let on_timeout _env state ~id:_ = (state, [])
+  let guards = []
+  let on_guard _env _state ~id = failwith ("self-probe: unknown guard " ^ id)
+  let on_consensus_decide _env state _d = (state, [])
+end
+
+module Self_probe_engine = Engine.Make (Self_probe) (Consensus_null)
+
+let test_priority_proposal_before_delivery () =
+  let report = Self_probe_engine.run (Scenario.nice ~n:3 ~f:1 ()) in
+  List.iter
+    (fun p ->
+      check tbool "self-delivery handled after the propose" true
+        (match Report.decision_of report p with
+        | Some (_, d) -> Vote.decision_equal d Vote.commit
+        | None -> false))
+    (Pid.all ~n:3);
+  all_before "proposals precede the same-instant deliveries"
+    (function Trace.Propose { at = 0; _ } -> true | _ -> false)
+    (function Trace.Deliver { at = 0; _ } -> true | _ -> false)
+    (Trace.entries report.Report.trace)
+
+(* delivery -> timeout: pings sent at t=0 arrive at exactly U, the same
+   instant the decision timer fires; they must count (the appendix's "a
+   message delivery event has a higher priority than a timeout event"). *)
+let test_priority_delivery_before_timeout () =
+  let report = Probe_engine.run (Scenario.nice ~n:3 ~f:1 ()) in
+  List.iter
+    (fun p ->
+      check tbool "arrivals at the timer instant counted" true
+        (match Report.decision_of report p with
+        | Some (_, d) -> Vote.decision_equal d Vote.commit
+        | None -> false))
+    (Pid.all ~n:3);
+  all_before "deliveries precede the same-instant timeouts"
+    (function Trace.Deliver { at; _ } -> at = u | _ -> false)
+    (function Trace.Timeout { at; _ } -> at = u | _ -> false)
+    (Trace.entries report.Report.trace)
+
 (* Fixture probing timer semantics: [At_delay k] is the absolute instant
    k*U; [After d] is relative to now; a timer aimed at the past fires
    immediately (clamped to now). *)
@@ -580,6 +676,15 @@ let () =
           quick "timer semantics" test_engine_timer_semantics;
           quick "report accessors" test_report_accessors;
           prop prop_engine_deterministic;
+        ] );
+      ( "event-priority",
+        [
+          quick "crash before same-instant proposal"
+            test_priority_crash_before_proposal;
+          quick "proposal before same-instant delivery"
+            test_priority_proposal_before_delivery;
+          quick "delivery before same-instant timeout"
+            test_priority_delivery_before_timeout;
         ] );
       ( "decision-accounting",
         [
