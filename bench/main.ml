@@ -7,12 +7,21 @@
    Part 2 runs one Bechamel micro-benchmark per reproduced artifact
    (Table 1 .. Table 4, the robustness matrix, Figure 1) plus per-protocol
    nice-execution benches, measuring the wall-clock cost of the simulated
-   runs behind each artifact. *)
+   runs behind each artifact.
+
+   --json PATH switches to the machine-readable regression mode instead:
+   time the per-protocol nice executions, the per-table regenerations and
+   the model checker's pinned configuration (both fingerprint backends),
+   and write the numbers as JSON (default file: BENCH_results.json). CI's
+   bench-smoke step diffs that file's keys and gates on a states/sec
+   floor via --min-mc-states-per-sec. *)
 
 open Bechamel
 open Toolkit
 
 let pairs = [ (3, 1); (5, 1); (5, 2); (8, 3); (13, 6) ]
+
+let argv = Array.to_list Sys.argv
 
 (* --jobs N limits the batch runner's domains when regenerating the Part 1
    artifacts; artifacts are identical whatever the value. The Bechamel
@@ -24,7 +33,7 @@ let jobs =
     | _ :: rest -> scan rest
     | [] -> None
   in
-  scan (Array.to_list Sys.argv)
+  scan argv
 
 let banner title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title
@@ -216,9 +225,235 @@ let run_benchmarks () =
     rows;
   Ascii.print table
 
+(* ------------------------------------------------------------------ *)
+(* --json: the machine-readable bench-regression mode *)
+
+let json_flag =
+  let rec scan = function
+    | "--json" :: next :: _ when String.length next > 0 && next.[0] <> '-' ->
+        Some next
+    | "--json" :: _ -> Some "BENCH_results.json"
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan argv
+
+let min_mc_floor =
+  let rec scan = function
+    | "--min-mc-states-per-sec" :: v :: _ -> float_of_string_opt v
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan argv
+
+(* NxF pairs for the timed table regenerations; defaults to a tiny pair
+   list so the smoke run stays cheap. *)
+let json_pairs =
+  let rec scan acc = function
+    | "--pair" :: v :: rest -> (
+        match String.split_on_char 'x' v with
+        | [ n; f ] -> (
+            match (int_of_string_opt n, int_of_string_opt f) with
+            | Some n, Some f -> scan ((n, f) :: acc) rest
+            | _ -> scan acc rest)
+        | _ -> scan acc rest)
+    | _ :: rest -> scan acc rest
+    | [] -> List.rev acc
+  in
+  match scan [] argv with [] -> [ (3, 1); (5, 2) ] | ps -> ps
+
+let time_best ~reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+(* Like [time_best] over several subjects, but interleaved: every subject
+   runs once per repetition, so a slow drift in machine speed (frequency
+   scaling) degrades all subjects alike instead of whichever happened to
+   be measured last. Ratios between subjects stay meaningful even when
+   the absolute timings wobble. *)
+let time_best_each ~reps subjects run =
+  let k = List.length subjects in
+  let best = Array.make k infinity in
+  let results = Array.make k None in
+  for _ = 1 to reps do
+    List.iteri
+      (fun i s ->
+        let t0 = Unix.gettimeofday () in
+        let r = run s in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < best.(i) then best.(i) <- dt;
+        results.(i) <- Some r)
+      subjects
+  done;
+  List.mapi (fun i s -> (s, Option.get results.(i), best.(i))) subjects
+
+(* The pinned model-checking configuration of the regression gate:
+   inbac, crash class, n=3, f=1, jobs=1 — small enough for CI, large
+   enough (thousands of states) that fingerprinting cost dominates. *)
+let mc_pinned ~fp () =
+  Mc_run.run ~fp ~jobs:1 ~naive:false ~protocol:"inbac" ~n:3 ~f:1
+    ~klass:Mc_run.Crash ()
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let run_json path =
+  let reps = 3 in
+  let nice_runs =
+    List.map
+      (fun p ->
+        let runner = Registry.find_exn p in
+        let _, secs =
+          time_best ~reps (fun () ->
+              runner.Registry.run (Scenario.nice ~n:5 ~f:2 ()))
+        in
+        (p, secs))
+      Registry.names
+  in
+  let tables =
+    List.map
+      (fun (name, render) ->
+        let _, secs = time_best ~reps:1 (fun () -> render ()) in
+        (name, secs))
+      [
+        ("table1", fun () -> ignore (Table_one.render ~jobs:1 ~pairs:json_pairs ()));
+        ("table2", fun () -> ignore (Table_optimal.render_delay_optimal ~pairs:json_pairs));
+        ("table3", fun () -> ignore (Table_optimal.render_message_optimal ~pairs:json_pairs));
+        ("table4", fun () -> ignore (Table_compare.render ~jobs:1 ~pairs:json_pairs ()));
+        ("fig1", fun () -> ignore (Figure_one.render ()));
+      ]
+  in
+  let mc_backends =
+    List.map
+      (fun (fp, outcome, secs) ->
+        let c = outcome.Mc_run.counters in
+        ( Mc_limits.fp_backend_to_string fp,
+          secs,
+          c.Mc_limits.states,
+          c.Mc_limits.schedules,
+          float_of_int c.Mc_limits.states /. secs,
+          float_of_int c.Mc_limits.schedules /. secs ))
+      (time_best_each ~reps:5
+         [ Mc_limits.Fp_hashed; Mc_limits.Fp_marshal ]
+         (fun fp -> mc_pinned ~fp ()))
+  in
+  let per_sec_of name =
+    let _, _, _, _, sps, _ =
+      List.find (fun (b, _, _, _, _, _) -> b = name) mc_backends
+    in
+    sps
+  in
+  let speedup = per_sec_of "hashed" /. per_sec_of "marshal" in
+  (* Per-call fingerprint cost in isolation (same mid-exploration state,
+     both backends): this is the number the backend swap actually moves;
+     end-to-end states/sec also carries the shared transition-execution
+     cost, which dilutes it (Amdahl). *)
+  let fp_calls = 100_000 in
+  let fp_probe =
+    Mc_run.fingerprint_sampler ~protocol:"inbac" ~n:3 ~f:1
+      ~klass:Mc_run.Crash ()
+  in
+  let fp_hashed_ns, fp_marshal_ns =
+    match
+      time_best_each ~reps:5
+        [ Mc_limits.Fp_hashed; Mc_limits.Fp_marshal ]
+        (fun backend -> fp_probe backend fp_calls)
+    with
+    | [ (_, (), h); (_, (), m) ] ->
+        ( h *. 1e9 /. float_of_int fp_calls,
+          m *. 1e9 /. float_of_int fp_calls )
+    | _ -> assert false
+  in
+  let buf = Buffer.create 4096 in
+  let field_block name kvs =
+    Buffer.add_string buf (Printf.sprintf "  %S: {\n" name);
+    List.iteri
+      (fun i (k, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    \"%s\": %s%s\n" (json_escape k) v
+             (if i = List.length kvs - 1 then "" else ",")))
+      kvs;
+    Buffer.add_string buf "  }"
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"actable-bench/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"pairs\": [%s],\n"
+       (String.concat ", "
+          (List.map (fun (n, f) -> Printf.sprintf "[%d, %d]" n f) json_pairs)));
+  field_block "nice_run_seconds"
+    (List.map (fun (p, s) -> (p, Printf.sprintf "%.6f" s)) nice_runs);
+  Buffer.add_string buf ",\n";
+  field_block "table_seconds"
+    (List.map (fun (t, s) -> (t, Printf.sprintf "%.6f" s)) tables);
+  Buffer.add_string buf ",\n";
+  Buffer.add_string buf "  \"mc\": {\n";
+  Buffer.add_string buf
+    "    \"protocol\": \"inbac\", \"class\": \"crash\", \"n\": 3, \"f\": 1, \
+     \"jobs\": 1,\n";
+  Buffer.add_string buf "    \"backends\": {\n";
+  List.iteri
+    (fun i (b, secs, states, schedules, sps, schps) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"%s\": { \"seconds\": %.6f, \"states\": %d, \
+            \"schedules\": %d, \"states_per_sec\": %.0f, \
+            \"schedules_per_sec\": %.0f }%s\n"
+           b secs states schedules sps schps
+           (if i = List.length mc_backends - 1 then "" else ",")))
+    mc_backends;
+  Buffer.add_string buf "    },\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"hashed_vs_marshal_speedup\": %.2f,\n" speedup);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"fingerprint_ns_per_call\": { \"hashed\": %.1f, \"marshal\": \
+        %.1f, \"marshal_vs_hashed\": %.2f }\n"
+       fp_hashed_ns fp_marshal_ns
+       (fp_marshal_ns /. fp_hashed_ns));
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  Printf.printf
+    "mc pinned config: hashed %.0f states/sec, marshal %.0f states/sec \
+     (%.2fx)\n"
+    (per_sec_of "hashed") (per_sec_of "marshal") speedup;
+  Printf.printf
+    "fingerprint per call: hashed %.0fns, marshal %.0fns (%.1fx)\n"
+    fp_hashed_ns fp_marshal_ns
+    (fp_marshal_ns /. fp_hashed_ns);
+  match min_mc_floor with
+  | Some floor when per_sec_of "hashed" < floor ->
+      Printf.eprintf
+        "bench: hashed states/sec %.0f below the regression floor %.0f\n"
+        (per_sec_of "hashed") floor;
+      exit 1
+  | _ -> ()
+
 let () =
-  print_artifacts ();
-  run_benchmarks ();
-  print_newline ();
-  print_endline "All artifacts regenerated. See EXPERIMENTS.md for the";
-  print_endline "paper-vs-measured discussion of every table and figure."
+  match json_flag with
+  | Some path -> run_json path
+  | None ->
+      print_artifacts ();
+      run_benchmarks ();
+      print_newline ();
+      print_endline "All artifacts regenerated. See EXPERIMENTS.md for the";
+      print_endline "paper-vs-measured discussion of every table and figure."

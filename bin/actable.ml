@@ -474,6 +474,23 @@ let budgets_term ~default_states =
   in
   Term.(const combine $ depth $ states $ horizon $ late)
 
+let fp_arg =
+  let doc =
+    "State-fingerprint backend: 'hashed' (zero-marshal canonical hashing \
+     via per-protocol hash_state) or 'marshal' (the Marshal-and-digest \
+     reference path; slower, kept for cross-checking). Counters are \
+     identical across backends."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("hashed", Mc_limits.Fp_hashed); ("marshal", Mc_limits.Fp_marshal);
+           ])
+        Mc_limits.default_fp
+    & info [ "fp-backend" ] ~docv:"BACKEND" ~doc)
+
 let mc_cmd =
   let no_naive_arg =
     Arg.(
@@ -484,8 +501,17 @@ let mc_cmd =
              dedup pruning ratio (the pass is skipped anyway when a \
              violation is found).")
   in
-  let action protocol n f klass expect budgets consensus vote0 no_naive msc
-      jobs =
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print exploration throughput (states/sec, schedules/sec over \
+             the wall time of the exploration) and the peak visited-table \
+             occupancy of any frontier item.")
+  in
+  let action protocol n f klass expect budgets fp stats consensus vote0
+      no_naive msc jobs =
     let vote_sets =
       match vote0 with
       | [] -> None
@@ -496,11 +522,25 @@ let mc_cmd =
             ranks;
           Some [ votes ]
     in
+    let t0 = Unix.gettimeofday () in
     let outcome =
-      Mc_run.run ~consensus ?vote_sets ~budgets ?jobs ~naive:(not no_naive)
-        ~protocol ~n ~f ~klass ()
+      Mc_run.run ~consensus ?vote_sets ~budgets ~fp ?jobs
+        ~naive:(not no_naive) ~protocol ~n ~f ~klass ()
     in
+    let elapsed = Unix.gettimeofday () -. t0 in
     Format.printf "%a@." Mc_run.pp_outcome outcome;
+    if stats then begin
+      let c = outcome.Mc_run.counters in
+      let per_sec x = float_of_int x /. max elapsed 1e-9 in
+      Format.printf
+        "stats: backend %s, %.3fs wall, %.0f states/sec, %.0f \
+         schedules/sec, peak visited-table occupancy %d@."
+        (Mc_limits.fp_backend_to_string fp)
+        elapsed
+        (per_sec c.Mc_limits.states)
+        (per_sec c.Mc_limits.schedules)
+        c.Mc_limits.peak_visited
+    end;
     (match outcome.Mc_run.violation with
     | Some v when msc ->
         let report, _ = Mc_replay.replay ~consensus v.Mc_replay.witness in
@@ -523,7 +563,8 @@ let mc_cmd =
       const action $ protocol_arg $ mc_n_arg $ mc_f_arg $ class_arg
       $ expect_arg
       $ budgets_term ~default_states:400_000
-      $ consensus_arg $ vote0_arg $ no_naive_arg $ msc_arg $ jobs_arg)
+      $ fp_arg $ stats_arg $ consensus_arg $ vote0_arg $ no_naive_arg
+      $ msc_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "mc"
@@ -534,8 +575,8 @@ let mc_cmd =
     term
 
 let mctable_cmd =
-  let action n f budgets jobs =
-    let text, ok = Table_mc.render_checked ~budgets ?jobs ~n ~f () in
+  let action n f budgets fp jobs =
+    let text, ok = Table_mc.render_checked ~budgets ~fp ?jobs ~n ~f () in
     print_string text;
     gate "mctable" ok
   in
@@ -543,7 +584,7 @@ let mctable_cmd =
     Term.(
       const action $ mc_n_arg $ mc_f_arg
       $ budgets_term ~default_states:120_000
-      $ jobs_arg)
+      $ fp_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "mctable"

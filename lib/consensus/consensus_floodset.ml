@@ -65,3 +65,11 @@ let on_timeout env state ~id =
           else decide state
       | Some _ | None -> (state, []))
   | Some _ | None -> (state, [])
+
+let hash_state =
+  Some
+    (fun h s ->
+      Fingerprint.add_bool h s.known_yes;
+      Fingerprint.add_bool h s.known_no;
+      Fingerprint.add_bool h s.proposed;
+      Fingerprint.add_bool h s.decided)

@@ -26,3 +26,6 @@ val on_deliver :
   Proto.env -> state -> src:Pid.t -> msg -> state * msg Proto.action list
 
 val on_timeout : Proto.env -> state -> id:string -> state * msg Proto.action list
+
+val hash_state : state Proto.state_hasher option
+(** See {!Proto.PROTOCOL.hash_state}. *)

@@ -16,3 +16,5 @@ let on_propose _env () _v =
 
 let on_deliver _env () ~src:_ (m : msg) = (match m with _ -> .)
 let on_timeout _env () ~id:_ = ((), [])
+
+let hash_state = Some (fun (_ : Fingerprint.t) () -> ())

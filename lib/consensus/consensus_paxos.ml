@@ -198,3 +198,45 @@ let on_timeout env state ~id =
     && state.decided_value = None
   then start_attempt env state
   else (state, [])
+
+let hash_state =
+  let fp = Fingerprint.add_int in
+  let fp_vote h v = fp h (Vote.to_int v) in
+  let fp_accepted h = function
+    | None -> fp h 0
+    | Some (b, v) ->
+        fp h 1;
+        fp h b;
+        fp_vote h v
+  in
+  Some
+    (fun h s ->
+      fp h s.promised;
+      fp_accepted h s.accepted;
+      (match s.proposal with
+      | None -> fp h 0
+      | Some v ->
+          fp h 1;
+          fp_vote h v);
+      fp h s.attempt;
+      fp h s.ballot;
+      fp h
+        (match s.phase with
+        | Idle -> 0
+        | Preparing -> 1
+        | Accepting -> 2
+        | Learned -> 3);
+      fp h (List.length s.promises);
+      List.iter
+        (fun (p, acc) ->
+          fp h (Pid.index p);
+          fp_accepted h acc)
+        s.promises;
+      fp h (List.length s.accepts);
+      List.iter (fun p -> fp h (Pid.index p)) s.accepts;
+      fp h s.highest_seen;
+      match s.decided_value with
+      | None -> fp h 0
+      | Some v ->
+          fp h 1;
+          fp_vote h v)

@@ -26,3 +26,6 @@ val on_timeout : Proto.env -> state -> id:string -> state * msg Proto.action lis
 val retry_base_delay : u:Sim_time.t -> Sim_time.t
 (** First retry timeout (4·U); doubles on each failed attempt, capped at
     2^8 · 4 · U. Exposed for tests. *)
+
+val hash_state : state Proto.state_hasher option
+(** See {!Proto.PROTOCOL.hash_state}. *)

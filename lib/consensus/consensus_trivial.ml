@@ -19,3 +19,5 @@ let on_propose _env state v =
 
 let on_deliver _env _state ~src:_ (m : msg) = (match m with _ -> .)
 let on_timeout _env state ~id:_ = (state, [])
+
+let hash_state = Some (fun h s -> Fingerprint.add_bool h s.decided)

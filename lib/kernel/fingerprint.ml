@@ -1,0 +1,78 @@
+(* Allocation-lean 126-bit state fingerprints.
+
+   The model checker hashes every visited state; doing that by marshalling
+   the state and digesting the bytes dominates exploration time. This
+   module is the replacement: an incremental two-lane FNV-1a-style mixer
+   over machine words, fed by per-protocol [hash_state] canonicalizers,
+   with a murmur-style finalizer. Two independent 63-bit lanes give a
+   126-bit digest, so the collision probability over the checker's state
+   budgets (<= a few million states) is negligible (~2^-80 per pair).
+
+   The accumulator is a mutable two-word record reused across states
+   ([reset]); adding a word is two xors and two multiplications, no
+   allocation. *)
+
+type t = { mutable a : int; mutable b : int }
+
+(* FNV-1a 64-bit offset basis / prime, truncated to OCaml's 63-bit ints,
+   with a distinct basis and prime per lane so the lanes stay
+   independent. *)
+let basis_a = 0x0bf29ce484222325
+let basis_b = 0x2545f4914f6cdd1d
+let prime_a = 0x00000100000001b3
+let prime_b = 0x0000010000000193
+
+let create () = { a = basis_a; b = basis_b }
+
+let reset h =
+  h.a <- basis_a;
+  h.b <- basis_b
+
+let add_int h x =
+  h.a <- (h.a lxor x) * prime_a;
+  h.b <- (h.b lxor (x + 0x165667b19e3779f9)) * prime_b
+
+let add_bool h x = add_int h (Bool.to_int x)
+
+(* Strings are folded eight bytes at a word (the top byte loses one bit to
+   the int63 truncation; the length word disambiguates) plus a bytewise
+   tail. Used by the [Marshal]-fallback hasher, so longer inputs matter. *)
+let add_string h s =
+  let len = String.length s in
+  add_int h len;
+  let words = len / 8 in
+  for i = 0 to words - 1 do
+    add_int h (Int64.to_int (String.get_int64_le s (i * 8)))
+  done;
+  for i = words * 8 to len - 1 do
+    add_int h (Char.code (String.unsafe_get s i))
+  done
+
+type digest = { d1 : int; d2 : int }
+
+(* murmur3's 64-bit finalizer (constants truncated to int63): FNV-1a
+   alone mixes weakly into the high bits, and [Hashtbl] buckets by the
+   low bits of [Hashtbl.hash], so avalanche the lanes before exposing
+   them. *)
+let avalanche x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x3f51afd7ed558ccd in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x04ceb9fe1a85ec53 in
+  x lxor (x lsr 32)
+
+let digest h = { d1 = avalanche h.a; d2 = avalanche (h.b lxor h.a) }
+
+(* A digest for callers that already hold a canonical byte string (the
+   model checker's Marshal-digest fallback backend): both lanes are
+   derived from an MD5 of the bytes, so digest equality coincides with
+   byte equality exactly as the marshalled-string fingerprints did. *)
+let of_bytes s =
+  let md5 = Digest.string s in
+  {
+    d1 = Int64.to_int (String.get_int64_le md5 0);
+    d2 = Int64.to_int (String.get_int64_le md5 8);
+  }
+
+let equal x y = x.d1 = y.d1 && x.d2 = y.d2
+let pp ppf d = Format.fprintf ppf "%015x:%015x" (d.d1 land max_int) (d.d2 land max_int)

@@ -1,0 +1,40 @@
+(** Allocation-lean 126-bit state fingerprints.
+
+    An incremental two-lane FNV-1a-style hasher over machine words with a
+    murmur-style finalizer. The model checker fingerprints every visited
+    state through this module instead of marshalling it: per-protocol
+    [hash_state] canonicalizers ({!Proto.PROTOCOL.hash_state}) feed the
+    accumulator with [add_int]/[add_bool]/[add_string], and the visited
+    table stores the resulting two-word {!digest}s.
+
+    Hashing is order-sensitive and unframed: a canonicalizer must feed
+    variable-length data with an explicit length (which [add_string] does
+    internally) so that adjacent fields cannot alias. *)
+
+type t
+(** The mutable accumulator. Reusable across states via {!reset}. *)
+
+val create : unit -> t
+val reset : t -> unit
+
+val add_int : t -> int -> unit
+val add_bool : t -> bool -> unit
+
+val add_string : t -> string -> unit
+(** Folds the length and then the contents, eight bytes at a word. *)
+
+type digest = { d1 : int; d2 : int }
+(** Two finalized 63-bit lanes. Structural equality ([=], [Hashtbl.hash])
+    is the intended key discipline. *)
+
+val digest : t -> digest
+(** Finalize (the accumulator is not consumed and may keep accumulating,
+    but successive digests of a growing accumulator are unrelated). *)
+
+val of_bytes : string -> digest
+(** Digest of a canonical byte string (via MD5, so digest equality is
+    byte equality up to MD5 collisions) — the [Marshal]-fallback backend
+    of the model checker. *)
+
+val equal : digest -> digest -> bool
+val pp : Format.formatter -> digest -> unit

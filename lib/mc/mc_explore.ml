@@ -37,6 +37,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     votes : Vote.t array;
     klass : exec_class;
     budgets : Mc_limits.budgets;
+    fp : Mc_limits.fp_backend;
   }
 
   (* ---- pending events -------------------------------------------- *)
@@ -50,6 +51,11 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     src : Pid.t;
     dst : Pid.t;
     payload : M.wire;
+    pl_id : int;
+        (* intern id of [payload]: equal ids iff structurally equal
+           payloads, stable for the lifetime of the context, so the
+           hashed fingerprint covers an in-flight message by one word
+           instead of remarshalling its payload *)
     sent_mc : Sim_time.t;
     nominal : Sim_time.t;  (* sent_mc + u: the synchronous slot *)
   }
@@ -113,6 +119,12 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     box_timers : ptimer list ref;
     sends_by : int array;
     creation : int ref;
+    intern : (M.wire, int) Hashtbl.t;
+        (* payload interning table. Grows monotonically and is never
+           rewound by [restore]: an id only depends on the first time a
+           structurally equal payload was ever sent in this context, so
+           ids are consistent across all paths the context explores. *)
+    fp_acc : Fingerprint.t;  (* reusable hashed-fingerprint accumulator *)
     mutable clock_t : Sim_time.t;
     mutable clock_k : int;
     mutable pending_msgs : pmsg list;  (* creation order *)
@@ -135,6 +147,15 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     let box_msgs = ref [] and box_self = ref [] and box_timers = ref [] in
     let sends_by = Array.make cfg.n 0 in
     let creation = ref 0 in
+    let intern = Hashtbl.create 256 in
+    let intern_payload payload =
+      match Hashtbl.find_opt intern payload with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length intern in
+          Hashtbl.add intern payload id;
+          id
+    in
     let sink =
       {
         M.send =
@@ -150,8 +171,9 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
               let seq = !creation in
               incr creation;
               let nominal = Sim_time.( + ) now cfg.u in
+              let pl_id = intern_payload payload in
               box_msgs :=
-                { uid; seq; src; dst; payload; sent_mc = now; nominal }
+                { uid; seq; src; dst; payload; pl_id; sent_mc = now; nominal }
                 :: !box_msgs;
               nominal
             end);
@@ -184,6 +206,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       box_timers;
       sends_by;
       creation;
+      intern;
+      fp_acc = Fingerprint.create ();
       clock_t = Sim_time.zero;
       clock_k = 0;
       pending_msgs = [];
@@ -263,22 +287,34 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     (not (M.is_crashed ctx.m t.t_pid))
     && t.t_epoch = M.timer_epoch ctx.m t.t_pid t.t_layer t.t_id
 
+  (* Runs after every executed step, so the no-op cases — nobody crashed,
+     no timer went stale, no new events — must not rebuild the pending
+     lists they leave unchanged. *)
   let merge_boxes ctx =
-    let new_msgs =
-      List.filter
-        (fun mg -> not (M.is_crashed ctx.m mg.dst))
-        (List.rev !(ctx.box_msgs))
+    let keep mg = not (M.is_crashed ctx.m mg.dst) in
+    let any_crashed =
+      Array.exists Option.is_some (M.crashed_at ctx.m)
     in
+    let new_msgs = List.rev !(ctx.box_msgs) in
+    let new_msgs = if any_crashed then List.filter keep new_msgs else new_msgs in
     ctx.box_msgs := [];
     let new_timers = List.rev !(ctx.box_timers) in
     ctx.box_timers := [];
+    let pending =
+      if any_crashed && not (List.for_all keep ctx.pending_msgs) then
+        List.filter keep ctx.pending_msgs
+      else ctx.pending_msgs
+    in
     ctx.pending_msgs <-
-      List.filter
-        (fun mg -> not (M.is_crashed ctx.m mg.dst))
-        ctx.pending_msgs
-      @ new_msgs;
+      (match new_msgs with [] -> pending | _ -> pending @ new_msgs);
+    let timers =
+      match new_timers with
+      | [] -> ctx.pending_timers
+      | _ -> ctx.pending_timers @ new_timers
+    in
     ctx.pending_timers <-
-      List.filter (fresh_timer ctx) (ctx.pending_timers @ new_timers)
+      (if List.for_all (fresh_timer ctx) timers then timers
+       else List.filter (fresh_timer ctx) timers)
 
   let pair_geq (t1, k1) (t2, k2) = t1 > t2 || (t1 = t2 && k1 >= k2)
   let is_commit_wire mg = M.layer_of_wire mg.payload = Trace.Commit_layer
@@ -330,36 +366,36 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
               "decision stability (AC2): %a decided %a then %a" Pid.pp pid
               Vote.pp_decision first Vote.pp_decision second )
     | None -> (
-        let decided =
-          List.filter_map
-            (fun i ->
-              Option.map
-                (fun (_, d) -> (Pid.of_index i, d))
-                decs.(i))
-            (List.init ctx.cfg.n Fun.id)
-        in
-        let conflicting =
-          match decided with
-          | [] -> None
-          | (p0, d0) :: rest ->
-              List.find_map
-                (fun (p, d) ->
-                  if Vote.decision_equal d0 d then None else Some (p0, d0, p, d))
-                rest
-        in
-        match conflicting with
+        (* Scan the decisions array directly: this runs once per executed
+           transition, and the intermediate (pid, decision) list it used
+           to build was pure allocation churn. *)
+        let first = ref (-1) in
+        let conflicting = ref None in
+        let any_commit = ref false in
+        (try
+           for i = 0 to ctx.cfg.n - 1 do
+             match decs.(i) with
+             | None -> ()
+             | Some (_, d) ->
+                 if Vote.decision_equal d Vote.Commit then any_commit := true;
+                 if !first < 0 then first := i
+                 else
+                   let _, d0 = Option.get decs.(!first) in
+                   if not (Vote.decision_equal d0 d) then begin
+                     conflicting :=
+                       Some (Pid.of_index !first, d0, Pid.of_index i, d);
+                     raise Exit
+                   end
+           done
+         with Exit -> ());
+        match !conflicting with
         | Some (p0, d0, p, d) ->
             Some
               ( Mc_replay.Agreement,
                 Format.asprintf "agreement: %a decided %a but %a decided %a"
                   Pid.pp p0 Vote.pp_decision d0 Pid.pp p Vote.pp_decision d )
         | None ->
-            if
-              ctx.someone_no
-              && List.exists
-                   (fun (_, d) -> Vote.decision_equal d Vote.Commit)
-                   decided
-            then
+            if ctx.someone_no && !any_commit then
               Some
                 ( Mc_replay.Validity,
                   "commit-validity: commit decided although some process \
@@ -547,7 +583,89 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
 
   (* ---- state fingerprints ------------------------------------------ *)
 
-  let fingerprint ctx =
+  let layer_code = function
+    | Trace.Commit_layer -> 0
+    | Trace.Consensus_layer -> 1
+
+  (* The zero-marshal backend: feed the same canonical facts the Marshal
+     backend serializes — scheduler clock and budgets, every process's
+     protocol/consensus state (through [hash_state]), crash/decision
+     flags, and the sorted multisets of pending deliveries and timers —
+     straight into the word hasher. In-flight payloads are covered by
+     their intern id, so a message costs five words however large its
+     payload is. *)
+  let fingerprint_hashed ctx =
+    let h = ctx.fp_acc in
+    Fingerprint.reset h;
+    Fingerprint.add_int h ctx.clock_t;
+    Fingerprint.add_int h ctx.clock_k;
+    Fingerprint.add_bool h ctx.proposed;
+    Fingerprint.add_int h ctx.late_count;
+    Fingerprint.add_bool h ctx.someone_no;
+    Fingerprint.add_int h ctx.crashes_left;
+    let decs = M.decisions ctx.m in
+    for i = 0 to ctx.cfg.n - 1 do
+      let p = Pid.of_index i in
+      M.hash_pstate ctx.m h p;
+      M.hash_cstate ctx.m h p;
+      Fingerprint.add_bool h (M.is_crashed ctx.m p);
+      Fingerprint.add_int h
+        (match decs.(i) with
+        | None -> 0
+        | Some (_, Vote.Commit) -> 1
+        | Some (_, Vote.Abort) -> 2);
+      Fingerprint.add_bool h (M.cons_handed ctx.m p)
+    done;
+    (* Canonical multiset order via in-place sorts over small arrays with
+       monomorphic comparators: no tuple lists, no polymorphic compare. *)
+    let msgs = Array.of_list ctx.pending_msgs in
+    Array.sort
+      (fun a b ->
+        let c = compare (a.nominal : int) b.nominal in
+        if c <> 0 then c
+        else
+          let c = compare (Pid.index a.src) (Pid.index b.src) in
+          if c <> 0 then c
+          else
+            let c = compare (Pid.index a.dst) (Pid.index b.dst) in
+            if c <> 0 then c else compare (a.pl_id : int) b.pl_id)
+      msgs;
+    Fingerprint.add_int h (Array.length msgs);
+    Array.iter
+      (fun mg ->
+        Fingerprint.add_int h mg.nominal;
+        Fingerprint.add_int h (Pid.index mg.src);
+        Fingerprint.add_int h (Pid.index mg.dst);
+        Fingerprint.add_bool h (List.mem mg.uid ctx.overtaken);
+        Fingerprint.add_int h mg.pl_id)
+      msgs;
+    let timers = Array.of_list ctx.pending_timers in
+    Array.sort
+      (fun a b ->
+        let c = compare (a.t_at : int) b.t_at in
+        if c <> 0 then c
+        else
+          let c = compare (Pid.index a.t_pid) (Pid.index b.t_pid) in
+          if c <> 0 then c
+          else
+            let c = compare (layer_code a.t_layer) (layer_code b.t_layer) in
+            if c <> 0 then c else String.compare a.t_id b.t_id)
+      timers;
+    Fingerprint.add_int h (Array.length timers);
+    Array.iter
+      (fun t ->
+        Fingerprint.add_int h t.t_at;
+        Fingerprint.add_int h (Pid.index t.t_pid);
+        Fingerprint.add_int h (layer_code t.t_layer);
+        Fingerprint.add_string h t.t_id)
+      timers;
+    Fingerprint.digest h
+
+  (* The historical backend, verbatim up to the digest representation:
+     marshal everything, MD5 the bytes. Kept as the semantic reference
+     the hashed backend is pinned against (CI compares mctable counters
+     across backends). *)
+  let fingerprint_marshal ctx =
     let n = ctx.cfg.n in
     let procs =
       List.init n (fun i ->
@@ -575,7 +693,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
            (fun t -> (t.t_at, Pid.index t.t_pid, t.t_layer, t.t_id))
            ctx.pending_timers)
     in
-    Digest.string
+    Fingerprint.of_bytes
       (Marshal.to_string
          ( ctx.clock_t,
            ctx.clock_k,
@@ -587,6 +705,11 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
            msgs,
            timers )
          [])
+
+  let fingerprint ctx =
+    match ctx.cfg.fp with
+    | Mc_limits.Fp_hashed -> fingerprint_hashed ctx
+    | Mc_limits.Fp_marshal -> fingerprint_marshal ctx
 
   (* ---- search ------------------------------------------------------ *)
 
@@ -626,7 +749,9 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
                     if Hashtbl.length visited >= budgets.Mc_limits.max_states
                     then raise Out_of_states;
                     counters.states <- counters.states + 1;
-                    Hashtbl.replace visited fp sleep
+                    Hashtbl.replace visited fp sleep;
+                    counters.peak_visited <-
+                      max counters.peak_visited (Hashtbl.length visited)
                 | Some stored ->
                     Hashtbl.replace visited fp (k_inter stored sleep));
                 let snap = save ctx in
@@ -971,6 +1096,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     vote_sets : Vote.t array list;
     klass : exec_class;
     budgets : Mc_limits.budgets;
+    fp : Mc_limits.fp_backend;
     jobs : int option;
     naive : bool;  (** also compute the naive schedule count (2nd pass) *)
   }
@@ -989,6 +1115,14 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     ir_naive_partial : bool;
   }
 
+  (* Preallocating the visited table toward its budget avoids the
+     rehash cascade on the way up (growing from 4096 to the default
+     400k budget costs ~7 full rehashes of an ever-larger table). The
+     cap keeps small explorations from paying for buckets they will
+     never fill — beyond it one or two final rehashes are noise. *)
+  let fresh_visited (cfg : config) : (Fingerprint.digest, 'a) Hashtbl.t =
+    Hashtbl.create (min cfg.budgets.Mc_limits.max_states 65_536)
+
   let explore_item (cfg, prefix) =
     let counters = Mc_limits.fresh_counters () in
     let violation = ref None in
@@ -998,7 +1132,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
        | Some (prop, detail) ->
            counters.Mc_limits.schedules <- 1;
            violation := Some (prop, detail, prefix)
-       | None -> dfs_dpor ctx counters (Hashtbl.create 4096)
+       | None -> dfs_dpor ctx counters (fresh_visited cfg)
      with
     | Found (prop, detail, sub) ->
         violation := Some (prop, detail, prefix @ sub)
@@ -1012,7 +1146,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       match replay_prefix ctx prefix with
       | Some _ -> (1.0, false)
       | None ->
-          ( dfs_count ctx (Mc_limits.fresh_counters ()) (Hashtbl.create 4096),
+          ( dfs_count ctx (Mc_limits.fresh_counters ()) (fresh_visited cfg),
             false )
     with Out_of_states -> (0.0, true)
 
@@ -1028,6 +1162,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
               votes;
               klass = p.klass;
               budgets = p.budgets;
+              fp = p.fp;
             }
           in
           List.map (fun prefix -> (cfg, prefix)) (frontier cfg))
@@ -1079,6 +1214,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         votes = Array.make n Vote.yes;
         klass = { allow_crashes = false; allow_late = false };
         budgets = Mc_limits.default_budgets ~u;
+        fp = Mc_limits.default_fp;
       }
     in
     let ctx = create_ctx cfg in

@@ -8,6 +8,19 @@ type budgets = {
 let default_budgets ~u =
   { max_depth = 10_000; max_states = 400_000; horizon = 12 * u; max_late = 4 }
 
+type fp_backend = Fp_hashed | Fp_marshal
+
+let default_fp = Fp_hashed
+
+let fp_backend_of_string = function
+  | "hashed" -> Some Fp_hashed
+  | "marshal" -> Some Fp_marshal
+  | _ -> None
+
+let fp_backend_to_string = function
+  | Fp_hashed -> "hashed"
+  | Fp_marshal -> "marshal"
+
 type counters = {
   mutable states : int;
   mutable transitions : int;
@@ -18,6 +31,7 @@ type counters = {
   mutable horizon_cuts : int;
   mutable depth_cuts : int;
   mutable budget_hit : bool;
+  mutable peak_visited : int;
 }
 
 let fresh_counters () =
@@ -31,6 +45,7 @@ let fresh_counters () =
     horizon_cuts = 0;
     depth_cuts = 0;
     budget_hit = false;
+    peak_visited = 0;
   }
 
 (* Counters from independent frontier subtrees add up: schedules partition
@@ -46,7 +61,8 @@ let add_counters acc c =
   acc.sleep_skips <- acc.sleep_skips + c.sleep_skips;
   acc.horizon_cuts <- acc.horizon_cuts + c.horizon_cuts;
   acc.depth_cuts <- acc.depth_cuts + c.depth_cuts;
-  acc.budget_hit <- acc.budget_hit || c.budget_hit
+  acc.budget_hit <- acc.budget_hit || c.budget_hit;
+  acc.peak_visited <- max acc.peak_visited c.peak_visited
 
 let exhausted c = not (c.budget_hit || c.depth_cuts > 0)
 (* Horizon cuts do not forfeit exhaustiveness: the horizon is part of the

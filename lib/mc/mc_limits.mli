@@ -15,6 +15,19 @@ type budgets = {
 
 val default_budgets : u:Sim_time.t -> budgets
 
+type fp_backend =
+  | Fp_hashed
+      (** canonical zero-marshal hashing through
+          {!Proto.PROTOCOL.hash_state} and {!Fingerprint} (the default) *)
+  | Fp_marshal
+      (** the historical [Marshal]-and-digest path, kept as a semantic
+          reference: the CI smoke job pins that both backends produce
+          byte-identical [mctable] counters *)
+
+val default_fp : fp_backend
+val fp_backend_of_string : string -> fp_backend option
+val fp_backend_to_string : fp_backend -> string
+
 type counters = {
   mutable states : int;  (** distinct state fingerprints stored *)
   mutable transitions : int;  (** events executed *)
@@ -26,6 +39,11 @@ type counters = {
       (** leaves whose only pending events lie beyond the horizon *)
   mutable depth_cuts : int;
   mutable budget_hit : bool;  (** some subtree ran out of state budget *)
+  mutable peak_visited : int;
+      (** largest visited-table occupancy of any frontier item (merged
+          with [max], not [+]). Deliberately absent from {!pp_counters}
+          so the [mctable] artifact stays byte-stable across backends
+          and job counts. *)
 }
 
 val fresh_counters : unit -> counters

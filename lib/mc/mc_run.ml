@@ -43,8 +43,9 @@ type outcome = {
 
 let clean o = o.violation = None
 
-let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets ?jobs
-    ?(naive = false) ~protocol ~n ~f ~klass () =
+let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets
+    ?(fp = Mc_limits.default_fp) ?jobs ?(naive = false) ~protocol ~n ~f
+    ~klass () =
   let reg = Registry.find_exn protocol in
   let module P = (val reg.Registry.proto) in
   let module C =
@@ -67,6 +68,7 @@ let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets ?jobs
         vote_sets;
         klass = { E.allow_crashes; allow_late };
         budgets;
+        fp;
         jobs;
         naive;
       }
@@ -111,6 +113,54 @@ let canonical ?(consensus = Registry.Paxos) ~protocol ~n ~f ?u () =
     commit_msgs = c.E.can_commit_msgs;
     cons_msgs = c.E.can_cons_msgs;
   }
+
+(* A fingerprint sampler: advance a context [prefix_steps] transitions
+   along the engine-canonical order so it holds a representative
+   mid-exploration state (live automata, in-flight messages, armed
+   timers), then return a closure that recomputes its fingerprint with
+   either backend. Benchmarks time the closure; context preparation
+   stays outside the measured region. *)
+let fingerprint_sampler ?(consensus = Registry.Paxos) ?u
+    ?(prefix_steps = 6) ~protocol ~n ~f ~klass () =
+  let reg = Registry.find_exn protocol in
+  let module P = (val reg.Registry.proto) in
+  let module C =
+    (val Registry.consensus_module ~uses_consensus:reg.Registry.uses_consensus
+           consensus)
+  in
+  let module E = Mc_explore.Make (P) (C) in
+  let u = Option.value u ~default:Sim_time.default_u in
+  let allow_crashes, allow_late = flags_of_class klass in
+  let cfg =
+    {
+      E.n;
+      f;
+      u;
+      votes = Array.make n Vote.yes;
+      klass = { E.allow_crashes; allow_late };
+      budgets = Mc_limits.default_budgets ~u;
+      fp = Mc_limits.default_fp;
+    }
+  in
+  let ctx = E.create_ctx cfg in
+  ignore (E.exec_step ctx E.S_proposals);
+  (try
+     for _ = 1 to prefix_steps do
+       match E.enumerate ctx with
+       | [] -> raise Exit
+       | cand :: _ -> ignore (E.exec_step ctx cand)
+     done
+   with Exit -> ());
+  fun backend calls ->
+    match (backend : Mc_limits.fp_backend) with
+    | Mc_limits.Fp_hashed ->
+        for _ = 1 to calls do
+          ignore (E.fingerprint_hashed ctx)
+        done
+    | Mc_limits.Fp_marshal ->
+        for _ = 1 to calls do
+          ignore (E.fingerprint_marshal ctx)
+        done
 
 let verdict_string o =
   match o.violation with

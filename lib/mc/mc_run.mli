@@ -35,6 +35,7 @@ val run :
   ?u:Sim_time.t ->
   ?vote_sets:Vote.t array list ->
   ?budgets:Mc_limits.budgets ->
+  ?fp:Mc_limits.fp_backend ->
   ?jobs:int ->
   ?naive:bool ->
   protocol:string ->
@@ -64,6 +65,24 @@ val canonical :
   canonical
 (** The single engine-ordered synchronous schedule, for cross-validation
     against [Engine.run] on [Scenario.nice]. *)
+
+val fingerprint_sampler :
+  ?consensus:Registry.consensus_impl ->
+  ?u:Sim_time.t ->
+  ?prefix_steps:int ->
+  protocol:string ->
+  n:int ->
+  f:int ->
+  klass:exec_class ->
+  unit ->
+  Mc_limits.fp_backend -> int -> unit
+(** [fingerprint_sampler ... ()] prepares one checker context advanced
+    [prefix_steps] transitions into the canonical schedule and returns
+    [probe]: [probe backend calls] recomputes the context's state
+    fingerprint [calls] times with the chosen backend. For isolating the
+    per-call fingerprint cost from the rest of the exploration loop
+    (context preparation happens before [probe] is returned, so callers
+    time only the fingerprint work). *)
 
 val verdict_string : outcome -> string
 val pp_outcome : Format.formatter -> outcome -> unit

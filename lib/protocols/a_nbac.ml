@@ -163,3 +163,19 @@ let on_timeout env state ~id =
 let guards = []
 let on_guard _env _state ~id = failwith ("A_nbac: unknown guard " ^ id)
 let on_consensus_decide _env state _d = (state, [])
+
+let hash_state =
+  let open Proto_util in
+  Some
+    (fun h s ->
+      fp_vote h s.decision;
+      fp_bool h s.decided;
+      fp_bool h s.delivered;
+      fp_bool h s.relayed;
+      fp_int h s.phase;
+      fp_vote h s.vote;
+      fp_bool h s.delivered_v;
+      fp_pids h s.collection_v;
+      fp_pids h s.collection_b;
+      fp_bool h s.noop;
+      fp_int h s.phase0)

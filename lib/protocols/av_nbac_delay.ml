@@ -32,3 +32,11 @@ let on_timeout env state ~id =
 let guards = []
 let on_guard _env _state ~id = failwith ("Av_nbac_delay: unknown guard " ^ id)
 let on_consensus_decide _env state _d = (state, [])
+
+let hash_state =
+  let open Proto_util in
+  Some
+    (fun h s ->
+      fp_bool h s.decided;
+      fp_vote h s.decision;
+      fp_pids h s.heard_from)

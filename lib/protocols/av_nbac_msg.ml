@@ -67,3 +67,12 @@ let on_timeout env state ~id =
 let guards = []
 let on_guard _env _state ~id = failwith ("Av_nbac_msg: unknown guard " ^ id)
 let on_consensus_decide _env state _d = (state, [])
+
+let hash_state =
+  let open Proto_util in
+  Some
+    (fun h s ->
+      fp_vote h s.votes;
+      fp_bool h s.received;
+      fp_pids h s.collection;
+      fp_bool h s.decided)

@@ -34,3 +34,11 @@ let on_timeout _env state ~id =
 let guards = []
 let on_guard _env _state ~id = failwith ("Calvin_commit: unknown guard " ^ id)
 let on_consensus_decide _env state _d = (state, [])
+
+let hash_state =
+  let open Proto_util in
+  Some
+    (fun h s ->
+      fp_vote h s.vote;
+      fp_bool h s.saw_zero;
+      fp_bool h s.decided)

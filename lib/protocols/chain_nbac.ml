@@ -111,3 +111,13 @@ let on_timeout env state ~id =
 let guards = []
 let on_guard _env _state ~id = failwith ("Chain_nbac: unknown guard " ^ id)
 let on_consensus_decide _env state _d = (state, [])
+
+let hash_state =
+  let open Proto_util in
+  Some
+    (fun h s ->
+      fp_vote h s.decision;
+      fp_bool h s.decided;
+      fp_bool h s.delivered;
+      fp_bool h s.relayed;
+      fp_int h s.phase)

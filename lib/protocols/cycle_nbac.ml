@@ -208,3 +208,16 @@ let on_guard _env state ~id =
 let on_consensus_decide _env state d =
   if state.decided then (state, [])
   else ({ state with decided = true }, [ Proto_util.decide_vote d ])
+
+let hash_state =
+  let open Proto_util in
+  Some
+    (fun h s ->
+      fp_vote h s.votes;
+      fp_bool h s.received_v;
+      fp_bool h s.received_b;
+      fp_bool h s.received_z;
+      fp_int h s.phase;
+      fp_bool h s.decided;
+      fp_bool h s.proposed;
+      fp_pids h s.pending_help)

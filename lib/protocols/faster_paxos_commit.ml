@@ -108,3 +108,14 @@ let on_guard _env _state ~id =
 let on_consensus_decide _env state d =
   if state.decided then (state, [])
   else ({ state with decided = true }, [ Proto_util.decide_vote d ])
+
+let hash_state =
+  let open Proto_util in
+  Some
+    (fun h s ->
+      fp_vote h s.vote;
+      fp_bool h s.decided;
+      fp_bool h s.proposed;
+      fp_vset h s.acceptor_coll;
+      fp_assoc_vsets h s.reports;
+      fp_assoc_vsets h s.replies)

@@ -354,6 +354,23 @@ module Make (Cfg : CONFIG) = struct
     else
       ( { state with decided = true },
         Proto_util.decide_vote d :: cancel_phase_timers )
+
+  let hash_state =
+    let open Proto_util in
+    Some
+      (fun h s ->
+        fp_int h (match s.phase with Phase0 -> 0 | Phase1 -> 1 | Phase2 -> 2);
+        fp_vote h s.vote;
+        fp_bool h s.proposed;
+        fp_bool h s.decided;
+        fp_vset h s.collection0;
+        fp_assoc_vsets h s.collection1;
+        fp_vset h s.collection_help;
+        fp_bool h s.wait;
+        fp_int h s.cnt;
+        fp_int h s.cnt_help;
+        fp_opt fp_vset h s.sent_ack;
+        fp_pids h s.pending_help)
 end
 
 include Make (struct

@@ -35,3 +35,11 @@ let on_timeout env state ~id =
 let guards = []
 let on_guard _env _state ~id = failwith ("Majority_commit: unknown guard " ^ id)
 let on_consensus_decide _env state _d = (state, [])
+
+let hash_state =
+  let open Proto_util in
+  Some
+    (fun h s ->
+      fp_int h s.yes_votes;
+      fp_int h s.heard;
+      fp_bool h s.decided)

@@ -74,3 +74,14 @@ let on_guard _env _state ~id = failwith ("One_nbac: unknown guard " ^ id)
 let on_consensus_decide _env state d =
   if state.decided then (state, [])
   else ({ state with decided = true }, [ Proto_util.decide_vote d ])
+
+let hash_state =
+  let open Proto_util in
+  Some
+    (fun h s ->
+      fp_int h s.phase;
+      fp_bool h s.proposed;
+      fp_bool h s.decided;
+      fp_vote h s.decision;
+      fp_pids h s.collection0;
+      fp_pids h s.collection1)

@@ -19,3 +19,36 @@ let first_ranked k = List.init k (fun i -> Pid.of_rank (i + 1))
 let ranked_from env j =
   let n = env.Proto.n in
   if j > n then [] else List.init (n - j + 1) (fun i -> Pid.of_rank (j + i))
+
+(* ---- fingerprint plumbing (hash_state canonicalizers) -------------- *)
+
+let fp_int = Fingerprint.add_int
+let fp_bool = Fingerprint.add_bool
+let fp_vote h v = Fingerprint.add_int h (Vote.to_int v)
+let fp_pid h p = Fingerprint.add_int h (Pid.index p)
+
+let fp_opt f h = function
+  | None -> Fingerprint.add_int h 0
+  | Some x ->
+      Fingerprint.add_int h 1;
+      f h x
+
+let fp_list f h l =
+  Fingerprint.add_int h (List.length l);
+  List.iter (f h) l
+
+let fp_pids h l = fp_list fp_pid h l
+
+let fp_vset h s =
+  fp_list
+    (fun h (p, v) ->
+      fp_pid h p;
+      fp_vote h v)
+    h (Vset.bindings s)
+
+let fp_assoc_vsets h l =
+  fp_list
+    (fun h (p, s) ->
+      fp_pid h p;
+      fp_vset h s)
+    h l

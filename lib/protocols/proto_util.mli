@@ -19,3 +19,24 @@ val first_ranked : int -> Pid.t list
 
 val ranked_from : Proto.env -> int -> Pid.t list
 (** [[P_j; ...; P_n]]. *)
+
+(** {1 Fingerprint plumbing}
+
+    Building blocks for the protocols' {!Proto.PROTOCOL.hash_state}
+    canonicalizers. Every variable-length value is framed with its length
+    ([fp_list]) so adjacent fields cannot alias. *)
+
+val fp_int : Fingerprint.t -> int -> unit
+val fp_bool : Fingerprint.t -> bool -> unit
+val fp_vote : Fingerprint.t -> Vote.t -> unit
+val fp_pid : Fingerprint.t -> Pid.t -> unit
+
+val fp_opt :
+  (Fingerprint.t -> 'a -> unit) -> Fingerprint.t -> 'a option -> unit
+
+val fp_list :
+  (Fingerprint.t -> 'a -> unit) -> Fingerprint.t -> 'a list -> unit
+
+val fp_pids : Fingerprint.t -> Pid.t list -> unit
+val fp_vset : Fingerprint.t -> Vset.t -> unit
+val fp_assoc_vsets : Fingerprint.t -> (Pid.t * Vset.t) list -> unit

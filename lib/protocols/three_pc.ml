@@ -247,3 +247,29 @@ let on_timeout env state ~id =
 let guards = []
 let on_guard _env _state ~id = failwith ("Three_pc: unknown guard " ^ id)
 let on_consensus_decide _env state _d = (state, [])
+
+let hash_state =
+  let open Proto_util in
+  let fp_status h st =
+    fp_int h
+      (match st with
+      | Uncertain -> 0
+      | Precommitted -> 1
+      | Committed -> 2
+      | Aborted -> 3)
+  in
+  Some
+    (fun h s ->
+      fp_vote h s.vote;
+      fp_vote h s.conjunction;
+      fp_pids h s.heard_from;
+      fp_pids h s.acks;
+      fp_status h s.status;
+      fp_bool h s.decided;
+      fp_bool h s.blocked_seen;
+      fp_list
+        (fun h (p, st) ->
+          fp_pid h p;
+          fp_status h st)
+        h s.states;
+      fp_pids h s.acks2)

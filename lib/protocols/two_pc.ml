@@ -88,3 +88,12 @@ let on_timeout env state ~id =
 let guards = []
 let on_guard _env _state ~id = failwith ("Two_pc: unknown guard " ^ id)
 let on_consensus_decide _env state _d = (state, [])
+
+let hash_state =
+  let open Proto_util in
+  Some
+    (fun h s ->
+      fp_vote h s.conjunction;
+      fp_pids h s.heard_from;
+      fp_bool h s.decided;
+      fp_bool h s.announced)

@@ -80,3 +80,14 @@ let on_guard _env _state ~id = failwith ("Zero_nbac: unknown guard " ^ id)
 let on_consensus_decide _env state d =
   if state.decided then (state, [])
   else ({ state with decided = true }, [ Proto_util.decide_vote d ])
+
+let hash_state =
+  let open Proto_util in
+  Some
+    (fun h s ->
+      fp_vote h s.myvote;
+      fp_bool h s.zero;
+      fp_int h s.phase;
+      fp_bool h s.decided;
+      fp_bool h s.proposed;
+      fp_pids h s.myack)

@@ -17,12 +17,13 @@ let cell_lt a b =
       | c -> c < 0)
   | c -> c < 0
 
-let grow t =
+(* [seed] fills the fresh slots, which also covers growing from an empty
+   heap (no live cell to borrow as filler). *)
+let grow t seed =
   let cap = Array.length t.heap in
   if t.len = cap then begin
     let new_cap = if cap = 0 then 16 else cap * 2 in
-    let dummy = t.heap.(0) in
-    let heap = Array.make new_cap dummy in
+    let heap = Array.make new_cap seed in
     Array.blit t.heap 0 heap 0 t.len;
     t.heap <- heap
   end
@@ -55,8 +56,7 @@ let add t ~time ~klass payload =
   if klass < 0 then invalid_arg "Event_queue.add: negative class";
   let cell = { time; klass; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  if Array.length t.heap = 0 then t.heap <- Array.make 16 cell;
-  grow t;
+  grow t cell;
   t.heap.(t.len) <- cell;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
@@ -68,8 +68,14 @@ let pop t =
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.heap.(0) <- t.heap.(t.len);
+      (* the vacated slot keeps a duplicate reference to a live cell so a
+         long-lived queue does not pin the popped payload *)
+      t.heap.(t.len) <- t.heap.(0);
       sift_down t 0
-    end;
+    end
+    else
+      (* drained: drop the backing array, releasing every dead slot *)
+      t.heap <- [||];
     Some (top.time, top.klass, top.payload)
   end
 

@@ -23,6 +23,10 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     u : Sim_time.t;
     sink : sink;
     trace : Trace.t;
+    tags : (wire, string) Hashtbl.t;
+        (* memoized [tag_of_wire]: rendering a message tag runs the Format
+           machinery, and the model checker re-sends structurally equal
+           payloads millions of times across re-executed schedules *)
     pstates : P.state array;
     cstates : C.state array;
     crashed : Sim_time.t option array;
@@ -31,8 +35,10 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         (* consensus decision already handed to the commit layer *)
     send_budget : (Sim_time.t * int ref) option array;
         (* [During_sends] crash: remaining network sends at that instant *)
-    timer_epochs : (Trace.layer * string, int) Hashtbl.t array;
-        (* per process: current cancellation epoch of each named timer *)
+    timer_epochs : (Trace.layer * string * int) list array;
+        (* per process: current cancellation epoch of each named timer.
+           Immutable alists so snapshot/restore share them by reference
+           instead of copying a hashtable per process per snapshot. *)
   }
 
   let create ~env_of ~n ~u ~sink =
@@ -41,13 +47,14 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       u;
       sink;
       trace = Trace.create ();
+      tags = Hashtbl.create 64;
       pstates = Array.init n (fun i -> P.init (env_of (Pid.of_index i)));
       cstates = Array.init n (fun i -> C.init (env_of (Pid.of_index i)));
       crashed = Array.make n None;
       decisions = Array.make n None;
       cons_decided = Array.make n false;
       send_budget = Array.make n None;
-      timer_epochs = Array.init n (fun _ -> Hashtbl.create 8);
+      timer_epochs = Array.make n [];
     }
 
   let trace t = t.trace
@@ -59,9 +66,35 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
   let cons_handed t p = t.cons_decided.(Pid.index p)
 
   let timer_epoch t pid layer id =
-    Option.value
-      (Hashtbl.find_opt t.timer_epochs.(Pid.index pid) (layer, id))
-      ~default:0
+    let rec find = function
+      | [] -> 0
+      | (l, i, e) :: tl ->
+          if l = layer && String.equal i id then e else find tl
+    in
+    find t.timer_epochs.(Pid.index pid)
+
+  let tag t payload =
+    match Hashtbl.find_opt t.tags payload with
+    | Some s -> s
+    | None ->
+        let s = tag_of_wire payload in
+        Hashtbl.add t.tags payload s;
+        s
+
+  (* Fingerprinting. The per-protocol canonical hashers are resolved once
+     at functor application; a module without one falls back to hashing
+     its marshalled bytes (equality then means marshal-byte equality,
+     like the checker's original fingerprints). *)
+  let marshal_hasher h s = Fingerprint.add_string h (Marshal.to_string s [])
+
+  let p_hasher =
+    match P.hash_state with Some f -> f | None -> marshal_hasher
+
+  let c_hasher =
+    match C.hash_state with Some f -> f | None -> marshal_hasher
+
+  let hash_pstate t h p = p_hasher h t.pstates.(Pid.index p)
+  let hash_cstate t h p = c_hasher h t.cstates.(Pid.index p)
 
   let mark_crashed t ~now pid =
     if not (is_crashed t pid) then begin
@@ -87,7 +120,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
 
   let transmit t ~now ~src ~dst payload =
     let layer = layer_of_wire payload in
-    let tag = tag_of_wire payload in
+    let tag = tag t payload in
     if Pid.equal src dst then begin
       (* a self-addressed message "arrives immediately" (footnote 10) and
          is not a network message: no budget consumed *)
@@ -114,8 +147,13 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
   (* Bumping the epoch strands every outstanding fire of this timer; sets
      made after the cancellation carry the new epoch and fire normally. *)
   let cancel_timer t ~pid ~layer ~id =
-    Hashtbl.replace t.timer_epochs.(Pid.index pid) (layer, id)
-      (timer_epoch t pid layer id + 1)
+    let i = Pid.index pid in
+    let epoch = timer_epoch t pid layer id in
+    t.timer_epochs.(i) <-
+      (layer, id, epoch + 1)
+      :: List.filter
+           (fun (l, i', _) -> not (l = layer && String.equal i' id))
+           t.timer_epochs.(i)
 
   let record_decision t ~now ~pid decision =
     match t.decisions.(Pid.index pid) with
@@ -247,7 +285,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
 
   let deliver t ~now ~sent_at ~src ~dst payload =
     let layer = layer_of_wire payload in
-    let tag = tag_of_wire payload in
+    let tag = tag t payload in
     if is_crashed t dst then
       Trace.add t.trace (Trace.Discard { at = now; dst; tag })
     else begin
@@ -294,7 +332,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     s_decisions : (Sim_time.t * Vote.decision) option array;
     s_cons_decided : bool array;
     s_send_budget : (Sim_time.t * int) option array;
-    s_timer_epochs : (Trace.layer * string, int) Hashtbl.t array;
+    s_timer_epochs : (Trace.layer * string * int) list array;
   }
 
   let snapshot t =
@@ -309,7 +347,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         Array.map
           (Option.map (fun (at, remaining) -> (at, !remaining)))
           t.send_budget;
-      s_timer_epochs = Array.map Hashtbl.copy t.timer_epochs;
+      s_timer_epochs = Array.copy t.timer_epochs;
     }
 
   let restore t s =
@@ -325,7 +363,6 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         t.send_budget.(i) <-
           Option.map (fun (at, remaining) -> (at, ref remaining)) b)
       s.s_send_budget;
-    Array.iteri
-      (fun i h -> t.timer_epochs.(i) <- Hashtbl.copy h)
-      s.s_timer_epochs
+    Array.blit s.s_timer_epochs 0 t.timer_epochs 0
+      (Array.length t.timer_epochs)
 end

@@ -62,6 +62,12 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) : sig
 
   val timer_epoch : t -> Pid.t -> Trace.layer -> string -> int
 
+  val hash_pstate : t -> Fingerprint.t -> Pid.t -> unit
+  val hash_cstate : t -> Fingerprint.t -> Pid.t -> unit
+  (** Feed the process's protocol / consensus state into the accumulator
+      via the module's {!Proto.PROTOCOL.hash_state} canonicalizer, or by
+      hashing its marshalled bytes when the module does not provide one. *)
+
   (* ---- steps ----------------------------------------------------- *)
 
   val set_send_budget : t -> Pid.t -> at:Sim_time.t -> int -> unit

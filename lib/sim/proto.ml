@@ -57,6 +57,15 @@ type 'msg action =
   | Note of string * string
       (** Trace annotation, e.g. INBAC phase transitions (Figure 1). *)
 
+type 'state state_hasher = Fingerprint.t -> 'state -> unit
+(** Canonical state hasher: feed every semantically relevant field of the
+    state into the accumulator, in a fixed order, framing variable-length
+    data with an explicit length. Two states must feed identical word
+    sequences iff they are structurally equal — the model checker
+    deduplicates visited states by the resulting digest, so an
+    under-hashed field is an unsoundness (distinct states equated), not a
+    slowdown. *)
+
 module type PROTOCOL = sig
   type state
   type msg
@@ -89,6 +98,13 @@ module type PROTOCOL = sig
       becomes false, as in the pseudo-code). *)
 
   val on_guard : env -> state -> id:string -> state * msg action list
+
+  val hash_state : state state_hasher option
+  (** Zero-marshal fingerprinting for the model checker. [None] falls
+      back to hashing [Marshal.to_string state []] — correct but an order
+      of magnitude slower, and additionally sensitive to the physical
+      sharing of the state value where the canonical hasher sees only
+      structure. *)
 end
 
 module type CONSENSUS = sig
@@ -102,4 +118,7 @@ module type CONSENSUS = sig
   val on_propose : env -> state -> Vote.t -> state * msg action list
   val on_deliver : env -> state -> src:Pid.t -> msg -> state * msg action list
   val on_timeout : env -> state -> id:string -> state * msg action list
+
+  val hash_state : state state_hasher option
+  (** See {!PROTOCOL.hash_state}. *)
 end

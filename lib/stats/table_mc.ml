@@ -36,20 +36,20 @@ let row_ok (o : Mc_run.outcome) claimed =
       && o.Mc_run.replay_verified = Some true
 
 let rows ?(protocols = default_protocols) ?(classes = default_classes)
-    ?budgets ?jobs ~n ~f () =
+    ?budgets ?fp ?jobs ~n ~f () =
   List.concat_map
     (fun protocol ->
       let cell = (Complexity.find_exn protocol).Complexity.cell in
       List.map
         (fun klass ->
-          let outcome = Mc_run.run ?budgets ?jobs ~protocol ~n ~f ~klass () in
+          let outcome = Mc_run.run ?budgets ?fp ?jobs ~protocol ~n ~f ~klass () in
           let claimed = claimed_for_class cell klass in
           { outcome; claimed; ok = row_ok outcome claimed })
         classes)
     protocols
 
-let render_checked ?protocols ?classes ?budgets ?jobs ~n ~f () =
-  let rs = rows ?protocols ?classes ?budgets ?jobs ~n ~f () in
+let render_checked ?protocols ?classes ?budgets ?fp ?jobs ~n ~f () =
+  let rs = rows ?protocols ?classes ?budgets ?fp ?jobs ~n ~f () in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf
@@ -87,5 +87,5 @@ let render_checked ?protocols ?classes ?budgets ?jobs ~n ~f () =
   Buffer.add_string buf (Ascii.render table);
   (Buffer.contents buf, List.for_all (fun r -> r.ok) rs)
 
-let render ?protocols ?classes ?budgets ?jobs ~n ~f () =
-  fst (render_checked ?protocols ?classes ?budgets ?jobs ~n ~f ())
+let render ?protocols ?classes ?budgets ?fp ?jobs ~n ~f () =
+  fst (render_checked ?protocols ?classes ?budgets ?fp ?jobs ~n ~f ())

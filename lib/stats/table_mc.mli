@@ -24,6 +24,7 @@ val rows :
   ?protocols:string list ->
   ?classes:Mc_run.exec_class list ->
   ?budgets:Mc_limits.budgets ->
+  ?fp:Mc_limits.fp_backend ->
   ?jobs:int ->
   n:int ->
   f:int ->
@@ -34,6 +35,7 @@ val render :
   ?protocols:string list ->
   ?classes:Mc_run.exec_class list ->
   ?budgets:Mc_limits.budgets ->
+  ?fp:Mc_limits.fp_backend ->
   ?jobs:int ->
   n:int ->
   f:int ->
@@ -44,6 +46,7 @@ val render_checked :
   ?protocols:string list ->
   ?classes:Mc_run.exec_class list ->
   ?budgets:Mc_limits.budgets ->
+  ?fp:Mc_limits.fp_backend ->
   ?jobs:int ->
   n:int ->
   f:int ->

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Validate the shape of a bench --json report (CI bench-smoke step).
+
+Fails (exit 1) when a required key is missing or a measured quantity is
+non-positive, so a refactor that silently drops a metric from the JSON
+breaks the build instead of the dashboard.
+"""
+import json
+import sys
+
+path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_results.json"
+with open(path) as fh:
+    doc = json.load(fh)
+
+errors = []
+
+
+def need(cond, what):
+    if not cond:
+        errors.append(what)
+
+
+need(doc.get("schema") == "actable-bench/1", "schema actable-bench/1")
+need(isinstance(doc.get("pairs"), list) and doc["pairs"], "non-empty pairs")
+
+for section in ("nice_run_seconds", "table_seconds"):
+    block = doc.get(section)
+    need(isinstance(block, dict) and block, f"non-empty {section}")
+    if isinstance(block, dict):
+        for k, v in block.items():
+            need(isinstance(v, (int, float)) and v > 0, f"{section}.{k} > 0")
+
+mc = doc.get("mc", {})
+for k in ("protocol", "class", "n", "f", "jobs"):
+    need(k in mc, f"mc.{k}")
+backends = mc.get("backends", {})
+for b in ("hashed", "marshal"):
+    be = backends.get(b, {})
+    for k in ("seconds", "states", "schedules", "states_per_sec",
+              "schedules_per_sec"):
+        need(isinstance(be.get(k), (int, float)) and be[k] > 0,
+             f"mc.backends.{b}.{k} > 0")
+need(isinstance(mc.get("hashed_vs_marshal_speedup"), (int, float)),
+     "mc.hashed_vs_marshal_speedup")
+fp = mc.get("fingerprint_ns_per_call", {})
+for k in ("hashed", "marshal", "marshal_vs_hashed"):
+    need(isinstance(fp.get(k), (int, float)) and fp[k] > 0,
+         f"mc.fingerprint_ns_per_call.{k} > 0")
+
+# the two backends must have explored the same space
+h, m = backends.get("hashed", {}), backends.get("marshal", {})
+need(h.get("states") == m.get("states"), "backends agree on states")
+need(h.get("schedules") == m.get("schedules"), "backends agree on schedules")
+
+if errors:
+    print(f"{path}: {len(errors)} problem(s)", file=sys.stderr)
+    for e in errors:
+        print(f"  missing/invalid: {e}", file=sys.stderr)
+    sys.exit(1)
+print(f"{path}: ok")

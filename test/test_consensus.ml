@@ -24,6 +24,8 @@ module Cons_probe = struct
   let on_consensus_decide _env state d =
     if state.decided then (state, [])
     else ({ decided = true }, [ Proto.Decide (Vote.decision_of_vote d) ])
+
+  let hash_state = None
 end
 
 module Paxos_run = Engine.Make (Cons_probe) (Consensus_paxos)

@@ -120,11 +120,137 @@ let test_dpor_prunes () =
         >= 10.)
   | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Fingerprint soundness. The hashed backend replaces marshal-byte
+   equality, so it must (a) give independently rebuilt but structurally
+   equal checker states equal digests, (b) change the digest whenever a
+   vote, a protocol phase, or the pending-message set changes, and
+   (c) drive the exploration to exactly the counters the Marshal backend
+   produces. *)
+
+module Fp_suite
+    (Name : sig
+      val name : string
+    end)
+    (P : Proto.PROTOCOL)
+    (C : Proto.CONSENSUS) =
+struct
+  module E = Mc_explore.Make (P) (C)
+
+  let cfg votes =
+    {
+      E.n = 3;
+      f = 1;
+      u = Sim_time.default_u;
+      votes;
+      klass = { E.allow_crashes = true; allow_late = false };
+      budgets = Mc_limits.default_budgets ~u:Sim_time.default_u;
+      fp = Mc_limits.Fp_hashed;
+    }
+
+  let all_yes = [| Vote.yes; Vote.yes; Vote.yes |]
+  let one_no = [| Vote.yes; Vote.no; Vote.yes |]
+
+  (* A fresh context advanced [k] transitions along the deterministic
+     first-candidate schedule: two calls build structurally equal states
+     through entirely separate machines, sinks and intern tables. *)
+  let ctx_at votes k =
+    let ctx = E.create_ctx (cfg votes) in
+    ignore (E.exec_step ctx E.S_proposals);
+    (try
+       for _ = 1 to k do
+         match E.enumerate ctx with
+         | [] -> raise Exit
+         | c :: _ -> ignore (E.exec_step ctx c)
+       done
+     with Exit -> ());
+    ctx
+
+  let prop_equal_states_equal_digest =
+    QCheck.Test.make ~count:30
+      ~name:(Name.name ^ ": independently rebuilt equal states hash equal")
+      QCheck.(int_range 0 12)
+      (fun k ->
+        Fingerprint.equal
+          (E.fingerprint_hashed (ctx_at all_yes k))
+          (E.fingerprint_hashed (ctx_at all_yes k)))
+
+  let prop_step_changes_digest =
+    QCheck.Test.make ~count:30
+      ~name:
+        (Name.name
+       ^ ": a step (phase / message-set change) changes the digest")
+      QCheck.(int_range 0 8)
+      (fun k ->
+        let ctx = ctx_at all_yes k in
+        let before = E.fingerprint_hashed ctx in
+        match E.enumerate ctx with
+        | [] -> true (* terminal: nothing left to mutate *)
+        | c :: _ ->
+            ignore (E.exec_step ctx c);
+            not (Fingerprint.equal before (E.fingerprint_hashed ctx)))
+
+  let test_vote_mutation () =
+    check tbool "flipping one vote changes the digest" true
+      (not
+         (Fingerprint.equal
+            (E.fingerprint_hashed (ctx_at all_yes 0))
+            (E.fingerprint_hashed (ctx_at one_no 0))))
+
+  let tests =
+    [
+      QCheck_alcotest.to_alcotest prop_equal_states_equal_digest;
+      QCheck_alcotest.to_alcotest prop_step_changes_digest;
+      Alcotest.test_case (Name.name ^ ": vote mutation") `Quick
+        test_vote_mutation;
+    ]
+end
+
+module Fp_inbac =
+  Fp_suite
+    (struct
+      let name = "inbac"
+    end)
+    (Inbac)
+    (Consensus_paxos)
+
+module Fp_2pc =
+  Fp_suite
+    (struct
+      let name = "2pc"
+    end)
+    (Two_pc)
+    (Consensus_null)
+
+let test_backends_agree protocol () =
+  let at fp =
+    (Mc_run.run ~fp ~jobs:1 ~protocol ~n:3 ~f:1 ~klass:Mc_run.Crash ())
+      .Mc_run.counters
+  in
+  let a = at Mc_limits.Fp_hashed and b = at Mc_limits.Fp_marshal in
+  check tint "states" a.Mc_limits.states b.Mc_limits.states;
+  check tint "transitions" a.Mc_limits.transitions b.Mc_limits.transitions;
+  check tint "schedules" a.Mc_limits.schedules b.Mc_limits.schedules;
+  check tint "terminals" a.Mc_limits.terminals b.Mc_limits.terminals;
+  check tint "horizon cuts" a.Mc_limits.horizon_cuts b.Mc_limits.horizon_cuts;
+  check tint "depth cuts" a.Mc_limits.depth_cuts b.Mc_limits.depth_cuts;
+  check tint "dedup hits" a.Mc_limits.dedup_hits b.Mc_limits.dedup_hits;
+  check tint "sleep skips" a.Mc_limits.sleep_skips b.Mc_limits.sleep_skips;
+  check tint "peak visited" a.Mc_limits.peak_visited b.Mc_limits.peak_visited
+
 let () =
   let quick name fn = Alcotest.test_case name `Quick fn in
   Alcotest.run "mc"
     [
       ("canonical-vs-engine", cross_validation_tests);
+      ( "fingerprint",
+        Fp_inbac.tests @ Fp_2pc.tests
+        @ [
+            quick "inbac: backends explore identically"
+              (test_backends_agree "inbac");
+            quick "2pc: backends explore identically"
+              (test_backends_agree "2pc");
+          ] );
       ( "witnesses",
         [
           quick "2pc blocks on coordinator crash" test_2pc_blocks_on_crash;

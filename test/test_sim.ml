@@ -84,6 +84,41 @@ let prop_queue_pop_sorted =
       let keys = List.map (fun (t, k, i) -> (t, k, i)) popped in
       keys = List.sort compare keys)
 
+(* Interleaved adds and pops against a model multiset: every pop must
+   return the minimum (time, class, insertion seq) of what is currently
+   queued, including after the queue fully drains and refills (which
+   exercises the backing-array release and regrowth-from-empty paths). *)
+let prop_queue_interleaved =
+  QCheck.Test.make ~count:300
+    ~name:"interleaved adds/pops preserve the heap property"
+    QCheck.(small_list (option (pair (int_range 0 50) (int_range 0 3))))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      let pop_checked () =
+        match (Event_queue.pop q, !model) with
+        | None, [] -> ()
+        | None, _ :: _ | Some _, [] -> ok := false
+        | Some (_, _, v), c :: cs ->
+            let min_cell = List.fold_left min c cs in
+            if v <> min_cell then ok := false;
+            model := List.filter (fun c' -> c' <> min_cell) !model
+      in
+      List.iter
+        (function
+          | Some (time, klass) ->
+              Event_queue.add q ~time ~klass (time, klass, !seq);
+              model := (time, klass, !seq) :: !model;
+              incr seq
+          | None -> pop_checked ())
+        ops;
+      while not (Event_queue.is_empty q) do
+        pop_checked ()
+      done;
+      !ok && !model = [])
+
 (* ------------------------------------------------------------------ *)
 (* Network *)
 
@@ -197,6 +232,7 @@ module Probe = struct
   let guards = []
   let on_guard _env _state ~id = failwith ("probe: unknown guard " ^ id)
   let on_consensus_decide _env state _d = (state, [])
+  let hash_state = None
 end
 
 module Probe_engine = Engine.Make (Probe) (Consensus_null)
@@ -354,6 +390,7 @@ module Self_probe = struct
   let guards = []
   let on_guard _env _state ~id = failwith ("self-probe: unknown guard " ^ id)
   let on_consensus_decide _env state _d = (state, [])
+  let hash_state = None
 end
 
 module Self_probe_engine = Engine.Make (Self_probe) (Consensus_null)
@@ -421,6 +458,7 @@ module Timer_probe = struct
   let guards = []
   let on_guard _env _state ~id = failwith ("timer-probe: unknown guard " ^ id)
   let on_consensus_decide _env state _d = (state, [])
+  let hash_state = None
 end
 
 module Timer_engine = Engine.Make (Timer_probe) (Consensus_null)
@@ -458,6 +496,7 @@ module Bad_guard = struct
   let guards = [ ("always", fun _env () -> true) ]
   let on_guard _env () ~id:_ = ((), [])
   let on_consensus_decide _env () _d = ((), [])
+  let hash_state = None
 end
 
 module Bad_guard_engine = Engine.Make (Bad_guard) (Consensus_null)
@@ -500,6 +539,7 @@ module Re_decider = struct
   let guards = []
   let on_guard _env _state ~id = failwith ("re-decider: unknown guard " ^ id)
   let on_consensus_decide _env state _d = (state, [])
+  let hash_state = None
 end
 
 module Re_decider_engine = Engine.Make (Re_decider) (Consensus_null)
@@ -571,6 +611,7 @@ module Canceller = struct
   let guards = []
   let on_guard _env _state ~id = failwith ("canceller: unknown guard " ^ id)
   let on_consensus_decide _env state _d = (state, [])
+  let hash_state = None
 end
 
 module Canceller_engine = Engine.Make (Canceller) (Consensus_null)
@@ -652,6 +693,7 @@ let () =
           quick "fifo within class" test_queue_fifo_within_class;
           quick "misc" test_queue_misc;
           prop prop_queue_pop_sorted;
+          prop prop_queue_interleaved;
         ] );
       ( "network",
         [
