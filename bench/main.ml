@@ -302,6 +302,24 @@ let mc_pinned ~fp () =
   Mc_run.run ~fp ~jobs:1 ~naive:false ~protocol:"inbac" ~n:3 ~f:1
     ~klass:Mc_run.Crash ()
 
+(* Frontier-scheduling matrix on the same pinned configuration: the
+   legacy shared-cursor baseline against work-stealing and the shared
+   (globally-deduplicating) visited table, at jobs=1 and jobs=4. The
+   per-item rows keep identical counters by construction; the shared
+   rows explore strictly fewer states (global dedup), which is where the
+   states/sec and wall-clock win comes from even on few cores. *)
+let mc_frontier_configs =
+  [
+    ("per_item_cursor_j1", Mc_limits.Per_item, false, 1);
+    ("per_item_stealing_j4", Mc_limits.Per_item, true, 4);
+    ("shared_stealing_j1", Mc_limits.Shared, true, 1);
+    ("shared_stealing_j4", Mc_limits.Shared, true, 4);
+  ]
+
+let mc_frontier_run (_, visited, stealing, jobs) =
+  Mc_run.run ~fp:Mc_limits.Fp_hashed ~jobs ~naive:false ~visited ~stealing
+    ~protocol:"inbac" ~n:3 ~f:1 ~klass:Mc_run.Crash ()
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -380,6 +398,29 @@ let run_json path =
           m *. 1e9 /. float_of_int fp_calls )
     | _ -> assert false
   in
+  let frontier =
+    List.map
+      (fun ((name, _, _, _), outcome, secs) ->
+        let c = outcome.Mc_run.counters in
+        ( name,
+          secs,
+          c.Mc_limits.states,
+          c.Mc_limits.schedules,
+          float_of_int c.Mc_limits.states /. secs ))
+      (time_best_each ~reps:5 mc_frontier_configs mc_frontier_run)
+  in
+  let frontier_secs name =
+    let _, s, _, _, _ =
+      List.find (fun (n, _, _, _, _) -> n = name) frontier
+    in
+    s
+  in
+  let stealing_speedup =
+    frontier_secs "per_item_cursor_j1" /. frontier_secs "per_item_stealing_j4"
+  in
+  let shared_speedup =
+    frontier_secs "per_item_cursor_j1" /. frontier_secs "shared_stealing_j4"
+  in
   let buf = Buffer.create 4096 in
   let field_block name kvs =
     Buffer.add_string buf (Printf.sprintf "  %S: {\n" name);
@@ -392,7 +433,7 @@ let run_json path =
     Buffer.add_string buf "  }"
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"actable-bench/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"actable-bench/2\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"pairs\": [%s],\n"
        (String.concat ", "
@@ -424,9 +465,23 @@ let run_json path =
   Buffer.add_string buf
     (Printf.sprintf
        "    \"fingerprint_ns_per_call\": { \"hashed\": %.1f, \"marshal\": \
-        %.1f, \"marshal_vs_hashed\": %.2f }\n"
+        %.1f, \"marshal_vs_hashed\": %.2f },\n"
        fp_hashed_ns fp_marshal_ns
        (fp_marshal_ns /. fp_hashed_ns));
+  Buffer.add_string buf "    \"frontier\": {\n";
+  List.iter
+    (fun (name, secs, states, schedules, sps) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"%s\": { \"seconds\": %.6f, \"states\": %d, \
+            \"schedules\": %d, \"states_per_sec\": %.0f },\n"
+           name secs states schedules sps))
+    frontier;
+  Buffer.add_string buf
+    (Printf.sprintf "      \"stealing_speedup_j4\": %.2f,\n" stealing_speedup);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"shared_speedup_j4\": %.2f\n" shared_speedup);
+  Buffer.add_string buf "    }\n";
   Buffer.add_string buf "  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -440,6 +495,10 @@ let run_json path =
     "fingerprint per call: hashed %.0fns, marshal %.0fns (%.1fx)\n"
     fp_hashed_ns fp_marshal_ns
     (fp_marshal_ns /. fp_hashed_ns);
+  Printf.printf
+    "frontier: stealing j4 %.2fx, stealing+shared-visited j4 %.2fx vs \
+     cursor j1\n"
+    stealing_speedup shared_speedup;
   match min_mc_floor with
   | Some floor when per_sec_of "hashed" < floor ->
       Printf.eprintf

@@ -491,7 +491,28 @@ let fp_arg =
         Mc_limits.default_fp
     & info [ "fp-backend" ] ~docv:"BACKEND" ~doc)
 
+let shared_visited_arg =
+  let doc =
+    "Dedup states globally per vote-set group (a digest-range-sharded \
+     visited table shared by all frontier items) instead of per frontier \
+     item: fewer states explored, higher states/sec, but the state \
+     counters become dependent on --jobs timing. Verdicts are unaffected. \
+     The default per-item mode keeps every counter bit-identical across \
+     --jobs."
+  in
+  Arg.(value & flag & info [ "shared-visited" ] ~doc)
+
 let mc_cmd =
+  let no_stealing_arg =
+    Arg.(
+      value & flag
+      & info [ "no-stealing" ]
+          ~doc:
+            "Schedule frontier items with the legacy shared atomic cursor \
+             instead of per-domain work-stealing deques. Counters are \
+             identical either way in per-item mode; this is the control \
+             knob the scheduling benchmarks flip.")
+  in
   let no_naive_arg =
     Arg.(
       value & flag
@@ -511,7 +532,7 @@ let mc_cmd =
              occupancy of any frontier item.")
   in
   let action protocol n f klass expect budgets fp stats consensus vote0
-      no_naive msc jobs =
+      no_naive msc jobs shared no_stealing =
     let vote_sets =
       match vote0 with
       | [] -> None
@@ -522,10 +543,14 @@ let mc_cmd =
             ranks;
           Some [ votes ]
     in
+    let visited =
+      if shared then Mc_limits.Shared else Mc_limits.default_visited
+    in
     let t0 = Unix.gettimeofday () in
     let outcome =
       Mc_run.run ~consensus ?vote_sets ~budgets ~fp ?jobs
-        ~naive:(not no_naive) ~protocol ~n ~f ~klass ()
+        ~naive:(not no_naive) ~visited ~stealing:(not no_stealing) ~protocol
+        ~n ~f ~klass ()
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     Format.printf "%a@." Mc_run.pp_outcome outcome;
@@ -564,7 +589,7 @@ let mc_cmd =
       $ expect_arg
       $ budgets_term ~default_states:400_000
       $ fp_arg $ stats_arg $ consensus_arg $ vote0_arg $ no_naive_arg
-      $ msc_arg $ jobs_arg)
+      $ msc_arg $ jobs_arg $ shared_visited_arg $ no_stealing_arg)
   in
   Cmd.v
     (Cmd.info "mc"
@@ -575,8 +600,13 @@ let mc_cmd =
     term
 
 let mctable_cmd =
-  let action n f budgets fp jobs =
-    let text, ok = Table_mc.render_checked ~budgets ~fp ?jobs ~n ~f () in
+  let action n f budgets fp jobs shared =
+    let visited =
+      if shared then Mc_limits.Shared else Mc_limits.default_visited
+    in
+    let text, ok =
+      Table_mc.render_checked ~budgets ~fp ?jobs ~visited ~n ~f ()
+    in
     print_string text;
     gate "mctable" ok
   in
@@ -584,7 +614,7 @@ let mctable_cmd =
     Term.(
       const action $ mc_n_arg $ mc_f_arg
       $ budgets_term ~default_states:120_000
-      $ fp_arg $ jobs_arg)
+      $ fp_arg $ jobs_arg $ shared_visited_arg)
   in
   Cmd.v
     (Cmd.info "mctable"

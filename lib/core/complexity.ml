@@ -13,23 +13,30 @@ let entries =
   [
     {
       protocol = "inbac";
-      cell = Props.cell ~cf:Props.avt ~nf:Props.avt;
+      cell = Props.cell ~cf:Props.avt ~nf:Props.vt;
       messages = (fun ~n ~f -> 2 * f * n);
       delays = (fun ~n:_ ~f:_ -> 2);
       optimal_messages = false (* optimal among 2-delay protocols *);
       optimal_delays = true;
       weak_semantics = None;
-      note = "message-optimal given the optimal two delays (Theorem 6)";
+      note =
+        "message-optimal given the optimal two delays (Theorem 6); the \
+         checker refuted network-failure agreement (a commit certificate \
+         delivered past the timeout horizon decides commit at its target \
+         while the consensus fallback decides abort) — INBAC assumes the \
+         synchronous model and, unlike (2n-2+f)NBAC, is not indulgent";
     };
     {
       protocol = "inbac-fast-abort";
-      cell = Props.cell ~cf:Props.avt ~nf:Props.avt;
+      cell = Props.cell ~cf:Props.avt ~nf:Props.vt;
       messages = (fun ~n ~f -> 2 * f * n);
       delays = (fun ~n:_ ~f:_ -> 2);
       optimal_messages = false;
       optimal_delays = true;
       weak_semantics = None;
-      note = "as INBAC; failure-free aborts finish within one delay";
+      note =
+        "as INBAC (including the refuted network-failure agreement claim); \
+         failure-free aborts finish within one delay";
     };
     {
       protocol = "inbac-undershoot";

@@ -716,11 +716,48 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
   exception Found of Mc_replay.property * string * step list
   exception Out_of_states
 
-  let dfs_dpor ctx (counters : Mc_limits.counters) visited =
+  (* The DFS is generic over its visited table so the same search serves
+     both dedup scopes: a plain per-item [Hashtbl] (single-domain, the
+     deterministic default) and a {!Mc_shards} table shared by every
+     item of one vote-set group. [vt_add] is called only when [vt_find]
+     saw no binding; its boolean reports whether this caller actually
+     created the binding — under a shared table a racing domain may have
+     inserted the state in between, and exactly one of the racers gets
+     [true] and counts the state. *)
+  type vtable = {
+    vt_find : Fingerprint.digest -> key list option;
+    vt_add : Fingerprint.digest -> key list -> bool;
+    vt_store : Fingerprint.digest -> key list -> unit;
+    vt_size : unit -> int;
+  }
+
+  let vtable_of_tbl (tbl : (Fingerprint.digest, key list) Hashtbl.t) =
+    {
+      vt_find = Hashtbl.find_opt tbl;
+      (* single-owner table: a miss in [vt_find] guarantees freshness *)
+      vt_add =
+        (fun fp sleep ->
+          Hashtbl.replace tbl fp sleep;
+          true);
+      vt_store = Hashtbl.replace tbl;
+      vt_size = (fun () -> Hashtbl.length tbl);
+    }
+
+  let vtable_of_shards (sh : key list Mc_shards.t) =
+    {
+      vt_find = Mc_shards.find_opt sh;
+      vt_add = Mc_shards.insert sh;
+      (* losing a racing sleep-set narrowing is sound: a larger stored
+         set only makes the subset cut less likely *)
+      vt_store = (fun fp sleep -> ignore (Mc_shards.insert sh fp sleep));
+      vt_size = (fun () -> Mc_shards.size sh);
+    }
+
+  let dfs_dpor ctx (counters : Mc_limits.counters) vt =
     let budgets = ctx.cfg.budgets in
     let rec go ~sleep ~depth path_rev =
       let fp = fingerprint ctx in
-      let prior = Hashtbl.find_opt visited fp in
+      let prior = vt.vt_find fp in
       match prior with
       | Some stored when k_subset stored sleep ->
           counters.dedup_hits <- counters.dedup_hits + 1;
@@ -746,14 +783,14 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
               else begin
                 (match prior with
                 | None ->
-                    if Hashtbl.length visited >= budgets.Mc_limits.max_states
-                    then raise Out_of_states;
-                    counters.states <- counters.states + 1;
-                    Hashtbl.replace visited fp sleep;
-                    counters.peak_visited <-
-                      max counters.peak_visited (Hashtbl.length visited)
-                | Some stored ->
-                    Hashtbl.replace visited fp (k_inter stored sleep));
+                    if vt.vt_size () >= budgets.Mc_limits.max_states then
+                      raise Out_of_states;
+                    if vt.vt_add fp sleep then begin
+                      counters.states <- counters.states + 1;
+                      counters.peak_visited <-
+                        max counters.peak_visited (vt.vt_size ())
+                    end
+                | Some stored -> vt.vt_store fp (k_inter stored sleep));
                 let snap = save ctx in
                 let sleep_now = ref sleep in
                 List.iter
@@ -821,9 +858,18 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
   (* A fixed, jobs-independent work split: expand breadth-first until the
      level is wide enough, then let [Batch] spread the items over domains.
      Items are schedule prefixes; each worker replays its prefix on a
-     fresh context, so nothing mutable crosses domain boundaries. Every
-     item is explored with its own visited table, which keeps all counters
-     bit-identical whatever [--jobs] is. *)
+     fresh context, so nothing mutable crosses domain boundaries. In the
+     default per-item mode every item is explored with its own visited
+     table, which keeps all counters bit-identical whatever [--jobs] is.
+
+     Progress is detected structurally — did any prefix actually extend
+     this round? — not by comparing level lengths: "one prefix split
+     while another terminated" can leave the lengths equal, which the
+     old length check mistook for a fixed point. Concretely, the single
+     [[]] -> [[S_proposals]] root expansion is a 1 -> 1 round, so the
+     length check froze every crash-free exploration at a one-item
+     frontier (no parallelism at all). Widths are threaded through the
+     loop so no round walks a list just to measure it. *)
   let frontier_target = 24
 
   let replay_prefix ctx prefix =
@@ -838,20 +884,34 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     let expand prefix =
       let ctx = create_ctx cfg in
       match replay_prefix ctx prefix with
-      | Some _ -> [ prefix ]
+      | Some _ -> `Leaf
       | None -> (
           match enumerate ctx with
-          | [] -> [ prefix ]
-          | cands -> List.map (fun c -> prefix @ [ c ]) cands)
+          | [] -> `Leaf
+          | cands -> `Children (List.map (fun c -> prefix @ [ c ]) cands))
     in
-    let rec grow level depth =
-      if depth >= 3 || List.length level >= frontier_target then level
-      else
-        let next = List.concat_map expand level in
-        if List.length next = List.length level then next
-        else grow next (depth + 1)
+    let rec grow level depth width =
+      if depth >= 3 || width >= frontier_target then level
+      else begin
+        let progressed = ref false in
+        let width' = ref 0 in
+        let next =
+          List.concat_map
+            (fun prefix ->
+              match expand prefix with
+              | `Leaf ->
+                  incr width';
+                  [ prefix ]
+              | `Children cs ->
+                  progressed := true;
+                  width' := !width' + List.length cs;
+                  cs)
+            level
+        in
+        if !progressed then grow next (depth + 1) !width' else level
+      end
     in
-    grow [ [] ] 0
+    grow [ [] ] 0 1
 
   (* ---- shrinking and concretization -------------------------------- *)
 
@@ -1099,6 +1159,11 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     fp : Mc_limits.fp_backend;
     jobs : int option;
     naive : bool;  (** also compute the naive schedule count (2nd pass) *)
+    visited : Mc_limits.visited_mode;
+    stealing : bool;
+        (** schedule frontier items over work-stealing deques instead of
+            the shared cursor; per-item counters are identical either
+            way (stealing without [split] never decomposes an item) *)
   }
 
   type result = {
@@ -1115,6 +1180,18 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     ir_naive_partial : bool;
   }
 
+  (* A unit of frontier work: a schedule prefix to explore under some
+     vote assignment. [wi_shared] is the vote-set group's shared visited
+     table in [Shared] mode ([None] in the deterministic per-item mode):
+     pre-proposal fingerprints do not cover the votes array, so sharing
+     one table {e across} vote sets would conflate distinct states — the
+     table's scope is exactly one group. *)
+  type work_item = {
+    wi_cfg : config;
+    wi_prefix : step list;
+    wi_shared : key list Mc_shards.t option;
+  }
+
   (* Preallocating the visited table toward its budget avoids the
      rehash cascade on the way up (growing from 4096 to the default
      400k budget costs ~7 full rehashes of an ever-larger table). The
@@ -1123,30 +1200,77 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
   let fresh_visited (cfg : config) : (Fingerprint.digest, 'a) Hashtbl.t =
     Hashtbl.create (min cfg.budgets.Mc_limits.max_states 65_536)
 
-  let explore_item (cfg, prefix) =
+  let explore_item wi =
     let counters = Mc_limits.fresh_counters () in
     let violation = ref None in
     (try
-       let ctx = create_ctx cfg in
-       match replay_prefix ctx prefix with
+       let ctx = create_ctx wi.wi_cfg in
+       match replay_prefix ctx wi.wi_prefix with
        | Some (prop, detail) ->
            counters.Mc_limits.schedules <- 1;
-           violation := Some (prop, detail, prefix)
-       | None -> dfs_dpor ctx counters (fresh_visited cfg)
+           violation := Some (prop, detail, wi.wi_prefix)
+       | None ->
+           let vt =
+             match wi.wi_shared with
+             | Some sh -> vtable_of_shards sh
+             | None -> vtable_of_tbl (fresh_visited wi.wi_cfg)
+           in
+           dfs_dpor ctx counters vt
      with
     | Found (prop, detail, sub) ->
-        violation := Some (prop, detail, prefix @ sub)
+        violation := Some (prop, detail, wi.wi_prefix @ sub)
     | Out_of_states -> counters.Mc_limits.budget_hit <- true);
     { ir_counters = counters; ir_violation = !violation; ir_naive = 0.0;
       ir_naive_partial = false }
 
-  let count_item (cfg, prefix) =
+  (* On-demand re-splitting for the work-stealing scheduler: a claimed
+     item whose prefix is still shallow is replaced by one child item
+     per enabled candidate (the same decomposition [frontier] applies
+     statically). Splitting forgets the sleep-set context accumulated
+     between siblings, so the children cover a superset of the parent's
+     schedules — sound, merely less pruned; that (and shared-table
+     dedup races) is why split-mode counters are jobs-dependent, and
+     why the deterministic default never splits. *)
+  let max_split_depth = 12
+
+  let split_item wi =
+    if List.length wi.wi_prefix >= max_split_depth then None
+    else
+      let ctx = create_ctx wi.wi_cfg in
+      match replay_prefix ctx wi.wi_prefix with
+      | Some _ -> None (* prefix already violates: run it, don't split *)
+      | None -> (
+          match enumerate ctx with
+          | [] | [ _ ] -> None
+          | cands ->
+              Some
+                (List.map
+                   (fun c -> { wi with wi_prefix = wi.wi_prefix @ [ c ] })
+                   cands))
+
+  (* Fold the results of one origin item's pieces. Counter addition
+     commutes (see [Mc_limits.add_counters]); the surviving violation is
+     whichever piece's the fold meets first, which — like any parallel
+     witness search — depends on scheduling. *)
+  let merge_ir a b =
+    Mc_limits.add_counters a.ir_counters b.ir_counters;
+    {
+      ir_counters = a.ir_counters;
+      ir_violation =
+        (match a.ir_violation with Some _ -> a.ir_violation | None -> b.ir_violation);
+      ir_naive = a.ir_naive +. b.ir_naive;
+      ir_naive_partial = a.ir_naive_partial || b.ir_naive_partial;
+    }
+
+  let count_item wi =
     try
-      let ctx = create_ctx cfg in
-      match replay_prefix ctx prefix with
+      let ctx = create_ctx wi.wi_cfg in
+      match replay_prefix ctx wi.wi_prefix with
       | Some _ -> (1.0, false)
       | None ->
-          ( dfs_count ctx (Mc_limits.fresh_counters ()) (fresh_visited cfg),
+          ( dfs_count ctx
+              (Mc_limits.fresh_counters ())
+              (fresh_visited wi.wi_cfg),
             false )
     with Out_of_states -> (0.0, true)
 
@@ -1165,19 +1289,39 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
               fp = p.fp;
             }
           in
-          List.map (fun prefix -> (cfg, prefix)) (frontier cfg))
+          let shared =
+            match p.visited with
+            | Mc_limits.Per_item -> None
+            | Mc_limits.Shared ->
+                Some
+                  (Mc_shards.create
+                     ~capacity:(min p.budgets.Mc_limits.max_states 65_536)
+                     ())
+          in
+          List.map
+            (fun prefix ->
+              { wi_cfg = cfg; wi_prefix = prefix; wi_shared = shared })
+            (frontier cfg))
         p.vote_sets
     in
-    let results = Batch.run ?jobs:p.jobs explore_item items in
+    let results =
+      match (p.visited, p.stealing) with
+      | Mc_limits.Shared, true ->
+          Batch.run_stealing ?jobs:p.jobs ~split:split_item ~merge:merge_ir
+            explore_item items
+      | Mc_limits.Per_item, true ->
+          Batch.run_stealing ?jobs:p.jobs ~merge:merge_ir explore_item items
+      | _, false -> Batch.run ?jobs:p.jobs explore_item items
+    in
     let counters = Mc_limits.fresh_counters () in
     List.iter (fun r -> Mc_limits.add_counters counters r.ir_counters) results;
     let violation =
       List.find_map
-        (fun ((cfg, _), r) ->
+        (fun (wi, r) ->
           Option.map
             (fun (prop, detail, steps) ->
-              let shrunk = shrink cfg prop steps in
-              concretize cfg prop detail shrunk)
+              let shrunk = shrink wi.wi_cfg prop steps in
+              concretize wi.wi_cfg prop detail shrunk)
             r.ir_violation)
         (List.combine items results)
     in

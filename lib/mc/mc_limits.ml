@@ -21,6 +21,19 @@ let fp_backend_to_string = function
   | Fp_hashed -> "hashed"
   | Fp_marshal -> "marshal"
 
+type visited_mode = Per_item | Shared
+
+let default_visited = Per_item
+
+let visited_mode_of_string = function
+  | "per-item" -> Some Per_item
+  | "shared" -> Some Shared
+  | _ -> None
+
+let visited_mode_to_string = function
+  | Per_item -> "per-item"
+  | Shared -> "shared"
+
 type counters = {
   mutable states : int;
   mutable transitions : int;

@@ -2,7 +2,10 @@
 
 type budgets = {
   max_depth : int;  (** schedule steps per path before a depth cut *)
-  max_states : int;  (** distinct fingerprints stored per frontier item *)
+  max_states : int;
+      (** distinct fingerprints stored per visited table — per frontier
+          item in {!Per_item} mode, per vote-set group in {!Shared}
+          mode *)
   horizon : Sim_time.t;
       (** timers armed beyond this instant never fire: bounds the
           otherwise-unbounded consensus retry cascade *)
@@ -27,6 +30,25 @@ type fp_backend =
 val default_fp : fp_backend
 val fp_backend_of_string : string -> fp_backend option
 val fp_backend_to_string : fp_backend -> string
+
+type visited_mode =
+  | Per_item
+      (** every frontier item dedups within its own visited table: a
+          state reachable from several prefixes is explored once per
+          prefix, [max_states] bounds each table separately, and the
+          counters are bit-identical across [--jobs] (the default, and
+          what [mctable] prints) *)
+  | Shared
+      (** all frontier items of one vote-set group dedup against a
+          single {!Mc_shards.t}: shared states are explored once
+          globally, [max_states] bounds the group's table, and the
+          (smaller, faster-to-reach) counters depend on scheduling
+          timing — reported only under the explicit [--shared-visited]
+          flag *)
+
+val default_visited : visited_mode
+val visited_mode_of_string : string -> visited_mode option
+val visited_mode_to_string : visited_mode -> string
 
 type counters = {
   mutable states : int;  (** distinct state fingerprints stored *)

@@ -34,6 +34,7 @@ type outcome = {
   n : int;
   f : int;
   counters : Mc_limits.counters;
+  visited : Mc_limits.visited_mode;
   naive : float option;
   naive_partial : bool;
   violation : Mc_replay.violation option;
@@ -44,7 +45,8 @@ type outcome = {
 let clean o = o.violation = None
 
 let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets
-    ?(fp = Mc_limits.default_fp) ?jobs ?(naive = false) ~protocol ~n ~f
+    ?(fp = Mc_limits.default_fp) ?jobs ?(naive = false)
+    ?(visited = Mc_limits.default_visited) ?(stealing = true) ~protocol ~n ~f
     ~klass () =
   let reg = Registry.find_exn protocol in
   let module P = (val reg.Registry.proto) in
@@ -71,6 +73,8 @@ let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets
         fp;
         jobs;
         naive;
+        visited;
+        stealing;
       }
   in
   let replay_verified =
@@ -86,6 +90,7 @@ let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets
     n;
     f;
     counters = r.E.counters;
+    visited;
     naive = r.E.naive;
     naive_partial = r.E.naive_partial;
     violation = r.E.violation;
@@ -179,6 +184,12 @@ let pp_outcome ppf o =
   Format.fprintf ppf "@[<v>%s, class %s, n=%d f=%d: %s@,%a" o.protocol
     (class_name o.klass) o.n o.f (verdict_string o) Mc_limits.pp_counters
     o.counters;
+  (match o.visited with
+  | Mc_limits.Shared ->
+      Format.fprintf ppf
+        "@,(shared visited table: states dedup globally; counters depend \
+         on --jobs)"
+  | Mc_limits.Per_item -> ());
   (match o.naive with
   | Some c ->
       Format.fprintf ppf "@,naive interleavings %s%.0f (%.1fx pruned)"

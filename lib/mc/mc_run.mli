@@ -19,6 +19,9 @@ type outcome = {
   n : int;
   f : int;
   counters : Mc_limits.counters;
+  visited : Mc_limits.visited_mode;
+      (** dedup scope the counters were produced under (see
+          {!Mc_limits.visited_mode} for the determinism contract) *)
   naive : float option;
       (** schedules a naive enumerator (no sleep sets, no dedup) walks *)
   naive_partial : bool;
@@ -38,6 +41,8 @@ val run :
   ?fp:Mc_limits.fp_backend ->
   ?jobs:int ->
   ?naive:bool ->
+  ?visited:Mc_limits.visited_mode ->
+  ?stealing:bool ->
   protocol:string ->
   n:int ->
   f:int ->
@@ -45,8 +50,13 @@ val run :
   unit ->
   outcome
 (** Explore every schedule of the bounded configuration (one exploration
-    per vote vector, frontier-parallel over domains; counters are
-    deterministic and independent of [jobs]).
+    per vote vector, frontier-parallel over domains). In the default
+    [~visited:Per_item] mode the counters are deterministic and
+    independent of [jobs] (and of [stealing], which only changes how
+    frontier items land on domains); [~visited:Shared] dedups states
+    globally per vote-set group — fewer states explored, but counters
+    become jobs-dependent. [~stealing:false] falls back to the shared
+    atomic cursor.
     @raise Not_found on unknown protocol names. *)
 
 type canonical = {

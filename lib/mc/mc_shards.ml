@@ -1,0 +1,62 @@
+(* A visited table sharded by fingerprint-digest range, for the
+   [--shared-visited] exploration mode: all frontier items of one
+   vote-set group dedup against the same table, so a state reachable
+   from several schedule prefixes is explored once globally instead of
+   once per prefix.
+
+   Sharding keys on the top bits of the digest's first lane. The lane is
+   an FNV-1a product (see {!Fingerprint}), so its high bits are as mixed
+   as its low bits and the shards load-balance; owning a contiguous
+   digest range per shard means two domains only contend when they reach
+   states whose digests collide in the top [bits] bits. Each shard is a
+   plain [Hashtbl] under its own mutex — at 2^6 shards the critical
+   sections are a handful of word reads, so plain locks beat a lock-free
+   scheme in simplicity without measurable contention at the domain
+   counts we run. *)
+
+type 'a t = {
+  shards : (Fingerprint.digest, 'a) Hashtbl.t array;
+  locks : Mutex.t array;
+  mask : int;
+  shift : int;
+  total : int Atomic.t;
+}
+
+let default_bits = 6
+
+let create ?(bits = default_bits) ~capacity () =
+  if bits < 0 || bits > 16 then invalid_arg "Mc_shards.create: bits";
+  let n = 1 lsl bits in
+  let per_shard = max 64 (capacity / n) in
+  {
+    shards = Array.init n (fun _ -> Hashtbl.create per_shard);
+    locks = Array.init n (fun _ -> Mutex.create ());
+    mask = n - 1;
+    (* digest lanes carry 63 significant bits (see Fingerprint) *)
+    shift = 63 - bits;
+    total = Atomic.make 0;
+  }
+
+let shard_of t (d : Fingerprint.digest) = (d.d1 lsr t.shift) land t.mask
+
+let find_opt t key =
+  let i = shard_of t key in
+  Mutex.lock t.locks.(i);
+  let r = Hashtbl.find_opt t.shards.(i) key in
+  Mutex.unlock t.locks.(i);
+  r
+
+(* [insert] returns whether the key was fresh; an existing binding is
+   overwritten either way (the DPOR caller narrows the stored sleep set
+   on revisit — losing a racing narrowing is sound, merely conservative:
+   a larger stored sleep set only makes a future cut less likely). *)
+let insert t key v =
+  let i = shard_of t key in
+  Mutex.lock t.locks.(i);
+  let fresh = not (Hashtbl.mem t.shards.(i) key) in
+  Hashtbl.replace t.shards.(i) key v;
+  Mutex.unlock t.locks.(i);
+  if fresh then Atomic.incr t.total;
+  fresh
+
+let size t = Atomic.get t.total

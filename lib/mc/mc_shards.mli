@@ -1,0 +1,31 @@
+(** A digest-range-sharded visited table for shared-dedup exploration.
+
+    In [--shared-visited] mode every frontier item of one vote-set group
+    dedups against the same table: a state reachable from several
+    schedule prefixes is explored once globally instead of once per
+    prefix. The table is split into [2^bits] shards, each owning a
+    contiguous range of the digest space (keyed on the top bits of the
+    first digest lane) and guarded by its own mutex, so concurrent
+    domains only contend on top-bit collisions.
+
+    The resulting counters are {e jobs-dependent}: which of two racing
+    items gets to count a shared state as fresh depends on timing. The
+    deterministic per-item tables remain the default; this table backs
+    the explicitly opted-in shared mode (see DESIGN.md). *)
+
+type 'a t
+
+val create : ?bits:int -> capacity:int -> unit -> 'a t
+(** [create ?bits ~capacity ()] makes a table of [2^bits] shards
+    (default [2^6]), pre-sizing each for [capacity / 2^bits] entries.
+    @raise Invalid_argument if [bits] is outside [0..16]. *)
+
+val find_opt : 'a t -> Fingerprint.digest -> 'a option
+
+val insert : 'a t -> Fingerprint.digest -> 'a -> bool
+(** [insert t key v] binds [key] to [v] (replacing any existing binding)
+    and returns whether [key] was fresh. Racing inserts of the same key
+    serialize on the shard lock: exactly one caller sees [true]. *)
+
+val size : 'a t -> int
+(** Total distinct keys ever inserted, across all shards. *)

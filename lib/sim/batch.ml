@@ -1,9 +1,18 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
-(* Work stealing is overkill here: items (simulated runs) are coarse and
-   numerous, so a shared atomic cursor over an array balances well. Each
-   slot is written by exactly one worker before the joins, and read only
-   after them, so [Domain.join] provides the needed happens-before. *)
+(* ------------------------------------------------------------------ *)
+(* The shared-cursor runner.
+
+   Items (simulated runs) are coarse and numerous, so a shared atomic
+   cursor over an array balances well. Each slot is written by exactly
+   one worker before the joins, and read only after them, so
+   [Domain.join] provides the needed happens-before. On the first
+   failure the cursor is poisoned (pushed past [n]) so the other workers
+   stop claiming items: claims are issued in index order, hence every
+   index below the earliest failure has already been claimed and runs to
+   completion — the re-raised exception is exactly the one the
+   sequential path would surface first. *)
+
 let run ?jobs f items =
   let work = Array.of_list items in
   let n = Array.length work in
@@ -18,11 +27,11 @@ let run ?jobs f items =
       let rec loop () =
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
-          let r =
-            try Ok (f work.(i))
-            with e -> Error (e, Printexc.get_raw_backtrace ())
-          in
-          results.(i) <- Some r;
+          (match f work.(i) with
+          | v -> results.(i) <- Some (Ok v)
+          | exception e ->
+              results.(i) <- Some (Error (e, Printexc.get_raw_backtrace ()));
+              Atomic.set cursor n (* poison: abort the batch promptly *));
           loop ()
         end
       in
@@ -31,9 +40,202 @@ let run ?jobs f items =
     let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join helpers;
-    Array.to_list results
-    |> List.map (function
-         | Some (Ok v) -> v
-         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-         | None -> assert false (* every index claimed before the joins *))
+    (* Unclaimed (None) slots can only follow the earliest Error: claims
+       are contiguous, so scanning in order meets that Error first. *)
+    let first_error =
+      Array.fold_left
+        (fun acc r ->
+          match (acc, r) with
+          | None, Some (Error (e, bt)) -> Some (e, bt)
+          | _ -> acc)
+        None results
+    in
+    match first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.to_list results
+        |> List.map (function
+             | Some (Ok v) -> v
+             | Some (Error _) | None -> assert false (* no error: all ran *))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The work-stealing runner.
+
+   For fan-outs whose items have heavily skewed costs (the model
+   checker's schedule-prefix subtrees), a shared cursor still pins one
+   fat item on one domain. Here every domain owns a deque of
+   (origin, payload) units; it pops its own newest end (depth-first on
+   the pieces it created), and an idle domain steals from the oldest end
+   of a victim — the shallowest, hence fattest, pending unit. When the
+   fleet is starving (some worker found nothing to pop or steal) a
+   worker claiming a unit first offers it to [split]: the returned
+   pieces replace the unit, land on the claimant's deque, and are
+   immediately stealable — items re-split on demand, exactly when the
+   parallelism needs it.
+
+   Results are accumulated per originating item under a mutex with
+   [merge], so [merge] must be commutative and associative; the piece
+   structure (and with it the merge order) depends on timing. Callers
+   that need bit-deterministic per-item results simply pass no [split]:
+   each item then maps to exactly one [f] application and [merge] is
+   never called. *)
+
+type 'a deque = {
+  mu : Mutex.t;
+  mutable units : (int * 'a) list;  (* head = owner's (newest) end *)
+}
+
+let run_stealing ?jobs ?split ~merge f items =
+  let work = Array.of_list items in
+  let n = Array.length work in
+  let jobs =
+    min (match jobs with Some j -> max 1 j | None -> default_jobs ()) n
+  in
+  if jobs <= 1 || n <= 1 then List.map f items
+  else begin
+    let deques =
+      Array.init jobs (fun _ -> { mu = Mutex.create (); units = [] })
+    in
+    (* round-robin seeding, index order preserved within each deque *)
+    for i = n - 1 downto 0 do
+      let d = deques.(i mod jobs) in
+      d.units <- (i, work.(i)) :: d.units
+    done;
+    let remaining = Atomic.make n in
+    let starving = Atomic.make 0 in
+    let poisoned = Atomic.make false in
+    let state_mu = Mutex.create () in
+    let results = Array.make n None in
+    let error = ref None in
+    let record_ok origin r =
+      Mutex.lock state_mu;
+      results.(origin) <-
+        (match results.(origin) with
+        | None -> Some r
+        | Some prev -> Some (merge prev r));
+      Mutex.unlock state_mu
+    in
+    let record_error origin e bt =
+      Mutex.lock state_mu;
+      (match !error with
+      | Some (o, _, _) when o <= origin -> ()
+      | _ -> error := Some (origin, e, bt));
+      Mutex.unlock state_mu;
+      Atomic.set poisoned true
+    in
+    let pop_own d =
+      Mutex.lock d.mu;
+      let u =
+        match d.units with
+        | [] -> None
+        | x :: tl ->
+            d.units <- tl;
+            Some x
+      in
+      Mutex.unlock d.mu;
+      u
+    in
+    let steal d =
+      Mutex.lock d.mu;
+      let u =
+        match List.rev d.units with
+        | [] -> None
+        | oldest :: rev_tl ->
+            d.units <- List.rev rev_tl;
+            Some oldest
+      in
+      Mutex.unlock d.mu;
+      u
+    in
+    let push_pieces d origin pieces =
+      Mutex.lock d.mu;
+      d.units <- List.map (fun p -> (origin, p)) pieces @ d.units;
+      Mutex.unlock d.mu
+    in
+    let worker w () =
+      let my = deques.(w) in
+      let flagged = ref false in
+      let stop_starving () =
+        if !flagged then begin
+          Atomic.decr starving;
+          flagged := false
+        end
+      in
+      let start_starving () =
+        if not !flagged then begin
+          Atomic.incr starving;
+          flagged := true
+        end
+      in
+      let next_unit () =
+        match pop_own my with
+        | Some u -> Some u
+        | None ->
+            let rec sweep k =
+              if k > jobs - 2 then None
+              else
+                match steal deques.((w + 1 + k) mod jobs) with
+                | Some u -> Some u
+                | None -> sweep (k + 1)
+            in
+            sweep 0
+      in
+      let run_unit origin payload =
+        (match f payload with
+        | r -> record_ok origin r
+        | exception e -> record_error origin e (Printexc.get_raw_backtrace ()));
+        Atomic.decr remaining
+      in
+      let idle = ref 0 in
+      let rec loop () =
+        if not (Atomic.get poisoned) then
+          match next_unit () with
+          | Some (origin, payload) ->
+              stop_starving ();
+              idle := 0;
+              (match
+                 if Atomic.get starving > 0 then split else None
+               with
+              | None -> run_unit origin payload
+              | Some sp -> (
+                  match sp payload with
+                  | Some (_ :: _ as pieces) ->
+                      (* the unit is replaced by its pieces *)
+                      ignore
+                        (Atomic.fetch_and_add remaining
+                           (List.length pieces - 1));
+                      push_pieces my origin pieces
+                  | Some [] | None -> run_unit origin payload
+                  | exception e ->
+                      record_error origin e (Printexc.get_raw_backtrace ());
+                      Atomic.decr remaining));
+              loop ()
+          | None ->
+              if Atomic.get remaining > 0 then begin
+                start_starving ();
+                incr idle;
+                (* brief spin, then yield the core: on machines with
+                   fewer cores than domains a spinning thief would
+                   otherwise starve the very victim it waits on *)
+                if !idle < 64 then Domain.cpu_relax ()
+                else Unix.sleepf 0.0002;
+                loop ()
+              end
+      in
+      loop ();
+      stop_starving ()
+    in
+    let helpers =
+      List.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    worker 0 ();
+    List.iter Domain.join helpers;
+    match !error with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.to_list results
+        |> List.map (function
+             | Some r -> r
+             | None -> assert false (* remaining = 0: every origin merged *))
   end

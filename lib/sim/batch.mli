@@ -22,8 +22,46 @@ val run : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [run ?jobs f items] applies [f] to every item, fanning the
     applications out over [min jobs (length items)] domains, and returns
     the results in input order. [f] must not share mutable state across
-    items (engine runs never do). If any application raises, the batch
-    still completes and the exception of the {e earliest} item that
-    failed is re-raised — the same exception the sequential path would
-    surface first. Equivalent to [List.map f items] when [jobs <= 1] or
-    the list has fewer than two items. *)
+    items (engine runs never do). If any application raises, the shared
+    cursor is poisoned so workers stop claiming further items (in-flight
+    applications still finish), and the exception of the {e earliest}
+    item that failed is re-raised with its original backtrace — the same
+    exception the sequential path would surface first, because items are
+    claimed in index order. Equivalent to [List.map f items] when
+    [jobs <= 1] or the list has fewer than two items. *)
+
+val run_stealing :
+  ?jobs:int ->
+  ?split:('a -> 'a list option) ->
+  merge:('b -> 'b -> 'b) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** [run_stealing ?jobs ?split ~merge f items] is [run] for batches with
+    heavily skewed per-item costs: every domain owns a deque of work
+    units, pops its own newest unit, and — when out of work — steals the
+    {e oldest} (typically fattest) unit from another domain, so one fat
+    item no longer pins a domain while the rest idle.
+
+    When some domain is starving, a worker about to execute a unit first
+    offers it to [split]; [Some pieces] (non-empty) replaces the unit
+    with [pieces], which land on the claimant's deque and become
+    stealable immediately — items re-split on demand, exactly when the
+    fleet needs parallelism. [None] (or [Some []]) means "not worth
+    splitting; execute as is". With [split] absent, every item maps to
+    exactly one [f] application.
+
+    All results originating from the same input item are folded with
+    [merge]; the returned list has one entry per input item, in input
+    order. The piece structure and merge order depend on runtime timing,
+    so [merge] must be commutative and associative for the per-item
+    results to be reproducible ([Mc_limits.add_counters] qualifies), and
+    even then any result component sensitive to the {e decomposition}
+    (e.g. dedup counts against per-piece tables) is only deterministic
+    when [split] is absent.
+
+    On the first exception the scheduler is poisoned (no further units
+    start) and the exception whose originating item has the smallest
+    index is re-raised with its backtrace. Equivalent to
+    [List.map f items] when [jobs <= 1] or the list has fewer than two
+    items ([split] is never consulted on that path). *)

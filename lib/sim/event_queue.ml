@@ -1,4 +1,12 @@
-type 'a cell = { time : Sim_time.t; klass : int; seq : int; payload : 'a }
+type 'a cell = {
+  time : Sim_time.t;
+  klass : int;
+  seq : int;
+  mutable payload : 'a option;
+      (* cleared to [None] when the cell pops, so dead heap slots (the
+         region beyond [len], plus grow-seed duplicates) never pin a
+         popped payload however long the queue lives *)
+}
 
 type 'a t = {
   mutable heap : 'a cell array;
@@ -6,6 +14,13 @@ type 'a t = {
   mutable len : int;
   mutable next_seq : int;
 }
+
+(* An engine queue drains between instants and refills at the next one;
+   the backing array is kept across drains (popped cells are cleared, not
+   freed) so steady-state refills re-use capacity instead of re-growing
+   from 16 every instant. The retained capacity is bounded: a drain after
+   an unusually large burst shrinks the array back to this many slots. *)
+let max_retained = 256
 
 let create () = { heap = [||]; len = 0; next_seq = 0 }
 
@@ -18,7 +33,8 @@ let cell_lt a b =
   | c -> c < 0
 
 (* [seed] fills the fresh slots, which also covers growing from an empty
-   heap (no live cell to borrow as filler). *)
+   heap (no live cell to borrow as filler); the duplicates it leaves in
+   the dead region un-pin themselves when the seed cell pops. *)
 let grow t seed =
   let cap = Array.length t.heap in
   if t.len = cap then begin
@@ -54,7 +70,7 @@ let rec sift_down t i =
 let add t ~time ~klass payload =
   if time < 0 then invalid_arg "Event_queue.add: negative time";
   if klass < 0 then invalid_arg "Event_queue.add: negative class";
-  let cell = { time; klass; seq = t.next_seq; payload } in
+  let cell = { time; klass; seq = t.next_seq; payload = Some payload } in
   t.next_seq <- t.next_seq + 1;
   grow t cell;
   t.heap.(t.len) <- cell;
@@ -65,20 +81,29 @@ let pop t =
   if t.len = 0 then None
   else begin
     let top = t.heap.(0) in
+    let payload =
+      match top.payload with
+      | Some p -> p
+      | None -> assert false (* live cells always carry their payload *)
+    in
+    (* clearing the popped cell itself un-pins the payload through every
+       alias of the record (dead slots, grow-seed duplicates) *)
+    top.payload <- None;
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.heap.(0) <- t.heap.(t.len);
-      (* the vacated slot keeps a duplicate reference to a live cell so a
-         long-lived queue does not pin the popped payload *)
-      t.heap.(t.len) <- t.heap.(0);
+      (* the cleared cell parks in the vacated slot: capacity survives
+         drain/refill cycles without the slot pinning anything *)
+      t.heap.(t.len) <- top;
       sift_down t 0
     end
-    else
-      (* drained: drop the backing array, releasing every dead slot *)
-      t.heap <- [||];
-    Some (top.time, top.klass, top.payload)
+    else if Array.length t.heap > max_retained then
+      (* drained after a burst: keep a bounded number of (cleared) slots *)
+      t.heap <- Array.sub t.heap 0 max_retained;
+    Some (top.time, top.klass, payload)
   end
 
 let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
 let is_empty t = t.len = 0
 let size t = t.len
+let capacity t = Array.length t.heap

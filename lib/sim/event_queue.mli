@@ -23,3 +23,11 @@ val pop : 'a t -> (Sim_time.t * int * 'a) option
 val peek_time : 'a t -> Sim_time.t option
 val is_empty : 'a t -> bool
 val size : 'a t -> int
+
+val capacity : 'a t -> int
+(** Number of backing slots currently allocated. Draining the queue keeps
+    a bounded capacity (popped cells are cleared in place, never pinning
+    their payloads), so an engine queue that empties between instants
+    does not re-grow from scratch on every refill; a drain after an
+    unusually large burst shrinks back to the retention bound. Exposed
+    for the regression tests. *)

@@ -36,20 +36,22 @@ let row_ok (o : Mc_run.outcome) claimed =
       && o.Mc_run.replay_verified = Some true
 
 let rows ?(protocols = default_protocols) ?(classes = default_classes)
-    ?budgets ?fp ?jobs ~n ~f () =
+    ?budgets ?fp ?jobs ?visited ~n ~f () =
   List.concat_map
     (fun protocol ->
       let cell = (Complexity.find_exn protocol).Complexity.cell in
       List.map
         (fun klass ->
-          let outcome = Mc_run.run ?budgets ?fp ?jobs ~protocol ~n ~f ~klass () in
+          let outcome =
+            Mc_run.run ?budgets ?fp ?jobs ?visited ~protocol ~n ~f ~klass ()
+          in
           let claimed = claimed_for_class cell klass in
           { outcome; claimed; ok = row_ok outcome claimed })
         classes)
     protocols
 
-let render_checked ?protocols ?classes ?budgets ?fp ?jobs ~n ~f () =
-  let rs = rows ?protocols ?classes ?budgets ?fp ?jobs ~n ~f () in
+let render_checked ?protocols ?classes ?budgets ?fp ?jobs ?visited ~n ~f () =
+  let rs = rows ?protocols ?classes ?budgets ?fp ?jobs ?visited ~n ~f () in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf
@@ -60,6 +62,14 @@ let render_checked ?protocols ?classes ?budgets ?fp ?jobs ~n ~f () =
         violation found refutes only properties the protocol's cell does\n\
         not claim for that class, and the engine replays it.\n\n"
        n f);
+  (* the default (per-item) header stays byte-identical; shared mode is
+     labelled because its counters are jobs-dependent *)
+  (match visited with
+  | Some Mc_limits.Shared ->
+      Buffer.add_string buf
+        "Shared visited table: states dedup globally per vote-set group;\n\
+         state counts depend on --jobs (verdicts do not).\n\n"
+  | Some Mc_limits.Per_item | None -> ());
   let table =
     Ascii.create
       ~header:
@@ -87,5 +97,5 @@ let render_checked ?protocols ?classes ?budgets ?fp ?jobs ~n ~f () =
   Buffer.add_string buf (Ascii.render table);
   (Buffer.contents buf, List.for_all (fun r -> r.ok) rs)
 
-let render ?protocols ?classes ?budgets ?fp ?jobs ~n ~f () =
-  fst (render_checked ?protocols ?classes ?budgets ?fp ?jobs ~n ~f ())
+let render ?protocols ?classes ?budgets ?fp ?jobs ?visited ~n ~f () =
+  fst (render_checked ?protocols ?classes ?budgets ?fp ?jobs ?visited ~n ~f ())

@@ -26,6 +26,7 @@ val rows :
   ?budgets:Mc_limits.budgets ->
   ?fp:Mc_limits.fp_backend ->
   ?jobs:int ->
+  ?visited:Mc_limits.visited_mode ->
   n:int ->
   f:int ->
   unit ->
@@ -37,6 +38,7 @@ val render :
   ?budgets:Mc_limits.budgets ->
   ?fp:Mc_limits.fp_backend ->
   ?jobs:int ->
+  ?visited:Mc_limits.visited_mode ->
   n:int ->
   f:int ->
   unit ->
@@ -48,6 +50,7 @@ val render_checked :
   ?budgets:Mc_limits.budgets ->
   ?fp:Mc_limits.fp_backend ->
   ?jobs:int ->
+  ?visited:Mc_limits.visited_mode ->
   n:int ->
   f:int ->
   unit ->

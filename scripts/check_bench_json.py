@@ -20,7 +20,7 @@ def need(cond, what):
         errors.append(what)
 
 
-need(doc.get("schema") == "actable-bench/1", "schema actable-bench/1")
+need(doc.get("schema") == "actable-bench/2", "schema actable-bench/2")
 need(isinstance(doc.get("pairs"), list) and doc["pairs"], "non-empty pairs")
 
 for section in ("nice_run_seconds", "table_seconds"):
@@ -51,6 +51,47 @@ for k in ("hashed", "marshal", "marshal_vs_hashed"):
 h, m = backends.get("hashed", {}), backends.get("marshal", {})
 need(h.get("states") == m.get("states"), "backends agree on states")
 need(h.get("schedules") == m.get("schedules"), "backends agree on schedules")
+
+# frontier-scheduling matrix: four configs plus derived speedups
+frontier = mc.get("frontier", {})
+FRONTIER_CONFIGS = (
+    "per_item_cursor_j1",
+    "per_item_stealing_j4",
+    "shared_stealing_j1",
+    "shared_stealing_j4",
+)
+for cfg in FRONTIER_CONFIGS:
+    row = frontier.get(cfg, {})
+    for k in ("seconds", "states", "schedules", "states_per_sec"):
+        need(isinstance(row.get(k), (int, float)) and row[k] > 0,
+             f"mc.frontier.{cfg}.{k} > 0")
+for k in ("stealing_speedup_j4", "shared_speedup_j4"):
+    need(isinstance(frontier.get(k), (int, float)) and frontier[k] > 0,
+         f"mc.frontier.{k} > 0")
+
+# per-item counters are deterministic: the stealing scheduler at jobs=4
+# must report exactly what the cursor baseline reports at jobs=1
+cursor = frontier.get("per_item_cursor_j1", {})
+stealing = frontier.get("per_item_stealing_j4", {})
+need(cursor.get("states") == stealing.get("states"),
+     "per-item states identical across cursor/stealing")
+need(cursor.get("schedules") == stealing.get("schedules"),
+     "per-item schedules identical across cursor/stealing")
+
+# global dedup can only shrink the explored state count
+for cfg in ("shared_stealing_j1", "shared_stealing_j4"):
+    shared_states = frontier.get(cfg, {}).get("states")
+    if isinstance(shared_states, (int, float)) and \
+       isinstance(cursor.get("states"), (int, float)):
+        need(shared_states <= cursor["states"],
+             f"mc.frontier.{cfg}.states <= per-item states")
+
+# the per-item frontier rows must match the backend rows (same pinned
+# config, same deterministic mode)
+if isinstance(h.get("states"), (int, float)) and \
+   isinstance(cursor.get("states"), (int, float)):
+    need(cursor["states"] == h["states"],
+         "frontier per-item states match mc.backends.hashed.states")
 
 if errors:
     print(f"{path}: {len(errors)} problem(s)", file=sys.stderr)

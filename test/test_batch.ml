@@ -35,6 +35,91 @@ let test_exception_propagation () =
              if x >= 2 then failwith (Printf.sprintf "boom:%d" x) else x)
            [ 0; 1; 2; 3; 4 ]))
 
+(* The poison fix: after the first failure, workers must stop claiming
+   items. Item 0 fails instantly; the other 63 items each park on a
+   barrier-free sleep, so a runner that keeps grinding would execute all
+   of them. Promptness = most items never started. *)
+let test_poison_aborts_promptly () =
+  let executed = Atomic.make 0 in
+  let n = 64 in
+  Alcotest.check_raises "failure re-raised" (Failure "poison") (fun () ->
+      ignore
+        (Batch.run ~jobs:2
+           (fun x ->
+             Atomic.incr executed;
+             if x = 0 then failwith "poison"
+             else begin
+               Unix.sleepf 0.002;
+               x
+             end)
+           (List.init n Fun.id)));
+  let ran = Atomic.get executed in
+  check tbool
+    (Printf.sprintf "poisoned batch stopped early (ran %d of %d)" ran n)
+    true
+    (ran < n / 2)
+
+let test_poison_keeps_backtrace () =
+  (* the re-raise must carry the ORIGINAL backtrace, not the join site *)
+  Printexc.record_backtrace true;
+  let raiser x = if x = 1 then failwith "bt" else x in
+  (try ignore (Batch.run ~jobs:2 raiser [ 0; 1; 2; 3 ]) with Failure _ ->
+    let bt = Printexc.get_backtrace () in
+    check tbool "backtrace mentions the raising frame" true
+      (String.length bt > 0))
+
+(* ---- the work-stealing runner ------------------------------------- *)
+
+let merge_add = ( + )
+
+let test_stealing_order_preserved () =
+  let items = List.init 50 Fun.id in
+  check (Alcotest.list tint) "results in input order"
+    (List.map (fun x -> x * x) items)
+    (Batch.run_stealing ~jobs:3 ~merge:merge_add (fun x -> x * x) items)
+
+let test_stealing_no_split_equals_run () =
+  let items = List.init 30 Fun.id in
+  check (Alcotest.list tint) "run_stealing without split = run"
+    (Batch.run ~jobs:4 succ items)
+    (Batch.run_stealing ~jobs:4 ~merge:merge_add succ items)
+
+(* Splitting and merging: each item is a list of ints; split breaks it
+   into singletons, f sums a piece, merge adds the partial sums — so
+   whatever decomposition the scheduler picks, every origin's result
+   must equal the plain sum of its list. *)
+let test_stealing_split_merge_sums () =
+  let items = List.init 16 (fun i -> List.init (i + 13) (fun j -> j + i)) in
+  let split = function
+    | [] | [ _ ] -> None
+    | xs -> Some (List.map (fun x -> [ x ]) xs)
+  in
+  let f xs =
+    (* make items slow enough that workers actually starve and split *)
+    if List.length xs > 1 then Unix.sleepf 0.001;
+    List.fold_left ( + ) 0 xs
+  in
+  check (Alcotest.list tint) "per-origin sums survive any decomposition"
+    (List.map (List.fold_left ( + ) 0) items)
+    (Batch.run_stealing ~jobs:4 ~split ~merge:merge_add f items)
+
+let test_stealing_exception_earliest_origin () =
+  Alcotest.check_raises "smallest-origin exception re-raised"
+    (Failure "steal:1") (fun () ->
+      ignore
+        (Batch.run_stealing ~jobs:2 ~merge:merge_add
+           (fun x ->
+             if x >= 1 then failwith (Printf.sprintf "steal:%d" x) else x)
+           [ 0; 1 ]))
+
+let test_stealing_edge_cases () =
+  check (Alcotest.list tint) "empty input" []
+    (Batch.run_stealing ~jobs:4 ~merge:merge_add succ []);
+  check (Alcotest.list tint) "singleton" [ 8 ]
+    (Batch.run_stealing ~jobs:4 ~merge:merge_add succ [ 7 ]);
+  check (Alcotest.list tint) "jobs:1 equals List.map" [ 2; 3; 4 ]
+    (Batch.run_stealing ~jobs:1 ~merge:merge_add succ [ 1; 2; 3 ])
+
 (* Determinism of the reworked consumers: the robustness battery run
    through 4 domains must agree element-for-element with the sequential
    evaluation, traces included. *)
@@ -74,6 +159,17 @@ let () =
           quick "jobs:1 sequential" test_jobs_one_is_sequential;
           quick "edge cases" test_edge_cases;
           quick "exception propagation" test_exception_propagation;
+          quick "poison aborts promptly" test_poison_aborts_promptly;
+          quick "poison keeps backtrace" test_poison_keeps_backtrace;
+        ] );
+      ( "stealing",
+        [
+          quick "order preserved" test_stealing_order_preserved;
+          quick "no split = run" test_stealing_no_split_equals_run;
+          quick "split/merge sums" test_stealing_split_merge_sums;
+          quick "earliest-origin exception"
+            test_stealing_exception_earliest_origin;
+          quick "edge cases" test_stealing_edge_cases;
         ] );
       ( "determinism",
         [

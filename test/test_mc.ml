@@ -238,6 +238,87 @@ let test_backends_agree protocol () =
   check tint "sleep skips" a.Mc_limits.sleep_skips b.Mc_limits.sleep_skips;
   check tint "peak visited" a.Mc_limits.peak_visited b.Mc_limits.peak_visited
 
+(* ------------------------------------------------------------------ *)
+(* Frontier scheduling: the structural-progress fix, mctable
+   byte-determinism under the stealing scheduler, and the shared
+   visited table's counter contract. *)
+
+(* Regression for the frontier fixed-point bug: the root expansion
+   [[]] -> [[S_proposals]] is a 1 -> 1 round, which the old
+   equal-length check mistook for a fixed point — every crash-free
+   exploration ran as a single frontier item, with no parallelism. *)
+let test_frontier_nice_regression () =
+  let cfg =
+    {
+      Fp_inbac.E.n = 3;
+      f = 1;
+      u = Sim_time.default_u;
+      votes = Fp_inbac.all_yes;
+      klass = { Fp_inbac.E.allow_crashes = false; allow_late = false };
+      budgets = Mc_limits.default_budgets ~u:Sim_time.default_u;
+      fp = Mc_limits.Fp_hashed;
+    }
+  in
+  let items = Fp_inbac.E.frontier cfg in
+  check tbool
+    (Printf.sprintf "nice-class frontier splits (%d items)"
+       (List.length items))
+    true
+    (List.length items > 1)
+
+(* The deterministic contract, end to end: the rendered mctable — the
+   user-facing artifact — must be byte-identical across job counts under
+   the work-stealing scheduler. Restricted to two protocols and the
+   crash class to stay test-sized. *)
+let test_mctable_bytes_across_jobs () =
+  let render jobs =
+    Table_mc.render ~protocols:[ "inbac"; "2pc" ] ~classes:[ Mc_run.Crash ]
+      ~jobs ~n:3 ~f:1 ()
+  in
+  let j1 = render 1 in
+  check Alcotest.string "jobs 1 = jobs 2" j1 (render 2);
+  check Alcotest.string "jobs 1 = jobs 8" j1 (render 8)
+
+(* Global dedup can only shrink the explored space: the shared table
+   must never report MORE states than per-item mode, and must reach the
+   same (clean, exhausted) verdict on the pinned config. *)
+let test_shared_visited_fewer_states () =
+  let at visited jobs =
+    Mc_run.run ~visited ~jobs ~protocol:"inbac" ~n:3 ~f:1
+      ~klass:Mc_run.Crash ()
+  in
+  let per_item = at Mc_limits.Per_item 1 in
+  List.iter
+    (fun jobs ->
+      let shared = at Mc_limits.Shared jobs in
+      check tbool
+        (Printf.sprintf "clean at jobs %d" jobs)
+        true (Mc_run.clean shared);
+      check tbool
+        (Printf.sprintf "no budget hit at jobs %d" jobs)
+        false shared.Mc_run.counters.Mc_limits.budget_hit;
+      check tbool
+        (Printf.sprintf "shared states <= per-item states at jobs %d" jobs)
+        true
+        (shared.Mc_run.counters.Mc_limits.states
+        <= per_item.Mc_run.counters.Mc_limits.states))
+    [ 1; 4 ]
+
+(* Stealing without splitting maps every frontier item to exactly one
+   exploration, so its counters must equal the legacy cursor's. *)
+let test_stealing_matches_cursor () =
+  let at stealing =
+    (Mc_run.run ~stealing ~jobs:4 ~protocol:"inbac" ~n:3 ~f:1
+       ~klass:Mc_run.Crash ())
+      .Mc_run.counters
+  in
+  let a = at true and b = at false in
+  check tint "states" a.Mc_limits.states b.Mc_limits.states;
+  check tint "transitions" a.Mc_limits.transitions b.Mc_limits.transitions;
+  check tint "schedules" a.Mc_limits.schedules b.Mc_limits.schedules;
+  check tint "dedup hits" a.Mc_limits.dedup_hits b.Mc_limits.dedup_hits;
+  check tint "sleep skips" a.Mc_limits.sleep_skips b.Mc_limits.sleep_skips
+
 let () =
   let quick name fn = Alcotest.test_case name `Quick fn in
   Alcotest.run "mc"
@@ -264,5 +345,16 @@ let () =
           quick "counters independent of --jobs" test_counters_jobs_independent;
           quick "shrunk witness deterministic" test_witness_deterministic;
           quick "dpor + dedup prune >= 10x" test_dpor_prunes;
+        ] );
+      ( "frontier-scheduling",
+        [
+          quick "nice frontier splits (fixed-point regression)"
+            test_frontier_nice_regression;
+          quick "mctable bytes identical across jobs 1/2/8"
+            test_mctable_bytes_across_jobs;
+          quick "shared visited never more states"
+            test_shared_visited_fewer_states;
+          quick "stealing counters = cursor counters"
+            test_stealing_matches_cursor;
         ] );
     ]

@@ -84,6 +84,62 @@ let prop_queue_pop_sorted =
       let keys = List.map (fun (t, k, i) -> (t, k, i)) popped in
       keys = List.sort compare keys)
 
+(* Drain/refill capacity retention: the engine's queue empties between
+   instants, and before the fix every drain dropped the backing array
+   (`t.heap <- [||]`), so each refill re-grew from 16 with a rehash
+   cascade. Capacity must now survive a drain — and be bounded, so a
+   one-off burst does not pin a huge array forever. *)
+let test_queue_capacity_retained () =
+  let q = Event_queue.create () in
+  let fill k = List.iter (fun i -> Event_queue.add q ~time:i ~klass:0 i)
+      (List.init k Fun.id) in
+  let drain () =
+    let rec go () = match Event_queue.pop q with
+      | Some _ -> go () | None -> () in
+    go () in
+  fill 100;
+  drain ();
+  let cap = Event_queue.capacity q in
+  check tbool "capacity survives a drain" true (cap >= 100);
+  for _ = 1 to 10 do
+    fill 100;
+    drain ();
+    check tint "steady-state cycles never re-grow" cap
+      (Event_queue.capacity q)
+  done
+
+let test_queue_capacity_bounded () =
+  let q = Event_queue.create () in
+  List.iter (fun i -> Event_queue.add q ~time:i ~klass:0 i)
+    (List.init 5000 Fun.id);
+  check tbool "burst grows the array" true (Event_queue.capacity q >= 5000);
+  let rec drain () = match Event_queue.pop q with
+    | Some _ -> drain () | None -> () in
+  drain ();
+  check tbool "drain shrinks back to the retention bound" true
+    (Event_queue.capacity q <= 256)
+
+(* No payload pinning: a popped payload must be collectable even while
+   the queue retains its (cleared) cells. The payload is allocated inside
+   a function so the only strong reference is the queue's. *)
+let test_queue_no_payload_pinning () =
+  let q = Event_queue.create () in
+  let w =
+    let payload = Bytes.create 64 in
+    Event_queue.add q ~time:1 ~klass:0 payload;
+    Weak.create 1 |> fun w -> Weak.set w 0 (Some payload); w
+  in
+  (match Event_queue.pop q with
+  | Some (_, _, p) -> ignore (Sys.opaque_identity p)
+  | None -> Alcotest.fail "queue should pop");
+  (* keep the queue alive: the retained cells must not hold the payload *)
+  Event_queue.add q ~time:2 ~klass:0 (Bytes.create 8);
+  Gc.full_major ();
+  Gc.full_major ();
+  check tbool "popped payload collected despite retained cells" true
+    (Weak.get w 0 = None);
+  ignore (Sys.opaque_identity q)
+
 (* Interleaved adds and pops against a model multiset: every pop must
    return the minimum (time, class, insertion seq) of what is currently
    queued, including after the queue fully drains and refills (which
@@ -692,6 +748,9 @@ let () =
           quick "class order" test_queue_class_order;
           quick "fifo within class" test_queue_fifo_within_class;
           quick "misc" test_queue_misc;
+          quick "capacity retained across drains" test_queue_capacity_retained;
+          quick "capacity bounded after burst" test_queue_capacity_bounded;
+          quick "no payload pinning" test_queue_no_payload_pinning;
           prop prop_queue_pop_sorted;
           prop prop_queue_interleaved;
         ] );
