@@ -320,6 +320,42 @@ let mc_frontier_run (_, visited, stealing, jobs) =
   Mc_run.run ~fp:Mc_limits.Fp_hashed ~jobs ~naive:false ~visited ~stealing
     ~protocol:"inbac" ~n:3 ~f:1 ~klass:Mc_run.Crash ()
 
+(* Snapshot-pool A/B on the pinned configuration. Timing is interleaved
+   ([time_best_each]) so frequency drift cannot bias one arm; allocation
+   is measured separately with [Gc.quick_stat] deltas around a single
+   run — at jobs=1 the exploration runs inline on this domain, so the
+   deltas are exact, and allocation is deterministic so one run is
+   enough. *)
+let mc_pool_run pool =
+  Mc_run.run ~fp:Mc_limits.Fp_hashed ~pool ~jobs:1 ~naive:false
+    ~protocol:"inbac" ~n:3 ~f:1 ~klass:Mc_run.Crash ()
+
+(* Second pinned configuration: the network class, where the enumerate
+   path (overtake bookkeeping, late-budget pruning, snapshot traffic) is
+   the hot loop rather than the machine interpreter. Budget-capped so one
+   run stays a few hundred ms; per-item visited mode keeps the capped
+   counters deterministic, so the A/B is still exploration-neutral. *)
+let network_budgets =
+  {
+    (Mc_limits.default_budgets ~u:Sim_time.default_u) with
+    Mc_limits.max_states = 2_000;
+  }
+
+let mc_network_run pool =
+  Mc_run.run ~budgets:network_budgets ~fp:Mc_limits.Fp_hashed ~pool ~jobs:1
+    ~naive:false ~protocol:"inbac" ~n:3 ~f:1 ~klass:Mc_run.Network ()
+
+let gc_measure run =
+  let g0 = Gc.quick_stat () in
+  let outcome = run () in
+  let g1 = Gc.quick_stat () in
+  let states = outcome.Mc_run.counters.Mc_limits.states in
+  let per_state x = x /. float_of_int (max states 1) in
+  ( states,
+    per_state (g1.Gc.minor_words -. g0.Gc.minor_words),
+    per_state (g1.Gc.promoted_words -. g0.Gc.promoted_words),
+    g1.Gc.major_collections - g0.Gc.major_collections )
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -421,6 +457,40 @@ let run_json path =
   let shared_speedup =
     frontier_secs "per_item_cursor_j1" /. frontier_secs "shared_stealing_j4"
   in
+  let pool_times =
+    List.map
+      (fun (pool, outcome, secs) ->
+        (pool, outcome.Mc_run.counters.Mc_limits.states, secs))
+      (time_best_each ~reps:5 [ true; false ] mc_pool_run)
+  in
+  let pool_arm b =
+    let _, states, secs = List.find (fun (p, _, _) -> p = b) pool_times in
+    (states, secs)
+  in
+  let pool_speedup = snd (pool_arm false) /. snd (pool_arm true) in
+  let p_states, p_minor, p_promoted, p_major =
+    gc_measure (fun () -> mc_pool_run true)
+  in
+  let u_states, u_minor, u_promoted, u_major =
+    gc_measure (fun () -> mc_pool_run false)
+  in
+  let net_times =
+    List.map
+      (fun (pool, outcome, secs) ->
+        (pool, outcome.Mc_run.counters.Mc_limits.states, secs))
+      (time_best_each ~reps:5 [ true; false ] mc_network_run)
+  in
+  let net_arm b =
+    let _, states, secs = List.find (fun (p, _, _) -> p = b) net_times in
+    (states, secs)
+  in
+  let net_pool_speedup = snd (net_arm false) /. snd (net_arm true) in
+  let np_states, np_minor, np_promoted, np_major =
+    gc_measure (fun () -> mc_network_run true)
+  in
+  let nu_states, nu_minor, nu_promoted, nu_major =
+    gc_measure (fun () -> mc_network_run false)
+  in
   let buf = Buffer.create 4096 in
   let field_block name kvs =
     Buffer.add_string buf (Printf.sprintf "  %S: {\n" name);
@@ -433,7 +503,7 @@ let run_json path =
     Buffer.add_string buf "  }"
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"actable-bench/2\",\n";
+  Buffer.add_string buf "  \"schema\": \"actable-bench/3\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"pairs\": [%s],\n"
        (String.concat ", "
@@ -481,7 +551,62 @@ let run_json path =
     (Printf.sprintf "      \"stealing_speedup_j4\": %.2f,\n" stealing_speedup);
   Buffer.add_string buf
     (Printf.sprintf "      \"shared_speedup_j4\": %.2f\n" shared_speedup);
-  Buffer.add_string buf "    }\n";
+  Buffer.add_string buf "    },\n";
+  let gc_block rows speedup ratio =
+    Buffer.add_string buf "    \"gc\": {\n";
+    List.iter
+      (fun (name, secs, states, minor, promoted, major) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "      \"%s\": { \"seconds\": %.6f, \"states\": %d, \
+              \"minor_words_per_state\": %.1f, \
+              \"promoted_words_per_state\": %.1f, \"major_collections\": \
+              %d },\n"
+             name secs states minor promoted major))
+      rows;
+    Buffer.add_string buf
+      (Printf.sprintf "      \"pool_speedup\": %.2f,\n" speedup);
+    Buffer.add_string buf
+      (Printf.sprintf "      \"minor_words_ratio\": %.2f\n" ratio);
+    Buffer.add_string buf "    }\n"
+  in
+  gc_block
+    [
+      ("pooled", snd (pool_arm true), p_states, p_minor, p_promoted, p_major);
+      ( "unpooled",
+        snd (pool_arm false),
+        u_states,
+        u_minor,
+        u_promoted,
+        u_major );
+    ]
+    pool_speedup
+    (u_minor /. Float.max p_minor 1e-9);
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"mc_network\": {\n";
+  Buffer.add_string buf
+    "    \"protocol\": \"inbac\", \"class\": \"network\", \"n\": 3, \"f\": \
+     1, \"jobs\": 1, \"max_states_budget\": 2000,\n";
+  let net_states, net_secs = net_arm true in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"hashed\": { \"seconds\": %.6f, \"states\": %d, \
+        \"states_per_sec\": %.0f },\n"
+       net_secs net_states
+       (float_of_int net_states /. net_secs));
+  gc_block
+    [
+      ("pooled", snd (net_arm true), np_states, np_minor, np_promoted,
+       np_major);
+      ( "unpooled",
+        snd (net_arm false),
+        nu_states,
+        nu_minor,
+        nu_promoted,
+        nu_major );
+    ]
+    net_pool_speedup
+    (nu_minor /. Float.max np_minor 1e-9);
   Buffer.add_string buf "  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -499,6 +624,30 @@ let run_json path =
     "frontier: stealing j4 %.2fx, stealing+shared-visited j4 %.2fx vs \
      cursor j1\n"
     stealing_speedup shared_speedup;
+  if
+    p_states <> u_states
+    || fst (pool_arm true) <> fst (pool_arm false)
+    || np_states <> nu_states
+    || fst (net_arm true) <> fst (net_arm false)
+  then begin
+    Printf.eprintf
+      "bench: snapshot pool changed a state count (crash %d/%d, network \
+       %d/%d pooled/unpooled) — the pool must be exploration-neutral\n"
+      p_states u_states np_states nu_states;
+    exit 1
+  end;
+  Printf.printf
+    "snapshot pool (crash): %.2fx wall, minor words/state %.0f pooled vs \
+     %.0f unpooled (%.2fx less allocation)\n"
+    pool_speedup p_minor u_minor
+    (u_minor /. Float.max p_minor 1e-9);
+  Printf.printf
+    "snapshot pool (network, capped): %.2fx wall, %.0f states/sec, minor \
+     words/state %.0f pooled vs %.0f unpooled (%.2fx less allocation)\n"
+    net_pool_speedup
+    (float_of_int net_states /. net_secs)
+    np_minor nu_minor
+    (nu_minor /. Float.max np_minor 1e-9);
   match min_mc_floor with
   | Some floor when per_sec_of "hashed" < floor ->
       Printf.eprintf

@@ -491,6 +491,16 @@ let fp_arg =
         Mc_limits.default_fp
     & info [ "fp-backend" ] ~docv:"BACKEND" ~doc)
 
+let snapshot_pool_arg =
+  let doc =
+    "Recycle machine-snapshot records across DFS nodes instead of \
+     allocating fresh ones on every node (default true). Changes \
+     allocation behaviour only: verdicts, counters and rendered output \
+     are byte-identical either way; CI diffs the two modes."
+  in
+  Arg.(
+    value & opt bool true & info [ "snapshot-pool" ] ~docv:"BOOL" ~doc)
+
 let shared_visited_arg =
   let doc =
     "Dedup states globally per vote-set group (a digest-range-sharded \
@@ -531,8 +541,8 @@ let mc_cmd =
              the wall time of the exploration) and the peak visited-table \
              occupancy of any frontier item.")
   in
-  let action protocol n f klass expect budgets fp stats consensus vote0
-      no_naive msc jobs shared no_stealing =
+  let action protocol n f klass expect budgets fp pool stats consensus
+      vote0 no_naive msc jobs shared no_stealing =
     let vote_sets =
       match vote0 with
       | [] -> None
@@ -546,13 +556,15 @@ let mc_cmd =
     let visited =
       if shared then Mc_limits.Shared else Mc_limits.default_visited
     in
+    let gc0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
     let outcome =
-      Mc_run.run ~consensus ?vote_sets ~budgets ~fp ?jobs
+      Mc_run.run ~consensus ?vote_sets ~budgets ~fp ~pool ?jobs
         ~naive:(not no_naive) ~visited ~stealing:(not no_stealing) ~protocol
         ~n ~f ~klass ()
     in
     let elapsed = Unix.gettimeofday () -. t0 in
+    let gc1 = Gc.quick_stat () in
     Format.printf "%a@." Mc_run.pp_outcome outcome;
     if stats then begin
       let c = outcome.Mc_run.counters in
@@ -564,7 +576,17 @@ let mc_cmd =
         elapsed
         (per_sec c.Mc_limits.states)
         (per_sec c.Mc_limits.schedules)
-        c.Mc_limits.peak_visited
+        c.Mc_limits.peak_visited;
+      (* Gc.quick_stat reads the calling domain only; with --jobs 1 the
+         exploration runs inline on this domain, so the deltas cover it
+         exactly. With more domains they undercount. *)
+      let per_state x = x /. float_of_int (max c.Mc_limits.states 1) in
+      Format.printf
+        "stats: gc minor-words/state %.1f, promoted-words/state %.1f, \
+         major collections %d (main domain; exact at --jobs 1)@."
+        (per_state (gc1.Gc.minor_words -. gc0.Gc.minor_words))
+        (per_state (gc1.Gc.promoted_words -. gc0.Gc.promoted_words))
+        (gc1.Gc.major_collections - gc0.Gc.major_collections)
     end;
     (match outcome.Mc_run.violation with
     | Some v when msc ->
@@ -588,8 +610,9 @@ let mc_cmd =
       const action $ protocol_arg $ mc_n_arg $ mc_f_arg $ class_arg
       $ expect_arg
       $ budgets_term ~default_states:400_000
-      $ fp_arg $ stats_arg $ consensus_arg $ vote0_arg $ no_naive_arg
-      $ msc_arg $ jobs_arg $ shared_visited_arg $ no_stealing_arg)
+      $ fp_arg $ snapshot_pool_arg $ stats_arg $ consensus_arg $ vote0_arg
+      $ no_naive_arg $ msc_arg $ jobs_arg $ shared_visited_arg
+      $ no_stealing_arg)
   in
   Cmd.v
     (Cmd.info "mc"
@@ -600,12 +623,12 @@ let mc_cmd =
     term
 
 let mctable_cmd =
-  let action n f budgets fp jobs shared =
+  let action n f budgets fp pool jobs shared =
     let visited =
       if shared then Mc_limits.Shared else Mc_limits.default_visited
     in
     let text, ok =
-      Table_mc.render_checked ~budgets ~fp ?jobs ~visited ~n ~f ()
+      Table_mc.render_checked ~budgets ~fp ~pool ?jobs ~visited ~n ~f ()
     in
     print_string text;
     gate "mctable" ok
@@ -614,7 +637,7 @@ let mctable_cmd =
     Term.(
       const action $ mc_n_arg $ mc_f_arg
       $ budgets_term ~default_states:120_000
-      $ fp_arg $ jobs_arg $ shared_visited_arg)
+      $ fp_arg $ snapshot_pool_arg $ jobs_arg $ shared_visited_arg)
   in
   Cmd.v
     (Cmd.info "mctable"

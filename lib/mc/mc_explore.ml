@@ -25,6 +25,54 @@
    realizable by the engine under some delay assignment, which is what
    makes counterexample replay ({!Mc_replay}) possible. *)
 
+(* Growable scratch buffers, reused across DFS nodes so candidate
+   enumeration and fingerprinting stop allocating a fresh list/array per
+   node. [vec_sort] is an insertion sort: candidate sets are tiny (tens
+   of elements), it allocates nothing, and it is stable — ties keep the
+   order of the input scan, which the enumerator relies on to reproduce
+   the historical [List.sort]-over-creation-order candidate order. *)
+type 'a vec = { mutable vbuf : 'a array; mutable vlen : int }
+
+let vec_make () = { vbuf = [||]; vlen = 0 }
+let vec_clear v = v.vlen <- 0
+
+let vec_push v x =
+  let cap = Array.length v.vbuf in
+  if v.vlen = cap then begin
+    let nb = Array.make (if cap = 0 then 16 else 2 * cap) x in
+    Array.blit v.vbuf 0 nb 0 cap;
+    v.vbuf <- nb
+  end;
+  v.vbuf.(v.vlen) <- x;
+  v.vlen <- v.vlen + 1
+
+let vec_sort cmp v =
+  let a = v.vbuf in
+  for i = 1 to v.vlen - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && cmp a.(!j) x > 0 do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
+
+let vec_to_list_map f v =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) (f v.vbuf.(i) :: acc)
+  in
+  go (v.vlen - 1) []
+
+(* count of elements [<= limit] in the sorted prefix [vbuf[0..vlen)] *)
+let vec_count_leq (v : int vec) limit =
+  let lo = ref 0 and hi = ref v.vlen in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v.vbuf.(mid) <= limit then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
 module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
   module M = Machine.Make (P) (C)
 
@@ -38,6 +86,10 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     klass : exec_class;
     budgets : Mc_limits.budgets;
     fp : Mc_limits.fp_backend;
+    pool : bool;
+        (* recycle machine/context snapshot records across DFS nodes;
+           observable behaviour (verdicts, counters, output bytes) is
+           identical with the pool on and off *)
   }
 
   (* ---- pending events -------------------------------------------- *)
@@ -127,15 +179,55 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     fp_acc : Fingerprint.t;  (* reusable hashed-fingerprint accumulator *)
     mutable clock_t : Sim_time.t;
     mutable clock_k : int;
-    mutable pending_msgs : pmsg list;  (* creation order *)
-    mutable pending_timers : ptimer list;
+    mutable pending_msgs : pmsg list;  (* newest first (reverse creation) *)
+    mutable pending_timers : ptimer list;  (* newest first *)
     mutable crashes_left : int;
     mutable proposed : bool;
-    mutable overtaken : (int * int) list;
-        (* uids of commit-layer messages whose synchronous slot has been
-           passed; they may now be delivered at any later point *)
+    mutable overtaken : int list;
+        (* [seq]s of commit-layer messages whose synchronous slot has been
+           passed; they may now be delivered at any later point. Grows by
+           consing only, so a snapshot of the list is always a physical
+           suffix of the later list — restore rewinds the mirror bitset
+           by walking to that suffix. *)
+    mutable ot_bits : Bytes.t;
+        (* bitset mirror of [overtaken], keyed by [seq]: O(1) membership
+           in place of the O(overtaken) list scans *)
     mutable late_count : int;
     mutable someone_no : bool;
+    (* ---- incremental enabled-set caches ---- *)
+    mutable seen_crashes : int;
+    mutable seen_bumps : int;
+        (* machine mutation counters at the last [merge_boxes]: a step
+           that crashed nobody and cancelled no timer cannot have staled
+           any pending event, so the merge skips the full rescans *)
+    mutable hard_valid : bool;
+    mutable hard_none : bool;
+    mutable hard_t : Sim_time.t;
+    mutable hard_k : int;
+        (* cached minimum hard deadline over pending events (valid while
+           [hard_valid]); [ok pair] is one pair comparison against it *)
+    sc_timers : ptimer vec;
+    sc_dels : step vec;
+    sc_soft : int vec;
+    sc_fp_msgs : pmsg vec;
+    sc_fp_timers : ptimer vec;
+    mutable snap_pool : ctx_snap list;
+  }
+
+  and ctx_snap = {
+    mutable cs_pooled : bool;
+    mutable cs_m : M.snapshot;
+    cs_sends_by : int array;
+    mutable cs_creation : int;
+    mutable cs_clock_t : Sim_time.t;
+    mutable cs_clock_k : int;
+    mutable cs_pending_msgs : pmsg list;
+    mutable cs_pending_timers : ptimer list;
+    mutable cs_crashes_left : int;
+    mutable cs_proposed : bool;
+    mutable cs_overtaken : int list;
+    mutable cs_late_count : int;
+    mutable cs_someone_no : bool;
   }
 
   let max_late_of cfg =
@@ -200,7 +292,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     in
     {
       cfg;
-      m = M.create ~env_of ~n:cfg.n ~u:cfg.u ~sink;
+      m = M.create ~pool:cfg.pool ~env_of ~n:cfg.n ~u:cfg.u ~sink ();
       box_msgs;
       box_self;
       box_timers;
@@ -215,40 +307,110 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       crashes_left = cfg.f;
       proposed = false;
       overtaken = [];
+      ot_bits = Bytes.make 64 '\000';
       late_count = 0;
       someone_no = false;
+      seen_crashes = 0;
+      seen_bumps = 0;
+      hard_valid = false;
+      hard_none = true;
+      hard_t = Sim_time.zero;
+      hard_k = 0;
+      sc_timers = vec_make ();
+      sc_dels = vec_make ();
+      sc_soft = vec_make ();
+      sc_fp_msgs = vec_make ();
+      sc_fp_timers = vec_make ();
+      snap_pool = [];
     }
 
-  type ctx_snap = {
-    cs_m : M.snapshot;
-    cs_sends_by : int array;
-    cs_creation : int;
-    cs_clock_t : Sim_time.t;
-    cs_clock_k : int;
-    cs_pending_msgs : pmsg list;
-    cs_pending_timers : ptimer list;
-    cs_crashes_left : int;
-    cs_proposed : bool;
-    cs_overtaken : (int * int) list;
-    cs_late_count : int;
-    cs_someone_no : bool;
-  }
+  (* ---- the overtaken bitset --------------------------------------- *)
+
+  let is_overtaken ctx mg =
+    let byte = mg.seq lsr 3 in
+    byte < Bytes.length ctx.ot_bits
+    && Char.code (Bytes.unsafe_get ctx.ot_bits byte)
+       land (1 lsl (mg.seq land 7))
+       <> 0
+
+  let bit_set ctx i =
+    let byte = i lsr 3 in
+    if byte >= Bytes.length ctx.ot_bits then begin
+      let nb =
+        Bytes.make (max (byte + 1) (2 * Bytes.length ctx.ot_bits)) '\000'
+      in
+      Bytes.blit ctx.ot_bits 0 nb 0 (Bytes.length ctx.ot_bits);
+      ctx.ot_bits <- nb
+    end;
+    Bytes.unsafe_set ctx.ot_bits byte
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get ctx.ot_bits byte)
+         lor (1 lsl (i land 7))))
+
+  let bit_clear ctx i =
+    let byte = i lsr 3 in
+    if byte < Bytes.length ctx.ot_bits then
+      Bytes.unsafe_set ctx.ot_bits byte
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get ctx.ot_bits byte)
+           land lnot (1 lsl (i land 7))
+           land 0xff))
+
+  (* [saved] is always a physical suffix of the current list (the list
+     only grows by consing and restores only rewind along the current
+     path), so clearing exactly the bits consed since the save leaves the
+     bitset mirroring [saved]. *)
+  let rec rewind_overtaken ctx saved l =
+    if l != saved then
+      match l with
+      | seq :: tl ->
+          bit_clear ctx seq;
+          rewind_overtaken ctx saved tl
+      | [] -> assert (saved == [])
+
+  (* ---- context snapshots ------------------------------------------ *)
 
   let save ctx =
-    {
-      cs_m = M.snapshot ctx.m;
-      cs_sends_by = Array.copy ctx.sends_by;
-      cs_creation = !(ctx.creation);
-      cs_clock_t = ctx.clock_t;
-      cs_clock_k = ctx.clock_k;
-      cs_pending_msgs = ctx.pending_msgs;
-      cs_pending_timers = ctx.pending_timers;
-      cs_crashes_left = ctx.crashes_left;
-      cs_proposed = ctx.proposed;
-      cs_overtaken = ctx.overtaken;
-      cs_late_count = ctx.late_count;
-      cs_someone_no = ctx.someone_no;
-    }
+    match ctx.snap_pool with
+    | s :: rest ->
+        ctx.snap_pool <- rest;
+        s.cs_pooled <- false;
+        s.cs_m <- M.snapshot ctx.m;
+        Array.blit ctx.sends_by 0 s.cs_sends_by 0 (Array.length ctx.sends_by);
+        s.cs_creation <- !(ctx.creation);
+        s.cs_clock_t <- ctx.clock_t;
+        s.cs_clock_k <- ctx.clock_k;
+        s.cs_pending_msgs <- ctx.pending_msgs;
+        s.cs_pending_timers <- ctx.pending_timers;
+        s.cs_crashes_left <- ctx.crashes_left;
+        s.cs_proposed <- ctx.proposed;
+        s.cs_overtaken <- ctx.overtaken;
+        s.cs_late_count <- ctx.late_count;
+        s.cs_someone_no <- ctx.someone_no;
+        s
+    | [] ->
+        {
+          cs_pooled = false;
+          cs_m = M.snapshot ctx.m;
+          cs_sends_by = Array.copy ctx.sends_by;
+          cs_creation = !(ctx.creation);
+          cs_clock_t = ctx.clock_t;
+          cs_clock_k = ctx.clock_k;
+          cs_pending_msgs = ctx.pending_msgs;
+          cs_pending_timers = ctx.pending_timers;
+          cs_crashes_left = ctx.crashes_left;
+          cs_proposed = ctx.proposed;
+          cs_overtaken = ctx.overtaken;
+          cs_late_count = ctx.late_count;
+          cs_someone_no = ctx.someone_no;
+        }
+
+  let release ctx s =
+    if ctx.cfg.pool && not s.cs_pooled then begin
+      s.cs_pooled <- true;
+      M.release ctx.m s.cs_m;
+      ctx.snap_pool <- s :: ctx.snap_pool
+    end
 
   let restore ctx s =
     M.restore ctx.m s.cs_m;
@@ -260,9 +422,13 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     ctx.pending_timers <- s.cs_pending_timers;
     ctx.crashes_left <- s.cs_crashes_left;
     ctx.proposed <- s.cs_proposed;
+    rewind_overtaken ctx s.cs_overtaken ctx.overtaken;
     ctx.overtaken <- s.cs_overtaken;
     ctx.late_count <- s.cs_late_count;
     ctx.someone_no <- s.cs_someone_no;
+    ctx.seen_crashes <- M.crash_count ctx.m;
+    ctx.seen_bumps <- M.epoch_bump_count ctx.m;
+    ctx.hard_valid <- false;
     ctx.box_msgs := [];
     ctx.box_self := [];
     ctx.box_timers := []
@@ -287,37 +453,62 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     (not (M.is_crashed ctx.m t.t_pid))
     && t.t_epoch = M.timer_epoch ctx.m t.t_pid t.t_layer t.t_id
 
-  (* Runs after every executed step, so the no-op cases — nobody crashed,
-     no timer went stale, no new events — must not rebuild the pending
-     lists they leave unchanged. *)
+  (* Runs after every executed step. Pending lists are newest-first, so
+     absorbing the (also newest-first) boxes is a prepend: a quiet step
+     costs O(new events), not O(pending). The full staleness rescans of
+     the old pending entries are gated on the machine's crash / timer-
+     epoch mutation counters: a step that crashed nobody and cancelled no
+     timer cannot have staled an event that survived the last merge. *)
   let merge_boxes ctx =
+    let crashes = M.crash_count ctx.m in
+    let bumps = M.epoch_bump_count ctx.m in
     let keep mg = not (M.is_crashed ctx.m mg.dst) in
-    let any_crashed =
-      Array.exists Option.is_some (M.crashed_at ctx.m)
-    in
-    let new_msgs = List.rev !(ctx.box_msgs) in
-    let new_msgs = if any_crashed then List.filter keep new_msgs else new_msgs in
+    let changed = ref false in
+    let new_msgs = !(ctx.box_msgs) in
     ctx.box_msgs := [];
-    let new_timers = List.rev !(ctx.box_timers) in
+    let new_msgs =
+      if crashes > 0 && not (List.for_all keep new_msgs) then
+        List.filter keep new_msgs
+      else new_msgs
+    in
+    if crashes > ctx.seen_crashes
+       && not (List.for_all keep ctx.pending_msgs)
+    then begin
+      ctx.pending_msgs <- List.filter keep ctx.pending_msgs;
+      changed := true
+    end;
+    (match new_msgs with
+    | [] -> ()
+    | _ ->
+        ctx.pending_msgs <- new_msgs @ ctx.pending_msgs;
+        changed := true);
+    let new_timers = !(ctx.box_timers) in
     ctx.box_timers := [];
-    let pending =
-      if any_crashed && not (List.for_all keep ctx.pending_msgs) then
-        List.filter keep ctx.pending_msgs
-      else ctx.pending_msgs
+    let new_timers =
+      if List.for_all (fresh_timer ctx) new_timers then new_timers
+      else List.filter (fresh_timer ctx) new_timers
     in
-    ctx.pending_msgs <-
-      (match new_msgs with [] -> pending | _ -> pending @ new_msgs);
-    let timers =
-      match new_timers with
-      | [] -> ctx.pending_timers
-      | _ -> ctx.pending_timers @ new_timers
-    in
-    ctx.pending_timers <-
-      (if List.for_all (fresh_timer ctx) timers then timers
-       else List.filter (fresh_timer ctx) timers)
+    if (crashes > ctx.seen_crashes || bumps > ctx.seen_bumps)
+       && not (List.for_all (fresh_timer ctx) ctx.pending_timers)
+    then begin
+      ctx.pending_timers <- List.filter (fresh_timer ctx) ctx.pending_timers;
+      changed := true
+    end;
+    (match new_timers with
+    | [] -> ()
+    | _ ->
+        ctx.pending_timers <- new_timers @ ctx.pending_timers;
+        changed := true);
+    ctx.seen_crashes <- crashes;
+    ctx.seen_bumps <- bumps;
+    if !changed then ctx.hard_valid <- false
 
   let pair_geq (t1, k1) (t2, k2) = t1 > t2 || (t1 = t2 && k1 >= k2)
   let is_commit_wire mg = M.layer_of_wire mg.payload = Trace.Commit_layer
+
+  let layer_code = function
+    | Trace.Commit_layer -> 0
+    | Trace.Consensus_layer -> 1
 
   (* Executing at [pair] passes the synchronous slot of every pending
      commit-layer message behind it; each such message consumes one unit
@@ -329,10 +520,11 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       (fun mg ->
         if
           is_commit_wire mg
-          && (not (List.mem mg.uid ctx.overtaken))
+          && (not (is_overtaken ctx mg))
           && not (pair_geq (mg.nominal, 2) pair)
         then begin
-          ctx.overtaken <- mg.uid :: ctx.overtaken;
+          ctx.overtaken <- mg.seq :: ctx.overtaken;
+          bit_set ctx mg.seq;
           ctx.late_count <- ctx.late_count + 1
         end)
       ctx.pending_msgs
@@ -422,7 +614,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         ctx.crashes_left <- ctx.crashes_left - 1
     | S_deliver { msg; at; klass; late = _ } ->
         ctx.pending_msgs <-
-          List.filter (fun mg -> mg.uid <> msg.uid) ctx.pending_msgs;
+          List.filter (fun mg -> mg.seq <> msg.seq) ctx.pending_msgs;
+        ctx.hard_valid <- false;
         overtake ctx (at, klass);
         M.deliver ctx.m ~now:at ~sent_at:msg.sent_mc ~src:msg.src
           ~dst:msg.dst msg.payload;
@@ -431,6 +624,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     | S_timeout t ->
         ctx.pending_timers <-
           List.filter (fun t' -> t'.t_seq <> t.t_seq) ctx.pending_timers;
+        ctx.hard_valid <- false;
         overtake ctx (t.t_at, 3);
         ignore
           (M.timeout ctx.m ~now:t.t_at ~pid:t.t_pid ~layer:t.t_layer
@@ -447,6 +641,79 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       (fun p -> not (M.is_crashed ctx.m p))
       (Pid.all ~n:ctx.cfg.n)
 
+  (* Recompute the cached minimum hard deadline (a timer below the
+     horizon, or a message that may not miss its slot). [ok pair] needs
+     only the minimum: "no deadline is strictly below [pair]" is exactly
+     "the minimum is >= [pair]". *)
+  let refresh_hard ctx =
+    let h = ctx.cfg.budgets.Mc_limits.horizon in
+    let max_late = max_late_of ctx.cfg in
+    ctx.hard_none <- true;
+    let consider t k =
+      if
+        ctx.hard_none
+        || not (pair_geq (t, k) (ctx.hard_t, ctx.hard_k))
+      then begin
+        ctx.hard_none <- false;
+        ctx.hard_t <- t;
+        ctx.hard_k <- k
+      end
+    in
+    List.iter
+      (fun t -> if t.t_at <= h then consider t.t_at 3)
+      ctx.pending_timers;
+    List.iter
+      (fun mg ->
+        if not (max_late > 0 && is_commit_wire mg) then consider mg.nominal 2)
+      ctx.pending_msgs;
+    ctx.hard_valid <- true
+
+  (* Sorted nominal slots of the soft (late-deliverable, not yet
+     overtaken) messages: the per-candidate lateness cost becomes one
+     binary search instead of a full pending scan. Refreshed per
+     [enumerate] call because [overtake] flips bits without touching the
+     pending lists. *)
+  let refresh_soft ctx =
+    vec_clear ctx.sc_soft;
+    List.iter
+      (fun mg ->
+        if is_commit_wire mg && not (is_overtaken ctx mg) then
+          vec_push ctx.sc_soft mg.nominal)
+      ctx.pending_msgs;
+    vec_sort (fun (a : int) b -> compare a b) ctx.sc_soft
+
+  (* number of soft slots strictly below [(t, k)]: a nominal slot
+     [(n, 2)] is passed iff [n < t], or [n = t] with [k = 3] *)
+  let soft_cost ctx t k =
+    vec_count_leq ctx.sc_soft (if k >= 3 then t else t - 1)
+
+  let timer_cmp a b =
+    let c = compare (a.t_at : int) b.t_at in
+    if c <> 0 then c
+    else
+      let c = compare (Pid.index a.t_pid) (Pid.index b.t_pid) in
+      if c <> 0 then c
+      else
+        let c = compare (layer_code a.t_layer) (layer_code b.t_layer) in
+        if c <> 0 then c
+        else
+          let c = String.compare a.t_id b.t_id in
+          if c <> 0 then c else compare (a.t_seq : int) b.t_seq
+
+  let del_cmp a b =
+    match (a, b) with
+    | S_deliver a, S_deliver b ->
+        let c = compare (a.at : int) b.at in
+        if c <> 0 then c
+        else
+          let c = compare (a.klass : int) b.klass in
+          if c <> 0 then c
+          else
+            let c = compare (fst a.msg.uid : int) (fst b.msg.uid) in
+            if c <> 0 then c
+            else compare (snd a.msg.uid : int) (snd b.msg.uid)
+    | _ -> 0
+
   (* Candidates in canonical exploration order: crash injections first,
      then timeouts, then deliveries — adversarial choices lead so that a
      depth-first search reaches failure schedules before it has exhausted
@@ -461,76 +728,51 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       let h = ctx.cfg.budgets.Mc_limits.horizon in
       let max_late = max_late_of ctx.cfg in
       let clock = (ctx.clock_t, ctx.clock_k) in
-      let is_overtaken mg = List.mem mg.uid ctx.overtaken in
-      let soft mg = max_late > 0 && is_commit_wire mg in
-      (* an executable step must not strand a hard deadline (a timer below
-         the horizon, or a message that may not miss its slot), and the
-         soft slots it passes must fit in the remaining lateness budget *)
-      let hard_deadlines =
-        List.filter_map
-          (fun t -> if t.t_at <= h then Some (t.t_at, 3) else None)
-          ctx.pending_timers
-        @ List.filter_map
-            (fun mg -> if soft mg then None else Some (mg.nominal, 2))
-            ctx.pending_msgs
-      in
-      let ok pair =
-        List.for_all (fun d -> pair_geq d pair) hard_deadlines
-        && ctx.late_count
-           + List.length
-               (List.filter
-                  (fun mg ->
-                    soft mg
-                    && (not (is_overtaken mg))
-                    && not (pair_geq (mg.nominal, 2) pair))
-                  ctx.pending_msgs)
-           <= max_late
+      if not ctx.hard_valid then refresh_hard ctx;
+      if max_late > 0 then refresh_soft ctx;
+      (* an executable step must not strand a hard deadline, and the soft
+         slots it passes must fit in the remaining lateness budget *)
+      let ok (t, k) =
+        (ctx.hard_none || pair_geq (ctx.hard_t, ctx.hard_k) (t, k))
+        && (max_late = 0 || ctx.late_count + soft_cost ctx t k <= max_late)
       in
       let timer_at_clock =
         List.exists (fun t -> t.t_at = ctx.clock_t) ctx.pending_timers
       in
-      let timeouts =
-        ctx.pending_timers
-        |> List.filter (fun t ->
-               t.t_at <= h && pair_geq (t.t_at, 3) clock && ok (t.t_at, 3))
-        |> List.sort (fun a b ->
-               compare
-                 (a.t_at, Pid.index a.t_pid, a.t_layer, a.t_id)
-                 (b.t_at, Pid.index b.t_pid, b.t_layer, b.t_id))
-        |> List.map (fun t -> S_timeout t)
-      in
-      let deliveries =
-        ctx.pending_msgs
-        |> List.filter_map (fun mg ->
-               if is_overtaken mg then
-                 (* slot already missed (budget paid): deliverable at the
-                    current point of the schedule *)
-                 if ctx.clock_k <= 2 then
-                   if ok (ctx.clock_t, 2) then
-                     Some
-                       (S_deliver
-                          { msg = mg; at = ctx.clock_t; klass = 2; late = true })
-                   else None
-                 else if timer_at_clock then None
-                   (* a delivery between two timer fires of one instant is
-                      not realizable by any delay assignment *)
-                 else if ok (ctx.clock_t, 3) then
-                   Some
-                     (S_deliver
-                        { msg = mg; at = ctx.clock_t; klass = 3; late = true })
-                 else None
-               else if pair_geq (mg.nominal, 2) clock && ok (mg.nominal, 2)
-               then
-                 Some
-                   (S_deliver
-                      { msg = mg; at = mg.nominal; klass = 2; late = false })
-               else None)
-        |> List.sort (fun a b ->
-               match (a, b) with
-               | S_deliver a, S_deliver b ->
-                   compare (a.at, a.klass, a.msg.uid) (b.at, b.klass, b.msg.uid)
-               | _ -> 0)
-      in
+      vec_clear ctx.sc_timers;
+      List.iter
+        (fun t ->
+          if t.t_at <= h && pair_geq (t.t_at, 3) clock && ok (t.t_at, 3) then
+            vec_push ctx.sc_timers t)
+        ctx.pending_timers;
+      vec_sort timer_cmp ctx.sc_timers;
+      let timeouts = vec_to_list_map (fun t -> S_timeout t) ctx.sc_timers in
+      vec_clear ctx.sc_dels;
+      List.iter
+        (fun mg ->
+          if is_overtaken ctx mg then begin
+            (* slot already missed (budget paid): deliverable at the
+               current point of the schedule *)
+            if ctx.clock_k <= 2 then begin
+              if ok (ctx.clock_t, 2) then
+                vec_push ctx.sc_dels
+                  (S_deliver
+                     { msg = mg; at = ctx.clock_t; klass = 2; late = true })
+            end
+            else if timer_at_clock then ()
+              (* a delivery between two timer fires of one instant is
+                 not realizable by any delay assignment *)
+            else if ok (ctx.clock_t, 3) then
+              vec_push ctx.sc_dels
+                (S_deliver
+                   { msg = mg; at = ctx.clock_t; klass = 3; late = true })
+          end
+          else if pair_geq (mg.nominal, 2) clock && ok (mg.nominal, 2) then
+            vec_push ctx.sc_dels
+              (S_deliver { msg = mg; at = mg.nominal; klass = 2; late = false }))
+        ctx.pending_msgs;
+      vec_sort del_cmp ctx.sc_dels;
+      let deliveries = vec_to_list_map Fun.id ctx.sc_dels in
       let has_work = timeouts <> [] || deliveries <> [] in
       let crashes =
         if
@@ -583,9 +825,33 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
 
   (* ---- state fingerprints ------------------------------------------ *)
 
-  let layer_code = function
-    | Trace.Commit_layer -> 0
-    | Trace.Consensus_layer -> 1
+  (* Canonical multiset orders for the hashed backend. The message order
+     is totalized by uid: ties on the hashed keys can only be duplicate
+     sends (same sender, instant, destination, payload), which share
+     their overtaken bit, so the digest is input-order-independent. *)
+  let fp_msg_cmp a b =
+    let c = compare (a.nominal : int) b.nominal in
+    if c <> 0 then c
+    else
+      let c = compare (Pid.index a.src) (Pid.index b.src) in
+      if c <> 0 then c
+      else
+        let c = compare (Pid.index a.dst) (Pid.index b.dst) in
+        if c <> 0 then c
+        else
+          let c = compare (a.pl_id : int) b.pl_id in
+          if c <> 0 then c
+          else compare (snd a.uid : int) (snd b.uid)
+
+  let fp_timer_cmp a b =
+    let c = compare (a.t_at : int) b.t_at in
+    if c <> 0 then c
+    else
+      let c = compare (Pid.index a.t_pid) (Pid.index b.t_pid) in
+      if c <> 0 then c
+      else
+        let c = compare (layer_code a.t_layer) (layer_code b.t_layer) in
+        if c <> 0 then c else String.compare a.t_id b.t_id
 
   (* The zero-marshal backend: feed the same canonical facts the Marshal
      backend serializes — scheduler clock and budgets, every process's
@@ -616,49 +882,34 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         | Some (_, Vote.Abort) -> 2);
       Fingerprint.add_bool h (M.cons_handed ctx.m p)
     done;
-    (* Canonical multiset order via in-place sorts over small arrays with
-       monomorphic comparators: no tuple lists, no polymorphic compare. *)
-    let msgs = Array.of_list ctx.pending_msgs in
-    Array.sort
-      (fun a b ->
-        let c = compare (a.nominal : int) b.nominal in
-        if c <> 0 then c
-        else
-          let c = compare (Pid.index a.src) (Pid.index b.src) in
-          if c <> 0 then c
-          else
-            let c = compare (Pid.index a.dst) (Pid.index b.dst) in
-            if c <> 0 then c else compare (a.pl_id : int) b.pl_id)
-      msgs;
-    Fingerprint.add_int h (Array.length msgs);
-    Array.iter
-      (fun mg ->
-        Fingerprint.add_int h mg.nominal;
-        Fingerprint.add_int h (Pid.index mg.src);
-        Fingerprint.add_int h (Pid.index mg.dst);
-        Fingerprint.add_bool h (List.mem mg.uid ctx.overtaken);
-        Fingerprint.add_int h mg.pl_id)
-      msgs;
-    let timers = Array.of_list ctx.pending_timers in
-    Array.sort
-      (fun a b ->
-        let c = compare (a.t_at : int) b.t_at in
-        if c <> 0 then c
-        else
-          let c = compare (Pid.index a.t_pid) (Pid.index b.t_pid) in
-          if c <> 0 then c
-          else
-            let c = compare (layer_code a.t_layer) (layer_code b.t_layer) in
-            if c <> 0 then c else String.compare a.t_id b.t_id)
-      timers;
-    Fingerprint.add_int h (Array.length timers);
-    Array.iter
-      (fun t ->
-        Fingerprint.add_int h t.t_at;
-        Fingerprint.add_int h (Pid.index t.t_pid);
-        Fingerprint.add_int h (layer_code t.t_layer);
-        Fingerprint.add_string h t.t_id)
-      timers;
+    (* Canonical multiset order via in-place sorts over reused scratch
+       buffers with monomorphic comparators: no tuple lists, no
+       polymorphic compare, no per-node array allocation. *)
+    let msgs = ctx.sc_fp_msgs in
+    vec_clear msgs;
+    List.iter (fun mg -> vec_push msgs mg) ctx.pending_msgs;
+    vec_sort fp_msg_cmp msgs;
+    Fingerprint.add_int h msgs.vlen;
+    for i = 0 to msgs.vlen - 1 do
+      let mg = msgs.vbuf.(i) in
+      Fingerprint.add_int h mg.nominal;
+      Fingerprint.add_int h (Pid.index mg.src);
+      Fingerprint.add_int h (Pid.index mg.dst);
+      Fingerprint.add_bool h (is_overtaken ctx mg);
+      Fingerprint.add_int h mg.pl_id
+    done;
+    let timers = ctx.sc_fp_timers in
+    vec_clear timers;
+    List.iter (fun t -> vec_push timers t) ctx.pending_timers;
+    vec_sort fp_timer_cmp timers;
+    Fingerprint.add_int h timers.vlen;
+    for i = 0 to timers.vlen - 1 do
+      let t = timers.vbuf.(i) in
+      Fingerprint.add_int h t.t_at;
+      Fingerprint.add_int h (Pid.index t.t_pid);
+      Fingerprint.add_int h (layer_code t.t_layer);
+      Fingerprint.add_string h t.t_id
+    done;
     Fingerprint.digest h
 
   (* The historical backend, verbatim up to the digest representation:
@@ -683,7 +934,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
              ( mg.nominal,
                Pid.index mg.src,
                Pid.index mg.dst,
-               List.mem mg.uid ctx.overtaken,
+               is_overtaken ctx mg,
                Marshal.to_string mg.payload [] ))
            ctx.pending_msgs)
     in
@@ -813,7 +1064,10 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
                         (cand :: path_rev);
                       sleep_now := k :: !sleep_now
                     end)
-                  cands
+                  cands;
+                (* backtracking past this node: its snapshot can never be
+                   restored again, so its records go back to the pools *)
+                release ctx snap
               end)
     in
     go ~sleep:[] ~depth:0 []
@@ -848,6 +1102,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
                     | None -> acc +. go ())
                   0.0 cands
               in
+              release ctx snap;
               Hashtbl.replace visited fp total;
               total)
     in
@@ -1113,7 +1368,14 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     let rec flush () =
       match ctx.pending_msgs with
       | [] -> ()
-      | mg :: _ ->
+      | first :: rest ->
+          (* oldest first: the pending list is newest-first, and witness
+             bytes must not depend on that internal order *)
+          let mg =
+            List.fold_left
+              (fun acc m -> if m.seq < acc.seq then m else acc)
+              first rest
+          in
           let tick = !prev + 1 in
           prev := tick;
           let sent =
@@ -1157,6 +1419,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     klass : exec_class;
     budgets : Mc_limits.budgets;
     fp : Mc_limits.fp_backend;
+    pool : bool;  (** recycle snapshot records across DFS nodes *)
     jobs : int option;
     naive : bool;  (** also compute the naive schedule count (2nd pass) *)
     visited : Mc_limits.visited_mode;
@@ -1287,6 +1550,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
               klass = p.klass;
               budgets = p.budgets;
               fp = p.fp;
+              pool = p.pool;
             }
           in
           let shared =
@@ -1359,6 +1623,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         klass = { allow_crashes = false; allow_late = false };
         budgets = Mc_limits.default_budgets ~u;
         fp = Mc_limits.default_fp;
+        pool = true;
       }
     in
     let ctx = create_ctx cfg in

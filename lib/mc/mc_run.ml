@@ -45,7 +45,7 @@ type outcome = {
 let clean o = o.violation = None
 
 let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets
-    ?(fp = Mc_limits.default_fp) ?jobs ?(naive = false)
+    ?(fp = Mc_limits.default_fp) ?(pool = true) ?jobs ?(naive = false)
     ?(visited = Mc_limits.default_visited) ?(stealing = true) ~protocol ~n ~f
     ~klass () =
   let reg = Registry.find_exn protocol in
@@ -71,6 +71,7 @@ let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets
         klass = { E.allow_crashes; allow_late };
         budgets;
         fp;
+        pool;
         jobs;
         naive;
         visited;
@@ -145,6 +146,7 @@ let fingerprint_sampler ?(consensus = Registry.Paxos) ?u
       klass = { E.allow_crashes; allow_late };
       budgets = Mc_limits.default_budgets ~u;
       fp = Mc_limits.default_fp;
+      pool = true;
     }
   in
   let ctx = E.create_ctx cfg in

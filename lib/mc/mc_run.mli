@@ -39,6 +39,7 @@ val run :
   ?vote_sets:Vote.t array list ->
   ?budgets:Mc_limits.budgets ->
   ?fp:Mc_limits.fp_backend ->
+  ?pool:bool ->
   ?jobs:int ->
   ?naive:bool ->
   ?visited:Mc_limits.visited_mode ->
@@ -56,7 +57,9 @@ val run :
     frontier items land on domains); [~visited:Shared] dedups states
     globally per vote-set group — fewer states explored, but counters
     become jobs-dependent. [~stealing:false] falls back to the shared
-    atomic cursor.
+    atomic cursor. [~pool] (default [true]) recycles snapshot records
+    across DFS nodes; it changes allocation only, never verdicts,
+    counters or output bytes.
     @raise Not_found on unknown protocol names. *)
 
 type canonical = {

@@ -90,7 +90,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
               (Timeout { pid; layer; id; epoch }));
       }
     in
-    let m = M.create ~env_of ~n ~u:scenario.Scenario.u ~sink in
+    let m = M.create ~env_of ~n ~u:scenario.Scenario.u ~sink () in
     List.iter
       (fun (pid, crash) ->
         match (crash : Scenario.crash) with

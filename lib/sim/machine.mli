@@ -46,7 +46,15 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) : sig
   type t
 
   val create :
-    env_of:(Pid.t -> Proto.env) -> n:int -> u:Sim_time.t -> sink:sink -> t
+    ?pool:bool ->
+    env_of:(Pid.t -> Proto.env) -> n:int -> u:Sim_time.t -> sink:sink ->
+    unit -> t
+  (** [?pool] (default [false]) turns on snapshot pooling: {!release}d
+      snapshot records are recycled by the next {!snapshot}, which
+      re-copies only the per-pid slots mutated since the record's own
+      capture, and {!restore} writes back only the slots mutated since
+      the snapshot was taken. Observable behaviour is identical either
+      way; the pool only changes allocation. *)
 
   (* ---- inspection ------------------------------------------------ *)
 
@@ -61,6 +69,14 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) : sig
       at this process. *)
 
   val timer_epoch : t -> Pid.t -> Trace.layer -> string -> int
+
+  val crash_count : t -> int
+  val epoch_bump_count : t -> int
+  (** Monotone-per-path mutation counters: crashes marked and timer-epoch
+      bumps ([Cancel_timer]) so far on the current execution path. Both
+      are rewound by {!restore}. The model checker compares them across a
+      step to skip re-filtering its pending event lists when nothing
+      could have gone stale. *)
 
   val hash_pstate : t -> Fingerprint.t -> Pid.t -> unit
   val hash_cstate : t -> Fingerprint.t -> Pid.t -> unit
@@ -103,4 +119,10 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) : sig
       [snapshot t]: process states, decisions, crashes, budgets, timer
       epochs and the trace. Sink callbacks are not rewound — the caller
       owns whatever the sink accumulated. *)
+
+  val release : t -> snapshot -> unit
+  (** Return a snapshot record to the machine's pool for recycling by a
+      later {!snapshot}. The caller promises never to {!restore} from it
+      again. No-op when the machine was created without [~pool:true];
+      releasing the same record twice is a no-op. *)
 end

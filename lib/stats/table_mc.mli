@@ -25,6 +25,7 @@ val rows :
   ?classes:Mc_run.exec_class list ->
   ?budgets:Mc_limits.budgets ->
   ?fp:Mc_limits.fp_backend ->
+  ?pool:bool ->
   ?jobs:int ->
   ?visited:Mc_limits.visited_mode ->
   n:int ->
@@ -37,6 +38,7 @@ val render :
   ?classes:Mc_run.exec_class list ->
   ?budgets:Mc_limits.budgets ->
   ?fp:Mc_limits.fp_backend ->
+  ?pool:bool ->
   ?jobs:int ->
   ?visited:Mc_limits.visited_mode ->
   n:int ->
@@ -49,6 +51,7 @@ val render_checked :
   ?classes:Mc_run.exec_class list ->
   ?budgets:Mc_limits.budgets ->
   ?fp:Mc_limits.fp_backend ->
+  ?pool:bool ->
   ?jobs:int ->
   ?visited:Mc_limits.visited_mode ->
   n:int ->

@@ -4,11 +4,23 @@
 Fails (exit 1) when a required key is missing or a measured quantity is
 non-positive, so a refactor that silently drops a metric from the JSON
 breaks the build instead of the dashboard.
+
+--max-minor-words-per-state N additionally gates on the pooled
+minor-allocation rate of both pinned model-checking configurations: a
+change that regresses the DFS hot path back to allocation-heavy code
+trips the ceiling even when the wall-clock numbers are too noisy to.
 """
 import json
 import sys
 
-path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_results.json"
+path = "BENCH_results.json"
+max_minor_words = None
+args = iter(sys.argv[1:])
+for a in args:
+    if a == "--max-minor-words-per-state":
+        max_minor_words = float(next(args))
+    else:
+        path = a
 with open(path) as fh:
     doc = json.load(fh)
 
@@ -20,7 +32,7 @@ def need(cond, what):
         errors.append(what)
 
 
-need(doc.get("schema") == "actable-bench/2", "schema actable-bench/2")
+need(doc.get("schema") == "actable-bench/3", "schema actable-bench/3")
 need(isinstance(doc.get("pairs"), list) and doc["pairs"], "non-empty pairs")
 
 for section in ("nice_run_seconds", "table_seconds"):
@@ -92,6 +104,45 @@ if isinstance(h.get("states"), (int, float)) and \
    isinstance(cursor.get("states"), (int, float)):
     need(cursor["states"] == h["states"],
          "frontier per-item states match mc.backends.hashed.states")
+
+# gc blocks: one under mc (crash-pinned) and one under mc_network. The
+# pooled and unpooled arms must have explored the same space — the
+# snapshot pool is exploration-neutral by contract — and the pooled
+# minor-allocation rate may be gated by --max-minor-words-per-state.
+def check_gc(block, where):
+    gc = block.get("gc", {})
+    for arm in ("pooled", "unpooled"):
+        row = gc.get(arm, {})
+        for k in ("seconds", "states"):
+            need(isinstance(row.get(k), (int, float)) and row[k] > 0,
+                 f"{where}.gc.{arm}.{k} > 0")
+        for k in ("minor_words_per_state", "promoted_words_per_state",
+                  "major_collections"):
+            need(isinstance(row.get(k), (int, float)) and row[k] >= 0,
+                 f"{where}.gc.{arm}.{k} >= 0")
+    p, u = gc.get("pooled", {}), gc.get("unpooled", {})
+    need(p.get("states") == u.get("states"),
+         f"{where}.gc arms agree on states (pool is exploration-neutral)")
+    for k in ("pool_speedup", "minor_words_ratio"):
+        need(isinstance(gc.get(k), (int, float)) and gc[k] > 0,
+             f"{where}.gc.{k} > 0")
+    if max_minor_words is not None and \
+       isinstance(p.get("minor_words_per_state"), (int, float)):
+        need(p["minor_words_per_state"] <= max_minor_words,
+             f"{where}.gc.pooled.minor_words_per_state <= "
+             f"{max_minor_words:g}")
+
+
+check_gc(mc, "mc")
+
+mcn = doc.get("mc_network", {})
+for k in ("protocol", "class", "n", "f", "jobs", "max_states_budget"):
+    need(k in mcn, f"mc_network.{k}")
+row = mcn.get("hashed", {})
+for k in ("seconds", "states", "states_per_sec"):
+    need(isinstance(row.get(k), (int, float)) and row[k] > 0,
+         f"mc_network.hashed.{k} > 0")
+check_gc(mcn, "mc_network")
 
 if errors:
     print(f"{path}: {len(errors)} problem(s)", file=sys.stderr)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Print a one-line frontier comparison between two bench --json reports.
+
+Usage: compare_bench_frontier.py OLD.json NEW.json
+
+Used by CI's bench-trend step to compare the fresh bench run against the
+previous commit's archived artifact. The comparison is informational —
+absolute timings on shared runners are noisy — so every failure mode
+(missing file, unparsable JSON, unknown schema) degrades to a note and
+exit 0; only being invoked with the wrong number of arguments is an
+error. Old reports with schema actable-bench/2 are accepted: the
+frontier section has the same shape there.
+"""
+import json
+import sys
+
+if len(sys.argv) != 3:
+    print("usage: compare_bench_frontier.py OLD.json NEW.json",
+          file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"bench-trend: cannot read {path} ({exc}); skipping comparison")
+        return None
+    schema = doc.get("schema", "")
+    if not str(schema).startswith("actable-bench/"):
+        print(f"bench-trend: {path} has unknown schema {schema!r}; "
+              "skipping comparison")
+        return None
+    return doc
+
+
+old, new = load(sys.argv[1]), load(sys.argv[2])
+if old is None or new is None:
+    sys.exit(0)
+
+
+def frontier_sps(doc, cfg):
+    v = doc.get("mc", {}).get("frontier", {}).get(cfg, {}).get(
+        "states_per_sec")
+    return v if isinstance(v, (int, float)) and v > 0 else None
+
+
+parts = []
+for cfg, label in (
+    ("per_item_cursor_j1", "cursor-j1"),
+    ("per_item_stealing_j4", "steal-j4"),
+    ("shared_stealing_j4", "shared-j4"),
+):
+    o, n = frontier_sps(old, cfg), frontier_sps(new, cfg)
+    if o is None or n is None:
+        parts.append(f"{label} n/a")
+    else:
+        parts.append(f"{label} {n:.0f}/s ({n / o - 1:+.1%})")
+
+hashed_old = old.get("mc", {}).get("backends", {}).get("hashed", {}).get(
+    "states_per_sec")
+hashed_new = new.get("mc", {}).get("backends", {}).get("hashed", {}).get(
+    "states_per_sec")
+if isinstance(hashed_old, (int, float)) and hashed_old > 0 and \
+   isinstance(hashed_new, (int, float)) and hashed_new > 0:
+    head = f"pinned hashed {hashed_new:.0f}/s ({hashed_new / hashed_old - 1:+.1%})"
+else:
+    head = "pinned hashed n/a"
+
+print(f"bench-trend vs {sys.argv[1]}: {head}; frontier: " + "; ".join(parts))

@@ -137,15 +137,17 @@ module Fp_suite
 struct
   module E = Mc_explore.Make (P) (C)
 
-  let cfg votes =
+  let cfg ?(pool = true)
+      ?(klass = { E.allow_crashes = true; allow_late = false }) votes =
     {
       E.n = 3;
       f = 1;
       u = Sim_time.default_u;
       votes;
-      klass = { E.allow_crashes = true; allow_late = false };
+      klass;
       budgets = Mc_limits.default_budgets ~u:Sim_time.default_u;
       fp = Mc_limits.Fp_hashed;
+      pool;
     }
 
   let all_yes = [| Vote.yes; Vote.yes; Vote.yes |]
@@ -197,12 +199,104 @@ struct
             (E.fingerprint_hashed (ctx_at all_yes 0))
             (E.fingerprint_hashed (ctx_at one_no 0))))
 
+  (* Snapshot-pool observational equivalence: a pooled context driven
+     through a random schedule — with save / excursion / restore detours
+     that force snapshot records through the free list — must agree with
+     an unpooled context step for step on digests, and at the end on the
+     rendered trace. The detour executes a sibling candidate before
+     restoring, so the restore always has dirty state to rewind; it runs
+     in BOTH contexts (pooled and legacy full-copy restore) because the
+     payload-intern table and creation counters are deliberately never
+     rewound, so digests are only comparable across contexts with
+     identical histories. *)
+  let pool_equivalence_prop ~label klass =
+    QCheck.Test.make ~count:25
+      ~name:(Name.name ^ ": pooled = unpooled over random " ^ label
+             ^ " schedules")
+      QCheck.(pair (list_of_size Gen.(int_range 1 20) (int_range 0 1000)) bool)
+      (fun (choices, excursions) ->
+        let a = E.create_ctx (cfg ~pool:true ~klass all_yes) in
+        let b = E.create_ctx (cfg ~pool:false ~klass all_yes) in
+        ignore (E.exec_step a E.S_proposals);
+        ignore (E.exec_step b E.S_proposals);
+        List.for_all
+          (fun c ->
+            let ca = E.enumerate a and cb = E.enumerate b in
+            let la = List.length ca in
+            la = List.length cb
+            && (la = 0
+               ||
+               let i = c mod la in
+               if excursions && la > 1 then
+                 List.iter
+                   (fun (ctx, cands) ->
+                     let s = E.save ctx in
+                     ignore (E.exec_step ctx (List.nth cands ((i + 1) mod la)));
+                     E.restore ctx s;
+                     E.release ctx s)
+                   [ (a, ca); (b, cb) ];
+               ignore (E.exec_step a (List.nth ca i));
+               ignore (E.exec_step b (List.nth cb i));
+               Fingerprint.equal (E.fingerprint_hashed a)
+                 (E.fingerprint_hashed b)))
+          choices
+        && Format.asprintf "%a" Trace.pp (E.M.trace a.E.m)
+           = Format.asprintf "%a" Trace.pp (E.M.trace b.E.m))
+
+  let prop_pool_equivalence_crash =
+    pool_equivalence_prop ~label:"crash"
+      { E.allow_crashes = true; allow_late = false }
+
+  let prop_pool_equivalence_network =
+    pool_equivalence_prop ~label:"network"
+      { E.allow_crashes = false; allow_late = true }
+
+  (* Recycled snapshot records must not alias live ones: releasing [s2]
+     hands its record to the next [save]; mutating and restoring through
+     the recycled record must reproduce its own capture point and leave
+     the still-held older snapshot [s1] intact. *)
+  let test_pool_no_aliasing () =
+    let ctx = E.create_ctx (cfg all_yes) in
+    ignore (E.exec_step ctx E.S_proposals);
+    let step () =
+      match E.enumerate ctx with
+      | [] -> ()
+      | c :: _ -> ignore (E.exec_step ctx c)
+    in
+    let s1 = E.save ctx in
+    let fp1 = E.fingerprint_hashed ctx in
+    step ();
+    step ();
+    let s2 = E.save ctx in
+    step ();
+    E.restore ctx s2;
+    E.release ctx s2;
+    let fp2 = E.fingerprint_hashed ctx in
+    let s3 = E.save ctx in
+    step ();
+    step ();
+    E.restore ctx s3;
+    check tbool "s3 (recycled record) restores its own capture point" true
+      (Fingerprint.equal fp2 (E.fingerprint_hashed ctx));
+    E.release ctx s3;
+    E.restore ctx s1;
+    check tbool "s1 unaffected by pool reuse" true
+      (Fingerprint.equal fp1 (E.fingerprint_hashed ctx))
+
   let tests =
     [
       QCheck_alcotest.to_alcotest prop_equal_states_equal_digest;
       QCheck_alcotest.to_alcotest prop_step_changes_digest;
       Alcotest.test_case (Name.name ^ ": vote mutation") `Quick
         test_vote_mutation;
+    ]
+
+  let pool_tests =
+    [
+      QCheck_alcotest.to_alcotest prop_pool_equivalence_crash;
+      QCheck_alcotest.to_alcotest prop_pool_equivalence_network;
+      Alcotest.test_case (Name.name ^ ": recycled records do not alias")
+        `Quick test_pool_no_aliasing;
     ]
 end
 
@@ -257,6 +351,7 @@ let test_frontier_nice_regression () =
       klass = { Fp_inbac.E.allow_crashes = false; allow_late = false };
       budgets = Mc_limits.default_budgets ~u:Sim_time.default_u;
       fp = Mc_limits.Fp_hashed;
+      pool = true;
     }
   in
   let items = Fp_inbac.E.frontier cfg in
@@ -319,6 +414,40 @@ let test_stealing_matches_cursor () =
   check tint "dedup hits" a.Mc_limits.dedup_hits b.Mc_limits.dedup_hits;
   check tint "sleep skips" a.Mc_limits.sleep_skips b.Mc_limits.sleep_skips
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot-pool neutrality at the run and artifact level. *)
+
+(* The user-facing artifact must not change by a byte when the pool is
+   switched off. *)
+let test_mctable_bytes_pool () =
+  let render pool =
+    Table_mc.render ~protocols:[ "inbac"; "2pc" ] ~classes:[ Mc_run.Crash ]
+      ~pool ~jobs:2 ~n:3 ~f:1 ()
+  in
+  check Alcotest.string "pool on = pool off" (render true) (render false)
+
+(* Network-class counters (overtake bookkeeping, late budgets — the
+   paths with the most snapshot traffic) under a small state budget:
+   identical with the pool on and off. *)
+let test_pool_network_counters () =
+  let at pool =
+    let budgets =
+      {
+        (Mc_limits.default_budgets ~u:Sim_time.default_u) with
+        Mc_limits.max_states = 500;
+      }
+    in
+    (Mc_run.run ~budgets ~pool ~jobs:1 ~protocol:"inbac" ~n:3 ~f:1
+       ~klass:Mc_run.Network ())
+      .Mc_run.counters
+  in
+  let a = at true and b = at false in
+  check tint "states" a.Mc_limits.states b.Mc_limits.states;
+  check tint "transitions" a.Mc_limits.transitions b.Mc_limits.transitions;
+  check tint "schedules" a.Mc_limits.schedules b.Mc_limits.schedules;
+  check tint "dedup hits" a.Mc_limits.dedup_hits b.Mc_limits.dedup_hits;
+  check tint "sleep skips" a.Mc_limits.sleep_skips b.Mc_limits.sleep_skips
+
 let () =
   let quick name fn = Alcotest.test_case name `Quick fn in
   Alcotest.run "mc"
@@ -357,4 +486,12 @@ let () =
           quick "stealing counters = cursor counters"
             test_stealing_matches_cursor;
         ] );
+      ( "snapshot-pool",
+        Fp_inbac.pool_tests @ Fp_2pc.pool_tests
+        @ [
+            quick "mctable bytes identical pool on/off"
+              test_mctable_bytes_pool;
+            quick "network-class counters identical pool on/off"
+              test_pool_network_counters;
+          ] );
     ]
