@@ -14,7 +14,9 @@
    the model checker's pinned configuration (both fingerprint backends),
    and write the numbers as JSON (default file: BENCH_results.json). CI's
    bench-smoke step diffs that file's keys and gates on a states/sec
-   floor via --min-mc-states-per-sec. *)
+   floor via --min-mc-states-per-sec; the multi-core leg additionally
+   gates on --min-swarm-j4-speedup (swarm+shared j4 wall vs the
+   sequential cursor j1 arm). *)
 
 open Bechamel
 open Toolkit
@@ -246,6 +248,18 @@ let min_mc_floor =
   in
   scan argv
 
+(* Multi-core acceptance gate: fail when the swarm arm at jobs=4 is not
+   at least this much faster (wall-clock) than the sequential jobs=1
+   per-item baseline. Only meaningful on a runner with 4+ cores — the
+   CI multi-core leg passes 1.0; the 1-core smoke leg omits the flag. *)
+let min_swarm_speedup =
+  let rec scan = function
+    | "--min-swarm-j4-speedup" :: v :: _ -> float_of_string_opt v
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan argv
+
 (* NxF pairs for the timed table regenerations; defaults to a tiny pair
    list so the smoke run stays cheap. *)
 let json_pairs =
@@ -310,15 +324,20 @@ let mc_pinned ~fp () =
    states/sec and wall-clock win comes from even on few cores. *)
 let mc_frontier_configs =
   [
-    ("per_item_cursor_j1", Mc_limits.Per_item, false, 1);
-    ("per_item_stealing_j4", Mc_limits.Per_item, true, 4);
-    ("shared_stealing_j1", Mc_limits.Shared, true, 1);
-    ("shared_stealing_j4", Mc_limits.Shared, true, 4);
+    (* the pre-existing arms pin [swarm = Some false] so auto-swarm (which
+       would otherwise kick in for shared visited at jobs >= 4) cannot
+       silently change what they measure across releases *)
+    ("per_item_cursor_j1", Mc_limits.Per_item, false, 1, Some false);
+    ("per_item_stealing_j4", Mc_limits.Per_item, true, 4, Some false);
+    ("shared_stealing_j1", Mc_limits.Shared, true, 1, Some false);
+    ("shared_stealing_j4", Mc_limits.Shared, true, 4, Some false);
+    ("swarm_shared_j1", Mc_limits.Shared, false, 1, Some true);
+    ("swarm_shared_j4", Mc_limits.Shared, false, 4, Some true);
   ]
 
-let mc_frontier_run (_, visited, stealing, jobs) =
+let mc_frontier_run (_, visited, stealing, jobs, swarm) =
   Mc_run.run ~fp:Mc_limits.Fp_hashed ~jobs ~naive:false ~visited ~stealing
-    ~protocol:"inbac" ~n:3 ~f:1 ~klass:Mc_run.Crash ()
+    ?swarm ~protocol:"inbac" ~n:3 ~f:1 ~klass:Mc_run.Crash ()
 
 (* Snapshot-pool A/B on the pinned configuration. Timing is interleaved
    ([time_best_each]) so frequency drift cannot bias one arm; allocation
@@ -436,7 +455,7 @@ let run_json path =
   in
   let frontier =
     List.map
-      (fun ((name, _, _, _), outcome, secs) ->
+      (fun ((name, _, _, _, _), outcome, secs) ->
         let c = outcome.Mc_run.counters in
         ( name,
           secs,
@@ -456,6 +475,18 @@ let run_json path =
   in
   let shared_speedup =
     frontier_secs "per_item_cursor_j1" /. frontier_secs "shared_stealing_j4"
+  in
+  let swarm_speedup =
+    frontier_secs "per_item_cursor_j1" /. frontier_secs "swarm_shared_j4"
+  in
+  let frontier_sps name =
+    let _, _, _, _, sps =
+      List.find (fun (n, _, _, _, _) -> n = name) frontier
+    in
+    sps
+  in
+  let swarm_sps_ratio =
+    frontier_sps "swarm_shared_j4" /. frontier_sps "per_item_cursor_j1"
   in
   let pool_times =
     List.map
@@ -503,7 +534,7 @@ let run_json path =
     Buffer.add_string buf "  }"
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"actable-bench/3\",\n";
+  Buffer.add_string buf "  \"schema\": \"actable-bench/4\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"pairs\": [%s],\n"
        (String.concat ", "
@@ -550,7 +581,12 @@ let run_json path =
   Buffer.add_string buf
     (Printf.sprintf "      \"stealing_speedup_j4\": %.2f,\n" stealing_speedup);
   Buffer.add_string buf
-    (Printf.sprintf "      \"shared_speedup_j4\": %.2f\n" shared_speedup);
+    (Printf.sprintf "      \"shared_speedup_j4\": %.2f,\n" shared_speedup);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"swarm_speedup_j4\": %.2f,\n" swarm_speedup);
+  Buffer.add_string buf
+    (Printf.sprintf "      \"swarm_states_per_sec_ratio_j4\": %.2f\n"
+       swarm_sps_ratio);
   Buffer.add_string buf "    },\n";
   let gc_block rows speedup ratio =
     Buffer.add_string buf "    \"gc\": {\n";
@@ -624,6 +660,10 @@ let run_json path =
     "frontier: stealing j4 %.2fx, stealing+shared-visited j4 %.2fx vs \
      cursor j1\n"
     stealing_speedup shared_speedup;
+  Printf.printf
+    "frontier: swarm+shared-visited j4 %.2fx wall vs sequential cursor j1 \
+     (%.2fx states/sec)\n"
+    swarm_speedup swarm_sps_ratio;
   if
     p_states <> u_states
     || fst (pool_arm true) <> fst (pool_arm false)
@@ -648,6 +688,14 @@ let run_json path =
     (float_of_int net_states /. net_secs)
     np_minor nu_minor
     (nu_minor /. Float.max np_minor 1e-9);
+  (match min_swarm_speedup with
+  | Some floor when swarm_speedup < floor ->
+      Printf.eprintf
+        "bench: swarm j4 speedup %.2fx below the multi-core floor %.2fx \
+         (vs sequential cursor j1)\n"
+        swarm_speedup floor;
+      exit 1
+  | _ -> ());
   match min_mc_floor with
   | Some floor when per_sec_of "hashed" < floor ->
       Printf.eprintf

@@ -154,8 +154,9 @@ let pairs_or_default pairs = if pairs = [] then default_pairs else pairs
 let jobs_arg =
   let doc =
     "Number of domains for the parallel batch runner (default: the \
-     recommended domain count). Results are identical whatever the value; \
-     use 1 to force sequential execution."
+     recommended domain count, capped by the ACTABLE_JOBS environment \
+     variable when set). Results are identical whatever the value in the \
+     deterministic modes; use 1 to force sequential execution."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
@@ -512,6 +513,25 @@ let shared_visited_arg =
   in
   Arg.(value & flag & info [ "shared-visited" ] ~doc)
 
+let swarm_arg =
+  let doc =
+    "Explore with independent randomized-order DFS walks, one per domain, \
+     coupled only through a shared visited table (implies \
+     --shared-visited): no frontier handoff, no steal traffic. The mode \
+     that actually scales with domains; counters are jobs-dependent like \
+     any shared-table mode, verdicts are unaffected. Without this flag \
+     (or --no-swarm) swarm turns on automatically when --shared-visited \
+     runs at 4 or more jobs."
+  in
+  Arg.(value & flag & info [ "swarm" ] ~doc)
+
+let no_swarm_arg =
+  let doc =
+    "Never use swarm exploration, even with --shared-visited at high \
+     --jobs; keep the frontier decomposition."
+  in
+  Arg.(value & flag & info [ "no-swarm" ] ~doc)
+
 let mc_cmd =
   let no_stealing_arg =
     Arg.(
@@ -542,7 +562,7 @@ let mc_cmd =
              occupancy of any frontier item.")
   in
   let action protocol n f klass expect budgets fp pool stats consensus
-      vote0 no_naive msc jobs shared no_stealing =
+      vote0 no_naive msc jobs shared no_stealing swarm no_swarm =
     let vote_sets =
       match vote0 with
       | [] -> None
@@ -554,14 +574,17 @@ let mc_cmd =
           Some [ votes ]
     in
     let visited =
-      if shared then Mc_limits.Shared else Mc_limits.default_visited
+      if shared || swarm then Mc_limits.Shared else Mc_limits.default_visited
+    in
+    let swarm_opt =
+      if swarm then Some true else if no_swarm then Some false else None
     in
     let gc0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
     let outcome =
       Mc_run.run ~consensus ?vote_sets ~budgets ~fp ~pool ?jobs
-        ~naive:(not no_naive) ~visited ~stealing:(not no_stealing) ~protocol
-        ~n ~f ~klass ()
+        ~naive:(not no_naive) ~visited ~stealing:(not no_stealing)
+        ?swarm:swarm_opt ~protocol ~n ~f ~klass ()
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     let gc1 = Gc.quick_stat () in
@@ -612,7 +635,7 @@ let mc_cmd =
       $ budgets_term ~default_states:400_000
       $ fp_arg $ snapshot_pool_arg $ stats_arg $ consensus_arg $ vote0_arg
       $ no_naive_arg $ msc_arg $ jobs_arg $ shared_visited_arg
-      $ no_stealing_arg)
+      $ no_stealing_arg $ swarm_arg $ no_swarm_arg)
   in
   Cmd.v
     (Cmd.info "mc"

@@ -212,6 +212,10 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     sc_fp_msgs : pmsg vec;
     sc_fp_timers : ptimer vec;
     mutable snap_pool : ctx_snap list;
+    mutable snap_owner : int;
+        (* Domain id owning the pooled context snapshots; mirrors the
+           machine-level pool ownership (see {!Machine}): records are
+           dropped, never handed over, if the ctx changes domains *)
   }
 
   and ctx_snap = {
@@ -322,6 +326,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       sc_fp_msgs = vec_make ();
       sc_fp_timers = vec_make ();
       snap_pool = [];
+      snap_owner = (Domain.self () :> int);
     }
 
   (* ---- the overtaken bitset --------------------------------------- *)
@@ -370,7 +375,17 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
 
   (* ---- context snapshots ------------------------------------------ *)
 
+  (* Pooled ctx snapshots are domain-local, like the machine's: driving
+     the ctx from a new domain abandons the old pool. *)
+  let adopt_pool ctx =
+    let d = (Domain.self () :> int) in
+    if ctx.snap_owner <> d then begin
+      ctx.snap_pool <- [];
+      ctx.snap_owner <- d
+    end
+
   let save ctx =
+    if ctx.cfg.pool then adopt_pool ctx;
     match ctx.snap_pool with
     | s :: rest ->
         ctx.snap_pool <- rest;
@@ -409,7 +424,9 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     if ctx.cfg.pool && not s.cs_pooled then begin
       s.cs_pooled <- true;
       M.release ctx.m s.cs_m;
-      ctx.snap_pool <- s :: ctx.snap_pool
+      if ctx.snap_owner = (Domain.self () :> int) then
+        ctx.snap_pool <- s :: ctx.snap_pool
+      (* else: captured under another domain — retire it to the GC *)
     end
 
   let restore ctx s =
@@ -997,24 +1014,44 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
   let vtable_of_shards (sh : key list Mc_shards.t) =
     {
       vt_find = Mc_shards.find_opt sh;
-      vt_add = Mc_shards.insert sh;
+      (* single CAS-probe: no lock anywhere, and no second scan after
+         the [vt_find] miss that guards this call. If a racing domain
+         inserted in between, its stored sleep set stands (keeping
+         either racer's set is sound — both were legitimate to store) *)
+      vt_add = (fun fp sleep -> Mc_shards.find_or_insert sh fp sleep = None);
       (* losing a racing sleep-set narrowing is sound: a larger stored
          set only makes the subset cut less likely *)
-      vt_store = (fun fp sleep -> ignore (Mc_shards.insert sh fp sleep));
+      vt_store = Mc_shards.update sh;
       vt_size = (fun () -> Mc_shards.size sh);
     }
 
-  let dfs_dpor ctx (counters : Mc_limits.counters) vt =
+  (* [?order] permutes each node's candidate list before descent — the
+     swarm mode's randomized walk order; sleep-set DPOR is sound under
+     any exploration order of the candidate set, and the identity order
+     (the default) keeps the deterministic modes byte-stable.
+
+     [?open_depth] (default 0) disables the visited cut for the first
+     [open_depth] tree levels: a swarm walker starting at the root would
+     otherwise die instantly once another walker has claimed the root
+     state (the claimer explores the children; a fresh walker has no
+     parent loop to fall back to). Within the open region a walker
+     descends through already-claimed states — without recounting or
+     re-inserting them — until it finds an unclaimed subtree; the
+     duplicated shallow transitions are bounded by the branching factor
+     to the [open_depth]-th power and are what lets independent walks
+     partition the deep space through the shared table alone. *)
+  let dfs_dpor ?(order = Fun.id) ?(open_depth = 0) ctx
+      (counters : Mc_limits.counters) vt =
     let budgets = ctx.cfg.budgets in
     let rec go ~sleep ~depth path_rev =
       let fp = fingerprint ctx in
       let prior = vt.vt_find fp in
       match prior with
-      | Some stored when k_subset stored sleep ->
+      | Some stored when depth >= open_depth && k_subset stored sleep ->
           counters.dedup_hits <- counters.dedup_hits + 1;
           counters.schedules <- counters.schedules + 1
       | _ -> (
-          match enumerate ctx with
+          match order (enumerate ctx) with
           | [] ->
               counters.schedules <- counters.schedules + 1;
               if ctx.pending_timers <> [] || ctx.pending_msgs <> [] then
@@ -1427,6 +1464,17 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         (** schedule frontier items over work-stealing deques instead of
             the shared cursor; per-item counters are identical either
             way (stealing without [split] never decomposes an item) *)
+    swarm : bool option;
+        (** [Some true]: explore with independent randomized-order DFS
+            walks, one per domain, coupled only through a shared visited
+            table (no frontier handoff, no steal traffic); implies the
+            shared table whatever [visited] says. [Some false]: never.
+            [None] (auto): swarm iff [visited = Shared] and the
+            effective job count is at least {!swarm_auto_jobs} — at that
+            scale the walks beat frontier handoff (see DESIGN.md).
+            Walk orders are seeded deterministically from {!Rng}, but
+            counters are jobs- and timing-dependent like any
+            shared-table mode; verdicts are unaffected. *)
   }
 
   type result = {
@@ -1453,6 +1501,11 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     wi_cfg : config;
     wi_prefix : step list;
     wi_shared : key list Mc_shards.t option;
+    wi_seed : int option;
+        (* [Some seed]: a swarm walker — explore from the (empty-prefix)
+           root in the randomized order drawn from [Rng.create seed],
+           with the visited cut held open for the first
+           [swarm_open_depth] levels. [None]: a plain frontier item. *)
   }
 
   (* Preallocating the visited table toward its budget avoids the
@@ -1462,6 +1515,14 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
      never fill — beyond it one or two final rehashes are noise. *)
   let fresh_visited (cfg : config) : (Fingerprint.digest, 'a) Hashtbl.t =
     Hashtbl.create (min cfg.budgets.Mc_limits.max_states 65_536)
+
+  (* How many tree levels a swarm walker keeps exploring through states
+     another walker already claimed (see [dfs_dpor]'s [?open_depth]).
+     Deep enough that walkers wade past the narrow shallow region (the
+     root has a single [S_proposals] child in the crash-free classes)
+     and diverge into disjoint deep subtrees; shallow enough that the
+     duplicated transitions stay a small fraction of the space. *)
+  let swarm_open_depth = 6
 
   let explore_item wi =
     let counters = Mc_limits.fresh_counters () in
@@ -1478,7 +1539,13 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
              | Some sh -> vtable_of_shards sh
              | None -> vtable_of_tbl (fresh_visited wi.wi_cfg)
            in
-           dfs_dpor ctx counters vt
+           (match wi.wi_seed with
+           | None -> dfs_dpor ctx counters vt
+           | Some seed ->
+               let rng = Rng.create seed in
+               dfs_dpor
+                 ~order:(fun cands -> Rng.shuffle rng cands)
+                 ~open_depth:swarm_open_depth ctx counters vt)
      with
     | Found (prop, detail, sub) ->
         violation := Some (prop, detail, wi.wi_prefix @ sub)
@@ -1537,45 +1604,98 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
             false )
     with Out_of_states -> (0.0, true)
 
+  (* Effective job count at or above which [swarm = None] resolves to
+     swarm exploration (shared-visited mode only): below it the frontier
+     machinery wins or ties; from four domains up the handoff-free walks
+     beat it (see DESIGN.md "Swarm exploration"). *)
+  let swarm_auto_jobs = 4
+
+  (* Walker-seed derivation: one deterministic base stream, one draw per
+     walker in construction order. Runs with the same jobs count get the
+     same walk orders (the *counters* still depend on timing — races on
+     the shared table — but the orders each walker attempts do not). *)
+  let swarm_seed_base = 0x51ee7
+
   let run (p : params) =
+    let jobs_eff =
+      match p.jobs with Some j -> max 1 j | None -> Batch.default_jobs ()
+    in
+    let swarm_on =
+      match p.swarm with
+      | Some b -> b
+      | None -> p.visited = Mc_limits.Shared && jobs_eff >= swarm_auto_jobs
+    in
+    let mk_cfg votes =
+      {
+        n = p.n;
+        f = p.f;
+        u = p.u;
+        votes;
+        klass = p.klass;
+        budgets = p.budgets;
+        fp = p.fp;
+        pool = p.pool;
+      }
+    in
+    let shared_table () =
+      (* sized from the full budget: the lock-free bucket array is fixed
+         for the table's lifetime, so the capacity hint is what keeps
+         chains short near the budget ceiling *)
+      Mc_shards.create ~capacity:p.budgets.Mc_limits.max_states ()
+    in
     let items =
-      List.concat_map
-        (fun votes ->
-          let cfg =
-            {
-              n = p.n;
-              f = p.f;
-              u = p.u;
-              votes;
-              klass = p.klass;
-              budgets = p.budgets;
-              fp = p.fp;
-              pool = p.pool;
-            }
-          in
-          let shared =
-            match p.visited with
-            | Mc_limits.Per_item -> None
-            | Mc_limits.Shared ->
-                Some
-                  (Mc_shards.create
-                     ~capacity:(min p.budgets.Mc_limits.max_states 65_536)
-                     ())
-          in
-          List.map
-            (fun prefix ->
-              { wi_cfg = cfg; wi_prefix = prefix; wi_shared = shared })
-            (frontier cfg))
-        p.vote_sets
+      if swarm_on then
+        (* One walker per domain per vote set, all exploring the full
+           space from the root: work partitions dynamically through the
+           shared table (a state's inserter owns its subtree; later
+           walkers cut there), and the randomized orders make the
+           walkers diverge instead of racing down the same path. *)
+        let seeds = Rng.create swarm_seed_base in
+        List.concat_map
+          (fun votes ->
+            let cfg = mk_cfg votes in
+            let sh = Some (shared_table ()) in
+            List.init (max 1 jobs_eff) (fun _ ->
+                {
+                  wi_cfg = cfg;
+                  wi_prefix = [];
+                  wi_shared = sh;
+                  wi_seed = Some (Int64.to_int (Rng.next64 seeds) land max_int);
+                }))
+          p.vote_sets
+      else
+        List.concat_map
+          (fun votes ->
+            let cfg = mk_cfg votes in
+            let shared =
+              match p.visited with
+              | Mc_limits.Per_item -> None
+              | Mc_limits.Shared -> Some (shared_table ())
+            in
+            List.map
+              (fun prefix ->
+                {
+                  wi_cfg = cfg;
+                  wi_prefix = prefix;
+                  wi_shared = shared;
+                  wi_seed = None;
+                })
+              (frontier cfg))
+          p.vote_sets
     in
     let results =
-      match (p.visited, p.stealing) with
-      | Mc_limits.Shared, true ->
-          Batch.run_stealing ?jobs:p.jobs ~split:split_item ~merge:merge_ir
-            explore_item items
-      | Mc_limits.Per_item, true ->
-          Batch.run_stealing ?jobs:p.jobs ~merge:merge_ir explore_item items
-      | _, false -> Batch.run ?jobs:p.jobs explore_item items
+      if swarm_on then
+        (* walkers are independent and equally "fat": the shared cursor
+           maps one walker to one domain with no handoff at all *)
+        Batch.run ?jobs:p.jobs explore_item items
+      else
+        match (p.visited, p.stealing) with
+        | Mc_limits.Shared, true ->
+            Batch.run_stealing ?jobs:p.jobs ~split:split_item ~merge:merge_ir
+              explore_item items
+        | Mc_limits.Per_item, true ->
+            Batch.run_stealing ?jobs:p.jobs ~merge:merge_ir explore_item items
+        | _, false -> Batch.run ?jobs:p.jobs explore_item items
     in
     let counters = Mc_limits.fresh_counters () in
     List.iter (fun r -> Mc_limits.add_counters counters r.ir_counters) results;
@@ -1593,7 +1713,27 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
        a witness search that stops at a violation skips the second pass *)
     let naive, naive_partial =
       if p.naive && violation = None then begin
-        let counts = Batch.run ?jobs:p.jobs count_item items in
+        (* the naive count enumerates each vote set's space exactly once,
+           so in swarm mode (one item per walker) it runs over the static
+           frontier decomposition instead of the walker items *)
+        let count_items =
+          if swarm_on then
+            List.concat_map
+              (fun votes ->
+                let cfg = mk_cfg votes in
+                List.map
+                  (fun prefix ->
+                    {
+                      wi_cfg = cfg;
+                      wi_prefix = prefix;
+                      wi_shared = None;
+                      wi_seed = None;
+                    })
+                  (frontier cfg))
+              p.vote_sets
+          else items
+        in
+        let counts = Batch.run ?jobs:p.jobs count_item count_items in
         ( Some (List.fold_left (fun acc (c, _) -> acc +. c) 0.0 counts),
           List.exists snd counts )
       end

@@ -46,8 +46,8 @@ let clean o = o.violation = None
 
 let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets
     ?(fp = Mc_limits.default_fp) ?(pool = true) ?jobs ?(naive = false)
-    ?(visited = Mc_limits.default_visited) ?(stealing = true) ~protocol ~n ~f
-    ~klass () =
+    ?(visited = Mc_limits.default_visited) ?(stealing = true) ?swarm ~protocol
+    ~n ~f ~klass () =
   let reg = Registry.find_exn protocol in
   let module P = (val reg.Registry.proto) in
   let module C =
@@ -60,6 +60,9 @@ let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets
   let vote_sets =
     Option.value vote_sets ~default:(default_vote_sets ~n klass)
   in
+  (* forced swarm dedups through the shared table whatever the caller's
+     [?visited] said; reporting [Shared] keeps the counter caveat honest *)
+  let visited = if swarm = Some true then Mc_limits.Shared else visited in
   let allow_crashes, allow_late = flags_of_class klass in
   let r =
     E.run
@@ -76,6 +79,7 @@ let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets
         naive;
         visited;
         stealing;
+        swarm;
       }
   in
   let replay_verified =

@@ -44,6 +44,7 @@ val run :
   ?naive:bool ->
   ?visited:Mc_limits.visited_mode ->
   ?stealing:bool ->
+  ?swarm:bool ->
   protocol:string ->
   n:int ->
   f:int ->
@@ -51,15 +52,27 @@ val run :
   unit ->
   outcome
 (** Explore every schedule of the bounded configuration (one exploration
-    per vote vector, frontier-parallel over domains). In the default
+    per vote vector, parallel over domains). In the default
     [~visited:Per_item] mode the counters are deterministic and
     independent of [jobs] (and of [stealing], which only changes how
     frontier items land on domains); [~visited:Shared] dedups states
     globally per vote-set group — fewer states explored, but counters
     become jobs-dependent. [~stealing:false] falls back to the shared
-    atomic cursor. [~pool] (default [true]) recycles snapshot records
-    across DFS nodes; it changes allocation only, never verdicts,
-    counters or output bytes.
+    atomic cursor.
+
+    [~swarm:true] replaces the frontier decomposition with independent
+    randomized-order DFS walks, one per domain, coupled only through the
+    shared visited table (implied; no frontier handoff or steal
+    traffic). Walk orders are seeded deterministically from [Rng];
+    counters remain jobs- and timing-dependent like any shared-table
+    mode, verdicts are unaffected. [~swarm:false] never swarms; omitting
+    the argument picks swarm automatically when [~visited:Shared] runs
+    at four or more effective jobs (the scale where the walks win — see
+    DESIGN.md).
+
+    [~pool] (default [true]) recycles snapshot records across DFS nodes
+    (strictly per-domain; see {!Machine.S.release}); it changes
+    allocation only, never verdicts, counters or output bytes.
     @raise Not_found on unknown protocol names. *)
 
 type canonical = {

@@ -1,22 +1,43 @@
-(* A visited table sharded by fingerprint-digest range, for the
-   [--shared-visited] exploration mode: all frontier items of one
-   vote-set group dedup against the same table, so a state reachable
-   from several schedule prefixes is explored once globally instead of
-   once per prefix.
+(* A visited table shared across domains, for the [--shared-visited] and
+   [--swarm] exploration modes: all workers of one vote-set group dedup
+   against the same table, so a state reachable from several schedule
+   prefixes (or several swarm walks) is explored once globally.
 
-   Sharding keys on the top bits of the digest's first lane. The lane is
-   an FNV-1a product (see {!Fingerprint}), so its high bits are as mixed
-   as its low bits and the shards load-balance; owning a contiguous
-   digest range per shard means two domains only contend when they reach
-   states whose digests collide in the top [bits] bits. Each shard is a
-   plain [Hashtbl] under its own mutex — at 2^6 shards the critical
-   sections are a handful of word reads, so plain locks beat a lock-free
-   scheme in simplicity without measurable contention at the domain
-   counts we run. *)
+   The table is a fixed array of lock-free buckets. Each bucket is an
+   [Atomic.t] holding an immutable cons-list of nodes; insertion CAS-
+   publishes a new head, so a reader either sees the fully initialised
+   node or the previous head — never a partially built one (Atomic
+   operations are sequentially consistent publication points in the
+   OCaml 5 memory model). There are no mutexes anywhere: the dedup hot
+   path costs one atomic load plus a short scan, and racing inserts of
+   different keys that collide in a bucket only retry the CAS.
+
+   Bucket indices key on the top bits of the digest's first lane. The
+   lane is an FNV-1a product (see {!Fingerprint}), so its high bits are
+   as mixed as its low bits; with the bucket count sized from the
+   caller's capacity hint the expected chain length stays near one.
+
+   Earlier revisions guarded 2^6 shard hashtables with per-shard mutexes
+   and bumped a separate [Atomic] counter *after* releasing the shard
+   lock — so the dedup path paid two lock acquisitions per state
+   ([find_opt] then [insert]) and a concurrent [size] read could
+   transiently under-report a key that [find_opt] already returned.
+   Here [find_or_insert] is a single probe, and the counter is bumped
+   between the winning CAS and the insert's return: by the time any
+   caller learns its insert was fresh, the insert is counted, and the
+   counter is never decremented, so observed sizes are monotone. *)
+
+type 'a node = {
+  nk : Fingerprint.digest;
+  mutable nv : 'a;
+      (* value overwrites are plain racy writes: the DPOR caller narrows
+         the stored sleep set on revisit, and losing a racing narrowing
+         is sound, merely conservative (see [update]) *)
+  next : 'a node option;  (* immutable: bucket lists are copy-on-cons *)
+}
 
 type 'a t = {
-  shards : (Fingerprint.digest, 'a) Hashtbl.t array;
-  locks : Mutex.t array;
+  buckets : 'a node option Atomic.t array;
   mask : int;
   shift : int;
   total : int Atomic.t;
@@ -24,39 +45,74 @@ type 'a t = {
 
 let default_bits = 6
 
+(* Bucket count: at least [2^bits], grown toward an eighth of the
+   capacity hint (chains of ~8 at a full budget are still a short scan
+   over immutable cons cells), capped so a huge [--max-states] budget
+   cannot demand a multi-megabyte empty array up front — table creation
+   sits on the per-vote-set setup path, and a typical exploration stays
+   far below its budget ceiling. *)
+let max_bucket_bits = 16
+
 let create ?(bits = default_bits) ~capacity () =
   if bits < 0 || bits > 16 then invalid_arg "Mc_shards.create: bits";
-  let n = 1 lsl bits in
-  let per_shard = max 64 (capacity / n) in
+  let want =
+    max (1 lsl bits) (min ((capacity + 7) / 8) (1 lsl max_bucket_bits))
+  in
+  let b = ref bits in
+  while 1 lsl !b < want do
+    incr b
+  done;
+  let n = 1 lsl !b in
   {
-    shards = Array.init n (fun _ -> Hashtbl.create per_shard);
-    locks = Array.init n (fun _ -> Mutex.create ());
+    buckets = Array.init n (fun _ -> Atomic.make None);
     mask = n - 1;
     (* digest lanes carry 63 significant bits (see Fingerprint) *)
-    shift = 63 - bits;
+    shift = 63 - !b;
     total = Atomic.make 0;
   }
 
-let shard_of t (d : Fingerprint.digest) = (d.d1 lsr t.shift) land t.mask
+let bucket_of t (d : Fingerprint.digest) = (d.d1 lsr t.shift) land t.mask
+
+let rec scan key = function
+  | None -> None
+  | Some n -> if Fingerprint.equal n.nk key then Some n else scan key n.next
 
 let find_opt t key =
-  let i = shard_of t key in
-  Mutex.lock t.locks.(i);
-  let r = Hashtbl.find_opt t.shards.(i) key in
-  Mutex.unlock t.locks.(i);
-  r
+  match scan key (Atomic.get t.buckets.(bucket_of t key)) with
+  | Some n -> Some n.nv
+  | None -> None
 
-(* [insert] returns whether the key was fresh; an existing binding is
-   overwritten either way (the DPOR caller narrows the stored sleep set
-   on revisit — losing a racing narrowing is sound, merely conservative:
-   a larger stored sleep set only makes a future cut less likely). *)
+let rec find_or_insert t key v =
+  let cell = t.buckets.(bucket_of t key) in
+  let head = Atomic.get cell in
+  match scan key head with
+  | Some n -> Some n.nv
+  | None ->
+      if Atomic.compare_and_set cell head (Some { nk = key; nv = v; next = head })
+      then begin
+        (* counted before the caller learns the insert was fresh: a
+           [size] read ordered after this call includes the key *)
+        Atomic.incr t.total;
+        None
+      end
+      else
+        (* another domain republished this bucket (its CAS succeeded, so
+           the retry is lock-free); rescan — our key may be in now *)
+        find_or_insert t key v
+
 let insert t key v =
-  let i = shard_of t key in
-  Mutex.lock t.locks.(i);
-  let fresh = not (Hashtbl.mem t.shards.(i) key) in
-  Hashtbl.replace t.shards.(i) key v;
-  Mutex.unlock t.locks.(i);
-  if fresh then Atomic.incr t.total;
-  fresh
+  match find_or_insert t key v with
+  | None -> true
+  | Some _ ->
+      (* existing binding: overwrite in place, as documented *)
+      (match scan key (Atomic.get t.buckets.(bucket_of t key)) with
+      | Some n -> n.nv <- v
+      | None -> assert false (* nodes are never removed *));
+      false
+
+let update t key v =
+  match scan key (Atomic.get t.buckets.(bucket_of t key)) with
+  | Some n -> n.nv <- v
+  | None -> ignore (find_or_insert t key v)
 
 let size t = Atomic.get t.total

@@ -1,31 +1,56 @@
-(** A digest-range-sharded visited table for shared-dedup exploration.
+(** A lock-free visited table shared across domains.
 
-    In [--shared-visited] mode every frontier item of one vote-set group
-    dedups against the same table: a state reachable from several
-    schedule prefixes is explored once globally instead of once per
-    prefix. The table is split into [2^bits] shards, each owning a
-    contiguous range of the digest space (keyed on the top bits of the
-    first digest lane) and guarded by its own mutex, so concurrent
-    domains only contend on top-bit collisions.
+    In [--shared-visited] and [--swarm] modes every worker of one
+    vote-set group dedups against the same table: a state reachable from
+    several schedule prefixes (or several randomized swarm walks) is
+    explored once globally. The table is an array of CAS-published
+    bucket lists — no mutexes anywhere — so the dedup hot path is one
+    atomic load plus a short chain scan, and concurrent inserts of
+    distinct keys never serialize unless they collide in a bucket.
 
     The resulting counters are {e jobs-dependent}: which of two racing
-    items gets to count a shared state as fresh depends on timing. The
+    workers gets to count a shared state as fresh depends on timing. The
     deterministic per-item tables remain the default; this table backs
-    the explicitly opted-in shared mode (see DESIGN.md). *)
+    the explicitly opted-in shared modes (see DESIGN.md).
+
+    Size accounting is monotone and acknowledgment-consistent: the
+    counter is bumped between the winning CAS and the insert's return,
+    and never decremented — so once any caller has been told its insert
+    was fresh, every subsequently ordered {!size} read includes it, and
+    a sequence of [size] reads never decreases. *)
 
 type 'a t
 
 val create : ?bits:int -> capacity:int -> unit -> 'a t
-(** [create ?bits ~capacity ()] makes a table of [2^bits] shards
-    (default [2^6]), pre-sizing each for [capacity / 2^bits] entries.
+(** [create ?bits ~capacity ()] makes a table of at least [2^bits]
+    buckets (default [2^6]), grown toward [capacity / 8] buckets (capped
+    at [2^16]) so chains stay short at the caller's anticipated
+    occupancy without paying for a huge empty array when [capacity] is
+    only a generous budget ceiling. The bucket array is fixed for the
+    table's lifetime: chains absorb any overflow.
     @raise Invalid_argument if [bits] is outside [0..16]. *)
 
 val find_opt : 'a t -> Fingerprint.digest -> 'a option
+(** Lock-free read: one atomic load plus a chain scan. *)
+
+val find_or_insert : 'a t -> Fingerprint.digest -> 'a -> 'a option
+(** [find_or_insert t key v] is the single-probe entry point of the
+    dedup hot path: [None] means [key] was absent and is now bound to
+    [v] by this caller (and already counted in {!size}); [Some prior]
+    means the key was present with value [prior] and nothing changed.
+    Exactly one of any set of racing inserters of [key] gets [None]. *)
 
 val insert : 'a t -> Fingerprint.digest -> 'a -> bool
-(** [insert t key v] binds [key] to [v] (replacing any existing binding)
-    and returns whether [key] was fresh. Racing inserts of the same key
-    serialize on the shard lock: exactly one caller sees [true]. *)
+(** [insert t key v] binds [key] to [v] (overwriting any existing
+    binding in place) and returns whether [key] was fresh. Exactly one
+    of any set of racing inserters sees [true]. Value overwrites are
+    racy by design: the DPOR caller only narrows stored sleep sets, and
+    losing a racing narrowing is sound, merely conservative. *)
+
+val update : 'a t -> Fingerprint.digest -> 'a -> unit
+(** Overwrite the value of an existing binding (insert if absent). *)
 
 val size : 'a t -> int
-(** Total distinct keys ever inserted, across all shards. *)
+(** Total distinct keys ever inserted, across all buckets. Monotone
+    under concurrency; includes every insert whose caller has already
+    observed [find_or_insert = None] (or [insert = true]). *)

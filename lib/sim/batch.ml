@@ -1,4 +1,41 @@
-let default_jobs () = Domain.recommended_domain_count ()
+(* ------------------------------------------------------------------ *)
+(* Worker-count policy.
+
+   [default_jobs] clamps the runtime's recommendation against the
+   ACTABLE_JOBS environment override: the variable caps the parallelism
+   used when a caller omits [?jobs] (containers and CI runners often
+   advertise more domains than the cgroup actually grants). An explicit
+   [~jobs] argument is never clamped — callers who ask get what they
+   asked for.
+
+   Nested fan-outs must not oversubscribe: a worker domain that itself
+   calls [run] (a parallel consumer built from parallel pieces) would
+   spawn jobs^2 domains. Every worker marks its domain via a DLS flag,
+   and both runners fall back to the sequential path when invoked from a
+   marked domain — the outer fan-out already owns the cores. *)
+
+let env_jobs () =
+  match Sys.getenv_opt "ACTABLE_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some (min j 256)
+      | _ -> None)
+
+let default_jobs () =
+  let recommended = max 1 (Domain.recommended_domain_count ()) in
+  match env_jobs () with
+  | Some cap -> min recommended cap
+  | None -> recommended
+
+let inside_worker = Domain.DLS.new_key (fun () -> false)
+
+(* The calling domain doubles as worker 0, so it must carry the mark for
+   the duration of the batch and drop it afterwards (spawned domains die
+   with their mark). *)
+let as_worker body =
+  Domain.DLS.set inside_worker true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set inside_worker false) body
 
 (* ------------------------------------------------------------------ *)
 (* The shared-cursor runner.
@@ -19,7 +56,7 @@ let run ?jobs f items =
   let jobs =
     min (match jobs with Some j -> max 1 j | None -> default_jobs ()) n
   in
-  if jobs <= 1 || n <= 1 then List.map f items
+  if jobs <= 1 || n <= 1 || Domain.DLS.get inside_worker then List.map f items
   else begin
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
@@ -37,8 +74,12 @@ let run ?jobs f items =
       in
       loop ()
     in
-    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let spawned () =
+      Domain.DLS.set inside_worker true;
+      worker ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn spawned) in
+    as_worker worker;
     List.iter Domain.join helpers;
     (* Unclaimed (None) slots can only follow the earliest Error: claims
        are contiguous, so scanning in order meets that Error first. *)
@@ -67,12 +108,23 @@ let run ?jobs f items =
    fat item on one domain. Here every domain owns a deque of
    (origin, payload) units; it pops its own newest end (depth-first on
    the pieces it created), and an idle domain steals from the oldest end
-   of a victim — the shallowest, hence fattest, pending unit. When the
-   fleet is starving (some worker found nothing to pop or steal) a
-   worker claiming a unit first offers it to [split]: the returned
-   pieces replace the unit, land on the claimant's deque, and are
-   immediately stealable — items re-split on demand, exactly when the
-   parallelism needs it.
+   of a victim — and takes the victim's whole oldest *half*, not one
+   unit: steal granularity that halves the victim amortizes the lock
+   traffic over log(n) steals per deque instead of one steal per unit,
+   which is what made fine-grained stealing a net loss on few cores.
+   When the fleet is starving (some worker found nothing to pop or
+   steal) a worker claiming a unit first offers it to [split]: the
+   returned pieces replace the unit, land on the claimant's deque, and
+   are immediately stealable — items re-split on demand, exactly when
+   the parallelism needs it.
+
+   An idle worker backs off per-domain and exponentially: a short
+   [cpu_relax] spin that doubles per failed sweep, escalating to timed
+   sleeps capped at 1ms. Each worker keeps its own attempt counter (no
+   cross-domain reads on the idle path), so on machines with fewer cores
+   than domains a thief cannot starve the very victim it waits on, and
+   on big machines a momentarily idle worker still reacts within
+   microseconds.
 
    Results are accumulated per originating item under a mutex with
    [merge], so [merge] must be commutative and associative; the piece
@@ -86,13 +138,24 @@ type 'a deque = {
   mutable units : (int * 'a) list;  (* head = owner's (newest) end *)
 }
 
+(* Exponential per-domain backoff. Attempts 1..6 spin 2^attempt pause
+   instructions; later attempts sleep, doubling from 50us to a 1ms cap.
+   The counter is per-worker state, reset on every successful claim. *)
+let backoff attempt =
+  if attempt <= 6 then
+    for _ = 1 to 1 lsl attempt do
+      Domain.cpu_relax ()
+    done
+  else
+    Unix.sleepf (min 0.001 (0.00005 *. float_of_int (1 lsl (min (attempt - 7) 5))))
+
 let run_stealing ?jobs ?split ~merge f items =
   let work = Array.of_list items in
   let n = Array.length work in
   let jobs =
     min (match jobs with Some j -> max 1 j | None -> default_jobs ()) n
   in
-  if jobs <= 1 || n <= 1 then List.map f items
+  if jobs <= 1 || n <= 1 || Domain.DLS.get inside_worker then List.map f items
   else begin
     let deques =
       Array.init jobs (fun _ -> { mu = Mutex.create (); units = [] })
@@ -136,21 +199,37 @@ let run_stealing ?jobs ?split ~merge f items =
       Mutex.unlock d.mu;
       u
     in
+    (* Take the victim's oldest half (at least one unit), oldest first.
+       The shallowest units are the fattest, and batching them means one
+       lock acquisition moves half the victim's backlog. *)
     let steal d =
       Mutex.lock d.mu;
-      let u =
-        match List.rev d.units with
-        | [] -> None
-        | oldest :: rev_tl ->
-            d.units <- List.rev rev_tl;
-            Some oldest
+      let batch =
+        match d.units with
+        | [] -> []
+        | units ->
+            let len = List.length units in
+            let keep = len / 2 in
+            let rec split_at k acc = function
+              | rest when k = 0 -> (List.rev acc, rest)
+              | x :: tl -> split_at (k - 1) (x :: acc) tl
+              | [] -> (List.rev acc, [])
+            in
+            let kept, oldest = split_at keep [] units in
+            d.units <- kept;
+            List.rev oldest (* oldest unit first *)
       in
       Mutex.unlock d.mu;
-      u
+      batch
     in
     let push_pieces d origin pieces =
       Mutex.lock d.mu;
       d.units <- List.map (fun p -> (origin, p)) pieces @ d.units;
+      Mutex.unlock d.mu
+    in
+    let push_units d us =
+      Mutex.lock d.mu;
+      d.units <- us @ d.units;
       Mutex.unlock d.mu
     in
     let worker w () =
@@ -176,8 +255,11 @@ let run_stealing ?jobs ?split ~merge f items =
               if k > jobs - 2 then None
               else
                 match steal deques.((w + 1 + k) mod jobs) with
-                | Some u -> Some u
-                | None -> sweep (k + 1)
+                | first :: rest ->
+                    (* run the fattest stolen unit; bank the others *)
+                    if rest <> [] then push_units my rest;
+                    Some first
+                | [] -> sweep (k + 1)
             in
             sweep 0
       in
@@ -215,21 +297,21 @@ let run_stealing ?jobs ?split ~merge f items =
               if Atomic.get remaining > 0 then begin
                 start_starving ();
                 incr idle;
-                (* brief spin, then yield the core: on machines with
-                   fewer cores than domains a spinning thief would
-                   otherwise starve the very victim it waits on *)
-                if !idle < 64 then Domain.cpu_relax ()
-                else Unix.sleepf 0.0002;
+                backoff !idle;
                 loop ()
               end
       in
       loop ();
       stop_starving ()
     in
-    let helpers =
-      List.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    let spawned i () =
+      Domain.DLS.set inside_worker true;
+      worker i ()
     in
-    worker 0 ();
+    let helpers =
+      List.init (jobs - 1) (fun i -> Domain.spawn (spawned (i + 1)))
+    in
+    as_worker (worker 0);
     List.iter Domain.join helpers;
     match !error with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt

@@ -9,14 +9,23 @@
     results {b in input order}, so batched artifacts are byte-identical
     to what the sequential path produces.
 
-    The worker count is capped at [Domain.recommended_domain_count ()]
-    (and at the batch size); pass [~jobs:1] to force the sequential path
-    — the escape hatch micro-benchmarks use so that they measure
-    single-run cost, not scheduling. *)
+    The worker count defaults to {!default_jobs} (and is capped at the
+    batch size); pass [~jobs:1] to force the sequential path — the
+    escape hatch micro-benchmarks use so that they measure single-run
+    cost, not scheduling.
+
+    Both runners refuse to nest: invoked from inside one of their own
+    worker domains (a parallel consumer built from parallel pieces) they
+    run sequentially instead of spawning [jobs^2] domains — the outer
+    fan-out already owns the cores. *)
 
 val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()]: the parallelism used when
-    [?jobs] is omitted. *)
+(** [Domain.recommended_domain_count ()], clamped against the
+    [ACTABLE_JOBS] environment variable when it is set to a positive
+    integer: the parallelism used when [?jobs] is omitted. The override
+    only caps the default — an explicit [~jobs] argument is passed
+    through untouched. Unparsable or non-positive values of
+    [ACTABLE_JOBS] are ignored. *)
 
 val run : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [run ?jobs f items] applies [f] to every item, fanning the
@@ -28,7 +37,8 @@ val run : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     item that failed is re-raised with its original backtrace — the same
     exception the sequential path would surface first, because items are
     claimed in index order. Equivalent to [List.map f items] when
-    [jobs <= 1] or the list has fewer than two items. *)
+    [jobs <= 1], when the list has fewer than two items, or when called
+    from inside a worker domain of either runner (no nested spawning). *)
 
 val run_stealing :
   ?jobs:int ->
@@ -40,8 +50,13 @@ val run_stealing :
 (** [run_stealing ?jobs ?split ~merge f items] is [run] for batches with
     heavily skewed per-item costs: every domain owns a deque of work
     units, pops its own newest unit, and — when out of work — steals the
-    {e oldest} (typically fattest) unit from another domain, so one fat
-    item no longer pins a domain while the rest idle.
+    {e oldest half} of another domain's deque (the shallowest, typically
+    fattest units), so one fat item no longer pins a domain while the
+    rest idle, and the steal traffic amortizes to O(log n) lock
+    acquisitions per deque. An idle worker backs off exponentially and
+    per-domain ([Domain.cpu_relax] spins doubling into timed sleeps
+    capped at 1ms), so thieves cannot starve their victims on machines
+    with fewer cores than domains.
 
     When some domain is starving, a worker about to execute a unit first
     offers it to [split]; [Some pieces] (non-empty) replaces the unit
@@ -63,5 +78,6 @@ val run_stealing :
     On the first exception the scheduler is poisoned (no further units
     start) and the exception whose originating item has the smallest
     index is re-raised with its backtrace. Equivalent to
-    [List.map f items] when [jobs <= 1] or the list has fewer than two
-    items ([split] is never consulted on that path). *)
+    [List.map f items] when [jobs <= 1], when the list has fewer than
+    two items, or when called from inside a worker domain ([split] is
+    never consulted on those paths). *)

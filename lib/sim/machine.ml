@@ -59,6 +59,11 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     pool_on : bool;
     mutable pool : snapshot list;
         (* released snapshot records awaiting recapture *)
+    mutable pool_owner : int;
+        (* Domain id that owns the pooled records. Pools are strictly
+           domain-local: if the machine is ever driven from a different
+           domain, the pool is dropped and re-owned rather than handing
+           records captured on one domain to another (see [adopt]). *)
     mutable stamp : int;
         (* bumped after every capture; [last_mut] entries are compared
            against a record's [s_stamp] to find which pids diverged *)
@@ -90,6 +95,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       timer_epochs = Array.make n [];
       pool_on = pool;
       pool = [];
+      pool_owner = (Domain.self () :> int);
       stamp = 1;
       last_mut = Array.make n 0;
       crash_count = 0;
@@ -435,7 +441,21 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     t.stamp <- t.stamp + 1;
     s
 
+  (* Pooled records never cross domains: a machine driven from a new
+     domain abandons the records captured on the old one (they are
+     garbage-collected) and starts a fresh pool it owns. The check is a
+     single int compare on the hot path; in the common case (the model
+     checker creates one machine per worker domain and never migrates
+     it) the branch is never taken. *)
+  let adopt t =
+    let d = (Domain.self () :> int) in
+    if t.pool_owner <> d then begin
+      t.pool <- [];
+      t.pool_owner <- d
+    end
+
   let snapshot t =
+    if t.pool_on then adopt t;
     match t.pool with
     | s :: rest ->
         t.pool <- rest;
@@ -445,7 +465,9 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
   let release t s =
     if t.pool_on && not s.s_pooled then begin
       s.s_pooled <- true;
-      t.pool <- s :: t.pool
+      if t.pool_owner = (Domain.self () :> int) then t.pool <- s :: t.pool
+      (* else: [s] was captured while another domain owned the pool —
+         retire it to the GC instead of handing it across domains *)
     end
 
   let restore t s =

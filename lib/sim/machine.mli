@@ -124,5 +124,11 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) : sig
   (** Return a snapshot record to the machine's pool for recycling by a
       later {!snapshot}. The caller promises never to {!restore} from it
       again. No-op when the machine was created without [~pool:true];
-      releasing the same record twice is a no-op. *)
+      releasing the same record twice is a no-op.
+
+      Pools are strictly domain-local: if the machine is driven from a
+      new domain, {!snapshot} abandons the records pooled on the old one
+      and starts a fresh pool, and [release] retires (rather than pools)
+      a record captured under another domain — pooled records are never
+      handed across domains. *)
 end

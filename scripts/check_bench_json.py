@@ -32,7 +32,7 @@ def need(cond, what):
         errors.append(what)
 
 
-need(doc.get("schema") == "actable-bench/3", "schema actable-bench/3")
+need(doc.get("schema") == "actable-bench/4", "schema actable-bench/4")
 need(isinstance(doc.get("pairs"), list) and doc["pairs"], "non-empty pairs")
 
 for section in ("nice_run_seconds", "table_seconds"):
@@ -64,20 +64,23 @@ h, m = backends.get("hashed", {}), backends.get("marshal", {})
 need(h.get("states") == m.get("states"), "backends agree on states")
 need(h.get("schedules") == m.get("schedules"), "backends agree on schedules")
 
-# frontier-scheduling matrix: four configs plus derived speedups
+# frontier-scheduling matrix: six configs plus derived speedups
 frontier = mc.get("frontier", {})
 FRONTIER_CONFIGS = (
     "per_item_cursor_j1",
     "per_item_stealing_j4",
     "shared_stealing_j1",
     "shared_stealing_j4",
+    "swarm_shared_j1",
+    "swarm_shared_j4",
 )
 for cfg in FRONTIER_CONFIGS:
     row = frontier.get(cfg, {})
     for k in ("seconds", "states", "schedules", "states_per_sec"):
         need(isinstance(row.get(k), (int, float)) and row[k] > 0,
              f"mc.frontier.{cfg}.{k} > 0")
-for k in ("stealing_speedup_j4", "shared_speedup_j4"):
+for k in ("stealing_speedup_j4", "shared_speedup_j4", "swarm_speedup_j4",
+          "swarm_states_per_sec_ratio_j4"):
     need(isinstance(frontier.get(k), (int, float)) and frontier[k] > 0,
          f"mc.frontier.{k} > 0")
 
@@ -90,8 +93,11 @@ need(cursor.get("states") == stealing.get("states"),
 need(cursor.get("schedules") == stealing.get("schedules"),
      "per-item schedules identical across cursor/stealing")
 
-# global dedup can only shrink the explored state count
-for cfg in ("shared_stealing_j1", "shared_stealing_j4"):
+# global dedup can only shrink the explored state count (swarm walkers
+# re-expand a bounded shallow prefix, but the shared table still keeps
+# them inside the per-item envelope)
+for cfg in ("shared_stealing_j1", "shared_stealing_j4", "swarm_shared_j1",
+            "swarm_shared_j4"):
     shared_states = frontier.get(cfg, {}).get("states")
     if isinstance(shared_states, (int, float)) and \
        isinstance(cursor.get("states"), (int, float)):

@@ -68,6 +68,85 @@ let test_poison_keeps_backtrace () =
     check tbool "backtrace mentions the raising frame" true
       (String.length bt > 0))
 
+(* ---- jobs clamping and the no-nesting guard ----------------------- *)
+
+(* ACTABLE_JOBS only caps the DEFAULT: it can lower what
+   recommended_domain_count reports, never raise it, and garbage or
+   non-positive values are ignored. Explicit ~jobs arguments are always
+   passed through untouched. *)
+let test_env_jobs_clamp () =
+  let with_env v body =
+    let old = Sys.getenv_opt "ACTABLE_JOBS" in
+    Unix.putenv "ACTABLE_JOBS" v;
+    Fun.protect body ~finally:(fun () ->
+        Unix.putenv "ACTABLE_JOBS" (Option.value old ~default:""))
+  in
+  let unclamped =
+    with_env "" (fun () -> Batch.default_jobs ())
+  in
+  check tbool "default positive" true (unclamped >= 1);
+  with_env "1" (fun () ->
+      check tint "ACTABLE_JOBS=1 caps the default to 1" 1
+        (Batch.default_jobs ()));
+  with_env "1" (fun () ->
+      check (Alcotest.list tint) "explicit ~jobs ignores the env cap"
+        [ 2; 3; 4 ]
+        (Batch.run ~jobs:4 succ [ 1; 2; 3 ]));
+  List.iter
+    (fun garbage ->
+      with_env garbage (fun () ->
+          check tint
+            (Printf.sprintf "ACTABLE_JOBS=%S ignored" garbage)
+            unclamped (Batch.default_jobs ())))
+    [ "zero"; "0"; "-3"; "2.5"; "" ];
+  with_env "100000" (fun () ->
+      check tint "huge cap cannot raise the default" unclamped
+        (Batch.default_jobs ()))
+
+(* The no-nesting guard: Batch.run invoked from inside a worker domain
+   must degrade to sequential instead of spawning domains from a domain
+   (which deadlocked under contention and oversubscribed the machine).
+   Every inner run below asks for 4 domains; if the guard works, each
+   inner batch executes entirely on its caller's domain. *)
+let test_nested_run_stays_inline () =
+  let outer = List.init 6 Fun.id in
+  let results =
+    Batch.run ~jobs:3
+      (fun i ->
+        let here = (Domain.self () :> int) in
+        let inner_domains =
+          Batch.run ~jobs:4 (fun _ -> (Domain.self () :> int)) (List.init 8 Fun.id)
+        in
+        let inline = List.for_all (fun d -> d = here) inner_domains in
+        (i, inline))
+      outer
+  in
+  List.iter
+    (fun (i, inline) ->
+      check tbool
+        (Printf.sprintf "item %d: nested run stayed on its worker" i)
+        true inline)
+    results;
+  check tint "outer results complete" (List.length outer)
+    (List.length results)
+
+let test_nested_stealing_stays_inline () =
+  let results =
+    Batch.run_stealing ~jobs:3 ~merge:( + )
+      (fun i ->
+        let here = (Domain.self () :> int) in
+        let inner =
+          Batch.run_stealing ~jobs:4 ~merge:( + )
+            (fun _ -> if (Domain.self () :> int) = here then 0 else 1)
+            (List.init 8 Fun.id)
+        in
+        ignore (List.fold_left ( + ) 0 inner);
+        if List.for_all (fun x -> x = 0) inner then i else -1000)
+      (List.init 6 Fun.id)
+  in
+  check (Alcotest.list tint) "nested stealing stayed inline"
+    (List.init 6 Fun.id) results
+
 (* ---- the work-stealing runner ------------------------------------- *)
 
 let merge_add = ( + )
@@ -102,6 +181,28 @@ let test_stealing_split_merge_sums () =
   check (Alcotest.list tint) "per-origin sums survive any decomposition"
     (List.map (List.fold_left ( + ) 0) items)
     (Batch.run_stealing ~jobs:4 ~split ~merge:merge_add f items)
+
+(* Skewed load with more domains than this machine has cores: one item
+   dwarfs the rest, so most workers spend the run starved — exactly the
+   regime the idle backoff (spin, then escalate to short sleeps) and the
+   steal-half granularity exist for. Passing means no livelock and
+   correct per-origin sums whatever got stolen from whom. *)
+let test_stealing_skewed_backoff () =
+  let items =
+    List.init 24 (fun i ->
+        if i = 0 then List.init 64 Fun.id else [ i; i + 1 ])
+  in
+  let split = function
+    | [] | [ _ ] -> None
+    | xs -> Some (List.map (fun x -> [ x ]) xs)
+  in
+  let f xs =
+    if List.length xs > 1 then Unix.sleepf 0.0005;
+    List.fold_left ( + ) 0 xs
+  in
+  check (Alcotest.list tint) "per-origin sums survive the skew"
+    (List.map (List.fold_left ( + ) 0) items)
+    (Batch.run_stealing ~jobs:8 ~split ~merge:merge_add f items)
 
 let test_stealing_exception_earliest_origin () =
   Alcotest.check_raises "smallest-origin exception re-raised"
@@ -162,11 +263,20 @@ let () =
           quick "poison aborts promptly" test_poison_aborts_promptly;
           quick "poison keeps backtrace" test_poison_keeps_backtrace;
         ] );
+      ( "jobs-guard",
+        [
+          quick "ACTABLE_JOBS clamps the default" test_env_jobs_clamp;
+          quick "nested run stays inline" test_nested_run_stays_inline;
+          quick "nested stealing stays inline"
+            test_nested_stealing_stays_inline;
+        ] );
       ( "stealing",
         [
           quick "order preserved" test_stealing_order_preserved;
           quick "no split = run" test_stealing_no_split_equals_run;
           quick "split/merge sums" test_stealing_split_merge_sums;
+          quick "skewed load, oversubscribed backoff"
+            test_stealing_skewed_backoff;
           quick "earliest-origin exception"
             test_stealing_exception_earliest_origin;
           quick "edge cases" test_stealing_edge_cases;

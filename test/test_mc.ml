@@ -415,6 +415,119 @@ let test_stealing_matches_cursor () =
   check tint "sleep skips" a.Mc_limits.sleep_skips b.Mc_limits.sleep_skips
 
 (* ------------------------------------------------------------------ *)
+(* Swarm mode: independent randomized-order walks, one per domain,
+   coupled only through the shared visited table. *)
+
+(* Differential contract, property-tested over the job count: whatever
+   the domain count, a swarm run must reach the same verdict as the
+   sequential per-item explorer (clean runs stay clean, violations name
+   the same property), explore at least one state, and — when the
+   baseline exhausts a clean space — stay within the per-item envelope
+   (global dedup plus the bounded open-depth prefix can only shrink the
+   space). Counters themselves are jobs-dependent by contract, so only
+   the envelope is asserted, never equality. *)
+let swarm_differential ~protocol ~klass ~budgets =
+  let name =
+    Printf.sprintf "swarm %s/%s verdict = sequential (any jobs)" protocol
+      (Mc_run.class_name klass)
+  in
+  let baseline =
+    Mc_run.run ~budgets ~jobs:1 ~protocol ~n:3 ~f:1 ~klass ()
+  in
+  let violation_key o =
+    Option.map
+      (fun (v : Mc_replay.violation) ->
+        Mc_replay.property_name v.Mc_replay.property)
+      o.Mc_run.violation
+  in
+  let base_exhausted =
+    Mc_run.clean baseline
+    && Mc_limits.exhausted baseline.Mc_run.counters
+  in
+  QCheck.Test.make ~count:6 ~name
+    QCheck.(int_range 1 6)
+    (fun jobs ->
+      let swarm =
+        Mc_run.run ~budgets ~swarm:true ~jobs ~protocol ~n:3 ~f:1 ~klass ()
+      in
+      let states = swarm.Mc_run.counters.Mc_limits.states in
+      violation_key swarm = violation_key baseline
+      && states > 0
+      && ((not base_exhausted)
+         || states <= baseline.Mc_run.counters.Mc_limits.states))
+
+let network_capped =
+  {
+    (Mc_limits.default_budgets ~u:Sim_time.default_u) with
+    Mc_limits.max_states = 2_000;
+  }
+
+let swarm_differential_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      swarm_differential ~protocol:"inbac" ~klass:Mc_run.Crash
+        ~budgets:(Mc_limits.default_budgets ~u:Sim_time.default_u);
+      swarm_differential ~protocol:"2pc" ~klass:Mc_run.Crash
+        ~budgets:(Mc_limits.default_budgets ~u:Sim_time.default_u);
+      swarm_differential ~protocol:"inbac" ~klass:Mc_run.Network
+        ~budgets:network_capped;
+      swarm_differential ~protocol:"2pc" ~klass:Mc_run.Network
+        ~budgets:network_capped;
+    ]
+
+(* Eight domains hammer one lock-free shards table with overlapping key
+   streams: [find_or_insert] acknowledges each distinct key fresh
+   ([None]) exactly once table-wide, so the per-domain fresh counts must
+   sum to both the table size and the distinct-key count, while a
+   concurrent reader checks [size] never moves backwards (the counter is
+   monotone and acknowledgment-consistent — no transient under-report
+   window between a winning CAS and the size bump being visible). *)
+let test_shards_stress () =
+  let distinct = 4_096 and domains = 8 in
+  let table = Mc_shards.create ~capacity:distinct () in
+  let stop = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        let last = ref 0 in
+        let monotone = ref true in
+        while not (Atomic.get stop) do
+          let s = Mc_shards.size table in
+          if s < !last then monotone := false;
+          last := s;
+          Domain.cpu_relax ()
+        done;
+        !monotone)
+  in
+  let key i =
+    { Fingerprint.d1 = i * 0x2545F4914F6CDD1D land max_int; d2 = i }
+  in
+  let worker d () =
+    let fresh = ref 0 in
+    for k = 0 to distinct - 1 do
+      (* every domain inserts every key, each in a different order *)
+      let i = (k + (d * 997)) mod distinct in
+      if Mc_shards.find_or_insert table (key i) d = None then incr fresh
+    done;
+    !fresh
+  in
+  let workers = List.init domains (fun d -> Domain.spawn (worker d)) in
+  let fresh_sum =
+    List.fold_left (fun acc w -> acc + Domain.join w) 0 workers
+  in
+  Atomic.set stop true;
+  check tbool "size monotone under concurrent inserts" true
+    (Domain.join reader);
+  check tint "fresh-insert acknowledgments sum to distinct keys" distinct
+    fresh_sum;
+  check tint "size equals distinct keys" distinct (Mc_shards.size table);
+  (* and every key is findable with some inserter's value *)
+  let missing = ref 0 in
+  for i = 0 to distinct - 1 do
+    if Mc_shards.find_opt table (key i) = None then incr missing
+  done;
+  check tint "no key lost" 0 !missing
+
+(* ------------------------------------------------------------------ *)
 (* Snapshot-pool neutrality at the run and artifact level. *)
 
 (* The user-facing artifact must not change by a byte when the pool is
@@ -486,6 +599,12 @@ let () =
           quick "stealing counters = cursor counters"
             test_stealing_matches_cursor;
         ] );
+      ( "swarm",
+        swarm_differential_tests
+        @ [
+            quick "shards: 8-domain stress, size = fresh-insert sum"
+              test_shards_stress;
+          ] );
       ( "snapshot-pool",
         Fp_inbac.pool_tests @ Fp_2pc.pool_tests
         @ [
