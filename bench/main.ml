@@ -260,6 +260,16 @@ let min_swarm_speedup =
   in
   scan argv
 
+(* Multi-shot service floor: fail when any multishot arm's committed
+   transactions per wall-clock second fall below this. *)
+let min_multishot_floor =
+  let rec scan = function
+    | "--min-multishot-commits-per-sec" :: v :: _ -> float_of_string_opt v
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan argv
+
 (* NxF pairs for the timed table regenerations; defaults to a tiny pair
    list so the smoke run stays cheap. *)
 let json_pairs =
@@ -522,6 +532,34 @@ let run_json path =
   let nu_states, nu_minor, nu_promoted, nu_major =
     gc_measure (fun () -> mc_network_run false)
   in
+  (* Multi-shot commit service arms: three protocols, each nominal and
+     with a crash-injection arm (shard P1 down at 3U, back at 20U — the
+     2PC arm parks its in-flight instances on the dead coordinator and
+     must drain them through recovery). Single runs, not time_best: each
+     arm IS a throughput measurement over hundreds of transactions, and
+     its correctness flags (atomicity, agreement, drained staging) are
+     what the bench gates on. *)
+  let ms_u = Sim_time.default_u in
+  let ms_clients = 100 and ms_txns = 800 in
+  let ms_spec ~crash =
+    {
+      Commit_service.default with
+      Commit_service.clients = ms_clients;
+      txns = ms_txns;
+      seed = 11;
+      outages = (if crash then [ (1, 3 * ms_u, Some (20 * ms_u)) ] else []);
+    }
+  in
+  let multishot =
+    List.concat_map
+      (fun p ->
+        [
+          (p, Commit_service.run ~protocol:p ~n:3 ~f:1 (ms_spec ~crash:false));
+          ( p ^ "_crash",
+            Commit_service.run ~protocol:p ~n:3 ~f:1 (ms_spec ~crash:true) );
+        ])
+      [ "inbac"; "paxos-commit"; "2pc" ]
+  in
   let buf = Buffer.create 4096 in
   let field_block name kvs =
     Buffer.add_string buf (Printf.sprintf "  %S: {\n" name);
@@ -534,7 +572,7 @@ let run_json path =
     Buffer.add_string buf "  }"
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"actable-bench/4\",\n";
+  Buffer.add_string buf "  \"schema\": \"actable-bench/5\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"pairs\": [%s],\n"
        (String.concat ", "
@@ -643,6 +681,58 @@ let run_json path =
     ]
     net_pool_speedup
     (nu_minor /. Float.max np_minor 1e-9);
+  Buffer.add_string buf "  },\n";
+  let num x = if Float.is_nan x then "0.0" else Printf.sprintf "%.3f" x in
+  let jbool b = if b then "true" else "false" in
+  Buffer.add_string buf "  \"multishot\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"n\": 3, \"f\": 1, \"clients\": %d, \"txns\": %d,\n" ms_clients
+       ms_txns);
+  Buffer.add_string buf "    \"arms\": {\n";
+  let n_arms = List.length multishot in
+  List.iteri
+    (fun idx (name, (s : Commit_service.stats)) ->
+      Buffer.add_string buf (Printf.sprintf "      \"%s\": {\n" name);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "        \"seconds\": %.6f, \"commits_per_sec\": %s, \
+            \"transactions\": %d, \"committed\": %d, \"aborted\": %d, \
+            \"local_aborts\": %d, \"parked\": %d,\n"
+           s.Commit_service.wall_seconds
+           (num s.Commit_service.commits_per_sec)
+           s.Commit_service.transactions s.Commit_service.committed
+           s.Commit_service.aborted s.Commit_service.local_aborts
+           s.Commit_service.parked);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "        \"instances\": %d, \"retries\": %d, \"mean_batch\": %s, \
+            \"peak_in_flight\": %d, \"messages\": %d, \"staged_left\": %d, \
+            \"abort_rate\": %s,\n"
+           s.Commit_service.instances s.Commit_service.retries
+           (num s.Commit_service.mean_batch)
+           s.Commit_service.peak_in_flight s.Commit_service.total_messages
+           s.Commit_service.staged_left
+           (num
+              (float_of_int
+                 (s.Commit_service.aborted + s.Commit_service.local_aborts)
+              /. Float.max 1.0 (float_of_int s.Commit_service.transactions))));
+      let l = s.Commit_service.latency in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "        \"latency_delays\": { \"mean\": %s, \"p50\": %s, \
+            \"p95\": %s, \"p99\": %s, \"max\": %s },\n"
+           (num l.Histogram.mean) (num l.Histogram.p50) (num l.Histogram.p95)
+           (num l.Histogram.p99) (num l.Histogram.max));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "        \"atomicity_ok\": %s, \"agreement_ok\": %s\n"
+           (jbool s.Commit_service.atomicity_ok)
+           (jbool s.Commit_service.agreement_ok));
+      Buffer.add_string buf
+        (if idx = n_arms - 1 then "      }\n" else "      },\n"))
+    multishot;
+  Buffer.add_string buf "    }\n";
   Buffer.add_string buf "  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -688,6 +778,55 @@ let run_json path =
     (float_of_int net_states /. net_secs)
     np_minor nu_minor
     (nu_minor /. Float.max np_minor 1e-9);
+  List.iter
+    (fun (name, (s : Commit_service.stats)) ->
+      Printf.printf
+        "multishot %-18s %6.0f commits/sec  %4d/%d committed, %d aborted \
+         (%d local), %d parked, p50/p95/p99 %.1f/%.1f/%.1f delays%s\n"
+        name s.Commit_service.commits_per_sec s.Commit_service.committed
+        s.Commit_service.transactions s.Commit_service.aborted
+        s.Commit_service.local_aborts s.Commit_service.parked
+        s.Commit_service.latency.Histogram.p50
+        s.Commit_service.latency.Histogram.p95
+        s.Commit_service.latency.Histogram.p99
+        (if s.Commit_service.retries > 0 then
+           Printf.sprintf " (%d retries after recovery)"
+             s.Commit_service.retries
+         else ""))
+    multishot;
+  List.iter
+    (fun (name, (s : Commit_service.stats)) ->
+      if not (s.Commit_service.atomicity_ok && s.Commit_service.agreement_ok)
+      then begin
+        Printf.eprintf
+          "bench: multishot arm %s violated %s (atomicity %b, agreement %b)\n"
+          name
+          (if s.Commit_service.atomicity_ok then "agreement" else "atomicity")
+          s.Commit_service.atomicity_ok s.Commit_service.agreement_ok;
+        exit 1
+      end;
+      if s.Commit_service.parked <> 0 || s.Commit_service.staged_left <> 0
+      then begin
+        Printf.eprintf
+          "bench: multishot arm %s left %d parked transactions and %d \
+           staged writes — recovery must drain every instance\n"
+          name s.Commit_service.parked s.Commit_service.staged_left;
+        exit 1
+      end)
+    multishot;
+  (match min_multishot_floor with
+  | Some floor ->
+      List.iter
+        (fun (name, (s : Commit_service.stats)) ->
+          if s.Commit_service.commits_per_sec < floor then begin
+            Printf.eprintf
+              "bench: multishot arm %s at %.0f commits/sec, below the \
+               floor %.0f\n"
+              name s.Commit_service.commits_per_sec floor;
+            exit 1
+          end)
+        multishot
+  | None -> ());
   (match min_swarm_speedup with
   | Some floor when swarm_speedup < floor ->
       Printf.eprintf

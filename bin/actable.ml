@@ -305,6 +305,163 @@ let db_cmd =
           sweep and per-protocol cost of the same workload.")
     Term.(const action $ n_arg $ f_arg $ jobs_arg)
 
+let txserve_cmd =
+  let ticks d = int_of_float (d *. float_of_int u) in
+  let clients_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "clients" ] ~docv:"K" ~doc:"Closed-loop simulated clients.")
+  in
+  let txns_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "txns" ] ~docv:"K" ~doc:"Total transactions to issue.")
+  in
+  let max_batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-batch" ] ~docv:"K"
+          ~doc:"Transactions per commit instance (1 disables batching).")
+  in
+  let batch_window_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "batch-window" ] ~docv:"DELAYS"
+          ~doc:
+            "How long a batch collects co-resident transactions, in units \
+             of U (0 launches immediately).")
+  in
+  let pipeline_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "pipeline" ] ~docv:"K"
+          ~doc:"Concurrent commit instances cap (1 serializes).")
+  in
+  let think_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "think" ] ~docv:"DELAYS"
+          ~doc:"Max client think time between transactions, units of U.")
+  in
+  let hot_fraction_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "hot-fraction" ] ~docv:"P"
+          ~doc:"Probability that a key access hits the hot set.")
+  in
+  let outage_conv =
+    let parse s =
+      let err =
+        `Msg
+          (Printf.sprintf
+             "cannot parse outage %S (expected RANK@DOWN or RANK@DOWN:UP, \
+              instants in units of U)"
+             s)
+      in
+      match String.split_on_char '@' s with
+      | [ rank; rest ] -> (
+          match (int_of_string_opt rank, String.split_on_char ':' rest) with
+          | Some rank, [ d ] -> (
+              match float_of_string_opt d with
+              | Some d -> Ok (rank, ticks d, None)
+              | None -> Error err)
+          | Some rank, [ d; back ] -> (
+              match (float_of_string_opt d, float_of_string_opt back) with
+              | Some d, Some back -> Ok (rank, ticks d, Some (ticks back))
+              | _ -> Error err)
+          | _ -> Error err)
+      | _ -> Error err
+    in
+    let print ppf (rank, d, back) =
+      let delays t = float_of_int t /. float_of_int u in
+      match back with
+      | None -> Format.fprintf ppf "%d@%g" rank (delays d)
+      | Some b -> Format.fprintf ppf "%d@%g:%g" rank (delays d) (delays b)
+    in
+    Arg.conv (parse, print)
+  in
+  let outage_arg =
+    let doc =
+      "Shard outage (repeatable): RANK@DOWN:UP takes the shard down at \
+       instant DOWN and brings it back at UP (units of U; omit :UP to \
+       never recover). A recovering shard adopts the decisions it missed; \
+       instances blocked on it (2PC's dead coordinator) park and re-run."
+    in
+    Arg.(value & opt_all outage_conv [] & info [ "outage" ] ~docv:"SPEC" ~doc)
+  in
+  let svc_network_arg =
+    let doc =
+      "Network model: 'exact', 'jittered' (default — random delays up to \
+       U), or 'gst' (eventually synchronous)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum [ ("exact", `Exact); ("jittered", `Jittered); ("gst", `Gst) ])
+          `Jittered
+      & info [ "network" ] ~docv:"MODEL" ~doc)
+  in
+  let floor_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info
+          [ "min-multishot-commits-per-sec" ]
+          ~docv:"X"
+          ~doc:
+            "Exit nonzero when committed transactions per wall-clock \
+             second fall below this floor.")
+  in
+  let action protocol n f seed consensus network clients txns max_batch
+      batch_window pipeline think hot_fraction outages floor =
+    let network =
+      match network with
+      | `Exact -> Network.exact ~u
+      | `Jittered -> Network.jittered ~u
+      | `Gst ->
+          Network.eventually_synchronous ~u ~gst:(10 * u)
+            ~max_early_delay:(4 * u)
+    in
+    let spec =
+      {
+        Commit_service.default with
+        Commit_service.clients;
+        txns;
+        seed;
+        think_gap = max 1 (ticks think);
+        batch_window = ticks batch_window;
+        max_batch;
+        pipeline_depth = pipeline;
+        hot_fraction;
+        network;
+        outages;
+      }
+    in
+    let stats = Commit_service.run ~consensus ~protocol ~n ~f spec in
+    Format.printf "%a@." Commit_service.pp_stats stats;
+    gate "txserve atomicity" stats.Commit_service.atomicity_ok;
+    gate "txserve agreement" stats.Commit_service.agreement_ok;
+    match floor with
+    | Some fl when stats.Commit_service.commits_per_sec < fl ->
+        Format.eprintf
+          "actable: txserve throughput %.0f commits/sec below floor %g@."
+          stats.Commit_service.commits_per_sec fl;
+        exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "txserve"
+       ~doc:
+         "Serve a stream of transactions through the multi-shot commit \
+          service: many concurrent instances of the selected protocol \
+          multiplexed over one simulator run, with batching, pipelining, \
+          parking of blocked instances, and shard crash/recovery.")
+    Term.(
+      const action $ protocol_arg $ n_arg $ f_arg $ seed_arg $ consensus_arg
+      $ svc_network_arg $ clients_arg $ txns_arg $ max_batch_arg
+      $ batch_window_arg $ pipeline_arg $ think_arg $ hot_fraction_arg
+      $ outage_arg $ floor_arg)
+
 let stress_cmd =
   let runs_arg =
     Arg.(value & opt int 50 & info [ "runs" ] ~docv:"K" ~doc:"Scenarios per battery.")
@@ -756,7 +913,7 @@ let main_cmd =
     [
       run_cmd; table1_cmd; table2_cmd; table3_cmd; table4_cmd; robustness_cmd;
       fig1_cmd; witness_cmd; mc_cmd; mctable_cmd; ablation_cmd; sweep_cmd;
-      weak_cmd; stress_cmd; db_cmd; lemmas_cmd; list_cmd;
+      weak_cmd; stress_cmd; db_cmd; txserve_cmd; lemmas_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

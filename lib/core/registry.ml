@@ -52,6 +52,9 @@ let all =
     make (module Majority_commit);
   ]
 
+let compose t impl =
+  (t.proto, consensus_module ~uses_consensus:t.uses_consensus impl)
+
 let find name = List.find_opt (fun t -> String.equal t.name name) all
 
 let find_exn name =

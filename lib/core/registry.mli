@@ -21,6 +21,15 @@ val consensus_module :
 (** The consensus automaton the engine would co-host: the selected
     implementation, or the null automaton for consensus-free protocols. *)
 
+val compose :
+  t -> consensus_impl -> (module Proto.PROTOCOL) * (module Proto.CONSENSUS)
+(** The automaton pair a driver should co-host for this protocol: its
+    bare protocol module and the consensus module {!consensus_module}
+    selects (the null automaton when the protocol never uses consensus).
+    Drivers other than the engine — the model checker, the multi-shot
+    commit service — instantiate their own [Machine.Make] composition
+    from this pair. *)
+
 val make : (module Proto.PROTOCOL) -> t
 (** Wrap a protocol module; protocols that never use consensus are
     composed with the null consensus regardless of [?consensus]. *)

@@ -1,0 +1,44 @@
+type 'a t = {
+  queue : (int * 'a) Event_queue.t;
+  mutable pending : int array;  (* indexed by instance id, grown on demand *)
+  mutable events : int;
+}
+
+let create () =
+  { queue = Event_queue.create (); pending = Array.make 64 0; events = 0 }
+
+let ensure t instance =
+  let len = Array.length t.pending in
+  if instance >= len then begin
+    let cap = ref (2 * len) in
+    while instance >= !cap do
+      cap := 2 * !cap
+    done;
+    let grown = Array.make !cap 0 in
+    Array.blit t.pending 0 grown 0 len;
+    t.pending <- grown
+  end
+
+let add t ~instance ~time ~klass payload =
+  if instance >= 0 then begin
+    ensure t instance;
+    t.pending.(instance) <- t.pending.(instance) + 1
+  end;
+  t.events <- t.events + 1;
+  Event_queue.add t.queue ~time ~klass (instance, payload)
+
+let pop t =
+  match Event_queue.pop t.queue with
+  | None -> None
+  | Some (time, klass, (instance, payload)) ->
+      if instance >= 0 then t.pending.(instance) <- t.pending.(instance) - 1;
+      t.events <- t.events - 1;
+      Some (time, klass, instance, payload)
+
+let pending t instance =
+  if instance >= 0 && instance < Array.length t.pending then
+    t.pending.(instance)
+  else 0
+
+let size t = t.events
+let is_empty t = t.events = 0

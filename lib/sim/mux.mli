@@ -1,0 +1,36 @@
+(** Instance-tagged event multiplexing over one {!Event_queue}.
+
+    The multi-shot commit service drives many concurrent protocol
+    instances through a single simulated clock: every instance's
+    proposals, deliveries and timeouts interleave in one deterministic
+    [(time, class, sequence)] order, exactly as the engine orders the
+    events of a single run. [Mux] adds the one thing the service needs on
+    top of {!Event_queue}: each event carries the integer id of the
+    instance it belongs to, and the queue tracks how many events are
+    still outstanding per instance — an instance whose pending count
+    drops to zero has quiesced (nothing in flight can change its state
+    any more), which is the service's cue to finalize it.
+
+    Events tagged with a negative instance id are service-level events
+    (client submissions, batch-window expiries, shard outages); they are
+    ordered like any other event but never tracked. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> instance:int -> time:Sim_time.t -> klass:int -> 'a -> unit
+(** Enqueue an event for [instance] (or a service event when
+    [instance < 0]).
+    @raise Invalid_argument if [time < 0] or [klass < 0]. *)
+
+val pop : 'a t -> (Sim_time.t * int * int * 'a) option
+(** Remove and return the minimum event as
+    [(time, klass, instance, payload)], decrementing the instance's
+    pending count; [None] when empty. *)
+
+val pending : 'a t -> int -> int
+(** Events still queued for this instance. 0 for ids never seen. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,63 @@
+type t = { mutable data : float array; mutable len : int }
+
+let create ?(capacity = 1024) () =
+  { data = Array.make (max 1 capacity) 0.0; len = 0 }
+
+let add t x =
+  if t.len = Array.length t.data then begin
+    let grown = Array.make (2 * t.len) 0.0 in
+    Array.blit t.data 0 grown 0 t.len;
+    t.data <- grown
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let count t = t.len
+
+let sorted t =
+  let a = Array.sub t.data 0 t.len in
+  Array.sort Float.compare a;
+  a
+
+let percentile_of_sorted a q =
+  let n = Array.length a in
+  if n = 0 then Float.nan
+  else
+    (* nearest rank: the smallest sample with at least a [q] fraction of
+       the distribution at or below it *)
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
+let percentile t q =
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Histogram.percentile: q outside [0, 1]";
+  percentile_of_sorted (sorted t) q
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+let summary t =
+  let a = sorted t in
+  let n = Array.length a in
+  {
+    count = n;
+    mean =
+      (if n = 0 then Float.nan
+       else Array.fold_left ( +. ) 0.0 a /. float_of_int n);
+    p50 = percentile_of_sorted a 0.50;
+    p95 = percentile_of_sorted a 0.95;
+    p99 = percentile_of_sorted a 0.99;
+    max = (if n = 0 then Float.nan else a.(n - 1));
+  }
+
+let pp_summary ppf s =
+  if s.count = 0 then Format.pp_print_string ppf "no samples"
+  else
+    Format.fprintf ppf "p50/p95/p99 %.1f/%.1f/%.1f (max %.1f, n=%d)" s.p50
+      s.p95 s.p99 s.max s.count

@@ -1,0 +1,37 @@
+(** A latency accumulator with exact percentiles.
+
+    Samples are kept verbatim (a growable float buffer) and percentiles
+    are computed by nearest-rank over a sorted copy, so [p50 <= p95 <=
+    p99 <= max] holds by construction — the property the bench JSON
+    validator gates on. Exactness over streaming approximation is the
+    right trade here: the largest consumer (the multi-shot commit bench)
+    records one sample per committed transaction, a few thousand floats
+    per arm. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is the initial buffer size (default 1024); the buffer
+    doubles as needed. *)
+
+val add : t -> float -> unit
+val count : t -> int
+
+val percentile : t -> float -> float
+(** [percentile t q] with [q] in [\[0, 1\]]: the nearest-rank [q]-th
+    percentile, [nan] when no sample was recorded.
+    @raise Invalid_argument when [q] is outside [\[0, 1\]]. *)
+
+type summary = {
+  count : int;
+  mean : float;  (** [nan] when empty, like the percentiles *)
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+val summary : t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+(** ["p50/p95/p99 1.0/2.0/3.0 (max 4.0, n=128)"], or ["no samples"]. *)

@@ -1,0 +1,671 @@
+type spec = {
+  clients : int;
+  txns : int;
+  think_gap : Sim_time.t;
+  keys : int;
+  hot_keys : int;
+  hot_fraction : float;
+  reads_per_txn : int;
+  writes_per_txn : int;
+  batch_window : Sim_time.t;
+  max_batch : int;
+  pipeline_depth : int;
+  network : Network.t;
+  outages : (int * Sim_time.t * Sim_time.t option) list;
+  max_time : Sim_time.t;
+  seed : int;
+}
+
+let default =
+  let u = Sim_time.default_u in
+  {
+    clients = 128;
+    txns = 1000;
+    think_gap = u;
+    keys = 2048;
+    hot_keys = 16;
+    hot_fraction = 0.1;
+    reads_per_txn = 2;
+    writes_per_txn = 2;
+    batch_window = u / 2;
+    max_batch = 8;
+    pipeline_depth = 64;
+    network = Network.jittered ~u;
+    outages = [];
+    max_time = 100_000 * u;
+    seed = 11;
+  }
+
+type stats = {
+  protocol : string;
+  transactions : int;
+  committed : int;
+  aborted : int;
+  local_aborts : int;
+  parked : int;
+  instances : int;
+  retries : int;
+  mean_batch : float;
+  peak_in_flight : int;
+  total_messages : int;
+  staged_left : int;
+  makespan_delays : float;
+  latency : Histogram.summary;
+  wall_seconds : float;
+  commits_per_sec : float;
+  atomicity_ok : bool;
+  agreement_ok : bool;
+}
+
+(* Event classes at equal simulated time, matching the engine: crashes <
+   proposals/service events < deliveries < timeouts. *)
+let crash_class = 0
+let service_class = 1
+let deliver_class = 2
+let timeout_class = 3
+
+module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
+  module M = Machine.Make (P) (C)
+
+  (* One commit instance's events, mirroring the engine's event type. *)
+  type iev =
+    | Propose of Pid.t
+    | Deliver of {
+        src : Pid.t;
+        dst : Pid.t;
+        payload : M.wire;
+        sent_at : Sim_time.t;
+      }
+    | Timeout of { pid : Pid.t; layer : Trace.layer; id : string; epoch : int }
+    | Crash of Pid.t
+
+  type sev =
+    | Submit of int  (* client id *)
+    | Launch_batch of int  (* batch-window expiry *)
+    | Outage of Pid.t
+    | Recover of Pid.t
+    | Inst of iev
+
+  (* A transaction waiting in / running through an instance:
+     (txn, client, submitted_at). *)
+  type member = Txn.t * int * Sim_time.t
+
+  type batch = {
+    b_id : int;
+    owners : string;  (* canonical write-owner-set key *)
+    mutable b_members : member list;  (* newest first *)
+    mutable b_launched : bool;
+  }
+
+  type inst = {
+    i_id : int;
+    i_members : member list;  (* oldest first *)
+    votes : Vote.t array;
+    mutable machine : M.t;
+    mutable started : Sim_time.t;
+    mutable outcome : Vote.decision option;  (* None while running/parked *)
+    mutable quiesced : bool;
+    resolved : bool array;  (* per shard: staged writes applied/discarded *)
+    mutable attempts : int;
+  }
+
+  let run ~n ~f (spec : spec) : stats =
+    let u = Sim_time.default_u in
+    let env_of pid = { Proto.n; f; u; self = pid } in
+    let rng = Rng.create spec.seed in
+    let q : sev Mux.t = Mux.create () in
+    let stores = Array.init n (fun _ -> Kv_store.create ()) in
+    (* write locks held by launched-but-unresolved instances; a key may
+       appear once per holding instance *)
+    let locks : (string, int) Hashtbl.t array =
+      Array.init n (fun _ -> Hashtbl.create 64)
+    in
+    let down = Array.make n false in
+    let send_seq = ref 0 in
+    let messages = ref 0 in
+    let owner_of key = Txn_system.placement_key ~n key in
+    let local_writes pid (txn : Txn.t) =
+      List.filter (fun (k, _) -> Pid.equal (owner_of k) pid) txn.Txn.writes
+    in
+    let local_reads pid (txn : Txn.t) =
+      List.filter (fun (k, _) -> Pid.equal (owner_of k) pid) txn.Txn.reads
+    in
+
+    let lock_conflict pid key inst_id =
+      List.exists
+        (fun holder -> holder <> inst_id)
+        (Hashtbl.find_all locks.(Pid.index pid) key)
+    in
+    let lock_add pid key inst_id = Hashtbl.add locks.(Pid.index pid) key inst_id in
+    let lock_release pid inst_id =
+      let h = locks.(Pid.index pid) in
+      let keys =
+        Hashtbl.fold
+          (fun k holder acc ->
+            if holder = inst_id && not (List.mem k acc) then k :: acc else acc)
+          h []
+      in
+      List.iter
+        (fun k ->
+          let others =
+            List.filter (fun holder -> holder <> inst_id) (Hashtbl.find_all h k)
+          in
+          while Hashtbl.mem h k do
+            Hashtbl.remove h k
+          done;
+          List.iter (fun holder -> Hashtbl.add h k holder) others)
+        keys
+    in
+
+    let instances : (int, inst) Hashtbl.t = Hashtbl.create 256 in
+    let next_inst = ref 0 in
+    let in_flight = ref 0 in
+    let peak_in_flight = ref 0 in
+    let retries = ref 0 in
+    let members_launched = ref 0 in
+
+    let batches : (int, batch) Hashtbl.t = Hashtbl.create 64 in
+    let open_batches : batch list ref = ref [] in
+    let next_batch = ref 0 in
+    let ready : batch Queue.t = Queue.create () in
+
+    let issued = ref 0 in
+    let committed = ref 0 and aborted = ref 0 and local_aborts = ref 0 in
+    let latency = Histogram.create () in
+    let agreement_ok = ref true in
+    let last_time = ref Sim_time.zero in
+    let txn_seq = ref 0 in
+
+    (* The instance-tagged sink: one network, one clock, one rng across
+       all instances. Protocols express "set timer to time k" as an
+       absolute instant ([At_delay k] = k * U), written against a run
+       that starts at time zero — re-anchor those to the instance's own
+       start so instance k+1's automata are oblivious to the service
+       clock. [After] timers are already relative. *)
+    let sink inst_id started =
+      {
+        M.send =
+          (fun ~now ~src ~dst payload ->
+            if Pid.equal src dst then begin
+              Mux.add q ~instance:inst_id ~time:now ~klass:deliver_class
+                (Inst (Deliver { src; dst; payload; sent_at = now }));
+              now
+            end
+            else begin
+              let info =
+                {
+                  Network.src;
+                  dst;
+                  layer = M.layer_of_wire payload;
+                  sent_at = now;
+                  seq = !send_seq;
+                }
+              in
+              incr send_seq;
+              incr messages;
+              let deliver_at =
+                Sim_time.( + ) now (Network.delay spec.network rng info)
+              in
+              Mux.add q ~instance:inst_id ~time:deliver_at ~klass:deliver_class
+                (Inst (Deliver { src; dst; payload; sent_at = now }));
+              deliver_at
+            end);
+        M.set_timer =
+          (fun ~now ~pid ~layer ~id ~fire ~at ~epoch ->
+            let at =
+              match fire with
+              | Proto.At_delay k ->
+                  Sim_time.max now
+                    (Sim_time.( + ) started (Sim_time.of_delays ~u k))
+              | Proto.After _ -> at
+            in
+            Mux.add q ~instance:inst_id ~time:at ~klass:timeout_class
+              (Inst (Timeout { pid; layer; id; epoch })));
+      }
+    in
+
+    let schedule_instance_events inst now =
+      Array.iteri
+        (fun i is_down ->
+          if is_down then
+            Mux.add q ~instance:inst.i_id ~time:now ~klass:crash_class
+              (Inst (Crash (Pid.of_index i))))
+        down;
+      List.iter
+        (fun pid ->
+          Mux.add q ~instance:inst.i_id ~time:now ~klass:service_class
+            (Inst (Propose pid)))
+        (Pid.all ~n)
+    in
+
+    let start_instance now (members : member list) =
+      let id = !next_inst in
+      incr next_inst;
+      (* write-ahead: every owner stages its legs before voting *)
+      List.iter
+        (fun ((txn : Txn.t), _, _) ->
+          List.iter
+            (fun pid ->
+              let writes = local_writes pid txn in
+              if writes <> [] then
+                Kv_store.stage stores.(Pid.index pid) ~txn_id:txn.Txn.id
+                  ~writes)
+            (Pid.all ~n))
+        members;
+      (* per-shard vote: optimistic read validation, and no key of the
+         batch may be write-locked by another in-flight instance *)
+      let votes =
+        Array.init n (fun i ->
+            let pid = Pid.of_index i in
+            let store = stores.(i) in
+            Vote.of_bool
+              (List.for_all
+                 (fun ((txn : Txn.t), _, _) ->
+                   List.for_all
+                     (fun (k, expected) ->
+                       Kv_store.version store ~key:k = expected)
+                     (local_reads pid txn)
+                   && List.for_all
+                        (fun k -> not (lock_conflict pid k id))
+                        (List.map fst (local_reads pid txn)
+                        @ List.map fst (local_writes pid txn)))
+                 members))
+      in
+      List.iter
+        (fun ((txn : Txn.t), _, _) ->
+          List.iter (fun (k, _) -> lock_add (owner_of k) k id) txn.Txn.writes)
+        members;
+      let inst =
+        {
+          i_id = id;
+          i_members = members;
+          votes;
+          machine = M.create ~env_of ~n ~u ~sink:(sink id now) ();
+          started = now;
+          outcome = None;
+          quiesced = false;
+          resolved = Array.make n false;
+          attempts = 1;
+        }
+      in
+      Hashtbl.replace instances id inst;
+      members_launched := !members_launched + List.length members;
+      incr in_flight;
+      if !in_flight > !peak_in_flight then peak_in_flight := !in_flight;
+      schedule_instance_events inst now
+    in
+
+    let launch_ready now =
+      while !in_flight < spec.pipeline_depth && not (Queue.is_empty ready) do
+        let b = Queue.pop ready in
+        start_instance now (List.rev b.b_members)
+      done
+    in
+    let launch_batch now b =
+      if (not b.b_launched) && b.b_members <> [] then begin
+        b.b_launched <- true;
+        open_batches := List.filter (fun ob -> ob.b_id <> b.b_id) !open_batches;
+        Queue.push b ready;
+        launch_ready now
+      end
+    in
+
+    let retry_instance now inst =
+      incr retries;
+      inst.attempts <- inst.attempts + 1;
+      inst.quiesced <- false;
+      inst.started <- now;
+      inst.machine <- M.create ~env_of ~n ~u ~sink:(sink inst.i_id now) ();
+      incr in_flight;
+      if !in_flight > !peak_in_flight then peak_in_flight := !in_flight;
+      schedule_instance_events inst now
+    in
+
+    (* Apply/discard the instance's staged writes at one shard and release
+       its locks there — on decision for live shards, on recovery for
+       shards that were down when the decision was reached. *)
+    let resolve_at_shard inst pid =
+      let i = Pid.index pid in
+      (match inst.outcome with
+      | Some Vote.Commit ->
+          List.iter
+            (fun ((txn : Txn.t), _, _) ->
+              ignore (Kv_store.apply stores.(i) ~txn_id:txn.Txn.id))
+            inst.i_members
+      | Some Vote.Abort ->
+          List.iter
+            (fun ((txn : Txn.t), _, _) ->
+              Kv_store.discard stores.(i) ~txn_id:txn.Txn.id)
+            inst.i_members
+      | None -> ());
+      lock_release pid inst.i_id;
+      inst.resolved.(i) <- true
+    in
+
+    let client_resubmit now client =
+      let think = 1 + Rng.int rng ~bound:(max 1 spec.think_gap) in
+      Mux.add q ~instance:(-1)
+        ~time:(Sim_time.( + ) now think)
+        ~klass:service_class (Submit client)
+    in
+
+    (* An instance with no event left in flight has quiesced: either some
+       process decided (commit on all-yes votes, abort otherwise) — or
+       nobody did and the instance parks, keeping its staged writes and
+       locks, until a recovery retries it. *)
+    let finalize now inst =
+      inst.quiesced <- true;
+      decr in_flight;
+      let decided =
+        M.decisions inst.machine |> Array.to_list |> List.filter_map Fun.id
+      in
+      (match decided with
+      | [] -> () (* parked: clients stall, pipeline keeps flowing *)
+      | (t0, d0) :: rest ->
+          List.iter
+            (fun (_, d) ->
+              if not (Vote.decision_equal d d0) then agreement_ok := false)
+            rest;
+          let decided_at =
+            List.fold_left (fun acc (t, _) -> Sim_time.max acc t) t0 rest
+          in
+          inst.outcome <- Some d0;
+          List.iter
+            (fun pid ->
+              if not down.(Pid.index pid) then resolve_at_shard inst pid)
+            (Pid.all ~n);
+          List.iter
+            (fun ((_ : Txn.t), client, submitted_at) ->
+              (match d0 with
+              | Vote.Commit ->
+                  incr committed;
+                  Histogram.add latency
+                    (Sim_time.delays ~u (Sim_time.( - ) decided_at submitted_at))
+              | Vote.Abort -> incr aborted);
+              client_resubmit now client)
+            inst.i_members);
+      launch_ready now
+    in
+
+    let owner_key (txn : Txn.t) =
+      String.concat ","
+        (List.map Pid.to_string
+           (List.sort_uniq Pid.compare
+              (List.map (fun (k, _) -> owner_of k) txn.Txn.writes)))
+    in
+    (* Admission control: a transaction whose keys are write-locked by an
+       in-flight instance aborts locally, before consuming a protocol
+       instance — the coordinator-side OCC check. Conflicts that develop
+       after admission (inside the batch window, or against instances
+       launched later) still surface as genuine No votes at launch. *)
+    let admission_ok (txn : Txn.t) =
+      List.for_all
+        (fun k -> Hashtbl.find_all locks.(Pid.index (owner_of k)) k = [])
+        (Txn.keys txn)
+    in
+    let admit now txn client =
+      let member = (txn, client, now) in
+      let okey = owner_key txn in
+      let keys = Txn.keys txn in
+      let conflicts b =
+        List.exists
+          (fun ((t, _, _) : member) ->
+            List.exists (fun k -> List.mem k (Txn.keys t)) keys)
+          b.b_members
+      in
+      let fits b =
+        (not b.b_launched)
+        && String.equal b.owners okey
+        && List.length b.b_members < spec.max_batch
+        && not (conflicts b)
+      in
+      match List.find_opt fits !open_batches with
+      | Some b ->
+          b.b_members <- member :: b.b_members;
+          if List.length b.b_members >= spec.max_batch then launch_batch now b
+      | None ->
+          let b =
+            {
+              b_id = !next_batch;
+              owners = okey;
+              b_members = [ member ];
+              b_launched = false;
+            }
+          in
+          incr next_batch;
+          Hashtbl.replace batches b.b_id b;
+          open_batches := b :: !open_batches;
+          if spec.batch_window = 0 || spec.max_batch <= 1 then
+            launch_batch now b
+          else
+            Mux.add q ~instance:(-1)
+              ~time:(Sim_time.( + ) now spec.batch_window)
+              ~klass:service_class (Launch_batch b.b_id)
+    in
+
+    let generate_txn now =
+      let id = Printf.sprintf "t%d" !txn_seq in
+      incr txn_seq;
+      let picked =
+        Workload.distinct_keys ~keys:spec.keys ~hot_keys:spec.hot_keys
+          ~hot_fraction:spec.hot_fraction
+          ~count:(spec.reads_per_txn + spec.writes_per_txn)
+          rng
+      in
+      let rec split k = function
+        | rest when k = 0 -> ([], rest)
+        | [] -> ([], [])
+        | x :: rest ->
+            let reads, writes = split (k - 1) rest in
+            (x :: reads, writes)
+      in
+      let read_keys, write_keys = split spec.reads_per_txn picked in
+      ignore now;
+      Txn.make ~id
+        ~reads:
+          (List.map
+             (fun k ->
+               (k, Kv_store.version stores.(Pid.index (owner_of k)) ~key:k))
+             read_keys)
+        ~writes:(List.map (fun k -> (k, Printf.sprintf "%s@%s" id k)) write_keys)
+        ()
+    in
+
+    let handle now instance ev =
+      match ev with
+      | Submit client ->
+          if !issued < spec.txns then begin
+            incr issued;
+            let txn = generate_txn now in
+            if admission_ok txn then admit now txn client
+            else begin
+              incr local_aborts;
+              client_resubmit now client
+            end
+          end
+      | Launch_batch b_id -> (
+          match Hashtbl.find_opt batches b_id with
+          | Some b -> launch_batch now b
+          | None -> ())
+      | Outage pid ->
+          down.(Pid.index pid) <- true;
+          (* every in-flight instance sees the shard crash *)
+          let running =
+            Hashtbl.fold
+              (fun _ inst acc -> if not inst.quiesced then inst :: acc else acc)
+              instances []
+            |> List.sort (fun a b -> compare a.i_id b.i_id)
+          in
+          List.iter
+            (fun inst ->
+              if not (M.is_crashed inst.machine pid) then
+                Mux.add q ~instance:inst.i_id ~time:now ~klass:crash_class
+                  (Inst (Crash pid)))
+            running
+      | Recover pid ->
+          down.(Pid.index pid) <- false;
+          (* first adopt the decisions reached while the shard was down,
+             then re-run every parked instance with its recorded votes *)
+          let decided, parked =
+            Hashtbl.fold
+              (fun _ inst (dec, park) ->
+                if not inst.quiesced then (dec, park)
+                else if inst.outcome <> None then (inst :: dec, park)
+                else (dec, inst :: park))
+              instances ([], [])
+          in
+          List.iter
+            (fun inst ->
+              if not inst.resolved.(Pid.index pid) then resolve_at_shard inst pid)
+            (List.sort (fun a b -> compare a.i_id b.i_id) decided);
+          List.iter (retry_instance now)
+            (List.sort (fun a b -> compare a.i_id b.i_id) parked)
+      | Inst iev -> (
+          match Hashtbl.find_opt instances instance with
+          | None -> ()
+          | Some inst -> (
+              let m = inst.machine in
+              match iev with
+              | Propose pid -> M.propose m ~now pid inst.votes.(Pid.index pid)
+              | Deliver { src; dst; payload; sent_at } ->
+                  M.deliver m ~now ~sent_at ~src ~dst payload
+              | Timeout { pid; layer; id; epoch } ->
+                  ignore (M.timeout m ~now ~pid ~layer ~id ~epoch)
+              | Crash pid ->
+                  if not (M.is_crashed m pid) then M.crash m ~now pid))
+    in
+
+    List.iter
+      (fun (rank, down_at, back_at) ->
+        let pid = Pid.of_rank rank in
+        Mux.add q ~instance:(-1) ~time:down_at ~klass:crash_class (Outage pid);
+        match back_at with
+        | Some t ->
+            Mux.add q ~instance:(-1) ~time:t ~klass:crash_class (Recover pid)
+        | None -> ())
+      spec.outages;
+    for client = 0 to spec.clients - 1 do
+      let at = 1 + Rng.int rng ~bound:(max 1 spec.think_gap) in
+      Mux.add q ~instance:(-1) ~time:at ~klass:service_class (Submit client)
+    done;
+
+    let wall_start = Unix.gettimeofday () in
+    let rec loop () =
+      match Mux.pop q with
+      | None -> ()
+      | Some (time, _klass, instance, ev) ->
+          if time <= spec.max_time then begin
+            last_time := time;
+            handle time instance ev;
+            (if instance >= 0 && Mux.pending q instance = 0 then
+               match Hashtbl.find_opt instances instance with
+               | Some inst when not inst.quiesced -> finalize time inst
+               | _ -> ());
+            loop ()
+          end
+    in
+    loop ();
+    let wall_seconds = Unix.gettimeofday () -. wall_start in
+
+    (* Whole-history atomicity: for every transaction and write-owner
+       shard, the write-ahead entry must be gone exactly where the
+       instance's decision was resolved, and still staged (recoverable)
+       where the instance parked or the shard is still down. *)
+    let atomicity_ok = ref true in
+    Hashtbl.iter
+      (fun _ inst ->
+        List.iter
+          (fun ((txn : Txn.t), _, _) ->
+            let owners =
+              List.sort_uniq Pid.compare
+                (List.map (fun (k, _) -> owner_of k) txn.Txn.writes)
+            in
+            List.iter
+              (fun pid ->
+                let still_staged =
+                  Kv_store.staged stores.(Pid.index pid) ~txn_id:txn.Txn.id
+                  <> None
+                in
+                let expect_staged =
+                  match inst.outcome with
+                  | None -> true
+                  | Some _ -> not inst.resolved.(Pid.index pid)
+                in
+                if still_staged <> expect_staged then atomicity_ok := false)
+              owners)
+          inst.i_members)
+      instances;
+
+    let staged_left =
+      Array.fold_left
+        (fun acc store -> acc + List.length (Kv_store.staged_ids store))
+        0 stores
+    in
+    let parked = !issued - !committed - !aborted - !local_aborts in
+    let instances_n = !next_inst in
+    {
+      protocol = P.name;
+      transactions = !issued;
+      committed = !committed;
+      aborted = !aborted;
+      local_aborts = !local_aborts;
+      parked;
+      instances = instances_n;
+      retries = !retries;
+      mean_batch =
+        (if instances_n = 0 then Float.nan
+         else float_of_int !members_launched /. float_of_int instances_n);
+      peak_in_flight = !peak_in_flight;
+      total_messages = !messages;
+      staged_left;
+      makespan_delays = Sim_time.delays ~u !last_time;
+      latency = Histogram.summary latency;
+      wall_seconds;
+      commits_per_sec =
+        (if wall_seconds > 0.0 then float_of_int !committed /. wall_seconds
+         else Float.nan);
+      atomicity_ok = !atomicity_ok;
+      agreement_ok = !agreement_ok;
+    }
+end
+
+let run ?(consensus = Registry.Paxos) ~protocol ~n ~f (spec : spec) =
+  if n < 2 then invalid_arg "Commit_service.run: n < 2";
+  if f < 1 || f > n - 1 then invalid_arg "Commit_service.run: bad f";
+  if spec.clients < 1 then invalid_arg "Commit_service.run: no clients";
+  if spec.writes_per_txn < 1 then
+    invalid_arg "Commit_service.run: writes_per_txn < 1";
+  if spec.reads_per_txn < 0 then
+    invalid_arg "Commit_service.run: reads_per_txn < 0";
+  if spec.reads_per_txn + spec.writes_per_txn > spec.keys then
+    invalid_arg "Commit_service.run: keyspace smaller than a transaction";
+  if spec.pipeline_depth < 1 then
+    invalid_arg "Commit_service.run: pipeline_depth < 1";
+  if spec.max_batch < 1 then invalid_arg "Commit_service.run: max_batch < 1";
+  List.iter
+    (fun (rank, _, _) ->
+      if rank < 1 || rank > n then
+        invalid_arg "Commit_service.run: outage rank outside 1..n")
+    spec.outages;
+  let reg = Registry.find_exn protocol in
+  let proto, cons = Registry.compose reg consensus in
+  let module P = (val proto) in
+  let module C = (val cons) in
+  let module S = Make (P) (C) in
+  S.run ~n ~f spec
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "@[<v2>%s: %d txns -> %d committed, %d aborted (%d local), %d \
+     unresolved@,\
+     %d instances (+%d retries), mean batch %.2f, peak in-flight %d@,\
+     %d msgs, %d staged left, makespan %.1f delays@,\
+     latency %a@,\
+     %.0f commits/sec (wall %.3fs)%s%s@]"
+    s.protocol s.transactions s.committed (s.aborted + s.local_aborts)
+    s.local_aborts s.parked s.instances
+    s.retries s.mean_batch s.peak_in_flight s.total_messages s.staged_left
+    s.makespan_delays Histogram.pp_summary s.latency s.commits_per_sec
+    s.wall_seconds
+    (if s.atomicity_ok then "" else "  ATOMICITY VIOLATED")
+    (if s.agreement_ok then "" else "  AGREEMENT VIOLATED")

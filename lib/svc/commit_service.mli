@@ -1,0 +1,101 @@
+(** The multi-shot commit service: a long-lived engine committing a
+    {e stream} of transactions over the sharded KV, in the spirit of
+    Chockler & Gotsman's multi-shot transaction commit.
+
+    Where {!Txn_system.submit} runs one protocol instance to completion
+    before the next begins, this service drives {e many concurrent commit
+    instances through a single simulator run}: every instance is a fresh
+    {!Machine} automaton of the selected protocol (INBAC / Paxos Commit /
+    2PC / any {!Registry} entry), and all instances' proposals,
+    deliveries and timeouts multiplex over one instance-tagged event
+    queue ({!Mux}), one network model and one simulated clock.
+
+    The workload is closed-loop: [clients] simulated clients each submit
+    a transaction, wait for its decision, think, and submit the next.
+    Transactions route to the shards owning their keys (the
+    {!Txn_system.placement_key} hash); writes stage in each owner's
+    {!Kv_store} write-ahead area at instance start and are applied or
+    discarded when the instance decides.
+
+    - {b Batching}: co-resident transactions share one commit instance
+      when their write sets land on the same owner set and their key sets
+      don't conflict; a batch launches when it reaches [max_batch] or its
+      [batch_window] expires.
+    - {b Pipelining}: up to [pipeline_depth] instances run concurrently —
+      a shard participates in instance [k+1] while [k] is still deciding.
+      Ready batches beyond the cap queue and launch as instances retire.
+    - {b Blocking and recovery}: an instance that quiesces with no
+      decision (2PC whose coordinator shard is down) {e parks} — its
+      staged writes and write locks stay put, its clients stall, but the
+      pipeline keeps flowing around it. When the shard recovers
+      ([outages] are (rank, down_at, back_at) triples), it first adopts
+      the decisions reached while it was down, then every parked instance
+      re-runs with its recorded votes and resolves.
+
+    After the run an atomicity check extends {!Txn_system}'s per-instance
+    check to the whole history: for every transaction, each write-owner
+    shard must have either installed the writes (decision reached and
+    shard up or recovered) or still hold them staged (parked, or shard
+    still down) — and never disagree with the instance's outcome. *)
+
+type spec = {
+  clients : int;  (** closed-loop clients *)
+  txns : int;  (** total transactions to issue across all clients *)
+  think_gap : Sim_time.t;
+      (** max client think time between decision and next submit *)
+  keys : int;  (** keyspace size (see {!Workload.pick_key}) *)
+  hot_keys : int;
+  hot_fraction : float;
+  reads_per_txn : int;
+  writes_per_txn : int;  (** >= 1 *)
+  batch_window : Sim_time.t;
+      (** how long a batch waits for co-resident transactions; 0 disables
+          batching (every transaction gets its own instance) *)
+  max_batch : int;  (** transactions per instance cap *)
+  pipeline_depth : int;  (** concurrent instances cap; 1 serializes *)
+  network : Network.t;
+  outages : (int * Sim_time.t * Sim_time.t option) list;
+      (** shard outages: (rank, down_at, back_at); [None] never recovers *)
+  max_time : Sim_time.t;  (** safety horizon for the simulated clock *)
+  seed : int;
+}
+
+val default : spec
+(** 128 clients, 1000 txns, 2048 keys (16 hot at 0.1), 2 reads + 2
+    writes, batches of up to 8 within half a delay, pipeline depth 64,
+    jittered network, no outages. *)
+
+type stats = {
+  protocol : string;
+  transactions : int;  (** issued *)
+  committed : int;
+  aborted : int;  (** aborted by a protocol instance's decision *)
+  local_aborts : int;
+      (** aborted at admission: a key was write-locked by an in-flight
+          instance, so the transaction never consumed an instance (the
+          coordinator-side OCC check) *)
+  parked : int;  (** still unresolved at end of run *)
+  instances : int;  (** commit instances launched (first attempts) *)
+  retries : int;  (** parked instances re-run after a recovery *)
+  mean_batch : float;  (** transactions per instance *)
+  peak_in_flight : int;  (** max concurrent instances observed *)
+  total_messages : int;  (** network messages across all instances *)
+  staged_left : int;  (** write-ahead entries still staged at end *)
+  makespan_delays : float;  (** simulated end of run, units of U *)
+  latency : Histogram.summary;
+      (** commit latency, submit to last shard decision, units of U *)
+  wall_seconds : float;
+  commits_per_sec : float;  (** committed txns per wall-clock second *)
+  atomicity_ok : bool;  (** the whole-history staging/install check *)
+  agreement_ok : bool;  (** no instance saw conflicting decisions *)
+}
+
+val run :
+  ?consensus:Registry.consensus_impl ->
+  protocol:string -> n:int -> f:int -> spec -> stats
+(** Run the service over [n] shards tolerating [f] crashes.
+    @raise Not_found on an unknown protocol name.
+    @raise Invalid_argument on a nonsensical spec (no clients, no writes,
+    [pipeline_depth < 1], ...). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -28,6 +28,9 @@ let apply t ~txn_id =
 
 let discard t ~txn_id = Hashtbl.remove t.staging txn_id
 
+let staged_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.staging [] |> List.sort compare
+
 let keys t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.data [] |> List.sort compare
 

@@ -31,6 +31,11 @@ val apply : t -> txn_id:string -> bool
 
 val discard : t -> txn_id:string -> unit
 
+val staged_ids : t -> string list
+(** Ids of every transaction with writes still staged, sorted. An empty
+    list means the write-ahead area has fully drained — the invariant the
+    recovery tests check. *)
+
 val keys : t -> string list
 (** All keys ever written, sorted. *)
 

@@ -42,7 +42,8 @@ let create ?(consensus = Registry.Paxos) ?(seed = 42) ~n ~f ~protocol () =
     rev_history = [];
   }
 
-let placement t key = Pid.of_index (hash_key key mod t.n)
+let placement_key ~n key = Pid.of_index (hash_key key mod n)
+let placement t key = placement_key ~n:t.n key
 let size t = t.n
 let node_store t pid = t.nodes.(Pid.index pid)
 
@@ -151,7 +152,7 @@ let submit ?(crashes = []) ?network t txn =
   t.rev_history <- outcome :: t.rev_history;
   outcome
 
-let submit_batch ?crashes t txns =
+let submit_batch ?crashes ?network t txns =
   (* all transactions validated against one snapshot: refresh their read
      versions to "now", then run the rounds in order — stale reads of the
      later conflicting ones produce abort votes *)
@@ -161,7 +162,59 @@ let submit_batch ?crashes t txns =
         { txn with Txn.reads = snapshot_reads t (List.map fst txn.Txn.reads) })
       txns
   in
-  List.map (fun txn -> submit ?crashes t txn) snapshots
+  List.map (fun txn -> submit ?crashes ?network t txn) snapshots
+
+let recover_blocked ?network t ~txn_id =
+  (* the latest outcome for this id is the authoritative one: a resolved
+     (re-submitted or already-recovered) transaction must not be re-run *)
+  let latest =
+    List.find_opt (fun o -> String.equal o.txn.Txn.id txn_id) t.rev_history
+  in
+  match latest with
+  | Some ({ decision = Blocked; _ } as o) ->
+      t.round <- t.round + 1;
+      (* re-run the commit decision with the votes recorded when the
+         transaction first ran — the coordinator is back and no crash is
+         injected, so the protocol reaches a decision from those votes *)
+      let votes = Array.of_list (List.map snd o.votes) in
+      let scenario =
+        Scenario.make ~n:t.n ~f:t.f ~votes ?network ~seed:(t.seed + t.round)
+          ()
+      in
+      let report = t.runner.Registry.run ~consensus:t.consensus scenario in
+      let decision =
+        match Report.decided_values report with
+        | [] -> Blocked
+        | Vote.Commit :: _ -> Committed
+        | Vote.Abort :: _ -> Aborted
+      in
+      let recovered = ref [] in
+      (match decision with
+      | Blocked -> () (* still undecided; the staged writes stay parked *)
+      | _ ->
+          List.iter
+            (fun pid ->
+              let store = node_store t pid in
+              if Kv_store.staged store ~txn_id <> None then
+                recovered := pid :: !recovered;
+              match decision with
+              | Committed -> ignore (Kv_store.apply store ~txn_id)
+              | Aborted -> Kv_store.discard store ~txn_id
+              | Blocked -> ())
+            (Pid.all ~n:t.n));
+      let outcome =
+        {
+          txn = o.txn;
+          decision;
+          votes = o.votes;
+          report;
+          recovered = List.rev !recovered;
+          atomic = check_atomicity t o.txn decision;
+        }
+      in
+      t.rev_history <- outcome :: t.rev_history;
+      Some outcome
+  | Some _ | None -> None
 
 let history t = List.rev t.rev_history
 

@@ -50,6 +50,11 @@ val create :
 val placement : t -> string -> Pid.t
 (** The node owning a key. *)
 
+val placement_key : n:int -> string -> Pid.t
+(** The placement function itself (deterministic FNV-1a hash mod [n]),
+    usable without a [t] — the multi-shot commit service shards by the
+    same function so both layers agree on key ownership. *)
+
 val size : t -> int
 (** The number of database nodes [n]. *)
 
@@ -72,10 +77,25 @@ val submit :
 (** Run one commit round for the transaction. *)
 
 val submit_batch :
-  ?crashes:(Pid.t * Scenario.crash) list -> t -> Txn.t list -> outcome list
+  ?crashes:(Pid.t * Scenario.crash) list ->
+  ?network:Network.t ->
+  t ->
+  Txn.t list ->
+  outcome list
 (** Validate every transaction against the {e same} snapshot (as if they
     executed concurrently), then run their commit rounds in order: the
-    later conflicting ones abort through stale-version votes. *)
+    later conflicting ones abort through stale-version votes. [?crashes]
+    and [?network] apply to every round of the batch. *)
+
+val recover_blocked :
+  ?network:Network.t -> t -> txn_id:string -> outcome option
+(** Resolve a transaction whose latest outcome is [Blocked] (2PC with a
+    dead coordinator): re-run the commit decision with the votes recorded
+    when the transaction first ran, this time crash-free — the
+    coordinator is back. On a decision, every node applies or discards
+    its staged writes ([recovered] lists the nodes whose staging
+    drained), and the resolving outcome is appended to {!history}. [None]
+    when no transaction with this id is blocked. *)
 
 val history : t -> outcome list
 (** All outcomes, oldest first. *)

@@ -32,26 +32,34 @@ type stats = {
   total_messages : int;
   messages_per_commit : float;
   mean_commit_delays : float;
+  p50_commit_delays : float;
+  p95_commit_delays : float;
+  p99_commit_delays : float;
   atomicity_ok : bool;
 }
 
-let pick_key spec rng =
-  if spec.hot_keys > 0 && Rng.float rng < spec.hot_fraction then
-    Printf.sprintf "k%d" (Rng.int rng ~bound:spec.hot_keys)
+let pick_key ~keys ~hot_keys ~hot_fraction rng =
+  if hot_keys > 0 && Rng.float rng < hot_fraction then
+    Printf.sprintf "k%d" (Rng.int rng ~bound:hot_keys)
   else
-    Printf.sprintf "k%d"
-      (spec.hot_keys + Rng.int rng ~bound:(max 1 (spec.keys - spec.hot_keys)))
+    Printf.sprintf "k%d" (hot_keys + Rng.int rng ~bound:(max 1 (keys - hot_keys)))
 
-let rec distinct_keys spec rng count acc =
-  if count = 0 then acc
-  else begin
-    let key = pick_key spec rng in
-    if List.mem key acc then distinct_keys spec rng count acc
-    else distinct_keys spec rng (count - 1) (key :: acc)
-  end
+let distinct_keys ~keys ~hot_keys ~hot_fraction ~count rng =
+  let rec go count acc =
+    if count = 0 then acc
+    else begin
+      let key = pick_key ~keys ~hot_keys ~hot_fraction rng in
+      if List.mem key acc then go count acc else go (count - 1) (key :: acc)
+    end
+  in
+  go count []
 
 let generate_txn spec rng ~id =
-  let touched = distinct_keys spec rng (spec.reads_per_txn + spec.writes_per_txn) [] in
+  let touched =
+    distinct_keys ~keys:spec.keys ~hot_keys:spec.hot_keys
+      ~hot_fraction:spec.hot_fraction
+      ~count:(spec.reads_per_txn + spec.writes_per_txn) rng
+  in
   let rec split k = function
     | rest when k = 0 -> ([], rest)
     | [] -> ([], [])
@@ -72,7 +80,7 @@ let run db spec =
   let rng = Rng.create spec.seed in
   let committed = ref 0 and aborted = ref 0 and blocked = ref 0 in
   let total_messages = ref 0 in
-  let commit_delays = ref [] in
+  let commit_delays = Histogram.create () in
   let atomicity_ok = ref true in
   for b = 0 to spec.batches - 1 do
     let txns =
@@ -96,13 +104,14 @@ let run db spec =
         | Txn_system.Committed ->
             incr committed;
             (match Report.delays_to_last_decision o.Txn_system.report with
-            | Some d -> commit_delays := d :: !commit_delays
+            | Some d -> Histogram.add commit_delays d
             | None -> ())
         | Txn_system.Aborted -> incr aborted
         | Txn_system.Blocked -> incr blocked)
       outcomes
   done;
   let transactions = spec.batches * spec.batch_size in
+  let delays = Histogram.summary commit_delays in
   {
     transactions;
     committed = !committed;
@@ -113,10 +122,10 @@ let run db spec =
     messages_per_commit =
       (if !committed = 0 then Float.nan
        else float_of_int !total_messages /. float_of_int !committed);
-    mean_commit_delays =
-      (match !commit_delays with
-      | [] -> Float.nan
-      | ds -> List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds));
+    mean_commit_delays = delays.Histogram.mean;
+    p50_commit_delays = delays.Histogram.p50;
+    p95_commit_delays = delays.Histogram.p95;
+    p99_commit_delays = delays.Histogram.p99;
     atomicity_ok = !atomicity_ok;
   }
 
@@ -139,7 +148,8 @@ let protocol_comparison ?jobs ~protocols ~n ~f spec =
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d txns: %d committed, %d aborted (%.0f%%), %d blocked; %d msgs \
-     (%.1f/commit), %.1f delays/commit%s"
+     (%.1f/commit), %.1f delays/commit (p50/p95/p99 %.1f/%.1f/%.1f)%s"
     s.transactions s.committed s.aborted (100.0 *. s.abort_rate) s.blocked
     s.total_messages s.messages_per_commit s.mean_commit_delays
+    s.p50_commit_delays s.p95_commit_delays s.p99_commit_delays
     (if s.atomicity_ok then "" else "; ATOMICITY VIOLATED")

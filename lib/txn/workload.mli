@@ -31,8 +31,24 @@ type stats = {
   total_messages : int;
   messages_per_commit : float;
   mean_commit_delays : float;  (** mean protocol latency, units of U *)
+  p50_commit_delays : float;
+      (** latency percentiles over committed rounds ({!Histogram}
+          nearest-rank, so p50 <= p95 <= p99); [nan] with no commits *)
+  p95_commit_delays : float;
+  p99_commit_delays : float;
   atomicity_ok : bool;  (** every round passed the atomicity check *)
 }
+
+val pick_key : keys:int -> hot_keys:int -> hot_fraction:float -> Rng.t -> string
+(** One key draw of the contention model: a hot key ("k0" ..
+    "k<hot_keys-1>") with probability [hot_fraction], uniform over the
+    rest of the keyspace otherwise. Exposed for the multi-shot commit
+    service, whose client streams draw from the same distribution. *)
+
+val distinct_keys :
+  keys:int -> hot_keys:int -> hot_fraction:float -> count:int -> Rng.t ->
+  string list
+(** [count] distinct draws of {!pick_key} (requires [count <= keys]). *)
 
 val run : Txn_system.t -> spec -> stats
 

@@ -32,7 +32,7 @@ def need(cond, what):
         errors.append(what)
 
 
-need(doc.get("schema") == "actable-bench/4", "schema actable-bench/4")
+need(doc.get("schema") == "actable-bench/5", "schema actable-bench/5")
 need(isinstance(doc.get("pairs"), list) and doc["pairs"], "non-empty pairs")
 
 for section in ("nice_run_seconds", "table_seconds"):
@@ -149,6 +149,52 @@ for k in ("seconds", "states", "states_per_sec"):
     need(isinstance(row.get(k), (int, float)) and row[k] > 0,
          f"mc_network.hashed.{k} > 0")
 check_gc(mcn, "mc_network")
+
+# multi-shot commit service: at least three protocol arms plus at least
+# one crash-injection arm, each internally consistent (transactions
+# fully accounted for, percentiles ordered, correctness flags true)
+ms = doc.get("multishot", {})
+for k in ("n", "f", "clients", "txns"):
+    need(isinstance(ms.get(k), (int, float)) and ms[k] > 0,
+         f"multishot.{k} > 0")
+arms = ms.get("arms", {})
+need(isinstance(arms, dict) and arms, "non-empty multishot.arms")
+protocols = {name for name in arms if not name.endswith("_crash")}
+need(len(protocols) >= 3, ">= 3 multishot protocol arms")
+need(any(name.endswith("_crash") for name in arms),
+     ">= 1 multishot crash-injection arm")
+for name, arm in arms.items():
+    where = f"multishot.arms.{name}"
+    if not isinstance(arm, dict):
+        need(False, f"{where} is an object")
+        continue
+    for k in ("seconds", "commits_per_sec"):
+        need(isinstance(arm.get(k), (int, float)) and arm[k] > 0,
+             f"{where}.{k} > 0")
+    for k in ("transactions", "committed", "instances", "messages"):
+        need(isinstance(arm.get(k), (int, float)) and arm[k] > 0,
+             f"{where}.{k} > 0")
+    for k in ("aborted", "local_aborts", "parked", "retries", "staged_left",
+              "abort_rate"):
+        need(isinstance(arm.get(k), (int, float)) and arm[k] >= 0,
+             f"{where}.{k} >= 0")
+    need(arm.get("atomicity_ok") is True, f"{where}.atomicity_ok")
+    need(arm.get("agreement_ok") is True, f"{where}.agreement_ok")
+    need(arm.get("parked") == 0, f"{where}.parked == 0 (recovery drains)")
+    need(arm.get("staged_left") == 0, f"{where}.staged_left == 0")
+    counted = sum(arm.get(k, -1) for k in
+                  ("committed", "aborted", "local_aborts", "parked"))
+    need(counted == arm.get("transactions"),
+         f"{where} committed+aborted+local_aborts+parked == transactions")
+    lat = arm.get("latency_delays", {})
+    for k in ("mean", "p50", "p95", "p99", "max"):
+        need(isinstance(lat.get(k), (int, float)) and lat[k] >= 0,
+             f"{where}.latency_delays.{k} >= 0")
+    if isinstance(arm.get("committed"), (int, float)) and arm["committed"] > 0 \
+       and all(isinstance(lat.get(k), (int, float))
+               for k in ("p50", "p95", "p99")):
+        need(lat["p50"] <= lat["p95"] <= lat["p99"],
+             f"{where} p50 <= p95 <= p99")
 
 if errors:
     print(f"{path}: {len(errors)} problem(s)", file=sys.stderr)

@@ -79,3 +79,30 @@ else:
     head = "pinned hashed n/a"
 
 print(f"bench-trend vs {sys.argv[1]}: {head}; frontier: " + "; ".join(parts))
+
+
+# multi-shot commit service throughput (actable-bench/5): per-arm
+# commits/sec delta; old reports without the section print n/a
+def multishot_cps(doc):
+    arms = doc.get("multishot", {}).get("arms", {})
+    out = {}
+    for name, arm in arms.items() if isinstance(arms, dict) else ():
+        v = arm.get("commits_per_sec") if isinstance(arm, dict) else None
+        if isinstance(v, (int, float)) and v > 0:
+            out[name] = v
+    return out
+
+
+ms_old, ms_new = multishot_cps(old), multishot_cps(new)
+if not ms_new:
+    print("bench-trend multishot: n/a (no multishot section in new report)")
+else:
+    ms_parts = []
+    for name in sorted(ms_new):
+        n = ms_new[name]
+        o = ms_old.get(name)
+        if o is None:
+            ms_parts.append(f"{name} {n:.0f}/s (n/a)")
+        else:
+            ms_parts.append(f"{name} {n:.0f}/s ({n / o - 1:+.1%})")
+    print("bench-trend multishot commits/sec: " + "; ".join(ms_parts))

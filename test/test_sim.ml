@@ -737,6 +737,55 @@ let test_report_accessors () =
   check tbool "delays measured" true
     (Report.delays_to_last_decision report = Some 1.0)
 
+(* ------------------------------------------------------------------ *)
+(* Mux: instance-tagged multiplexing for the multi-shot service *)
+
+let test_mux_order_and_pending () =
+  let m = Mux.create () in
+  Mux.add m ~instance:1 ~time:5 ~klass:2 "i1-late";
+  Mux.add m ~instance:0 ~time:5 ~klass:1 "i0-propose";
+  Mux.add m ~instance:1 ~time:3 ~klass:2 "i1-early";
+  Mux.add m ~instance:(-1) ~time:5 ~klass:1 "service";
+  check tint "pending i0" 1 (Mux.pending m 0);
+  check tint "pending i1" 2 (Mux.pending m 1);
+  check tint "size counts service events" 4 (Mux.size m);
+  let pop () =
+    match Mux.pop m with
+    | Some e -> e
+    | None -> Alcotest.fail "unexpected empty mux"
+  in
+  check tbool "time order first" true (pop () = (3, 2, 1, "i1-early"));
+  (* equal time: class order, then insertion order within a class —
+     exactly the engine's (time, class, sequence) law *)
+  check tbool "class then fifo" true (pop () = (5, 1, 0, "i0-propose"));
+  check tbool "service event interleaves" true (pop () = (5, 1, -1, "service"));
+  check tbool "last" true (pop () = (5, 2, 1, "i1-late"));
+  check tint "i1 quiesced" 0 (Mux.pending m 1);
+  check tbool "drained" true (Mux.is_empty m && Mux.pop m = None)
+
+let test_mux_pending_growth () =
+  let m = Mux.create () in
+  for i = 0 to 99 do
+    Mux.add m ~instance:(i mod 10) ~time:i ~klass:0 i
+  done;
+  (* an instance id past the initial capacity forces the table to grow *)
+  Mux.add m ~instance:500 ~time:1 ~klass:0 (-1);
+  check tint "grown instance tracked" 1 (Mux.pending m 500);
+  check tint "dense instance tracked" 10 (Mux.pending m 3);
+  check tint "unseen instance" 0 (Mux.pending m 499);
+  let rec drain () = match Mux.pop m with Some _ -> drain () | None -> () in
+  drain ();
+  check tbool "empty after drain" true (Mux.is_empty m);
+  check tint "all quiesced" 0 (Mux.pending m 3);
+  check tint "grown quiesced" 0 (Mux.pending m 500)
+
+let test_mux_service_events_untracked () =
+  let m = Mux.create () in
+  Mux.add m ~instance:(-1) ~time:0 ~klass:0 "a";
+  Mux.add m ~instance:(-1) ~time:1 ~klass:0 "b";
+  check tint "negative ids never tracked" 0 (Mux.pending m (-1));
+  check tint "but still queued" 2 (Mux.size m)
+
 let () =
   let quick name fn = Alcotest.test_case name `Quick fn in
   let prop t = QCheck_alcotest.to_alcotest t in
@@ -753,6 +802,12 @@ let () =
           quick "no payload pinning" test_queue_no_payload_pinning;
           prop prop_queue_pop_sorted;
           prop prop_queue_interleaved;
+        ] );
+      ( "mux",
+        [
+          quick "order and pending" test_mux_order_and_pending;
+          quick "pending table growth" test_mux_pending_growth;
+          quick "service events untracked" test_mux_service_events_untracked;
         ] );
       ( "network",
         [

@@ -1,0 +1,179 @@
+(* Tests for the multi-shot commit service: nominal runs resolve every
+   transaction, the pipelining/batching knobs do what they claim, blocked
+   instances park without stalling the pipeline and drain through shard
+   recovery, and a run is a deterministic function of its spec. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let u = Sim_time.default_u
+
+let small =
+  {
+    Commit_service.default with
+    Commit_service.clients = 32;
+    txns = 200;
+    seed = 7;
+  }
+
+let run ?(spec = small) protocol = Commit_service.run ~protocol ~n:3 ~f:1 spec
+
+(* the fields a run determines exactly (no wall-clock noise) *)
+let fingerprint (s : Commit_service.stats) =
+  ( ( s.Commit_service.transactions,
+      s.Commit_service.committed,
+      s.Commit_service.aborted,
+      s.Commit_service.local_aborts,
+      s.Commit_service.parked ),
+    ( s.Commit_service.instances,
+      s.Commit_service.retries,
+      s.Commit_service.peak_in_flight,
+      s.Commit_service.total_messages,
+      s.Commit_service.staged_left ),
+    s.Commit_service.makespan_delays )
+
+let test_nominal_resolves_all () =
+  List.iter
+    (fun protocol ->
+      let s = run protocol in
+      check tint (protocol ^ " issued all") 200 s.Commit_service.transactions;
+      check tint (protocol ^ " nothing parked") 0 s.Commit_service.parked;
+      check tint (protocol ^ " staging drained") 0 s.Commit_service.staged_left;
+      check tint (protocol ^ " accounted") 200
+        (s.Commit_service.committed + s.Commit_service.aborted
+       + s.Commit_service.local_aborts);
+      check tbool (protocol ^ " commits") true (s.Commit_service.committed > 0);
+      check tbool (protocol ^ " atomic") true s.Commit_service.atomicity_ok;
+      check tbool (protocol ^ " agreement") true s.Commit_service.agreement_ok;
+      let l = s.Commit_service.latency in
+      check tbool (protocol ^ " percentiles ordered") true
+        (l.Histogram.p50 <= l.Histogram.p95
+        && l.Histogram.p95 <= l.Histogram.p99))
+    [ "inbac"; "paxos-commit"; "2pc" ]
+
+let test_deterministic () =
+  List.iter
+    (fun protocol ->
+      check tbool (protocol ^ " same spec, same run") true
+        (fingerprint (run protocol) = fingerprint (run protocol)))
+    [ "inbac"; "2pc" ]
+
+let test_pipelining () =
+  let deep = run "inbac" in
+  let serial =
+    run ~spec:{ small with Commit_service.pipeline_depth = 1 } "inbac"
+  in
+  check tbool "deep pipeline overlaps instances" true
+    (deep.Commit_service.peak_in_flight > 1);
+  check tint "depth 1 serializes" 1 serial.Commit_service.peak_in_flight;
+  check tint "serialized run still resolves" 0 serial.Commit_service.parked;
+  check tbool "serialized run still atomic" true
+    serial.Commit_service.atomicity_ok
+
+let test_batching () =
+  let batched = run "inbac" in
+  let unbatched =
+    run ~spec:{ small with Commit_service.max_batch = 1 } "inbac"
+  in
+  check tbool "co-resident transactions share instances" true
+    (batched.Commit_service.mean_batch > 1.0);
+  check tbool "max_batch 1 gives one txn per instance" true
+    (unbatched.Commit_service.mean_batch = 1.0);
+  check tbool "batching launches fewer instances" true
+    (batched.Commit_service.instances < unbatched.Commit_service.instances)
+
+let test_two_pc_parks_and_recovers () =
+  (* the 2PC coordinator shard goes down at 3U and comes back at 40U:
+     in-flight instances park, the recovered shard adopts what it missed,
+     and every parked instance re-runs to a decision *)
+  let spec =
+    {
+      Commit_service.default with
+      Commit_service.txns = 400;
+      seed = 7;
+      outages = [ (1, 3 * u, Some (40 * u)) ];
+    }
+  in
+  let s = run ~spec "2pc" in
+  check tbool "parked instances re-ran" true (s.Commit_service.retries > 0);
+  check tint "recovery drained every instance" 0 s.Commit_service.parked;
+  check tint "no staging left" 0 s.Commit_service.staged_left;
+  check tbool "commits resumed" true (s.Commit_service.committed > 0);
+  check tbool "atomic across the outage" true s.Commit_service.atomicity_ok;
+  check tbool "agreement across the outage" true s.Commit_service.agreement_ok
+
+let test_two_pc_parks_without_recovery () =
+  let spec =
+    {
+      Commit_service.default with
+      Commit_service.txns = 400;
+      seed = 7;
+      outages = [ (1, 3 * u, None) ];
+    }
+  in
+  let s = run ~spec "2pc" in
+  check tbool "instances stay parked" true (s.Commit_service.parked > 0);
+  check tbool "their writes stay staged" true
+    (s.Commit_service.staged_left > 0);
+  check tint "every issued txn accounted" s.Commit_service.transactions
+    (s.Commit_service.committed + s.Commit_service.aborted
+   + s.Commit_service.local_aborts + s.Commit_service.parked);
+  check tbool "parked-not-installed is still atomic" true
+    s.Commit_service.atomicity_ok
+
+let test_inbac_crash_non_blocking () =
+  (* same unrecovered outage, but INBAC tolerates f=1: every instance
+     still decides (aborting when the dead shard's vote is missing) — the
+     non-blocking contrast the paper draws against 2PC *)
+  let spec =
+    {
+      Commit_service.default with
+      Commit_service.txns = 400;
+      seed = 7;
+      outages = [ (1, 3 * u, None) ];
+    }
+  in
+  let s = run ~spec "inbac" in
+  check tint "nothing parks" 0 s.Commit_service.parked;
+  check tbool "pre-outage commits exist" true (s.Commit_service.committed > 0);
+  check tbool "atomic" true s.Commit_service.atomicity_ok;
+  check tbool "agreement" true s.Commit_service.agreement_ok
+
+let test_spec_validation () =
+  check tbool "unknown protocol" true
+    (try
+       ignore (Commit_service.run ~protocol:"nope" ~n:3 ~f:1 small);
+       false
+     with Not_found -> true);
+  let invalid spec =
+    try
+      ignore (Commit_service.run ~protocol:"inbac" ~n:3 ~f:1 spec);
+      false
+    with Invalid_argument _ -> true
+  in
+  check tbool "no clients" true
+    (invalid { small with Commit_service.clients = 0 });
+  check tbool "no writes" true
+    (invalid { small with Commit_service.writes_per_txn = 0 });
+  check tbool "pipeline depth < 1" true
+    (invalid { small with Commit_service.pipeline_depth = 0 });
+  check tbool "outage rank out of range" true
+    (invalid { small with Commit_service.outages = [ (9, u, None) ] })
+
+let () =
+  let quick name fn = Alcotest.test_case name `Quick fn in
+  Alcotest.run "svc"
+    [
+      ( "commit-service",
+        [
+          quick "nominal resolves all" test_nominal_resolves_all;
+          quick "deterministic" test_deterministic;
+          quick "pipelining" test_pipelining;
+          quick "batching" test_batching;
+          quick "2pc parks and recovers" test_two_pc_parks_and_recovers;
+          quick "2pc parks without recovery"
+            test_two_pc_parks_without_recovery;
+          quick "inbac crash non-blocking" test_inbac_crash_non_blocking;
+          quick "spec validation" test_spec_validation;
+        ] );
+    ]

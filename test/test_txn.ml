@@ -177,6 +177,90 @@ let prop_atomicity_under_faults =
       in
       List.for_all (fun o -> o.Txn_system.atomic) outcomes)
 
+let test_recover_blocked_drains_staging () =
+  let n = 4 in
+  let db = Txn_system.create ~n ~f:1 ~protocol:"2pc" () in
+  let o =
+    Txn_system.submit
+      ~crashes:[ (Pid.of_rank 1, Scenario.Before u) ]
+      db
+      (Txn.make ~id:"t" ~writes:[ ("a", "1"); ("b", "2"); ("c", "3") ] ())
+  in
+  check tbool "blocked first" true (o.Txn_system.decision = Txn_system.Blocked);
+  let staged_somewhere () =
+    List.exists
+      (fun pid -> Kv_store.staged_ids (Txn_system.node_store db pid) <> [])
+      (Pid.all ~n)
+  in
+  check tbool "writes staged while blocked" true (staged_somewhere ());
+  (match Txn_system.recover_blocked db ~txn_id:"t" with
+  | None -> Alcotest.fail "expected a recovery outcome"
+  | Some r ->
+      check tbool "resolved" true (r.Txn_system.decision = Txn_system.Committed);
+      check tbool "atomic" true r.Txn_system.atomic;
+      check tbool "staged nodes recorded" true (r.Txn_system.recovered <> []));
+  check tbool "staging drained everywhere" false (staged_somewhere ());
+  check tbool "writes installed" true
+    (Txn_system.read db ~key:"a" = Some ("1", 1));
+  check tbool "second recovery is a no-op" true
+    (Txn_system.recover_blocked db ~txn_id:"t" = None);
+  check tbool "unknown id is a no-op" true
+    (Txn_system.recover_blocked db ~txn_id:"nope" = None);
+  check tint "resolution appended to history" 2
+    (List.length (Txn_system.history db))
+
+(* Satellite: submit_batch under combined crash + network-failure
+   injection. Protocols that stay safe under eventual synchrony must keep
+   every round atomic, and — everything being seeded — the decision
+   sequence must replay identically, with the conflicting transactions
+   (same read snapshot, same write key) aborting the same way. *)
+let prop_batch_atomicity_under_combined_faults =
+  QCheck.Test.make ~count:60
+    ~name:"submit_batch atomic and deterministic under crash + network faults"
+    QCheck.(pair (int_range 0 1) small_int)
+    (fun (proto_ix, seed) ->
+      let protocol = List.nth [ "paxos-commit"; "(2n-2+f)nbac" ] proto_ix in
+      let n = 5 in
+      let run () =
+        let db = Txn_system.create ~seed ~n ~f:2 ~protocol () in
+        ignore
+          (Txn_system.submit db
+             (Txn.make ~id:"seed"
+                ~writes:[ ("a", "0"); ("b", "0"); ("c", "0") ]
+                ()));
+        let rng = Rng.create (seed + 1) in
+        let crashes =
+          if Rng.bool rng then
+            [
+              ( Pid.of_rank (1 + Rng.int rng ~bound:n),
+                Scenario.Before (Rng.int rng ~bound:(4 * u)) );
+            ]
+          else []
+        in
+        let network =
+          Network.eventually_synchronous ~u
+            ~gst:((2 + Rng.int rng ~bound:6) * u)
+            ~max_early_delay:(2 * u)
+        in
+        let reads = Txn_system.snapshot_reads db [ "a"; "b" ] in
+        let txns =
+          List.init 4 (fun i ->
+              Txn.make
+                ~id:(Printf.sprintf "t%d" i)
+                ~reads
+                ~writes:[ ("a", string_of_int i); ("c", string_of_int i) ]
+                ())
+        in
+        Txn_system.submit_batch ~crashes ~network db txns
+      in
+      let a = run () and b = run () in
+      let decisions os = List.map (fun o -> o.Txn_system.decision) os in
+      List.for_all (fun o -> o.Txn_system.atomic) a
+      && decisions a = decisions b
+      && List.length
+           (List.filter (fun d -> d = Txn_system.Committed) (decisions a))
+         <= 1)
+
 (* ------------------------------------------------------------------ *)
 (* Workload *)
 
@@ -268,7 +352,10 @@ let () =
           quick "2pc blocks" test_system_two_pc_blocks;
           quick "placement deterministic" test_system_placement_deterministic;
           quick "history" test_system_history;
+          quick "recover blocked drains staging"
+            test_recover_blocked_drains_staging;
           prop prop_atomicity_under_faults;
+          prop prop_batch_atomicity_under_combined_faults;
         ] );
       ( "workload",
         [
