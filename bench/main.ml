@@ -270,6 +270,19 @@ let min_multishot_floor =
   in
   scan argv
 
+(* Symmetry-reduction gate: fail when the best measured symmetry-on vs
+   symmetry-off state-count ratio falls below this. The crash-class arm
+   is the headline (~9.6x at inbac n=4 f=1); the network-class arm has
+   no crash candidates to twin-prune and its order-2 process group caps
+   it near ~3.9x, so the gate reads the best arm and reports all. *)
+let min_symmetry_reduction =
+  let rec scan = function
+    | "--min-symmetry-reduction" :: v :: _ -> float_of_string_opt v
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan argv
+
 (* NxF pairs for the timed table regenerations; defaults to a tiny pair
    list so the smoke run stays cheap. *)
 let json_pairs =
@@ -373,6 +386,43 @@ let network_budgets =
 let mc_network_run pool =
   Mc_run.run ~budgets:network_budgets ~fp:Mc_limits.Fp_hashed ~pool ~jobs:1
     ~naive:false ~protocol:"inbac" ~n:3 ~f:1 ~klass:Mc_run.Network ()
+
+(* Symmetry-reduction arms: inbac n=4 f=1, symmetry off vs on, per-item
+   jobs=1 so every state counter is deterministic and the off arm is
+   byte-for-byte the pre-symmetry exploration. Three execution classes:
+   crash at the default budgets (exhausted in under a second either
+   way), and the network and all classes at an exhaustible bound
+   (max_late=1, horizon=U) so the ratio compares two complete
+   explorations rather than two budget truncations. inbac's vote-refined
+   group at n=4 f=1 has order 2 — the backup P1 and the reconstructed
+   P_{f+1} are singleton roles, only the plain participants P3/P4
+   permute — which caps the pure orbit collapse at 2x; the crash arm
+   lands near 9.6x anyway because crash-twin pruning and frontier-orbit
+   dedup compound on top, while the network arm (nothing to crash-prune)
+   sits near 3.9x. *)
+let symmetry_budgets =
+  {
+    (Mc_limits.default_budgets ~u:Sim_time.default_u) with
+    Mc_limits.horizon = Sim_time.default_u;
+    max_late = 1;
+  }
+
+let symmetry_arms =
+  [
+    ("crash", 4, Mc_run.Crash, None);
+    ("network", 4, Mc_run.Network, Some symmetry_budgets);
+    ("all", 4, Mc_run.All, Some symmetry_budgets);
+    (* n=5 is where the reduction unlocks new ground: the vote-refined
+       group grows to order 6 (three interchangeable plain participants)
+       and the exhaustible horizon-U spaces shrink ~11-13x — the
+       unreduced space is explorable too, so the ratio stays measurable *)
+    ("crash_n5", 5, Mc_run.Crash, Some symmetry_budgets);
+    ("network_n5", 5, Mc_run.Network, Some symmetry_budgets);
+  ]
+
+let symmetry_run ~symmetry (_, n, klass, budgets) =
+  Mc_run.run ?budgets ~fp:Mc_limits.Fp_hashed ~symmetry ~jobs:1 ~naive:false
+    ~protocol:"inbac" ~n ~f:1 ~klass ()
 
 let gc_measure run =
   let g0 = Gc.quick_stat () in
@@ -532,6 +582,46 @@ let run_json path =
   let nu_states, nu_minor, nu_promoted, nu_major =
     gc_measure (fun () -> mc_network_run false)
   in
+  (* Symmetry arms: single runs per mode — the reduction ratio is a
+     ratio of deterministic state counts, not of wall times, so
+     repetition buys nothing; the seconds are informational. *)
+  let symmetry_results =
+    List.map
+      (fun ((name, n, _, _) as arm) ->
+        let off, off_secs =
+          time_best ~reps:1 (fun () -> symmetry_run ~symmetry:false arm)
+        in
+        let on, on_secs =
+          time_best ~reps:1 (fun () -> symmetry_run ~symmetry:true arm)
+        in
+        let reduction =
+          float_of_int off.Mc_run.counters.Mc_limits.states
+          /. float_of_int (max 1 on.Mc_run.counters.Mc_limits.states)
+        in
+        (name, n, off, off_secs, on, on_secs, reduction))
+      symmetry_arms
+  in
+  let best_symmetry_reduction =
+    List.fold_left
+      (fun acc (_, _, _, _, _, _, r) -> Float.max acc r)
+      0.0 symmetry_results
+  in
+  (* Canonicalization cost in isolation: the same mid-exploration state
+     fingerprinted with the full orbit minimization (every group
+     renaming) vs the plain single hash. *)
+  let canon_calls = 20_000 in
+  let canon_ns ~symmetry =
+    let probe =
+      Mc_run.fingerprint_sampler ~symmetry ~protocol:"inbac" ~n:4 ~f:1
+        ~klass:Mc_run.Network ()
+    in
+    let (), secs =
+      time_best ~reps:5 (fun () -> probe Mc_limits.Fp_hashed canon_calls)
+    in
+    secs *. 1e9 /. float_of_int canon_calls
+  in
+  let canon_sym_ns = canon_ns ~symmetry:true in
+  let canon_plain_ns = canon_ns ~symmetry:false in
   (* Multi-shot commit service arms: three protocols, each nominal and
      with a crash-injection arm (shard P1 down at 3U, back at 20U — the
      2PC arm parks its in-flight instances on the dead coordinator and
@@ -572,7 +662,7 @@ let run_json path =
     Buffer.add_string buf "  }"
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"actable-bench/5\",\n";
+  Buffer.add_string buf "  \"schema\": \"actable-bench/6\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"pairs\": [%s],\n"
        (String.concat ", "
@@ -682,6 +772,49 @@ let run_json path =
     net_pool_speedup
     (nu_minor /. Float.max np_minor 1e-9);
   Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"symmetry\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"protocol\": \"inbac\", \"f\": 1, \"jobs\": 1, \
+        \"exhaustible_max_late\": %d, \"exhaustible_horizon_u\": %d,\n"
+       symmetry_budgets.Mc_limits.max_late
+       (symmetry_budgets.Mc_limits.horizon / Sim_time.default_u));
+  Buffer.add_string buf "    \"arms\": {\n";
+  let n_sym = List.length symmetry_results in
+  List.iteri
+    (fun idx (name, n, off, off_secs, on, on_secs, reduction) ->
+      let oc = off.Mc_run.counters and nc = on.Mc_run.counters in
+      Buffer.add_string buf (Printf.sprintf "      \"%s\": {\n" name);
+      Buffer.add_string buf (Printf.sprintf "        \"n\": %d,\n" n);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "        \"off\": { \"seconds\": %.6f, \"states\": %d, \
+            \"schedules\": %d, \"exhausted\": %b },\n"
+           off_secs oc.Mc_limits.states oc.Mc_limits.schedules
+           (Mc_limits.exhausted oc));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "        \"on\": { \"seconds\": %.6f, \"states\": %d, \
+            \"schedules\": %d, \"exhausted\": %b, \"orbit_hits\": %d, \
+            \"twin_skips\": %d, \"canon_calls\": %d },\n"
+           on_secs nc.Mc_limits.states nc.Mc_limits.schedules
+           (Mc_limits.exhausted nc) nc.Mc_limits.orbit_hits
+           nc.Mc_limits.twin_skips nc.Mc_limits.canon_calls);
+      Buffer.add_string buf
+        (Printf.sprintf "        \"reduction\": %.2f\n" reduction);
+      Buffer.add_string buf
+        (if idx = n_sym - 1 then "      }\n" else "      },\n"))
+    symmetry_results;
+  Buffer.add_string buf "    },\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"best_reduction\": %.2f,\n" best_symmetry_reduction);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"canonicalization_ns_per_call\": { \"symmetry\": %.1f, \
+        \"plain\": %.1f, \"overhead\": %.2f }\n"
+       canon_sym_ns canon_plain_ns
+       (canon_sym_ns /. Float.max canon_plain_ns 1e-9));
+  Buffer.add_string buf "  },\n";
   let num x = if Float.is_nan x then "0.0" else Printf.sprintf "%.3f" x in
   let jbool b = if b then "true" else "false" in
   Buffer.add_string buf "  \"multishot\": {\n";
@@ -778,6 +911,39 @@ let run_json path =
     (float_of_int net_states /. net_secs)
     np_minor nu_minor
     (nu_minor /. Float.max np_minor 1e-9);
+  List.iter
+    (fun (name, n, off, off_secs, on, on_secs, reduction) ->
+      (* symmetry reduction must be verdict-neutral: both arms clean (or
+         both violated the same way) on every measured class *)
+      if Mc_run.verdict_string off <> Mc_run.verdict_string on then begin
+        Printf.eprintf
+          "bench: symmetry arm %s changed the verdict (off %S, on %S) — \
+           canonicalization must be verdict-neutral\n"
+          name
+          (Mc_run.verdict_string off)
+          (Mc_run.verdict_string on);
+        exit 1
+      end;
+      Printf.printf
+        "symmetry %-10s n=%d %6d -> %5d states (%.2fx), %d twin skips, \
+         wall %.2fs -> %.2fs\n"
+        name n off.Mc_run.counters.Mc_limits.states
+        on.Mc_run.counters.Mc_limits.states reduction
+        on.Mc_run.counters.Mc_limits.twin_skips off_secs on_secs)
+    symmetry_results;
+  Printf.printf
+    "symmetry canonicalization %.0f ns/call vs %.0f plain (%.2fx), best \
+     reduction %.2fx\n"
+    canon_sym_ns canon_plain_ns
+    (canon_sym_ns /. Float.max canon_plain_ns 1e-9)
+    best_symmetry_reduction;
+  (match min_symmetry_reduction with
+  | Some floor when best_symmetry_reduction < floor ->
+      Printf.eprintf
+        "bench: best symmetry reduction %.2fx below the floor %.2fx\n"
+        best_symmetry_reduction floor;
+      exit 1
+  | _ -> ());
   List.iter
     (fun (name, (s : Commit_service.stats)) ->
       Printf.printf

@@ -659,6 +659,33 @@ let snapshot_pool_arg =
   Arg.(
     value & opt bool true & info [ "snapshot-pool" ] ~docv:"BOOL" ~doc)
 
+let symmetry_arg =
+  let doc =
+    "Symmetry reduction: canonicalize state fingerprints under the \
+     protocol's declared process-permutation group (vote-refined), prune \
+     permutation-twin crash candidates and orbit-duplicate frontier \
+     items. 'on' (the default) cuts the explored space by the orbit \
+     collapse; 'off' restores the historical exploration byte for byte. \
+     Verdicts are identical either way; the marshal fingerprint backend \
+     forces 'off' (raw-byte hashing cannot honor a renaming)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) Mc_limits.default_symmetry
+    & info [ "symmetry" ] ~docv:"on|off" ~doc)
+
+let swarm_open_depth_arg =
+  let doc =
+    "Swarm mode: how many tree levels a walker explores through \
+     already-claimed states before cutting (default 6, clamped to \
+     0..32). Deeper open levels duplicate more work near the root but \
+     seed walkers with more diverse subtrees."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "swarm-open-depth" ] ~docv:"D" ~doc)
+
 let shared_visited_arg =
   let doc =
     "Dedup states globally per vote-set group (a digest-range-sharded \
@@ -718,8 +745,9 @@ let mc_cmd =
              the wall time of the exploration) and the peak visited-table \
              occupancy of any frontier item.")
   in
-  let action protocol n f klass expect budgets fp pool stats consensus
-      vote0 no_naive msc jobs shared no_stealing swarm no_swarm =
+  let action protocol n f klass expect budgets fp pool symmetry
+      swarm_open_depth stats consensus vote0 no_naive msc jobs shared
+      no_stealing swarm no_swarm =
     let vote_sets =
       match vote0 with
       | [] -> None
@@ -739,9 +767,10 @@ let mc_cmd =
     let gc0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
     let outcome =
-      Mc_run.run ~consensus ?vote_sets ~budgets ~fp ~pool ?jobs
-        ~naive:(not no_naive) ~visited ~stealing:(not no_stealing)
-        ?swarm:swarm_opt ~protocol ~n ~f ~klass ()
+      Mc_run.run ~consensus ?vote_sets ~budgets ~fp ~pool ~symmetry
+        ?swarm_open_depth ?jobs ~naive:(not no_naive) ~visited
+        ~stealing:(not no_stealing) ?swarm:swarm_opt ~protocol ~n ~f ~klass
+        ()
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     let gc1 = Gc.quick_stat () in
@@ -757,6 +786,40 @@ let mc_cmd =
         (per_sec c.Mc_limits.states)
         (per_sec c.Mc_limits.schedules)
         c.Mc_limits.peak_visited;
+      (match outcome.Mc_run.shard_load with
+      | Some (occ, bk) ->
+          Format.printf
+            "stats: shared-table occupancy %d/%d buckets (load %.2f)@." occ
+            bk
+            (float_of_int occ /. float_of_int (max bk 1))
+      | None -> ());
+      if c.Mc_limits.canon_calls > 0 then begin
+        (* ns/call of the canonicalization itself, measured on a probe
+           context (mid-exploration state, preparation outside the
+           timer): the symmetry-on sampler hashes under every group
+           renaming, the plain one hashes once *)
+        let probe symmetry =
+          Mc_run.fingerprint_sampler ~consensus ~symmetry ~protocol ~n ~f
+            ~klass ()
+        in
+        let time_ns probe =
+          let calls = 2_000 in
+          probe Mc_limits.Fp_hashed 100 (* warm-up *);
+          let t0 = Unix.gettimeofday () in
+          probe Mc_limits.Fp_hashed calls;
+          (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int calls
+        in
+        Format.printf
+          "stats: symmetry orbit hits %d (%.1f%% of %d canonicalizations), \
+           twin skips %d, canonicalization %.0f ns/call (plain hash %.0f)@."
+          c.Mc_limits.orbit_hits
+          (100.0
+          *. float_of_int c.Mc_limits.orbit_hits
+          /. float_of_int (max c.Mc_limits.canon_calls 1))
+          c.Mc_limits.canon_calls c.Mc_limits.twin_skips
+          (time_ns (probe true))
+          (time_ns (probe false))
+      end;
       (* Gc.quick_stat reads the calling domain only; with --jobs 1 the
          exploration runs inline on this domain, so the deltas cover it
          exactly. With more domains they undercount. *)
@@ -790,9 +853,10 @@ let mc_cmd =
       const action $ protocol_arg $ mc_n_arg $ mc_f_arg $ class_arg
       $ expect_arg
       $ budgets_term ~default_states:400_000
-      $ fp_arg $ snapshot_pool_arg $ stats_arg $ consensus_arg $ vote0_arg
-      $ no_naive_arg $ msc_arg $ jobs_arg $ shared_visited_arg
-      $ no_stealing_arg $ swarm_arg $ no_swarm_arg)
+      $ fp_arg $ snapshot_pool_arg $ symmetry_arg $ swarm_open_depth_arg
+      $ stats_arg $ consensus_arg $ vote0_arg $ no_naive_arg $ msc_arg
+      $ jobs_arg $ shared_visited_arg $ no_stealing_arg $ swarm_arg
+      $ no_swarm_arg)
   in
   Cmd.v
     (Cmd.info "mc"
@@ -803,12 +867,13 @@ let mc_cmd =
     term
 
 let mctable_cmd =
-  let action n f budgets fp pool jobs shared =
+  let action n f budgets fp pool symmetry jobs shared =
     let visited =
       if shared then Mc_limits.Shared else Mc_limits.default_visited
     in
     let text, ok =
-      Table_mc.render_checked ~budgets ~fp ~pool ?jobs ~visited ~n ~f ()
+      Table_mc.render_checked ~budgets ~fp ~pool ~symmetry ?jobs ~visited ~n
+        ~f ()
     in
     print_string text;
     gate "mctable" ok
@@ -817,7 +882,8 @@ let mctable_cmd =
     Term.(
       const action $ mc_n_arg $ mc_f_arg
       $ budgets_term ~default_states:120_000
-      $ fp_arg $ snapshot_pool_arg $ jobs_arg $ shared_visited_arg)
+      $ fp_arg $ snapshot_pool_arg $ symmetry_arg $ jobs_arg
+      $ shared_visited_arg)
   in
   Cmd.v
     (Cmd.info "mctable"

@@ -73,3 +73,12 @@ let hash_state =
       Fingerprint.add_bool h s.known_no;
       Fingerprint.add_bool h s.proposed;
       Fingerprint.add_bool h s.decided)
+
+let hash_msg =
+  Some
+    (fun h (Known { yes; no }) ->
+      Fingerprint.add_bool h yes;
+      Fingerprint.add_bool h no)
+
+(* Rank-oblivious flooding: rounds are counted, never attributed. *)
+let symmetry ~n ~f:_ = Symmetry.full ~n

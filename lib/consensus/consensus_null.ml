@@ -18,3 +18,6 @@ let on_deliver _env () ~src:_ (m : msg) = (match m with _ -> .)
 let on_timeout _env () ~id:_ = ((), [])
 
 let hash_state = Some (fun (_ : Fingerprint.t) () -> ())
+
+let hash_msg = Some (fun (_ : Fingerprint.t) (m : msg) -> (match m with _ -> .))
+let symmetry ~n ~f:_ = Symmetry.full ~n

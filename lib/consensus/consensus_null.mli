@@ -17,3 +17,9 @@ val on_timeout : Proto.env -> state -> id:string -> state * msg Proto.action lis
 
 val hash_state : state Proto.state_hasher option
 (** See {!Proto.PROTOCOL.hash_state}. *)
+
+val hash_msg : msg Proto.msg_hasher option
+(** See {!Proto.CONSENSUS.hash_msg}. *)
+
+val symmetry : n:int -> f:int -> Symmetry.t
+(** No messages, no state: every permutation preserves it. *)

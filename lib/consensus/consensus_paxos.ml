@@ -199,19 +199,32 @@ let on_timeout env state ~id =
   then start_attempt env state
   else (state, [])
 
+let fp = Fingerprint.add_int
+let fp_vote h v = fp h (Vote.to_int v)
+
+(* Ballots encode their proposer: [b = k*n + i]. Under a renaming the
+   symmetry action maps [b] to [k*n + sigma(i)], so feed the attempt
+   number and the renamed proposer separately. Without a renaming, feed
+   the raw integer — the historical (byte-stable) encoding. *)
+let fp_ballot h b =
+  if b < 0 || not (Fingerprint.perm_active h) then fp h b
+  else begin
+    let n = Fingerprint.perm_size h in
+    fp h (b / n);
+    Fingerprint.add_pid h (b mod n)
+  end
+
+let fp_accepted h = function
+  | None -> fp h 0
+  | Some (b, v) ->
+      fp h 1;
+      fp_ballot h b;
+      fp_vote h v
+
 let hash_state =
-  let fp = Fingerprint.add_int in
-  let fp_vote h v = fp h (Vote.to_int v) in
-  let fp_accepted h = function
-    | None -> fp h 0
-    | Some (b, v) ->
-        fp h 1;
-        fp h b;
-        fp_vote h v
-  in
   Some
     (fun h s ->
-      fp h s.promised;
+      fp_ballot h s.promised;
       fp_accepted h s.accepted;
       (match s.proposal with
       | None -> fp h 0
@@ -219,7 +232,7 @@ let hash_state =
           fp h 1;
           fp_vote h v);
       fp h s.attempt;
-      fp h s.ballot;
+      fp_ballot h s.ballot;
       fp h
         (match s.phase with
         | Idle -> 0
@@ -227,16 +240,68 @@ let hash_state =
         | Accepting -> 2
         | Learned -> 3);
       fp h (List.length s.promises);
+      let promises =
+        if Fingerprint.perm_active h then
+          List.sort
+            (fun (p, _) (q, _) ->
+              compare
+                (Fingerprint.rename h (Pid.index p))
+                (Fingerprint.rename h (Pid.index q)))
+            s.promises
+        else s.promises
+      in
       List.iter
         (fun (p, acc) ->
-          fp h (Pid.index p);
+          Fingerprint.add_pid h (Pid.index p);
           fp_accepted h acc)
-        s.promises;
+        promises;
       fp h (List.length s.accepts);
-      List.iter (fun p -> fp h (Pid.index p)) s.accepts;
-      fp h s.highest_seen;
+      let accepts =
+        if Fingerprint.perm_active h then
+          List.sort
+            (fun p q ->
+              compare
+                (Fingerprint.rename h (Pid.index p))
+                (Fingerprint.rename h (Pid.index q)))
+            s.accepts
+        else s.accepts
+      in
+      List.iter (fun p -> Fingerprint.add_pid h (Pid.index p)) accepts;
+      fp_ballot h s.highest_seen;
       match s.decided_value with
       | None -> fp h 0
       | Some v ->
           fp h 1;
           fp_vote h v)
+
+let hash_msg =
+  Some
+    (fun h m ->
+      match m with
+      | Prepare b ->
+          fp h 0;
+          fp_ballot h b
+      | Promise { ballot; accepted } ->
+          fp h 1;
+          fp_ballot h ballot;
+          fp_accepted h accepted
+      | Nack { ballot; promised } ->
+          fp h 2;
+          fp_ballot h ballot;
+          fp_ballot h promised
+      | Accept (b, v) ->
+          fp h 3;
+          fp_ballot h b;
+          fp_vote h v
+      | Accepted (b, v) ->
+          fp h 4;
+          fp_ballot h b;
+          fp_vote h v
+      | Decided v ->
+          fp h 5;
+          fp_vote h v)
+
+(* Every process runs proposer + acceptor + learner identically; rank
+   enters only through ballot encoding, which [fp_ballot] renames. Retry
+   timer ids are attempt-numbered, never pid-numbered. *)
+let symmetry ~n ~f:_ = Symmetry.full ~n

@@ -29,3 +29,10 @@ val retry_base_delay : u:Sim_time.t -> Sim_time.t
 
 val hash_state : state Proto.state_hasher option
 (** See {!Proto.PROTOCOL.hash_state}. *)
+
+val hash_msg : msg Proto.msg_hasher option
+(** See {!Proto.CONSENSUS.hash_msg}. *)
+
+val symmetry : n:int -> f:int -> Symmetry.t
+(** The full symmetric group: rank enters Paxos only through the ballot
+    encoding [k*n + i], which the hashers rename ballot-wise. *)

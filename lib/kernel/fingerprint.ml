@@ -12,7 +12,12 @@
    ([reset]); adding a word is two xors and two multiplications, no
    allocation. *)
 
-type t = { mutable a : int; mutable b : int }
+type t = { mutable a : int; mutable b : int; mutable perm : int array }
+
+(* The physical-equality sentinel for "no renaming": [add_pid] costs one
+   pointer compare when no permutation is active, so the symmetry-off
+   hashing path is word-for-word the historical one. *)
+let no_perm : int array = [||]
 
 (* FNV-1a 64-bit offset basis / prime, truncated to OCaml's 63-bit ints,
    with a distinct basis and prime per lane so the lanes stay
@@ -22,17 +27,36 @@ let basis_b = 0x2545f4914f6cdd1d
 let prime_a = 0x00000100000001b3
 let prime_b = 0x0000010000000193
 
-let create () = { a = basis_a; b = basis_b }
+let create () = { a = basis_a; b = basis_b; perm = no_perm }
 
 let reset h =
   h.a <- basis_a;
-  h.b <- basis_b
+  h.b <- basis_b;
+  h.perm <- no_perm
 
 let add_int h x =
   h.a <- (h.a lxor x) * prime_a;
   h.b <- (h.b lxor (x + 0x165667b19e3779f9)) * prime_b
 
 let add_bool h x = add_int h (Bool.to_int x)
+
+(* ---- pid renaming (symmetry canonicalization) ---------------------- *)
+
+(* The model checker's canonicalization pass hashes a state under a
+   candidate process permutation: it installs the renaming here and the
+   per-protocol canonicalizers route every pid-valued datum through
+   [add_pid]/[rename], so the fed word sequence is exactly what the
+   permuted state would feed with no renaming active. Everything else
+   ([add_int] on non-pid data) is unaffected. *)
+
+let set_perm h p = h.perm <- p
+let clear_perm h = h.perm <- no_perm
+let perm_active h = h.perm != no_perm
+
+let rename h i = if h.perm == no_perm then i else h.perm.(i)
+
+let add_pid h i = add_int h (rename h i)
+let perm_size h = Array.length h.perm
 
 (* Strings are folded eight bytes at a word (the top byte loses one bit to
    the int63 truncation; the length word disambiguates) plus a bytewise

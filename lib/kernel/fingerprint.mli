@@ -23,6 +23,35 @@ val add_bool : t -> bool -> unit
 val add_string : t -> string -> unit
 (** Folds the length and then the contents, eight bytes at a word. *)
 
+(** {2 Pid renaming (symmetry canonicalization)}
+
+    The model checker hashes a state under a candidate process
+    permutation by installing a renaming array and feeding the state
+    through canonicalizers that route every pid-valued datum through
+    {!add_pid} (or consult {!rename} for sort keys). With no renaming
+    installed both are the identity, so the symmetry-off path feeds
+    word-for-word what it always did. {!reset} clears the renaming. *)
+
+val set_perm : t -> int array -> unit
+(** Install [sigma]: subsequent {!add_pid}[ h i] feeds [sigma.(i)]. The
+    array is borrowed, not copied, and must cover every fed index. *)
+
+val clear_perm : t -> unit
+
+val perm_active : t -> bool
+
+val rename : t -> int -> int
+(** The installed renaming as a function (identity when none). *)
+
+val add_pid : t -> int -> unit
+(** Feed a process {e index} through the renaming. Equivalent to
+    [add_int] when no renaming is installed. *)
+
+val perm_size : t -> int
+(** Length of the installed renaming array ([0] when none) — the process
+    count [n], for canonicalizers that must decompose pid-encoding
+    integers (e.g. Paxos ballots [k*n + i]). *)
+
 type digest = { d1 : int; d2 : int }
 (** Two finalized 63-bit lanes. Structural equality ([=], [Hashtbl.hash])
     is the intended key discipline. *)

@@ -1,0 +1,193 @@
+(* Process-permutation symmetry groups.
+
+   A protocol declares which processes are behaviorally interchangeable:
+   a partition of the pid indices into classes such that permuting the
+   processes of one class (states, in-flight messages, timers, and every
+   pid-valued field, consistently) yields a configuration with identical
+   future behavior. The model checker uses the declaration to
+   canonicalize state fingerprints — all members of one orbit collapse
+   to a single visited-table entry — and to prune permutation-twin
+   transitions.
+
+   Only the partition is declared; the group is the direct product of
+   the full symmetric groups on each class. Soundness never depends on
+   the declaration being maximal: any sub-partition (including the
+   trivial one) is a subgroup, it merely collapses less. It does depend
+   on the declaration being correct — a class containing two processes
+   whose handlers genuinely differ by rank equates states with
+   different futures, which is an unsoundness exactly like an
+   under-hashed [hash_state] field. *)
+
+type t = { n : int; classes : int list list }
+
+let normalize ~n classes =
+  let seen = Array.make (max n 1) false in
+  let classes =
+    List.filter_map
+      (fun c ->
+        let c = List.sort_uniq compare c in
+        List.iter
+          (fun i ->
+            if i < 0 || i >= n then
+              invalid_arg "Symmetry: process index out of range";
+            if seen.(i) then invalid_arg "Symmetry: overlapping classes";
+            seen.(i) <- true)
+          c;
+        match c with [] | [ _ ] -> None | _ -> Some c)
+      classes
+  in
+  (* sort by first member so structurally equal declarations compare
+     equal whatever order the classes were listed in *)
+  let classes = List.sort compare classes in
+  { n; classes }
+
+let trivial ~n = { n; classes = [] }
+let of_classes ~n classes = normalize ~n classes
+let full ~n = normalize ~n [ List.init n Fun.id ]
+
+(* Ranks are 1-based (rank r = index r-1). [after_rank ~n r]: every
+   process of rank > r is interchangeable — the "all non-coordinator
+   participants" shape. *)
+let after_rank ~n r =
+  if r >= n then trivial ~n
+  else normalize ~n [ List.init (n - r) (fun i -> r + i) ]
+
+let interchangeable_after_coordinator ~n = after_rank ~n 1
+
+let rank_range ~n ~lo ~hi =
+  let lo = max lo 1 and hi = min hi n in
+  if hi - lo + 1 < 2 then trivial ~n
+  else normalize ~n [ List.init (hi - lo + 1) (fun i -> lo - 1 + i) ]
+
+let is_trivial t = t.classes = []
+let classes t = t.classes
+let size t = t.n
+
+(* Common refinement (partition meet): processes stay interchangeable
+   only if both declarations agree. Used to compose the commit
+   protocol's group with the co-hosted consensus automaton's. *)
+let meet a b =
+  if a.n <> b.n then invalid_arg "Symmetry.meet: size mismatch";
+  if is_trivial a || is_trivial b then trivial ~n:a.n
+  else
+    let cls_of spec =
+      let arr = Array.make spec.n (-1) in
+      List.iteri
+        (fun ci c -> List.iter (fun i -> arr.(i) <- ci) c)
+        spec.classes;
+      arr
+    in
+    let ca = cls_of a and cb = cls_of b in
+    let tbl = Hashtbl.create 8 in
+    for i = a.n - 1 downto 0 do
+      if ca.(i) >= 0 && cb.(i) >= 0 then
+        let k = (ca.(i), cb.(i)) in
+        Hashtbl.replace tbl k (i :: (Option.value (Hashtbl.find_opt tbl k) ~default:[]))
+    done;
+    normalize ~n:a.n (Hashtbl.fold (fun _ c acc -> c :: acc) tbl [])
+
+(* Split classes by an attribute of their members (the checker refines
+   by the per-process input vote: only equal-voting processes may be
+   swapped once the votes array is fixed). *)
+let refine t ~key =
+  let split c =
+    let tbl = Hashtbl.create 4 in
+    List.iter
+      (fun i ->
+        let k = key i in
+        Hashtbl.replace tbl k (i :: (Option.value (Hashtbl.find_opt tbl k) ~default:[])))
+      (List.rev c);
+    Hashtbl.fold (fun _ g acc -> g :: acc) tbl []
+  in
+  normalize ~n:t.n (List.concat_map split t.classes)
+
+let rec factorial k = if k <= 1 then 1 else k * factorial (k - 1)
+
+let order t =
+  List.fold_left (fun acc c -> acc * factorial (List.length c)) 1 t.classes
+
+(* Halve the largest class until the group order fits the cap: a
+   sub-partition is a subgroup, so capping only costs collapse. *)
+let rec cap_order ~cap t =
+  if order t <= cap then t
+  else
+    let largest =
+      List.fold_left
+        (fun acc c ->
+          if List.length c > List.length acc then c else acc)
+        [] t.classes
+    in
+    let rest = List.filter (fun c -> c != largest) t.classes in
+    let k = List.length largest / 2 in
+    let front = List.filteri (fun i _ -> i < k) largest in
+    let back = List.filteri (fun i _ -> i >= k) largest in
+    cap_order ~cap (normalize ~n:t.n (front :: back :: rest))
+
+(* All arrangements of a list, the unchanged list first. *)
+let arrangements l =
+  let rec ins x = function
+    | [] -> [ [ x ] ]
+    | y :: tl as all -> (x :: all) :: List.map (fun r -> y :: r) (ins x tl)
+  in
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: tl -> List.concat_map (ins x) (go tl)
+  in
+  match go l with
+  | first :: _ as all when first = l -> all
+  | all -> l :: List.filter (fun a -> a <> l) all
+
+let default_cap = 64
+
+(* The group's elements as mapping arrays [sigma]: [sigma.(i)] is the
+   index process [i] is renamed to; identity outside every class, and
+   the identity element is first. *)
+let perms ?(cap = default_cap) t =
+  let t = cap_order ~cap t in
+  let base = Array.init t.n Fun.id in
+  let sigmas =
+    List.fold_left
+      (fun acc c ->
+        let arrs = arrangements c in
+        List.concat_map
+          (fun sigma ->
+            List.map
+              (fun arr ->
+                let s = Array.copy sigma in
+                List.iteri (fun k m -> s.(m) <- List.nth arr k) c;
+                s)
+              arrs)
+          acc)
+      [ base ] t.classes
+  in
+  (* the fold keeps the first-arrangement (identity-on-class) element
+     first at every step, so the head is the identity *)
+  Array.of_list sigmas
+
+let inverse sigma =
+  let inv = Array.make (Array.length sigma) 0 in
+  Array.iteri (fun i j -> inv.(j) <- i) sigma;
+  inv
+
+(* Same-class index pairs: the transpositions the twin-pruning pass
+   tests a state against. *)
+let transpositions t =
+  List.concat_map
+    (fun c ->
+      let rec pairs = function
+        | [] -> []
+        | x :: tl -> List.map (fun y -> (x, y)) tl @ pairs tl
+      in
+      pairs c)
+    t.classes
+
+let pp ppf t =
+  if is_trivial t then Format.fprintf ppf "trivial"
+  else
+    Format.fprintf ppf "%a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+         (fun ppf c ->
+           Format.fprintf ppf "{%s}"
+             (String.concat "," (List.map string_of_int c))))
+      t.classes

@@ -1,0 +1,68 @@
+(** Process-permutation symmetry groups for the model checker.
+
+    A value of type {!t} partitions the pid indices [0..n-1] into classes
+    of behaviorally interchangeable processes; the induced group is the
+    direct product of the full symmetric groups on the classes. Protocol
+    modules declare their group through {!Proto.PROTOCOL.symmetry}; the
+    checker canonicalizes state fingerprints over it (orbit collapse) and
+    prunes permutation-twin transitions.
+
+    Correctness contract: processes may share a class only if their
+    handlers are identical up to consistently renaming every pid-valued
+    datum (and every rank-derived datum, e.g. Paxos ballot owners) by the
+    permutation. Declaring less symmetry than the protocol has merely
+    loses collapse; declaring more equates states with different futures
+    — the same kind of unsoundness as an under-hashed [hash_state]. *)
+
+type t
+
+val trivial : n:int -> t
+(** No two processes interchangeable (chain/ring protocols). *)
+
+val full : n:int -> t
+(** Every process interchangeable (rank-oblivious protocols). *)
+
+val after_rank : n:int -> int -> t
+(** [after_rank ~n r]: all processes of rank [> r] form one class.
+    [after_rank ~n 1] is the "everyone but the coordinator" shape. *)
+
+val interchangeable_after_coordinator : n:int -> t
+(** [after_rank ~n 1]. *)
+
+val rank_range : n:int -> lo:int -> hi:int -> t
+(** Processes of rank [lo..hi] (inclusive, clamped) form one class. *)
+
+val of_classes : n:int -> int list list -> t
+(** Explicit classes of process {e indices}. Raises [Invalid_argument]
+    on out-of-range or overlapping members; singletons are dropped. *)
+
+val meet : t -> t -> t
+(** Common refinement: interchangeable only where both agree (composing
+    the commit layer's group with the consensus layer's). *)
+
+val refine : t -> key:(int -> int) -> t
+(** Split every class by an attribute of its members (e.g. the input
+    vote): only members with equal [key] stay interchangeable. *)
+
+val is_trivial : t -> bool
+val classes : t -> int list list
+val size : t -> int
+
+val order : t -> int
+(** Number of group elements (product of class factorials). *)
+
+val perms : ?cap:int -> t -> int array array
+(** All group elements as renaming arrays — [sigma.(i)] is the index
+    process [i] maps to — with the identity first. If the group order
+    exceeds [cap] (default {!default_cap}), classes are halved until it
+    fits: a sub-partition is a subgroup, so the cap costs collapse, not
+    soundness. *)
+
+val default_cap : int
+
+val inverse : int array -> int array
+
+val transpositions : t -> (int * int) list
+(** All same-class index pairs (the candidate twin-pruning swaps). *)
+
+val pp : Format.formatter -> t -> unit

@@ -90,6 +90,16 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         (* recycle machine/context snapshot records across DFS nodes;
            observable behaviour (verdicts, counters, output bytes) is
            identical with the pool on and off *)
+    symmetry : bool;
+        (* canonicalize fingerprints under the machine's process-
+           permutation group (refined by the vote assignment), collapsing
+           orbit-equivalent states to one visited entry. Hashed backend
+           only: the marshal backend hashes raw bytes in which pids
+           escape the renaming, so it always runs with the trivial
+           group. *)
+    open_depth : int;
+        (* swarm mode: tree levels over which walkers descend through
+           already-claimed states (see [dfs_dpor]'s [?open_depth]) *)
   }
 
   (* ---- pending events -------------------------------------------- *)
@@ -161,6 +171,18 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
   let k_subset a b = List.for_all (fun k -> k_mem k b) a
   let k_inter a b = List.filter (fun k -> k_mem k b) a
 
+  (* Canonical facts of one in-flight message under the permutation being
+     tried (scratch rows of [fingerprint_sym]). The payload is covered by
+     its full digest under the renaming — intern ids cannot serve here,
+     because a payload and its renamed image intern separately. *)
+  type fp_sym_msg = {
+    fm_nom : int;  (* nominal slot; -1 once overtaken (slot never read again) *)
+    fm_src : int;  (* renamed source index *)
+    fm_dst : int;  (* renamed destination index *)
+    fm_d1 : int;
+    fm_d2 : int;
+  }
+
   (* ---- the execution context ------------------------------------- *)
 
   type ctx = {
@@ -177,6 +199,24 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
            structurally equal payload was ever sent in this context, so
            ids are consistent across all paths the context explores. *)
     fp_acc : Fingerprint.t;  (* reusable hashed-fingerprint accumulator *)
+    fp_pl : Fingerprint.t;  (* payload-digest accumulator (symmetry mode) *)
+    sym_perms : (int array * int array) array;
+        (* (sigma, sigma inverse) per candidate renaming of the vote-
+           refined group, identity first; [||] when canonicalization is
+           off, the backend is marshal, or the group is trivial *)
+    sym_digests : Fingerprint.digest array;
+        (* per-permutation digests of the last [fingerprint_sym] call *)
+    mutable sym_argmin : int;
+        (* index into [sym_perms] of the renaming that achieved the
+           minimal (canonical) digest on that call *)
+    sym_twins : (int * int * int) array;
+        (* transpositions present in [sym_perms], as (a, b, perm index)
+           with [a < b], sorted by (b, a): twin-pruning candidates *)
+    sym_pl_cache : (int, Fingerprint.digest) Hashtbl.t;
+        (* (pl_id * |perms| + perm index) -> payload digest: payloads are
+           interned for the context's lifetime, so the digest depends
+           only on the pair and is computed once *)
+    sc_sym_msgs : fp_sym_msg vec;
     mutable clock_t : Sim_time.t;
     mutable clock_k : int;
     mutable pending_msgs : pmsg list;  (* newest first (reverse creation) *)
@@ -239,6 +279,23 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
 
   let late_used ctx = ctx.late_count > 0
 
+  (* The vote-refined permutation group of a configuration. Processes
+     stay interchangeable only when the machine's declared group agrees
+     AND their input votes match: votes are not part of the fingerprint
+     (each visited table's scope is a single vote assignment), so a
+     renaming must fix the vote partition to be faithful. The marshal
+     backend hashes raw bytes in which pids escape the renaming, so it
+     always degrades to [None]. *)
+  let sym_group cfg =
+    if not (cfg.symmetry && cfg.fp = Mc_limits.Fp_hashed) then None
+    else
+      let g =
+        Symmetry.refine
+          (M.symmetry ~n:cfg.n ~f:cfg.f)
+          ~key:(fun i -> Vote.to_int cfg.votes.(i))
+      in
+      if Symmetry.is_trivial g then None else Some g
+
   let create_ctx cfg =
     let box_msgs = ref [] and box_self = ref [] and box_timers = ref [] in
     let sends_by = Array.make cfg.n 0 in
@@ -294,6 +351,34 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     let env_of pid =
       { Proto.n = cfg.n; f = cfg.f; u = cfg.u; self = pid }
     in
+    let sym_perms =
+      match sym_group cfg with
+      | None -> [||]
+      | Some g ->
+          Array.map (fun s -> (s, Symmetry.inverse s)) (Symmetry.perms g)
+    in
+    let sym_twins =
+      if Array.length sym_perms = 0 then [||]
+      else begin
+        let twins = ref [] in
+        Array.iteri
+          (fun pi (s, _) ->
+            if pi > 0 then begin
+              let moved = ref [] in
+              Array.iteri (fun i j -> if i <> j then moved := i :: !moved) s;
+              match !moved with
+              | [ b; a ] when s.(a) = b && s.(b) = a ->
+                  twins := (a, b, pi) :: !twins
+              | _ -> ()
+            end)
+          sym_perms;
+        Array.of_list
+          (List.sort
+             (fun (a1, b1, _) (a2, b2, _) ->
+               compare (b1, a1) (b2, a2))
+             !twins)
+      end
+    in
     {
       cfg;
       m = M.create ~pool:cfg.pool ~env_of ~n:cfg.n ~u:cfg.u ~sink ();
@@ -304,6 +389,16 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       creation;
       intern;
       fp_acc = Fingerprint.create ();
+      fp_pl = Fingerprint.create ();
+      sym_perms;
+      sym_digests =
+        Array.make
+          (max 1 (Array.length sym_perms))
+          { Fingerprint.d1 = 0; d2 = 0 };
+      sym_argmin = 0;
+      sym_twins;
+      sym_pl_cache = Hashtbl.create 256;
+      sc_sym_msgs = vec_make ();
       clock_t = Sim_time.zero;
       clock_k = 0;
       pending_msgs = [];
@@ -929,6 +1024,155 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     done;
     Fingerprint.digest h
 
+  (* ---- symmetry canonicalization ---------------------------------- *)
+
+  (* Digest of one payload under renaming [sigma], memoized per
+     (intern id, permutation). *)
+  let payload_digest ctx pi sigma payload pl_id =
+    let key = (pl_id * Array.length ctx.sym_perms) + pi in
+    match Hashtbl.find_opt ctx.sym_pl_cache key with
+    | Some d -> d
+    | None ->
+        let hp = ctx.fp_pl in
+        Fingerprint.reset hp;
+        Fingerprint.set_perm hp sigma;
+        M.hash_wire hp payload;
+        let d = Fingerprint.digest hp in
+        Hashtbl.add ctx.sym_pl_cache key d;
+        d
+
+  (* Both canonical sorts order rows by exactly the tuple that gets fed:
+     rows tying on every fed field are interchangeable contributions, so
+     the digest is input-order-independent whatever the tie order. *)
+  let fp_sym_msg_cmp a b =
+    let c = compare (a.fm_nom : int) b.fm_nom in
+    if c <> 0 then c
+    else
+      let c = compare (a.fm_src : int) b.fm_src in
+      if c <> 0 then c
+      else
+        let c = compare (a.fm_dst : int) b.fm_dst in
+        if c <> 0 then c
+        else
+          let c = compare (a.fm_d1 : int) b.fm_d1 in
+          if c <> 0 then c else compare (a.fm_d2 : int) b.fm_d2
+
+  (* Timers armed beyond the horizon never fire: their exact instant is
+     unobservable, so it is clamped to [horizon + 1] (collapsing the
+     consensus retry-cascade tails that differ only in dead deadlines). *)
+  let sym_timer_at ~h t = if t.t_at > h then h + 1 else t.t_at
+
+  let sym_timer_cmp ~h sigma a b =
+    let c = compare (sym_timer_at ~h a : int) (sym_timer_at ~h b) in
+    if c <> 0 then c
+    else
+      let c =
+        compare (sigma.(Pid.index a.t_pid) : int) sigma.(Pid.index b.t_pid)
+      in
+      if c <> 0 then c
+      else
+        let c = compare (layer_code a.t_layer) (layer_code b.t_layer) in
+        if c <> 0 then c else String.compare a.t_id b.t_id
+
+  let digest_lt (a : Fingerprint.digest) (b : Fingerprint.digest) =
+    a.Fingerprint.d1 < b.Fingerprint.d1
+    || (a.Fingerprint.d1 = b.Fingerprint.d1
+       && a.Fingerprint.d2 < b.Fingerprint.d2)
+
+  (* Orbit-minimization canonicalization: hash the state under every
+     renaming of the vote-refined group and keep the least digest, so all
+     states of one orbit collapse to a single visited-table entry. The
+     invariant making the minimum an orbit invariant is faithfulness —
+     [H_sigma(s) = H_id(sigma . s)] — which holds because canonical slot
+     [j] is fed with concrete process [inv.(j)] (the process that would
+     occupy rank [j] in the renamed state), every pid-valued datum routes
+     through the installed renaming, and the message/timer multisets are
+     re-sorted by their renamed keys.
+
+     On top of the renaming, three abstractions sound for forward
+     equivalence (symmetry mode only; the off path stays byte-stable):
+     a crashed process's internal state is skipped (nothing can read it
+     again — deliveries to it are filtered, its timers are stale, it
+     never executes; its decision and crash flag stay fed), an overtaken
+     message's nominal slot is dropped (the slot was already missed and
+     paid for; delivery eligibility depends only on the current clock),
+     and beyond-horizon timer instants are clamped. *)
+  let fingerprint_sym ctx =
+    let h = ctx.fp_acc in
+    let decs = M.decisions ctx.m in
+    let horizon = ctx.cfg.budgets.Mc_limits.horizon in
+    let np = Array.length ctx.sym_perms in
+    let best = ref 0 in
+    for pi = 0 to np - 1 do
+      let sigma, inv = ctx.sym_perms.(pi) in
+      Fingerprint.reset h;
+      Fingerprint.set_perm h sigma;
+      Fingerprint.add_int h ctx.clock_t;
+      Fingerprint.add_int h ctx.clock_k;
+      Fingerprint.add_bool h ctx.proposed;
+      Fingerprint.add_int h ctx.late_count;
+      Fingerprint.add_bool h ctx.someone_no;
+      Fingerprint.add_int h ctx.crashes_left;
+      for j = 0 to ctx.cfg.n - 1 do
+        let i = inv.(j) in
+        let p = Pid.of_index i in
+        let crashed = M.is_crashed ctx.m p in
+        Fingerprint.add_bool h crashed;
+        if not crashed then begin
+          M.hash_pstate ctx.m h p;
+          M.hash_cstate ctx.m h p;
+          Fingerprint.add_bool h (M.cons_handed ctx.m p)
+        end;
+        Fingerprint.add_int h
+          (match decs.(i) with
+          | None -> 0
+          | Some (_, Vote.Commit) -> 1
+          | Some (_, Vote.Abort) -> 2)
+      done;
+      let msgs = ctx.sc_sym_msgs in
+      vec_clear msgs;
+      List.iter
+        (fun mg ->
+          let d = payload_digest ctx pi sigma mg.payload mg.pl_id in
+          vec_push msgs
+            {
+              fm_nom = (if is_overtaken ctx mg then -1 else mg.nominal);
+              fm_src = sigma.(Pid.index mg.src);
+              fm_dst = sigma.(Pid.index mg.dst);
+              fm_d1 = d.Fingerprint.d1;
+              fm_d2 = d.Fingerprint.d2;
+            })
+        ctx.pending_msgs;
+      vec_sort fp_sym_msg_cmp msgs;
+      Fingerprint.add_int h msgs.vlen;
+      for i = 0 to msgs.vlen - 1 do
+        let fm = msgs.vbuf.(i) in
+        Fingerprint.add_int h fm.fm_nom;
+        Fingerprint.add_int h fm.fm_src;
+        Fingerprint.add_int h fm.fm_dst;
+        Fingerprint.add_int h fm.fm_d1;
+        Fingerprint.add_int h fm.fm_d2
+      done;
+      let timers = ctx.sc_fp_timers in
+      vec_clear timers;
+      List.iter (fun t -> vec_push timers t) ctx.pending_timers;
+      vec_sort (sym_timer_cmp ~h:horizon sigma) timers;
+      Fingerprint.add_int h timers.vlen;
+      for i = 0 to timers.vlen - 1 do
+        let t = timers.vbuf.(i) in
+        Fingerprint.add_int h (sym_timer_at ~h:horizon t);
+        Fingerprint.add_int h sigma.(Pid.index t.t_pid);
+        Fingerprint.add_int h (layer_code t.t_layer);
+        Fingerprint.add_string h t.t_id
+      done;
+      let d = Fingerprint.digest h in
+      ctx.sym_digests.(pi) <- d;
+      if pi > 0 && digest_lt d ctx.sym_digests.(!best) then best := pi
+    done;
+    Fingerprint.clear_perm h;
+    ctx.sym_argmin <- !best;
+    ctx.sym_digests.(!best)
+
   (* The historical backend, verbatim up to the digest representation:
      marshal everything, MD5 the bytes. Kept as the semantic reference
      the hashed backend is pinned against (CI compares mctable counters
@@ -976,8 +1220,162 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
 
   let fingerprint ctx =
     match ctx.cfg.fp with
-    | Mc_limits.Fp_hashed -> fingerprint_hashed ctx
+    | Mc_limits.Fp_hashed ->
+        if Array.length ctx.sym_perms = 0 then fingerprint_hashed ctx
+        else fingerprint_sym ctx
     | Mc_limits.Fp_marshal -> fingerprint_marshal ctx
+
+  (* ---- sleep keys in canonical coordinates ------------------------- *)
+
+  (* When a state is stored under a renamed representative, its sleep-set
+     keys are translated by the same renaming, so orbit-mates reached by
+     different paths compare their keys in one shared coordinate frame.
+     The uid send-ordinals survive translation exactly as they survive
+     commutation in the symmetry-off checker: a renaming maps "the k-th
+     send of process s" to "the k-th send of sigma(s)" in the renamed
+     run. When the argmin renaming is ambiguous (the state has a
+     non-trivial stabilizer), representatives may differ by a stabilizer
+     element — a permutation the 126-bit digest certifies as a state
+     self-symmetry — which is the same hash-trust approximation the
+     visited table already rests on. *)
+  let xlate_key sigma = function
+    | K_prop -> K_prop
+    | K_crash p -> K_crash sigma.(p)
+    | K_del ((s, k), d, at, c) -> K_del ((sigma.(s), k), sigma.(d), at, c)
+    | K_to (p, l, id, at) -> K_to (sigma.(p), l, id, at)
+
+  let xlate_keys ctx keys =
+    if ctx.sym_argmin = 0 || keys = [] then keys
+    else
+      let sigma, _ = ctx.sym_perms.(ctx.sym_argmin) in
+      List.map (xlate_key sigma) keys
+
+  (* ---- permutation-twin pruning ------------------------------------ *)
+
+  (* At a state that is invariant under a transposition [tau = (a b)] of
+     the group (certified by equal per-permutation digests from the last
+     [fingerprint_sym] call at this node), the subtree below a candidate
+     aimed at [b] is the [tau]-image of the subtree below its
+     [tau]-image candidate aimed at [a]: every schedule it contains, and
+     every violation (the checked properties are permutation-invariant),
+     has an image below the witness sibling. A [b]-candidate is dropped
+     only when its image witness really is explored at this node —
+     present among the candidates, not slept, not itself twin-dropped.
+     Three candidate kinds are eligible:
+
+     - [S_crash b] against witness [S_crash a]: the subtree image
+       depends on no per-message correspondence at all.
+     - [S_deliver] to [b] against the delivery to [a] of the image
+       message: the witness must agree on uid ordinal ("the k-th send of
+       [sigma src]"), execution slot, delivery class, lateness, nominal
+       slot and overtaken status, and its payload must hash equal under
+       the renaming — exactly the facts the canonical fingerprint reads
+       from an in-flight message, so the pair is an image pair at the
+       same hash-trust level the visited table rests on.
+     - [S_timeout] of [b] against [a]'s armed timer with the same layer,
+       id and instant — again the full fact set the fingerprint reads
+       from a timer.
+
+     Drops always cite a witness with a strictly smaller target index
+     ([a < b] in every stored twin), so witness chains (the witness of a
+     drop being itself dropped later, citing its own smaller-index
+     witness) are acyclic and compose: the subtree image then factors
+     through a composition of digest-certified invariances. Sleep sets
+     stay sound because the dropped candidate's behaviours are the
+     [tau]-image of the witness's, explored at this node; when the
+     witness subtree prunes a schedule through a sleep key inherited
+     from an earlier sibling, that sibling already covered the
+     schedule's image — the standard compositional argument of
+     sleep-set DPOR, composed with [tau]. *)
+  let twin_prune ctx (counters : Mc_limits.counters) sleep cands =
+    if Array.length ctx.sym_twins = 0 then cands
+    else begin
+      let id_d = ctx.sym_digests.(0) in
+      let live =
+        List.filter
+          (fun (_, _, pi) -> Fingerprint.equal ctx.sym_digests.(pi) id_d)
+          (Array.to_list ctx.sym_twins)
+      in
+      if live = [] then cands
+      else begin
+        let dropped = ref [] in
+        let is_dropped k = List.mem k !dropped in
+        (* a kept witness: a candidate satisfying the image predicate
+           whose own subtree is really explored at this node — not
+           slept, not itself dropped *)
+        let witness pred =
+          List.exists
+            (fun c ->
+              pred c
+              &&
+              let kc = key_of c in
+              (not (is_dropped kc)) && not (k_mem kc sleep))
+            cands
+        in
+        (* The image predicate matches on every fact the canonical
+           fingerprint reads from the event's object — and is blind to
+           the uid send ordinal, which no fingerprint (symmetry on or
+           off) ever hashes: "the 3rd send of p, to b" and "the 4th
+           send of p, to a" are image messages when slot, class,
+           lateness, nominal, overtaken status and renamed payload all
+           agree; the ordinal only names sleep keys along a path, and
+           sleep-set coverage is invariant under key renaming (the
+           independence relation reads dst/slot/class, never the
+           ordinal). *)
+        let image_of cand (a, b, pi) =
+          let sigma, _ = ctx.sym_perms.(pi) in
+          match cand with
+          | S_crash p when Pid.index p = b ->
+              Some (function S_crash q -> Pid.index q = a | _ -> false)
+          | S_deliver { msg = mb; at; klass; late } when Pid.index mb.dst = b
+            ->
+              let src_a = sigma.(fst mb.uid) in
+              let d_b = payload_digest ctx pi sigma mb.payload mb.pl_id in
+              let id_sigma, _ = ctx.sym_perms.(0) in
+              Some
+                (function
+                  | S_deliver { msg = ma; at = at'; klass = klass'; late = la }
+                    ->
+                      Pid.index ma.dst = a
+                      && fst ma.uid = src_a
+                      && at' = at && klass' = klass && la = late
+                      && ma.nominal = mb.nominal
+                      && is_overtaken ctx ma = is_overtaken ctx mb
+                      && Fingerprint.equal
+                           (payload_digest ctx 0 id_sigma ma.payload
+                              ma.pl_id)
+                           d_b
+                  | _ -> false)
+          | S_timeout t when Pid.index t.t_pid = b ->
+              Some
+                (function
+                  | S_timeout t' ->
+                      Pid.index t'.t_pid = a
+                      && t'.t_layer = t.t_layer
+                      && t'.t_id = t.t_id && t'.t_at = t.t_at
+                  | _ -> false)
+          | _ -> None
+        in
+        let keep cand =
+          let cut =
+            List.exists
+              (fun twin ->
+                match image_of cand twin with
+                | Some pred -> witness pred
+                | None -> false)
+              live
+          in
+          if cut then begin
+            dropped := key_of cand :: !dropped;
+            counters.Mc_limits.twin_skips <-
+              counters.Mc_limits.twin_skips + 1;
+            false
+          end
+          else true
+        in
+        List.filter keep cands
+      end
+    end
 
   (* ---- search ------------------------------------------------------ *)
 
@@ -1043,15 +1441,30 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
   let dfs_dpor ?(order = Fun.id) ?(open_depth = 0) ctx
       (counters : Mc_limits.counters) vt =
     let budgets = ctx.cfg.budgets in
+    let sym_on = Array.length ctx.sym_perms > 0 in
     let rec go ~sleep ~depth path_rev =
       let fp = fingerprint ctx in
+      if sym_on then begin
+        counters.canon_calls <- counters.canon_calls + 1;
+        if ctx.sym_argmin <> 0 then
+          counters.orbit_hits <- counters.orbit_hits + 1
+      end;
+      (* the table speaks canonical coordinates: stored keys were
+         translated by their node's argmin renaming, so this node's keys
+         are translated the same way for every table operation; the
+         candidate loop below keeps using the concrete [sleep] *)
+      let csleep = if sym_on then xlate_keys ctx sleep else sleep in
       let prior = vt.vt_find fp in
       match prior with
-      | Some stored when depth >= open_depth && k_subset stored sleep ->
+      | Some stored when depth >= open_depth && k_subset stored csleep ->
           counters.dedup_hits <- counters.dedup_hits + 1;
           counters.schedules <- counters.schedules + 1
       | _ -> (
-          match order (enumerate ctx) with
+          match
+            order
+              (if sym_on then twin_prune ctx counters sleep (enumerate ctx)
+               else enumerate ctx)
+          with
           | [] ->
               counters.schedules <- counters.schedules + 1;
               if ctx.pending_timers <> [] || ctx.pending_msgs <> [] then
@@ -1073,12 +1486,12 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
                 | None ->
                     if vt.vt_size () >= budgets.Mc_limits.max_states then
                       raise Out_of_states;
-                    if vt.vt_add fp sleep then begin
+                    if vt.vt_add fp csleep then begin
                       counters.states <- counters.states + 1;
                       counters.peak_visited <-
                         max counters.peak_visited (vt.vt_size ())
                     end
-                | Some stored -> vt.vt_store fp (k_inter stored sleep));
+                | Some stored -> vt.vt_store fp (k_inter stored csleep));
                 let snap = save ctx in
                 let sleep_now = ref sleep in
                 List.iter
@@ -1204,6 +1617,33 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       end
     in
     grow [ [] ] 0 1
+
+  (* Frontier-item orbit dedup (symmetry mode): two prefixes landing on
+     orbit-equivalent states explore permutation-isomorphic subtrees, and
+     in the per-item visited discipline each would pay for its subtree in
+     full. Keeping one representative per canonical root keeps coverage —
+     any violation below a dropped item has a permutation-image below the
+     kept one — while cutting that duplication. Prefixes that already
+     violate are always kept (they carry their witness). *)
+  let dedup_frontier cfg prefixes =
+    match prefixes with
+    | [] | [ _ ] -> prefixes
+    | _ when Option.is_none (sym_group cfg) -> prefixes
+    | _ ->
+        let seen = Hashtbl.create 64 in
+        List.filter
+          (fun prefix ->
+            let ctx = create_ctx cfg in
+            match replay_prefix ctx prefix with
+            | Some _ -> true
+            | None ->
+                let fp = fingerprint ctx in
+                if Hashtbl.mem seen fp then false
+                else begin
+                  Hashtbl.add seen fp ();
+                  true
+                end)
+          prefixes
 
   (* ---- shrinking and concretization -------------------------------- *)
 
@@ -1457,6 +1897,17 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     budgets : Mc_limits.budgets;
     fp : Mc_limits.fp_backend;
     pool : bool;  (** recycle snapshot records across DFS nodes *)
+    symmetry : bool;
+        (** canonicalize fingerprints under the protocol's declared
+            process-permutation group, prune permutation-twin crash
+            candidates and orbit-duplicate frontier items. Verdicts are
+            unaffected; the states/transitions/schedules counters shrink
+            by the orbit collapse. Ignored (off) under [Fp_marshal]. *)
+    swarm_open_depth : int option;
+        (** tree levels a swarm walker explores through already-claimed
+            states before the visited cut engages ([None]:
+            {!default_swarm_open_depth}; clamped by
+            {!clamp_open_depth}) *)
     jobs : int option;
     naive : bool;  (** also compute the naive schedule count (2nd pass) *)
     visited : Mc_limits.visited_mode;
@@ -1482,6 +1933,10 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     naive : float option;
     naive_partial : bool;
     violation : Mc_replay.violation option;
+    shard_load : (int * int) option;
+        (* (occupied, buckets) of the fullest shared visited table, when
+           a shared-table mode ran — the occupancy [mc --stats] reports;
+           [None] in per-item mode *)
   }
 
   type item_result = {
@@ -1522,7 +1977,12 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
      root has a single [S_proposals] child in the crash-free classes)
      and diverge into disjoint deep subtrees; shallow enough that the
      duplicated transitions stay a small fraction of the space. *)
-  let swarm_open_depth = 6
+  let default_swarm_open_depth = 6
+
+  (* Useful open depths end well before the frontier/split machinery's
+     own depth bounds; past 32 the duplicated shallow transitions could
+     only explode (branching^depth), so the CLI knob is clamped there. *)
+  let clamp_open_depth d = max 0 (min d 32)
 
   let explore_item wi =
     let counters = Mc_limits.fresh_counters () in
@@ -1545,7 +2005,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
                let rng = Rng.create seed in
                dfs_dpor
                  ~order:(fun cands -> Rng.shuffle rng cands)
-                 ~open_depth:swarm_open_depth ctx counters vt)
+                 ~open_depth:wi.wi_cfg.open_depth ctx counters vt)
      with
     | Found (prop, detail, sub) ->
         violation := Some (prop, detail, wi.wi_prefix @ sub)
@@ -1635,13 +2095,21 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         budgets = p.budgets;
         fp = p.fp;
         pool = p.pool;
+        symmetry = p.symmetry;
+        open_depth =
+          (match p.swarm_open_depth with
+          | Some d -> clamp_open_depth d
+          | None -> default_swarm_open_depth);
       }
     in
+    let tables = ref [] in
     let shared_table () =
-      (* sized from the full budget: the lock-free bucket array is fixed
-         for the table's lifetime, so the capacity hint is what keeps
-         chains short near the budget ceiling *)
-      Mc_shards.create ~capacity:p.budgets.Mc_limits.max_states ()
+      (* sized from the full budget: the index space is fixed for the
+         table's lifetime (segments commit lazily), so the capacity hint
+         is what keeps chains short near the budget ceiling *)
+      let t = Mc_shards.create ~capacity:p.budgets.Mc_limits.max_states () in
+      tables := t :: !tables;
+      t
     in
     let items =
       if swarm_on then
@@ -1680,7 +2148,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
                   wi_shared = shared;
                   wi_seed = None;
                 })
-              (frontier cfg))
+              (dedup_frontier cfg (frontier cfg)))
           p.vote_sets
     in
     let results =
@@ -1714,10 +2182,12 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     let naive, naive_partial =
       if p.naive && violation = None then begin
         (* the naive count enumerates each vote set's space exactly once,
-           so in swarm mode (one item per walker) it runs over the static
-           frontier decomposition instead of the walker items *)
+           so it always runs over the static, undeduplicated frontier
+           decomposition: swarm items (one per walker) would multi-count
+           it, and symmetry-deduplicated items would undercount it — the
+           naive number rates the space, not the reduction *)
         let count_items =
-          if swarm_on then
+          if swarm_on || (p.symmetry && p.fp = Mc_limits.Fp_hashed) then
             List.concat_map
               (fun votes ->
                 let cfg = mk_cfg votes in
@@ -1739,7 +2209,16 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       end
       else (None, false)
     in
-    { counters; naive; naive_partial; violation }
+    let shard_load =
+      List.fold_left
+        (fun acc t ->
+          let occ = Mc_shards.size t in
+          match acc with
+          | Some (o, _) when o >= occ -> acc
+          | _ -> Some (occ, Mc_shards.buckets t))
+        None !tables
+    in
+    { counters; naive; naive_partial; violation; shard_load }
 
   (* ---- the canonical synchronous schedule --------------------------- *)
 
@@ -1764,6 +2243,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         budgets = Mc_limits.default_budgets ~u;
         fp = Mc_limits.default_fp;
         pool = true;
+        symmetry = false;
+        open_depth = default_swarm_open_depth;
       }
     in
     let ctx = create_ctx cfg in

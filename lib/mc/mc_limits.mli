@@ -31,6 +31,13 @@ val default_fp : fp_backend
 val fp_backend_of_string : string -> fp_backend option
 val fp_backend_to_string : fp_backend -> string
 
+val default_symmetry : bool
+(** Whether the checker canonicalizes fingerprints under the protocol's
+    declared process-permutation group ({!Proto.PROTOCOL.symmetry}) by
+    default. Only meaningful with {!Fp_hashed}: the marshal backend
+    hashes raw bytes in which pids escape the renaming, so callers force
+    symmetry off there. *)
+
 type visited_mode =
   | Per_item
       (** every frontier item dedups within its own visited table: a
@@ -66,6 +73,17 @@ type counters = {
           with [max], not [+]). Deliberately absent from {!pp_counters}
           so the [mctable] artifact stays byte-stable across backends
           and job counts. *)
+  mutable canon_calls : int;
+      (** fingerprints computed with a non-trivial permutation group
+          installed (zero exactly when symmetry reduction was off or the
+          group collapsed to trivial) *)
+  mutable orbit_hits : int;
+      (** canonicalizations whose minimal digest was achieved by a
+          non-identity permutation: states stored under a renamed
+          representative (the orbit-collapse evidence) *)
+  mutable twin_skips : int;
+      (** candidate transitions dropped because they are the
+          permutation-image of a sibling at a symmetric state *)
 }
 
 val fresh_counters : unit -> counters
@@ -76,3 +94,6 @@ val exhausted : counters -> bool
     truncation; horizon cuts are part of the bound, not a truncation). *)
 
 val pp_counters : Format.formatter -> counters -> unit
+(** Prints the historical counter line; a symmetry suffix (orbit hits,
+    twin skips) is appended only when [canon_calls > 0], so symmetry-off
+    output is byte-identical to the pre-symmetry format. *)

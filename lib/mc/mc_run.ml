@@ -40,14 +40,17 @@ type outcome = {
   violation : Mc_replay.violation option;
   replay_verified : bool option;
       (** engine confirmation of the counterexample; [None] when clean *)
+  shard_load : (int * int) option;
+      (** (occupied, buckets) of the fullest shared visited table, when
+          one ran; [None] in per-item mode *)
 }
 
 let clean o = o.violation = None
 
 let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets
-    ?(fp = Mc_limits.default_fp) ?(pool = true) ?jobs ?(naive = false)
-    ?(visited = Mc_limits.default_visited) ?(stealing = true) ?swarm ~protocol
-    ~n ~f ~klass () =
+    ?(fp = Mc_limits.default_fp) ?(pool = true) ?symmetry ?swarm_open_depth
+    ?jobs ?(naive = false) ?(visited = Mc_limits.default_visited)
+    ?(stealing = true) ?swarm ~protocol ~n ~f ~klass () =
   let reg = Registry.find_exn protocol in
   let module P = (val reg.Registry.proto) in
   let module C =
@@ -63,6 +66,14 @@ let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets
   (* forced swarm dedups through the shared table whatever the caller's
      [?visited] said; reporting [Shared] keeps the counter caveat honest *)
   let visited = if swarm = Some true then Mc_limits.Shared else visited in
+  (* symmetry canonicalization needs the renaming-aware hashed backend;
+     under marshal it silently stays off rather than failing the run *)
+  let symmetry =
+    (match symmetry with
+    | Some b -> b
+    | None -> Mc_limits.default_symmetry)
+    && fp = Mc_limits.Fp_hashed
+  in
   let allow_crashes, allow_late = flags_of_class klass in
   let r =
     E.run
@@ -75,6 +86,8 @@ let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets
         budgets;
         fp;
         pool;
+        symmetry;
+        swarm_open_depth;
         jobs;
         naive;
         visited;
@@ -100,6 +113,7 @@ let run ?(consensus = Registry.Paxos) ?u ?vote_sets ?budgets
     naive_partial = r.E.naive_partial;
     violation = r.E.violation;
     replay_verified;
+    shard_load = r.E.shard_load;
   }
 
 type canonical = {
@@ -131,7 +145,7 @@ let canonical ?(consensus = Registry.Paxos) ~protocol ~n ~f ?u () =
    either backend. Benchmarks time the closure; context preparation
    stays outside the measured region. *)
 let fingerprint_sampler ?(consensus = Registry.Paxos) ?u
-    ?(prefix_steps = 6) ~protocol ~n ~f ~klass () =
+    ?(prefix_steps = 6) ?(symmetry = false) ~protocol ~n ~f ~klass () =
   let reg = Registry.find_exn protocol in
   let module P = (val reg.Registry.proto) in
   let module C =
@@ -151,6 +165,8 @@ let fingerprint_sampler ?(consensus = Registry.Paxos) ?u
       budgets = Mc_limits.default_budgets ~u;
       fp = Mc_limits.default_fp;
       pool = true;
+      symmetry;
+      open_depth = E.default_swarm_open_depth;
     }
   in
   let ctx = E.create_ctx cfg in
@@ -165,8 +181,12 @@ let fingerprint_sampler ?(consensus = Registry.Paxos) ?u
   fun backend calls ->
     match (backend : Mc_limits.fp_backend) with
     | Mc_limits.Fp_hashed ->
+        (* [E.fingerprint] dispatches on the context: with [~symmetry]
+           and a non-trivial group this times the full canonicalization
+           (all renamings + orbit minimum), otherwise the plain single
+           hash — the pair is the bench's canonicalization ns/call *)
         for _ = 1 to calls do
-          ignore (E.fingerprint_hashed ctx)
+          ignore (E.fingerprint ctx)
         done
     | Mc_limits.Fp_marshal ->
         for _ = 1 to calls do

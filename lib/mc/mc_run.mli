@@ -29,6 +29,10 @@ type outcome = {
   replay_verified : bool option;
       (** [Some true] iff the engine reproduces the violation from the
           concrete witness scenario; [None] when the space is clean *)
+  shard_load : (int * int) option;
+      (** (occupied, buckets) of the fullest {!Mc_shards} table, when a
+          shared-visited or swarm mode ran — the occupancy line of
+          [mc --stats]; [None] in the default per-item mode *)
 }
 
 val clean : outcome -> bool
@@ -40,6 +44,8 @@ val run :
   ?budgets:Mc_limits.budgets ->
   ?fp:Mc_limits.fp_backend ->
   ?pool:bool ->
+  ?symmetry:bool ->
+  ?swarm_open_depth:int ->
   ?jobs:int ->
   ?naive:bool ->
   ?visited:Mc_limits.visited_mode ->
@@ -73,6 +79,20 @@ val run :
     [~pool] (default [true]) recycles snapshot records across DFS nodes
     (strictly per-domain; see {!Machine.S.release}); it changes
     allocation only, never verdicts, counters or output bytes.
+
+    [~symmetry] (default {!Mc_limits.default_symmetry}) canonicalizes
+    fingerprints under the protocol's declared process-permutation group
+    ({!Proto.PROTOCOL.symmetry}, vote-refined), prunes permutation-twin
+    crash candidates and orbit-duplicate frontier items. Verdicts are
+    unaffected (a violation below a pruned branch has a permutation
+    image below a kept one); the counters shrink by the orbit collapse.
+    Forced off under [~fp:Fp_marshal], whose raw-byte hashing cannot
+    honor a renaming.
+
+    [~swarm_open_depth] overrides how many tree levels a swarm walker
+    explores through already-claimed states (default
+    [Mc_explore.Make().default_swarm_open_depth = 6]; clamped to
+    [0..32]). Only swarm-mode walkers read it.
     @raise Not_found on unknown protocol names. *)
 
 type canonical = {
@@ -96,6 +116,7 @@ val fingerprint_sampler :
   ?consensus:Registry.consensus_impl ->
   ?u:Sim_time.t ->
   ?prefix_steps:int ->
+  ?symmetry:bool ->
   protocol:string ->
   n:int ->
   f:int ->
@@ -108,7 +129,10 @@ val fingerprint_sampler :
     fingerprint [calls] times with the chosen backend. For isolating the
     per-call fingerprint cost from the rest of the exploration loop
     (context preparation happens before [probe] is returned, so callers
-    time only the fingerprint work). *)
+    time only the fingerprint work). With [~symmetry:true] the hashed
+    backend times the full canonicalization — every group renaming plus
+    the orbit minimum — so the delta against the default sampler is the
+    per-call cost of symmetry reduction. *)
 
 val verdict_string : outcome -> string
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -3,26 +3,37 @@
    against the same table, so a state reachable from several schedule
    prefixes (or several swarm walks) is explored once globally.
 
-   The table is a fixed array of lock-free buckets. Each bucket is an
-   [Atomic.t] holding an immutable cons-list of nodes; insertion CAS-
-   publishes a new head, so a reader either sees the fully initialised
-   node or the previous head — never a partially built one (Atomic
-   operations are sequentially consistent publication points in the
-   OCaml 5 memory model). There are no mutexes anywhere: the dedup hot
-   path costs one atomic load plus a short scan, and racing inserts of
-   different keys that collide in a bucket only retry the CAS.
+   The table is a fixed index space of lock-free buckets, physically
+   laid out as lazily allocated segments. Each bucket is an [Atomic.t]
+   holding an immutable cons-list of nodes; insertion CAS-publishes a
+   new head, so a reader either sees the fully initialised node or the
+   previous head — never a partially built one (Atomic operations are
+   sequentially consistent publication points in the OCaml 5 memory
+   model). There are no mutexes anywhere: the dedup hot path costs one
+   atomic load plus a short scan, and racing inserts of different keys
+   that collide in a bucket only retry the CAS.
 
    Bucket indices key on the top bits of the digest's first lane. The
    lane is an FNV-1a product (see {!Fingerprint}), so its high bits are
    as mixed as its low bits; with the bucket count sized from the
    caller's capacity hint the expected chain length stays near one.
 
-   Earlier revisions guarded 2^6 shard hashtables with per-shard mutexes
-   and bumped a separate [Atomic] counter *after* releasing the shard
-   lock — so the dedup path paid two lock acquisitions per state
-   ([find_opt] then [insert]) and a concurrent [size] read could
-   transiently under-report a key that [find_opt] already returned.
-   Here [find_or_insert] is a single probe, and the counter is bumped
+   Earlier revisions allocated the whole bucket array eagerly and capped
+   it at [2^16] — cheap to create, but at the n=5 state budgets (millions
+   of states per vote-set group) every bucket carried a 15+-node chain
+   and the dedup probe degraded to a linked-list walk. Here the index
+   space is sized from [capacity / 8] up to [2^21] buckets, but memory
+   is committed one segment (up to [2^12] buckets) at a time, on first
+   touch: creation allocates only the segment-pointer spine (at most 512
+   words), an exploration that stays far below its budget ceiling only
+   materialises the segments its digests actually hit, and a run that
+   does approach the ceiling gets chains of ~8 instead of hundreds.
+   Segments are published with a CAS on the spine slot, so a losing
+   allocator simply adopts the winner's segment — the index space itself
+   never moves, which is what keeps the buckets lock-free (no resize
+   epoch, no migration).
+
+   [find_or_insert] is a single probe, and the size counter is bumped
    between the winning CAS and the insert's return: by the time any
    caller learns its insert was fresh, the insert is counted, and the
    counter is never decremented, so observed sizes are monotone. *)
@@ -37,24 +48,32 @@ type 'a node = {
 }
 
 type 'a t = {
-  buckets : 'a node option Atomic.t array;
-  mask : int;
+  segments : 'a node option Atomic.t array option Atomic.t array;
+      (* the spine: slot [s] holds segment [s] once some domain touched
+         a bucket inside it *)
+  seg_bits : int;  (* buckets per segment = [2^seg_bits] *)
+  seg_mask : int;
+  mask : int;  (* total index space - 1 *)
   shift : int;
   total : int Atomic.t;
 }
 
 let default_bits = 6
 
-(* Bucket count: at least [2^bits], grown toward an eighth of the
+(* Index space: at least [2^bits], grown toward an eighth of the
    capacity hint (chains of ~8 at a full budget are still a short scan
-   over immutable cons cells), capped so a huge [--max-states] budget
-   cannot demand a multi-megabyte empty array up front — table creation
-   sits on the per-vote-set setup path, and a typical exploration stays
-   far below its budget ceiling. *)
-let max_bucket_bits = 16
+   over immutable cons cells), capped at [2^21] — two million buckets
+   cover the n=5 vote-set-group budgets with short chains, and the lazy
+   segments mean the cap costs nothing until the digests arrive. *)
+let max_bucket_bits = 21
+
+(* Buckets per segment: 2^12 atomics (~32 KiB per segment) keeps the
+   first-touch allocation small while bounding the spine length. *)
+let segment_bits = 12
 
 let create ?(bits = default_bits) ~capacity () =
-  if bits < 0 || bits > 16 then invalid_arg "Mc_shards.create: bits";
+  if bits < 0 || bits > max_bucket_bits then
+    invalid_arg "Mc_shards.create: bits";
   let want =
     max (1 lsl bits) (min ((capacity + 7) / 8) (1 lsl max_bucket_bits))
   in
@@ -63,13 +82,43 @@ let create ?(bits = default_bits) ~capacity () =
     incr b
   done;
   let n = 1 lsl !b in
+  let sb = min segment_bits !b in
   {
-    buckets = Array.init n (fun _ -> Atomic.make None);
+    segments = Array.init (n lsr sb) (fun _ -> Atomic.make None);
+    seg_bits = sb;
+    seg_mask = (1 lsl sb) - 1;
     mask = n - 1;
     (* digest lanes carry 63 significant bits (see Fingerprint) *)
     shift = 63 - !b;
     total = Atomic.make 0;
   }
+
+let buckets t = t.mask + 1
+
+let segments_allocated t =
+  Array.fold_left
+    (fun acc s -> if Atomic.get s = None then acc else acc + 1)
+    0 t.segments
+
+(* The bucket cell behind a global index, materialising its segment on
+   first touch. The fresh segment is fully initialised before the CAS
+   publishes it, and the CAS is an SC publication point, so any domain
+   that reads [Some seg] sees initialised atomics. A losing allocator
+   drops its array and adopts the winner's — the transient garbage is
+   one short-lived 2^12 array per race, and races happen at most once
+   per segment lifetime. *)
+let cell t idx =
+  let slot = t.segments.(idx lsr t.seg_bits) in
+  match Atomic.get slot with
+  | Some seg -> seg.(idx land t.seg_mask)
+  | None -> (
+      let fresh = Array.init (t.seg_mask + 1) (fun _ -> Atomic.make None) in
+      if Atomic.compare_and_set slot None (Some fresh) then
+        fresh.(idx land t.seg_mask)
+      else
+        match Atomic.get slot with
+        | Some seg -> seg.(idx land t.seg_mask)
+        | None -> assert false (* spine slots are never cleared *))
 
 let bucket_of t (d : Fingerprint.digest) = (d.d1 lsr t.shift) land t.mask
 
@@ -78,17 +127,19 @@ let rec scan key = function
   | Some n -> if Fingerprint.equal n.nk key then Some n else scan key n.next
 
 let find_opt t key =
-  match scan key (Atomic.get t.buckets.(bucket_of t key)) with
+  match scan key (Atomic.get (cell t (bucket_of t key))) with
   | Some n -> Some n.nv
   | None -> None
 
 let rec find_or_insert t key v =
-  let cell = t.buckets.(bucket_of t key) in
+  let cell = cell t (bucket_of t key) in
   let head = Atomic.get cell in
   match scan key head with
   | Some n -> Some n.nv
   | None ->
-      if Atomic.compare_and_set cell head (Some { nk = key; nv = v; next = head })
+      if
+        Atomic.compare_and_set cell head
+          (Some { nk = key; nv = v; next = head })
       then begin
         (* counted before the caller learns the insert was fresh: a
            [size] read ordered after this call includes the key *)
@@ -105,13 +156,13 @@ let insert t key v =
   | None -> true
   | Some _ ->
       (* existing binding: overwrite in place, as documented *)
-      (match scan key (Atomic.get t.buckets.(bucket_of t key)) with
+      (match scan key (Atomic.get (cell t (bucket_of t key))) with
       | Some n -> n.nv <- v
       | None -> assert false (* nodes are never removed *));
       false
 
 let update t key v =
-  match scan key (Atomic.get t.buckets.(bucket_of t key)) with
+  match scan key (Atomic.get (cell t (bucket_of t key))) with
   | Some n -> n.nv <- v
   | None -> ignore (find_or_insert t key v)
 

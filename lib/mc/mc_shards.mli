@@ -24,11 +24,25 @@ type 'a t
 val create : ?bits:int -> capacity:int -> unit -> 'a t
 (** [create ?bits ~capacity ()] makes a table of at least [2^bits]
     buckets (default [2^6]), grown toward [capacity / 8] buckets (capped
-    at [2^16]) so chains stay short at the caller's anticipated
-    occupancy without paying for a huge empty array when [capacity] is
-    only a generous budget ceiling. The bucket array is fixed for the
-    table's lifetime: chains absorb any overflow.
-    @raise Invalid_argument if [bits] is outside [0..16]. *)
+    at [2^21]) so chains stay short at the caller's anticipated
+    occupancy. Bucket memory is committed lazily, one segment (up to
+    [2^12] buckets, CAS-published on first touch) at a time: creation
+    allocates only the segment-pointer spine, so a generous budget
+    ceiling costs nothing until digests actually land in a segment —
+    which is what lets the n=5 budgets size the index space honestly
+    instead of degrading into long chains under a hard [2^16] cap. The
+    index space is fixed for the table's lifetime (no resize epochs);
+    chains absorb any overflow past the sizing heuristic.
+    @raise Invalid_argument if [bits] is outside [0..21]. *)
+
+val buckets : 'a t -> int
+(** Size of the bucket index space (allocated lazily; see {!create}).
+    [float (size t) /. float (buckets t)] is the load factor the
+    [mc --stats] occupancy line reports. *)
+
+val segments_allocated : 'a t -> int
+(** How many segments have been materialised by actual insertions — the
+    committed fraction of the index space. *)
 
 val find_opt : 'a t -> Fingerprint.digest -> 'a option
 (** Lock-free read: one atomic load plus a chain scan. *)

@@ -179,3 +179,20 @@ let hash_state =
       fp_pids h s.collection_b;
       fp_bool h s.noop;
       fp_int h s.phase0)
+
+let hash_msg =
+  let open Proto_util in
+  Some
+    (fun h m ->
+      match m with
+      | Chain v ->
+          fp_int h 0;
+          fp_vote h v
+      | V0 -> fp_int h 1
+      | B0 -> fp_int h 2
+      | Ack_v -> fp_int h 3
+      | Ack_b -> fp_int h 4)
+
+(* The chain overlay is rank-determined: no two processes are
+   interchangeable. *)
+let symmetry ~n ~f:_ = Symmetry.trivial ~n

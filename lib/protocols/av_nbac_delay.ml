@@ -39,4 +39,11 @@ let hash_state =
     (fun h s ->
       fp_bool h s.decided;
       fp_vote h s.decision;
-      fp_pids h s.heard_from)
+      fp_pid_set h s.heard_from)
+
+let hash_msg =
+  let open Proto_util in
+  Some (fun h (V v) -> fp_vote h v)
+
+(* Rank-oblivious: every process broadcasts and collects identically. *)
+let symmetry ~n ~f:_ = Symmetry.full ~n

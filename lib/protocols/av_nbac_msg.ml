@@ -74,5 +74,20 @@ let hash_state =
     (fun h s ->
       fp_vote h s.votes;
       fp_bool h s.received;
-      fp_pids h s.collection;
+      fp_pid_set h s.collection;
       fp_bool h s.decided)
+
+let hash_msg =
+  let open Proto_util in
+  Some
+    (fun h m ->
+      match m with
+      | V v ->
+          fp_int h 0;
+          fp_vote h v
+      | B b ->
+          fp_int h 1;
+          fp_vote h b)
+
+(* [Pn] is the hub; the spokes run identical code. *)
+let symmetry ~n ~f:_ = Symmetry.rank_range ~n ~lo:1 ~hi:(n - 1)

@@ -42,3 +42,8 @@ let hash_state =
       fp_vote h s.vote;
       fp_bool h s.saw_zero;
       fp_bool h s.decided)
+
+let hash_msg = Some (fun (_ : Fingerprint.t) Zero -> ())
+
+(* Rank-oblivious: zeroes are broadcast, never attributed. *)
+let symmetry ~n ~f:_ = Symmetry.full ~n

@@ -121,3 +121,10 @@ let hash_state =
       fp_bool h s.delivered;
       fp_bool h s.relayed;
       fp_int h s.phase)
+
+let hash_msg =
+  let open Proto_util in
+  Some (fun h (Chain v) -> fp_vote h v)
+
+(* The relay order is rank-determined: no two processes are interchangeable. *)
+let symmetry ~n ~f:_ = Symmetry.trivial ~n

@@ -221,3 +221,25 @@ let hash_state =
       fp_bool h s.decided;
       fp_bool h s.proposed;
       fp_pids h s.pending_help)
+
+let hash_msg =
+  let open Proto_util in
+  Some
+    (fun h m ->
+      match m with
+      | V v ->
+          fp_int h 0;
+          fp_vote h v
+      | B b ->
+          fp_int h 1;
+          fp_vote h b
+      | Z z ->
+          fp_int h 2;
+          fp_vote h z
+      | Help -> fp_int h 3
+      | Helped v ->
+          fp_int h 4;
+          fp_vote h v)
+
+(* Chain + ring + backup roles are all rank-determined. *)
+let symmetry ~n ~f:_ = Symmetry.trivial ~n

@@ -119,3 +119,28 @@ let hash_state =
       fp_vset h s.acceptor_coll;
       fp_assoc_vsets h s.reports;
       fp_assoc_vsets h s.replies)
+
+let hash_msg =
+  let open Proto_util in
+  Some
+    (fun h m ->
+      match m with
+      | Prepared v ->
+          fp_int h 0;
+          fp_vote h v
+      | Report coll ->
+          fp_int h 1;
+          fp_vset h coll
+      | Query -> fp_int h 2
+      | Report2 coll ->
+          fp_int h 3;
+          fp_vset h coll)
+
+(* Leaderless: the [f+1] acceptors are interchangeable among themselves,
+   as are the remaining resource managers. *)
+let symmetry ~n ~f =
+  Symmetry.of_classes ~n
+    [
+      List.init (min (f + 1) n) (fun i -> i);
+      List.init (max 0 (n - f - 1)) (fun i -> i + f + 1);
+    ]

@@ -371,6 +371,40 @@ module Make (Cfg : CONFIG) = struct
         fp_int h s.cnt_help;
         fp_opt fp_vset h s.sent_ack;
         fp_pids h s.pending_help)
+
+  let hash_msg =
+    let open Proto_util in
+    Some
+      (fun h m ->
+        match m with
+        | V v ->
+            fp_int h 0;
+            fp_vote h v
+        | C coll ->
+            fp_int h 1;
+            fp_vset h coll
+        | Help -> fp_int h 2
+        | Helped coll ->
+            fp_int h 3;
+            fp_vset h coll)
+
+  (* [P1..Pf] are the backups and [P_{f+2}..Pn] plain participants;
+     [P_{f+1}] plays a reconstructed partial-backup role of its own. The
+     undershoot witness stops awaiting [P_f]'s acknowledgement, which
+     singles [P_f] out of the backup class (and, combined with naive
+     backups, the dropped requirement varies per rank, so no two backups
+     stay interchangeable). *)
+  let symmetry ~n ~f =
+    let low =
+      if Cfg.ack_undershoot && Cfg.naive_backups then 0
+      else if Cfg.ack_undershoot then f - 1
+      else f
+    in
+    Symmetry.of_classes ~n
+      [
+        List.init (max 0 (min low n)) (fun i -> i);
+        List.init (max 0 (n - f - 1)) (fun i -> i + f + 1);
+      ]
 end
 
 include Make (struct

@@ -43,3 +43,10 @@ let hash_state =
       fp_int h s.yes_votes;
       fp_int h s.heard;
       fp_bool h s.decided)
+
+let hash_msg =
+  let open Proto_util in
+  Some (fun h (V v) -> fp_vote h v)
+
+(* Rank-oblivious: votes are counted, never attributed. *)
+let symmetry ~n ~f:_ = Symmetry.full ~n

@@ -83,5 +83,20 @@ let hash_state =
       fp_bool h s.proposed;
       fp_bool h s.decided;
       fp_vote h s.decision;
-      fp_pids h s.collection0;
-      fp_pids h s.collection1)
+      fp_pid_set h s.collection0;
+      fp_pid_set h s.collection1)
+
+let hash_msg =
+  let open Proto_util in
+  Some
+    (fun h m ->
+      match m with
+      | V v ->
+          fp_int h 0;
+          fp_vote h v
+      | D d ->
+          fp_int h 1;
+          fp_vote h d)
+
+(* Rank-oblivious: every process broadcasts and collects identically. *)
+let symmetry ~n ~f:_ = Symmetry.full ~n

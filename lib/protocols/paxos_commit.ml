@@ -142,3 +142,31 @@ let hash_state =
       fp_vset h s.acceptor_coll;
       fp_assoc_vsets h s.reports;
       fp_assoc_vsets h s.replies)
+
+let hash_msg =
+  let open Proto_util in
+  Some
+    (fun h m ->
+      match m with
+      | Prepared v ->
+          fp_int h 0;
+          fp_vote h v
+      | Report coll ->
+          fp_int h 1;
+          fp_vset h coll
+      | Outcome d ->
+          fp_int h 2;
+          fp_decision h d
+      | Query -> fp_int h 3
+      | Report2 coll ->
+          fp_int h 4;
+          fp_vset h coll)
+
+(* [P1] is both leader and acceptor; [P2..P_{f+1}] are the other
+   acceptors; the remaining resource managers only vote and query. *)
+let symmetry ~n ~f =
+  Symmetry.of_classes ~n
+    [
+      List.init (min f (n - 1)) (fun i -> i + 1);
+      List.init (max 0 (n - f - 1)) (fun i -> i + f + 1);
+    ]

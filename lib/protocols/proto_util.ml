@@ -20,12 +20,24 @@ let ranked_from env j =
   let n = env.Proto.n in
   if j > n then [] else List.init (n - j + 1) (fun i -> Pid.of_rank (j + i))
 
-(* ---- fingerprint plumbing (hash_state canonicalizers) -------------- *)
+(* ---- fingerprint plumbing (hash_state canonicalizers) --------------
+
+   Every pid-valued datum goes through [Fingerprint.add_pid] so the
+   model checker's symmetry canonicalization (which installs a renaming
+   on the accumulator) covers it; with no renaming active [add_pid] is
+   [add_int], so these helpers feed the historical word sequence
+   byte-for-byte.
+
+   Collections keyed by pid whose order is not semantically meaningful
+   are additionally re-sorted by the {e renamed} pid when a renaming is
+   active: feeding them in stored order would make two permuted states
+   feed different sequences and the orbit would not collapse. With no
+   renaming the stored order is kept, again for byte-stability. *)
 
 let fp_int = Fingerprint.add_int
 let fp_bool = Fingerprint.add_bool
 let fp_vote h v = Fingerprint.add_int h (Vote.to_int v)
-let fp_pid h p = Fingerprint.add_int h (Pid.index p)
+let fp_pid h p = Fingerprint.add_pid h (Pid.index p)
 
 let fp_opt f h = function
   | None -> Fingerprint.add_int h 0
@@ -39,16 +51,56 @@ let fp_list f h l =
 
 let fp_pids h l = fp_list fp_pid h l
 
+(* A pid list that is semantically a set (order is an artifact of the
+   path that built it). Renaming active: feed in renamed-sorted order. *)
+let fp_pid_set h l =
+  if Fingerprint.perm_active h then
+    fp_list fp_int h
+      (List.sort compare (List.map (fun p -> Fingerprint.rename h (Pid.index p)) l))
+  else fp_pids h l
+
 let fp_vset h s =
+  let bs = Vset.bindings s in
+  let bs =
+    (* [bindings] is index-sorted; renaming permutes the keys, so
+       re-sort by the renamed index to stay canonical *)
+    if Fingerprint.perm_active h then
+      List.sort
+        (fun (p, _) (q, _) ->
+          compare (Fingerprint.rename h (Pid.index p))
+            (Fingerprint.rename h (Pid.index q)))
+        bs
+    else bs
+  in
   fp_list
     (fun h (p, v) ->
       fp_pid h p;
       fp_vote h v)
-    h (Vset.bindings s)
+    h bs
 
-let fp_assoc_vsets h l =
+(* Pid-keyed association lists (keys unique, order path-dependent):
+   sorted by renamed key when a renaming is active, stored order
+   otherwise. *)
+let fp_assoc fval h l =
+  let l =
+    if Fingerprint.perm_active h then
+      List.sort
+        (fun (p, _) (q, _) ->
+          compare (Fingerprint.rename h (Pid.index p))
+            (Fingerprint.rename h (Pid.index q)))
+        l
+    else l
+  in
   fp_list
-    (fun h (p, s) ->
+    (fun h (p, x) ->
       fp_pid h p;
-      fp_vset h s)
+      fval h x)
     h l
+
+let fp_assoc_vsets h l = fp_assoc fp_vset h l
+
+(* ---- message canonicalizers (hash_msg) ----------------------------- *)
+
+let fp_decision h d =
+  Fingerprint.add_int h
+    (match d with Vote.Commit -> 1 | Vote.Abort -> 2)

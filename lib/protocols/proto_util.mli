@@ -22,14 +22,23 @@ val ranked_from : Proto.env -> int -> Pid.t list
 
 (** {1 Fingerprint plumbing}
 
-    Building blocks for the protocols' {!Proto.PROTOCOL.hash_state}
-    canonicalizers. Every variable-length value is framed with its length
-    ([fp_list]) so adjacent fields cannot alias. *)
+    Building blocks for the protocols' {!Proto.PROTOCOL.hash_state} and
+    {!Proto.PROTOCOL.hash_msg} canonicalizers. Every variable-length
+    value is framed with its length ([fp_list]) so adjacent fields
+    cannot alias.
+
+    Pid-valued data is routed through {!Fingerprint.add_pid}, and
+    pid-keyed collections with path-dependent order ({!fp_pid_set},
+    {!fp_vset}, {!fp_assoc}) are re-sorted by the renamed pid whenever
+    the model checker's symmetry canonicalization has installed a
+    renaming on the accumulator. With no renaming active every helper
+    feeds the historical word sequence unchanged. *)
 
 val fp_int : Fingerprint.t -> int -> unit
 val fp_bool : Fingerprint.t -> bool -> unit
 val fp_vote : Fingerprint.t -> Vote.t -> unit
 val fp_pid : Fingerprint.t -> Pid.t -> unit
+val fp_decision : Fingerprint.t -> Vote.decision -> unit
 
 val fp_opt :
   (Fingerprint.t -> 'a -> unit) -> Fingerprint.t -> 'a option -> unit
@@ -38,5 +47,20 @@ val fp_list :
   (Fingerprint.t -> 'a -> unit) -> Fingerprint.t -> 'a list -> unit
 
 val fp_pids : Fingerprint.t -> Pid.t list -> unit
+(** Order-preserving (for lists whose order is semantically meaningful). *)
+
+val fp_pid_set : Fingerprint.t -> Pid.t list -> unit
+(** For pid lists that are semantically sets: renamed-sorted under an
+    active renaming, stored order otherwise. *)
+
 val fp_vset : Fingerprint.t -> Vset.t -> unit
+
+val fp_assoc :
+  (Fingerprint.t -> 'a -> unit) ->
+  Fingerprint.t ->
+  (Pid.t * 'a) list ->
+  unit
+(** Pid-keyed association list with unique keys and path-dependent
+    order. *)
+
 val fp_assoc_vsets : Fingerprint.t -> (Pid.t * Vset.t) list -> unit

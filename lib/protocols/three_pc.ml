@@ -248,28 +248,62 @@ let guards = []
 let on_guard _env _state ~id = failwith ("Three_pc: unknown guard " ^ id)
 let on_consensus_decide _env state _d = (state, [])
 
+let fp_status h st =
+  Proto_util.fp_int h
+    (match st with
+    | Uncertain -> 0
+    | Precommitted -> 1
+    | Committed -> 2
+    | Aborted -> 3)
+
 let hash_state =
   let open Proto_util in
-  let fp_status h st =
-    fp_int h
-      (match st with
-      | Uncertain -> 0
-      | Precommitted -> 1
-      | Committed -> 2
-      | Aborted -> 3)
-  in
   Some
     (fun h s ->
       fp_vote h s.vote;
       fp_vote h s.conjunction;
-      fp_pids h s.heard_from;
-      fp_pids h s.acks;
+      fp_pid_set h s.heard_from;
+      fp_pid_set h s.acks;
       fp_status h s.status;
       fp_bool h s.decided;
       fp_bool h s.blocked_seen;
-      fp_list
-        (fun h (p, st) ->
-          fp_pid h p;
-          fp_status h st)
-        h s.states;
-      fp_pids h s.acks2)
+      fp_assoc fp_status h s.states;
+      fp_pid_set h s.acks2)
+
+let hash_msg =
+  let open Proto_util in
+  Some
+    (fun h m ->
+      match m with
+      | V v ->
+          fp_int h 0;
+          fp_vote h v
+      | Precommit -> fp_int h 1
+      | Ack -> fp_int h 2
+      | Outcome d ->
+          fp_int h 3;
+          fp_decision h d
+      | Blocked k ->
+          fp_int h 4;
+          fp_int h k
+      | State_req k ->
+          fp_int h 5;
+          fp_int h k
+      | State_rep (k, s) ->
+          fp_int h 6;
+          fp_int h k;
+          fp_status h s
+      | Precommit2 k ->
+          fp_int h 7;
+          fp_int h k
+      | Ack2 k ->
+          fp_int h 8;
+          fp_int h k
+      | Resolved d ->
+          fp_int h 9;
+          fp_decision h d)
+
+(* [P1] coordinates and [P2..P_{f+1}] are the per-round backups; the
+   remaining participants run identical code. Round numbers in messages
+   and timer ids name backup ranks, which the permutation fixes. *)
+let symmetry ~n ~f = Symmetry.rank_range ~n ~lo:(f + 2) ~hi:n

@@ -94,6 +94,21 @@ let hash_state =
   Some
     (fun h s ->
       fp_vote h s.conjunction;
-      fp_pids h s.heard_from;
+      fp_pid_set h s.heard_from;
       fp_bool h s.decided;
       fp_bool h s.announced)
+
+let hash_msg =
+  let open Proto_util in
+  Some
+    (fun h m ->
+      match m with
+      | V v ->
+          fp_int h 0;
+          fp_vote h v
+      | Decision d ->
+          fp_int h 1;
+          fp_vote h d)
+
+(* Only the coordinator's rank matters; participants run identical code. *)
+let symmetry ~n ~f:_ = Symmetry.interchangeable_after_coordinator ~n

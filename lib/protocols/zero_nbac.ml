@@ -90,4 +90,12 @@ let hash_state =
       fp_int h s.phase;
       fp_bool h s.decided;
       fp_bool h s.proposed;
-      fp_pids h s.myack)
+      fp_pid_set h s.myack)
+
+let hash_msg =
+  let open Proto_util in
+  Some
+    (fun h m -> fp_int h (match m with V -> 0 | B -> 1 | Ack -> 2))
+
+(* Rank-oblivious: relays and acknowledgements follow votes, not ranks. *)
+let symmetry ~n ~f:_ = Symmetry.full ~n

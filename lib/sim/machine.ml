@@ -146,6 +146,31 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
   let hash_pstate t h p = p_hasher h t.pstates.(Pid.index p)
   let hash_cstate t h p = c_hasher h t.cstates.(Pid.index p)
 
+  let p_msg_hasher =
+    match P.hash_msg with Some f -> f | None -> marshal_hasher
+
+  let c_msg_hasher =
+    match C.hash_msg with Some f -> f | None -> marshal_hasher
+
+  let hash_wire h = function
+    | Commit_msg m ->
+        Fingerprint.add_int h 0;
+        p_msg_hasher h m
+    | Cons_msg m ->
+        Fingerprint.add_int h 1;
+        c_msg_hasher h m
+
+  (* The marshal fallbacks hash raw bytes, in which embedded pids escape
+     the renaming — sound only for the identity permutation. A module
+     pair missing any canonical hasher therefore degrades the machine's
+     symmetry to the trivial group rather than risking unsound orbit
+     collapses. *)
+  let symmetry ~n ~f =
+    match (P.hash_state, C.hash_state, P.hash_msg, C.hash_msg) with
+    | Some _, Some _, Some _, Some _ ->
+        Symmetry.meet (P.symmetry ~n ~f) (C.symmetry ~n ~f)
+    | _ -> Symmetry.trivial ~n
+
   let mark_crashed t ~now pid =
     if not (is_crashed t pid) then begin
       t.crashed.(Pid.index pid) <- Some now;

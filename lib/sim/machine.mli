@@ -84,6 +84,17 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) : sig
       via the module's {!Proto.PROTOCOL.hash_state} canonicalizer, or by
       hashing its marshalled bytes when the module does not provide one. *)
 
+  val hash_wire : Fingerprint.t -> wire -> unit
+  (** Feed a message payload (layer tag first) through the per-module
+      {!Proto.PROTOCOL.hash_msg} canonicalizers, falling back to
+      marshalled bytes. *)
+
+  val symmetry : n:int -> f:int -> Symmetry.t
+  (** The machine's process-interchangeability group: the meet of the
+      protocol's and the consensus service's declared groups, degraded to
+      {!Symmetry.trivial} when any canonical hasher is missing (marshal
+      fallbacks embed unrenamed pids). *)
+
   (* ---- steps ----------------------------------------------------- *)
 
   val set_send_budget : t -> Pid.t -> at:Sim_time.t -> int -> unit

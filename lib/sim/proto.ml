@@ -64,7 +64,26 @@ type 'state state_hasher = Fingerprint.t -> 'state -> unit
     sequences iff they are structurally equal — the model checker
     deduplicates visited states by the resulting digest, so an
     under-hashed field is an unsoundness (distinct states equated), not a
-    slowdown. *)
+    slowdown.
+
+    Renaming discipline (symmetry reduction): every pid-valued datum must
+    go through {!Fingerprint.add_pid} (helpers: {!Proto_util.fp_pid} and
+    friends), and pid-{e keyed} collections whose order is not itself
+    semantically meaningful should be fed in renamed-sorted order
+    ([Proto_util.fp_vset]/[fp_pid_set] do). The checker then hashes a
+    state under candidate process permutations and collapses each
+    symmetry orbit to one fingerprint; with no permutation installed the
+    renaming helpers are the identity, so hashing is unchanged. *)
+
+type 'msg msg_hasher = Fingerprint.t -> 'msg -> unit
+(** Canonical {e message} hasher, the payload-side companion of
+    {!type:state_hasher} with the same renaming discipline. The model
+    checker normally covers an in-flight payload by its intern id (one
+    word), but a canonicalization pass must re-hash payloads under the
+    candidate renaming, which is what this hook provides. [None] is only
+    sound for symmetry reduction when the message type embeds no pids and
+    no rank-derived data (the fallback marshals the payload, which is
+    renaming-blind). *)
 
 module type PROTOCOL = sig
   type state
@@ -105,6 +124,17 @@ module type PROTOCOL = sig
       of magnitude slower, and additionally sensitive to the physical
       sharing of the state value where the canonical hasher sees only
       structure. *)
+
+  val hash_msg : msg msg_hasher option
+  (** See {!type:msg_hasher}. *)
+
+  val symmetry : n:int -> f:int -> Symmetry.t
+  (** The protocol's process-permutation group: which processes are
+      behaviorally interchangeable at this [(n, f)]. Most protocols of
+      the paper are symmetric in everything but a coordinator prefix
+      ({!Symmetry.after_rank}); chain- and ring-structured ones are
+      {!Symmetry.trivial}. Declaring too little loses state-space
+      collapse; declaring too much is unsound (see {!Symmetry}). *)
 end
 
 module type CONSENSUS = sig
@@ -121,4 +151,14 @@ module type CONSENSUS = sig
 
   val hash_state : state state_hasher option
   (** See {!PROTOCOL.hash_state}. *)
+
+  val hash_msg : msg msg_hasher option
+  (** See {!type:msg_hasher}. *)
+
+  val symmetry : n:int -> f:int -> Symmetry.t
+  (** See {!PROTOCOL.symmetry}. A consensus automaton whose behavior
+      depends on rank only through renamable data (e.g. Paxos ballot
+      ownership, provided [hash_msg]/[hash_state] rename it) may declare
+      {!Symmetry.full}; the machine meets it with the commit layer's
+      group. *)
 end

@@ -26,6 +26,7 @@ val rows :
   ?budgets:Mc_limits.budgets ->
   ?fp:Mc_limits.fp_backend ->
   ?pool:bool ->
+  ?symmetry:bool ->
   ?jobs:int ->
   ?visited:Mc_limits.visited_mode ->
   n:int ->
@@ -39,6 +40,7 @@ val render :
   ?budgets:Mc_limits.budgets ->
   ?fp:Mc_limits.fp_backend ->
   ?pool:bool ->
+  ?symmetry:bool ->
   ?jobs:int ->
   ?visited:Mc_limits.visited_mode ->
   n:int ->
@@ -52,6 +54,7 @@ val render_checked :
   ?budgets:Mc_limits.budgets ->
   ?fp:Mc_limits.fp_backend ->
   ?pool:bool ->
+  ?symmetry:bool ->
   ?jobs:int ->
   ?visited:Mc_limits.visited_mode ->
   n:int ->

@@ -32,7 +32,7 @@ def need(cond, what):
         errors.append(what)
 
 
-need(doc.get("schema") == "actable-bench/5", "schema actable-bench/5")
+need(doc.get("schema") == "actable-bench/6", "schema actable-bench/6")
 need(isinstance(doc.get("pairs"), list) and doc["pairs"], "non-empty pairs")
 
 for section in ("nice_run_seconds", "table_seconds"):
@@ -149,6 +149,47 @@ for k in ("seconds", "states", "states_per_sec"):
     need(isinstance(row.get(k), (int, float)) and row[k] > 0,
          f"mc_network.hashed.{k} > 0")
 check_gc(mcn, "mc_network")
+
+# symmetry-reduction section (actable-bench/6): three execution-class
+# arms, each a symmetry-off vs symmetry-on pair on the same deterministic
+# per-item configuration, plus the isolated canonicalization cost
+sym = doc.get("symmetry", {})
+for k in ("protocol", "f", "jobs"):
+    need(k in sym, f"symmetry.{k}")
+sym_arms = sym.get("arms", {})
+for arm_name in ("crash", "network", "all", "crash_n5", "network_n5"):
+    arm = sym_arms.get(arm_name, {})
+    where = f"symmetry.arms.{arm_name}"
+    need(isinstance(arm.get("n"), int) and arm.get("n") >= 3, f"{where}.n >= 3")
+    for mode in ("off", "on"):
+        row = arm.get(mode, {})
+        for k in ("seconds", "states", "schedules"):
+            need(isinstance(row.get(k), (int, float)) and row[k] > 0,
+                 f"{where}.{mode}.{k} > 0")
+        need(isinstance(row.get("exhausted"), bool), f"{where}.{mode}.exhausted")
+    on = arm.get("on", {})
+    for k in ("orbit_hits", "twin_skips", "canon_calls"):
+        need(isinstance(on.get(k), (int, float)) and on[k] >= 0,
+             f"{where}.on.{k} >= 0")
+    need(isinstance(arm.get("reduction"), (int, float))
+         and arm["reduction"] >= 1,
+         f"{where}.reduction >= 1 (canonicalization never grows the space)")
+    off = arm.get("off", {})
+    if isinstance(off.get("states"), (int, float)) and \
+       isinstance(on.get("states"), (int, float)):
+        need(on["states"] <= off["states"],
+             f"{where} on.states <= off.states")
+    # an arm must not trade exhaustion for the reduction: if the off arm
+    # finished the bounded space, the (smaller) on arm must have too
+    if off.get("exhausted") is True:
+        need(on.get("exhausted") is True,
+             f"{where} symmetry-on exhausts whenever symmetry-off does")
+need(isinstance(sym.get("best_reduction"), (int, float))
+     and sym["best_reduction"] >= 1, "symmetry.best_reduction >= 1")
+canon = sym.get("canonicalization_ns_per_call", {})
+for k in ("symmetry", "plain", "overhead"):
+    need(isinstance(canon.get(k), (int, float)) and canon[k] > 0,
+         f"symmetry.canonicalization_ns_per_call.{k} > 0")
 
 # multi-shot commit service: at least three protocol arms plus at least
 # one crash-injection arm, each internally consistent (transactions

@@ -93,6 +93,37 @@ def multishot_cps(doc):
     return out
 
 
+# symmetry reduction (actable-bench/6): per-arm state-count ratios; old
+# reports without the section print n/a (the ratio is deterministic, so
+# any delta signals an exploration change, not runner noise)
+def symmetry_reductions(doc):
+    arms = doc.get("symmetry", {}).get("arms", {})
+    out = {}
+    for name, arm in arms.items() if isinstance(arms, dict) else ():
+        v = arm.get("reduction") if isinstance(arm, dict) else None
+        if isinstance(v, (int, float)) and v > 0:
+            out[name] = v
+    return out
+
+
+sy_old, sy_new = symmetry_reductions(old), symmetry_reductions(new)
+if not sy_new:
+    print("bench-trend symmetry: n/a (no symmetry section in new report)")
+else:
+    sy_parts = []
+    for name in sorted(sy_new):
+        n = sy_new[name]
+        o = sy_old.get(name)
+        if o is None:
+            sy_parts.append(f"{name} {n:.2f}x (n/a)")
+        else:
+            sy_parts.append(f"{name} {n:.2f}x ({n / o - 1:+.1%})")
+    canon = new.get("symmetry", {}).get("canonicalization_ns_per_call", {})
+    ns = canon.get("symmetry")
+    if isinstance(ns, (int, float)) and ns > 0:
+        sy_parts.append(f"canon {ns:.0f}ns/call")
+    print("bench-trend symmetry reduction: " + "; ".join(sy_parts))
+
 ms_old, ms_new = multishot_cps(old), multishot_cps(new)
 if not ms_new:
     print("bench-trend multishot: n/a (no multishot section in new report)")

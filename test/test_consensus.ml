@@ -26,6 +26,8 @@ module Cons_probe = struct
     else ({ decided = true }, [ Proto.Decide (Vote.decision_of_vote d) ])
 
   let hash_state = None
+  let hash_msg = None
+  let symmetry ~n ~f:_ = Symmetry.trivial ~n
 end
 
 module Paxos_run = Engine.Make (Cons_probe) (Consensus_paxos)

@@ -148,6 +148,10 @@ struct
       budgets = Mc_limits.default_budgets ~u:Sim_time.default_u;
       fp = Mc_limits.Fp_hashed;
       pool;
+      (* the suite exercises [fingerprint_hashed] directly, so the
+         canonicalization layer stays out of the way *)
+      symmetry = false;
+      open_depth = E.default_swarm_open_depth;
     }
 
   let all_yes = [| Vote.yes; Vote.yes; Vote.yes |]
@@ -317,8 +321,11 @@ module Fp_2pc =
     (Consensus_null)
 
 let test_backends_agree protocol () =
+  (* symmetry canonicalization only exists on the hashed backend, so the
+     hashed-vs-marshal counter identity is pinned with it off *)
   let at fp =
-    (Mc_run.run ~fp ~jobs:1 ~protocol ~n:3 ~f:1 ~klass:Mc_run.Crash ())
+    (Mc_run.run ~fp ~symmetry:false ~jobs:1 ~protocol ~n:3 ~f:1
+       ~klass:Mc_run.Crash ())
       .Mc_run.counters
   in
   let a = at Mc_limits.Fp_hashed and b = at Mc_limits.Fp_marshal in
@@ -352,6 +359,8 @@ let test_frontier_nice_regression () =
       budgets = Mc_limits.default_budgets ~u:Sim_time.default_u;
       fp = Mc_limits.Fp_hashed;
       pool = true;
+      symmetry = false;
+      open_depth = Fp_inbac.E.default_swarm_open_depth;
     }
   in
   let items = Fp_inbac.E.frontier cfg in
@@ -527,6 +536,146 @@ let test_shards_stress () =
   done;
   check tint "no key lost" 0 !missing
 
+(* A wildly out-of-range open-depth must clamp instead of breaking the
+   walkers, and the clamped run must agree with the default verdict. *)
+let test_open_depth_clamp () =
+  let module E = Fp_inbac.E in
+  check tint "negative clamps to 0" 0 (E.clamp_open_depth (-3));
+  check tint "huge clamps to 32" 32 (E.clamp_open_depth 1_000);
+  check tint "in-range value passes through" 6 (E.clamp_open_depth 6);
+  check tint "default is in range" E.default_swarm_open_depth
+    (E.clamp_open_depth E.default_swarm_open_depth);
+  let verdict d =
+    Mc_run.verdict_string
+      (Mc_run.run ~swarm:true ?swarm_open_depth:d ~jobs:2 ~protocol:"inbac"
+         ~n:3 ~f:1 ~klass:Mc_run.Crash ())
+  in
+  check Alcotest.string "open-depth 1000 reaches the default verdict"
+    (verdict None)
+    (verdict (Some 1_000))
+
+(* n=5-sized budgets must not preallocate the shards index space: the
+   spine caps at 2^21 buckets, segments materialize on first touch, and
+   keys stay findable across segment boundaries. *)
+let test_shards_growth () =
+  let huge = Mc_shards.create ~capacity:100_000_000 () in
+  check tint "buckets capped at 2^21" (1 lsl 21) (Mc_shards.buckets huge);
+  check tint "no segments before the first insert" 0
+    (Mc_shards.segments_allocated huge);
+  let key i =
+    { Fingerprint.d1 = i * 0x2545F4914F6CDD1D land max_int; d2 = i }
+  in
+  for i = 0 to 999 do
+    ignore (Mc_shards.find_or_insert huge (key i) i)
+  done;
+  check tint "inserts land" 1_000 (Mc_shards.size huge);
+  check tbool "segments materialize lazily" true
+    (let segs = Mc_shards.segments_allocated huge in
+     segs >= 1 && segs <= 512);
+  let missing = ref 0 in
+  for i = 0 to 999 do
+    if Mc_shards.find_opt huge (key i) = None then incr missing
+  done;
+  check tint "no key lost across segments" 0 !missing
+
+(* ------------------------------------------------------------------ *)
+(* Symmetry reduction: canonicalization must be invisible in verdicts. *)
+
+let violation_property o =
+  Option.map
+    (fun (v : Mc_replay.violation) ->
+      Mc_replay.property_name v.Mc_replay.property)
+    o.Mc_run.violation
+
+(* Differential contract, property-tested over budget shapes and vote
+   vectors: symmetry-on and symmetry-off must reach the same verdict
+   (same violated property, or both clean) with the same
+   counterexample-replay outcome, and when the off arm exhausts a clean
+   space the on arm must exhaust it too, inside the off arm's state
+   envelope — canonicalization merges orbits, it never drops an
+   equivalence class. Randomizing the vote vector exercises the
+   vote-refinement of the permutation group (unequal votes split the
+   process classes). *)
+let symmetry_differential ~protocol ~klass =
+  let name =
+    Printf.sprintf "symmetry %s/%s verdict = plain (any budgets/votes)"
+      protocol
+      (Mc_run.class_name klass)
+  in
+  let u = Sim_time.default_u in
+  QCheck.Test.make ~count:4 ~name
+    QCheck.(
+      triple (int_range 1 2) (int_range 1 2)
+        (array_of_size (Gen.return 4) bool))
+    (fun (late, hor, yeas) ->
+      (* network classes stay at horizon U: one more horizon unit opens
+         the consensus retry cascade and a minutes-long space — the
+         differential is about verdict equality, not about stressing the
+         cascade (the crash classes do range over the horizon) *)
+      let hor = match klass with Mc_run.Network -> 1 | _ -> hor in
+      let budgets =
+        {
+          (Mc_limits.default_budgets ~u) with
+          Mc_limits.horizon = hor * u;
+          max_late = late;
+        }
+      in
+      let votes =
+        Array.map (fun y -> if y then Vote.yes else Vote.no) yeas
+      in
+      let arm symmetry =
+        Mc_run.run ~budgets ~symmetry ~vote_sets:[ votes ] ~jobs:1 ~protocol
+          ~n:4 ~f:1 ~klass ()
+      in
+      let off = arm false and on = arm true in
+      violation_property off = violation_property on
+      && off.Mc_run.replay_verified = on.Mc_run.replay_verified
+      &&
+      if Mc_run.clean off && Mc_limits.exhausted off.Mc_run.counters then
+        Mc_limits.exhausted on.Mc_run.counters
+        && on.Mc_run.counters.Mc_limits.states
+           <= off.Mc_run.counters.Mc_limits.states
+      else true)
+
+let symmetry_differential_tests =
+  List.map QCheck_alcotest.to_alcotest
+    (List.concat_map
+       (fun protocol ->
+         [
+           symmetry_differential ~protocol ~klass:Mc_run.Crash;
+           symmetry_differential ~protocol ~klass:Mc_run.Network;
+         ])
+       [ "inbac"; "2pc"; "paxos-commit" ])
+
+(* The artifact-level neutrality: every mctable row — verdict string and
+   consistency flag, violated or clean — identical between the modes, on
+   exhaustible spaces (crash at the default budgets, network at
+   max_late=1 horizon=U) so "exhausted" annotations match too. *)
+let test_mctable_verdicts_symmetry () =
+  let protocols = [ "inbac"; "2pc"; "inbac-undershoot" ] in
+  let compare_rows ~classes ~budgets =
+    let rows symmetry =
+      Table_mc.rows ~protocols ~classes ~budgets ~symmetry ~jobs:2 ~n:4 ~f:1
+        ()
+    in
+    List.iter2
+      (fun (a : Table_mc.row) (b : Table_mc.row) ->
+        check Alcotest.string "verdict"
+          (Mc_run.verdict_string a.Table_mc.outcome)
+          (Mc_run.verdict_string b.Table_mc.outcome);
+        check tbool "consistency flag" a.Table_mc.ok b.Table_mc.ok)
+      (rows false) (rows true)
+  in
+  compare_rows ~classes:[ Mc_run.Crash ]
+    ~budgets:(Mc_limits.default_budgets ~u:Sim_time.default_u);
+  compare_rows ~classes:[ Mc_run.Network ]
+    ~budgets:
+      {
+        (Mc_limits.default_budgets ~u:Sim_time.default_u) with
+        Mc_limits.horizon = Sim_time.default_u;
+        max_late = 1;
+      }
+
 (* ------------------------------------------------------------------ *)
 (* Snapshot-pool neutrality at the run and artifact level. *)
 
@@ -604,6 +753,15 @@ let () =
         @ [
             quick "shards: 8-domain stress, size = fresh-insert sum"
               test_shards_stress;
+            quick "shards: capped spine, lazy segments" test_shards_growth;
+            quick "open-depth clamps and stays verdict-neutral"
+              test_open_depth_clamp;
+          ] );
+      ( "symmetry",
+        symmetry_differential_tests
+        @ [
+            quick "mctable verdicts identical symmetry on/off"
+              test_mctable_verdicts_symmetry;
           ] );
       ( "snapshot-pool",
         Fp_inbac.pool_tests @ Fp_2pc.pool_tests

@@ -289,6 +289,8 @@ module Probe = struct
   let on_guard _env _state ~id = failwith ("probe: unknown guard " ^ id)
   let on_consensus_decide _env state _d = (state, [])
   let hash_state = None
+  let hash_msg = None
+  let symmetry ~n ~f:_ = Symmetry.trivial ~n
 end
 
 module Probe_engine = Engine.Make (Probe) (Consensus_null)
@@ -447,6 +449,8 @@ module Self_probe = struct
   let on_guard _env _state ~id = failwith ("self-probe: unknown guard " ^ id)
   let on_consensus_decide _env state _d = (state, [])
   let hash_state = None
+  let hash_msg = None
+  let symmetry ~n ~f:_ = Symmetry.trivial ~n
 end
 
 module Self_probe_engine = Engine.Make (Self_probe) (Consensus_null)
@@ -515,6 +519,8 @@ module Timer_probe = struct
   let on_guard _env _state ~id = failwith ("timer-probe: unknown guard " ^ id)
   let on_consensus_decide _env state _d = (state, [])
   let hash_state = None
+  let hash_msg = None
+  let symmetry ~n ~f:_ = Symmetry.trivial ~n
 end
 
 module Timer_engine = Engine.Make (Timer_probe) (Consensus_null)
@@ -553,6 +559,8 @@ module Bad_guard = struct
   let on_guard _env () ~id:_ = ((), [])
   let on_consensus_decide _env () _d = ((), [])
   let hash_state = None
+  let hash_msg = None
+  let symmetry ~n ~f:_ = Symmetry.trivial ~n
 end
 
 module Bad_guard_engine = Engine.Make (Bad_guard) (Consensus_null)
@@ -596,6 +604,8 @@ module Re_decider = struct
   let on_guard _env _state ~id = failwith ("re-decider: unknown guard " ^ id)
   let on_consensus_decide _env state _d = (state, [])
   let hash_state = None
+  let hash_msg = None
+  let symmetry ~n ~f:_ = Symmetry.trivial ~n
 end
 
 module Re_decider_engine = Engine.Make (Re_decider) (Consensus_null)
@@ -668,6 +678,8 @@ module Canceller = struct
   let on_guard _env _state ~id = failwith ("canceller: unknown guard " ^ id)
   let on_consensus_decide _env state _d = (state, [])
   let hash_state = None
+  let hash_msg = None
+  let symmetry ~n ~f:_ = Symmetry.trivial ~n
 end
 
 module Canceller_engine = Engine.Make (Canceller) (Consensus_null)
