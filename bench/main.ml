@@ -270,6 +270,25 @@ let min_multishot_floor =
   in
   scan argv
 
+(* Multi-shot workload scale: how many closed-loop clients and total
+   transactions each multishot arm runs. The defaults keep the smoke run
+   cheap; raise them to stress the service. *)
+let multishot_clients =
+  let rec scan = function
+    | "--multishot-clients" :: v :: _ -> int_of_string_opt v
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  Option.value (scan argv) ~default:100
+
+let multishot_txns =
+  let rec scan = function
+    | "--multishot-txns" :: v :: _ -> int_of_string_opt v
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  Option.value (scan argv) ~default:800
+
 (* Symmetry-reduction gate: fail when the best measured symmetry-on vs
    symmetry-off state-count ratio falls below this. The crash-class arm
    is the headline (~9.6x at inbac n=4 f=1); the network-class arm has
@@ -625,12 +644,17 @@ let run_json path =
   (* Multi-shot commit service arms: three protocols, each nominal and
      with a crash-injection arm (shard P1 down at 3U, back at 20U — the
      2PC arm parks its in-flight instances on the dead coordinator and
-     must drain them through recovery). Single runs, not time_best: each
-     arm IS a throughput measurement over hundreds of transactions, and
-     its correctness flags (atomicity, agreement, drained staging) are
-     what the bench gates on. *)
+     must drain them through recovery, so re-election is off there), plus
+     a 2PC arm whose coordinator NEVER recovers and must drain purely
+     through elected stand-in coordinators. Single runs, not time_best:
+     each arm IS a throughput measurement over hundreds of transactions,
+     and its correctness flags (atomicity, agreement, drained staging)
+     are what the bench gates on. The arms are independent seeded
+     simulations, so they fan out across domains through Batch.run — the
+     per-arm JSON bodies are pure functions of the spec and come out
+     byte-identical at any --jobs. *)
   let ms_u = Sim_time.default_u in
-  let ms_clients = 100 and ms_txns = 800 in
+  let ms_clients = multishot_clients and ms_txns = multishot_txns in
   let ms_spec ~crash =
     {
       Commit_service.default with
@@ -638,17 +662,33 @@ let run_json path =
       txns = ms_txns;
       seed = 11;
       outages = (if crash then [ (1, 3 * ms_u, Some (20 * ms_u)) ] else []);
+      election_timeout = None;
     }
   in
-  let multishot =
+  let ms_elect_spec =
+    {
+      (ms_spec ~crash:false) with
+      Commit_service.outages = [ (1, 3 * ms_u, None) ];
+      election_timeout = Commit_service.default.Commit_service.election_timeout;
+    }
+  in
+  let multishot_arms =
     List.concat_map
       (fun p ->
-        [
-          (p, Commit_service.run ~protocol:p ~n:3 ~f:1 (ms_spec ~crash:false));
-          ( p ^ "_crash",
-            Commit_service.run ~protocol:p ~n:3 ~f:1 (ms_spec ~crash:true) );
-        ])
+        [ (p, ms_spec ~crash:false); (p ^ "_crash", ms_spec ~crash:true) ])
       [ "inbac"; "paxos-commit"; "2pc" ]
+    @ [ ("2pc_elect", ms_elect_spec) ]
+  in
+  let multishot =
+    Batch.run ?jobs
+      (fun (name, spec) ->
+        let protocol =
+          match String.index_opt name '_' with
+          | Some i -> String.sub name 0 i
+          | None -> name
+        in
+        (name, Commit_service.run ~protocol ~n:3 ~f:1 spec))
+      multishot_arms
   in
   let buf = Buffer.create 4096 in
   let field_block name kvs =
@@ -662,7 +702,7 @@ let run_json path =
     Buffer.add_string buf "  }"
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"actable-bench/6\",\n";
+  Buffer.add_string buf "  \"schema\": \"actable-bench/7\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"pairs\": [%s],\n"
        (String.concat ", "
@@ -816,7 +856,6 @@ let run_json path =
        (canon_sym_ns /. Float.max canon_plain_ns 1e-9));
   Buffer.add_string buf "  },\n";
   let num x = if Float.is_nan x then "0.0" else Printf.sprintf "%.3f" x in
-  let jbool b = if b then "true" else "false" in
   Buffer.add_string buf "  \"multishot\": {\n";
   Buffer.add_string buf
     (Printf.sprintf
@@ -824,46 +863,18 @@ let run_json path =
        ms_txns);
   Buffer.add_string buf "    \"arms\": {\n";
   let n_arms = List.length multishot in
+  (* each arm is the deterministic body (byte-identical at any --jobs)
+     plus the wall-clock fields measured on this run *)
   List.iteri
     (fun idx (name, (s : Commit_service.stats)) ->
-      Buffer.add_string buf (Printf.sprintf "      \"%s\": {\n" name);
       Buffer.add_string buf
-        (Printf.sprintf
-           "        \"seconds\": %.6f, \"commits_per_sec\": %s, \
-            \"transactions\": %d, \"committed\": %d, \"aborted\": %d, \
-            \"local_aborts\": %d, \"parked\": %d,\n"
+        (Printf.sprintf "      \"%s\": { %s, \"seconds\": %.6f, \
+                         \"commits_per_sec\": %s }%s\n"
+           name
+           (Commit_service.arm_json_body s)
            s.Commit_service.wall_seconds
            (num s.Commit_service.commits_per_sec)
-           s.Commit_service.transactions s.Commit_service.committed
-           s.Commit_service.aborted s.Commit_service.local_aborts
-           s.Commit_service.parked);
-      Buffer.add_string buf
-        (Printf.sprintf
-           "        \"instances\": %d, \"retries\": %d, \"mean_batch\": %s, \
-            \"peak_in_flight\": %d, \"messages\": %d, \"staged_left\": %d, \
-            \"abort_rate\": %s,\n"
-           s.Commit_service.instances s.Commit_service.retries
-           (num s.Commit_service.mean_batch)
-           s.Commit_service.peak_in_flight s.Commit_service.total_messages
-           s.Commit_service.staged_left
-           (num
-              (float_of_int
-                 (s.Commit_service.aborted + s.Commit_service.local_aborts)
-              /. Float.max 1.0 (float_of_int s.Commit_service.transactions))));
-      let l = s.Commit_service.latency in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "        \"latency_delays\": { \"mean\": %s, \"p50\": %s, \
-            \"p95\": %s, \"p99\": %s, \"max\": %s },\n"
-           (num l.Histogram.mean) (num l.Histogram.p50) (num l.Histogram.p95)
-           (num l.Histogram.p99) (num l.Histogram.max));
-      Buffer.add_string buf
-        (Printf.sprintf
-           "        \"atomicity_ok\": %s, \"agreement_ok\": %s\n"
-           (jbool s.Commit_service.atomicity_ok)
-           (jbool s.Commit_service.agreement_ok));
-      Buffer.add_string buf
-        (if idx = n_arms - 1 then "      }\n" else "      },\n"))
+           (if idx = n_arms - 1 then "" else ",")))
     multishot;
   Buffer.add_string buf "    }\n";
   Buffer.add_string buf "  }\n}\n";
@@ -948,7 +959,7 @@ let run_json path =
     (fun (name, (s : Commit_service.stats)) ->
       Printf.printf
         "multishot %-18s %6.0f commits/sec  %4d/%d committed, %d aborted \
-         (%d local), %d parked, p50/p95/p99 %.1f/%.1f/%.1f delays%s\n"
+         (%d local), %d parked, p50/p95/p99 %.1f/%.1f/%.1f delays%s%s\n"
         name s.Commit_service.commits_per_sec s.Commit_service.committed
         s.Commit_service.transactions s.Commit_service.aborted
         s.Commit_service.local_aborts s.Commit_service.parked
@@ -958,10 +969,18 @@ let run_json path =
         (if s.Commit_service.retries > 0 then
            Printf.sprintf " (%d retries after recovery)"
              s.Commit_service.retries
+         else "")
+        (if s.Commit_service.elections > 0 then
+           Printf.sprintf " (%d elections -> %d stand-in decisions)"
+             s.Commit_service.elections s.Commit_service.stolen
          else ""))
     multishot;
   List.iter
     (fun (name, (s : Commit_service.stats)) ->
+      let is_elect_arm =
+        String.length name >= 6
+        && String.sub name (String.length name - 6) 6 = "_elect"
+      in
       if not (s.Commit_service.atomicity_ok && s.Commit_service.agreement_ok)
       then begin
         Printf.eprintf
@@ -975,8 +994,35 @@ let run_json path =
       then begin
         Printf.eprintf
           "bench: multishot arm %s left %d parked transactions and %d \
-           staged writes — recovery must drain every instance\n"
+           staged writes — every arm must drain (recovery or election)\n"
           name s.Commit_service.parked s.Commit_service.staged_left;
+        exit 1
+      end;
+      if is_elect_arm then begin
+        (* the coordinator never recovers: the arm can only have drained
+           through elected stand-ins, and no recovery means no retries *)
+        if s.Commit_service.elections < 1 || s.Commit_service.stolen < 1
+        then begin
+          Printf.eprintf
+            "bench: multishot arm %s drained without elections (%d \
+             elections, %d stolen) — the no-recovery outage must exercise \
+             the stand-in path\n"
+            name s.Commit_service.elections s.Commit_service.stolen;
+          exit 1
+        end;
+        if s.Commit_service.retries <> 0 then begin
+          Printf.eprintf
+            "bench: multishot arm %s recorded %d recovery retries under a \
+             never-healing outage\n"
+            name s.Commit_service.retries;
+          exit 1
+        end
+      end
+      else if s.Commit_service.elections <> 0 then begin
+        Printf.eprintf
+          "bench: multishot arm %s ran with re-election off but recorded \
+           %d elections\n"
+          name s.Commit_service.elections;
         exit 1
       end)
     multishot;

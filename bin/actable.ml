@@ -347,7 +347,38 @@ let txserve_cmd =
     Arg.(
       value & opt float 0.1
       & info [ "hot-fraction" ] ~docv:"P"
-          ~doc:"Probability that a key access hits the hot set.")
+          ~doc:
+            "Legacy contention alias: share of accesses aimed at the hot \
+             set, translated to the equivalent Zipf exponent. Ignored \
+             when --zipf-s is given.")
+  in
+  let zipf_s_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "zipf-s" ] ~docv:"S"
+          ~doc:
+            "Key-popularity exponent: rank i is drawn with probability \
+             proportional to 1/(i+1)^S (0 = uniform). Overrides the \
+             legacy --hot-fraction alias.")
+  in
+  let election_timeout_arg =
+    Arg.(
+      value & opt float 12.0
+      & info [ "election-timeout" ] ~docv:"DELAYS"
+          ~doc:
+            "How long a parked instance waits before the lowest live \
+             shard takes over as stand-in coordinator and re-drives the \
+             decision from the recorded votes, in units of U. 0 disables \
+             re-election (parked instances wait for a recovery).")
+  in
+  let require_drained_arg =
+    Arg.(
+      value & flag
+      & info [ "require-drained" ]
+          ~doc:
+            "Exit nonzero unless the run fully drains: no parked \
+             instances and no write-ahead staging left on live shards.")
   in
   let outage_conv =
     let parse s =
@@ -413,7 +444,8 @@ let txserve_cmd =
              second fall below this floor.")
   in
   let action protocol n f seed consensus network clients txns max_batch
-      batch_window pipeline think hot_fraction outages floor =
+      batch_window pipeline think hot_fraction zipf_s election_timeout
+      require_drained outages floor =
     let network =
       match network with
       | `Exact -> Network.exact ~u
@@ -433,6 +465,10 @@ let txserve_cmd =
         max_batch;
         pipeline_depth = pipeline;
         hot_fraction;
+        zipf_s;
+        election_timeout =
+          (if election_timeout <= 0.0 then None
+           else Some (max 1 (ticks election_timeout)));
         network;
         outages;
       }
@@ -441,6 +477,12 @@ let txserve_cmd =
     Format.printf "%a@." Commit_service.pp_stats stats;
     gate "txserve atomicity" stats.Commit_service.atomicity_ok;
     gate "txserve agreement" stats.Commit_service.agreement_ok;
+    if require_drained then begin
+      gate "txserve drained (no parked instances)"
+        (stats.Commit_service.parked = 0);
+      gate "txserve drained (no staging left on live shards)"
+        (stats.Commit_service.staged_left = 0)
+    end;
     match floor with
     | Some fl when stats.Commit_service.commits_per_sec < fl ->
         Format.eprintf
@@ -460,7 +502,8 @@ let txserve_cmd =
       const action $ protocol_arg $ n_arg $ f_arg $ seed_arg $ consensus_arg
       $ svc_network_arg $ clients_arg $ txns_arg $ max_batch_arg
       $ batch_window_arg $ pipeline_arg $ think_arg $ hot_fraction_arg
-      $ outage_arg $ floor_arg)
+      $ zipf_s_arg $ election_timeout_arg $ require_drained_arg $ outage_arg
+      $ floor_arg)
 
 let stress_cmd =
   let runs_arg =

@@ -2,10 +2,21 @@ type 'a t = {
   queue : (int * 'a) Event_queue.t;
   mutable pending : int array;  (* indexed by instance id, grown on demand *)
   mutable events : int;
+  mutable next_tag : int;
 }
 
 let create () =
-  { queue = Event_queue.create (); pending = Array.make 64 0; events = 0 }
+  {
+    queue = Event_queue.create ();
+    pending = Array.make 64 0;
+    events = 0;
+    next_tag = 0;
+  }
+
+let alloc t =
+  let tag = t.next_tag in
+  t.next_tag <- tag + 1;
+  tag
 
 let ensure t instance =
   let len = Array.length t.pending in

@@ -13,11 +13,22 @@
 
     Events tagged with a negative instance id are service-level events
     (client submissions, batch-window expiries, shard outages); they are
-    ordered like any other event but never tracked. *)
+    ordered like any other event but never tracked.
+
+    Tags are allocated through {!alloc} and are never reused, which is
+    what makes {e re-tagging} sound: when a parked instance is re-driven
+    (a recovery retry, or an elected stand-in coordinator taking over),
+    the service binds the instance to a fresh tag and schedules the new
+    machine's events under it — any event still queued under the old tag
+    (a stale crash broadcast, a superseded election timer) dangles
+    harmlessly, because nothing resolves the old tag any more. *)
 
 type 'a t
 
 val create : unit -> 'a t
+
+val alloc : 'a t -> int
+(** A fresh instance tag: 0, 1, 2, ... per queue, never reused. *)
 
 val add : 'a t -> instance:int -> time:Sim_time.t -> klass:int -> 'a -> unit
 (** Enqueue an event for [instance] (or a service event when

@@ -5,6 +5,7 @@ type spec = {
   keys : int;
   hot_keys : int;
   hot_fraction : float;
+  zipf_s : float option;
   reads_per_txn : int;
   writes_per_txn : int;
   batch_window : Sim_time.t;
@@ -12,6 +13,7 @@ type spec = {
   pipeline_depth : int;
   network : Network.t;
   outages : (int * Sim_time.t * Sim_time.t option) list;
+  election_timeout : Sim_time.t option;
   max_time : Sim_time.t;
   seed : int;
 }
@@ -25,6 +27,7 @@ let default =
     keys = 2048;
     hot_keys = 16;
     hot_fraction = 0.1;
+    zipf_s = None;
     reads_per_txn = 2;
     writes_per_txn = 2;
     batch_window = u / 2;
@@ -32,6 +35,7 @@ let default =
     pipeline_depth = 64;
     network = Network.jittered ~u;
     outages = [];
+    election_timeout = Some (12 * u);
     max_time = 100_000 * u;
     seed = 11;
   }
@@ -45,12 +49,16 @@ type stats = {
   parked : int;
   instances : int;
   retries : int;
+  elections : int;
+  stolen : int;
   mean_batch : float;
   peak_in_flight : int;
   total_messages : int;
   staged_left : int;
   makespan_delays : float;
   latency : Histogram.summary;
+  time_parked : Histogram.summary;
+  zipf_s : float;
   wall_seconds : float;
   commits_per_sec : float;
   atomicity_ok : bool;
@@ -84,6 +92,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     | Launch_batch of int  (* batch-window expiry *)
     | Outage of Pid.t
     | Recover of Pid.t
+    | Elect  (* election timer of the instance the event is tagged with *)
     | Inst of iev
 
   (* A transaction waiting in / running through an instance:
@@ -99,6 +108,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
 
   type inst = {
     i_id : int;
+    mutable tag : int;  (* current Mux tag; re-tagged on every re-drive *)
     i_members : member list;  (* oldest first *)
     votes : Vote.t array;
     mutable machine : M.t;
@@ -107,12 +117,21 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     mutable quiesced : bool;
     resolved : bool array;  (* per shard: staged writes applied/discarded *)
     mutable attempts : int;
+    mutable elected : bool;  (* current drive is a stand-in replay *)
+    mutable parked_at : Sim_time.t option;  (* first park instant *)
   }
 
-  let run ~n ~f (spec : spec) : stats =
+  let run ?observe ~n ~f (spec : spec) : stats =
     let u = Sim_time.default_u in
     let env_of pid = { Proto.n; f; u; self = pid } in
     let rng = Rng.create spec.seed in
+    let dist =
+      match spec.zipf_s with
+      | Some s -> Workload.Zipf.make ~keys:spec.keys ~s
+      | None ->
+          Workload.Zipf.of_hot ~keys:spec.keys ~hot_keys:spec.hot_keys
+            ~hot_fraction:spec.hot_fraction
+    in
     let q : sev Mux.t = Mux.create () in
     let stores = Array.init n (fun _ -> Kv_store.create ()) in
     (* write locks held by launched-but-unresolved instances; a key may
@@ -158,10 +177,17 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     in
 
     let instances : (int, inst) Hashtbl.t = Hashtbl.create 256 in
+    (* event dispatch is by current Mux tag: a re-driven instance binds
+       to a fresh tag, so events still queued under a superseded tag
+       (stale crash broadcasts, beaten election timers) resolve to
+       nothing here and die inert *)
+    let by_tag : (int, inst) Hashtbl.t = Hashtbl.create 256 in
     let next_inst = ref 0 in
     let in_flight = ref 0 in
     let peak_in_flight = ref 0 in
     let retries = ref 0 in
+    let elections = ref 0 in
+    let stolen = ref 0 in
     let members_launched = ref 0 in
 
     let batches : (int, batch) Hashtbl.t = Hashtbl.create 64 in
@@ -172,6 +198,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     let issued = ref 0 in
     let committed = ref 0 and aborted = ref 0 and local_aborts = ref 0 in
     let latency = Histogram.create () in
+    let time_parked = Histogram.create () in
     let agreement_ok = ref true in
     let last_time = ref Sim_time.zero in
     let txn_seq = ref 0 in
@@ -228,14 +255,20 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       Array.iteri
         (fun i is_down ->
           if is_down then
-            Mux.add q ~instance:inst.i_id ~time:now ~klass:crash_class
+            Mux.add q ~instance:inst.tag ~time:now ~klass:crash_class
               (Inst (Crash (Pid.of_index i))))
         down;
       List.iter
         (fun pid ->
-          Mux.add q ~instance:inst.i_id ~time:now ~klass:service_class
+          Mux.add q ~instance:inst.tag ~time:now ~klass:service_class
             (Inst (Propose pid)))
         (Pid.all ~n)
+    in
+    let retag inst =
+      Hashtbl.remove by_tag inst.tag;
+      let tag = Mux.alloc q in
+      inst.tag <- tag;
+      Hashtbl.replace by_tag tag inst
     in
 
     let start_instance now (members : member list) =
@@ -275,20 +308,25 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         (fun ((txn : Txn.t), _, _) ->
           List.iter (fun (k, _) -> lock_add (owner_of k) k id) txn.Txn.writes)
         members;
+      let tag = Mux.alloc q in
       let inst =
         {
           i_id = id;
+          tag;
           i_members = members;
           votes;
-          machine = M.create ~env_of ~n ~u ~sink:(sink id now) ();
+          machine = M.create ~env_of ~n ~u ~sink:(sink tag now) ();
           started = now;
           outcome = None;
           quiesced = false;
           resolved = Array.make n false;
           attempts = 1;
+          elected = false;
+          parked_at = None;
         }
       in
       Hashtbl.replace instances id inst;
+      Hashtbl.replace by_tag tag inst;
       members_launched := !members_launched + List.length members;
       incr in_flight;
       if !in_flight > !peak_in_flight then peak_in_flight := !in_flight;
@@ -310,15 +348,48 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       end
     in
 
-    let retry_instance now inst =
-      incr retries;
+    let redrive now inst =
       inst.attempts <- inst.attempts + 1;
       inst.quiesced <- false;
       inst.started <- now;
-      inst.machine <- M.create ~env_of ~n ~u ~sink:(sink inst.i_id now) ();
+      retag inst;
+      inst.machine <- M.create ~env_of ~n ~u ~sink:(sink inst.tag now) ();
       incr in_flight;
-      if !in_flight > !peak_in_flight then peak_in_flight := !in_flight;
+      if !in_flight > !peak_in_flight then peak_in_flight := !in_flight
+    in
+    let retry_instance now inst =
+      incr retries;
+      inst.elected <- false;
+      redrive now inst;
       schedule_instance_events inst now
+    in
+    (* Coordinator re-election: the lowest live rank takes over a parked
+       instance and re-drives its decision from the recorded vote log.
+       The replay is crash-free — every shard logged its vote at instance
+       start, so the stand-in replays the dead shards' automata from the
+       log instead of crashing them (otherwise a blocking protocol would
+       just park again). A shard that went down *after* voting can only
+       have decided by the same deterministic vote rule, so the stand-in
+       reaches the decision the lost coordinator would have: at-most-once
+       holds, and adoption on recovery reconciles against the stand-in's
+       outcome exactly as it reconciles against a live decision. *)
+    let elect now inst =
+      let rec lowest_live i =
+        if i >= n then None
+        else if not down.(i) then Some (Pid.of_index i)
+        else lowest_live (i + 1)
+      in
+      match lowest_live 0 with
+      | None -> ()  (* every shard is down; only a recovery can help *)
+      | Some _standin ->
+          incr elections;
+          inst.elected <- true;
+          redrive now inst;
+          List.iter
+            (fun pid ->
+              Mux.add q ~instance:inst.tag ~time:now ~klass:service_class
+                (Inst (Propose pid)))
+            (Pid.all ~n)
     in
 
     (* Apply/discard the instance's staged writes at one shard and release
@@ -352,7 +423,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     (* An instance with no event left in flight has quiesced: either some
        process decided (commit on all-yes votes, abort otherwise) — or
        nobody did and the instance parks, keeping its staged writes and
-       locks, until a recovery retries it. *)
+       locks, until a recovery retries it or the election timer elects a
+       stand-in coordinator. *)
     let finalize now inst =
       inst.quiesced <- true;
       decr in_flight;
@@ -360,7 +432,15 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         M.decisions inst.machine |> Array.to_list |> List.filter_map Fun.id
       in
       (match decided with
-      | [] -> () (* parked: clients stall, pipeline keeps flowing *)
+      | [] ->
+          (* parked: clients stall, pipeline keeps flowing *)
+          if inst.parked_at = None then inst.parked_at <- Some now;
+          (match spec.election_timeout with
+          | Some d ->
+              Mux.add q ~instance:inst.tag
+                ~time:(Sim_time.( + ) now d)
+                ~klass:service_class Elect
+          | None -> ())
       | (t0, d0) :: rest ->
           List.iter
             (fun (_, d) ->
@@ -370,18 +450,27 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
             List.fold_left (fun acc (t, _) -> Sim_time.max acc t) t0 rest
           in
           inst.outcome <- Some d0;
+          if inst.elected then incr stolen;
+          (match inst.parked_at with
+          | Some p ->
+              Histogram.add time_parked
+                (Sim_time.delays ~u (Sim_time.( - ) now p))
+          | None -> ());
           List.iter
             (fun pid ->
               if not down.(Pid.index pid) then resolve_at_shard inst pid)
             (Pid.all ~n);
           List.iter
-            (fun ((_ : Txn.t), client, submitted_at) ->
+            (fun ((txn : Txn.t), client, submitted_at) ->
               (match d0 with
               | Vote.Commit ->
                   incr committed;
                   Histogram.add latency
                     (Sim_time.delays ~u (Sim_time.( - ) decided_at submitted_at))
               | Vote.Abort -> incr aborted);
+              (match observe with
+              | Some obs -> obs txn.Txn.id d0
+              | None -> ());
               client_resubmit now client)
             inst.i_members);
       launch_ready now
@@ -447,8 +536,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       let id = Printf.sprintf "t%d" !txn_seq in
       incr txn_seq;
       let picked =
-        Workload.distinct_keys ~keys:spec.keys ~hot_keys:spec.hot_keys
-          ~hot_fraction:spec.hot_fraction
+        Workload.distinct_keys ~dist
           ~count:(spec.reads_per_txn + spec.writes_per_txn)
           rng
       in
@@ -499,7 +587,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
           List.iter
             (fun inst ->
               if not (M.is_crashed inst.machine pid) then
-                Mux.add q ~instance:inst.i_id ~time:now ~klass:crash_class
+                Mux.add q ~instance:inst.tag ~time:now ~klass:crash_class
                   (Inst (Crash pid)))
             running
       | Recover pid ->
@@ -520,8 +608,17 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
             (List.sort (fun a b -> compare a.i_id b.i_id) decided);
           List.iter (retry_instance now)
             (List.sort (fun a b -> compare a.i_id b.i_id) parked)
+      | Elect -> (
+          (* still tagged with the parked drive's tag: if the instance was
+             retried or decided in the meantime the tag no longer resolves
+             (or the instance is no longer a parked one) and the timer is
+             void *)
+          match Hashtbl.find_opt by_tag instance with
+          | Some inst when inst.quiesced && inst.outcome = None ->
+              elect now inst
+          | _ -> ())
       | Inst iev -> (
-          match Hashtbl.find_opt instances instance with
+          match Hashtbl.find_opt by_tag instance with
           | None -> ()
           | Some inst -> (
               let m = inst.machine in
@@ -558,7 +655,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
             last_time := time;
             handle time instance ev;
             (if instance >= 0 && Mux.pending q instance = 0 then
-               match Hashtbl.find_opt instances instance with
+               match Hashtbl.find_opt by_tag instance with
                | Some inst when not inst.quiesced -> finalize time inst
                | _ -> ());
             loop ()
@@ -596,10 +693,18 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
           inst.i_members)
       instances;
 
+    (* Write-ahead entries left on LIVE shards: a still-down shard's
+       staging is exactly what recovery adoption will replay, so it is
+       recoverable state, not a leak — the atomicity check above already
+       insists it is present there. *)
     let staged_left =
-      Array.fold_left
-        (fun acc store -> acc + List.length (Kv_store.staged_ids store))
-        0 stores
+      let acc = ref 0 in
+      Array.iteri
+        (fun i store ->
+          if not down.(i) then
+            acc := !acc + List.length (Kv_store.staged_ids store))
+        stores;
+      !acc
     in
     let parked = !issued - !committed - !aborted - !local_aborts in
     let instances_n = !next_inst in
@@ -612,6 +717,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       parked;
       instances = instances_n;
       retries = !retries;
+      elections = !elections;
+      stolen = !stolen;
       mean_batch =
         (if instances_n = 0 then Float.nan
          else float_of_int !members_launched /. float_of_int instances_n);
@@ -620,6 +727,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       staged_left;
       makespan_delays = Sim_time.delays ~u !last_time;
       latency = Histogram.summary latency;
+      time_parked = Histogram.summary time_parked;
+      zipf_s = Workload.Zipf.s dist;
       wall_seconds;
       commits_per_sec =
         (if wall_seconds > 0.0 then float_of_int !committed /. wall_seconds
@@ -629,7 +738,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     }
 end
 
-let run ?(consensus = Registry.Paxos) ~protocol ~n ~f (spec : spec) =
+let run ?(consensus = Registry.Paxos) ?observe ~protocol ~n ~f (spec : spec) =
   if n < 2 then invalid_arg "Commit_service.run: n < 2";
   if f < 1 || f > n - 1 then invalid_arg "Commit_service.run: bad f";
   if spec.clients < 1 then invalid_arg "Commit_service.run: no clients";
@@ -647,25 +756,69 @@ let run ?(consensus = Registry.Paxos) ~protocol ~n ~f (spec : spec) =
       if rank < 1 || rank > n then
         invalid_arg "Commit_service.run: outage rank outside 1..n")
     spec.outages;
+  (match spec.election_timeout with
+  | Some d when d < 1 ->
+      invalid_arg "Commit_service.run: election_timeout < 1"
+  | _ -> ());
   let reg = Registry.find_exn protocol in
   let proto, cons = Registry.compose reg consensus in
   let module P = (val proto) in
   let module C = (val cons) in
   let module S = Make (P) (C) in
-  S.run ~n ~f spec
+  S.run ?observe ~n ~f spec
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
     "@[<v2>%s: %d txns -> %d committed, %d aborted (%d local), %d \
      unresolved@,\
-     %d instances (+%d retries), mean batch %.2f, peak in-flight %d@,\
-     %d msgs, %d staged left, makespan %.1f delays@,\
+     %d instances (+%d retries, %d elections -> %d stolen), mean batch \
+     %.2f, peak in-flight %d@,\
+     %d msgs, %d staged left, makespan %.1f delays, zipf s=%.3f@,\
      latency %a@,\
      %.0f commits/sec (wall %.3fs)%s%s@]"
     s.protocol s.transactions s.committed (s.aborted + s.local_aborts)
-    s.local_aborts s.parked s.instances
-    s.retries s.mean_batch s.peak_in_flight s.total_messages s.staged_left
-    s.makespan_delays Histogram.pp_summary s.latency s.commits_per_sec
-    s.wall_seconds
+    s.local_aborts s.parked s.instances s.retries s.elections s.stolen
+    s.mean_batch s.peak_in_flight s.total_messages s.staged_left
+    s.makespan_delays s.zipf_s Histogram.pp_summary s.latency
+    s.commits_per_sec s.wall_seconds
     (if s.atomicity_ok then "" else "  ATOMICITY VIOLATED")
     (if s.agreement_ok then "" else "  AGREEMENT VIOLATED")
+
+(* The deterministic slice of an arm's JSON body: everything except the
+   wall-clock fields the bench appends afterwards. Shared with the tests,
+   which assert byte-identity across [Batch.run ~jobs] settings. *)
+let arm_json_body (s : stats) =
+  let num v = if Float.is_nan v then "0.0" else Printf.sprintf "%.6f" v in
+  let summary (h : Histogram.summary) =
+    Printf.sprintf
+      "{\"mean\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s, \"max\": %s}"
+      (num h.Histogram.mean) (num h.Histogram.p50) (num h.Histogram.p95)
+      (num h.Histogram.p99) (num h.Histogram.max)
+  in
+  String.concat ""
+    [
+      Printf.sprintf "\"transactions\": %d, " s.transactions;
+      Printf.sprintf "\"committed\": %d, " s.committed;
+      Printf.sprintf "\"aborted\": %d, " s.aborted;
+      Printf.sprintf "\"local_aborts\": %d, " s.local_aborts;
+      Printf.sprintf "\"parked\": %d, " s.parked;
+      Printf.sprintf "\"instances\": %d, " s.instances;
+      Printf.sprintf "\"retries\": %d, " s.retries;
+      Printf.sprintf "\"elections\": %d, " s.elections;
+      Printf.sprintf "\"stolen\": %d, " s.stolen;
+      Printf.sprintf "\"mean_batch\": %s, " (num s.mean_batch);
+      Printf.sprintf "\"peak_in_flight\": %d, " s.peak_in_flight;
+      Printf.sprintf "\"messages\": %d, " s.total_messages;
+      Printf.sprintf "\"staged_left\": %d, " s.staged_left;
+      Printf.sprintf "\"abort_rate\": %s, "
+        (num
+           (if s.transactions = 0 then 0.0
+            else
+              float_of_int (s.aborted + s.local_aborts)
+              /. float_of_int s.transactions));
+      Printf.sprintf "\"zipf_s\": %s, " (num s.zipf_s);
+      Printf.sprintf "\"latency_delays\": %s, " (summary s.latency);
+      Printf.sprintf "\"time_parked_delays\": %s, " (summary s.time_parked);
+      Printf.sprintf "\"atomicity_ok\": %b, " s.atomicity_ok;
+      Printf.sprintf "\"agreement_ok\": %b" s.agreement_ok;
+    ]

@@ -31,6 +31,18 @@
       ([outages] are (rank, down_at, back_at) triples), it first adopts
       the decisions reached while it was down, then every parked instance
       re-runs with its recorded votes and resolves.
+    - {b Coordinator re-election}: a parked instance also arms an
+      [election_timeout] timer. When it fires and the instance is still
+      undecided, the lowest live rank becomes a stand-in coordinator and
+      re-drives the decision from the recorded vote log — a crash-free
+      replay, so even a blocking protocol terminates without the dead
+      shard. The replay applies the same deterministic vote rule the lost
+      coordinator would have (commit iff every shard voted yes), so the
+      decision is at-most-once: adoption on a later recovery reconciles
+      the recovering shard against the stand-in's outcome through the
+      ordinary decided-instance path. A run with a never-healing outage
+      ([back_at = None]) therefore drains: no parked instances, no staged
+      write-ahead entries left on live shards.
 
     After the run an atomicity check extends {!Txn_system}'s per-instance
     check to the whole history: for every transaction, each write-owner
@@ -43,9 +55,12 @@ type spec = {
   txns : int;  (** total transactions to issue across all clients *)
   think_gap : Sim_time.t;
       (** max client think time between decision and next submit *)
-  keys : int;  (** keyspace size (see {!Workload.pick_key}) *)
-  hot_keys : int;
-  hot_fraction : float;
+  keys : int;  (** keyspace size, keys "k0" .. "k<keys-1>" *)
+  hot_keys : int;  (** legacy contention alias, see {!Workload.Zipf.of_hot} *)
+  hot_fraction : float;  (** legacy contention alias *)
+  zipf_s : float option;
+      (** key-popularity exponent; [None] derives it from the legacy
+          [hot_keys]/[hot_fraction] pair *)
   reads_per_txn : int;
   writes_per_txn : int;  (** >= 1 *)
   batch_window : Sim_time.t;
@@ -56,14 +71,19 @@ type spec = {
   network : Network.t;
   outages : (int * Sim_time.t * Sim_time.t option) list;
       (** shard outages: (rank, down_at, back_at); [None] never recovers *)
+  election_timeout : Sim_time.t option;
+      (** how long a parked instance waits before the lowest live rank
+          takes over as stand-in coordinator; [None] disables re-election
+          (parked instances wait for a recovery), [Some d] requires
+          [d >= 1] *)
   max_time : Sim_time.t;  (** safety horizon for the simulated clock *)
   seed : int;
 }
 
 val default : spec
-(** 128 clients, 1000 txns, 2048 keys (16 hot at 0.1), 2 reads + 2
-    writes, batches of up to 8 within half a delay, pipeline depth 64,
-    jittered network, no outages. *)
+(** 128 clients, 1000 txns, 2048 keys (16 hot at 0.1, as a Zipf alias),
+    2 reads + 2 writes, batches of up to 8 within half a delay, pipeline
+    depth 64, jittered network, no outages, election timeout 12 delays. *)
 
 type stats = {
   protocol : string;
@@ -77,13 +97,27 @@ type stats = {
   parked : int;  (** still unresolved at end of run *)
   instances : int;  (** commit instances launched (first attempts) *)
   retries : int;  (** parked instances re-run after a recovery *)
+  elections : int;
+      (** stand-in re-drives: a parked instance's election timer fired
+          and a surviving shard took over *)
+  stolen : int;
+      (** decisions reached by an elected stand-in (<= elections; an
+          elected drive beaten to the decision by a concurrent recovery
+          retry does not count) *)
   mean_batch : float;  (** transactions per instance *)
   peak_in_flight : int;  (** max concurrent instances observed *)
   total_messages : int;  (** network messages across all instances *)
-  staged_left : int;  (** write-ahead entries still staged at end *)
+  staged_left : int;
+      (** write-ahead entries still staged on {e live} shards at end — a
+          still-down shard's staging is recoverable by adoption, not a
+          leak, so it is excluded *)
   makespan_delays : float;  (** simulated end of run, units of U *)
   latency : Histogram.summary;
       (** commit latency, submit to last shard decision, units of U *)
+  time_parked : Histogram.summary;
+      (** park-to-decision delay for instances that parked and were later
+          resolved (by election or recovery), units of U *)
+  zipf_s : float;  (** the resolved key-popularity exponent *)
   wall_seconds : float;
   commits_per_sec : float;  (** committed txns per wall-clock second *)
   atomicity_ok : bool;  (** the whole-history staging/install check *)
@@ -92,10 +126,21 @@ type stats = {
 
 val run :
   ?consensus:Registry.consensus_impl ->
+  ?observe:(string -> Vote.decision -> unit) ->
   protocol:string -> n:int -> f:int -> spec -> stats
-(** Run the service over [n] shards tolerating [f] crashes.
+(** Run the service over [n] shards tolerating [f] crashes. [observe] is
+    called once per decided transaction with its id and decision, in
+    decision order — the hook the differential tests use to compare
+    per-transaction outcomes across configurations.
     @raise Not_found on an unknown protocol name.
     @raise Invalid_argument on a nonsensical spec (no clients, no writes,
-    [pipeline_depth < 1], ...). *)
+    [pipeline_depth < 1], [election_timeout < 1], ...). *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+val arm_json_body : stats -> string
+(** The deterministic slice of a bench arm's JSON object body (no
+    enclosing braces, no wall-clock fields): simulated-clock counters and
+    delay summaries only, so two runs of the same spec produce the same
+    bytes regardless of [Batch.run ~jobs] or machine load. The bench
+    appends [wall_seconds]/[commits_per_sec] itself. *)

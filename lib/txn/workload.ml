@@ -4,6 +4,7 @@ type spec = {
   keys : int;
   hot_keys : int;
   hot_fraction : float;
+  zipf_s : float option;
   reads_per_txn : int;
   writes_per_txn : int;
   crash_probability : float;
@@ -17,6 +18,7 @@ let default =
     keys = 64;
     hot_keys = 4;
     hot_fraction = 0.5;
+    zipf_s = None;
     reads_per_txn = 2;
     writes_per_txn = 2;
     crash_probability = 0.0;
@@ -38,27 +40,125 @@ type stats = {
   atomicity_ok : bool;
 }
 
-let pick_key ~keys ~hot_keys ~hot_fraction rng =
-  if hot_keys > 0 && Rng.float rng < hot_fraction then
-    Printf.sprintf "k%d" (Rng.int rng ~bound:hot_keys)
-  else
-    Printf.sprintf "k%d" (hot_keys + Rng.int rng ~bound:(max 1 (keys - hot_keys)))
+module Zipf = struct
+  type t = { keys : int; s : float; cdf : float array }
 
-let distinct_keys ~keys ~hot_keys ~hot_fraction ~count rng =
-  let rec go count acc =
-    if count = 0 then acc
+  let make ~keys ~s =
+    if keys < 1 then invalid_arg "Workload.Zipf.make: keys < 1";
+    let s = if Float.is_nan s || s < 0.0 then 0.0 else s in
+    let cdf = Array.make keys 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to keys - 1 do
+      acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+      cdf.(i) <- !acc
+    done;
+    let total = !acc in
+    for i = 0 to keys - 1 do
+      cdf.(i) <- cdf.(i) /. total
+    done;
+    cdf.(keys - 1) <- 1.0;
+    { keys; s; cdf }
+
+  let uniform ~keys = make ~keys ~s:0.0
+  let keys t = t.keys
+  let s t = t.s
+
+  let mass_top t h =
+    if h <= 0 then 0.0 else if h >= t.keys then 1.0 else t.cdf.(h - 1)
+
+  (* The legacy knob: "the hot_keys most popular keys receive
+     hot_fraction of the accesses" translated into the unique Zipf
+     exponent with that top-h mass (bisection; the mass is monotone in
+     s). Requests at or below the uniform mass h/K clamp to s = 0. *)
+  let of_hot ~keys ~hot_keys ~hot_fraction =
+    if keys < 1 then invalid_arg "Workload.Zipf.of_hot: keys < 1";
+    let h = max 0 (min hot_keys keys) in
+    let target = Float.min hot_fraction 0.9999 in
+    if h = 0 || h = keys || target <= float_of_int h /. float_of_int keys
+    then uniform ~keys
     else begin
-      let key = pick_key ~keys ~hot_keys ~hot_fraction rng in
-      if List.mem key acc then go count acc else go (count - 1) (key :: acc)
+      let rec bisect lo hi k =
+        if k = 0 then 0.5 *. (lo +. hi)
+        else
+          let mid = 0.5 *. (lo +. hi) in
+          if mass_top (make ~keys ~s:mid) h < target then bisect mid hi (k - 1)
+          else bisect lo mid (k - 1)
+      in
+      make ~keys ~s:(bisect 0.0 32.0 48)
+    end
+
+  let index t rng =
+    let r = Rng.float rng in
+    let lo = ref 0 and hi = ref (t.keys - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) < r then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let pick t rng = Printf.sprintf "k%d" (index t rng)
+end
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Rng.int rng ~bound:(i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let distinct_keys ~dist ~count rng =
+  let keys = Zipf.keys dist in
+  let count = max 0 (min count keys) in
+  let picked =
+    if count = keys then List.init keys (fun i -> Printf.sprintf "k%d" i)
+    else begin
+      (* Rejection sampling against the popularity distribution, with a
+         drawn-attempts budget: when [count] approaches [keys] under heavy
+         skew, the rare tail keys would make pure rejection effectively
+         non-terminating, so the remainder fills deterministically with
+         the most popular unused ranks. *)
+      let attempts = ref ((16 * count) + 64) in
+      let rec go left acc =
+        if left = 0 then acc
+        else if !attempts = 0 then begin
+          let rec fill i left acc =
+            if left = 0 then acc
+            else
+              let key = Printf.sprintf "k%d" i in
+              if List.mem key acc then fill (i + 1) left acc
+              else fill (i + 1) (left - 1) (key :: acc)
+          in
+          fill 0 left acc
+        end
+        else begin
+          decr attempts;
+          let key = Zipf.pick dist rng in
+          if List.mem key acc then go left acc else go (left - 1) (key :: acc)
+        end
+      in
+      go count []
     end
   in
-  go count []
+  (* Callers split the result into read and write sets positionally, so
+     the order must not correlate with popularity — under heavy skew the
+     draws come back popularity-sorted, which would systematically aim
+     reads at the tail and writes at the head and erase read-write
+     conflicts. A shuffle makes the split independent of rank. *)
+  let arr = Array.of_list picked in
+  shuffle rng arr;
+  Array.to_list arr
 
-let generate_txn spec rng ~id =
+let dist_of_spec spec =
+  match spec.zipf_s with
+  | Some s -> Zipf.make ~keys:spec.keys ~s
+  | None ->
+      Zipf.of_hot ~keys:spec.keys ~hot_keys:spec.hot_keys
+        ~hot_fraction:spec.hot_fraction
+
+let generate_txn spec ~dist rng ~id =
   let touched =
-    distinct_keys ~keys:spec.keys ~hot_keys:spec.hot_keys
-      ~hot_fraction:spec.hot_fraction
-      ~count:(spec.reads_per_txn + spec.writes_per_txn) rng
+    distinct_keys ~dist ~count:(spec.reads_per_txn + spec.writes_per_txn) rng
   in
   let rec split k = function
     | rest when k = 0 -> ([], rest)
@@ -78,6 +178,7 @@ let generate_txn spec rng ~id =
 
 let run db spec =
   let rng = Rng.create spec.seed in
+  let dist = dist_of_spec spec in
   let committed = ref 0 and aborted = ref 0 and blocked = ref 0 in
   let total_messages = ref 0 in
   let commit_delays = Histogram.create () in
@@ -85,7 +186,7 @@ let run db spec =
   for b = 0 to spec.batches - 1 do
     let txns =
       List.init spec.batch_size (fun i ->
-          generate_txn spec rng ~id:(Printf.sprintf "b%d-t%d" b i))
+          generate_txn spec ~dist rng ~id:(Printf.sprintf "b%d-t%d" b i))
     in
     let crashes =
       if Rng.float rng < spec.crash_probability then

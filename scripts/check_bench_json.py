@@ -32,7 +32,7 @@ def need(cond, what):
         errors.append(what)
 
 
-need(doc.get("schema") == "actable-bench/6", "schema actable-bench/6")
+need(doc.get("schema") == "actable-bench/7", "schema actable-bench/7")
 need(isinstance(doc.get("pairs"), list) and doc["pairs"], "non-empty pairs")
 
 for section in ("nice_run_seconds", "table_seconds"):
@@ -150,7 +150,7 @@ for k in ("seconds", "states", "states_per_sec"):
          f"mc_network.hashed.{k} > 0")
 check_gc(mcn, "mc_network")
 
-# symmetry-reduction section (actable-bench/6): three execution-class
+# symmetry-reduction section (since actable-bench/6): three execution-class
 # arms, each a symmetry-off vs symmetry-on pair on the same deterministic
 # per-item configuration, plus the isolated canonicalization cost
 sym = doc.get("symmetry", {})
@@ -191,19 +191,24 @@ for k in ("symmetry", "plain", "overhead"):
     need(isinstance(canon.get(k), (int, float)) and canon[k] > 0,
          f"symmetry.canonicalization_ns_per_call.{k} > 0")
 
-# multi-shot commit service: at least three protocol arms plus at least
-# one crash-injection arm, each internally consistent (transactions
-# fully accounted for, percentiles ordered, correctness flags true)
+# multi-shot commit service: at least three protocol arms, at least one
+# crash-injection arm, and (since actable-bench/7) at least one
+# re-election arm whose never-recovering outage drains through elected
+# stand-in coordinators. Each arm internally consistent (transactions
+# fully accounted for, percentiles ordered, correctness flags true).
 ms = doc.get("multishot", {})
 for k in ("n", "f", "clients", "txns"):
     need(isinstance(ms.get(k), (int, float)) and ms[k] > 0,
          f"multishot.{k} > 0")
 arms = ms.get("arms", {})
 need(isinstance(arms, dict) and arms, "non-empty multishot.arms")
-protocols = {name for name in arms if not name.endswith("_crash")}
+protocols = {name for name in arms
+             if not name.endswith(("_crash", "_elect"))}
 need(len(protocols) >= 3, ">= 3 multishot protocol arms")
 need(any(name.endswith("_crash") for name in arms),
      ">= 1 multishot crash-injection arm")
+need(any(name.endswith("_elect") for name in arms),
+     ">= 1 multishot re-election arm")
 for name, arm in arms.items():
     where = f"multishot.arms.{name}"
     if not isinstance(arm, dict):
@@ -216,26 +221,43 @@ for name, arm in arms.items():
         need(isinstance(arm.get(k), (int, float)) and arm[k] > 0,
              f"{where}.{k} > 0")
     for k in ("aborted", "local_aborts", "parked", "retries", "staged_left",
-              "abort_rate"):
+              "abort_rate", "elections", "stolen", "zipf_s"):
         need(isinstance(arm.get(k), (int, float)) and arm[k] >= 0,
              f"{where}.{k} >= 0")
     need(arm.get("atomicity_ok") is True, f"{where}.atomicity_ok")
     need(arm.get("agreement_ok") is True, f"{where}.agreement_ok")
-    need(arm.get("parked") == 0, f"{where}.parked == 0 (recovery drains)")
+    need(arm.get("parked") == 0,
+         f"{where}.parked == 0 (recovery or election drains)")
     need(arm.get("staged_left") == 0, f"{where}.staged_left == 0")
+    if isinstance(arm.get("elections"), (int, float)) and \
+       isinstance(arm.get("stolen"), (int, float)):
+        need(arm["stolen"] <= arm["elections"],
+             f"{where}.stolen <= elections")
+    if name.endswith("_elect"):
+        need(isinstance(arm.get("elections"), (int, float))
+             and arm["elections"] >= 1, f"{where}.elections >= 1")
+        need(isinstance(arm.get("stolen"), (int, float))
+             and arm["stolen"] >= 1, f"{where}.stolen >= 1")
+        need(arm.get("retries") == 0,
+             f"{where}.retries == 0 (no recovery under a permanent outage)")
+    else:
+        need(arm.get("elections") == 0,
+             f"{where}.elections == 0 (re-election off outside _elect arms)")
     counted = sum(arm.get(k, -1) for k in
                   ("committed", "aborted", "local_aborts", "parked"))
     need(counted == arm.get("transactions"),
          f"{where} committed+aborted+local_aborts+parked == transactions")
-    lat = arm.get("latency_delays", {})
-    for k in ("mean", "p50", "p95", "p99", "max"):
-        need(isinstance(lat.get(k), (int, float)) and lat[k] >= 0,
-             f"{where}.latency_delays.{k} >= 0")
-    if isinstance(arm.get("committed"), (int, float)) and arm["committed"] > 0 \
-       and all(isinstance(lat.get(k), (int, float))
-               for k in ("p50", "p95", "p99")):
-        need(lat["p50"] <= lat["p95"] <= lat["p99"],
-             f"{where} p50 <= p95 <= p99")
+    for block, gate in (("latency_delays", "committed"),
+                        ("time_parked_delays", "stolen")):
+        dist = arm.get(block, {})
+        for k in ("mean", "p50", "p95", "p99", "max"):
+            need(isinstance(dist.get(k), (int, float)) and dist[k] >= 0,
+                 f"{where}.{block}.{k} >= 0")
+        if isinstance(arm.get(gate), (int, float)) and arm[gate] > 0 \
+           and all(isinstance(dist.get(k), (int, float))
+                   for k in ("p50", "p95", "p99")):
+            need(dist["p50"] <= dist["p95"] <= dist["p99"],
+                 f"{where} {block} p50 <= p95 <= p99")
 
 if errors:
     print(f"{path}: {len(errors)} problem(s)", file=sys.stderr)

@@ -137,3 +137,41 @@ else:
         else:
             ms_parts.append(f"{name} {n:.0f}/s ({n / o - 1:+.1%})")
     print("bench-trend multishot commits/sec: " + "; ".join(ms_parts))
+
+
+# re-election arms (actable-bench/7): election count (deterministic — a
+# delta means the stand-in path changed) and commits/sec of every _elect
+# arm; old reports from earlier schemas print n/a
+def elect_arms(doc):
+    arms = doc.get("multishot", {}).get("arms", {})
+    out = {}
+    for name, arm in arms.items() if isinstance(arms, dict) else ():
+        if not name.endswith("_elect") or not isinstance(arm, dict):
+            continue
+        el = arm.get("elections")
+        cps = arm.get("commits_per_sec")
+        if isinstance(el, (int, float)) and el >= 0:
+            out[name] = (el, cps if isinstance(cps, (int, float)) else None)
+    return out
+
+
+el_old, el_new = elect_arms(old), elect_arms(new)
+if not el_new:
+    print("bench-trend re-election: n/a (no _elect arm in new report)")
+else:
+    el_parts = []
+    for name in sorted(el_new):
+        elections, cps = el_new[name]
+        old_entry = el_old.get(name)
+        cps_str = f"{cps:.0f}/s" if cps else "n/a"
+        if old_entry is None:
+            el_parts.append(
+                f"{name} {elections:.0f} elections, {cps_str} (n/a)")
+        else:
+            o_el, o_cps = old_entry
+            delta_el = f"{elections - o_el:+.0f}" if o_el is not None else "n/a"
+            delta_cps = (f"{cps / o_cps - 1:+.1%}"
+                         if cps and o_cps else "n/a")
+            el_parts.append(f"{name} {elections:.0f} elections ({delta_el}), "
+                            f"{cps_str} ({delta_cps})")
+    print("bench-trend re-election: " + "; ".join(el_parts))

@@ -85,13 +85,15 @@ let test_batching () =
 let test_two_pc_parks_and_recovers () =
   (* the 2PC coordinator shard goes down at 3U and comes back at 40U:
      in-flight instances park, the recovered shard adopts what it missed,
-     and every parked instance re-runs to a decision *)
+     and every parked instance re-runs to a decision (re-election off —
+     this exercises the pure park/recovery path) *)
   let spec =
     {
       Commit_service.default with
       Commit_service.txns = 400;
       seed = 7;
       outages = [ (1, 3 * u, Some (40 * u)) ];
+      election_timeout = None;
     }
   in
   let s = run ~spec "2pc" in
@@ -103,12 +105,18 @@ let test_two_pc_parks_and_recovers () =
   check tbool "agreement across the outage" true s.Commit_service.agreement_ok
 
 let test_two_pc_parks_without_recovery () =
+  (* with re-election off, a never-healing coordinator outage strands its
+     parked instances — the blocking behavior the regression test below
+     shows re-election (the default) eliminates. staged_left counts live
+     shards only, so the parked instances' write-ahead entries on the
+     two surviving shards must still be visible there. *)
   let spec =
     {
       Commit_service.default with
       Commit_service.txns = 400;
       seed = 7;
       outages = [ (1, 3 * u, None) ];
+      election_timeout = None;
     }
   in
   let s = run ~spec "2pc" in
@@ -120,6 +128,86 @@ let test_two_pc_parks_without_recovery () =
    + s.Commit_service.local_aborts + s.Commit_service.parked);
   check tbool "parked-not-installed is still atomic" true
     s.Commit_service.atomicity_ok
+
+let test_no_recovery_liveness_regression () =
+  (* Regression (ISSUE 9): a never-recovering coordinator outage used to
+     strand its parked instances forever — staged writes held, locks
+     held, clients stalled. With re-election on (the default), a
+     surviving shard must take over and drive every parked instance to a
+     decision: the run terminates fully drained. *)
+  let spec =
+    {
+      Commit_service.default with
+      Commit_service.txns = 400;
+      seed = 7;
+      outages = [ (1, 3 * u, None) ];
+    }
+  in
+  let s = run ~spec "2pc" in
+  check tint "no instance left parked" 0 s.Commit_service.parked;
+  check tint "no staging left on live shards" 0 s.Commit_service.staged_left;
+  check tbool "commits kept flowing past the outage" true
+    (s.Commit_service.committed > 0);
+  check tint "every issued txn accounted" s.Commit_service.transactions
+    (s.Commit_service.committed + s.Commit_service.aborted
+   + s.Commit_service.local_aborts);
+  check tbool "atomic" true s.Commit_service.atomicity_ok;
+  check tbool "agreement" true s.Commit_service.agreement_ok
+
+let test_election_accounting () =
+  (* the drained no-recovery run is driven by elections: stand-ins are
+     counted, their stolen decisions are counted, and no recovery ever
+     happens so the retry counter stays at zero *)
+  let spec =
+    {
+      Commit_service.default with
+      Commit_service.txns = 400;
+      seed = 7;
+      outages = [ (1, 3 * u, None) ];
+    }
+  in
+  let s = run ~spec "2pc" in
+  check tbool "elections happened" true (s.Commit_service.elections > 0);
+  check tbool "stand-ins reached decisions" true (s.Commit_service.stolen > 0);
+  check tbool "stolen bounded by elections" true
+    (s.Commit_service.stolen <= s.Commit_service.elections);
+  check tint "no recovery, no retries" 0 s.Commit_service.retries;
+  check tbool "parked time recorded" true
+    (s.Commit_service.time_parked.Histogram.count >= s.Commit_service.stolen);
+  let tp = s.Commit_service.time_parked in
+  check tbool "parked percentiles ordered" true
+    (tp.Histogram.p50 <= tp.Histogram.p95 && tp.Histogram.p95 <= tp.Histogram.p99)
+
+let test_election_vs_recovery_reconciles () =
+  (* outage heals *after* the election timers have fired: stand-ins
+     decide first, the recovering shard adopts their outcomes, and the
+     whole history stays atomic with everything drained *)
+  let spec =
+    {
+      Commit_service.default with
+      Commit_service.txns = 400;
+      seed = 7;
+      outages = [ (1, 3 * u, Some (80 * u)) ];
+    }
+  in
+  let s = run ~spec "2pc" in
+  check tbool "elections beat the recovery" true
+    (s.Commit_service.elections > 0);
+  check tint "drained" 0 s.Commit_service.parked;
+  check tint "no staging left anywhere after recovery" 0
+    s.Commit_service.staged_left;
+  check tint "accounted" s.Commit_service.transactions
+    (s.Commit_service.committed + s.Commit_service.aborted
+   + s.Commit_service.local_aborts);
+  check tbool "atomic" true s.Commit_service.atomicity_ok;
+  check tbool "agreement" true s.Commit_service.agreement_ok
+
+let test_nominal_run_has_no_elections () =
+  let s = run "inbac" in
+  check tint "no outage, no elections" 0 s.Commit_service.elections;
+  check tint "no outage, nothing stolen" 0 s.Commit_service.stolen;
+  check tint "no outage, no parked time" 0
+    s.Commit_service.time_parked.Histogram.count
 
 let test_inbac_crash_non_blocking () =
   (* same unrecovered outage, but INBAC tolerates f=1: every instance
@@ -138,6 +226,98 @@ let test_inbac_crash_non_blocking () =
   check tbool "pre-outage commits exist" true (s.Commit_service.committed > 0);
   check tbool "atomic" true s.Commit_service.atomicity_ok;
   check tbool "agreement" true s.Commit_service.agreement_ok
+
+let test_zipf_s_passthrough () =
+  let s =
+    run ~spec:{ small with Commit_service.zipf_s = Some 1.25 } "inbac"
+  in
+  check (Alcotest.float 1e-9) "explicit exponent echoed" 1.25
+    s.Commit_service.zipf_s;
+  let s' = run "inbac" in
+  check tbool "legacy alias resolves to a positive exponent" true
+    (s'.Commit_service.zipf_s > 0.0)
+
+(* Differential: with a recovery in the schedule, turning re-election on
+   changes *when* parked instances decide but never *what* they decide —
+   the stand-in applies the same all-yes vote rule as the recovery
+   retry. The spec is constrained so both runs are event-identical up to
+   the first election timer: every transaction is issued by the initial
+   client submits (txns <= clients), every batch launches immediately
+   (pipeline >= txns), and the outage lands after that horizon. *)
+let qcheck_election_differential =
+  let gen =
+    QCheck.(
+      quad (int_range 0 1000) (int_range 8 32) (int_range 10 40)
+        (int_range 10 80))
+  in
+  QCheck.Test.make ~count:25
+    ~name:"re-election preserves per-transaction decisions" gen
+    (fun (seed, clients, timeout_u, recover_gap_u) ->
+      let txns = max 4 (clients / 2) in
+      let down_at = 4 * u in
+      let base election_timeout =
+        {
+          Commit_service.default with
+          Commit_service.clients;
+          txns;
+          seed;
+          pipeline_depth = txns;
+          outages = [ (1, down_at, Some (down_at + (recover_gap_u * u))) ];
+          election_timeout;
+        }
+      in
+      let decisions spec =
+        let tbl = Hashtbl.create 64 in
+        let s =
+          Commit_service.run
+            ~observe:(fun id d -> Hashtbl.replace tbl id d)
+            ~protocol:"2pc" ~n:3 ~f:1 spec
+        in
+        (tbl, s)
+      in
+      let on, s_on = decisions (base (Some (timeout_u * u))) in
+      let off, s_off = decisions (base None) in
+      s_on.Commit_service.parked = 0
+      && s_off.Commit_service.parked = 0
+      && s_on.Commit_service.atomicity_ok
+      && s_off.Commit_service.atomicity_ok
+      && Hashtbl.length on = Hashtbl.length off
+      && Hashtbl.fold
+           (fun id d acc ->
+             acc
+             &&
+             match Hashtbl.find_opt off id with
+             | Some d' -> Vote.decision_equal d d'
+             | None -> false)
+           on true)
+
+let test_parallel_arms_byte_identical () =
+  (* the bench runs its arms through Batch.run: the deterministic JSON
+     body of every arm must come out byte-identical whether the arms run
+     on one domain or four *)
+  let specs =
+    [
+      ("inbac", small);
+      ("2pc", small);
+      ( "2pc",
+        {
+          small with
+          Commit_service.txns = 150;
+          outages = [ (1, 3 * u, None) ];
+        } );
+      ("paxos-commit", { small with Commit_service.zipf_s = Some 0.9 });
+    ]
+  in
+  let arm_bodies jobs =
+    Batch.run ~jobs
+      (fun (protocol, spec) ->
+        Commit_service.arm_json_body
+          (Commit_service.run ~protocol ~n:3 ~f:1 spec))
+      specs
+  in
+  List.iter2
+    (fun a b -> check Alcotest.string "arm body identical across jobs" a b)
+    (arm_bodies 1) (arm_bodies 4)
 
 let test_spec_validation () =
   check tbool "unknown protocol" true
@@ -158,10 +338,13 @@ let test_spec_validation () =
   check tbool "pipeline depth < 1" true
     (invalid { small with Commit_service.pipeline_depth = 0 });
   check tbool "outage rank out of range" true
-    (invalid { small with Commit_service.outages = [ (9, u, None) ] })
+    (invalid { small with Commit_service.outages = [ (9, u, None) ] });
+  check tbool "election timeout < 1" true
+    (invalid { small with Commit_service.election_timeout = Some 0 })
 
 let () =
   let quick name fn = Alcotest.test_case name `Quick fn in
+  let prop t = QCheck_alcotest.to_alcotest t in
   Alcotest.run "svc"
     [
       ( "commit-service",
@@ -173,7 +356,18 @@ let () =
           quick "2pc parks and recovers" test_two_pc_parks_and_recovers;
           quick "2pc parks without recovery"
             test_two_pc_parks_without_recovery;
+          quick "no-recovery liveness regression"
+            test_no_recovery_liveness_regression;
+          quick "election accounting" test_election_accounting;
+          quick "election then recovery reconciles"
+            test_election_vs_recovery_reconciles;
+          quick "nominal run has no elections"
+            test_nominal_run_has_no_elections;
           quick "inbac crash non-blocking" test_inbac_crash_non_blocking;
+          quick "zipf-s passthrough" test_zipf_s_passthrough;
+          quick "parallel arms byte-identical"
+            test_parallel_arms_byte_identical;
           quick "spec validation" test_spec_validation;
+          prop qcheck_election_differential;
         ] );
     ]

@@ -330,6 +330,139 @@ let test_workload_determinism () =
   in
   check tbool "same seed, same stats" true (stats () = stats ())
 
+(* ------------------------------------------------------------------ *)
+(* Zipf key popularity + distinct_keys (satellite: termination/bias) *)
+
+let test_zipf_construction () =
+  Alcotest.match_raises "keys < 1"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Workload.Zipf.make ~keys:0 ~s:1.0));
+  let d = Workload.Zipf.make ~keys:16 ~s:(-3.0) in
+  check (Alcotest.float 1e-9) "negative s clamps to uniform" 0.0
+    (Workload.Zipf.s d);
+  let d = Workload.Zipf.make ~keys:16 ~s:Float.nan in
+  check (Alcotest.float 1e-9) "nan s clamps to uniform" 0.0
+    (Workload.Zipf.s d);
+  let u16 = Workload.Zipf.uniform ~keys:16 in
+  check (Alcotest.float 1e-9) "uniform top-4 mass" 0.25
+    (Workload.Zipf.mass_top u16 4);
+  check (Alcotest.float 1e-9) "mass of nothing" 0.0
+    (Workload.Zipf.mass_top u16 0);
+  check (Alcotest.float 1e-9) "mass of everything" 1.0
+    (Workload.Zipf.mass_top u16 16)
+
+let test_zipf_of_hot_inverts () =
+  (* the legacy alias solves for the exponent whose top-h mass matches *)
+  List.iter
+    (fun (hot_keys, hot_fraction) ->
+      let d = Workload.Zipf.of_hot ~keys:64 ~hot_keys ~hot_fraction in
+      check (Alcotest.float 1e-3)
+        (Printf.sprintf "top-%d mass inverts %.2f" hot_keys hot_fraction)
+        hot_fraction
+        (Workload.Zipf.mass_top d hot_keys))
+    [ (4, 0.5); (8, 0.3); (16, 0.9); (2, 0.2) ];
+  let d = Workload.Zipf.of_hot ~keys:64 ~hot_keys:4 ~hot_fraction:0.01 in
+  check (Alcotest.float 1e-9) "sub-uniform request clamps to uniform" 0.0
+    (Workload.Zipf.s d)
+
+let prop_zipf_draws_in_range_and_skewed =
+  QCheck.Test.make ~count:100 ~name:"zipf draws in range, mass matches CDF"
+    QCheck.(triple small_int (int_range 2 128) (int_range 0 30))
+    (fun (seed, keys, s10) ->
+      let s = float_of_int s10 /. 10.0 in
+      let d = Workload.Zipf.make ~keys ~s in
+      let rng = Rng.create seed in
+      let draws = 2000 in
+      let h = max 1 (keys / 4) in
+      let in_top = ref 0 in
+      let ok = ref true in
+      for _ = 1 to draws do
+        let i = Workload.Zipf.index d rng in
+        if i < 0 || i >= keys then ok := false;
+        if i < h then incr in_top
+      done;
+      let expect = Workload.Zipf.mass_top d h in
+      let got = float_of_int !in_top /. float_of_int draws in
+      (* 2000 draws: the empirical top-quartile mass sits within a wide
+         tolerance of the analytic CDF mass *)
+      !ok && Float.abs (got -. expect) < 0.06)
+
+let prop_distinct_keys_unique_and_terminates =
+  QCheck.Test.make ~count:200
+    ~name:"distinct_keys: distinct, in range, terminates at every count"
+    QCheck.(
+      quad small_int (int_range 1 48) (int_range 0 60) (int_range 0 80))
+    (fun (seed, keys, count, s10) ->
+      (* count deliberately ranges past keys; s up to 8 covers the heavy
+         skew where rejection alone would stall on the tail *)
+      let d = Workload.Zipf.make ~keys ~s:(float_of_int s10 /. 10.0) in
+      let rng = Rng.create seed in
+      let picked = Workload.distinct_keys ~dist:d ~count rng in
+      let expect = max 0 (min count keys) in
+      List.length picked = expect
+      && List.length (List.sort_uniq String.compare picked) = expect
+      && List.for_all
+           (fun k ->
+             String.length k > 1
+             && k.[0] = 'k'
+             &&
+             match int_of_string_opt (String.sub k 1 (String.length k - 1)) with
+             | Some i -> i >= 0 && i < keys
+             | None -> false)
+           picked)
+
+let test_distinct_keys_edge_counts () =
+  let d = Workload.Zipf.make ~keys:8 ~s:1.0 in
+  let rng = Rng.create 1 in
+  check tint "count 0 is empty" 0
+    (List.length (Workload.distinct_keys ~dist:d ~count:0 rng));
+  check tint "negative count clamps to empty" 0
+    (List.length (Workload.distinct_keys ~dist:d ~count:(-3) rng));
+  check tint "count beyond keys clamps to keys" 8
+    (List.length (Workload.distinct_keys ~dist:d ~count:100 rng));
+  (* hot_keys = 0 must not loop: the legacy alias degenerates to uniform *)
+  let d0 = Workload.Zipf.of_hot ~keys:8 ~hot_keys:0 ~hot_fraction:0.9 in
+  check tint "hot_keys 0 still draws" 4
+    (List.length (Workload.distinct_keys ~dist:d0 ~count:4 rng))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram percentile pins (satellite: empty/single-sample inputs) *)
+
+let test_histogram_empty_and_single () =
+  let h = Histogram.create () in
+  let s = Histogram.summary h in
+  check tint "empty count" 0 s.Histogram.count;
+  check tbool "empty mean is nan" true (Float.is_nan s.Histogram.mean);
+  check tbool "empty p50 is nan" true (Float.is_nan s.Histogram.p50);
+  check tbool "empty p99 is nan" true (Float.is_nan s.Histogram.p99);
+  check tbool "empty max is nan" true (Float.is_nan s.Histogram.max);
+  Histogram.add h 42.0;
+  let s = Histogram.summary h in
+  check tint "single count" 1 s.Histogram.count;
+  let f = Alcotest.float 1e-9 in
+  check f "single mean" 42.0 s.Histogram.mean;
+  check f "single p50" 42.0 s.Histogram.p50;
+  check f "single p95" 42.0 s.Histogram.p95;
+  check f "single p99" 42.0 s.Histogram.p99;
+  check f "single max" 42.0 s.Histogram.max;
+  check f "percentile 0 of one sample" 42.0 (Histogram.percentile h 0.0);
+  check f "percentile 1 of one sample" 42.0 (Histogram.percentile h 1.0)
+
+let test_histogram_percentile_bounds () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.match_raises "q > 1"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Histogram.percentile h 1.5));
+  Alcotest.match_raises "q < 0"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Histogram.percentile h (-0.1)));
+  let s = Histogram.summary h in
+  check tbool "percentiles ordered" true
+    (s.Histogram.p50 <= s.Histogram.p95
+    && s.Histogram.p95 <= s.Histogram.p99
+    && s.Histogram.p99 <= s.Histogram.max)
+
 let () =
   let quick name fn = Alcotest.test_case name `Quick fn in
   let prop t = QCheck_alcotest.to_alcotest t in
@@ -365,5 +498,18 @@ let () =
           quick "contention extremes" test_workload_contention_monotone_at_extremes;
           quick "crash injection atomic" test_workload_crash_injection_stays_atomic;
           quick "determinism" test_workload_determinism;
+        ] );
+      ( "zipf",
+        [
+          quick "construction" test_zipf_construction;
+          quick "of_hot inverts" test_zipf_of_hot_inverts;
+          quick "distinct_keys edge counts" test_distinct_keys_edge_counts;
+          prop prop_zipf_draws_in_range_and_skewed;
+          prop prop_distinct_keys_unique_and_terminates;
+        ] );
+      ( "histogram",
+        [
+          quick "empty and single sample" test_histogram_empty_and_single;
+          quick "percentile bounds" test_histogram_percentile_bounds;
         ] );
     ]
