@@ -289,6 +289,35 @@ let multishot_txns =
   in
   Option.value (scan argv) ~default:800
 
+(* The streaming soak arm's scale: enough clients to hit real contention,
+   budget-capped transactions so the smoke run stays cheap. The CI
+   bench-soak leg raises the counts through these flags. *)
+let soak_clients =
+  let rec scan = function
+    | "--soak-clients" :: v :: _ -> int_of_string_opt v
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  Option.value (scan argv) ~default:1000
+
+let soak_txns =
+  let rec scan = function
+    | "--soak-txns" :: v :: _ -> int_of_string_opt v
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  Option.value (scan argv) ~default:20_000
+
+(* Allocation ceiling for the soak arm: fail when it allocates more
+   minor-heap words per issued transaction than this. *)
+let max_minor_words =
+  let rec scan = function
+    | "--max-minor-words-per-txn" :: v :: _ -> float_of_string_opt v
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan argv
+
 (* Symmetry-reduction gate: fail when the best measured symmetry-on vs
    symmetry-off state-count ratio falls below this. The crash-class arm
    is the headline (~9.6x at inbac n=4 f=1); the network-class arm has
@@ -661,6 +690,10 @@ let run_json path =
       Commit_service.clients = ms_clients;
       txns = ms_txns;
       seed = 11;
+      (* the seven legacy arms predate queued admission: pin them to the
+         abort-on-conflict policy so their numbers stay comparable across
+         schema versions *)
+      admission = Commit_service.Abort_on_conflict;
       outages = (if crash then [ (1, 3 * ms_u, Some (20 * ms_u)) ] else []);
       election_timeout = None;
     }
@@ -672,12 +705,41 @@ let run_json path =
       election_timeout = Commit_service.default.Commit_service.election_timeout;
     }
   in
+  (* the queued-admission pair: same skewed workload, only the conflict
+     policy differs — the goodput gap is the headline number *)
+  let ms_zipf_spec admission =
+    {
+      Commit_service.default with
+      Commit_service.clients = ms_clients;
+      txns = ms_txns;
+      seed = 11;
+      zipf_s = Some 0.8;
+      admission;
+    }
+  in
+  (* the streaming soak arm: queued admission at soak scale with the
+     constant-memory histograms, the configuration the 1M-txn run uses *)
+  let ms_soak_spec =
+    {
+      Commit_service.default with
+      Commit_service.clients = soak_clients;
+      txns = soak_txns;
+      seed = 11;
+      zipf_s = Some 0.8;
+      soak = true;
+    }
+  in
   let multishot_arms =
     List.concat_map
       (fun p ->
         [ (p, ms_spec ~crash:false); (p ^ "_crash", ms_spec ~crash:true) ])
       [ "inbac"; "paxos-commit"; "2pc" ]
-    @ [ ("2pc_elect", ms_elect_spec) ]
+    @ [
+        ("2pc_elect", ms_elect_spec);
+        ("2pc_zipf_queue", ms_zipf_spec Commit_service.Queue_waiters);
+        ("2pc_zipf_abort", ms_zipf_spec Commit_service.Abort_on_conflict);
+        ("2pc_soak", ms_soak_spec);
+      ]
   in
   let multishot =
     Batch.run ?jobs
@@ -702,7 +764,7 @@ let run_json path =
     Buffer.add_string buf "  }"
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"actable-bench/7\",\n";
+  Buffer.add_string buf "  \"schema\": \"actable-bench/8\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"pairs\": [%s],\n"
        (String.concat ", "
@@ -859,8 +921,9 @@ let run_json path =
   Buffer.add_string buf "  \"multishot\": {\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "    \"n\": 3, \"f\": 1, \"clients\": %d, \"txns\": %d,\n" ms_clients
-       ms_txns);
+       "    \"n\": 3, \"f\": 1, \"clients\": %d, \"txns\": %d, \
+        \"soak_clients\": %d, \"soak_txns\": %d,\n"
+       ms_clients ms_txns soak_clients soak_txns);
   Buffer.add_string buf "    \"arms\": {\n";
   let n_arms = List.length multishot in
   (* each arm is the deterministic body (byte-identical at any --jobs)
@@ -869,11 +932,13 @@ let run_json path =
     (fun idx (name, (s : Commit_service.stats)) ->
       Buffer.add_string buf
         (Printf.sprintf "      \"%s\": { %s, \"seconds\": %.6f, \
-                         \"commits_per_sec\": %s }%s\n"
+                         \"commits_per_sec\": %s, \
+                         \"minor_words_per_txn\": %s }%s\n"
            name
            (Commit_service.arm_json_body s)
            s.Commit_service.wall_seconds
            (num s.Commit_service.commits_per_sec)
+           (num s.Commit_service.minor_words_per_txn)
            (if idx = n_arms - 1 then "" else ",")))
     multishot;
   Buffer.add_string buf "    }\n";
@@ -958,10 +1023,12 @@ let run_json path =
   List.iter
     (fun (name, (s : Commit_service.stats)) ->
       Printf.printf
-        "multishot %-18s %6.0f commits/sec  %4d/%d committed, %d aborted \
-         (%d local), %d parked, p50/p95/p99 %.1f/%.1f/%.1f delays%s%s\n"
+        "multishot %-18s %6.0f commits/sec  %4d/%d committed (goodput \
+         %.3f, %.0f words/txn), %d aborted (%d local), %d parked, \
+         p50/p95/p99 %.1f/%.1f/%.1f delays%s%s\n"
         name s.Commit_service.commits_per_sec s.Commit_service.committed
-        s.Commit_service.transactions s.Commit_service.aborted
+        s.Commit_service.transactions s.Commit_service.goodput
+        s.Commit_service.minor_words_per_txn s.Commit_service.aborted
         s.Commit_service.local_aborts s.Commit_service.parked
         s.Commit_service.latency.Histogram.p50
         s.Commit_service.latency.Histogram.p95
@@ -1026,11 +1093,51 @@ let run_json path =
         exit 1
       end)
     multishot;
+  (* the admission differential: queued admission must beat abort-on-
+     conflict on goodput under the skewed workload, or the policy is not
+     earning its keep *)
+  let s_goodput (s : Commit_service.stats) = s.Commit_service.goodput in
+  (match
+     ( List.assoc_opt "2pc_zipf_queue" multishot,
+       List.assoc_opt "2pc_zipf_abort" multishot )
+   with
+  | Some q, Some a ->
+      if s_goodput q <= s_goodput a then begin
+        Printf.eprintf
+          "bench: queued admission goodput %.3f did not beat \
+           abort-on-conflict %.3f under the zipf 0.8 workload\n"
+          (s_goodput q) (s_goodput a);
+        exit 1
+      end
+  | _ -> ());
+  (match max_minor_words with
+  | Some ceiling ->
+      List.iter
+        (fun (name, (s : Commit_service.stats)) ->
+          if
+            name = "2pc_soak"
+            && s.Commit_service.minor_words_per_txn > ceiling
+          then begin
+            Printf.eprintf
+              "bench: soak arm %s allocated %.0f minor words/txn, above \
+               the ceiling %.0f\n"
+              name s.Commit_service.minor_words_per_txn ceiling;
+            exit 1
+          end)
+        multishot
+  | None -> ());
   (match min_multishot_floor with
   | Some floor ->
       List.iter
         (fun (name, (s : Commit_service.stats)) ->
-          if s.Commit_service.commits_per_sec < floor then begin
+          (* the _abort arm's goodput collapse is the point of the
+             differential, not a regression — exempt it from the floor *)
+          let is_abort_arm =
+            String.length name >= 6
+            && String.sub name (String.length name - 6) 6 = "_abort"
+          in
+          if (not is_abort_arm) && s.Commit_service.commits_per_sec < floor
+          then begin
             Printf.eprintf
               "bench: multishot arm %s at %.0f commits/sec, below the \
                floor %.0f\n"

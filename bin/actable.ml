@@ -443,9 +443,70 @@ let txserve_cmd =
             "Exit nonzero when committed transactions per wall-clock \
              second fall below this floor.")
   in
+  let admission_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("queue", Commit_service.Queue_waiters);
+               ("abort", Commit_service.Abort_on_conflict);
+             ])
+          Commit_service.Queue_waiters
+      & info [ "admission" ] ~docv:"MODE"
+          ~doc:
+            "Conflict policy at admission: 'queue' (default) parks the \
+             transaction FIFO on the lock-holding instance and re-admits \
+             it when that instance resolves; 'abort' rejects it locally \
+             (the coordinator-side OCC check).")
+  in
+  let wait_budget_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "wait-budget" ] ~docv:"K"
+          ~doc:
+            "Max times a transaction may re-queue under --admission queue \
+             before it falls back to a local abort (0 degenerates to \
+             abort-on-conflict).")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int 2048
+      & info [ "keys" ] ~docv:"K" ~doc:"Keyspace size.")
+  in
+  let soak_arg =
+    Arg.(
+      value & flag
+      & info [ "soak" ]
+          ~doc:
+            "Streaming soak mode: constant-memory fixed-bin histograms \
+             (bounded percentile error) and periodic progress flushes to \
+             stderr — the mode for million-transaction runs.")
+  in
+  let flush_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "flush-every" ] ~docv:"K"
+          ~doc:
+            "Progress line to stderr every K issued transactions (0 \
+             disables; --soak defaults it to txns/20).")
+  in
+  let words_ceiling_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info
+          [ "max-minor-words-per-txn" ]
+          ~docv:"X"
+          ~doc:
+            "Exit nonzero when minor-heap words allocated per issued \
+             transaction exceed this ceiling — the allocation gate the \
+             soak CI leg uses.")
+  in
   let action protocol n f seed consensus network clients txns max_batch
       batch_window pipeline think hot_fraction zipf_s election_timeout
-      require_drained outages floor =
+      require_drained outages floor admission wait_budget keys soak
+      flush_every words_ceiling =
     let network =
       match network with
       | `Exact -> Network.exact ~u
@@ -461,9 +522,12 @@ let txserve_cmd =
         txns;
         seed;
         think_gap = max 1 (ticks think);
+        keys;
         batch_window = ticks batch_window;
         max_batch;
         pipeline_depth = pipeline;
+        admission;
+        wait_budget;
         hot_fraction;
         zipf_s;
         election_timeout =
@@ -471,6 +535,11 @@ let txserve_cmd =
            else Some (max 1 (ticks election_timeout)));
         network;
         outages;
+        soak;
+        flush_every =
+          (if flush_every > 0 then flush_every
+           else if soak then max 1 (txns / 20)
+           else 0);
       }
     in
     let stats = Commit_service.run ~consensus ~protocol ~n ~f spec in
@@ -483,6 +552,14 @@ let txserve_cmd =
       gate "txserve drained (no staging left on live shards)"
         (stats.Commit_service.staged_left = 0)
     end;
+    (match words_ceiling with
+    | Some ceil when stats.Commit_service.minor_words_per_txn > ceil ->
+        Format.eprintf
+          "actable: txserve allocation %.0f minor words/txn above ceiling \
+           %g@."
+          stats.Commit_service.minor_words_per_txn ceil;
+        exit 1
+    | _ -> ());
     match floor with
     | Some fl when stats.Commit_service.commits_per_sec < fl ->
         Format.eprintf
@@ -503,7 +580,8 @@ let txserve_cmd =
       $ svc_network_arg $ clients_arg $ txns_arg $ max_batch_arg
       $ batch_window_arg $ pipeline_arg $ think_arg $ hot_fraction_arg
       $ zipf_s_arg $ election_timeout_arg $ require_drained_arg $ outage_arg
-      $ floor_arg)
+      $ floor_arg $ admission_arg $ wait_budget_arg $ keys_arg $ soak_arg
+      $ flush_every_arg $ words_ceiling_arg)
 
 let stress_cmd =
   let runs_arg =

@@ -1,7 +1,7 @@
 type 'a cell = {
-  time : Sim_time.t;
-  klass : int;
-  seq : int;
+  mutable time : Sim_time.t;
+  mutable klass : int;
+  mutable seq : int;
   mutable payload : 'a option;
       (* cleared to [None] when the cell pops, so dead heap slots (the
          region beyond [len], plus grow-seed duplicates) never pin a
@@ -13,6 +13,13 @@ type 'a t = {
   (* [heap.(0..len-1)] is a binary min-heap on (time, klass, seq). *)
   mutable len : int;
   mutable next_seq : int;
+  mutable free : 'a cell list;
+      (* popped cells awaiting reuse by [add]. A cell enters the list at
+         most once per live period (pop handles each live cell exactly
+         once), so mutating a reused cell can never corrupt another live
+         slot — the only other references to it are dead heap slots,
+         which are never read. *)
+  mutable free_len : int;
 }
 
 (* An engine queue drains between instants and refills at the next one;
@@ -22,7 +29,7 @@ type 'a t = {
    an unusually large burst shrinks the array back to this many slots. *)
 let max_retained = 256
 
-let create () = { heap = [||]; len = 0; next_seq = 0 }
+let create () = { heap = [||]; len = 0; next_seq = 0; free = []; free_len = 0 }
 
 let cell_lt a b =
   match Sim_time.compare a.time b.time with
@@ -70,7 +77,18 @@ let rec sift_down t i =
 let add t ~time ~klass payload =
   if time < 0 then invalid_arg "Event_queue.add: negative time";
   if klass < 0 then invalid_arg "Event_queue.add: negative class";
-  let cell = { time; klass; seq = t.next_seq; payload = Some payload } in
+  let cell =
+    match t.free with
+    | c :: rest ->
+        t.free <- rest;
+        t.free_len <- t.free_len - 1;
+        c.time <- time;
+        c.klass <- klass;
+        c.seq <- t.next_seq;
+        c.payload <- Some payload;
+        c
+    | [] -> { time; klass; seq = t.next_seq; payload = Some payload }
+  in
   t.next_seq <- t.next_seq + 1;
   grow t cell;
   t.heap.(t.len) <- cell;
@@ -89,6 +107,10 @@ let pop t =
     (* clearing the popped cell itself un-pins the payload through every
        alias of the record (dead slots, grow-seed duplicates) *)
     top.payload <- None;
+    if t.free_len < max_retained then begin
+      t.free <- top :: t.free;
+      t.free_len <- t.free_len + 1
+    end;
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.heap.(0) <- t.heap.(t.len);

@@ -38,8 +38,13 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
   type t = {
     env_of : Pid.t -> Proto.env;
     u : Sim_time.t;
-    sink : sink;
+    mutable sink : sink;
+        (* swapped by [reset] when a pooled machine is re-bound to a new
+           commit instance *)
     trace : Trace.t;
+    trace_on : bool;
+        (* tracing never feeds back into the automata; drivers that never
+           read traces skip the per-event entry and tag rendering *)
     tags : (wire, string) Hashtbl.t;
         (* memoized [tag_of_wire]: rendering a message tag runs the Format
            machinery, and the model checker re-sends structurally equal
@@ -79,12 +84,13 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
            re-filtering its pending lists on quiet steps *)
   }
 
-  let create ?(pool = false) ~env_of ~n ~u ~sink () =
+  let create ?(pool = false) ?(record_trace = true) ~env_of ~n ~u ~sink () =
     {
       env_of;
       u;
       sink;
       trace = Trace.create ();
+      trace_on = record_trace;
       tags = Hashtbl.create 64;
       pstates = Array.init n (fun i -> P.init (env_of (Pid.of_index i)));
       cstates = Array.init n (fun i -> C.init (env_of (Pid.of_index i)));
@@ -106,6 +112,27 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
      current stamp, or pooled snapshots would treat the slot as still
      agreeing with their captured copy. *)
   let touch t i = t.last_mut.(i) <- t.stamp
+
+  let empty_trace = Trace.snapshot (Trace.create ())
+
+  let reset t ~sink =
+    t.sink <- sink;
+    Trace.restore t.trace empty_trace;
+    for i = 0 to Array.length t.pstates - 1 do
+      let env = t.env_of (Pid.of_index i) in
+      t.pstates.(i) <- P.init env;
+      t.cstates.(i) <- C.init env;
+      t.crashed.(i) <- None;
+      t.decisions.(i) <- None;
+      t.cons_decided.(i) <- false;
+      t.send_budget.(i) <- None;
+      t.timer_epochs.(i) <- [];
+      t.last_mut.(i) <- 0
+    done;
+    t.pool <- [];
+    t.stamp <- 1;
+    t.crash_count <- 0;
+    t.epoch_bumps <- 0
 
   let trace t = t.trace
   let pstate t p = t.pstates.(Pid.index p)
@@ -176,7 +203,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       t.crashed.(Pid.index pid) <- Some now;
       touch t (Pid.index pid);
       t.crash_count <- t.crash_count + 1;
-      Trace.add t.trace (Trace.Crash { at = now; pid })
+      if t.trace_on then Trace.add t.trace (Trace.Crash { at = now; pid })
     end
 
   (* Whether [src] may transmit one more network message now, honouring a
@@ -197,19 +224,35 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     | Some _ | None -> not (is_crashed t src)
 
   let transmit t ~now ~src ~dst payload =
-    let layer = layer_of_wire payload in
-    let tag = tag t payload in
     if Pid.equal src dst then begin
       (* a self-addressed message "arrives immediately" (footnote 10) and
          is not a network message: no budget consumed *)
       let deliver_at = t.sink.send ~now ~src ~dst payload in
-      Trace.add t.trace
-        (Trace.Send { at = now; src; dst; layer; tag; deliver_at })
+      if t.trace_on then
+        Trace.add t.trace
+          (Trace.Send
+             {
+               at = now;
+               src;
+               dst;
+               layer = layer_of_wire payload;
+               tag = tag t payload;
+               deliver_at;
+             })
     end
     else if may_send t ~now src then begin
       let deliver_at = t.sink.send ~now ~src ~dst payload in
-      Trace.add t.trace
-        (Trace.Send { at = now; src; dst; layer; tag; deliver_at })
+      if t.trace_on then
+        Trace.add t.trace
+          (Trace.Send
+             {
+               at = now;
+               src;
+               dst;
+               layer = layer_of_wire payload;
+               tag = tag t payload;
+               deliver_at;
+             })
     end
 
   let fire_time ~now ~u = function
@@ -240,13 +283,14 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     | None ->
         t.decisions.(Pid.index pid) <- Some (now, decision);
         touch t (Pid.index pid);
-        Trace.add t.trace (Trace.Decide { at = now; pid; decision })
+        if t.trace_on then
+          Trace.add t.trace (Trace.Decide { at = now; pid; decision })
     | Some (_, first) ->
         (* A re-decision with the same value is not an event: tracing it
            would duplicate the entry every decision consumer reads. A
            conflicting one is traced so the spec checkers can flag the
            stability breach instead of never seeing it. *)
-        if not (Vote.decision_equal first decision) then
+        if t.trace_on && not (Vote.decision_equal first decision) then
           Trace.add t.trace (Trace.Decide { at = now; pid; decision })
 
   (* Interpreting actions. Commit-layer actions may invoke the consensus
@@ -269,20 +313,22 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
             cancel_timer t ~pid ~layer:Trace.Commit_layer ~id
         | Proto.Decide d -> record_decision t ~now ~pid d
         | Proto.Propose_consensus v ->
-            Trace.add t.trace
-              (Trace.Note
-                 {
-                   at = now;
-                   pid;
-                   label = "consensus-propose";
-                   value = Format.asprintf "%a" Vote.pp v;
-                 });
+            if t.trace_on then
+              Trace.add t.trace
+                (Trace.Note
+                   {
+                     at = now;
+                     pid;
+                     label = "consensus-propose";
+                     value = Format.asprintf "%a" Vote.pp v;
+                   });
             let cstate, cactions = C.on_propose env t.cstates.(Pid.index pid) v in
             t.cstates.(Pid.index pid) <- cstate;
             touch t (Pid.index pid);
             interpret_cons t ~now ~pid cactions
         | Proto.Note (label, value) ->
-            Trace.add t.trace (Trace.Note { at = now; pid; label; value }))
+            if t.trace_on then
+              Trace.add t.trace (Trace.Note { at = now; pid; label; value }))
       actions
 
   and interpret_commit t ~now ~pid actions =
@@ -306,14 +352,15 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
             if not t.cons_decided.(Pid.index pid) then begin
               t.cons_decided.(Pid.index pid) <- true;
               touch t (Pid.index pid);
-              Trace.add t.trace
-                (Trace.Note
-                   {
-                     at = now;
-                     pid;
-                     label = "consensus-decide";
-                     value = Format.asprintf "%a" Vote.pp_decision d;
-                   });
+              if t.trace_on then
+                Trace.add t.trace
+                  (Trace.Note
+                     {
+                       at = now;
+                       pid;
+                       label = "consensus-decide";
+                       value = Format.asprintf "%a" Vote.pp_decision d;
+                     });
               let env = t.env_of pid in
               let pstate, pactions =
                 P.on_consensus_decide env t.pstates.(Pid.index pid)
@@ -326,7 +373,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         | Proto.Propose_consensus _ ->
             failwith "Machine: consensus automaton proposed to consensus"
         | Proto.Note (label, value) ->
-            Trace.add t.trace (Trace.Note { at = now; pid; label; value }))
+            if t.trace_on then
+              Trace.add t.trace (Trace.Note { at = now; pid; label; value }))
       actions
 
   and run_guards t ~now ~pid =
@@ -342,7 +390,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         match List.find_opt (fun (_, pred) -> pred env state) P.guards with
         | None -> ()
         | Some (id, _) ->
-            Trace.add t.trace (Trace.Guard { at = now; pid; guard = id });
+            if t.trace_on then
+              Trace.add t.trace (Trace.Guard { at = now; pid; guard = id });
             let state, actions = P.on_guard env state ~id in
             t.pstates.(Pid.index pid) <- state;
             touch t (Pid.index pid);
@@ -362,7 +411,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
 
   let propose t ~now pid vote =
     if not (is_crashed t pid) then begin
-      Trace.add t.trace (Trace.Propose { at = now; pid; vote });
+      if t.trace_on then
+        Trace.add t.trace (Trace.Propose { at = now; pid; vote });
       let env = t.env_of pid in
       let state, actions = P.on_propose env t.pstates.(Pid.index pid) vote in
       t.pstates.(Pid.index pid) <- state;
@@ -371,13 +421,22 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     end
 
   let deliver t ~now ~sent_at ~src ~dst payload =
-    let layer = layer_of_wire payload in
-    let tag = tag t payload in
-    if is_crashed t dst then
-      Trace.add t.trace (Trace.Discard { at = now; dst; tag })
+    if is_crashed t dst then begin
+      if t.trace_on then
+        Trace.add t.trace (Trace.Discard { at = now; dst; tag = tag t payload })
+    end
     else begin
-      Trace.add t.trace
-        (Trace.Deliver { at = now; src; dst; layer; tag; sent_at });
+      if t.trace_on then
+        Trace.add t.trace
+          (Trace.Deliver
+             {
+               at = now;
+               src;
+               dst;
+               layer = layer_of_wire payload;
+               tag = tag t payload;
+               sent_at;
+             });
       let env = t.env_of dst in
       match payload with
       | Commit_msg m ->
@@ -396,7 +455,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     if epoch <> timer_epoch t pid layer id then false
     else begin
       (if not (is_crashed t pid) then begin
-         Trace.add t.trace (Trace.Timeout { at = now; pid; timer = id });
+         if t.trace_on then
+           Trace.add t.trace (Trace.Timeout { at = now; pid; timer = id });
          let env = t.env_of pid in
          match layer with
          | Trace.Commit_layer ->

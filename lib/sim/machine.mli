@@ -46,7 +46,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) : sig
   type t
 
   val create :
-    ?pool:bool ->
+    ?pool:bool -> ?record_trace:bool ->
     env_of:(Pid.t -> Proto.env) -> n:int -> u:Sim_time.t -> sink:sink ->
     unit -> t
   (** [?pool] (default [false]) turns on snapshot pooling: {!release}d
@@ -54,7 +54,22 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) : sig
       re-copies only the per-pid slots mutated since the record's own
       capture, and {!restore} writes back only the slots mutated since
       the snapshot was taken. Observable behaviour is identical either
-      way; the pool only changes allocation. *)
+      way; the pool only changes allocation.
+
+      [?record_trace] (default [true]) controls whether {!trace}
+      accumulates an entry per event. Tracing never feeds back into the
+      automata, so turning it off changes no observable behaviour — it
+      skips the per-event entry allocation and the message-tag rendering,
+      which is what a driver that never reads traces (the multi-shot
+      commit service) wants on its hot path. *)
+
+  val reset : t -> sink:sink -> unit
+  (** Reinitialize the machine for a fresh run under a new [sink]:
+      protocol and consensus states return to [init], crash/decision/
+      timer bookkeeping and the trace are cleared. Equivalent to
+      {!create} with the original parameters but reuses every array —
+      the per-instance recycling path of the commit service. Snapshot
+      records captured before a reset must not be restored after it. *)
 
   (* ---- inspection ------------------------------------------------ *)
 

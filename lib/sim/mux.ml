@@ -1,39 +1,81 @@
+(* Tags encode (generation, slot): the slot indexes the fixed-size
+   per-instance bookkeeping (pending counts), the generation makes every
+   tag unique across the queue's lifetime even though slots are recycled.
+   A tag from a superseded generation fails the generation check at every
+   site, so events queued under it dangle harmlessly — the same soundness
+   argument as the original monotone tags, but with O(live instances)
+   memory instead of O(all tags ever). *)
+
+let slot_bits = 20
+let slot_mask = (1 lsl slot_bits) - 1
+
 type 'a t = {
   queue : (int * 'a) Event_queue.t;
-  mutable pending : int array;  (* indexed by instance id, grown on demand *)
+  mutable gens : int array;  (* per slot: current generation *)
+  mutable pending : int array;  (* per slot: pending of the current gen *)
+  mutable free : int list;  (* retired slots awaiting re-allocation *)
+  mutable slots_used : int;  (* high-water slot count *)
   mutable events : int;
-  mutable next_tag : int;
 }
 
 let create () =
   {
     queue = Event_queue.create ();
+    gens = Array.make 64 0;
     pending = Array.make 64 0;
+    free = [];
+    slots_used = 0;
     events = 0;
-    next_tag = 0;
   }
 
-let alloc t =
-  let tag = t.next_tag in
-  t.next_tag <- tag + 1;
-  tag
+let slot tag = tag land slot_mask
+let gen tag = tag asr slot_bits
 
-let ensure t instance =
+let ensure t s =
   let len = Array.length t.pending in
-  if instance >= len then begin
+  if s >= len then begin
     let cap = ref (2 * len) in
-    while instance >= !cap do
+    while s >= !cap do
       cap := 2 * !cap
     done;
     let grown = Array.make !cap 0 in
     Array.blit t.pending 0 grown 0 len;
-    t.pending <- grown
+    t.pending <- grown;
+    let ggrown = Array.make !cap 0 in
+    Array.blit t.gens 0 ggrown 0 len;
+    t.gens <- ggrown
+  end
+
+let alloc t =
+  let s =
+    match t.free with
+    | s :: rest ->
+        t.free <- rest;
+        s
+    | [] ->
+        let s = t.slots_used in
+        if s > slot_mask then failwith "Mux.alloc: live instance slots exhausted";
+        t.slots_used <- s + 1;
+        ensure t s;
+        s
+  in
+  t.pending.(s) <- 0;
+  (t.gens.(s) lsl slot_bits) lor s
+
+let retire t tag =
+  let s = slot tag in
+  if s < Array.length t.gens && t.gens.(s) = gen tag then begin
+    t.gens.(s) <- t.gens.(s) + 1;
+    t.pending.(s) <- 0;
+    t.free <- s :: t.free
   end
 
 let add t ~instance ~time ~klass payload =
   if instance >= 0 then begin
-    ensure t instance;
-    t.pending.(instance) <- t.pending.(instance) + 1
+    let s = slot instance in
+    ensure t s;
+    if s >= t.slots_used then t.slots_used <- s + 1;
+    if t.gens.(s) = gen instance then t.pending.(s) <- t.pending.(s) + 1
   end;
   t.events <- t.events + 1;
   Event_queue.add t.queue ~time ~klass (instance, payload)
@@ -42,14 +84,20 @@ let pop t =
   match Event_queue.pop t.queue with
   | None -> None
   | Some (time, klass, (instance, payload)) ->
-      if instance >= 0 then t.pending.(instance) <- t.pending.(instance) - 1;
+      (if instance >= 0 then
+         let s = slot instance in
+         if s < Array.length t.gens && t.gens.(s) = gen instance then
+           t.pending.(s) <- t.pending.(s) - 1);
       t.events <- t.events - 1;
       Some (time, klass, instance, payload)
 
 let pending t instance =
-  if instance >= 0 && instance < Array.length t.pending then
-    t.pending.(instance)
-  else 0
+  if instance < 0 then 0
+  else
+    let s = slot instance in
+    if s < Array.length t.pending && t.gens.(s) = gen instance then
+      t.pending.(s)
+    else 0
 
 let size t = t.events
 let is_empty t = t.events = 0

@@ -1,21 +1,63 @@
-type t = { mutable data : float array; mutable len : int }
+(* Two representations behind one interface. [Exact] retains every
+   sample verbatim (sort-based nearest-rank percentiles) and is right for
+   bounded runs. [Streaming] is the soak-mode variant: a fixed array of
+   equal-width bins over [0, max] plus an overflow bin, so memory is
+   O(bins) however many samples arrive; percentiles come back as the
+   upper edge of the covering bin (error bounded by one bin width),
+   clamped to the true observed maximum. *)
+
+type exact = { mutable data : float array; mutable len : int }
+
+type streaming = {
+  width : float;
+  counts : int array;  (* [bins] equal-width bins + 1 overflow bin *)
+  mutable n : int;
+  mutable sum : float;
+  mutable vmax : float;
+}
+
+type t = Exact of exact | Streaming of streaming
 
 let create ?(capacity = 1024) () =
-  { data = Array.make (max 1 capacity) 0.0; len = 0 }
+  Exact { data = Array.make (max 1 capacity) 0.0; len = 0 }
+
+let streaming ~bins ~max =
+  if bins < 1 then invalid_arg "Histogram.streaming: bins < 1";
+  if not (max > 0.0) then invalid_arg "Histogram.streaming: max <= 0";
+  Streaming
+    {
+      width = max /. float_of_int bins;
+      counts = Array.make (bins + 1) 0;
+      n = 0;
+      sum = 0.0;
+      vmax = Float.neg_infinity;
+    }
 
 let add t x =
-  if t.len = Array.length t.data then begin
-    let grown = Array.make (2 * t.len) 0.0 in
-    Array.blit t.data 0 grown 0 t.len;
-    t.data <- grown
-  end;
-  t.data.(t.len) <- x;
-  t.len <- t.len + 1
+  match t with
+  | Exact e ->
+      if e.len = Array.length e.data then begin
+        let grown = Array.make (2 * e.len) 0.0 in
+        Array.blit e.data 0 grown 0 e.len;
+        e.data <- grown
+      end;
+      e.data.(e.len) <- x;
+      e.len <- e.len + 1
+  | Streaming s ->
+      let bins = Array.length s.counts - 1 in
+      let i =
+        if x <= 0.0 then 0
+        else Stdlib.min bins (int_of_float (x /. s.width))
+      in
+      s.counts.(i) <- s.counts.(i) + 1;
+      s.n <- s.n + 1;
+      s.sum <- s.sum +. x;
+      if x > s.vmax then s.vmax <- x
 
-let count t = t.len
+let count = function Exact e -> e.len | Streaming s -> s.n
 
-let sorted t =
-  let a = Array.sub t.data 0 t.len in
+let sorted e =
+  let a = Array.sub e.data 0 e.len in
   Array.sort Float.compare a;
   a
 
@@ -26,12 +68,34 @@ let percentile_of_sorted a q =
     (* nearest rank: the smallest sample with at least a [q] fraction of
        the distribution at or below it *)
     let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
-    a.(max 0 (min (n - 1) (rank - 1)))
+    a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+(* Nearest rank over the cumulative bin counts: the covering bin's upper
+   edge over-reports by at most one bin width; samples past [max] land
+   in the overflow bin and report the observed maximum. Cumulative
+   counts are monotone in [q], so percentiles come out ordered. *)
+let percentile_of_bins s q =
+  if s.n = 0 then Float.nan
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int s.n)))
+    in
+    let bins = Array.length s.counts - 1 in
+    let i = ref 0 and cum = ref s.counts.(0) in
+    while !cum < rank && !i < bins do
+      incr i;
+      cum := !cum + s.counts.(!i)
+    done;
+    if !i >= bins then s.vmax
+    else Float.min s.vmax (float_of_int (!i + 1) *. s.width)
+  end
 
 let percentile t q =
   if not (q >= 0.0 && q <= 1.0) then
     invalid_arg "Histogram.percentile: q outside [0, 1]";
-  percentile_of_sorted (sorted t) q
+  match t with
+  | Exact e -> percentile_of_sorted (sorted e) q
+  | Streaming s -> percentile_of_bins s q
 
 type summary = {
   count : int;
@@ -43,18 +107,29 @@ type summary = {
 }
 
 let summary t =
-  let a = sorted t in
-  let n = Array.length a in
-  {
-    count = n;
-    mean =
-      (if n = 0 then Float.nan
-       else Array.fold_left ( +. ) 0.0 a /. float_of_int n);
-    p50 = percentile_of_sorted a 0.50;
-    p95 = percentile_of_sorted a 0.95;
-    p99 = percentile_of_sorted a 0.99;
-    max = (if n = 0 then Float.nan else a.(n - 1));
-  }
+  match t with
+  | Exact e ->
+      let a = sorted e in
+      let n = Array.length a in
+      {
+        count = n;
+        mean =
+          (if n = 0 then Float.nan
+           else Array.fold_left ( +. ) 0.0 a /. float_of_int n);
+        p50 = percentile_of_sorted a 0.50;
+        p95 = percentile_of_sorted a 0.95;
+        p99 = percentile_of_sorted a 0.99;
+        max = (if n = 0 then Float.nan else a.(n - 1));
+      }
+  | Streaming s ->
+      {
+        count = s.n;
+        mean = (if s.n = 0 then Float.nan else s.sum /. float_of_int s.n);
+        p50 = percentile_of_bins s 0.50;
+        p95 = percentile_of_bins s 0.95;
+        p99 = percentile_of_bins s 0.99;
+        max = (if s.n = 0 then Float.nan else s.vmax);
+      }
 
 let pp_summary ppf s =
   if s.count = 0 then Format.pp_print_string ppf "no samples"

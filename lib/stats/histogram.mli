@@ -1,18 +1,29 @@
-(** A latency accumulator with exact percentiles.
+(** A latency accumulator with exact or streaming percentiles.
 
-    Samples are kept verbatim (a growable float buffer) and percentiles
-    are computed by nearest-rank over a sorted copy, so [p50 <= p95 <=
-    p99 <= max] holds by construction — the property the bench JSON
-    validator gates on. Exactness over streaming approximation is the
-    right trade here: the largest consumer (the multi-shot commit bench)
-    records one sample per committed transaction, a few thousand floats
-    per arm. *)
+    The default ({!create}) keeps samples verbatim (a growable float
+    buffer) and computes percentiles by nearest-rank over a sorted copy —
+    exact, and the right trade for bounded runs that record a few
+    thousand floats per arm. The soak-mode variant ({!streaming}) folds
+    samples into a fixed array of equal-width bins plus an overflow bin,
+    so memory stays O(bins) over a million-transaction run; its
+    percentiles report the covering bin's upper edge (error bounded by
+    one bin width, [max /. bins]), clamped to the exact observed maximum.
+    Either way [p50 <= p95 <= p99 <= max] holds by construction — the
+    property the bench JSON validator gates on. *)
 
 type t
 
 val create : ?capacity:int -> unit -> t
-(** [capacity] is the initial buffer size (default 1024); the buffer
-    doubles as needed. *)
+(** The exact variant. [capacity] is the initial buffer size (default
+    1024); the buffer doubles as needed. *)
+
+val streaming : bins:int -> max:float -> t
+(** The fixed-memory variant: [bins] equal-width bins over [\[0, max\]]
+    plus one overflow bin for samples beyond [max] (those report the
+    observed maximum from any percentile that lands on them). [count],
+    [mean] and [max] stay exact; percentiles carry at most one bin width
+    ([max /. bins]) of error.
+    @raise Invalid_argument when [bins < 1] or [max <= 0]. *)
 
 val add : t -> float -> unit
 val count : t -> int

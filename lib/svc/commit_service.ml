@@ -1,3 +1,5 @@
+type admission = Queue_waiters | Abort_on_conflict
+
 type spec = {
   clients : int;
   txns : int;
@@ -11,9 +13,14 @@ type spec = {
   batch_window : Sim_time.t;
   max_batch : int;
   pipeline_depth : int;
+  admission : admission;
+  wait_budget : int;
   network : Network.t;
   outages : (int * Sim_time.t * Sim_time.t option) list;
   election_timeout : Sim_time.t option;
+  soak : bool;
+  flush_every : int;
+  recycle : bool;
   max_time : Sim_time.t;
   seed : int;
 }
@@ -33,19 +40,27 @@ let default =
     batch_window = u / 2;
     max_batch = 8;
     pipeline_depth = 64;
+    admission = Queue_waiters;
+    wait_budget = 64;
     network = Network.jittered ~u;
     outages = [];
     election_timeout = Some (12 * u);
+    soak = false;
+    flush_every = 0;
+    recycle = true;
     max_time = 100_000 * u;
     seed = 11;
   }
 
 type stats = {
   protocol : string;
+  admission_mode : string;
   transactions : int;
   committed : int;
   aborted : int;
   local_aborts : int;
+  queued : int;
+  queue_aborts : int;
   parked : int;
   instances : int;
   retries : int;
@@ -58,9 +73,12 @@ type stats = {
   makespan_delays : float;
   latency : Histogram.summary;
   time_parked : Histogram.summary;
+  queue_depth : Histogram.summary;
   zipf_s : float;
+  goodput : float;
   wall_seconds : float;
   commits_per_sec : float;
+  minor_words_per_txn : float;
   atomicity_ok : bool;
   agreement_ok : bool;
 }
@@ -99,17 +117,10 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
      (txn, client, submitted_at). *)
   type member = Txn.t * int * Sim_time.t
 
-  type batch = {
-    b_id : int;
-    owners : string;  (* canonical write-owner-set key *)
-    mutable b_members : member list;  (* newest first *)
-    mutable b_launched : bool;
-  }
-
   type inst = {
-    i_id : int;
+    mutable i_id : int;
     mutable tag : int;  (* current Mux tag; re-tagged on every re-drive *)
-    i_members : member list;  (* oldest first *)
+    mutable i_members : member list;  (* oldest first *)
     votes : Vote.t array;
     mutable machine : M.t;
     mutable started : Sim_time.t;
@@ -119,6 +130,24 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     mutable attempts : int;
     mutable elected : bool;  (* current drive is a stand-in replay *)
     mutable parked_at : Sim_time.t option;  (* first park instant *)
+    waiters : waiter Queue.t;
+        (* queued admission: transactions blocked on a write lock this
+           instance holds, FIFO; released when the instance resolves *)
+  }
+
+  and waiter = {
+    w_txn : Txn.t;
+    w_client : int;
+    w_submitted : Sim_time.t;
+    w_keys : string list;
+    mutable w_waits : int;  (* completed waits so far *)
+  }
+
+  type batch = {
+    b_id : int;
+    owners : string;  (* canonical write-owner-set key *)
+    mutable b_members : waiter list;  (* newest first *)
+    mutable b_launched : bool;
   }
 
   let run ?observe ~n ~f (spec : spec) : stats =
@@ -134,15 +163,21 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     in
     let q : sev Mux.t = Mux.create () in
     let stores = Array.init n (fun _ -> Kv_store.create ()) in
+    let all_pids = Pid.all ~n in
+    let owner_of key = Txn_system.placement_key ~n key in
+    (* the keyspace is dense and known up front: intern every key name and
+       its owner once, so the generator never formats a key string again *)
+    let key_names = Array.init spec.keys (fun i -> Printf.sprintf "k%d" i) in
+    let key_owner = Array.map owner_of key_names in
     (* write locks held by launched-but-unresolved instances; a key may
-       appear once per holding instance *)
-    let locks : (string, int) Hashtbl.t array =
+       appear once per holding instance. Holding the instance record (not
+       just its id) lets queued admission reach the holder's wait queue. *)
+    let locks : (string, inst) Hashtbl.t array =
       Array.init n (fun _ -> Hashtbl.create 64)
     in
     let down = Array.make n false in
     let send_seq = ref 0 in
     let messages = ref 0 in
-    let owner_of key = Txn_system.placement_key ~n key in
     let local_writes pid (txn : Txn.t) =
       List.filter (fun (k, _) -> Pid.equal (owner_of k) pid) txn.Txn.writes
     in
@@ -150,24 +185,19 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       List.filter (fun (k, _) -> Pid.equal (owner_of k) pid) txn.Txn.reads
     in
 
-    let lock_conflict pid key inst_id =
-      List.exists
-        (fun holder -> holder <> inst_id)
-        (Hashtbl.find_all locks.(Pid.index pid) key)
-    in
-    let lock_add pid key inst_id = Hashtbl.add locks.(Pid.index pid) key inst_id in
-    let lock_release pid inst_id =
+    let lock_add pid key inst = Hashtbl.add locks.(Pid.index pid) key inst in
+    let lock_release pid inst =
       let h = locks.(Pid.index pid) in
       let keys =
         Hashtbl.fold
           (fun k holder acc ->
-            if holder = inst_id && not (List.mem k acc) then k :: acc else acc)
+            if holder == inst && not (List.mem k acc) then k :: acc else acc)
           h []
       in
       List.iter
         (fun k ->
           let others =
-            List.filter (fun holder -> holder <> inst_id) (Hashtbl.find_all h k)
+            List.filter (fun holder -> holder != inst) (Hashtbl.find_all h k)
           in
           while Hashtbl.mem h k do
             Hashtbl.remove h k
@@ -175,13 +205,51 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
           List.iter (fun holder -> Hashtbl.add h k holder) others)
         keys
     in
+    let rec holder_of = function
+      | [] -> None
+      | k :: rest -> (
+          match Hashtbl.find_opt locks.(Pid.index (owner_of k)) k with
+          | Some _ as h -> h
+          | None -> holder_of rest)
+    in
 
-    let instances : (int, inst) Hashtbl.t = Hashtbl.create 256 in
-    (* event dispatch is by current Mux tag: a re-driven instance binds
-       to a fresh tag, so events still queued under a superseded tag
-       (stale crash broadcasts, beaten election timers) resolve to
-       nothing here and die inert *)
-    let by_tag : (int, inst) Hashtbl.t = Hashtbl.create 256 in
+    (* Live instances, indexed by the slot of their current Mux tag; a
+       popped event resolves only when its full tag still matches, so
+       events queued under a superseded tag (stale crash broadcasts,
+       beaten election timers) die inert — the same dispatch the old
+       monotone-tag table did, in O(live) memory. Fully resolved
+       instances leave the array (their atomicity is checked as they
+       retire) and their records and machines recycle through pools, so
+       a soak run's footprint is the pipeline depth, not the history. *)
+    let slots : inst option array ref = ref (Array.make 256 None) in
+    let ensure_slot s =
+      if s >= Array.length !slots then begin
+        let cap = ref (2 * Array.length !slots) in
+        while s >= !cap do
+          cap := 2 * !cap
+        done;
+        let grown = Array.make !cap None in
+        Array.blit !slots 0 grown 0 (Array.length !slots);
+        slots := grown
+      end
+    in
+    let slot_put tag inst =
+      let s = Mux.slot tag in
+      ensure_slot s;
+      !slots.(s) <- Some inst
+    in
+    let find_by_tag tag =
+      let s = Mux.slot tag in
+      if s < Array.length !slots then
+        match !slots.(s) with
+        | Some inst when inst.tag = tag -> Some inst
+        | _ -> None
+      else None
+    in
+    let iter_insts fn =
+      Array.iter (function Some inst -> fn inst | None -> ()) !slots
+    in
+
     let next_inst = ref 0 in
     let in_flight = ref 0 in
     let peak_in_flight = ref 0 in
@@ -197,11 +265,24 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
 
     let issued = ref 0 in
     let committed = ref 0 and aborted = ref 0 and local_aborts = ref 0 in
-    let latency = Histogram.create () in
-    let time_parked = Histogram.create () in
+    let queued = ref 0 and queue_aborts = ref 0 in
+    let total_waiting = ref 0 in
+    (* soak mode swaps the exact (every-sample-retained) histograms for
+       fixed-bin streaming ones: same summary interface, constant memory,
+       percentile error bounded by one bin width *)
+    let mk_hist max_v =
+      if spec.soak then Histogram.streaming ~bins:4096 ~max:max_v
+      else Histogram.create ()
+    in
+    let latency = mk_hist 8192.0 in
+    let time_parked = mk_hist 8192.0 in
+    let queue_depth = mk_hist (float_of_int (max 16 spec.clients)) in
     let agreement_ok = ref true in
+    let atomicity_ok = ref true in
     let last_time = ref Sim_time.zero in
     let txn_seq = ref 0 in
+    let wall_start = Unix.gettimeofday () in
+    let gc_words0 = Gc.minor_words () in
 
     (* The instance-tagged sink: one network, one clock, one rng across
        all instances. Protocols express "set timer to time k" as an
@@ -251,6 +332,24 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       }
     in
 
+    (* Machines recycle: a retired instance's machine resets in place for
+       the next one ([recycle = false] pins the fresh-create path, the
+       reset-vs-fresh differential the tests run). Tracing stays off —
+       the service never reads traces. *)
+    let machine_pool : M.t list ref = ref [] in
+    let take_machine tag started =
+      match !machine_pool with
+      | m :: rest ->
+          machine_pool := rest;
+          M.reset m ~sink:(sink tag started);
+          m
+      | [] -> M.create ~record_trace:false ~env_of ~n ~u ~sink:(sink tag started) ()
+    in
+    let release_machine m =
+      if spec.recycle then machine_pool := m :: !machine_pool
+    in
+    let inst_pool : inst list ref = ref [] in
+
     let schedule_instance_events inst now =
       Array.iteri
         (fun i is_down ->
@@ -262,16 +361,51 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
         (fun pid ->
           Mux.add q ~instance:inst.tag ~time:now ~klass:service_class
             (Inst (Propose pid)))
-        (Pid.all ~n)
+        all_pids
     in
     let retag inst =
-      Hashtbl.remove by_tag inst.tag;
+      !slots.(Mux.slot inst.tag) <- None;
+      Mux.retire q inst.tag;
       let tag = Mux.alloc q in
       inst.tag <- tag;
-      Hashtbl.replace by_tag tag inst
+      slot_put tag inst
     in
 
-    let start_instance now (members : member list) =
+    let client_resubmit now client =
+      let think = 1 + Rng.int rng ~bound:(max 1 spec.think_gap) in
+      Mux.add q ~instance:(-1)
+        ~time:(Sim_time.( + ) now think)
+        ~klass:service_class (Submit client)
+    in
+    (* The conflict branch of admission: the transaction [w] hit a write
+       lock held by [holder]. Queue it FIFO on the holder (it re-admits
+       when the holder resolves), unless waiting cannot help — the holder
+       already decided, so its remaining locks release only when a dead
+       shard recovers — or [w] has exhausted its wait budget; then it
+       falls back to the local abort the OCC check would have taken.
+       Waiters hold no locks while they wait, so there is no hold-and-wait
+       and queues cannot deadlock; the budget bounds re-conflict chains,
+       so they cannot livelock either. *)
+    let wait_or_abort now (w : waiter) (holder : inst) =
+      match spec.admission with
+      | Abort_on_conflict ->
+          incr local_aborts;
+          client_resubmit now w.w_client
+      | Queue_waiters ->
+          if holder.outcome <> None || w.w_waits >= spec.wait_budget then begin
+            incr local_aborts;
+            incr queue_aborts;
+            client_resubmit now w.w_client
+          end
+          else begin
+            if w.w_waits = 0 then incr queued;
+            incr total_waiting;
+            Histogram.add queue_depth (float_of_int !total_waiting);
+            Queue.push w holder.waiters
+          end
+    in
+
+    let start_members now (members : member list) =
       let id = !next_inst in
       incr next_inst;
       (* write-ahead: every owner stages its legs before voting *)
@@ -283,54 +417,95 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
               if writes <> [] then
                 Kv_store.stage stores.(Pid.index pid) ~txn_id:txn.Txn.id
                   ~writes)
-            (Pid.all ~n))
-        members;
-      (* per-shard vote: optimistic read validation, and no key of the
-         batch may be write-locked by another in-flight instance *)
-      let votes =
-        Array.init n (fun i ->
-            let pid = Pid.of_index i in
-            let store = stores.(i) in
-            Vote.of_bool
-              (List.for_all
-                 (fun ((txn : Txn.t), _, _) ->
-                   List.for_all
-                     (fun (k, expected) ->
-                       Kv_store.version store ~key:k = expected)
-                     (local_reads pid txn)
-                   && List.for_all
-                        (fun k -> not (lock_conflict pid k id))
-                        (List.map fst (local_reads pid txn)
-                        @ List.map fst (local_writes pid txn)))
-                 members))
-      in
-      List.iter
-        (fun ((txn : Txn.t), _, _) ->
-          List.iter (fun (k, _) -> lock_add (owner_of k) k id) txn.Txn.writes)
+            all_pids)
         members;
       let tag = Mux.alloc q in
       let inst =
-        {
-          i_id = id;
-          tag;
-          i_members = members;
-          votes;
-          machine = M.create ~env_of ~n ~u ~sink:(sink tag now) ();
-          started = now;
-          outcome = None;
-          quiesced = false;
-          resolved = Array.make n false;
-          attempts = 1;
-          elected = false;
-          parked_at = None;
-        }
+        match !inst_pool with
+        | i :: rest ->
+            inst_pool := rest;
+            i.i_id <- id;
+            i.tag <- tag;
+            i.i_members <- members;
+            i.machine <- take_machine tag now;
+            i.started <- now;
+            i.outcome <- None;
+            i.quiesced <- false;
+            Array.fill i.resolved 0 n false;
+            i.attempts <- 1;
+            i.elected <- false;
+            i.parked_at <- None;
+            i
+        | [] ->
+            {
+              i_id = id;
+              tag;
+              i_members = members;
+              votes = Array.make n Vote.no;
+              machine = take_machine tag now;
+              started = now;
+              outcome = None;
+              quiesced = false;
+              resolved = Array.make n false;
+              attempts = 1;
+              elected = false;
+              parked_at = None;
+              waiters = Queue.create ();
+            }
       in
-      Hashtbl.replace instances id inst;
-      Hashtbl.replace by_tag tag inst;
+      (* per-shard vote: optimistic read validation, and no key of the
+         batch may be write-locked by another in-flight instance (our own
+         locks are not yet added) *)
+      for i = 0 to n - 1 do
+        let pid = Pid.of_index i in
+        let store = stores.(i) in
+        inst.votes.(i) <-
+          Vote.of_bool
+            (List.for_all
+               (fun ((txn : Txn.t), _, _) ->
+                 List.for_all
+                   (fun (k, expected) ->
+                     Kv_store.version store ~key:k = expected)
+                   (local_reads pid txn)
+                 && List.for_all
+                      (fun k -> not (Hashtbl.mem locks.(i) k))
+                      (List.map fst (local_reads pid txn)
+                      @ List.map fst (local_writes pid txn)))
+               members)
+      done;
+      List.iter
+        (fun ((txn : Txn.t), _, _) ->
+          List.iter
+            (fun (k, _) -> lock_add (owner_of k) k inst)
+            txn.Txn.writes)
+        members;
+      slot_put tag inst;
       members_launched := !members_launched + List.length members;
       incr in_flight;
       if !in_flight > !peak_in_flight then peak_in_flight := !in_flight;
       schedule_instance_events inst now
+    in
+    (* Conflicts that developed after admission (inside the batch window,
+       or while the batch sat behind the pipeline cap) would only launch
+       an instance doomed to No votes: under queued admission, re-queue
+       those members on the holder instead and launch the rest. Under
+       abort-on-conflict they launch and surface as genuine No votes, as
+       they always did. *)
+    let start_instance now (waiters_in : waiter list) =
+      let members =
+        List.filter_map
+          (fun (w : waiter) ->
+            match
+              if spec.admission = Queue_waiters then holder_of w.w_keys
+              else None
+            with
+            | Some holder ->
+                wait_or_abort now w holder;
+                None
+            | None -> Some (w.w_txn, w.w_client, w.w_submitted))
+          waiters_in
+      in
+      if members <> [] then start_members now members
     in
 
     let launch_ready now =
@@ -342,6 +517,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     let launch_batch now b =
       if (not b.b_launched) && b.b_members <> [] then begin
         b.b_launched <- true;
+        Hashtbl.remove batches b.b_id;
         open_batches := List.filter (fun ob -> ob.b_id <> b.b_id) !open_batches;
         Queue.push b ready;
         launch_ready now
@@ -353,7 +529,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       inst.quiesced <- false;
       inst.started <- now;
       retag inst;
-      inst.machine <- M.create ~env_of ~n ~u ~sink:(sink inst.tag now) ();
+      release_machine inst.machine;
+      inst.machine <- take_machine inst.tag now;
       incr in_flight;
       if !in_flight > !peak_in_flight then peak_in_flight := !in_flight
     in
@@ -389,7 +566,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
             (fun pid ->
               Mux.add q ~instance:inst.tag ~time:now ~klass:service_class
                 (Inst (Propose pid)))
-            (Pid.all ~n)
+            all_pids
     in
 
     (* Apply/discard the instance's staged writes at one shard and release
@@ -409,15 +586,100 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
               Kv_store.discard stores.(i) ~txn_id:txn.Txn.id)
             inst.i_members
       | None -> ());
-      lock_release pid inst.i_id;
+      lock_release pid inst;
       inst.resolved.(i) <- true
     in
 
-    let client_resubmit now client =
-      let think = 1 + Rng.int rng ~bound:(max 1 spec.think_gap) in
-      Mux.add q ~instance:(-1)
-        ~time:(Sim_time.( + ) now think)
-        ~klass:service_class (Submit client)
+    (* An instance whose every shard resolved is pure history: check its
+       write-ahead entries are gone right now (the incremental half of the
+       whole-history atomicity check), then recycle the slot, the record
+       and the machine. *)
+    let fully_resolved inst = Array.for_all Fun.id inst.resolved in
+    let maybe_retire inst =
+      if inst.outcome <> None && fully_resolved inst then begin
+        List.iter
+          (fun ((txn : Txn.t), _, _) ->
+            List.iter
+              (fun (k, _) ->
+                if
+                  Kv_store.staged stores.(Pid.index (owner_of k))
+                    ~txn_id:txn.Txn.id
+                  <> None
+                then atomicity_ok := false)
+              txn.Txn.writes)
+          inst.i_members;
+        assert (Queue.is_empty inst.waiters);
+        !slots.(Mux.slot inst.tag) <- None;
+        Mux.retire q inst.tag;
+        release_machine inst.machine;
+        inst.i_members <- [];
+        inst_pool := inst :: !inst_pool
+      end
+    in
+
+    let owner_key (txn : Txn.t) =
+      String.concat ","
+        (List.map Pid.to_string
+           (List.sort_uniq Pid.compare
+              (List.map (fun (k, _) -> owner_of k) txn.Txn.writes)))
+    in
+    let admit now (w : waiter) =
+      let okey = owner_key w.w_txn in
+      let conflicts b =
+        List.exists
+          (fun (other : waiter) ->
+            List.exists (fun k -> List.mem k other.w_keys) w.w_keys)
+          b.b_members
+      in
+      let fits b =
+        (not b.b_launched)
+        && String.equal b.owners okey
+        && List.length b.b_members < spec.max_batch
+        && not (conflicts b)
+      in
+      match List.find_opt fits !open_batches with
+      | Some b ->
+          b.b_members <- w :: b.b_members;
+          if List.length b.b_members >= spec.max_batch then launch_batch now b
+      | None ->
+          let b =
+            {
+              b_id = !next_batch;
+              owners = okey;
+              b_members = [ w ];
+              b_launched = false;
+            }
+          in
+          incr next_batch;
+          Hashtbl.replace batches b.b_id b;
+          open_batches := b :: !open_batches;
+          if spec.batch_window = 0 || spec.max_batch <= 1 then
+            launch_batch now b
+          else
+            Mux.add q ~instance:(-1)
+              ~time:(Sim_time.( + ) now spec.batch_window)
+              ~klass:service_class (Launch_batch b.b_id)
+    in
+
+    let admit_or_wait now (w : waiter) =
+      match holder_of w.w_keys with
+      | None -> admit now w
+      | Some holder -> wait_or_abort now w holder
+    in
+    (* Release an instance's wait queue (after its locks released):
+       transfer out first, so a waiter that re-conflicts elsewhere cannot
+       land back in the queue being drained. *)
+    let drain_scratch : waiter Queue.t = Queue.create () in
+    let drain_waiters now inst =
+      if not (Queue.is_empty inst.waiters) then begin
+        Queue.transfer inst.waiters drain_scratch;
+        while not (Queue.is_empty drain_scratch) do
+          let w = Queue.pop drain_scratch in
+          decr total_waiting;
+          w.w_waits <- w.w_waits + 1;
+          admit_or_wait now w
+        done
+      end
     in
 
     (* An instance with no event left in flight has quiesced: either some
@@ -433,7 +695,8 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       in
       (match decided with
       | [] ->
-          (* parked: clients stall, pipeline keeps flowing *)
+          (* parked: clients stall, pipeline keeps flowing; waiters stay
+             queued until the instance eventually decides *)
           if inst.parked_at = None then inst.parked_at <- Some now;
           (match spec.election_timeout with
           | Some d ->
@@ -459,7 +722,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
           List.iter
             (fun pid ->
               if not down.(Pid.index pid) then resolve_at_shard inst pid)
-            (Pid.all ~n);
+            all_pids;
           List.iter
             (fun ((txn : Txn.t), client, submitted_at) ->
               (match d0 with
@@ -472,91 +735,89 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
               | Some obs -> obs txn.Txn.id d0
               | None -> ());
               client_resubmit now client)
-            inst.i_members);
+            inst.i_members;
+          drain_waiters now inst;
+          maybe_retire inst);
       launch_ready now
     in
 
-    let owner_key (txn : Txn.t) =
-      String.concat ","
-        (List.map Pid.to_string
-           (List.sort_uniq Pid.compare
-              (List.map (fun (k, _) -> owner_of k) txn.Txn.writes)))
-    in
-    (* Admission control: a transaction whose keys are write-locked by an
-       in-flight instance aborts locally, before consuming a protocol
-       instance — the coordinator-side OCC check. Conflicts that develop
-       after admission (inside the batch window, or against instances
-       launched later) still surface as genuine No votes at launch. *)
-    let admission_ok (txn : Txn.t) =
-      List.for_all
-        (fun k -> Hashtbl.find_all locks.(Pid.index (owner_of k)) k = [])
-        (Txn.keys txn)
-    in
-    let admit now txn client =
-      let member = (txn, client, now) in
-      let okey = owner_key txn in
-      let keys = Txn.keys txn in
-      let conflicts b =
-        List.exists
-          (fun ((t, _, _) : member) ->
-            List.exists (fun k -> List.mem k (Txn.keys t)) keys)
-          b.b_members
+    (* Allocation-lean transaction generation: pick distinct key *indices*
+       into a scratch array (same rejection-then-top-rank-fill-then-shuffle
+       procedure as {!Workload.distinct_keys}, same rng consumption), then
+       read the interned names. The write value is the txn id itself — no
+       per-write formatting. *)
+    let nkeys = spec.reads_per_txn + spec.writes_per_txn in
+    let scratch = Array.make (max 1 nkeys) 0 in
+    let pick_distinct () =
+      let count = min nkeys spec.keys in
+      let mem idx upto =
+        let rec go i = i < upto && (scratch.(i) = idx || go (i + 1)) in
+        go 0
       in
-      let fits b =
-        (not b.b_launched)
-        && String.equal b.owners okey
-        && List.length b.b_members < spec.max_batch
-        && not (conflicts b)
-      in
-      match List.find_opt fits !open_batches with
-      | Some b ->
-          b.b_members <- member :: b.b_members;
-          if List.length b.b_members >= spec.max_batch then launch_batch now b
-      | None ->
-          let b =
-            {
-              b_id = !next_batch;
-              owners = okey;
-              b_members = [ member ];
-              b_launched = false;
-            }
-          in
-          incr next_batch;
-          Hashtbl.replace batches b.b_id b;
-          open_batches := b :: !open_batches;
-          if spec.batch_window = 0 || spec.max_batch <= 1 then
-            launch_batch now b
-          else
-            Mux.add q ~instance:(-1)
-              ~time:(Sim_time.( + ) now spec.batch_window)
-              ~klass:service_class (Launch_batch b.b_id)
+      if count = spec.keys then
+        for i = 0 to count - 1 do
+          scratch.(i) <- i
+        done
+      else begin
+        let attempts = ref ((16 * count) + 64) in
+        let filled = ref 0 in
+        while !filled < count && !attempts > 0 do
+          decr attempts;
+          let idx = Workload.Zipf.index dist rng in
+          if not (mem idx !filled) then begin
+            scratch.(!filled) <- idx;
+            incr filled
+          end
+        done;
+        let i = ref 0 in
+        while !filled < count do
+          if not (mem !i !filled) then begin
+            scratch.(!filled) <- !i;
+            incr filled
+          end;
+          incr i
+        done
+      end;
+      for i = count - 1 downto 1 do
+        let j = Rng.int rng ~bound:(i + 1) in
+        let tmp = scratch.(i) in
+        scratch.(i) <- scratch.(j);
+        scratch.(j) <- tmp
+      done;
+      count
     in
-
-    let generate_txn now =
+    let generate_txn () =
       let id = Printf.sprintf "t%d" !txn_seq in
       incr txn_seq;
-      let picked =
-        Workload.distinct_keys ~dist
-          ~count:(spec.reads_per_txn + spec.writes_per_txn)
-          rng
+      let count = pick_distinct () in
+      let nreads = min spec.reads_per_txn count in
+      let reads =
+        List.init nreads (fun i ->
+            let k = key_names.(scratch.(i)) in
+            ( k,
+              Kv_store.version stores.(Pid.index key_owner.(scratch.(i))) ~key:k
+            ))
       in
-      let rec split k = function
-        | rest when k = 0 -> ([], rest)
-        | [] -> ([], [])
-        | x :: rest ->
-            let reads, writes = split (k - 1) rest in
-            (x :: reads, writes)
+      let writes =
+        List.init (count - nreads) (fun i ->
+            (key_names.(scratch.(nreads + i)), id))
       in
-      let read_keys, write_keys = split spec.reads_per_txn picked in
-      ignore now;
-      Txn.make ~id
-        ~reads:
-          (List.map
-             (fun k ->
-               (k, Kv_store.version stores.(Pid.index (owner_of k)) ~key:k))
-             read_keys)
-        ~writes:(List.map (fun k -> (k, Printf.sprintf "%s@%s" id k)) write_keys)
-        ()
+      Txn.make ~id ~reads ~writes ()
+    in
+
+    let flush now =
+      let wall = Unix.gettimeofday () -. wall_start in
+      let words = Gc.minor_words () -. gc_words0 in
+      Printf.eprintf
+        "[soak] issued %d/%d  committed %d  goodput %.4f  waiting %d  \
+         in-flight %d  t=%.0f delays  %.0f commits/s  %.0f minor words/txn\n\
+         %!"
+        !issued spec.txns !committed
+        (if !issued = 0 then 0.0
+         else float_of_int !committed /. float_of_int !issued)
+        !total_waiting !in_flight (Sim_time.delays ~u now)
+        (if wall > 0.0 then float_of_int !committed /. wall else 0.0)
+        (words /. float_of_int (max 1 !issued))
     in
 
     let handle now instance ev =
@@ -564,12 +825,17 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       | Submit client ->
           if !issued < spec.txns then begin
             incr issued;
-            let txn = generate_txn now in
-            if admission_ok txn then admit now txn client
-            else begin
-              incr local_aborts;
-              client_resubmit now client
-            end
+            if spec.flush_every > 0 && !issued mod spec.flush_every = 0 then
+              flush now;
+            let txn = generate_txn () in
+            admit_or_wait now
+              {
+                w_txn = txn;
+                w_client = client;
+                w_submitted = now;
+                w_keys = Txn.keys txn;
+                w_waits = 0;
+              }
           end
       | Launch_batch b_id -> (
           match Hashtbl.find_opt batches b_id with
@@ -578,47 +844,45 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       | Outage pid ->
           down.(Pid.index pid) <- true;
           (* every in-flight instance sees the shard crash *)
-          let running =
-            Hashtbl.fold
-              (fun _ inst acc -> if not inst.quiesced then inst :: acc else acc)
-              instances []
-            |> List.sort (fun a b -> compare a.i_id b.i_id)
-          in
+          let running = ref [] in
+          iter_insts (fun inst ->
+              if not inst.quiesced then running := inst :: !running);
           List.iter
             (fun inst ->
               if not (M.is_crashed inst.machine pid) then
                 Mux.add q ~instance:inst.tag ~time:now ~klass:crash_class
                   (Inst (Crash pid)))
-            running
+            (List.sort (fun a b -> compare a.i_id b.i_id) !running)
       | Recover pid ->
           down.(Pid.index pid) <- false;
           (* first adopt the decisions reached while the shard was down,
              then re-run every parked instance with its recorded votes *)
-          let decided, parked =
-            Hashtbl.fold
-              (fun _ inst (dec, park) ->
-                if not inst.quiesced then (dec, park)
-                else if inst.outcome <> None then (inst :: dec, park)
-                else (dec, inst :: park))
-              instances ([], [])
-          in
+          let decided = ref [] and parked = ref [] in
+          iter_insts (fun inst ->
+              if inst.quiesced then
+                if inst.outcome <> None then decided := inst :: !decided
+                else parked := inst :: !parked);
           List.iter
             (fun inst ->
-              if not inst.resolved.(Pid.index pid) then resolve_at_shard inst pid)
-            (List.sort (fun a b -> compare a.i_id b.i_id) decided);
+              if not inst.resolved.(Pid.index pid) then begin
+                resolve_at_shard inst pid;
+                drain_waiters now inst;
+                maybe_retire inst
+              end)
+            (List.sort (fun a b -> compare a.i_id b.i_id) !decided);
           List.iter (retry_instance now)
-            (List.sort (fun a b -> compare a.i_id b.i_id) parked)
+            (List.sort (fun a b -> compare a.i_id b.i_id) !parked)
       | Elect -> (
           (* still tagged with the parked drive's tag: if the instance was
              retried or decided in the meantime the tag no longer resolves
              (or the instance is no longer a parked one) and the timer is
              void *)
-          match Hashtbl.find_opt by_tag instance with
+          match find_by_tag instance with
           | Some inst when inst.quiesced && inst.outcome = None ->
               elect now inst
           | _ -> ())
       | Inst iev -> (
-          match Hashtbl.find_opt by_tag instance with
+          match find_by_tag instance with
           | None -> ()
           | Some inst -> (
               let m = inst.machine in
@@ -646,7 +910,6 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       Mux.add q ~instance:(-1) ~time:at ~klass:service_class (Submit client)
     done;
 
-    let wall_start = Unix.gettimeofday () in
     let rec loop () =
       match Mux.pop q with
       | None -> ()
@@ -655,7 +918,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
             last_time := time;
             handle time instance ev;
             (if instance >= 0 && Mux.pending q instance = 0 then
-               match Hashtbl.find_opt by_tag instance with
+               match find_by_tag instance with
                | Some inst when not inst.quiesced -> finalize time inst
                | _ -> ());
             loop ()
@@ -663,14 +926,13 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     in
     loop ();
     let wall_seconds = Unix.gettimeofday () -. wall_start in
+    let minor_words = Gc.minor_words () -. gc_words0 in
 
-    (* Whole-history atomicity: for every transaction and write-owner
-       shard, the write-ahead entry must be gone exactly where the
-       instance's decision was resolved, and still staged (recoverable)
-       where the instance parked or the shard is still down. *)
-    let atomicity_ok = ref true in
-    Hashtbl.iter
-      (fun _ inst ->
+    (* Whole-history atomicity, residual half: retired instances were
+       checked as they left; every instance still live (parked, or decided
+       with a still-down shard) must hold its write-ahead entries exactly
+       where its decision is unresolved. *)
+    iter_insts (fun inst ->
         List.iter
           (fun ((txn : Txn.t), _, _) ->
             let owners =
@@ -690,8 +952,7 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
                 in
                 if still_staged <> expect_staged then atomicity_ok := false)
               owners)
-          inst.i_members)
-      instances;
+          inst.i_members);
 
     (* Write-ahead entries left on LIVE shards: a still-down shard's
        staging is exactly what recovery adoption will replay, so it is
@@ -710,10 +971,16 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
     let instances_n = !next_inst in
     {
       protocol = P.name;
+      admission_mode =
+        (match spec.admission with
+        | Queue_waiters -> "queue"
+        | Abort_on_conflict -> "abort");
       transactions = !issued;
       committed = !committed;
       aborted = !aborted;
       local_aborts = !local_aborts;
+      queued = !queued;
+      queue_aborts = !queue_aborts;
       parked;
       instances = instances_n;
       retries = !retries;
@@ -728,11 +995,17 @@ module Make (P : Proto.PROTOCOL) (C : Proto.CONSENSUS) = struct
       makespan_delays = Sim_time.delays ~u !last_time;
       latency = Histogram.summary latency;
       time_parked = Histogram.summary time_parked;
+      queue_depth = Histogram.summary queue_depth;
       zipf_s = Workload.Zipf.s dist;
+      goodput =
+        (if !issued = 0 then 0.0
+         else float_of_int !committed /. float_of_int !issued);
       wall_seconds;
       commits_per_sec =
         (if wall_seconds > 0.0 then float_of_int !committed /. wall_seconds
          else Float.nan);
+      minor_words_per_txn =
+        (if !issued = 0 then 0.0 else minor_words /. float_of_int !issued);
       atomicity_ok = !atomicity_ok;
       agreement_ok = !agreement_ok;
     }
@@ -751,6 +1024,10 @@ let run ?(consensus = Registry.Paxos) ?observe ~protocol ~n ~f (spec : spec) =
   if spec.pipeline_depth < 1 then
     invalid_arg "Commit_service.run: pipeline_depth < 1";
   if spec.max_batch < 1 then invalid_arg "Commit_service.run: max_batch < 1";
+  if spec.wait_budget < 0 then
+    invalid_arg "Commit_service.run: wait_budget < 0";
+  if spec.flush_every < 0 then
+    invalid_arg "Commit_service.run: flush_every < 0";
   List.iter
     (fun (rank, _, _) ->
       if rank < 1 || rank > n then
@@ -771,22 +1048,25 @@ let pp_stats ppf (s : stats) =
   Format.fprintf ppf
     "@[<v2>%s: %d txns -> %d committed, %d aborted (%d local), %d \
      unresolved@,\
+     admission %s: %d waited, %d queue aborts, goodput %.3f, queue depth \
+     %a@,\
      %d instances (+%d retries, %d elections -> %d stolen), mean batch \
      %.2f, peak in-flight %d@,\
      %d msgs, %d staged left, makespan %.1f delays, zipf s=%.3f@,\
      latency %a@,\
-     %.0f commits/sec (wall %.3fs)%s%s@]"
+     %.0f commits/sec (wall %.3fs), %.0f minor words/txn%s%s@]"
     s.protocol s.transactions s.committed (s.aborted + s.local_aborts)
-    s.local_aborts s.parked s.instances s.retries s.elections s.stolen
-    s.mean_batch s.peak_in_flight s.total_messages s.staged_left
-    s.makespan_delays s.zipf_s Histogram.pp_summary s.latency
-    s.commits_per_sec s.wall_seconds
+    s.local_aborts s.parked s.admission_mode s.queued s.queue_aborts
+    s.goodput Histogram.pp_summary s.queue_depth s.instances s.retries
+    s.elections s.stolen s.mean_batch s.peak_in_flight s.total_messages
+    s.staged_left s.makespan_delays s.zipf_s Histogram.pp_summary s.latency
+    s.commits_per_sec s.wall_seconds s.minor_words_per_txn
     (if s.atomicity_ok then "" else "  ATOMICITY VIOLATED")
     (if s.agreement_ok then "" else "  AGREEMENT VIOLATED")
 
 (* The deterministic slice of an arm's JSON body: everything except the
-   wall-clock fields the bench appends afterwards. Shared with the tests,
-   which assert byte-identity across [Batch.run ~jobs] settings. *)
+   wall-clock and GC fields the bench appends afterwards. Shared with the
+   tests, which assert byte-identity across [Batch.run ~jobs] settings. *)
 let arm_json_body (s : stats) =
   let num v = if Float.is_nan v then "0.0" else Printf.sprintf "%.6f" v in
   let summary (h : Histogram.summary) =
@@ -797,10 +1077,13 @@ let arm_json_body (s : stats) =
   in
   String.concat ""
     [
+      Printf.sprintf "\"admission\": \"%s\", " s.admission_mode;
       Printf.sprintf "\"transactions\": %d, " s.transactions;
       Printf.sprintf "\"committed\": %d, " s.committed;
       Printf.sprintf "\"aborted\": %d, " s.aborted;
       Printf.sprintf "\"local_aborts\": %d, " s.local_aborts;
+      Printf.sprintf "\"queued\": %d, " s.queued;
+      Printf.sprintf "\"queue_aborts\": %d, " s.queue_aborts;
       Printf.sprintf "\"parked\": %d, " s.parked;
       Printf.sprintf "\"instances\": %d, " s.instances;
       Printf.sprintf "\"retries\": %d, " s.retries;
@@ -816,9 +1099,11 @@ let arm_json_body (s : stats) =
             else
               float_of_int (s.aborted + s.local_aborts)
               /. float_of_int s.transactions));
+      Printf.sprintf "\"goodput\": %s, " (num s.goodput);
       Printf.sprintf "\"zipf_s\": %s, " (num s.zipf_s);
       Printf.sprintf "\"latency_delays\": %s, " (summary s.latency);
       Printf.sprintf "\"time_parked_delays\": %s, " (summary s.time_parked);
+      Printf.sprintf "\"queue_depth\": %s, " (summary s.queue_depth);
       Printf.sprintf "\"atomicity_ok\": %b, " s.atomicity_ok;
       Printf.sprintf "\"agreement_ok\": %b" s.agreement_ok;
     ]

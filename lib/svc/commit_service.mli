@@ -4,7 +4,7 @@
 
     Where {!Txn_system.submit} runs one protocol instance to completion
     before the next begins, this service drives {e many concurrent commit
-    instances through a single simulator run}: every instance is a fresh
+    instances through a single simulator run}: every instance is a
     {!Machine} automaton of the selected protocol (INBAC / Paxos Commit /
     2PC / any {!Registry} entry), and all instances' proposals,
     deliveries and timeouts multiplex over one instance-tagged event
@@ -24,6 +24,17 @@
     - {b Pipelining}: up to [pipeline_depth] instances run concurrently —
       a shard participates in instance [k+1] while [k] is still deciding.
       Ready batches beyond the cap queue and launch as instances retire.
+    - {b Admission}: a transaction that arrives while one of its keys is
+      write-locked by an in-flight instance either aborts locally
+      ([Abort_on_conflict], the coordinator-side OCC check) or joins the
+      holding instance's FIFO wait queue and re-admits when that instance
+      resolves ([Queue_waiters], the default). Waiters hold no locks
+      while they wait, so queues cannot deadlock; [wait_budget] bounds
+      how often a transaction may re-queue before falling back to a local
+      abort, so re-conflict chains cannot livelock. A waiter whose
+      conflicting holder already {e decided} (its remaining locks release
+      only when a dead shard recovers) aborts immediately — queues drain
+      on every decision, election takeover and recovery adoption.
     - {b Blocking and recovery}: an instance that quiesces with no
       decision (2PC whose coordinator shard is down) {e parks} — its
       staged writes and write locks stay put, its clients stall, but the
@@ -43,12 +54,29 @@
       ordinary decided-instance path. A run with a never-healing outage
       ([back_at = None]) therefore drains: no parked instances, no staged
       write-ahead entries left on live shards.
+    - {b Soak scale}: the service's footprint is the {e live} state, not
+      the history — machines and instance records recycle through pools
+      ({!Machine.reset}, disable with [recycle = false]), event cells and
+      Mux slots recycle ({!Mux.retire}), fully resolved instances retire
+      with their atomicity checked incrementally, and [soak = true] swaps
+      the exact latency/queue histograms for fixed-bin streaming ones —
+      so one run can push millions of transactions from thousands of
+      clients in bounded memory. [flush_every > 0] reports progress to
+      stderr every that-many issued transactions.
 
     After the run an atomicity check extends {!Txn_system}'s per-instance
     check to the whole history: for every transaction, each write-owner
     shard must have either installed the writes (decision reached and
     shard up or recovered) or still hold them staged (parked, or shard
-    still down) — and never disagree with the instance's outcome. *)
+    still down) — and never disagree with the instance's outcome. Retired
+    instances are checked as they leave; the end-of-run pass covers
+    whatever is still live. *)
+
+type admission =
+  | Queue_waiters
+      (** queue on the holding instance, FIFO per conflict, bounded by
+          [wait_budget] re-queues *)
+  | Abort_on_conflict  (** abort locally at admission (the OCC check) *)
 
 type spec = {
   clients : int;  (** closed-loop clients *)
@@ -68,6 +96,10 @@ type spec = {
           batching (every transaction gets its own instance) *)
   max_batch : int;  (** transactions per instance cap *)
   pipeline_depth : int;  (** concurrent instances cap; 1 serializes *)
+  admission : admission;  (** conflict policy at admission *)
+  wait_budget : int;
+      (** max re-queues per transaction under [Queue_waiters] before it
+          falls back to a local abort; 0 degenerates to abort-on-conflict *)
   network : Network.t;
   outages : (int * Sim_time.t * Sim_time.t option) list;
       (** shard outages: (rank, down_at, back_at); [None] never recovers *)
@@ -76,6 +108,16 @@ type spec = {
           takes over as stand-in coordinator; [None] disables re-election
           (parked instances wait for a recovery), [Some d] requires
           [d >= 1] *)
+  soak : bool;
+      (** constant-memory histograms (fixed-bin streaming, percentile
+          error bounded by one bin width) for very long runs *)
+  flush_every : int;
+      (** stderr progress line every this many issued transactions;
+          0 disables *)
+  recycle : bool;
+      (** pool and reset machines instead of creating one per drive;
+          observable behaviour is identical (the reset-vs-fresh
+          differential in the tests pins this), only allocation changes *)
   max_time : Sim_time.t;  (** safety horizon for the simulated clock *)
   seed : int;
 }
@@ -83,18 +125,26 @@ type spec = {
 val default : spec
 (** 128 clients, 1000 txns, 2048 keys (16 hot at 0.1, as a Zipf alias),
     2 reads + 2 writes, batches of up to 8 within half a delay, pipeline
-    depth 64, jittered network, no outages, election timeout 12 delays. *)
+    depth 64, queued admission with a 64-wait budget, jittered network,
+    no outages, election timeout 12 delays, machine recycling on. *)
 
 type stats = {
   protocol : string;
+  admission_mode : string;  (** "queue" or "abort" *)
   transactions : int;  (** issued *)
   committed : int;
   aborted : int;  (** aborted by a protocol instance's decision *)
   local_aborts : int;
       (** aborted at admission: a key was write-locked by an in-flight
-          instance, so the transaction never consumed an instance (the
-          coordinator-side OCC check) *)
-  parked : int;  (** still unresolved at end of run *)
+          instance and the transaction did not (or could no longer) wait *)
+  queued : int;
+      (** transactions that waited on a holder's queue at least once *)
+  queue_aborts : int;
+      (** local aborts taken in queue mode: the wait budget ran out, or
+          the conflicting holder had already decided (its locks release
+          only on a recovery, so waiting is unbounded); included in
+          [local_aborts] *)
+  parked : int;  (** still unresolved at end of run (includes waiters) *)
   instances : int;  (** commit instances launched (first attempts) *)
   retries : int;  (** parked instances re-run after a recovery *)
   elections : int;
@@ -113,13 +163,20 @@ type stats = {
           leak, so it is excluded *)
   makespan_delays : float;  (** simulated end of run, units of U *)
   latency : Histogram.summary;
-      (** commit latency, submit to last shard decision, units of U *)
+      (** commit latency, submit to last shard decision (queue wait
+          included), units of U *)
   time_parked : Histogram.summary;
       (** park-to-decision delay for instances that parked and were later
           resolved (by election or recovery), units of U *)
+  queue_depth : Histogram.summary;
+      (** total waiting transactions, sampled at each enqueue *)
   zipf_s : float;  (** the resolved key-popularity exponent *)
+  goodput : float;  (** committed / issued *)
   wall_seconds : float;
   commits_per_sec : float;  (** committed txns per wall-clock second *)
+  minor_words_per_txn : float;
+      (** minor-heap words allocated per issued transaction — the
+          allocation-pressure gauge the soak gate watches *)
   atomicity_ok : bool;  (** the whole-history staging/install check *)
   agreement_ok : bool;  (** no instance saw conflicting decisions *)
 }
@@ -134,13 +191,15 @@ val run :
     per-transaction outcomes across configurations.
     @raise Not_found on an unknown protocol name.
     @raise Invalid_argument on a nonsensical spec (no clients, no writes,
-    [pipeline_depth < 1], [election_timeout < 1], ...). *)
+    [pipeline_depth < 1], [wait_budget < 0], [election_timeout < 1],
+    ...). *)
 
 val pp_stats : Format.formatter -> stats -> unit
 
 val arm_json_body : stats -> string
 (** The deterministic slice of a bench arm's JSON object body (no
-    enclosing braces, no wall-clock fields): simulated-clock counters and
-    delay summaries only, so two runs of the same spec produce the same
-    bytes regardless of [Batch.run ~jobs] or machine load. The bench
-    appends [wall_seconds]/[commits_per_sec] itself. *)
+    enclosing braces, no wall-clock or GC fields): simulated-clock
+    counters and delay summaries only, so two runs of the same spec
+    produce the same bytes regardless of [Batch.run ~jobs] or machine
+    load. The bench appends [wall_seconds]/[commits_per_sec]/
+    [minor_words_per_txn] itself. *)

@@ -37,6 +37,7 @@ type stats = {
   p50_commit_delays : float;
   p95_commit_delays : float;
   p99_commit_delays : float;
+  minor_words_per_txn : float;
   atomicity_ok : bool;
 }
 
@@ -183,6 +184,7 @@ let run db spec =
   let total_messages = ref 0 in
   let commit_delays = Histogram.create () in
   let atomicity_ok = ref true in
+  let gc_words0 = Gc.minor_words () in
   for b = 0 to spec.batches - 1 do
     let txns =
       List.init spec.batch_size (fun i ->
@@ -212,6 +214,7 @@ let run db spec =
       outcomes
   done;
   let transactions = spec.batches * spec.batch_size in
+  let minor_words = Gc.minor_words () -. gc_words0 in
   let delays = Histogram.summary commit_delays in
   {
     transactions;
@@ -227,6 +230,7 @@ let run db spec =
     p50_commit_delays = delays.Histogram.p50;
     p95_commit_delays = delays.Histogram.p95;
     p99_commit_delays = delays.Histogram.p99;
+    minor_words_per_txn = minor_words /. float_of_int (max 1 transactions);
     atomicity_ok = !atomicity_ok;
   }
 
@@ -249,8 +253,10 @@ let protocol_comparison ?jobs ~protocols ~n ~f spec =
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d txns: %d committed, %d aborted (%.0f%%), %d blocked; %d msgs \
-     (%.1f/commit), %.1f delays/commit (p50/p95/p99 %.1f/%.1f/%.1f)%s"
+     (%.1f/commit), %.1f delays/commit (p50/p95/p99 %.1f/%.1f/%.1f), %.0f \
+     minor words/txn%s"
     s.transactions s.committed s.aborted (100.0 *. s.abort_rate) s.blocked
     s.total_messages s.messages_per_commit s.mean_commit_delays
     s.p50_commit_delays s.p95_commit_delays s.p99_commit_delays
+    s.minor_words_per_txn
     (if s.atomicity_ok then "" else "; ATOMICITY VIOLATED")

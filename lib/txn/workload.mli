@@ -79,6 +79,9 @@ type stats = {
           nearest-rank, so p50 <= p95 <= p99); [nan] with no commits *)
   p95_commit_delays : float;
   p99_commit_delays : float;
+  minor_words_per_txn : float;
+      (** minor-heap words allocated per transaction during the run — the
+          allocation-pressure gauge the bench trend line tracks *)
   atomicity_ok : bool;  (** every round passed the atomicity check *)
 }
 

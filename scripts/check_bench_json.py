@@ -32,7 +32,7 @@ def need(cond, what):
         errors.append(what)
 
 
-need(doc.get("schema") == "actable-bench/7", "schema actable-bench/7")
+need(doc.get("schema") == "actable-bench/8", "schema actable-bench/8")
 need(isinstance(doc.get("pairs"), list) and doc["pairs"], "non-empty pairs")
 
 for section in ("nice_run_seconds", "table_seconds"):
@@ -192,23 +192,28 @@ for k in ("symmetry", "plain", "overhead"):
          f"symmetry.canonicalization_ns_per_call.{k} > 0")
 
 # multi-shot commit service: at least three protocol arms, at least one
-# crash-injection arm, and (since actable-bench/7) at least one
-# re-election arm whose never-recovering outage drains through elected
-# stand-in coordinators. Each arm internally consistent (transactions
-# fully accounted for, percentiles ordered, correctness flags true).
+# crash-injection arm, (since actable-bench/7) at least one re-election
+# arm whose never-recovering outage drains through elected stand-in
+# coordinators, and (since actable-bench/8) the queued-admission
+# differential pair plus a streaming soak arm. Each arm internally
+# consistent (transactions fully accounted for, percentiles ordered,
+# correctness flags true).
 ms = doc.get("multishot", {})
-for k in ("n", "f", "clients", "txns"):
+for k in ("n", "f", "clients", "txns", "soak_clients", "soak_txns"):
     need(isinstance(ms.get(k), (int, float)) and ms[k] > 0,
          f"multishot.{k} > 0")
 arms = ms.get("arms", {})
 need(isinstance(arms, dict) and arms, "non-empty multishot.arms")
 protocols = {name for name in arms
-             if not name.endswith(("_crash", "_elect"))}
+             if not name.endswith(("_crash", "_elect", "_queue", "_abort",
+                                   "_soak"))}
 need(len(protocols) >= 3, ">= 3 multishot protocol arms")
 need(any(name.endswith("_crash") for name in arms),
      ">= 1 multishot crash-injection arm")
 need(any(name.endswith("_elect") for name in arms),
      ">= 1 multishot re-election arm")
+need(any(name.endswith("_soak") for name in arms),
+     ">= 1 multishot streaming soak arm")
 for name, arm in arms.items():
     where = f"multishot.arms.{name}"
     if not isinstance(arm, dict):
@@ -221,9 +226,32 @@ for name, arm in arms.items():
         need(isinstance(arm.get(k), (int, float)) and arm[k] > 0,
              f"{where}.{k} > 0")
     for k in ("aborted", "local_aborts", "parked", "retries", "staged_left",
-              "abort_rate", "elections", "stolen", "zipf_s"):
+              "abort_rate", "elections", "stolen", "zipf_s", "queued",
+              "queue_aborts", "minor_words_per_txn"):
         need(isinstance(arm.get(k), (int, float)) and arm[k] >= 0,
              f"{where}.{k} >= 0")
+    need(arm.get("admission") in ("queue", "abort"),
+         f"{where}.admission is \"queue\" or \"abort\"")
+    # queue-mode aborts are a subset of local aborts; a transaction waits
+    # at most once per issue, so the waited count is bounded by the issued
+    if isinstance(arm.get("queue_aborts"), (int, float)) and \
+       isinstance(arm.get("local_aborts"), (int, float)):
+        need(arm["queue_aborts"] <= arm["local_aborts"],
+             f"{where}.queue_aborts <= local_aborts")
+    if arm.get("admission") == "abort":
+        need(arm.get("queued") == 0 and arm.get("queue_aborts") == 0,
+             f"{where} abort admission never queues")
+    if isinstance(arm.get("queued"), (int, float)) and \
+       isinstance(arm.get("transactions"), (int, float)):
+        need(arm["queued"] <= arm["transactions"],
+             f"{where}.queued <= transactions")
+    # goodput is the committed fraction of issued transactions
+    if all(isinstance(arm.get(k), (int, float))
+           for k in ("goodput", "committed", "transactions")) and \
+       arm["transactions"] > 0:
+        need(0.0 <= arm["goodput"] <= 1.0, f"{where}.goodput in [0, 1]")
+        need(abs(arm["goodput"] - arm["committed"] / arm["transactions"])
+             < 1e-3, f"{where}.goodput == committed / transactions")
     need(arm.get("atomicity_ok") is True, f"{where}.atomicity_ok")
     need(arm.get("agreement_ok") is True, f"{where}.agreement_ok")
     need(arm.get("parked") == 0,
@@ -248,16 +276,33 @@ for name, arm in arms.items():
     need(counted == arm.get("transactions"),
          f"{where} committed+aborted+local_aborts+parked == transactions")
     for block, gate in (("latency_delays", "committed"),
-                        ("time_parked_delays", "stolen")):
+                        ("time_parked_delays", "stolen"),
+                        ("queue_depth", "queued")):
         dist = arm.get(block, {})
         for k in ("mean", "p50", "p95", "p99", "max"):
             need(isinstance(dist.get(k), (int, float)) and dist[k] >= 0,
                  f"{where}.{block}.{k} >= 0")
         if isinstance(arm.get(gate), (int, float)) and arm[gate] > 0 \
            and all(isinstance(dist.get(k), (int, float))
-                   for k in ("p50", "p95", "p99")):
-            need(dist["p50"] <= dist["p95"] <= dist["p99"],
-                 f"{where} {block} p50 <= p95 <= p99")
+                   for k in ("p50", "p95", "p99", "max")):
+            need(dist["p50"] <= dist["p95"] <= dist["p99"] <= dist["max"],
+                 f"{where} {block} p50 <= p95 <= p99 <= max")
+
+# the admission differential: under the same skewed workload, queued
+# admission must commit a strictly larger fraction than abort-on-conflict
+# (the headline claim of the queued-admission work)
+zq, za = arms.get("2pc_zipf_queue", {}), arms.get("2pc_zipf_abort", {})
+need(isinstance(zq, dict) and zq, "multishot.arms.2pc_zipf_queue present")
+need(isinstance(za, dict) and za, "multishot.arms.2pc_zipf_abort present")
+if isinstance(zq, dict) and isinstance(za, dict):
+    need(zq.get("admission") == "queue", "2pc_zipf_queue runs queue admission")
+    need(za.get("admission") == "abort", "2pc_zipf_abort runs abort admission")
+    if all(isinstance(a.get("goodput"), (int, float)) for a in (zq, za)):
+        need(zq["goodput"] > za["goodput"],
+             "2pc_zipf_queue goodput > 2pc_zipf_abort goodput")
+soak_arm = arms.get("2pc_soak", {})
+if isinstance(soak_arm, dict) and soak_arm:
+    need(soak_arm.get("admission") == "queue", "2pc_soak runs queue admission")
 
 if errors:
     print(f"{path}: {len(errors)} problem(s)", file=sys.stderr)

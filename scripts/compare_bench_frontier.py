@@ -155,6 +155,45 @@ def elect_arms(doc):
     return out
 
 
+# admission & soak arms (actable-bench/8): goodput is deterministic (a
+# delta means the admission policy or workload changed, not the runner),
+# minor words/txn is deterministic allocation pressure; old reports from
+# earlier schemas print n/a
+def admission_arms(doc):
+    arms = doc.get("multishot", {}).get("arms", {})
+    out = {}
+    for name, arm in arms.items() if isinstance(arms, dict) else ():
+        if not isinstance(arm, dict):
+            continue
+        if not name.endswith(("_queue", "_abort", "_soak")):
+            continue
+        gp = arm.get("goodput")
+        words = arm.get("minor_words_per_txn")
+        if isinstance(gp, (int, float)):
+            out[name] = (gp, words if isinstance(words, (int, float)) else None)
+    return out
+
+
+ad_old, ad_new = admission_arms(old), admission_arms(new)
+if not ad_new:
+    print("bench-trend admission: n/a (no admission/soak arm in new report)")
+else:
+    ad_parts = []
+    for name in sorted(ad_new):
+        gp, words = ad_new[name]
+        old_entry = ad_old.get(name)
+        words_str = f"{words:.0f} w/txn" if words is not None else "n/a w/txn"
+        if old_entry is None:
+            ad_parts.append(f"{name} goodput {gp:.3f}, {words_str} (n/a)")
+        else:
+            o_gp, o_words = old_entry
+            delta_gp = f"{gp - o_gp:+.3f}" if o_gp is not None else "n/a"
+            delta_w = (f"{words / o_words - 1:+.1%}"
+                       if words and o_words else "n/a")
+            ad_parts.append(f"{name} goodput {gp:.3f} ({delta_gp}), "
+                            f"{words_str} ({delta_w})")
+    print("bench-trend admission/soak: " + "; ".join(ad_parts))
+
 el_old, el_new = elect_arms(old), elect_arms(new)
 if not el_new:
     print("bench-trend re-election: n/a (no _elect arm in new report)")

@@ -237,13 +237,276 @@ let test_zipf_s_passthrough () =
   check tbool "legacy alias resolves to a positive exponent" true
     (s'.Commit_service.zipf_s > 0.0)
 
+(* ------------------------------------------------------------------ *)
+(* Queued admission (ISSUE 10): FIFO fairness, liveness across outages,
+   deadlock freedom, and the queue-vs-abort differential *)
+
+let test_queue_fifo_fairness () =
+  (* one key, one-transaction batches: the first arrival locks the key
+     and everyone else joins its FIFO wait queue. With a generous budget
+     nothing may abort, and decisions must come out in admission order —
+     transaction ids are assigned at submit time, so the observed
+     decision sequence must be exactly the id sequence. *)
+  let spec =
+    {
+      Commit_service.default with
+      Commit_service.clients = 16;
+      txns = 64;
+      keys = 1;
+      reads_per_txn = 0;
+      writes_per_txn = 1;
+      max_batch = 1;
+      batch_window = 0;
+      wait_budget = 1_000_000;
+      seed = 5;
+    }
+  in
+  let order = ref [] in
+  let s =
+    Commit_service.run
+      ~observe:(fun id _ -> order := id :: !order)
+      ~protocol:"2pc" ~n:3 ~f:1 spec
+  in
+  check tint "everything commits" s.Commit_service.transactions
+    s.Commit_service.committed;
+  check tint "nothing aborts under a generous budget" 0
+    (s.Commit_service.aborted + s.Commit_service.local_aborts);
+  check tbool "the hot key made transactions wait" true
+    (s.Commit_service.queued > 0);
+  let ids =
+    List.rev_map
+      (fun id -> int_of_string (String.sub id 1 (String.length id - 1)))
+      !order
+  in
+  check
+    (Alcotest.list tint)
+    "decisions in submission order" (List.sort compare ids) ids
+
+let test_queue_drains_across_outage () =
+  (* contended queue-mode run with a healing coordinator outage: waiters
+     parked behind blocked holders must drain through recovery adoption,
+     and the queue counters must stay internally consistent *)
+  let spec =
+    {
+      Commit_service.default with
+      Commit_service.txns = 400;
+      seed = 7;
+      zipf_s = Some 0.8;
+      keys = 64;
+      outages = [ (1, 3 * u, Some (40 * u)) ];
+      election_timeout = None;
+    }
+  in
+  let s = run ~spec "2pc" in
+  check tbool "contention queued transactions" true
+    (s.Commit_service.queued > 0);
+  check tint "recovery drained everything" 0 s.Commit_service.parked;
+  check tint "no staging left" 0 s.Commit_service.staged_left;
+  check tbool "queue aborts within local aborts" true
+    (s.Commit_service.queue_aborts <= s.Commit_service.local_aborts);
+  check tint "accounted" s.Commit_service.transactions
+    (s.Commit_service.committed + s.Commit_service.aborted
+   + s.Commit_service.local_aborts);
+  check tbool "atomic" true s.Commit_service.atomicity_ok;
+  check tbool "agreement" true s.Commit_service.agreement_ok
+
+let test_queue_drains_with_elections () =
+  (* never-healing outage, re-election on (the default): stand-ins decide
+     the blocked holders, whose queues drain on takeover — the contended
+     run still terminates fully drained *)
+  let spec =
+    {
+      Commit_service.default with
+      Commit_service.txns = 400;
+      seed = 7;
+      zipf_s = Some 0.8;
+      keys = 64;
+      outages = [ (1, 3 * u, None) ];
+    }
+  in
+  let s = run ~spec "2pc" in
+  check tbool "contention queued transactions" true
+    (s.Commit_service.queued > 0);
+  check tbool "elections happened" true (s.Commit_service.elections > 0);
+  check tint "drained" 0 s.Commit_service.parked;
+  check tint "no staging left on live shards" 0 s.Commit_service.staged_left;
+  check tbool "atomic" true s.Commit_service.atomicity_ok;
+  check tbool "agreement" true s.Commit_service.agreement_ok
+
+let test_queue_accounting () =
+  (* hot-key run: the queue counters and derived gauges must be
+     internally consistent, and the abort-mode twin must never queue *)
+  let spec =
+    {
+      small with
+      Commit_service.zipf_s = Some 1.2;
+      Commit_service.keys = 32;
+    }
+  in
+  let q = run ~spec "2pc" in
+  check Alcotest.string "queue mode reported" "queue"
+    q.Commit_service.admission_mode;
+  check tbool "waiters recorded" true (q.Commit_service.queued > 0);
+  check tbool "queue aborts within local aborts" true
+    (q.Commit_service.queue_aborts <= q.Commit_service.local_aborts);
+  check tbool "queue depth sampled per wait" true
+    (q.Commit_service.queue_depth.Histogram.count >= q.Commit_service.queued);
+  check (Alcotest.float 1e-9) "goodput is the committed fraction"
+    (float_of_int q.Commit_service.committed
+    /. float_of_int q.Commit_service.transactions)
+    q.Commit_service.goodput;
+  check tbool "allocation gauge is live" true
+    (q.Commit_service.minor_words_per_txn > 0.0);
+  let a =
+    run
+      ~spec:
+        { spec with Commit_service.admission = Commit_service.Abort_on_conflict }
+      "2pc"
+  in
+  check Alcotest.string "abort mode reported" "abort"
+    a.Commit_service.admission_mode;
+  check tint "abort mode never queues" 0 a.Commit_service.queued;
+  check tint "abort mode has no queue aborts" 0 a.Commit_service.queue_aborts;
+  check tbool "queueing beats aborting on goodput" true
+    (q.Commit_service.goodput > a.Commit_service.goodput)
+
+let test_soak_mode_neutral () =
+  (* soak mode swaps exact histograms for streaming ones and recycles
+     aggressively; the simulation itself must be unchanged — every
+     deterministic counter identical, percentiles still ordered *)
+  let spec = { small with Commit_service.zipf_s = Some 0.8 } in
+  let plain = run ~spec "2pc" in
+  let soak = run ~spec:{ spec with Commit_service.soak = true } "2pc" in
+  check tbool "soak changes no counter" true
+    (fingerprint plain = fingerprint soak);
+  check tint "same latency sample count"
+    plain.Commit_service.latency.Histogram.count
+    soak.Commit_service.latency.Histogram.count;
+  let l = soak.Commit_service.latency in
+  check tbool "streaming percentiles ordered" true
+    (l.Histogram.p50 <= l.Histogram.p95
+    && l.Histogram.p95 <= l.Histogram.p99
+    && l.Histogram.p99 <= l.Histogram.max)
+
+let test_recycle_neutral () =
+  (* machine/instance pooling is an allocation optimisation only: the
+     deterministic arm JSON must be byte-identical with recycling off *)
+  List.iter
+    (fun spec ->
+      let body recycle =
+        Commit_service.arm_json_body
+          (Commit_service.run ~protocol:"2pc" ~n:3 ~f:1
+             { spec with Commit_service.recycle })
+      in
+      check Alcotest.string "recycling is behaviour-neutral" (body true)
+        (body false))
+    [
+      { small with Commit_service.zipf_s = Some 0.8 };
+      {
+        small with
+        Commit_service.txns = 150;
+        outages = [ (1, 3 * u, None) ];
+      };
+    ]
+
+let qcheck_queue_deadlock_free =
+  (* liveness property: random multi-key transactions over a small
+     keyspace, queued admission, no outages — every run must terminate
+     fully drained (waiters hold no locks, so no hold-and-wait cycle can
+     form; the wait budget bounds re-queue chains) with the books
+     balanced *)
+  let gen =
+    QCheck.(
+      quad (int_range 0 1000) (int_range 4 48) (int_range 1 4)
+        (int_range 0 15))
+  in
+  QCheck.Test.make ~count:25 ~name:"queued admission is deadlock-free" gen
+    (fun (seed, clients, writes, zipf_decis) ->
+      let spec =
+        {
+          Commit_service.default with
+          Commit_service.clients;
+          txns = clients * 4;
+          keys = 64;
+          writes_per_txn = writes;
+          zipf_s = Some (float_of_int zipf_decis /. 10.0);
+          seed;
+        }
+      in
+      let s = Commit_service.run ~protocol:"2pc" ~n:3 ~f:1 spec in
+      s.Commit_service.parked = 0
+      && s.Commit_service.staged_left = 0
+      && s.Commit_service.committed + s.Commit_service.aborted
+         + s.Commit_service.local_aborts
+         = s.Commit_service.transactions
+      && s.Commit_service.queue_aborts <= s.Commit_service.local_aborts
+      && s.Commit_service.atomicity_ok
+      && s.Commit_service.agreement_ok)
+
+let qcheck_admission_differential =
+  (* queue vs abort under crash injection: both policies must preserve
+     atomicity and agreement, and at zero contention (one closed-loop
+     client, one transaction in flight at a time) the admission policy is
+     unreachable code — the two runs must make identical per-transaction
+     decisions *)
+  let gen =
+    QCheck.(
+      quad (int_range 0 1000) (int_range 8 32) (int_range 10 60)
+        (int_range 0 12))
+  in
+  QCheck.Test.make ~count:25
+    ~name:"queue vs abort: safe under faults, identical at zero contention"
+    gen
+    (fun (seed, clients, recover_gap_u, zipf_decis) ->
+      let base admission clients =
+        {
+          Commit_service.default with
+          Commit_service.clients;
+          txns = clients * 4;
+          keys = 64;
+          zipf_s = Some (float_of_int zipf_decis /. 10.0);
+          outages = [ (1, 4 * u, Some ((4 + recover_gap_u) * u)) ];
+          admission;
+          seed;
+        }
+      in
+      let decisions spec =
+        let tbl = Hashtbl.create 64 in
+        let s =
+          Commit_service.run
+            ~observe:(fun id d -> Hashtbl.replace tbl id d)
+            ~protocol:"2pc" ~n:3 ~f:1 spec
+        in
+        (tbl, s)
+      in
+      let _, sq = decisions (base Commit_service.Queue_waiters clients) in
+      let _, sa = decisions (base Commit_service.Abort_on_conflict clients) in
+      let qz, szq = decisions (base Commit_service.Queue_waiters 1) in
+      let az, sza = decisions (base Commit_service.Abort_on_conflict 1) in
+      sq.Commit_service.atomicity_ok && sq.Commit_service.agreement_ok
+      && sa.Commit_service.atomicity_ok && sa.Commit_service.agreement_ok
+      && sa.Commit_service.queued = 0
+      && fingerprint szq = fingerprint sza
+      && Hashtbl.length qz = Hashtbl.length az
+      && Hashtbl.fold
+           (fun id d acc ->
+             acc
+             &&
+             match Hashtbl.find_opt az id with
+             | Some d' -> Vote.decision_equal d d'
+             | None -> false)
+           qz true)
+
 (* Differential: with a recovery in the schedule, turning re-election on
    changes *when* parked instances decide but never *what* they decide —
    the stand-in applies the same all-yes vote rule as the recovery
    retry. The spec is constrained so both runs are event-identical up to
    the first election timer: every transaction is issued by the initial
    client submits (txns <= clients), every batch launches immediately
-   (pipeline >= txns), and the outage lands after that horizon. *)
+   (pipeline >= txns), and the outage lands after that horizon.
+   Admission is pinned to abort-on-conflict: a wait queue's drain time
+   depends on *when* its holder decides, which is exactly what the two
+   runs differ on. *)
 let qcheck_election_differential =
   let gen =
     QCheck.(
@@ -262,6 +525,7 @@ let qcheck_election_differential =
           txns;
           seed;
           pipeline_depth = txns;
+          admission = Commit_service.Abort_on_conflict;
           outages = [ (1, down_at, Some (down_at + (recover_gap_u * u))) ];
           election_timeout;
         }
@@ -369,5 +633,16 @@ let () =
             test_parallel_arms_byte_identical;
           quick "spec validation" test_spec_validation;
           prop qcheck_election_differential;
+        ] );
+      ( "queued-admission",
+        [
+          quick "fifo fairness" test_queue_fifo_fairness;
+          quick "drains across outage" test_queue_drains_across_outage;
+          quick "drains with elections" test_queue_drains_with_elections;
+          quick "queue accounting" test_queue_accounting;
+          quick "soak mode neutral" test_soak_mode_neutral;
+          quick "recycle neutral" test_recycle_neutral;
+          prop qcheck_queue_deadlock_free;
+          prop qcheck_admission_differential;
         ] );
     ]

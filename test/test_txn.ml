@@ -463,6 +463,83 @@ let test_histogram_percentile_bounds () =
     && s.Histogram.p95 <= s.Histogram.p99
     && s.Histogram.p99 <= s.Histogram.max)
 
+(* Streaming histogram (soak mode): constant-memory fixed-bin percentiles.
+   Same interface as the exact variant; percentiles report the covering
+   bin's upper edge clamped to the observed maximum, so the error is
+   bounded by one bin width. *)
+
+let test_streaming_construction () =
+  Alcotest.match_raises "bins < 1"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Histogram.streaming ~bins:0 ~max:10.0));
+  Alcotest.match_raises "max <= 0"
+    (function Invalid_argument _ -> true | _ -> false)
+    (fun () -> ignore (Histogram.streaming ~bins:16 ~max:0.0))
+
+let test_streaming_empty_and_single () =
+  let h = Histogram.streaming ~bins:100 ~max:100.0 in
+  let s = Histogram.summary h in
+  check tint "empty count" 0 s.Histogram.count;
+  check tbool "empty mean is nan" true (Float.is_nan s.Histogram.mean);
+  check tbool "empty p50 is nan" true (Float.is_nan s.Histogram.p50);
+  check tbool "empty p99 is nan" true (Float.is_nan s.Histogram.p99);
+  check tbool "empty max is nan" true (Float.is_nan s.Histogram.max);
+  check tbool "empty percentile is nan" true
+    (Float.is_nan (Histogram.percentile h 0.5));
+  Histogram.add h 42.0;
+  let s = Histogram.summary h in
+  let f = Alcotest.float 1e-9 in
+  check tint "single count" 1 s.Histogram.count;
+  check f "single mean" 42.0 s.Histogram.mean;
+  (* the covering bin's upper edge is 43, clamped to the observed max *)
+  check f "single p50 clamps to the sample" 42.0 s.Histogram.p50;
+  check f "single p99 clamps to the sample" 42.0 s.Histogram.p99;
+  check f "single max" 42.0 s.Histogram.max
+
+let test_streaming_overflow () =
+  let h = Histogram.streaming ~bins:100 ~max:100.0 in
+  Histogram.add h 42.0;
+  Histogram.add h 1.0e9;
+  let s = Histogram.summary h in
+  let f = Alcotest.float 1e-9 in
+  (* the overflow sample reports the observed maximum exactly, and the
+     in-range percentile reports its bin's upper edge *)
+  check f "p50 is the covering bin's upper edge" 43.0 s.Histogram.p50;
+  check f "p99 walks into the overflow bin" 1.0e9 s.Histogram.p99;
+  check f "max is exact" 1.0e9 s.Histogram.max;
+  check f "mean is exact" ((42.0 +. 1.0e9) /. 2.0) s.Histogram.mean
+
+let prop_streaming_bounded_error =
+  let gen =
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 200) (float_bound_inclusive 100.0))
+        (int_range 4 64))
+  in
+  QCheck.Test.make ~count:100
+    ~name:"streaming percentiles within one bin width of exact" gen
+    (fun (samples, bins) ->
+      let bound = 100.0 in
+      let width = bound /. float_of_int bins in
+      let exact = Histogram.create () in
+      let stream = Histogram.streaming ~bins ~max:bound in
+      List.iter
+        (fun x ->
+          Histogram.add exact x;
+          Histogram.add stream x)
+        samples;
+      let se = Histogram.summary exact and ss = Histogram.summary stream in
+      let close e s = s >= e -. 1e-9 && s <= e +. width +. 1e-9 in
+      Histogram.count stream = Histogram.count exact
+      && Float.abs (ss.Histogram.mean -. se.Histogram.mean) < 1e-6
+      && ss.Histogram.max = se.Histogram.max
+      && close se.Histogram.p50 ss.Histogram.p50
+      && close se.Histogram.p95 ss.Histogram.p95
+      && close se.Histogram.p99 ss.Histogram.p99
+      && ss.Histogram.p50 <= ss.Histogram.p95
+      && ss.Histogram.p95 <= ss.Histogram.p99
+      && ss.Histogram.p99 <= ss.Histogram.max)
+
 let () =
   let quick name fn = Alcotest.test_case name `Quick fn in
   let prop t = QCheck_alcotest.to_alcotest t in
@@ -511,5 +588,9 @@ let () =
         [
           quick "empty and single sample" test_histogram_empty_and_single;
           quick "percentile bounds" test_histogram_percentile_bounds;
+          quick "streaming construction" test_streaming_construction;
+          quick "streaming empty and single" test_streaming_empty_and_single;
+          quick "streaming overflow" test_streaming_overflow;
+          prop prop_streaming_bounded_error;
         ] );
     ]
